@@ -1,0 +1,98 @@
+// Ablation: whole-program compile-time scaling. The paper's §2.5 point is
+// that full applications do not merely have more code — each statement
+// costs more because interprocedural context multiplies the symbolic
+// work. This bench compiles generated programs of growing routine counts
+// in two styles:
+//   kernel-style  — independent routines (PERFECT-like), and
+//   framework-style — a dispatcher calling every routine with sections of
+//                     one shared COMMON array (SEISMIC-like),
+// and reports microseconds per statement for each.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/compiler.hpp"
+#include "frontend/parser.hpp"
+
+namespace {
+
+using namespace ap;
+
+std::string kernel_style(int routines) {
+    std::ostringstream os;
+    os << "PROGRAM MAIN\n";
+    for (int r = 0; r < routines; ++r) os << "  CALL K" << r << "\n";
+    os << "END\n";
+    for (int r = 0; r < routines; ++r) {
+        os << "SUBROUTINE K" << r << "\n"
+           << "  PARAMETER (N = 64)\n"
+           << "  REAL A(N), B(N)\n"
+           << "  INTEGER I\n"
+           << "  DO I = 1, N\n"
+           << "    A(I) = B(I) * " << r + 1 << ".0\n"
+           << "  END DO\n"
+           << "  DO I = 2, N\n"
+           << "    B(I) = A(I) + A(I - 1)\n"
+           << "  END DO\n"
+           << "  RETURN\nEND\n";
+    }
+    return os.str();
+}
+
+std::string framework_style(int routines) {
+    std::ostringstream os;
+    os << "PROGRAM MAIN\n"
+       << "  COMMON /WORK/ RA(8192)\n"
+       << "  INTEGER ICODE, IM, NMODS\n"
+       << "  READ *, NMODS\n"
+       << "  DO IM = 1, NMODS\n"
+       << "    READ *, ICODE\n";
+    for (int r = 0; r < routines; ++r) {
+        os << "    IF (ICODE .EQ. " << r << ") THEN\n"
+           << "      CALL M" << r << "(RA(" << r * 61 + 1 << "), 61)\n"
+           << "    END IF\n";
+    }
+    os << "  END DO\nEND\n";
+    for (int r = 0; r < routines; ++r) {
+        os << "SUBROUTINE M" << r << "(V, N)\n"
+           << "  INTEGER N, I\n"
+           << "  REAL V(N)\n"
+           << "  DO I = 1, N\n"
+           << "    V(I) = V(I) * 0.5 + " << r << ".0\n"
+           << "  END DO\n"
+           << "  DO I = 2, N\n"
+           << "    V(I) = V(I) + V(I - 1)\n"
+           << "  END DO\n"
+           << "  RETURN\nEND\n";
+    }
+    return os.str();
+}
+
+void run_compile(benchmark::State& state, const std::string& src) {
+    std::size_t statements = 0;
+    for (auto _ : state) {
+        auto prog = frontend::parse(src);
+        auto report = core::compile(prog);
+        statements = report.statements;
+        benchmark::DoNotOptimize(report.loops_total());
+    }
+    state.counters["statements"] = static_cast<double>(statements);
+    state.counters["us_per_stmt"] = benchmark::Counter(
+        static_cast<double>(statements) * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_CompileKernelStyle(benchmark::State& state) {
+    run_compile(state, kernel_style(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_CompileKernelStyle)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_CompileFrameworkStyle(benchmark::State& state) {
+    run_compile(state, framework_style(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_CompileFrameworkStyle)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Ablation for §2.1: multifunctionality multiplies the amount of analysis.
+// Each user-selectable option adds a conditional; GSA gates/gammas and the
+// whole-pipeline compile time grow with the option count.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "analysis/gsa.hpp"
+#include "core/compiler.hpp"
+#include "frontend/parser.hpp"
+
+namespace {
+
+using namespace ap;
+
+/// A dispatcher with `k` runtime option flags, each guarding a different
+/// assignment path into the shared work array — the SANDER `imin` /
+/// GAMESS wavefunction-selection pattern.
+std::string options_source(int k) {
+    std::ostringstream os;
+    os << "PROGRAM OPTS\n  REAL W(256)\n  INTEGER I";
+    for (int i = 0; i < k; ++i) os << ", IOPT" << i;
+    os << "\n  READ *, IOPT0";
+    for (int i = 1; i < k; ++i) os << ", IOPT" << i;
+    os << "\n";
+    for (int i = 0; i < k; ++i) {
+        os << "  IF (IOPT" << i << " .EQ. 1) THEN\n";
+        os << "    DO I = 1, 64\n";
+        os << "      W(I + " << i << ") = W(I + " << i + 1 << ") * 0.5\n";
+        os << "    END DO\n";
+        os << "  END IF\n";
+    }
+    os << "  PRINT *, W(1)\nEND\n";
+    return os.str();
+}
+
+void BM_GsaVsOptionCount(benchmark::State& state) {
+    const int k = static_cast<int>(state.range(0));
+    const std::string src = options_source(k);
+    auto prog = frontend::parse(src);
+    std::size_t gammas = 0;
+    for (auto _ : state) {
+        auto gsa = analysis::build_gsa(*prog.main());
+        gammas = gsa.gamma_count;
+        benchmark::DoNotOptimize(gsa.defs.size());
+    }
+    state.counters["gammas"] = static_cast<double>(gammas);
+    state.counters["options"] = k;
+}
+BENCHMARK(BM_GsaVsOptionCount)->RangeMultiplier(2)->Range(1, 16)->Unit(benchmark::kMicrosecond);
+
+void BM_CompileVsOptionCount(benchmark::State& state) {
+    const int k = static_cast<int>(state.range(0));
+    const std::string src = options_source(k);
+    for (auto _ : state) {
+        auto prog = frontend::parse(src);
+        auto report = core::compile(prog);
+        benchmark::DoNotOptimize(report.loops_total());
+    }
+    state.counters["options"] = k;
+}
+BENCHMARK(BM_CompileVsOptionCount)->RangeMultiplier(2)->Range(1, 16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

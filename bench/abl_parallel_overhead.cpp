@@ -1,0 +1,83 @@
+// Ablation for the Figure-1 discussion: inner-loop-only parallelization
+// loses because the fork-join overhead exceeds the per-invocation work.
+// Measures the real thread-pool fork-join cost and the crossover grain on
+// this host, plus the simulated machine's modeled behaviour.
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/sim.hpp"
+
+namespace {
+
+using namespace ap;
+
+void BM_ForkJoinOverhead(benchmark::State& state) {
+    const auto threads = static_cast<unsigned>(state.range(0));
+    // Warm the pool.
+    runtime::parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads});
+    for (auto _ : state) {
+        runtime::parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads});
+    }
+}
+BENCHMARK(BM_ForkJoinOverhead)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_InnerLoopGrainSweep(benchmark::State& state) {
+    // One parallel_for invocation over `n` light iterations: below the
+    // crossover grain the fork dominates (the "Polaris" regime).
+    const std::int64_t n = state.range(0);
+    std::vector<double> data(static_cast<std::size_t>(n), 1.0);
+    for (auto _ : state) {
+        runtime::parallel_for(
+            0, n, [&](std::int64_t i) { data[static_cast<std::size_t>(i)] *= 1.0000001; },
+            {.threads = 4});
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.counters["grain"] = static_cast<double>(n);
+}
+BENCHMARK(BM_InnerLoopGrainSweep)->RangeMultiplier(8)->Range(8, 1 << 18)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SerialReference(benchmark::State& state) {
+    const std::int64_t n = state.range(0);
+    std::vector<double> data(static_cast<std::size_t>(n), 1.0);
+    for (auto _ : state) {
+        for (std::int64_t i = 0; i < n; ++i) data[static_cast<std::size_t>(i)] *= 1.0000001;
+        benchmark::DoNotOptimize(data.data());
+    }
+}
+BENCHMARK(BM_SerialReference)->RangeMultiplier(8)->Range(8, 1 << 18)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatedInnerVsOuter(benchmark::State& state) {
+    // The simulated 4-processor machine: modeled elapsed time of 1024
+    // tiny inner parallel loops vs one outer loop over the same work.
+    const bool outer = state.range(0) == 1;
+    std::vector<double> data(64 * 1024, 1.0);
+    double modeled = 0;
+    for (auto _ : state) {
+        runtime::SimTimer sim(runtime::SimCostModel{});
+        if (outer) {
+            sim.parallel(0, 1024, [&](std::int64_t b) {
+                for (int i = 0; i < 64; ++i) {
+                    data[static_cast<std::size_t>(b * 64 + i)] *= 1.0000001;
+                }
+            });
+        } else {
+            for (int b = 0; b < 1024; ++b) {
+                sim.parallel(0, 64, [&](std::int64_t i) {
+                    data[static_cast<std::size_t>(b * 64 + i)] *= 1.0000001;
+                });
+            }
+        }
+        modeled = sim.seconds();
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.counters["modeled_us"] = 1e6 * modeled;
+    state.SetLabel(outer ? "outer (OpenMP-style)" : "inner (Polaris-style)");
+}
+BENCHMARK(BM_SimulatedInnerVsOuter)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

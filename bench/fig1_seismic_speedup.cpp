@@ -1,0 +1,94 @@
+// Reproduces paper Figure 1: "Measured Performance Achieved by Automatic
+// Parallelization of SEISMIC" — elapsed seconds of the four-phase seismic
+// suite under serial, MPI, OpenMP-style (outer-loop) and Polaris-style
+// (inner-simple-loop-only) parallelization, on SMALL and MEDIUM datasets.
+//
+// Expected shape (EXPERIMENTS.md): MPI ~ OpenMP ~ serial/4; Polaris >=
+// serial on every component; the trend identical across dataset sizes.
+// Times are modeled on the simulated 4-processor machine (DESIGN.md §2).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/report.hpp"
+#include "seismic/seismic.hpp"
+
+namespace {
+
+using namespace ap;
+
+constexpr int kProcs = 4;
+
+int run_deck(const seismic::Deck& deck) {
+    std::printf("--- dataset %s (shots=%d traces=%d samples=%d cube=%dx%dx%d grid=%d^2 x %d) ---\n",
+                deck.name.c_str(), deck.nshots, deck.ntraces, deck.nsamples, deck.nx, deck.ny,
+                deck.nz, deck.grid, deck.timesteps);
+    const seismic::Flavor flavors[] = {seismic::Flavor::Serial, seismic::Flavor::Mpi,
+                                       seismic::Flavor::OuterParallel, seismic::Flavor::AutoInner};
+    core::Table table({"version", "data gen.", "stack", "3D FFT", "finite diff.", "total",
+                       "speedup"});
+    seismic::SuiteResult results[4];
+    double checksums[4][4];
+    for (int f = 0; f < 4; ++f) {
+        results[f] = seismic::run_suite(deck, flavors[f], kProcs);
+        for (int p = 0; p < 4; ++p) checksums[f][p] = results[f].phases[p].checksum;
+    }
+    const double serial_total = results[0].total_seconds();
+    for (int f = 0; f < 4; ++f) {
+        std::vector<std::string> row{to_string(flavors[f])};
+        for (const auto& phase : results[f].phases) {
+            row.push_back(core::Table::fixed(phase.seconds, 3) + "s");
+        }
+        row.push_back(core::Table::fixed(results[f].total_seconds(), 3) + "s");
+        row.push_back(core::Table::fixed(serial_total / results[f].total_seconds(), 2) + "x");
+        table.add_row(std::move(row));
+    }
+    std::printf("%s", table.to_string().c_str());
+
+    // Validation: all flavors computed the same physics.
+    int failures = 0;
+    for (int p = 0; p < 4; ++p) {
+        for (int f = 1; f < 4; ++f) {
+            const double rel = std::fabs(checksums[f][p] - checksums[0][p]) /
+                               std::max(1e-30, std::fabs(checksums[0][p]));
+            if (rel > 1e-6) {
+                std::printf("CHECKSUM MISMATCH: %s %s rel=%g\n", seismic::kPhaseNames[p],
+                            to_string(flavors[f]).c_str(), rel);
+                ++failures;
+            }
+        }
+    }
+    // Shape assertions from the paper.
+    const double mpi = results[1].total_seconds();
+    const double omp = results[2].total_seconds();
+    const double polaris = results[3].total_seconds();
+    std::printf("shape: MPI %.2fx, OpenMP %.2fx, Polaris %.2fx (vs serial)\n", serial_total / mpi,
+                serial_total / omp, serial_total / polaris);
+    if (!(mpi < serial_total && omp < serial_total)) {
+        std::printf("SHAPE VIOLATION: manual parallelization must beat serial\n");
+        ++failures;
+    }
+    if (!(polaris > 0.95 * serial_total)) {
+        std::printf("SHAPE VIOLATION: Polaris-style must not beat serial\n");
+        ++failures;
+    }
+    std::printf("\n");
+    return failures;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Figure 1: seismic suite performance by parallelization strategy ===\n");
+    std::printf("(simulated %d-processor machine; see DESIGN.md for the cost model)\n\n", kProcs);
+    int failures = 0;
+    failures += run_deck(seismic::Deck::small());
+    failures += run_deck(seismic::Deck::medium());
+    if (failures) {
+        std::printf("fig1: %d validation failure(s)\n", failures);
+        return EXIT_FAILURE;
+    }
+    std::printf("fig1: OK\n");
+    return EXIT_SUCCESS;
+}

@@ -1,0 +1,68 @@
+// Reproduces paper Figure 3: "Compile Time per Compiler Pass" — the share
+// of total compile time each pass consumes, per code set.
+//
+// Expected shape (EXPERIMENTS.md): the data-dependence test and array
+// privatization dominate everywhere; the remaining passes are relatively
+// more significant for the kernel codes (Perfect, Linpack).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/compiler.hpp"
+#include "core/report.hpp"
+#include "corpus/corpus.hpp"
+
+namespace {
+
+using namespace ap;
+
+constexpr int kRepeats = 12;
+
+core::PassTimes measure(const corpus::CorpusProgram& corpus) {
+    core::PassTimes total;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        auto prog = corpus::load(corpus);
+        core::CompilerOptions opts;
+        opts.loop_op_budget = corpus.loop_op_budget;
+        total += core::compile(prog, opts).times;
+    }
+    return total;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Figure 3: share of compile time per compiler pass ===\n\n");
+    std::vector<std::pair<std::string, core::PassTimes>> rows;
+    for (const auto* c : corpus::all()) rows.emplace_back(c->name, measure(*c));
+
+    core::Table table({"pass \\ code", "Seismic", "GAMESS", "Sander", "Perf. Bench.", "Linpack"});
+    for (int p = 0; p < core::kPassCount; ++p) {
+        std::vector<std::string> cells{std::string(core::to_string(static_cast<core::PassId>(p)))};
+        for (const auto& [name, times] : rows) {
+            const double share =
+                100.0 * times.seconds[static_cast<std::size_t>(p)] / times.total_seconds();
+            cells.push_back(core::Table::fixed(share, 1) + "%");
+        }
+        table.add_row(std::move(cells));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    // Shape: DD + privatization together dominate for the industrial codes.
+    int failures = 0;
+    for (std::size_t i = 0; i < 3; ++i) {  // Seismic, GAMESS, Sander
+        const auto& times = rows[i].second;
+        const double dominant = times.sec(core::PassId::DataDependence) +
+                                times.sec(core::PassId::Privatization);
+        const double share = dominant / times.total_seconds();
+        std::printf("%s: data-dependence + privatization = %.1f%% of compile time\n",
+                    rows[i].first.c_str(), 100.0 * share);
+        if (share < 0.5) {
+            std::printf("SHAPE VIOLATION: expected the two symbolic passes to dominate\n");
+            ++failures;
+        }
+    }
+    if (failures) return EXIT_FAILURE;
+    std::printf("fig3: OK\n");
+    return EXIT_SUCCESS;
+}

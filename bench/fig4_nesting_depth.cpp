@@ -1,0 +1,61 @@
+// Reproduces paper Figure 4: "Nesting Characteristics of Loops Manually
+// Identified as Parallel" — the average number of subroutines and loops
+// enclosing the target loops (from the program level, deepest call path)
+// and enclosed within them, for Perfect Benchmarks vs Seismic.
+//
+// Expected shape (EXPERIMENTS.md): Seismic target loops are enclosed by
+// far more subroutines than Perfect's; the enclosed counts are similar.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/callgraph.hpp"
+#include "core/metrics.hpp"
+#include "core/report.hpp"
+#include "corpus/corpus.hpp"
+
+namespace {
+
+using namespace ap;
+
+core::NestingAverages measure(const corpus::CorpusProgram& corpus) {
+    auto prog = corpus::load(corpus);
+    analysis::CallGraph cg(prog);
+    return core::average(core::nesting_metrics(prog, cg));
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Figure 4: nesting characteristics of target loops ===\n\n");
+    const auto perfect = measure(corpus::perfect());
+    const auto seismic = measure(corpus::seismic());
+    const auto gamess = measure(corpus::gamess());
+    const auto sander = measure(corpus::sander());
+
+    core::Table table(
+        {"code set", "targets", "outer subs", "outer loops", "enclosed subs", "enclosed loops"});
+    auto add = [&](const char* name, const core::NestingAverages& a) {
+        table.add_row({name, std::to_string(a.count), core::Table::fixed(a.outer_subs, 2),
+                       core::Table::fixed(a.outer_loops, 2), core::Table::fixed(a.enclosed_subs, 2),
+                       core::Table::fixed(a.enclosed_loops, 2)});
+    };
+    add("Perf. Bench.", perfect);
+    add("Seismic", seismic);
+    add("GAMESS", gamess);
+    add("Sander", sander);
+    std::printf("%s\n", table.to_string().c_str());
+
+    int failures = 0;
+    if (!(seismic.outer_subs >= perfect.outer_subs + 2.0)) {
+        std::printf("SHAPE VIOLATION: Seismic targets must be much more deeply enclosed\n");
+        ++failures;
+    }
+    if (!(std::abs(seismic.enclosed_loops - perfect.enclosed_loops) <= 1.5)) {
+        std::printf("SHAPE VIOLATION: enclosed nesting should be similar (paper's point)\n");
+        ++failures;
+    }
+    if (failures) return EXIT_FAILURE;
+    std::printf("fig4: OK\n");
+    return EXIT_SUCCESS;
+}

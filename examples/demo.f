@@ -1,0 +1,22 @@
+! Sample Mini-F program for the minif CLI:
+!   ./build/examples/minif examples/demo.f --deck 64 --parallel
+PROGRAM DEMO
+  PARAMETER (MAXN = 256)
+  REAL A(256), B(256), TOTAL
+  INTEGER N, I
+  READ *, N
+  IF (N .GT. MAXN) STOP
+  IF (N .LT. 1) STOP
+  DO I = 1, N
+    B(I) = MOD(I * 37, 101) * 0.01
+  END DO
+  DO I = 1, N
+    A(I) = B(I) * B(I) + 1.0
+  END DO
+  TOTAL = 0.0
+  DO I = 1, N
+    TOTAL = TOTAL + A(I)
+  END DO
+  PRINT *, 'N =', N
+  PRINT *, 'TOTAL =', TOTAL
+END

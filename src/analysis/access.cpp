@@ -1,0 +1,164 @@
+#include "analysis/access.hpp"
+
+#include <algorithm>
+
+namespace ap::analysis {
+
+namespace {
+
+const std::vector<std::string> kIntrinsics = {
+    "MAX", "MIN", "MOD", "ABS", "SQRT", "SIN", "COS", "TAN", "EXP", "LOG",
+    "INT", "REAL", "DBLE", "NINT", "SIGN", "ATAN", "ATAN2", "CMPLX", "CONJG",
+    "AIMAG", "FLOAT", "IABS",
+};
+
+class Collector {
+public:
+    explicit Collector(AccessInfo& out) : out_(out) {}
+
+    void walk_block(const ir::Block& b) {
+        for (const auto& s : b) walk_stmt(*s);
+    }
+
+private:
+    // Record reads of an expression tree. Array subscripts are reads even
+    // when the array element itself is being written.
+    void read_expr(const ir::Expr& e, const ir::Stmt& stmt) {
+        switch (e.kind()) {
+            case ir::ExprKind::VarRef:
+                out_.scalars.push_back({static_cast<const ir::VarRef&>(e).name, false, &stmt,
+                                        guard_depth_, loops_, guards_, stmt_index_});
+                break;
+            case ir::ExprKind::ArrayRef: {
+                const auto& a = static_cast<const ir::ArrayRef&>(e);
+                out_.arrays.push_back({&a, false, &stmt, guard_depth_, loops_, guards_, stmt_index_});
+                for (const auto& s : a.subscripts) read_expr(*s, stmt);
+                break;
+            }
+            case ir::ExprKind::Unary:
+                read_expr(*static_cast<const ir::Unary&>(e).operand, stmt);
+                break;
+            case ir::ExprKind::Binary: {
+                const auto& b = static_cast<const ir::Binary&>(e);
+                read_expr(*b.lhs, stmt);
+                read_expr(*b.rhs, stmt);
+                break;
+            }
+            case ir::ExprKind::Call: {
+                const auto& c = static_cast<const ir::Call&>(e);
+                if (!is_intrinsic_function(c.name)) out_.function_calls.push_back(&c);
+                for (const auto& a : c.args) read_expr(*a, stmt);
+                break;
+            }
+            default:
+                break;
+        }
+    }
+
+    void write_lvalue(const ir::Expr& e, const ir::Stmt& stmt) {
+        if (e.kind() == ir::ExprKind::VarRef) {
+            out_.scalars.push_back({static_cast<const ir::VarRef&>(e).name, true, &stmt,
+                                    guard_depth_, loops_, guards_, stmt_index_});
+        } else if (e.kind() == ir::ExprKind::ArrayRef) {
+            const auto& a = static_cast<const ir::ArrayRef&>(e);
+            out_.arrays.push_back({&a, true, &stmt, guard_depth_, loops_, guards_, stmt_index_});
+            for (const auto& s : a.subscripts) read_expr(*s, stmt);
+        }
+    }
+
+    void walk_stmt(const ir::Stmt& s) {
+        const int my_index = stmt_index_++;
+        (void)my_index;
+        switch (s.kind()) {
+            case ir::StmtKind::Assign: {
+                const auto& a = static_cast<const ir::Assign&>(s);
+                read_expr(*a.rhs, s);
+                write_lvalue(*a.lhs, s);
+                break;
+            }
+            case ir::StmtKind::If: {
+                const auto& i = static_cast<const ir::IfStmt&>(s);
+                read_expr(*i.cond, s);
+                ++guard_depth_;
+                guards_.push_back({&i, true});
+                walk_block(i.then_block);
+                guards_.back().taken_then = false;
+                walk_block(i.else_block);
+                guards_.pop_back();
+                --guard_depth_;
+                break;
+            }
+            case ir::StmtKind::Do: {
+                const auto& d = static_cast<const ir::DoLoop&>(s);
+                read_expr(*d.lo, s);
+                read_expr(*d.hi, s);
+                read_expr(*d.step, s);
+                out_.scalars.push_back({d.var, true, &s, guard_depth_, loops_, guards_, stmt_index_});
+                loops_.push_back(&d);
+                walk_block(d.body);
+                loops_.pop_back();
+                break;
+            }
+            case ir::StmtKind::Call: {
+                const auto& c = static_cast<const ir::CallStmt&>(s);
+                out_.calls.push_back(&c);
+                for (const auto& a : c.args) read_expr(*a, s);
+                break;
+            }
+            case ir::StmtKind::Read: {
+                const auto& r = static_cast<const ir::ReadStmt&>(s);
+                out_.has_io = true;
+                for (const auto& t : r.targets) write_lvalue(*t, s);
+                break;
+            }
+            case ir::StmtKind::Print: {
+                const auto& p = static_cast<const ir::PrintStmt&>(s);
+                out_.has_io = true;
+                for (const auto& a : p.args) read_expr(*a, s);
+                break;
+            }
+            case ir::StmtKind::Return:
+            case ir::StmtKind::Stop:
+                break;
+        }
+    }
+
+    AccessInfo& out_;
+    int guard_depth_ = 0;
+    int stmt_index_ = 0;
+    std::vector<const ir::DoLoop*> loops_;
+    std::vector<GuardEdge> guards_;
+};
+
+}  // namespace
+
+bool is_intrinsic_function(const std::string& name) {
+    return std::find(kIntrinsics.begin(), kIntrinsics.end(), name) != kIntrinsics.end();
+}
+
+bool guard_prefix(const std::vector<GuardEdge>& prefix, const std::vector<GuardEdge>& path) {
+    if (prefix.size() > path.size()) return false;
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+        if (!(prefix[i] == path[i])) return false;
+    }
+    return true;
+}
+
+bool AccessInfo::scalar_written(const std::string& name) const {
+    return std::any_of(scalars.begin(), scalars.end(),
+                       [&](const ScalarAccess& a) { return a.is_write && a.name == name; });
+}
+
+bool AccessInfo::array_touched(const std::string& name) const {
+    return std::any_of(arrays.begin(), arrays.end(),
+                       [&](const ArrayAccess& a) { return a.ref->name == name; });
+}
+
+AccessInfo collect_accesses(const ir::Block& body) {
+    AccessInfo info;
+    Collector c(info);
+    c.walk_block(body);
+    return info;
+}
+
+}  // namespace ap::analysis

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ap::analysis {
+
+/// One branch taken on the way to an access: the IF statement and whether
+/// the access lies in its THEN (true) or ELSE (false) arm.
+struct GuardEdge {
+    const ir::IfStmt* guard = nullptr;
+    bool taken_then = true;
+    friend bool operator==(const GuardEdge&, const GuardEdge&) = default;
+};
+
+/// One array reference found in a region, with the control context needed
+/// by dependence testing and privatization. Pointers are non-owning views
+/// into the analyzed IR.
+struct ArrayAccess {
+    const ir::ArrayRef* ref = nullptr;
+    bool is_write = false;
+    const ir::Stmt* stmt = nullptr;            ///< the statement containing the access
+    int guard_depth = 0;                       ///< # of enclosing IFs inside the region
+    std::vector<const ir::DoLoop*> loops;      ///< enclosing loops inside the region, outer→inner
+    std::vector<GuardEdge> guard_path;         ///< enclosing IF branches, outer→inner
+    int stmt_index = 0;                        ///< pre-order statement position in the region
+};
+
+struct ScalarAccess {
+    std::string name;
+    bool is_write = false;
+    const ir::Stmt* stmt = nullptr;
+    int guard_depth = 0;
+    std::vector<const ir::DoLoop*> loops;
+    std::vector<GuardEdge> guard_path;
+    int stmt_index = 0;
+};
+
+/// True when `prefix` is a prefix of `path` (guard-context domination).
+[[nodiscard]] bool guard_prefix(const std::vector<GuardEdge>& prefix,
+                                const std::vector<GuardEdge>& path);
+
+/// Everything a region (loop body or routine body) touches.
+struct AccessInfo {
+    std::vector<ArrayAccess> arrays;
+    std::vector<ScalarAccess> scalars;
+    std::vector<const ir::CallStmt*> calls;
+    std::vector<const ir::Call*> function_calls;  ///< non-intrinsic calls in expressions
+    bool has_io = false;                          ///< READ or PRINT present
+
+    [[nodiscard]] bool scalar_written(const std::string& name) const;
+    [[nodiscard]] bool array_touched(const std::string& name) const;
+};
+
+/// True for the built-in Mini-F intrinsics (pure functions).
+[[nodiscard]] bool is_intrinsic_function(const std::string& name);
+
+/// Collects every access in `body`. `including_nested_loops` — when false,
+/// the walk does not descend into nested DO loops (rarely wanted; default
+/// true). DO-loop index variables are recorded as scalar writes.
+[[nodiscard]] AccessInfo collect_accesses(const ir::Block& body);
+
+}  // namespace ap::analysis

@@ -1,0 +1,103 @@
+#include "analysis/alias.hpp"
+
+#include <optional>
+
+namespace ap::analysis {
+
+void AliasInfo::add(std::string a, std::string b) {
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    pairs_.emplace(std::move(a), std::move(b));
+}
+
+bool AliasInfo::may_alias(const std::string& a, const std::string& b) const {
+    if (a == b) return false;
+    auto [x, y] = a < b ? std::pair{a, b} : std::pair{b, a};
+    return pairs_.contains({x, y});
+}
+
+std::set<std::string> AliasInfo::partners_of(const std::string& name) const {
+    std::set<std::string> out;
+    for (const auto& [a, b] : pairs_) {
+        if (a == name) out.insert(b);
+        if (b == name) out.insert(a);
+    }
+    return out;
+}
+
+namespace {
+
+/// The base array name an actual argument refers to, if it is an array
+/// (whole array `A` or a section `A(k)`).
+std::optional<std::string> array_base(const ir::Expr& arg, const ir::Routine& caller) {
+    std::string name;
+    if (arg.kind() == ir::ExprKind::VarRef) {
+        name = static_cast<const ir::VarRef&>(arg).name;
+    } else if (arg.kind() == ir::ExprKind::ArrayRef) {
+        name = static_cast<const ir::ArrayRef&>(arg).name;
+    } else {
+        return std::nullopt;
+    }
+    const auto* sym = caller.symbols.find(name);
+    if (sym && sym->is_array()) return name;
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::map<std::string, AliasInfo> analyze_aliases(const ir::Program& prog, const CallGraph& cg) {
+    std::map<std::string, AliasInfo> result;
+    for (const auto* r : prog.routines()) {
+        auto& info = result[r->name];
+        for (const auto& eq : r->equivalences) info.add(eq.a, eq.b);
+    }
+
+    // Fixpoint over call sites: storage overlap in the caller induces
+    // dummy aliasing in the callee.
+    bool changed = true;
+    int guard = 0;
+    while (changed && ++guard < 64) {
+        changed = false;
+        for (const auto& site : cg.call_sites()) {
+            if (!site.callee || !site.args) continue;
+            const ir::Routine& callee = *site.callee;
+            const ir::Routine& caller = *site.caller;
+            const auto& caller_info = result[caller.name];
+            auto& callee_info = result[callee.name];
+            const std::size_t n = std::min(site.args->size(), callee.dummies.size());
+            for (std::size_t i = 0; i < n; ++i) {
+                auto base_i = array_base(*(*site.args)[i], caller);
+                if (!base_i) continue;
+                const auto* dummy_i = callee.symbols.find(callee.dummies[i]);
+                if (!dummy_i || !dummy_i->is_array()) continue;
+                for (std::size_t j = i + 1; j < n; ++j) {
+                    auto base_j = array_base(*(*site.args)[j], caller);
+                    if (!base_j) continue;
+                    const auto* dummy_j = callee.symbols.find(callee.dummies[j]);
+                    if (!dummy_j || !dummy_j->is_array()) continue;
+                    const bool overlap =
+                        *base_i == *base_j || caller_info.may_alias(*base_i, *base_j);
+                    if (overlap &&
+                        !callee_info.may_alias(callee.dummies[i], callee.dummies[j])) {
+                        callee_info.add(callee.dummies[i], callee.dummies[j]);
+                        changed = true;
+                    }
+                }
+                // A dummy may also alias a COMMON array visible in the
+                // callee when the caller passes that COMMON array.
+                for (const auto& sym : callee.symbols.symbols()) {
+                    if (!sym.is_array() || !sym.common_block) continue;
+                    const auto* caller_sym = caller.symbols.find(*base_i);
+                    if (caller_sym && caller_sym->common_block == sym.common_block &&
+                        !callee_info.may_alias(callee.dummies[i], sym.name)) {
+                        callee_info.add(callee.dummies[i], sym.name);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace ap::analysis

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "analysis/callgraph.hpp"
+#include "ir/program.hpp"
+
+namespace ap::analysis {
+
+/// May-alias facts for one routine: unordered pairs of array names that
+/// may occupy overlapping storage. The paper's Figure-5 "aliasing"
+/// category: Polaris assumed dependences between subroutine array
+/// parameters that are aliased.
+class AliasInfo {
+public:
+    void add(std::string a, std::string b);
+    [[nodiscard]] bool may_alias(const std::string& a, const std::string& b) const;
+    [[nodiscard]] const std::set<std::pair<std::string, std::string>>& pairs() const noexcept {
+        return pairs_;
+    }
+    /// Every partner of `name`.
+    [[nodiscard]] std::set<std::string> partners_of(const std::string& name) const;
+
+private:
+    std::set<std::pair<std::string, std::string>> pairs_;
+};
+
+/// Whole-program alias analysis. Sources of aliasing:
+///  1. EQUIVALENCE declarations inside a routine;
+///  2. a call passing the same array (or two sections of the same array,
+///     or two equivalenced/overlapping arrays) to two different array
+///     dummy arguments — the callee's dummies then may alias;
+///  3. transitive propagation down call chains to fixpoint.
+/// Sections of the same array (`RA(K1)` vs `RA(K2)`) are conservatively
+/// assumed to overlap, exactly the state-of-the-art behaviour the paper
+/// reports.
+[[nodiscard]] std::map<std::string, AliasInfo> analyze_aliases(const ir::Program& prog,
+                                                               const CallGraph& cg);
+
+}  // namespace ap::analysis

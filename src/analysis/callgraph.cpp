@@ -1,0 +1,166 @@
+#include "analysis/callgraph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "analysis/access.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::analysis {
+
+namespace {
+
+/// Walks a block recording calls with their loop depth.
+void collect_sites(const ir::Program& prog, const ir::Routine& caller, const ir::Block& block,
+                   int loop_depth, std::vector<CallSite>& out) {
+    for (const auto& sp : block) {
+        const ir::Stmt& s = *sp;
+        // Function calls inside this statement's own expressions.
+        ir::for_each_own_expr(s, [&](const ir::Expr& root) {
+            ir::for_each_expr(root, [&](const ir::Expr& e) {
+                if (e.kind() != ir::ExprKind::Call) return;
+                const auto& c = static_cast<const ir::Call&>(e);
+                if (is_intrinsic_function(c.name)) return;
+                CallSite site;
+                site.caller = &caller;
+                site.callee = prog.find(c.name);
+                site.callee_name = c.name;
+                site.args = &c.args;
+                site.loop_depth = loop_depth;
+                out.push_back(site);
+            });
+        });
+        switch (s.kind()) {
+            case ir::StmtKind::Call: {
+                const auto& c = static_cast<const ir::CallStmt&>(s);
+                CallSite site;
+                site.caller = &caller;
+                site.callee = prog.find(c.name);
+                site.callee_name = c.name;
+                site.args = &c.args;
+                site.loop_depth = loop_depth;
+                out.push_back(site);
+                break;
+            }
+            case ir::StmtKind::If: {
+                const auto& i = static_cast<const ir::IfStmt&>(s);
+                collect_sites(prog, caller, i.then_block, loop_depth, out);
+                collect_sites(prog, caller, i.else_block, loop_depth, out);
+                break;
+            }
+            case ir::StmtKind::Do: {
+                const auto& d = static_cast<const ir::DoLoop&>(s);
+                collect_sites(prog, caller, d.body, loop_depth + 1, out);
+                break;
+            }
+            default:
+                break;
+        }
+    }
+}
+
+}  // namespace
+
+CallGraph::CallGraph(const ir::Program& prog) : prog_(&prog) {
+    for (const auto* r : prog.routines()) {
+        callees_[r->name];  // ensure node exists
+        collect_sites(prog, *r, r->body, 0, sites_);
+    }
+    for (const auto& s : sites_) {
+        callees_[s.caller->name].insert(s.callee_name);
+        callers_[s.callee_name].insert(s.caller->name);
+    }
+}
+
+std::vector<const CallSite*> CallGraph::sites_of(const ir::Routine& caller) const {
+    std::vector<const CallSite*> out;
+    for (const auto& s : sites_) {
+        if (s.caller == &caller) out.push_back(&s);
+    }
+    return out;
+}
+
+std::vector<const CallSite*> CallGraph::sites_calling(const std::string& callee) const {
+    std::vector<const CallSite*> out;
+    for (const auto& s : sites_) {
+        if (s.callee_name == callee) out.push_back(&s);
+    }
+    return out;
+}
+
+const std::set<std::string>& CallGraph::callees_of(const std::string& caller) const {
+    auto it = callees_.find(caller);
+    return it == callees_.end() ? empty_ : it->second;
+}
+
+const std::set<std::string>& CallGraph::callers_of(const std::string& callee) const {
+    auto it = callers_.find(callee);
+    return it == callers_.end() ? empty_ : it->second;
+}
+
+std::set<std::string> CallGraph::reachable_from(const std::string& root) const {
+    std::set<std::string> seen;
+    std::vector<std::string> work{root};
+    while (!work.empty()) {
+        std::string cur = std::move(work.back());
+        work.pop_back();
+        if (!seen.insert(cur).second) continue;
+        for (const auto& next : callees_of(cur)) work.push_back(next);
+    }
+    return seen;
+}
+
+std::vector<const ir::Routine*> CallGraph::topological_order() const {
+    std::vector<const ir::Routine*> out;
+    std::set<std::string> visited;
+    std::function<void(const std::string&)> dfs = [&](const std::string& name) {
+        if (!visited.insert(name).second) return;
+        const ir::Routine* r = prog_->find(name);
+        if (r) out.push_back(r);
+        for (const auto& next : callees_of(name)) dfs(next);
+    };
+    if (const auto* m = prog_->main()) dfs(m->name);
+    for (const auto* r : prog_->routines()) dfs(r->name);
+    return out;
+}
+
+std::vector<const ir::Routine*> CallGraph::bottom_up_order() const {
+    std::vector<const ir::Routine*> out;
+    std::set<std::string> done;
+    std::set<std::string> visiting;
+    std::function<void(const std::string&)> dfs = [&](const std::string& name) {
+        if (done.contains(name) || visiting.contains(name)) return;
+        visiting.insert(name);
+        for (const auto& next : callees_of(name)) dfs(next);
+        visiting.erase(name);
+        done.insert(name);
+        if (const ir::Routine* r = prog_->find(name)) out.push_back(r);
+    };
+    for (const auto* r : prog_->routines()) dfs(r->name);
+    return out;
+}
+
+int CallGraph::depth_from_main(const std::string& routine) const {
+    const auto* m = prog_->main();
+    if (!m) return -1;
+    // Longest path over the (acyclic in practice) call DAG via memoized
+    // DFS; cycles are cut by treating in-progress nodes as unreachable.
+    std::map<std::string, int> memo;
+    std::set<std::string> onstack;
+    std::function<int(const std::string&)> longest = [&](const std::string& from) -> int {
+        if (from == routine) return 0;
+        if (auto it = memo.find(from); it != memo.end()) return it->second;
+        if (!onstack.insert(from).second) return -1;
+        int best = -1;
+        for (const auto& next : callees_of(from)) {
+            const int d = longest(next);
+            if (d >= 0) best = std::max(best, d + 1);
+        }
+        onstack.erase(from);
+        memo[from] = best;
+        return best;
+    };
+    return longest(m->name);
+}
+
+}  // namespace ap::analysis

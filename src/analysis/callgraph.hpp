@@ -1,0 +1,60 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ap::analysis {
+
+/// One call site: caller routine, callee name, and the actual arguments.
+struct CallSite {
+    const ir::Routine* caller = nullptr;
+    const ir::Routine* callee = nullptr;  ///< null for unresolved names
+    std::string callee_name;
+    const std::vector<ir::ExprPtr>* args = nullptr;  ///< view into the call node
+    int loop_depth = 0;  ///< # of DO loops enclosing the call site in the caller
+};
+
+/// Whole-program call graph over resolved routine names. Function calls
+/// inside expressions are included as edges.
+class CallGraph {
+public:
+    explicit CallGraph(const ir::Program& prog);
+
+    [[nodiscard]] const std::vector<CallSite>& call_sites() const noexcept { return sites_; }
+    [[nodiscard]] std::vector<const CallSite*> sites_of(const ir::Routine& caller) const;
+    [[nodiscard]] std::vector<const CallSite*> sites_calling(const std::string& callee) const;
+
+    [[nodiscard]] const std::set<std::string>& callees_of(const std::string& caller) const;
+    [[nodiscard]] const std::set<std::string>& callers_of(const std::string& callee) const;
+
+    /// Routines reachable from `root` (inclusive).
+    [[nodiscard]] std::set<std::string> reachable_from(const std::string& root) const;
+
+    /// Reverse-postorder over the graph from the main program (callees
+    /// after callers). Routines not reachable from main are appended at
+    /// the end in declaration order. Cycles are broken arbitrarily.
+    [[nodiscard]] std::vector<const ir::Routine*> topological_order() const;
+
+    /// Bottom-up order: callees before callers (reverse of topological).
+    [[nodiscard]] std::vector<const ir::Routine*> bottom_up_order() const;
+
+    /// Longest call-path depth from the main program to `routine`
+    /// (0 for main itself, -1 if unreachable). "Deepest call graph paths"
+    /// in the paper's Figure-4 metric.
+    [[nodiscard]] int depth_from_main(const std::string& routine) const;
+
+    [[nodiscard]] const ir::Program& program() const noexcept { return *prog_; }
+
+private:
+    const ir::Program* prog_;
+    std::vector<CallSite> sites_;
+    std::map<std::string, std::set<std::string>> callees_;
+    std::map<std::string, std::set<std::string>> callers_;
+    std::set<std::string> empty_;
+};
+
+}  // namespace ap::analysis

@@ -1,0 +1,246 @@
+#include "analysis/constprop.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "analysis/access.hpp"
+#include "symbolic/linear.hpp"
+
+namespace ap::analysis {
+
+namespace {
+
+std::optional<std::int64_t> fold(const ir::Expr& e, const ConstMap& consts) {
+    auto r = symbolic::to_linear(e, consts);
+    if (!r.ok() || !r.form->is_constant()) return std::nullopt;
+    return r.form->constant();
+}
+
+/// Per-routine set of dummy-argument indices the routine (or a callee it
+/// forwards them to) may write. Foreign opaque routines may write all.
+std::map<std::string, std::set<int>> written_dummy_sets(const ir::Program& prog,
+                                                        const CallGraph& cg) {
+    std::map<std::string, std::set<int>> out;
+    for (const auto* r : prog.routines()) {
+        auto& set = out[r->name];
+        if (r->is_foreign()) {
+            if (r->foreign.opaque) {
+                for (std::size_t i = 0; i < r->dummies.size(); ++i) {
+                    set.insert(static_cast<int>(i));
+                }
+            } else {
+                set.insert(r->foreign.writes_args.begin(), r->foreign.writes_args.end());
+            }
+            continue;
+        }
+        const AccessInfo info = collect_accesses(r->body);
+        for (std::size_t i = 0; i < r->dummies.size(); ++i) {
+            const std::string& d = r->dummies[i];
+            const bool written =
+                info.scalar_written(d) ||
+                std::any_of(info.arrays.begin(), info.arrays.end(), [&](const ArrayAccess& a) {
+                    return a.is_write && a.ref->name == d;
+                });
+            if (written) set.insert(static_cast<int>(i));
+        }
+    }
+    bool changed = true;
+    int guard = 0;
+    while (changed && ++guard < 64) {
+        changed = false;
+        for (const auto& site : cg.call_sites()) {
+            if (!site.callee || !site.args) continue;
+            const auto& callee_writes = out[site.callee->name];
+            auto& caller_writes = out[site.caller->name];
+            for (int k : callee_writes) {
+                if (k < 0 || static_cast<std::size_t>(k) >= site.args->size()) continue;
+                const ir::Expr& actual = *(*site.args)[static_cast<std::size_t>(k)];
+                if (actual.kind() != ir::ExprKind::VarRef) continue;
+                const std::string& name = static_cast<const ir::VarRef&>(actual).name;
+                for (std::size_t i = 0; i < site.caller->dummies.size(); ++i) {
+                    if (site.caller->dummies[i] == name &&
+                        caller_writes.insert(static_cast<int>(i)).second) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+/// Scalar names the routine's calls may write (actual VarRef arguments in
+/// written positions).
+std::set<std::string> call_written_scalars(const ir::Routine& r, const CallGraph& cg,
+                                           const std::map<std::string, std::set<int>>& writes) {
+    std::set<std::string> out;
+    for (const auto* site : cg.sites_of(r)) {
+        if (!site->args) continue;
+        const std::set<int>* callee_writes = nullptr;
+        if (site->callee) {
+            auto it = writes.find(site->callee->name);
+            if (it != writes.end()) callee_writes = &it->second;
+        }
+        for (std::size_t k = 0; k < site->args->size(); ++k) {
+            const ir::Expr& actual = *(*site->args)[k];
+            if (actual.kind() != ir::ExprKind::VarRef) continue;
+            // Unknown callee: conservatively writable.
+            const bool writable =
+                !callee_writes || callee_writes->contains(static_cast<int>(k));
+            if (writable) out.insert(static_cast<const ir::VarRef&>(actual).name);
+        }
+    }
+    return out;
+}
+
+/// Local constants: PARAMETERs plus scalars assigned exactly once, at top
+/// level (not under IF, not in a loop), by a constant-foldable rhs, and
+/// never written by READ or CALL or any other assignment.
+void local_constants(const ir::Routine& r, const std::set<std::string>& call_clobbers,
+                     ConstMap& out) {
+    for (const auto& sym : r.symbols.symbols()) {
+        if (sym.kind == ir::SymbolKind::NamedConstant && sym.const_value) {
+            if (auto v = fold(*sym.const_value, out)) out[sym.name] = *v;
+        }
+    }
+    const AccessInfo info = collect_accesses(r.body);
+    // Iterate: folding one constant can make another rhs foldable.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& acc : info.scalars) {
+            if (!acc.is_write || out.contains(acc.name)) continue;
+            // Count all writes of this scalar.
+            int writes = 0;
+            const ScalarAccess* only = nullptr;
+            for (const auto& other : info.scalars) {
+                if (other.is_write && other.name == acc.name) {
+                    ++writes;
+                    only = &other;
+                }
+            }
+            if (writes != 1 || only->guard_depth != 0 || !only->loops.empty()) continue;
+            if (only->stmt->kind() != ir::StmtKind::Assign) continue;  // READ/DO writes excluded
+            const auto& assign = static_cast<const ir::Assign&>(*only->stmt);
+            if (assign.lhs->kind() != ir::ExprKind::VarRef) continue;
+            // Dummies can be rewritten by callees through aliasing only if
+            // passed; keep it simple: a dummy written locally once is fine,
+            // but a dummy *parameter's* incoming value is handled by the
+            // interprocedural step, so skip dummies here.
+            if (const auto* sym = r.symbols.find(acc.name); sym && sym->is_dummy) continue;
+            if (auto v = fold(*assign.rhs, out)) {
+                out[acc.name] = *v;
+                changed = true;
+            }
+        }
+    }
+    // Remove scalars that are also written by READ or passed to a call
+    // argument the callee may write.
+    const auto poisoned = [&](const std::string& name) {
+        for (const auto& acc : info.scalars) {
+            if (acc.name == name && acc.is_write && acc.stmt->kind() == ir::StmtKind::Read) {
+                return true;
+            }
+        }
+        return call_clobbers.contains(name);
+    };
+    for (auto it = out.begin(); it != out.end();) {
+        const auto* sym = r.symbols.find(it->first);
+        const bool is_param = sym && sym->kind == ir::SymbolKind::NamedConstant;
+        if (!is_param && poisoned(it->first)) {
+            it = out.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace
+
+ConstPropResult propagate_constants(const ir::Program& prog, const CallGraph& cg) {
+    ConstPropResult result;
+    const auto dummy_writes = written_dummy_sets(prog, cg);
+    for (const auto* r : prog.routines()) {
+        local_constants(*r, call_written_scalars(*r, cg, dummy_writes),
+                        result.per_routine[r->name]);
+    }
+
+    // Common members written exactly once program-wide by a constant.
+    struct CommonWrite {
+        int count = 0;
+        std::optional<std::int64_t> value;
+    };
+    std::map<std::pair<std::string, int>, CommonWrite> common_writes;
+    for (const auto* r : prog.routines()) {
+        const AccessInfo info = collect_accesses(r->body);
+        const auto& consts = result.per_routine[r->name];
+        for (const auto& acc : info.scalars) {
+            if (!acc.is_write) continue;
+            const auto* sym = r->symbols.find(acc.name);
+            if (!sym || !sym->common_block) continue;
+            auto& cw = common_writes[{*sym->common_block, sym->common_index}];
+            ++cw.count;
+            cw.value.reset();
+            if (cw.count == 1 && acc.stmt->kind() == ir::StmtKind::Assign &&
+                acc.guard_depth == 0 && acc.loops.empty()) {
+                const auto& assign = static_cast<const ir::Assign&>(*acc.stmt);
+                if (assign.lhs->kind() == ir::ExprKind::VarRef) {
+                    cw.value = fold(*assign.rhs, consts);
+                }
+            }
+        }
+    }
+    for (const auto* r : prog.routines()) {
+        auto& consts = result.per_routine[r->name];
+        for (const auto& sym : r->symbols.symbols()) {
+            if (!sym.common_block || sym.is_array()) continue;
+            auto it = common_writes.find({*sym.common_block, sym.common_index});
+            if (it != common_writes.end() && it->second.count == 1 && it->second.value) {
+                consts.emplace(sym.name, *it->second.value);
+            }
+        }
+    }
+
+    // Top-down dummy-argument propagation to fixpoint.
+    bool changed = true;
+    int guard = 0;
+    while (changed && ++guard < 64) {
+        changed = false;
+        for (const auto* callee : prog.routines()) {
+            if (callee->kind == ir::RoutineKind::Program) continue;
+            const auto sites = cg.sites_calling(callee->name);
+            if (sites.empty()) continue;
+            auto& callee_consts = result.per_routine[callee->name];
+            const auto& callee_writes = dummy_writes.at(callee->name);
+            for (std::size_t k = 0; k < callee->dummies.size(); ++k) {
+                const std::string& dummy = callee->dummies[k];
+                if (callee_consts.contains(dummy)) continue;
+                // The dummy must not be written by the callee (transitively).
+                if (callee_writes.contains(static_cast<int>(k))) continue;
+                std::optional<std::int64_t> agreed;
+                bool all_const = true;
+                for (const auto* site : sites) {
+                    if (!site->args || k >= site->args->size()) {
+                        all_const = false;
+                        break;
+                    }
+                    const auto& caller_consts = result.per_routine[site->caller->name];
+                    auto v = fold(*(*site->args)[k], caller_consts);
+                    if (!v || (agreed && *agreed != *v)) {
+                        all_const = false;
+                        break;
+                    }
+                    agreed = v;
+                }
+                if (all_const && agreed) {
+                    callee_consts.emplace(dummy, *agreed);
+                    changed = true;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace ap::analysis

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analysis/callgraph.hpp"
+#include "ir/program.hpp"
+
+namespace ap::analysis {
+
+/// Known integer constants of one routine: PARAMETER names, provably
+/// single-assigned constant scalars, constant dummy arguments, and
+/// constant common-block members.
+using ConstMap = std::map<std::string, std::int64_t>;
+
+struct ConstPropResult {
+    std::map<std::string, ConstMap> per_routine;  ///< keyed by routine name
+
+    [[nodiscard]] const ConstMap& of(const std::string& routine) const {
+        static const ConstMap empty;
+        auto it = per_routine.find(routine);
+        return it == per_routine.end() ? empty : it->second;
+    }
+    /// Total facts discovered (for reporting).
+    [[nodiscard]] std::size_t total() const {
+        std::size_t n = 0;
+        for (const auto& [k, v] : per_routine) n += v.size();
+        return n;
+    }
+};
+
+/// Interprocedural constant propagation (the paper's "interprocedural
+/// constant propagation" pass of Figures 2-3):
+///  1. local: PARAMETERs and top-level single-assignment constants;
+///  2. top-down over the call graph: a dummy argument is constant when
+///     every call site passes the same foldable constant;
+///  3. common members written exactly once program-wide with a constant.
+/// Runs to fixpoint.
+[[nodiscard]] ConstPropResult propagate_constants(const ir::Program& prog, const CallGraph& cg);
+
+}  // namespace ap::analysis

@@ -1,0 +1,120 @@
+#include "analysis/gsa.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ap::analysis {
+
+namespace {
+
+class GsaBuilder {
+public:
+    explicit GsaBuilder(GsaInfo& out) : out_(out) {}
+
+    /// Returns the set of scalars defined in the block (used by the
+    /// caller to count gamma merges at IF joins).
+    std::set<std::string> walk(const ir::Block& b) {
+        std::set<std::string> defined;
+        for (const auto& sp : b) {
+            const ir::Stmt& s = *sp;
+            switch (s.kind()) {
+                case ir::StmtKind::Assign: {
+                    const auto& a = static_cast<const ir::Assign&>(s);
+                    if (a.lhs->kind() == ir::ExprKind::VarRef) {
+                        record(static_cast<const ir::VarRef&>(*a.lhs).name, s);
+                        defined.insert(static_cast<const ir::VarRef&>(*a.lhs).name);
+                    }
+                    break;
+                }
+                case ir::StmtKind::Read: {
+                    const auto& r = static_cast<const ir::ReadStmt&>(s);
+                    for (const auto& t : r.targets) {
+                        if (t->kind() == ir::ExprKind::VarRef) {
+                            record(static_cast<const ir::VarRef&>(*t).name, s);
+                            defined.insert(static_cast<const ir::VarRef&>(*t).name);
+                        }
+                    }
+                    break;
+                }
+                case ir::StmtKind::If: {
+                    const auto& i = static_cast<const ir::IfStmt&>(s);
+                    guards_.push_back(i.cond.get());
+                    polarity_.push_back(true);
+                    auto then_defs = walk(i.then_block);
+                    polarity_.back() = false;
+                    auto else_defs = walk(i.else_block);
+                    guards_.pop_back();
+                    polarity_.pop_back();
+                    // One gamma per variable defined in either branch.
+                    std::set<std::string> merged = then_defs;
+                    merged.insert(else_defs.begin(), else_defs.end());
+                    out_.gamma_count += merged.size();
+                    defined.insert(merged.begin(), merged.end());
+                    break;
+                }
+                case ir::StmtKind::Do: {
+                    const auto& d = static_cast<const ir::DoLoop&>(s);
+                    record(d.var, s);
+                    ++loop_depth_;
+                    auto body_defs = walk(d.body);
+                    --loop_depth_;
+                    // Loop-carried merges: one mu per variable defined in
+                    // the body (counted as a gamma for cost purposes).
+                    out_.gamma_count += body_defs.size();
+                    defined.insert(body_defs.begin(), body_defs.end());
+                    defined.insert(d.var);
+                    break;
+                }
+                default:
+                    break;
+            }
+        }
+        return defined;
+    }
+
+private:
+    void record(const std::string& var, const ir::Stmt& s) {
+        GuardedDef def;
+        def.var = var;
+        def.stmt = &s;
+        def.guards = guards_;
+        def.polarity = polarity_;
+        def.in_loop = loop_depth_ > 0;
+        out_.gate_count += guards_.size();
+        out_.defs.push_back(std::move(def));
+    }
+
+    GsaInfo& out_;
+    std::vector<const ir::Expr*> guards_;
+    std::vector<bool> polarity_;
+    int loop_depth_ = 0;
+};
+
+}  // namespace
+
+std::vector<const GuardedDef*> GsaInfo::defs_of(const std::string& var) const {
+    std::vector<const GuardedDef*> out;
+    for (const auto& d : defs) {
+        if (d.var == var) out.push_back(&d);
+    }
+    return out;
+}
+
+std::size_t GsaInfo::context_count(const std::string& var) const {
+    std::set<std::vector<const ir::Expr*>> contexts;
+    for (const auto& d : defs) {
+        if (d.var == var) contexts.insert(d.guards);
+    }
+    return contexts.size();
+}
+
+GsaInfo build_gsa(const ir::Block& body) {
+    GsaInfo info;
+    GsaBuilder b(info);
+    b.walk(body);
+    return info;
+}
+
+GsaInfo build_gsa(const ir::Routine& r) { return build_gsa(r.body); }
+
+}  // namespace ap::analysis

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ap::analysis {
+
+/// A scalar definition with the conjunction of branch conditions guarding
+/// it — the "gate" of Gated Single Assignment form. `polarity[k]` is
+/// false when the definition sits in the ELSE branch of `guards[k]`.
+struct GuardedDef {
+    std::string var;
+    const ir::Stmt* stmt = nullptr;
+    std::vector<const ir::Expr*> guards;  ///< enclosing IF conditions, outer→inner
+    std::vector<bool> polarity;
+    bool in_loop = false;  ///< defined inside a DO within the region
+};
+
+/// Result of the GSA translation pass over one routine (or region). The
+/// paper (§2.1) notes that analyses using GSA/Guarded Array Regions
+/// multiply their work with every user-selectable conditional; gates and
+/// gammas quantify that multiplication.
+struct GsaInfo {
+    std::vector<GuardedDef> defs;
+    /// One gamma (merge) node per (IF, variable-defined-in-either-branch).
+    std::size_t gamma_count = 0;
+    /// Total guard attachments across defs — the gate count.
+    std::size_t gate_count = 0;
+
+    [[nodiscard]] std::vector<const GuardedDef*> defs_of(const std::string& var) const;
+    /// Number of distinct guard contexts under which `var` is defined —
+    /// the multiplier conditional analysis pays for this variable.
+    [[nodiscard]] std::size_t context_count(const std::string& var) const;
+};
+
+/// Builds guarded-definition form for a statement region.
+[[nodiscard]] GsaInfo build_gsa(const ir::Block& body);
+[[nodiscard]] GsaInfo build_gsa(const ir::Routine& r);
+
+}  // namespace ap::analysis

@@ -1,0 +1,170 @@
+#include "analysis/induction.hpp"
+
+#include "ir/visit.hpp"
+
+#include <optional>
+
+#include "analysis/access.hpp"
+#include "analysis/rewrite.hpp"
+#include "symbolic/linear.hpp"
+
+namespace ap::analysis {
+
+namespace {
+
+/// The increment statement `K = K + c` (or `K = c + K`, `K = K - c`),
+/// with c returned as an owned expression (negated for Sub).
+struct Increment {
+    std::string var;
+    ir::ExprPtr amount;
+    std::size_t body_index;  ///< top-level position in the loop body
+};
+
+std::optional<Increment> match_increment(const ir::Stmt& s, std::size_t index) {
+    if (s.kind() != ir::StmtKind::Assign) return std::nullopt;
+    const auto& a = static_cast<const ir::Assign&>(s);
+    if (a.lhs->kind() != ir::ExprKind::VarRef) return std::nullopt;
+    const std::string& name = static_cast<const ir::VarRef&>(*a.lhs).name;
+    if (a.rhs->kind() != ir::ExprKind::Binary) return std::nullopt;
+    const auto& b = static_cast<const ir::Binary&>(*a.rhs);
+    auto is_self = [&](const ir::Expr& e) {
+        return e.kind() == ir::ExprKind::VarRef && static_cast<const ir::VarRef&>(e).name == name;
+    };
+    auto mentions_self = [&](const ir::Expr& e) {
+        bool found = false;
+        ir::for_each_expr(e, [&](const ir::Expr& x) {
+            if (is_self(x)) found = true;
+        });
+        return found;
+    };
+    if (b.op == ir::BinaryOp::Add) {
+        if (is_self(*b.lhs) && !mentions_self(*b.rhs)) {
+            return Increment{name, b.rhs->clone(), index};
+        }
+        if (is_self(*b.rhs) && !mentions_self(*b.lhs)) {
+            return Increment{name, b.lhs->clone(), index};
+        }
+    } else if (b.op == ir::BinaryOp::Sub) {
+        if (is_self(*b.lhs) && !mentions_self(*b.rhs)) {
+            return Increment{name, ir::make_unary(ir::UnaryOp::Neg, b.rhs->clone()), index};
+        }
+    }
+    return std::nullopt;
+}
+
+/// True when `e` only reads symbols that are not written anywhere in the
+/// loop body (so it is invariant across iterations).
+bool loop_invariant(const ir::Expr& e, const AccessInfo& body_info) {
+    bool invariant = true;
+    ir::for_each_expr(e, [&](const ir::Expr& x) {
+        if (x.kind() == ir::ExprKind::VarRef) {
+            if (body_info.scalar_written(static_cast<const ir::VarRef&>(x).name)) {
+                invariant = false;
+            }
+        } else if (x.kind() == ir::ExprKind::ArrayRef || x.kind() == ir::ExprKind::Call) {
+            invariant = false;  // conservatively
+        }
+    });
+    return invariant;
+}
+
+int count_scalar_writes(const AccessInfo& info, const std::string& name) {
+    int n = 0;
+    for (const auto& a : info.scalars) {
+        if (a.is_write && a.name == name) ++n;
+    }
+    return n;
+}
+
+/// Builds `base_offset + amount * (I - LO + extra)` as an IR expression.
+ir::ExprPtr closed_form(const std::string& var, const ir::Expr& amount, const std::string& loop_var,
+                        const ir::Expr& lo, int extra) {
+    ir::ExprPtr iterations = ir::sub(ir::make_var(loop_var), lo.clone());
+    if (extra != 0) iterations = ir::add(std::move(iterations), ir::make_int(extra));
+    return ir::add(ir::make_var(var), ir::mul(amount.clone(), std::move(iterations)));
+}
+
+bool try_substitute_one(ir::Block& parent, std::size_t index, std::vector<std::string>& done) {
+    auto& loop = static_cast<ir::DoLoop&>(*parent[index]);
+    // Unit positive step only.
+    if (loop.step->kind() != ir::ExprKind::IntConst ||
+        static_cast<const ir::IntConst&>(*loop.step).value != 1) {
+        return false;
+    }
+    const AccessInfo info = collect_accesses(loop.body);
+
+    for (std::size_t i = 0; i < loop.body.size(); ++i) {
+        auto inc = match_increment(*loop.body[i], i);
+        if (!inc) continue;
+        if (inc->var == loop.var) continue;
+        if (count_scalar_writes(info, inc->var) != 1) continue;
+        if (!loop_invariant(*inc->amount, info)) continue;
+        // The loop bounds must not depend on K either.
+        bool bounds_use_k = false;
+        for (const ir::Expr* bound : {loop.lo.get(), loop.hi.get()}) {
+            ir::for_each_expr(*bound, [&](const ir::Expr& x) {
+                if (x.kind() == ir::ExprKind::VarRef &&
+                    static_cast<const ir::VarRef&>(x).name == inc->var) {
+                    bounds_use_k = true;
+                }
+            });
+        }
+        if (bounds_use_k) continue;
+
+        // Rewrite uses before/after the increment with their closed forms.
+        auto before = closed_form(inc->var, *inc->amount, loop.var, *loop.lo, 0);
+        auto after = closed_form(inc->var, *inc->amount, loop.var, *loop.lo, 1);
+        for (std::size_t j = 0; j < loop.body.size(); ++j) {
+            if (j == inc->body_index) continue;
+            const ir::Expr* repl = (j < inc->body_index) ? before.get() : after.get();
+            std::map<std::string, const ir::Expr*> map{{inc->var, repl}};
+            ir::Block single;
+            single.push_back(std::move(loop.body[j]));
+            substitute_vars_in_block(single, map);
+            loop.body[j] = std::move(single[0]);
+        }
+        // Remove the increment, add the post-loop fixup
+        // K = K + c * (HI - LO + 1).
+        auto trip = ir::add(ir::sub(loop.hi->clone(), loop.lo->clone()), ir::make_int(1));
+        auto fixup = ir::make_assign(
+            ir::make_var(inc->var),
+            ir::add(ir::make_var(inc->var), ir::mul(inc->amount->clone(), std::move(trip))));
+        loop.body.erase(loop.body.begin() + static_cast<std::ptrdiff_t>(inc->body_index));
+        parent.insert(parent.begin() + static_cast<std::ptrdiff_t>(index) + 1, std::move(fixup));
+        done.push_back(inc->var);
+        return true;
+    }
+    return false;
+}
+
+void walk_blocks_postorder(ir::Block& b, int& total) {
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        ir::Stmt& s = *b[i];
+        if (s.kind() == ir::StmtKind::If) {
+            auto& ifs = static_cast<ir::IfStmt&>(s);
+            walk_blocks_postorder(ifs.then_block, total);
+            walk_blocks_postorder(ifs.else_block, total);
+        } else if (s.kind() == ir::StmtKind::Do) {
+            auto& d = static_cast<ir::DoLoop&>(s);
+            walk_blocks_postorder(d.body, total);
+            total += static_cast<int>(substitute_inductions(b, i).size());
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<std::string> substitute_inductions(ir::Block& parent, std::size_t index) {
+    std::vector<std::string> done;
+    while (try_substitute_one(parent, index, done)) {
+    }
+    return done;
+}
+
+int substitute_inductions_in_routine(ir::Routine& r) {
+    int total = 0;
+    walk_blocks_postorder(r.body, total);
+    return total;
+}
+
+}  // namespace ap::analysis

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ap::analysis {
+
+/// Induction-variable substitution (the paper's "induction variable
+/// substitution" pass). Recognizes the classic pattern
+///
+///     K = <init>           ! before the loop
+///     DO I = LO, HI        ! unit step
+///       ...                ! uses of K: closed form K + c*(I-LO)
+///       K = K + c          ! the only write of K in the body, top level
+///       ...                ! uses of K: closed form K + c*(I-LO+1)
+///     END DO
+///
+/// and rewrites every other use of K in the body to its closed form in
+/// terms of the value of K on loop entry, removes the increment, and
+/// inserts `K = K + c*(HI-LO+1)` after the loop. The increment amount c
+/// may be any loop-invariant expression. This turns subscripts like
+/// A(K) into affine functions of I, enabling the data-dependence test.
+///
+/// `parent[index]` must be a DoLoop. Returns the substituted variable
+/// names (possibly several, handled one at a time to fixpoint).
+std::vector<std::string> substitute_inductions(ir::Block& parent, std::size_t index);
+
+/// Applies substitution to every loop of the routine, innermost first, so
+/// that an inner loop's post-loop fixup becomes an outer loop's
+/// recognizable increment. Returns the total number of substitutions.
+int substitute_inductions_in_routine(ir::Routine& r);
+
+}  // namespace ap::analysis

@@ -1,0 +1,244 @@
+#include "analysis/inline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/access.hpp"
+#include "analysis/rewrite.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::analysis {
+
+namespace {
+
+struct Inliner {
+    ir::Program& prog;
+    const InlineOptions& options;
+    InlineResult result;
+    int unique_counter = 0;
+
+    void run() {
+        for (int round = 0; round < options.max_rounds; ++round) {
+            bool any = false;
+            for (auto* r : prog.routines()) {
+                if (r->is_foreign()) continue;
+                any |= process_block(*r, r->body, /*in_loop=*/false);
+            }
+            if (!any) break;
+        }
+    }
+
+    bool process_block(ir::Routine& caller, ir::Block& block, bool in_loop) {
+        bool any = false;
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            ir::Stmt& s = *block[i];
+            switch (s.kind()) {
+                case ir::StmtKind::If: {
+                    auto& ifs = static_cast<ir::IfStmt&>(s);
+                    any |= process_block(caller, ifs.then_block, in_loop);
+                    any |= process_block(caller, ifs.else_block, in_loop);
+                    break;
+                }
+                case ir::StmtKind::Do: {
+                    auto& d = static_cast<ir::DoLoop&>(s);
+                    any |= process_block(caller, d.body, /*in_loop=*/true);
+                    break;
+                }
+                case ir::StmtKind::Call: {
+                    if (options.only_inside_loops && !in_loop) break;
+                    auto& call = static_cast<ir::CallStmt&>(s);
+                    if (try_inline(caller, block, i, call)) {
+                        any = true;
+                        --i;  // re-examine spliced statements
+                    }
+                    break;
+                }
+                default:
+                    break;
+            }
+        }
+        return any;
+    }
+
+    void refuse(const std::string& why) {
+        ++result.refused;
+        result.refusal_reasons.push_back(why);
+    }
+
+    bool try_inline(ir::Routine& caller, ir::Block& block, std::size_t index,
+                    const ir::CallStmt& call) {
+        const ir::Routine* callee = prog.find(call.name);
+        if (!callee || callee == &caller) return false;
+        if (callee->is_foreign()) {
+            refuse(call.name + ": foreign routine");
+            return false;
+        }
+        if (callee->kind != ir::RoutineKind::Subroutine) return false;
+        if (ir::count_statements(*callee) > options.max_callee_statements) {
+            refuse(call.name + ": body too large");
+            return false;
+        }
+        if (call.args.size() != callee->dummies.size()) {
+            refuse(call.name + ": argument count mismatch");
+            return false;
+        }
+        // RETURN only as final statement; no I/O restrictions needed for
+        // correctness (PRINT order is preserved by inlining), but nested
+        // calls are fine (later rounds handle them).
+        // Non-final RETURN anywhere (including nested) is refused.
+        bool bad_return = false;
+        ir::for_each_stmt(callee->body, [&](const ir::Stmt& st) {
+            if (st.kind() == ir::StmtKind::Return && &st != callee->body.back().get()) {
+                bad_return = true;
+            }
+            if (st.kind() == ir::StmtKind::Stop) bad_return = true;
+        });
+        if (bad_return) {
+            refuse(call.name + ": early RETURN or STOP");
+            return false;
+        }
+
+        // --- Build binding maps -------------------------------------------
+        // First: scalar-dummy substitution map (dummy -> actual expr) used
+        // both for subscripts and for checking array-shape equality.
+        std::map<std::string, const ir::Expr*> scalar_binding;
+        std::map<std::string, std::string> rename;  // callee name -> caller name
+        ir::Block preamble;
+        const AccessInfo callee_info = collect_accesses(callee->body);
+
+        for (std::size_t k = 0; k < callee->dummies.size(); ++k) {
+            const std::string& dummy = callee->dummies[k];
+            const ir::Symbol* dsym = callee->symbols.find(dummy);
+            const ir::Expr& actual = *call.args[k];
+            if (dsym && dsym->is_array()) {
+                if (actual.kind() != ir::ExprKind::VarRef) {
+                    refuse(call.name + ": array section actual for " + dummy);
+                    return false;
+                }
+                const std::string aname = static_cast<const ir::VarRef&>(actual).name;
+                const ir::Symbol* asym = caller.symbols.find(aname);
+                if (!asym || !asym->is_array()) {
+                    refuse(call.name + ": actual " + aname + " is not an array");
+                    return false;
+                }
+                rename[dummy] = aname;
+            } else {
+                const bool written = callee_info.scalar_written(dummy);
+                if (actual.kind() == ir::ExprKind::VarRef) {
+                    rename[dummy] = static_cast<const ir::VarRef&>(actual).name;
+                } else if (!written) {
+                    scalar_binding[dummy] = &actual;
+                } else {
+                    refuse(call.name + ": expression actual for written dummy " + dummy);
+                    return false;
+                }
+            }
+        }
+
+        // Verify array shape equality after scalar binding/renaming.
+        for (std::size_t k = 0; k < callee->dummies.size(); ++k) {
+            const ir::Symbol* dsym = callee->symbols.find(callee->dummies[k]);
+            if (!dsym || !dsym->is_array()) continue;
+            const std::string& aname = rename[callee->dummies[k]];
+            const ir::Symbol* asym = caller.symbols.find(aname);
+            if (static_cast<std::size_t>(asym->rank()) != dsym->dims.size()) {
+                refuse(call.name + ": reshaped array dummy " + dsym->name);
+                return false;
+            }
+            for (std::size_t d = 0; d < dsym->dims.size(); ++d) {
+                const auto& dd = dsym->dims[d];
+                const auto& ad = asym->dims[d];
+                if (dd.assumed_size() || ad.assumed_size()) continue;  // trailing '*' is ok
+                auto translated_hi = bind_expr(*dd.hi, scalar_binding, rename);
+                auto translated_lo = bind_expr(*dd.lo, scalar_binding, rename);
+                if (!translated_hi->equals(*ad.hi) || !translated_lo->equals(*ad.lo)) {
+                    refuse(call.name + ": shape mismatch on dummy " + dsym->name);
+                    return false;
+                }
+            }
+        }
+
+        // --- Rename callee locals ------------------------------------------
+        const int uid = ++unique_counter;
+        for (const auto& sym : callee->symbols.symbols()) {
+            if (rename.contains(sym.name) || scalar_binding.contains(sym.name)) continue;
+            if (sym.common_block) {
+                // Merge by name: declare in caller if missing.
+                if (!caller.symbols.contains(sym.name)) {
+                    caller.symbols.declare(sym);
+                } else {
+                    const auto* existing = caller.symbols.find(sym.name);
+                    if (existing->common_block != sym.common_block) {
+                        refuse(call.name + ": common/name clash on " + sym.name);
+                        return false;
+                    }
+                }
+                continue;
+            }
+            std::string fresh = sym.name + "_I" + std::to_string(uid);
+            ir::Symbol copy = sym;
+            copy.name = fresh;
+            copy.is_dummy = false;
+            // The copied symbol's dims may reference callee names; rewrite
+            // them below once the full rename map is known.
+            caller.symbols.declare(std::move(copy));
+            rename[sym.name] = std::move(fresh);
+        }
+
+        // Fix renamed symbols' dimension expressions.
+        for (const auto& [old_name, new_name] : rename) {
+            ir::Symbol* sym = caller.symbols.find(new_name);
+            if (!sym || !sym->is_array()) continue;
+            for (auto& d : sym->dims) {
+                if (d.lo) d.lo = bind_expr(*d.lo, scalar_binding, rename);
+                if (d.hi) d.hi = bind_expr(*d.hi, scalar_binding, rename);
+            }
+        }
+
+        // --- Clone, rewrite, splice ---------------------------------------
+        ir::Block body = ir::clone_block(callee->body);
+        if (!body.empty() && body.back()->kind() == ir::StmtKind::Return) body.pop_back();
+        // Inlined copies keep their analyses but are not *the* target
+        // loops: the original routine still carries the hand annotation,
+        // so Figure-5 counts each source loop exactly once.
+        ir::for_each_stmt(body, [](ir::Stmt& st) {
+            if (st.kind() == ir::StmtKind::Do) static_cast<ir::DoLoop&>(st).is_target = false;
+        });
+        rename_symbols_in_block(body, rename);
+        substitute_vars_in_block(body, scalar_binding);
+
+        block.erase(block.begin() + static_cast<std::ptrdiff_t>(index));
+        auto insert_at = block.begin() + static_cast<std::ptrdiff_t>(index);
+        for (auto& pre : preamble) {
+            insert_at = std::next(block.insert(insert_at, std::move(pre)));
+        }
+        for (auto& st : body) {
+            insert_at = std::next(block.insert(insert_at, std::move(st)));
+        }
+        ++result.inlined;
+        return true;
+    }
+
+    /// Clones `e` applying scalar bindings and renames.
+    ir::ExprPtr bind_expr(const ir::Expr& e, const std::map<std::string, const ir::Expr*>& binding,
+                          const std::map<std::string, std::string>& rename) {
+        auto cloned = substitute_vars(e, binding);
+        ir::Block tmp;
+        tmp.push_back(ir::make_assign(ir::make_var("__T"), std::move(cloned)));
+        rename_symbols_in_block(tmp, rename);
+        auto& assign = static_cast<ir::Assign&>(*tmp[0]);
+        return std::move(assign.rhs);
+    }
+};
+
+}  // namespace
+
+InlineResult inline_calls(ir::Program& prog, const InlineOptions& options) {
+    Inliner inliner{prog, options, {}, 0};
+    inliner.run();
+    ir::number_loops(prog);
+    return inliner.result;
+}
+
+}  // namespace ap::analysis

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ap::analysis {
+
+/// Policy knobs for inline expansion (the paper's "inline expansion"
+/// pass). Polaris inlines to expose array subscripts to the caller's
+/// loop analysis; the cost shows up in Figures 2-3.
+struct InlineOptions {
+    std::size_t max_callee_statements = 80;  ///< refuse bodies larger than this
+    int max_rounds = 4;                      ///< repeated passes (call chains)
+    bool only_inside_loops = true;           ///< only inline calls under a DO
+};
+
+struct InlineResult {
+    int inlined = 0;
+    int refused = 0;
+    std::vector<std::string> refusal_reasons;  ///< one entry per refusal
+};
+
+/// Inlines eligible CALL statements throughout the program, in place.
+/// A call is eligible when the callee:
+///  - is a Fortran SUBROUTINE with a known body (not foreign, no I/O),
+///  - has no RETURN except as its final statement,
+///  - is small enough, and
+///  - every array dummy binds to a whole caller array of structurally
+///    identical shape after dummy substitution (reshaped or sectioned
+///    actuals are refused — such patterns are exactly the paper's §2.3
+///    access-representation hazard and are left to the region summaries).
+/// Callee locals are renamed `NAME_I<k>` and declared in the caller;
+/// callee COMMON members merge with the caller's declarations by name.
+InlineResult inline_calls(ir::Program& prog, const InlineOptions& options = {});
+
+}  // namespace ap::analysis

@@ -1,0 +1,290 @@
+#include "analysis/privatization.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "analysis/ranges.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::analysis {
+
+namespace {
+
+using symbolic::LinearForm;
+using symbolic::Prover;
+
+/// Names read anywhere in the routine outside the subtree of `loop`.
+std::set<std::string> reads_outside_loop(const ir::Routine& routine, const ir::DoLoop& loop) {
+    std::set<std::string> out;
+    const AccessInfo whole = collect_accesses(routine.body);
+    auto inside = [&](const std::vector<const ir::DoLoop*>& loops, const ir::Stmt* stmt) {
+        if (stmt == &loop) return true;
+        return std::find(loops.begin(), loops.end(), &loop) != loops.end();
+    };
+    for (const auto& a : whole.scalars) {
+        if (!a.is_write && !inside(a.loops, a.stmt)) out.insert(a.name);
+    }
+    for (const auto& a : whole.arrays) {
+        if (!a.is_write && !inside(a.loops, a.stmt)) out.insert(a.ref->name);
+    }
+    // Arrays passed to calls outside the loop may be read there.
+    for (const auto* call : whole.calls) {
+        bool call_inside = false;
+        for (const auto& a : whole.scalars) {
+            if (a.stmt == static_cast<const ir::Stmt*>(call)) {
+                call_inside = inside(a.loops, a.stmt);
+                break;
+            }
+        }
+        if (call_inside) continue;
+        for (const auto& arg : call->args) {
+            if (arg->kind() == ir::ExprKind::VarRef) {
+                out.insert(static_cast<const ir::VarRef&>(*arg).name);
+            } else if (arg->kind() == ir::ExprKind::ArrayRef) {
+                out.insert(static_cast<const ir::ArrayRef&>(*arg).name);
+            }
+        }
+    }
+    return out;
+}
+
+bool is_nested_loop_index(const std::string& name, const AccessInfo& info) {
+    // Every access of `name` is either the DO statement of a loop whose
+    // index is `name`, or lies inside such a loop.
+    bool any = false;
+    for (const auto& a : info.scalars) {
+        if (a.name != name) continue;
+        any = true;
+        if (a.stmt->kind() == ir::StmtKind::Do &&
+            static_cast<const ir::DoLoop&>(*a.stmt).var == name) {
+            continue;
+        }
+        const bool inside = std::any_of(a.loops.begin(), a.loops.end(),
+                                        [&](const ir::DoLoop* l) { return l->var == name; });
+        if (!inside) return false;
+    }
+    return any;
+}
+
+struct DimBounds {
+    std::optional<std::int64_t> lo;
+    std::optional<std::int64_t> hi;
+};
+
+}  // namespace
+
+bool PrivatizationResult::is_private(const std::string& name) const {
+    return std::find(scalars.begin(), scalars.end(), name) != scalars.end() ||
+           std::find(arrays.begin(), arrays.end(), name) != arrays.end();
+}
+
+PrivatizationResult privatize(const ir::DoLoop& loop, const ir::Routine& routine,
+                              const symbolic::RangeEnv& env, const ConstMap& consts) {
+    PrivatizationResult result;
+    const AccessInfo info = collect_accesses(loop.body);
+    const std::set<std::string> live_out = reads_outside_loop(routine, loop);
+
+    // Bounds of a subscript form at one access: caller facts plus the
+    // ranges of exactly the loops enclosing *that* access. The candidate
+    // loop's own index stays symbolic — privatization is a per-iteration
+    // property, so coverage that ranges over the candidate index would be
+    // unsound.
+    auto access_bounds = [&](const ArrayAccess& acc, const symbolic::LinearForm& f) {
+        symbolic::RangeEnv e = env;
+        e.erase(loop.var);
+        for (const auto* l : acc.loops) push_loop_range(e, *l, consts);
+        Prover p(e);
+        return std::pair{p.lower_bound(f), p.upper_bound(f)};
+    };
+
+    auto is_escaping = [&](const std::string& name) -> std::optional<std::string> {
+        const auto* sym = routine.symbols.find(name);
+        if (sym && sym->is_dummy) return "dummy argument (may be live in caller)";
+        if (sym && sym->common_block) return "in COMMON /" + *sym->common_block + "/";
+        if (live_out.contains(name)) return "read after the loop";
+        return std::nullopt;
+    };
+
+    // ---- scalars ----------------------------------------------------------
+    std::set<std::string> scalar_names;
+    for (const auto& a : info.scalars) {
+        if (a.is_write && a.name != loop.var) scalar_names.insert(a.name);
+    }
+    for (const auto& name : scalar_names) {
+        if (is_nested_loop_index(name, info)) {
+            result.scalars.push_back(name);
+            continue;
+        }
+        if (auto why = is_escaping(name)) {
+            result.failures.push_back({name, *why});
+            continue;
+        }
+        // Every read must be dominated by a same-iteration write: an
+        // earlier write whose loop chain and guard context are prefixes
+        // of the read's (so whenever the read executes, the write has
+        // already executed in this iteration of the candidate loop).
+        bool covered = true;
+        for (const auto& read : info.scalars) {
+            if (read.name != name || read.is_write) continue;
+            const bool has_dominating_write = std::any_of(
+                info.scalars.begin(), info.scalars.end(), [&](const ScalarAccess& w) {
+                    if (!w.is_write || w.name != name) return false;
+                    if (w.stmt->kind() != ir::StmtKind::Assign &&
+                        w.stmt->kind() != ir::StmtKind::Do) {
+                        return false;  // READ/CALL writes are not reliable defs here
+                    }
+                    if (w.stmt_index >= read.stmt_index) return false;
+                    if (w.loops.size() > read.loops.size() ||
+                        !std::equal(w.loops.begin(), w.loops.end(), read.loops.begin())) {
+                        return false;
+                    }
+                    return guard_prefix(w.guard_path, read.guard_path);
+                });
+            if (!has_dominating_write) {
+                covered = false;
+                break;
+            }
+        }
+        if (covered) {
+            result.scalars.push_back(name);
+        } else {
+            result.failures.push_back({name, "read before guaranteed write"});
+        }
+    }
+
+    // ---- arrays ------------------------------------------------------------
+    std::set<std::string> array_names;
+    for (const auto& a : info.arrays) {
+        if (a.is_write) array_names.insert(a.ref->name);
+    }
+    for (const auto& name : array_names) {
+        // Only consider arrays that are also read in the body; a write-only
+        // array is the dependence test's business, not privatization's.
+        const bool read_inside = std::any_of(info.arrays.begin(), info.arrays.end(),
+                                             [&](const ArrayAccess& a) {
+                                                 return !a.is_write && a.ref->name == name;
+                                             });
+        if (!read_inside) continue;
+        if (auto why = is_escaping(name)) {
+            result.failures.push_back({name, *why});
+            continue;
+        }
+        std::vector<const ArrayAccess*> writes;
+        std::vector<const ArrayAccess*> reads;
+        for (const auto& a : info.arrays) {
+            if (a.ref->name != name) continue;
+            (a.is_write ? writes : reads).push_back(&a);
+        }
+        const bool writes_unguarded = std::all_of(
+            writes.begin(), writes.end(), [](const ArrayAccess* a) { return a->guard_depth == 0; });
+        if (!writes_unguarded) {
+            result.failures.push_back({name, "conditional write"});
+            continue;
+        }
+        int max_write_idx = 0, min_read_idx = 1 << 30;
+        for (const auto* w : writes) max_write_idx = std::max(max_write_idx, w->stmt_index);
+        for (const auto* r : reads) min_read_idx = std::min(min_read_idx, r->stmt_index);
+        if (max_write_idx > min_read_idx) {
+            result.failures.push_back({name, "read precedes covering write"});
+            continue;
+        }
+        // Coverage. Fast path R1: every read subscript tuple structurally
+        // equals some write subscript tuple *within the same enclosing
+        // loop chain* (same expression under different sibling loops would
+        // bind different index values and is not coverage).
+        auto equals_some_write = [&](const ArrayAccess& r) {
+            return std::any_of(writes.begin(), writes.end(), [&](const ArrayAccess* w) {
+                if (w->loops != r.loops) return false;
+                if (w->ref->subscripts.size() != r.ref->subscripts.size()) return false;
+                for (std::size_t d = 0; d < r.ref->subscripts.size(); ++d) {
+                    if (!w->ref->subscripts[d]->equals(*r.ref->subscripts[d])) return false;
+                }
+                return true;
+            });
+        };
+        const bool r1 = std::all_of(reads.begin(), reads.end(),
+                                    [&](const ArrayAccess* r) { return equals_some_write(*r); });
+        if (r1) {
+            result.arrays.push_back(name);
+            continue;
+        }
+        // R2: per-dimension interval containment, with at least one
+        // unit-stride write in a nested loop index per dimension.
+        const std::size_t rank = writes[0]->ref->subscripts.size();
+        bool covered = true;
+        std::string why = "written region does not cover reads";
+        for (std::size_t d = 0; d < rank && covered; ++d) {
+            DimBounds rr, wr;
+            bool unit_stride = false;
+            for (const auto* r : reads) {
+                if (r->ref->subscripts.size() != rank) {
+                    covered = false;
+                    why = "rank mismatch between accesses";
+                    break;
+                }
+                auto f = symbolic::to_linear(*r->ref->subscripts[d], consts);
+                if (!f.ok()) {
+                    covered = false;
+                    why = f.failure == symbolic::ConvertFailure::Indirection
+                              ? "indirect read subscript"
+                              : "non-affine read subscript";
+                    break;
+                }
+                auto [lo, hi] = access_bounds(*r, *f.form);
+                if (!lo || !hi) {
+                    covered = false;
+                    why = "unbounded read subscript range";
+                    break;
+                }
+                rr.lo = rr.lo ? std::min(*rr.lo, *lo) : *lo;
+                rr.hi = rr.hi ? std::max(*rr.hi, *hi) : *hi;
+            }
+            if (!covered) break;
+            for (const auto* w : writes) {
+                if (w->ref->subscripts.size() != rank) {
+                    covered = false;
+                    why = "rank mismatch between accesses";
+                    break;
+                }
+                auto f = symbolic::to_linear(*w->ref->subscripts[d], consts);
+                if (!f.ok()) {
+                    covered = false;
+                    why = "non-affine write subscript";
+                    break;
+                }
+                for (const auto* l : w->loops) {
+                    const std::int64_t c = f.form->coeff_of(l->var);
+                    if (c == 1 || c == -1) unit_stride = true;
+                }
+                if (f.form->is_constant()) unit_stride = true;
+                auto [lo, hi] = access_bounds(*w, *f.form);
+                if (!lo || !hi) {
+                    covered = false;
+                    why = "unbounded write subscript range";
+                    break;
+                }
+                wr.lo = wr.lo ? std::min(*wr.lo, *lo) : *lo;
+                wr.hi = wr.hi ? std::max(*wr.hi, *hi) : *hi;
+            }
+            if (!covered) break;
+            if (!unit_stride) {
+                covered = false;
+                why = "strided writes may leave gaps";
+                break;
+            }
+            if (!(wr.lo <= rr.lo && rr.hi <= wr.hi)) {
+                covered = false;
+            }
+        }
+        if (covered) {
+            result.arrays.push_back(name);
+        } else {
+            result.failures.push_back({name, why});
+        }
+    }
+    return result;
+}
+
+}  // namespace ap::analysis

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "analysis/constprop.hpp"
+#include "symbolic/range.hpp"
+
+namespace ap::analysis {
+
+/// Outcome of privatization analysis for one candidate loop (the paper's
+/// "privatization" pass, the second-largest compile-time consumer in
+/// Figures 2-3).
+struct PrivatizationResult {
+    std::vector<std::string> scalars;  ///< privatizable scalars
+    std::vector<std::string> arrays;   ///< privatizable arrays
+    /// Candidates that failed and why — drives diagnostics.
+    struct Failure {
+        std::string name;
+        std::string reason;
+    };
+    std::vector<Failure> failures;
+
+    [[nodiscard]] bool is_private(const std::string& name) const;
+};
+
+/// Decides which variables written inside `loop` can be made private to
+/// an iteration.
+///
+/// Scalar S: every read of S in the body is dominated by an unconditional
+/// same-iteration write (approximated: the first access in statement
+/// order is an unguarded write), and S is not live after the loop (not
+/// read later in the routine, not a dummy, not in COMMON).
+///
+/// Array A: all writes precede all reads (statement order), writes are
+/// unguarded, and the written region per dimension provably covers the
+/// read region under `env` (which must already contain the ranges of the
+/// enclosing and inner loop indices). Same liveness rule.
+///
+/// `routine_body_after_loop_reads` lists names read after the loop in the
+/// routine (the live-out approximation computed by the caller).
+[[nodiscard]] PrivatizationResult privatize(const ir::DoLoop& loop, const ir::Routine& routine,
+                                            const symbolic::RangeEnv& env, const ConstMap& consts);
+
+}  // namespace ap::analysis

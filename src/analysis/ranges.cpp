@@ -1,0 +1,110 @@
+#include "analysis/ranges.hpp"
+
+#include "analysis/access.hpp"
+
+namespace ap::analysis {
+
+namespace {
+
+using symbolic::LinearForm;
+using symbolic::SymRange;
+
+/// If `s` is `IF (V op k) STOP|RETURN` or `IF (V op k) V = k'`, returns
+/// the bound it implies on V afterwards.
+struct Clamp {
+    std::string var;
+    std::optional<LinearForm> lo;
+    std::optional<LinearForm> hi;
+};
+
+std::optional<Clamp> recognize_clamp(const ir::Stmt& s, const ConstMap& consts) {
+    if (s.kind() != ir::StmtKind::If) return std::nullopt;
+    const auto& i = static_cast<const ir::IfStmt&>(s);
+    if (!i.else_block.empty() || i.then_block.size() != 1) return std::nullopt;
+    if (i.cond->kind() != ir::ExprKind::Binary) return std::nullopt;
+    const auto& cond = static_cast<const ir::Binary&>(*i.cond);
+    if (!ir::is_comparison(cond.op)) return std::nullopt;
+    if (cond.lhs->kind() != ir::ExprKind::VarRef) return std::nullopt;
+    const std::string var = static_cast<const ir::VarRef&>(*cond.lhs).name;
+    auto bound = symbolic::to_linear(*cond.rhs, consts);
+    if (!bound.ok()) return std::nullopt;
+
+    const ir::Stmt& body = *i.then_block[0];
+    const bool bails = body.kind() == ir::StmtKind::Stop || body.kind() == ir::StmtKind::Return;
+    bool clamps_to_bound = false;
+    if (body.kind() == ir::StmtKind::Assign) {
+        const auto& a = static_cast<const ir::Assign&>(body);
+        if (a.lhs->kind() == ir::ExprKind::VarRef &&
+            static_cast<const ir::VarRef&>(*a.lhs).name == var) {
+            auto rhs = symbolic::to_linear(*a.rhs, consts);
+            clamps_to_bound = rhs.ok() && rhs.form->equals(*bound.form);
+        }
+    }
+    if (!bails && !clamps_to_bound) return std::nullopt;
+
+    Clamp c;
+    c.var = var;
+    // After the guard, the condition is false (bail) or V was set to the
+    // bound (clamp): either way the negation (or equality) holds.
+    switch (cond.op) {
+        case ir::BinaryOp::Gt:  // survived V > k  =>  V <= k
+            c.hi = *bound.form;
+            break;
+        case ir::BinaryOp::Ge:  // survived V >= k => V <= k - 1 (bail); V <= k (clamp)
+            c.hi = clamps_to_bound ? *bound.form : *bound.form - LinearForm(1);
+            break;
+        case ir::BinaryOp::Lt:  // survived V < k  =>  V >= k
+            c.lo = *bound.form;
+            break;
+        case ir::BinaryOp::Le:  // survived V <= k => V >= k + 1 (bail); V >= k (clamp)
+            c.lo = clamps_to_bound ? *bound.form : *bound.form + LinearForm(1);
+            break;
+        default:
+            return std::nullopt;
+    }
+    return c;
+}
+
+}  // namespace
+
+RangeInfo analyze_ranges(const ir::Routine& r, const ConstMap& consts) {
+    RangeInfo info;
+    for (const auto& [name, value] : consts) {
+        info.env[name] = SymRange::exactly(value);
+    }
+    const AccessInfo acc = collect_accesses(r.body);
+    for (const auto& s : acc.scalars) {
+        if (s.is_write && s.stmt->kind() == ir::StmtKind::Read) {
+            info.runtime_inputs.insert(s.name);
+        }
+    }
+    // Clamp guards apply at the top level of the routine body, in order.
+    for (const auto& sp : r.body) {
+        if (auto clamp = recognize_clamp(*sp, consts)) {
+            auto& range = info.env[clamp->var];
+            if (clamp->lo) range.lo = clamp->lo;
+            if (clamp->hi) range.hi = clamp->hi;
+        }
+    }
+    // A variable that gained only one side keeps the entry (one-sided
+    // range); a READ variable with no clamp must NOT be in env at all.
+    return info;
+}
+
+void push_loop_range(symbolic::RangeEnv& env, const ir::DoLoop& loop, const ConstMap& consts) {
+    auto lo = symbolic::to_linear(*loop.lo, consts);
+    auto hi = symbolic::to_linear(*loop.hi, consts);
+    auto st = symbolic::to_linear(*loop.step, consts);
+    const bool negative_step = st.ok() && st.form->is_constant() && st.form->constant() < 0;
+    SymRange range;
+    if (negative_step) {
+        if (hi.ok()) range.lo = *hi.form;
+        if (lo.ok()) range.hi = *lo.form;
+    } else {
+        if (lo.ok()) range.lo = *lo.form;
+        if (hi.ok()) range.hi = *hi.form;
+    }
+    env[loop.var] = std::move(range);
+}
+
+}  // namespace ap::analysis

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "analysis/constprop.hpp"
+#include "symbolic/range.hpp"
+
+namespace ap::analysis {
+
+/// Routine-level range facts. Variables absent from `env` are the
+/// paper's *rangeless variables*: typically values read from the input
+/// deck at runtime (§3) with no bounding guard the compiler can see.
+struct RangeInfo {
+    symbolic::RangeEnv env;
+    std::set<std::string> runtime_inputs;  ///< READ targets (scalar)
+};
+
+/// Derives ranges for one routine:
+///  - every propagated constant c gets the exact range [c, c];
+///  - clamp guards bound READ inputs:
+///       IF (V .GT. k) STOP / RETURN   =>  V <= k
+///       IF (V .LT. k) STOP / RETURN   =>  V >= k
+///       IF (V .GT. k) V = k           =>  V <= k      (.GE./.LE. adjust by 1)
+///  - everything else written by READ stays rangeless.
+/// Loop-index ranges are layered on top by the dependence driver, per
+/// loop nest.
+[[nodiscard]] RangeInfo analyze_ranges(const ir::Routine& r, const ConstMap& consts);
+
+/// Pushes the index range of `loop` (in terms of its bound expressions)
+/// onto `env`: var in [lo, hi] for positive step, [hi, lo] for negative
+/// constant step. Non-foldable bounds insert one-sided or absent ranges.
+void push_loop_range(symbolic::RangeEnv& env, const ir::DoLoop& loop, const ConstMap& consts);
+
+}  // namespace ap::analysis

@@ -1,0 +1,202 @@
+#include "analysis/reduction.hpp"
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "ir/visit.hpp"
+
+namespace ap::analysis {
+
+namespace {
+
+bool mentions(const ir::Expr& e, const std::string& name) {
+    bool found = false;
+    ir::for_each_expr(e, [&](const ir::Expr& x) {
+        if (x.kind() == ir::ExprKind::VarRef &&
+            static_cast<const ir::VarRef&>(x).name == name) {
+            found = true;
+        }
+        if (x.kind() == ir::ExprKind::ArrayRef &&
+            static_cast<const ir::ArrayRef&>(x).name == name) {
+            found = true;
+        }
+    });
+    return found;
+}
+
+int occurrence_count(const ir::Expr& e, const std::string& name) {
+    int n = 0;
+    ir::for_each_expr(e, [&](const ir::Expr& x) {
+        if (x.kind() == ir::ExprKind::VarRef &&
+            static_cast<const ir::VarRef&>(x).name == name) {
+            ++n;
+        }
+        if (x.kind() == ir::ExprKind::ArrayRef &&
+            static_cast<const ir::ArrayRef&>(x).name == name) {
+            ++n;
+        }
+    });
+    return n;
+}
+
+struct Update {
+    ir::ReductionOp op;
+    bool is_array;
+};
+
+/// Matches one statement against the reduction-update patterns for the
+/// lhs variable. Returns the operator, or nullopt when not an update.
+std::optional<Update> match_update(const ir::Assign& a) {
+    std::string name;
+    bool is_array = false;
+    if (a.lhs->kind() == ir::ExprKind::VarRef) {
+        name = static_cast<const ir::VarRef&>(*a.lhs).name;
+    } else if (a.lhs->kind() == ir::ExprKind::ArrayRef) {
+        name = static_cast<const ir::ArrayRef&>(*a.lhs).name;
+        is_array = true;
+        // Subscripts must not involve the array itself.
+        for (const auto& s : static_cast<const ir::ArrayRef&>(*a.lhs).subscripts) {
+            if (mentions(*s, name)) return std::nullopt;
+        }
+    } else {
+        return std::nullopt;
+    }
+
+    const auto self_equals = [&](const ir::Expr& e) { return e.equals(*a.lhs); };
+
+    if (a.rhs->kind() == ir::ExprKind::Binary) {
+        const auto& b = static_cast<const ir::Binary&>(*a.rhs);
+        if (b.op == ir::BinaryOp::Add || b.op == ir::BinaryOp::Sub) {
+            // Flatten the +/- spine: S = S + e1 - e2 + e3 qualifies when
+            // exactly one addend equals S (with positive sign) and the
+            // others do not mention it.
+            std::vector<const ir::Expr*> addends;
+            std::vector<bool> positive;
+            const std::function<void(const ir::Expr&, bool)> flatten = [&](const ir::Expr& e,
+                                                                           bool pos) {
+                if (e.kind() == ir::ExprKind::Binary) {
+                    const auto& bin = static_cast<const ir::Binary&>(e);
+                    if (bin.op == ir::BinaryOp::Add || bin.op == ir::BinaryOp::Sub) {
+                        flatten(*bin.lhs, pos);
+                        flatten(*bin.rhs, bin.op == ir::BinaryOp::Add ? pos : !pos);
+                        return;
+                    }
+                }
+                addends.push_back(&e);
+                positive.push_back(pos);
+            };
+            flatten(*a.rhs, true);
+            int self_count = 0;
+            bool self_positive = false;
+            for (std::size_t i = 0; i < addends.size(); ++i) {
+                if (self_equals(*addends[i])) {
+                    ++self_count;
+                    self_positive = positive[i];
+                } else if (mentions(*addends[i], name)) {
+                    return std::nullopt;
+                }
+            }
+            if (self_count == 1 && self_positive) return Update{ir::ReductionOp::Sum, is_array};
+            return std::nullopt;
+        }
+        if (b.op == ir::BinaryOp::Mul) {
+            const bool lhs_self = self_equals(*b.lhs);
+            const bool rhs_self = self_equals(*b.rhs);
+            if (lhs_self && !mentions(*b.rhs, name)) {
+                return Update{ir::ReductionOp::Product, is_array};
+            }
+            if (rhs_self && !mentions(*b.lhs, name)) {
+                return Update{ir::ReductionOp::Product, is_array};
+            }
+            return std::nullopt;
+        }
+        return std::nullopt;
+    }
+    if (a.rhs->kind() == ir::ExprKind::Call) {
+        const auto& c = static_cast<const ir::Call&>(*a.rhs);
+        if ((c.name == "MAX" || c.name == "MIN") && c.args.size() == 2) {
+            const bool first_self = self_equals(*c.args[0]);
+            const bool second_self = self_equals(*c.args[1]);
+            const ir::Expr& other = first_self ? *c.args[1] : *c.args[0];
+            if ((first_self || second_self) && !mentions(other, name)) {
+                return Update{c.name == "MAX" ? ir::ReductionOp::Max : ir::ReductionOp::Min,
+                              is_array};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Reduction> find_reductions(const ir::DoLoop& loop) {
+    struct Candidate {
+        ir::ReductionOp op;
+        bool is_array;
+        int updates = 0;
+        bool consistent = true;
+    };
+    std::map<std::string, Candidate> candidates;
+
+    ir::for_each_stmt(loop.body, [&](const ir::Stmt& s) {
+        if (s.kind() != ir::StmtKind::Assign) return;
+        const auto& a = static_cast<const ir::Assign&>(s);
+        std::string name;
+        if (a.lhs->kind() == ir::ExprKind::VarRef) {
+            name = static_cast<const ir::VarRef&>(*a.lhs).name;
+        } else if (a.lhs->kind() == ir::ExprKind::ArrayRef) {
+            name = static_cast<const ir::ArrayRef&>(*a.lhs).name;
+        } else {
+            return;
+        }
+        auto update = match_update(a);
+        auto [it, inserted] = candidates.try_emplace(
+            name, Candidate{update ? update->op : ir::ReductionOp::Sum,
+                            update ? update->is_array : false, 0, update.has_value()});
+        auto& cand = it->second;
+        if (!update) {
+            cand.consistent = false;  // written outside an update pattern
+            return;
+        }
+        if (!inserted && (cand.op != update->op || cand.is_array != update->is_array)) {
+            cand.consistent = false;
+            return;
+        }
+        ++cand.updates;
+    });
+
+    // Verify every appearance of the candidate in the body is accounted
+    // for by its update statements (2 occurrences per update: lhs + the
+    // self-reference on the rhs).
+    std::vector<Reduction> out;
+    for (auto& [name, cand] : candidates) {
+        if (!cand.consistent || cand.updates == 0) continue;
+        int total = 0;
+        int in_updates = 0;
+        ir::for_each_stmt(loop.body, [&](const ir::Stmt& s) {
+            int stmt_occurrences = 0;
+            ir::for_each_own_expr(s, [&](const ir::Expr& root) {
+                stmt_occurrences += occurrence_count(root, name);
+            });
+            total += stmt_occurrences;
+            if (s.kind() == ir::StmtKind::Assign) {
+                const auto& a = static_cast<const ir::Assign&>(s);
+                if (match_update(a)) {
+                    std::string lhs_name;
+                    if (a.lhs->kind() == ir::ExprKind::VarRef) {
+                        lhs_name = static_cast<const ir::VarRef&>(*a.lhs).name;
+                    } else if (a.lhs->kind() == ir::ExprKind::ArrayRef) {
+                        lhs_name = static_cast<const ir::ArrayRef&>(*a.lhs).name;
+                    }
+                    if (lhs_name == name) in_updates += stmt_occurrences;
+                }
+            }
+        });
+        if (total != in_updates) continue;  // used elsewhere in the loop
+        out.push_back(Reduction{name, cand.op, cand.is_array});
+    }
+    return out;
+}
+
+}  // namespace ap::analysis

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ap::analysis {
+
+/// A recognized reduction in a loop: scalar (`S = S + e`) or array
+/// (`A(f) = A(f) + e` with identical subscripts).
+struct Reduction {
+    std::string var;
+    ir::ReductionOp op = ir::ReductionOp::Sum;
+    bool is_array = false;
+};
+
+/// Reduction recognition over the body of `loop` (the paper's "reduction"
+/// pass). A variable qualifies when every one of its appearances in the
+/// body is inside update statements of a single compatible form:
+///   S = S + e | S = S - e | S = S * e | S = MAX(S, e) | S = MIN(S, e)
+/// and `e` does not reference S. Appearances of S anywhere else (other
+/// reads, other writes, subscripts, call arguments) disqualify it.
+[[nodiscard]] std::vector<Reduction> find_reductions(const ir::DoLoop& loop);
+
+}  // namespace ap::analysis

@@ -1,0 +1,581 @@
+#include "analysis/regions.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "analysis/access.hpp"
+#include "analysis/ranges.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::analysis {
+
+namespace {
+
+using symbolic::ConvertFailure;
+using symbolic::LinearForm;
+using symbolic::SymRange;
+
+/// Extent of one declared dimension as a linear form, if convertible.
+std::optional<LinearForm> dim_extent(const ir::Dim& d, const ConstMap& consts) {
+    if (d.assumed_size()) return std::nullopt;
+    auto lo = symbolic::to_linear(*d.lo, consts);
+    auto hi = symbolic::to_linear(*d.hi, consts);
+    if (!lo.ok() || !hi.ok()) return std::nullopt;
+    return *hi.form - *lo.form + LinearForm(1);
+}
+
+/// Declared element count of an array, constants only (for COMMON member
+/// offsets).
+std::optional<std::int64_t> const_size(const ir::Symbol& sym, const ConstMap& consts) {
+    if (!sym.is_array()) return 1;
+    std::int64_t total = 1;
+    for (const auto& d : sym.dims) {
+        auto e = dim_extent(d, consts);
+        if (!e || !e->is_constant()) return std::nullopt;
+        total *= e->constant();
+    }
+    return total;
+}
+
+}  // namespace
+
+StorageLocation storage_location(const ir::Routine& routine, const ir::Symbol& sym) {
+    if (!sym.common_block) return {sym.name, 0};
+    // Offset = sum of the sizes of preceding members of the block in this
+    // routine's declaration. Uses an empty const map: PARAMETER dims were
+    // already folded at parse time only if literal; otherwise unknown.
+    std::int64_t offset = 0;
+    for (const auto& other : routine.symbols.symbols()) {
+        if (other.common_block != sym.common_block) continue;
+        if (other.common_index >= sym.common_index) continue;
+        auto sz = const_size(other, {});
+        if (!sz) return {"/" + *sym.common_block, std::nullopt};
+        offset += *sz;
+    }
+    return {"/" + *sym.common_block, offset};
+}
+
+Linearized linearize(const ir::ArrayRef& ref, const ir::Routine& routine,
+                     const ConstMap& consts) {
+    Linearized out;
+    const auto* sym = routine.symbols.find(ref.name);
+    out.symbol = sym;
+    if (!sym || !sym->is_array()) {
+        out.why = ConvertFailure::NonAffine;
+        return out;
+    }
+    // Fortran column-major linearization:
+    //   offset = sum_d (sub_d - lo_d) * stride_d,
+    //   stride_1 = 1, stride_{d+1} = stride_d * extent_d.
+    LinearForm offset(0);
+    LinearForm stride(1);
+    const std::size_t rank = std::min(ref.subscripts.size(), sym->dims.size());
+    if (ref.subscripts.size() != sym->dims.size()) {
+        // Rank-mismatched reference (legal Fortran when the declaration
+        // is reshaped elsewhere): treat subscripts as given against the
+        // declared dims prefix; if more subscripts than dims, fail.
+        if (ref.subscripts.size() > sym->dims.size()) {
+            out.why = ConvertFailure::NonAffine;
+            return out;
+        }
+    }
+    for (std::size_t d = 0; d < rank; ++d) {
+        auto sub = symbolic::to_linear(*ref.subscripts[d], consts);
+        if (!sub.ok()) {
+            out.why = sub.failure;
+            return out;
+        }
+        auto lo = symbolic::to_linear(*sym->dims[d].lo, consts);
+        if (!lo.ok()) {
+            out.why = lo.failure;
+            return out;
+        }
+        offset += (*sub.form - *lo.form).times(stride);
+        if (d + 1 < rank) {
+            auto extent = dim_extent(sym->dims[d], consts);
+            if (!extent) {
+                out.why = ConvertFailure::NonAffine;
+                return out;
+            }
+            stride = stride.times(*extent);
+        }
+    }
+    out.offset = std::move(offset);
+    return out;
+}
+
+namespace {
+
+/// Collects (innermost-first) the index ranges of the loops enclosing an
+/// access inside the summarized routine.
+std::vector<std::pair<std::string, SymRange>> loop_ranges_of(
+    const std::vector<const ir::DoLoop*>& loops, const ConstMap& consts) {
+    std::vector<std::pair<std::string, SymRange>> out;
+    for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+        symbolic::RangeEnv env;
+        push_loop_range(env, **it, consts);
+        out.emplace_back((*it)->var, env[(*it)->var]);
+    }
+    return out;
+}
+
+/// Widens `region` over the enclosing loops: each bound has its loop
+/// indices eliminated toward min (lo) / max (hi).
+void widen_over_loops(AccessRegion& region,
+                      const std::vector<std::pair<std::string, SymRange>>& loops) {
+    if (region.lo) {
+        auto lo = symbolic::eliminate_extreme(*region.lo, loops, /*maximize=*/false);
+        if (!lo) {
+            region.lo.reset();
+            region.why_unknown = ConvertFailure::NonAffine;
+        } else {
+            region.lo = std::move(lo);
+        }
+    }
+    if (region.hi) {
+        auto hi = symbolic::eliminate_extreme(*region.hi, loops, /*maximize=*/true);
+        if (!hi) {
+            region.hi.reset();
+            region.why_unknown = ConvertFailure::NonAffine;
+        } else {
+            region.hi = std::move(hi);
+        }
+    }
+}
+
+/// True when every symbol of `f` is visible at the routine boundary:
+/// a dummy, a COMMON member, or a propagated constant (already folded).
+bool boundary_visible(const LinearForm& f, const ir::Routine& r) {
+    for (const auto& name : f.symbols()) {
+        const auto* sym = r.symbols.find(name);
+        if (!sym) return false;
+        if (!sym->is_dummy && !sym->common_block &&
+            sym->kind != ir::SymbolKind::NamedConstant) {
+            return false;
+        }
+    }
+    return true;
+}
+
+class ProgramSummarizer {
+public:
+    ProgramSummarizer(const ir::Program& prog, const CallGraph& cg, const ConstPropResult& consts)
+        : prog_(prog), cg_(cg), consts_(consts) {}
+
+    SummaryMap run() {
+        SummaryMap out;
+        for (const auto* r : cg_.bottom_up_order()) {
+            out.emplace(r->name, summarize(*r, out));
+        }
+        return out;
+    }
+
+private:
+    RoutineSummary summarize(const ir::Routine& r, const SummaryMap& done) const {
+        RoutineSummary s;
+        const ConstMap& consts = consts_.of(r.name);
+        if (r.is_foreign()) {
+            if (r.foreign.opaque) {
+                s.opaque = true;
+                return s;
+            }
+            for (int idx : r.foreign.writes_args) {
+                add_dummy_effect(r, idx, /*is_write=*/true, s);
+            }
+            for (int idx : r.foreign.reads_args) {
+                add_dummy_effect(r, idx, /*is_write=*/false, s);
+            }
+            if (r.foreign.touches_commons) s.opaque = true;
+            return s;
+        }
+
+        const AccessInfo info = collect_accesses(r.body);
+        if (info.has_io) s.has_io = true;
+
+        // Direct array accesses over dummies and commons.
+        for (const auto& acc : info.arrays) {
+            const auto* sym = r.symbols.find(acc.ref->name);
+            if (!sym) continue;
+            if (!sym->is_dummy && !sym->common_block) continue;  // locals are invisible outside
+            AccessRegion region = region_of_access(acc, r, consts);
+            if (acc.guard_depth > 0) region.exact = false;
+            s.regions.push_back(std::move(region));
+        }
+        // Direct scalar writes to dummies / commons.
+        for (const auto& acc : info.scalars) {
+            if (!acc.is_write) continue;
+            const auto* sym = r.symbols.find(acc.name);
+            if (!sym) continue;
+            if (sym->is_dummy) s.scalar_dummy_writes.insert(acc.name);
+            if (sym->common_block) {
+                const auto loc = storage_location(r, *sym);
+                s.common_scalar_writes.emplace(loc.key, loc.base_offset.value_or(-1));
+            }
+        }
+
+        // Call sites: translate callee summaries.
+        for (const auto* site : cg_.sites_of(r)) {
+            if (!site->callee) {
+                s.opaque = true;  // unresolved callee
+                continue;
+            }
+            auto it = done.find(site->callee->name);
+            if (it == done.end()) {
+                s.opaque = true;  // recursion cycle; give up
+                continue;
+            }
+            const RoutineSummary& callee_sum = it->second;
+            if (callee_sum.opaque) s.opaque = true;
+            if (callee_sum.has_io) s.has_io = true;
+            auto mapped = map_call_regions(*site, callee_sum, consts);
+            // Widen over the loops enclosing the call site inside r, then
+            // keep only boundary-visible regions.
+            const auto enclosing = enclosing_loops_of_call(r, *site);
+            const auto loops = loop_ranges_of(enclosing, consts);
+            for (auto& region : mapped) {
+                widen_over_loops(region, loops);
+                keep_boundary(region, r, s);
+            }
+            auto scalar_writes = map_scalar_writes(*site, callee_sum, consts);
+            if (scalar_writes.unknown) s.opaque = true;
+            for (const auto& name : scalar_writes.scalar_names) {
+                const auto* sym = r.symbols.find(name);
+                if (!sym) continue;
+                if (sym->is_dummy) s.scalar_dummy_writes.insert(name);
+                if (sym->common_block) {
+                    const auto loc = storage_location(r, *sym);
+                    s.common_scalar_writes.emplace(loc.key, loc.base_offset.value_or(-1));
+                }
+            }
+            for (auto& region : scalar_writes.element_writes) {
+                widen_over_loops(region, loops);
+                keep_boundary(region, r, s);
+            }
+        }
+
+        // Regions over locals were filtered already; bounds that mention
+        // local scalars (loop-var eliminated, but e.g. runtime inputs) are
+        // widened to unknown.
+        for (auto& region : s.regions) {
+            if (region.lo && !boundary_visible(*region.lo, r)) {
+                region.lo.reset();
+                region.why_unknown = ConvertFailure::NonAffine;
+            }
+            if (region.hi && !boundary_visible(*region.hi, r)) {
+                region.hi.reset();
+                region.why_unknown = ConvertFailure::NonAffine;
+            }
+        }
+        return s;
+    }
+
+    void keep_boundary(AccessRegion& region, const ir::Routine& r, RoutineSummary& s) const {
+        // A region over a caller local array is invisible to *its* callers
+        // but `map_call_regions` already produced caller-space storage:
+        // locals are dropped here.
+        if (region.storage.empty()) return;
+        if (region.storage[0] != '/') {
+            const auto* sym = r.symbols.find(region.storage);
+            if (!sym || (!sym->is_dummy && !sym->common_block)) return;  // local: drop
+            if (sym->common_block) {
+                // Renormalize to common-space.
+                const auto loc = storage_location(r, *sym);
+                region.storage = loc.key;
+                if (loc.base_offset) {
+                    if (region.lo) *region.lo += LinearForm(*loc.base_offset);
+                    if (region.hi) *region.hi += LinearForm(*loc.base_offset);
+                } else {
+                    region.lo.reset();
+                    region.hi.reset();
+                }
+            }
+        }
+        s.regions.push_back(std::move(region));
+    }
+
+    AccessRegion region_of_access(const ArrayAccess& acc, const ir::Routine& r,
+                                  const ConstMap& consts) const {
+        AccessRegion region;
+        region.is_write = acc.is_write;
+        const auto* sym = r.symbols.find(acc.ref->name);
+        const auto loc = storage_location(r, *sym);
+        region.storage = loc.key;
+        auto lin = linearize(*acc.ref, r, consts);
+        if (!lin.offset) {
+            region.why_unknown = lin.why;
+            region.exact = false;
+            return region;
+        }
+        LinearForm offset = *lin.offset;
+        if (loc.base_offset) {
+            offset += LinearForm(*loc.base_offset);
+        } else if (loc.key[0] == '/') {
+            region.why_unknown = ConvertFailure::NonAffine;
+            region.exact = false;
+            return region;
+        }
+        const auto loops = loop_ranges_of(acc.loops, consts);
+        auto lo = symbolic::eliminate_extreme(offset, loops, /*maximize=*/false);
+        auto hi = symbolic::eliminate_extreme(offset, loops, /*maximize=*/true);
+        if (!lo || !hi) {
+            region.why_unknown = ConvertFailure::NonAffine;
+            region.exact = false;
+            return region;
+        }
+        region.lo = std::move(lo);
+        region.hi = std::move(hi);
+        return region;
+    }
+
+    void add_dummy_effect(const ir::Routine& r, int idx, bool is_write, RoutineSummary& s) const {
+        const auto* sym = r.dummy_symbol(idx);
+        if (!sym) return;
+        if (sym->is_array()) {
+            AccessRegion region;
+            region.storage = sym->name;
+            region.is_write = is_write;
+            region.exact = false;  // whole array assumed
+            s.regions.push_back(std::move(region));
+        } else if (is_write) {
+            s.scalar_dummy_writes.insert(sym->name);
+        }
+    }
+
+    std::vector<const ir::DoLoop*> enclosing_loops_of_call(const ir::Routine& r,
+                                                           const CallSite& site) const {
+        std::vector<const ir::DoLoop*> result;
+        std::vector<const ir::DoLoop*> stack;
+        const void* target = site.args;
+        std::function<void(const ir::Block&)> walk = [&](const ir::Block& b) {
+            for (const auto& sp : b) {
+                const ir::Stmt& st = *sp;
+                if (st.kind() == ir::StmtKind::Call &&
+                    &static_cast<const ir::CallStmt&>(st).args == target) {
+                    result = stack;
+                    return;
+                }
+                bool found_in_expr = false;
+                ir::for_each_own_expr(st, [&](const ir::Expr& root) {
+                    ir::for_each_expr(root, [&](const ir::Expr& e) {
+                        if (e.kind() == ir::ExprKind::Call &&
+                            &static_cast<const ir::Call&>(e).args == target) {
+                            found_in_expr = true;
+                        }
+                    });
+                });
+                if (found_in_expr) {
+                    result = stack;
+                    return;
+                }
+                if (st.kind() == ir::StmtKind::If) {
+                    const auto& i = static_cast<const ir::IfStmt&>(st);
+                    walk(i.then_block);
+                    walk(i.else_block);
+                } else if (st.kind() == ir::StmtKind::Do) {
+                    const auto& d = static_cast<const ir::DoLoop&>(st);
+                    stack.push_back(&d);
+                    walk(d.body);
+                    stack.pop_back();
+                }
+            }
+        };
+        walk(r.body);
+        return result;
+    }
+
+    const ir::Program& prog_;
+    const CallGraph& cg_;
+    const ConstPropResult& consts_;
+};
+
+/// Binds callee-visible symbols to caller-space linear forms for one call
+/// site: scalar dummies map to folded actual expressions. Returns false
+/// when a needed binding is not linearizable.
+bool bind_scalar(const ir::Routine& callee, const CallSite& site, const ConstMap& caller_consts,
+                 const std::string& name, std::optional<LinearForm>& out) {
+    // Constant in callee space?
+    const auto* sym = callee.symbols.find(name);
+    if (!sym) return false;
+    for (std::size_t k = 0; k < callee.dummies.size(); ++k) {
+        if (callee.dummies[k] != name) continue;
+        if (!site.args || k >= site.args->size()) return false;
+        auto form = symbolic::to_linear(*(*site.args)[k], caller_consts);
+        if (!form.ok()) return false;
+        out = *form.form;
+        return true;
+    }
+    if (sym->common_block) {
+        // Same storage is visible in the caller iff the caller declares a
+        // member at the same offset; keep the symbolic name only when the
+        // caller has an identically-named member of the same block.
+        const auto* caller_sym = site.caller->symbols.find(name);
+        if (caller_sym && caller_sym->common_block == sym->common_block) {
+            out = LinearForm::variable(name);
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<AccessRegion> map_call_regions(const CallSite& site,
+                                           const RoutineSummary& callee_summary,
+                                           const ConstMap& caller_consts) {
+    std::vector<AccessRegion> out;
+    if (!site.callee) return out;
+    const ir::Routine& callee = *site.callee;
+    const ir::Routine& caller = *site.caller;
+
+    for (const AccessRegion& region : callee_summary.regions) {
+        AccessRegion mapped;
+        mapped.is_write = region.is_write;
+        mapped.exact = region.exact;
+        mapped.why_unknown = region.why_unknown;
+
+        // Storage translation.
+        LinearForm base_shift(0);
+        if (region.storage[0] == '/') {
+            mapped.storage = region.storage;  // common space is global
+        } else {
+            // A dummy array: find its position and the actual argument.
+            auto it = std::find(callee.dummies.begin(), callee.dummies.end(), region.storage);
+            if (it == callee.dummies.end() || !site.args) continue;
+            const auto k = static_cast<std::size_t>(std::distance(callee.dummies.begin(), it));
+            if (k >= site.args->size()) continue;
+            const ir::Expr& actual = *(*site.args)[k];
+            std::string caller_array;
+            if (actual.kind() == ir::ExprKind::VarRef) {
+                caller_array = static_cast<const ir::VarRef&>(actual).name;
+            } else if (actual.kind() == ir::ExprKind::ArrayRef) {
+                const auto& ar = static_cast<const ir::ArrayRef&>(actual);
+                caller_array = ar.name;
+                auto lin = linearize(ar, caller, caller_consts);
+                if (lin.offset) {
+                    base_shift = *lin.offset;
+                } else {
+                    mapped.why_unknown = lin.why;
+                    mapped.exact = false;
+                    mapped.storage = caller_array;
+                    out.push_back(std::move(mapped));
+                    continue;
+                }
+            } else {
+                continue;  // expression actual: no storage to alias
+            }
+            const auto* caller_sym = caller.symbols.find(caller_array);
+            if (!caller_sym || !caller_sym->is_array()) continue;
+            const auto loc = storage_location(caller, *caller_sym);
+            mapped.storage = loc.key;
+            if (loc.base_offset) {
+                base_shift += LinearForm(*loc.base_offset);
+            } else {
+                mapped.lo.reset();
+                mapped.hi.reset();
+                mapped.why_unknown = symbolic::ConvertFailure::NonAffine;
+                out.push_back(std::move(mapped));
+                continue;
+            }
+        }
+
+        // Offset translation: substitute callee symbols with caller forms.
+        auto translate = [&](const std::optional<LinearForm>& f) -> std::optional<LinearForm> {
+            if (!f) return std::nullopt;
+            LinearForm g = *f;
+            for (const auto& name : f->symbols()) {
+                std::optional<LinearForm> bound;
+                if (!bind_scalar(callee, site, caller_consts, name, bound)) return std::nullopt;
+                g = g.substituted(name, *bound);
+            }
+            return g + base_shift;
+        };
+        mapped.lo = translate(region.lo);
+        mapped.hi = translate(region.hi);
+        if ((region.lo && !mapped.lo) || (region.hi && !mapped.hi)) {
+            mapped.lo.reset();
+            mapped.hi.reset();
+            mapped.exact = false;
+            if (mapped.why_unknown == symbolic::ConvertFailure::None) {
+                mapped.why_unknown = symbolic::ConvertFailure::NonAffine;
+            }
+        }
+        out.push_back(std::move(mapped));
+    }
+    return out;
+}
+
+MappedScalarWrites map_scalar_writes(const CallSite& site, const RoutineSummary& callee_summary,
+                                     const ConstMap& caller_consts) {
+    MappedScalarWrites out;
+    if (!site.callee) {
+        out.unknown = true;
+        return out;
+    }
+    const ir::Routine& callee = *site.callee;
+    const ir::Routine& caller = *site.caller;
+    for (const auto& name : callee_summary.scalar_dummy_writes) {
+        auto it = std::find(callee.dummies.begin(), callee.dummies.end(), name);
+        if (it == callee.dummies.end() || !site.args) {
+            out.unknown = true;
+            continue;
+        }
+        const auto k = static_cast<std::size_t>(std::distance(callee.dummies.begin(), it));
+        if (k >= site.args->size()) {
+            out.unknown = true;
+            continue;
+        }
+        const ir::Expr& actual = *(*site.args)[k];
+        if (actual.kind() == ir::ExprKind::VarRef) {
+            out.scalar_names.insert(static_cast<const ir::VarRef&>(actual).name);
+        } else if (actual.kind() == ir::ExprKind::ArrayRef) {
+            const auto& ar = static_cast<const ir::ArrayRef&>(actual);
+            AccessRegion region;
+            region.is_write = true;
+            auto lin = linearize(ar, caller, caller_consts);
+            const auto* caller_sym = caller.symbols.find(ar.name);
+            if (!caller_sym) {
+                out.unknown = true;
+                continue;
+            }
+            const auto loc = storage_location(caller, *caller_sym);
+            region.storage = loc.key;
+            if (lin.offset && loc.base_offset) {
+                region.lo = *lin.offset + LinearForm(*loc.base_offset);
+                region.hi = region.lo;
+            } else {
+                region.exact = false;
+                region.why_unknown = lin.why == symbolic::ConvertFailure::None
+                                         ? symbolic::ConvertFailure::NonAffine
+                                         : lin.why;
+            }
+            out.element_writes.push_back(std::move(region));
+        }
+        // Constant actuals written by the callee would be a program error;
+        // ignore.
+    }
+    // Common scalar writes stay in common space; the caller's dependence
+    // test sees them as unknown single-element regions on the block.
+    for (const auto& [key, offset] : callee_summary.common_scalar_writes) {
+        AccessRegion region;
+        region.storage = key;
+        region.is_write = true;
+        if (offset >= 0) {
+            region.lo = LinearForm(offset);
+            region.hi = LinearForm(offset);
+        } else {
+            region.exact = false;
+            region.why_unknown = symbolic::ConvertFailure::NonAffine;
+        }
+        out.element_writes.push_back(std::move(region));
+    }
+    return out;
+}
+
+SummaryMap summarize_program(const ir::Program& prog, const CallGraph& cg,
+                             const ConstPropResult& consts) {
+    ProgramSummarizer s(prog, cg, consts);
+    return s.run();
+}
+
+}  // namespace ap::analysis

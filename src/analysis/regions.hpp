@@ -1,0 +1,100 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/constprop.hpp"
+#include "symbolic/range.hpp"
+
+namespace ap::analysis {
+
+/// A summarized array access: a *linearized* element-offset range over a
+/// storage object. Storage keys:
+///   "NAME"  — a local or dummy array NAME of the routine the region is
+///             expressed in;
+///   "/BLK"  — the whole COMMON block BLK (offsets relative to the block
+///             start), which is how reshaped shared structures (the
+///             paper's §2.3 RA/SA and GAMESS X patterns) unify.
+/// `lo`/`hi` are inclusive element offsets as linear forms over the
+/// routine's visible symbols; a missing bound means "unknown" and the
+/// region conservatively covers the whole object.
+struct AccessRegion {
+    std::string storage;
+    bool is_write = false;
+    bool exact = true;  ///< false when guards or approximation widened it
+    std::optional<symbolic::LinearForm> lo;
+    std::optional<symbolic::LinearForm> hi;
+    /// When bounds are unknown, why — drives hindrance classification.
+    symbolic::ConvertFailure why_unknown = symbolic::ConvertFailure::None;
+
+    [[nodiscard]] bool unknown() const noexcept { return !lo.has_value() || !hi.has_value(); }
+};
+
+/// Side-effect summary of one routine, expressed over its own symbols
+/// (dummies, COMMON storage). Computed bottom-up over the call graph;
+/// callee summaries are translated through argument bindings — the
+/// "interprocedural techniques that summarize array access patterns per
+/// subroutine and reuse the summaries across call sites" of the paper's
+/// related-work discussion.
+struct RoutineSummary {
+    std::vector<AccessRegion> regions;
+    /// Dummy names whose scalar value the routine (or its callees) writes.
+    std::set<std::string> scalar_dummy_writes;
+    /// (common key "/BLK", element offset) scalar writes; offset -1 = unknown.
+    std::set<std::pair<std::string, std::int64_t>> common_scalar_writes;
+    bool opaque = false;  ///< foreign-without-effects, I/O, or unresolved call
+    bool has_io = false;
+};
+
+using SummaryMap = std::map<std::string, RoutineSummary>;
+
+/// Linearization of one array reference: element offset from the array
+/// base as a linear form (0-based), or the failure that prevented it.
+struct Linearized {
+    std::optional<symbolic::LinearForm> offset;
+    symbolic::ConvertFailure why = symbolic::ConvertFailure::None;
+    const ir::Symbol* symbol = nullptr;
+};
+
+[[nodiscard]] Linearized linearize(const ir::ArrayRef& ref, const ir::Routine& routine,
+                                   const ConstMap& consts);
+
+/// Storage key and base offset of a symbol: COMMON members map to
+/// ("/BLK", offset-of-member-within-block); others map to (name, 0).
+/// The offset is in elements; nullopt when a preceding member has a
+/// non-constant size.
+struct StorageLocation {
+    std::string key;
+    std::optional<std::int64_t> base_offset;
+};
+[[nodiscard]] StorageLocation storage_location(const ir::Routine& routine, const ir::Symbol& sym);
+
+/// Computes summaries for every routine, bottom-up.
+[[nodiscard]] SummaryMap summarize_program(const ir::Program& prog, const CallGraph& cg,
+                                           const ConstPropResult& consts);
+
+/// Translates `callee`'s summary through the bindings of one call site
+/// into caller-space regions (caller loop variables are left symbolic so
+/// the dependence test can range over them). Unknown bindings produce
+/// unknown regions rather than dropping effects.
+[[nodiscard]] std::vector<AccessRegion> map_call_regions(const CallSite& site,
+                                                         const RoutineSummary& callee_summary,
+                                                         const ConstMap& caller_consts);
+
+/// Maps callee scalar-dummy writes through a call site: returns the names
+/// of caller scalars written, caller array regions written (element
+/// actuals), and whether anything unknown was written.
+struct MappedScalarWrites {
+    std::set<std::string> scalar_names;
+    std::vector<AccessRegion> element_writes;
+    bool unknown = false;
+};
+[[nodiscard]] MappedScalarWrites map_scalar_writes(const CallSite& site,
+                                                   const RoutineSummary& callee_summary,
+                                                   const ConstMap& caller_consts);
+
+}  // namespace ap::analysis

@@ -1,0 +1,133 @@
+#include "analysis/rewrite.hpp"
+
+#include "ir/visit.hpp"
+
+namespace ap::analysis {
+
+namespace {
+
+using VarMap = std::map<std::string, const ir::Expr*>;
+using NameMap = std::map<std::string, std::string>;
+
+ir::ExprPtr subst(const ir::Expr& e, const VarMap& map) {
+    switch (e.kind()) {
+        case ir::ExprKind::VarRef: {
+            const auto& v = static_cast<const ir::VarRef&>(e);
+            if (auto it = map.find(v.name); it != map.end()) return it->second->clone();
+            return e.clone();
+        }
+        case ir::ExprKind::ArrayRef: {
+            const auto& a = static_cast<const ir::ArrayRef&>(e);
+            std::vector<ir::ExprPtr> subs;
+            subs.reserve(a.subscripts.size());
+            for (const auto& s : a.subscripts) subs.push_back(subst(*s, map));
+            return std::make_unique<ir::ArrayRef>(a.name, std::move(subs), a.loc());
+        }
+        case ir::ExprKind::Unary: {
+            const auto& u = static_cast<const ir::Unary&>(e);
+            return std::make_unique<ir::Unary>(u.op, subst(*u.operand, map), u.loc());
+        }
+        case ir::ExprKind::Binary: {
+            const auto& b = static_cast<const ir::Binary&>(e);
+            return std::make_unique<ir::Binary>(b.op, subst(*b.lhs, map), subst(*b.rhs, map),
+                                                b.loc());
+        }
+        case ir::ExprKind::Call: {
+            const auto& c = static_cast<const ir::Call&>(e);
+            std::vector<ir::ExprPtr> args;
+            args.reserve(c.args.size());
+            for (const auto& a : c.args) args.push_back(subst(*a, map));
+            return std::make_unique<ir::Call>(c.name, std::move(args), c.loc());
+        }
+        default:
+            return e.clone();
+    }
+}
+
+void subst_block(ir::Block& b, const VarMap& map) {
+    for (auto& sp : b) {
+        ir::Stmt& s = *sp;
+        switch (s.kind()) {
+            case ir::StmtKind::Assign: {
+                auto& a = static_cast<ir::Assign&>(s);
+                a.rhs = subst(*a.rhs, map);
+                // The lvalue base is a definition, not a use: only rewrite
+                // subscripts.
+                if (a.lhs->kind() == ir::ExprKind::ArrayRef) {
+                    auto& ar = static_cast<ir::ArrayRef&>(*a.lhs);
+                    for (auto& sub : ar.subscripts) sub = subst(*sub, map);
+                }
+                break;
+            }
+            case ir::StmtKind::If: {
+                auto& i = static_cast<ir::IfStmt&>(s);
+                i.cond = subst(*i.cond, map);
+                subst_block(i.then_block, map);
+                subst_block(i.else_block, map);
+                break;
+            }
+            case ir::StmtKind::Do: {
+                auto& d = static_cast<ir::DoLoop&>(s);
+                d.lo = subst(*d.lo, map);
+                d.hi = subst(*d.hi, map);
+                d.step = subst(*d.step, map);
+                subst_block(d.body, map);
+                break;
+            }
+            case ir::StmtKind::Call: {
+                auto& c = static_cast<ir::CallStmt&>(s);
+                for (auto& a : c.args) a = subst(*a, map);
+                break;
+            }
+            case ir::StmtKind::Read: {
+                auto& r = static_cast<ir::ReadStmt&>(s);
+                for (auto& t : r.targets) {
+                    if (t->kind() == ir::ExprKind::ArrayRef) {
+                        auto& ar = static_cast<ir::ArrayRef&>(*t);
+                        for (auto& sub : ar.subscripts) sub = subst(*sub, map);
+                    }
+                }
+                break;
+            }
+            case ir::StmtKind::Print: {
+                auto& p = static_cast<ir::PrintStmt&>(s);
+                for (auto& a : p.args) a = subst(*a, map);
+                break;
+            }
+            default:
+                break;
+        }
+    }
+}
+
+void rename_expr(ir::Expr& e, const NameMap& map) {
+    ir::for_each_expr(e, [&](ir::Expr& x) {
+        if (x.kind() == ir::ExprKind::VarRef) {
+            auto& v = static_cast<ir::VarRef&>(x);
+            if (auto it = map.find(v.name); it != map.end()) v.name = it->second;
+        } else if (x.kind() == ir::ExprKind::ArrayRef) {
+            auto& a = static_cast<ir::ArrayRef&>(x);
+            if (auto it = map.find(a.name); it != map.end()) a.name = it->second;
+        }
+    });
+}
+
+void rename_block(ir::Block& b, const NameMap& map) {
+    ir::for_each_stmt(b, [&](ir::Stmt& s) {
+        ir::for_each_own_expr(s, [&](ir::Expr& e) { rename_expr(e, map); });
+        if (s.kind() == ir::StmtKind::Do) {
+            auto& d = static_cast<ir::DoLoop&>(s);
+            if (auto it = map.find(d.var); it != map.end()) d.var = it->second;
+        }
+    });
+}
+
+}  // namespace
+
+ir::ExprPtr substitute_vars(const ir::Expr& e, const VarMap& map) { return subst(e, map); }
+
+void substitute_vars_in_block(ir::Block& b, const VarMap& map) { subst_block(b, map); }
+
+void rename_symbols_in_block(ir::Block& b, const NameMap& map) { rename_block(b, map); }
+
+}  // namespace ap::analysis

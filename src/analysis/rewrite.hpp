@@ -1,0 +1,26 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace ap::analysis {
+
+/// Clones `e`, replacing every VarRef whose name appears in `map` with a
+/// clone of the mapped expression. Array names are not touched.
+[[nodiscard]] ir::ExprPtr substitute_vars(const ir::Expr& e,
+                                          const std::map<std::string, const ir::Expr*>& map);
+
+/// In-place variant over every expression of a statement block (including
+/// loop bounds and conditions; lvalue *subscripts* are rewritten, lvalue
+/// base names are not).
+void substitute_vars_in_block(ir::Block& b, const std::map<std::string, const ir::Expr*>& map);
+
+/// Renames symbols (scalars, arrays, loop variables, call targets are NOT
+/// renamed) throughout a block: every VarRef/ArrayRef name found in `map`
+/// becomes the mapped name. Used by inline expansion to uniquify callee
+/// locals.
+void rename_symbols_in_block(ir::Block& b, const std::map<std::string, std::string>& map);
+
+}  // namespace ap::analysis

@@ -1,0 +1,191 @@
+#include "core/compiler.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/access.hpp"
+#include "analysis/alias.hpp"
+#include "analysis/callgraph.hpp"
+#include "analysis/constprop.hpp"
+#include "analysis/gsa.hpp"
+#include "analysis/induction.hpp"
+#include "analysis/privatization.hpp"
+#include "analysis/ranges.hpp"
+#include "analysis/reduction.hpp"
+#include "analysis/regions.hpp"
+#include "dependence/ddtest.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::core {
+
+int CompileReport::loops_parallel() const {
+    return static_cast<int>(std::count_if(loops.begin(), loops.end(),
+                                          [](const LoopReport& l) { return l.parallel; }));
+}
+
+int CompileReport::target_loops() const {
+    return static_cast<int>(std::count_if(loops.begin(), loops.end(),
+                                          [](const LoopReport& l) { return l.is_target; }));
+}
+
+int CompileReport::target_parallel() const {
+    return static_cast<int>(std::count_if(
+        loops.begin(), loops.end(), [](const LoopReport& l) { return l.is_target && l.parallel; }));
+}
+
+std::map<ir::Hindrance, int> CompileReport::target_histogram() const {
+    std::map<ir::Hindrance, int> out;
+    for (const auto& l : loops) {
+        if (l.is_target) ++out[l.verdict];
+    }
+    return out;
+}
+
+namespace {
+
+/// Analyzes every loop of one routine, outermost first, recursing into
+/// bodies so inner loops also get verdicts.
+void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions& options,
+                   const dependence::RoutineContext& rc, CompileReport& report,
+                   PassTimes& times) {
+    for (auto& sp : block) {
+        ir::Stmt& s = *sp;
+        if (s.kind() == ir::StmtKind::If) {
+            auto& i = static_cast<ir::IfStmt&>(s);
+            analyze_loops(i.then_block, routine, options, rc, report, times);
+            analyze_loops(i.else_block, routine, options, rc, report, times);
+            continue;
+        }
+        if (s.kind() != ir::StmtKind::Do) continue;
+        auto& loop = static_cast<ir::DoLoop&>(s);
+
+        dependence::LoopContext lc;
+        lc.op_budget = options.loop_op_budget;
+
+        // Reduction recognition.
+        std::vector<analysis::Reduction> reds;
+        {
+            PassTimer t(times, PassId::Reduction);
+            reds = analysis::find_reductions(loop);
+        }
+        for (const auto& r : reds) lc.reductions.insert(r.var);
+
+        // Privatization.
+        analysis::PrivatizationResult priv;
+        {
+            PassTimer t(times, PassId::Privatization);
+            priv = analysis::privatize(loop, routine, rc.ranges->env, *rc.consts);
+        }
+        for (const auto& name : priv.scalars) lc.privates.insert(name);
+        for (const auto& name : priv.arrays) lc.privates.insert(name);
+        // A reduction variable must not also be listed private.
+        for (const auto& r : reds) lc.privates.erase(r.var);
+
+        // Data-dependence test.
+        dependence::LoopDependenceResult dd;
+        {
+            PassTimer t(times, PassId::DataDependence);
+            dd = dependence::test_loop(loop, rc, lc);
+        }
+
+        loop.annot.parallel = dd.parallel;
+        loop.annot.verdict = dd.blocker;
+        loop.annot.reason = dd.reason;
+        loop.annot.privates.assign(lc.privates.begin(), lc.privates.end());
+        loop.annot.reductions.clear();
+        for (const auto& r : reds) loop.annot.reductions.emplace_back(r.var, r.op);
+
+        LoopReport lr;
+        lr.loop_id = loop.loop_id;
+        lr.routine = routine.name;
+        lr.loc = loop.loc();
+        lr.is_target = loop.is_target;
+        lr.parallel = dd.parallel;
+        lr.verdict = dd.blocker.value_or(ir::Hindrance::SymbolAnalysis);
+        lr.reason = dd.reason;
+        lr.privates = loop.annot.privates;
+        for (const auto& r : reds) lr.reductions.push_back(r.var);
+        lr.pairs_tested = dd.pairs_tested;
+        lr.symbolic_ops = dd.symbolic_ops;
+        report.loops.push_back(std::move(lr));
+
+        analyze_loops(loop.body, routine, options, rc, report, times);
+    }
+}
+
+}  // namespace
+
+CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
+    CompileReport report;
+    report.program = prog.name;
+    report.statements = ir::count_statements(prog);
+
+    // GSA translation (per routine, on the original code).
+    {
+        PassTimer t(report.times, PassId::GsaTranslation);
+        for (const auto* r : prog.routines()) {
+            (void)analysis::build_gsa(*r);
+        }
+    }
+
+    // Interprocedural constant propagation (pre-inline).
+    analysis::ConstPropResult consts;
+    {
+        PassTimer t(report.times, PassId::InterproceduralConstProp);
+        analysis::CallGraph cg0(prog);
+        consts = analysis::propagate_constants(prog, cg0);
+    }
+
+    // Inline expansion.
+    if (options.do_inline) {
+        PassTimer t(report.times, PassId::InlineExpansion);
+        auto res = analysis::inline_calls(prog, options.inline_options);
+        report.inlined_calls = res.inlined;
+    }
+
+    // Induction variable substitution (post-inline, innermost first).
+    if (options.do_induction) {
+        PassTimer t(report.times, PassId::InductionSubstitution);
+        for (auto* r : prog.routines()) {
+            if (!r->is_foreign()) {
+                report.induction_substitutions += analysis::substitute_inductions_in_routine(*r);
+            }
+        }
+    }
+
+    // Re-derive whole-program facts on the transformed code.
+    analysis::CallGraph cg(prog);
+    {
+        PassTimer t(report.times, PassId::InterproceduralConstProp);
+        consts = analysis::propagate_constants(prog, cg);
+    }
+    std::map<std::string, analysis::AliasInfo> aliases;
+    analysis::SummaryMap summaries;
+    {
+        // Alias analysis and region summaries feed the dependence test;
+        // attribute them there, as the paper's Polaris instrumentation does.
+        PassTimer t(report.times, PassId::DataDependence);
+        aliases = analysis::analyze_aliases(prog, cg);
+        summaries = analysis::summarize_program(prog, cg, consts);
+    }
+
+    for (auto* r : prog.routines()) {
+        if (r->is_foreign()) continue;
+        analysis::RangeInfo ranges;
+        {
+            PassTimer t(report.times, PassId::Other);
+            ranges = analysis::analyze_ranges(*r, consts.of(r->name));
+        }
+        dependence::RoutineContext rc;
+        rc.routine = r;
+        rc.consts = &consts.of(r->name);
+        rc.ranges = &ranges;
+        rc.aliases = &aliases[r->name];
+        rc.summaries = &summaries;
+        rc.callgraph = &cg;
+        analyze_loops(r->body, *r, options, rc, report, report.times);
+    }
+    return report;
+}
+
+}  // namespace ap::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/inline.hpp"
+#include "core/passes.hpp"
+#include "ir/program.hpp"
+
+namespace ap::core {
+
+/// Tuning knobs of the automatic parallelizer.
+struct CompilerOptions {
+    bool do_inline = true;
+    bool do_induction = true;
+    /// Symbolic-operation budget per loop; exceeding it yields
+    /// Hindrance::Complexity (the paper's "reasonable compile-time limit",
+    /// made deterministic by counting engine operations).
+    std::uint64_t loop_op_budget = 2'000'000;
+    analysis::InlineOptions inline_options{};
+};
+
+/// Per-loop verdict, in source order.
+struct LoopReport {
+    int loop_id = -1;
+    std::string routine;
+    ir::SourceLoc loc;
+    bool is_target = false;
+    bool parallel = false;
+    ir::Hindrance verdict = ir::Hindrance::SymbolAnalysis;
+    std::string reason;
+    std::vector<std::string> privates;
+    std::vector<std::string> reductions;
+    int pairs_tested = 0;
+    std::uint64_t symbolic_ops = 0;  ///< engine operations the loop's DD test consumed
+};
+
+/// Outcome of compiling one program through the full pipeline.
+struct CompileReport {
+    std::string program;
+    std::size_t statements = 0;  ///< counted before transformations, as the paper does
+    PassTimes times;
+    std::vector<LoopReport> loops;
+    int inlined_calls = 0;
+    int induction_substitutions = 0;
+
+    [[nodiscard]] double total_seconds() const { return times.total_seconds(); }
+    [[nodiscard]] double seconds_per_statement() const {
+        return statements ? total_seconds() / static_cast<double>(statements) : 0.0;
+    }
+    [[nodiscard]] int loops_total() const { return static_cast<int>(loops.size()); }
+    [[nodiscard]] int loops_parallel() const;
+    [[nodiscard]] int target_loops() const;
+    [[nodiscard]] int target_parallel() const;
+    /// Figure-5 histogram: hindrance category -> number of *target* loops.
+    [[nodiscard]] std::map<ir::Hindrance, int> target_histogram() const;
+};
+
+/// Runs the Polaris-style pipeline over `prog`, annotating every DO loop
+/// in place (`DoLoop::annot`) and returning the instrumented report:
+///   GSA translation -> interprocedural constant propagation -> inline
+///   expansion -> induction substitution -> per-loop reduction
+///   recognition, privatization, and data-dependence testing.
+/// The program is mutated (inlining, induction rewrites, annotations).
+CompileReport compile(ir::Program& prog, const CompilerOptions& options = {});
+
+}  // namespace ap::core

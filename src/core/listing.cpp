@@ -1,0 +1,114 @@
+#include "core/listing.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "ir/printer.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::core {
+
+namespace {
+
+void list_routine(std::ostringstream& os, const ir::Routine& routine,
+                  const CompileReport& report, const ListingOptions& options) {
+    os << "ROUTINE " << routine.name;
+    switch (routine.kind) {
+        case ir::RoutineKind::Program: os << " (program)"; break;
+        case ir::RoutineKind::Function: os << " (function)"; break;
+        case ir::RoutineKind::Subroutine: break;
+    }
+    if (routine.is_foreign()) {
+        os << " — EXTERNAL \"C\""
+           << (routine.foreign.opaque ? ", opaque" : ", effects declared") << "\n";
+        return;
+    }
+    os << "\n";
+
+    if (options.include_symbols) {
+        for (const auto& sym : routine.symbols.symbols()) {
+            if (sym.kind == ir::SymbolKind::NamedConstant) continue;
+            os << "    " << to_string(sym.type) << ' ' << sym.name;
+            if (sym.is_array()) os << "(rank " << sym.rank() << ')';
+            if (sym.is_dummy) os << " [dummy]";
+            if (sym.common_block) os << " [common /" << *sym.common_block << "/]";
+            os << "\n";
+        }
+    }
+
+    Table loops({"loop", "line", "verdict", "detail"});
+    bool any = false;
+    for (const auto& l : report.loops) {
+        if (l.routine != routine.name) continue;
+        if (options.only_targets && !l.is_target) continue;
+        any = true;
+        std::string verdict =
+            l.parallel ? "PARALLEL" : std::string(ir::to_string(l.verdict));
+        if (l.is_target) verdict += " *";
+        std::string detail;
+        if (l.parallel) {
+            for (const auto& p : l.privates) {
+                detail += detail.empty() ? "private(" : ", ";
+                detail += p;
+            }
+            if (!l.privates.empty()) detail += ")";
+            for (const auto& r : l.reductions) detail += " reduction(" + r + ")";
+        } else {
+            detail = l.reason;
+        }
+        loops.add_row({"#" + std::to_string(l.loop_id),
+                       l.loc.valid() ? std::to_string(l.loc.line) : "-", verdict, detail});
+    }
+    if (any) {
+        std::istringstream rows(loops.to_string());
+        std::string line;
+        while (std::getline(rows, line)) os << "    " << line << "\n";
+    } else {
+        os << "    (no loops)\n";
+    }
+    if (options.include_annotated) {
+        std::istringstream body(ir::to_source(routine));
+        std::string line;
+        while (std::getline(body, line)) os << "    | " << line << "\n";
+    }
+    os << "\n";
+}
+
+}  // namespace
+
+std::string make_listing(const ir::Program& program, const CompileReport& report,
+                         const ListingOptions& options) {
+    std::ostringstream os;
+    os << "==== compilation listing: " << report.program << " ====\n";
+    os << report.statements << " statements, " << report.loops_total() << " loops ("
+       << report.loops_parallel() << " parallel), " << report.inlined_calls
+       << " calls inlined, " << report.induction_substitutions
+       << " induction variables substituted\n";
+    os << "compile time " << Table::fixed(1e3 * report.total_seconds(), 2) << " ms ("
+       << Table::fixed(1e6 * report.seconds_per_statement(), 2) << " us/statement)\n\n";
+
+    os << "pass breakdown:\n";
+    for (int p = 0; p < kPassCount; ++p) {
+        const auto pass = static_cast<PassId>(p);
+        os << "  " << to_string(pass) << ": " << Table::fixed(1e3 * report.times.sec(pass), 2)
+           << " ms, " << report.times.ops(pass) << " symbolic ops\n";
+    }
+    os << "\n";
+
+    if (report.target_loops() > 0) {
+        os << "target-loop hindrance summary (" << report.target_parallel() << "/"
+           << report.target_loops() << " parallelized):\n";
+        for (const auto& [kind, count] : report.target_histogram()) {
+            os << "  " << ir::to_string(kind) << ": " << count << "\n";
+        }
+        os << "\n";
+    }
+
+    for (const auto* routine : program.routines()) {
+        list_routine(os, *routine, report, options);
+    }
+    return os.str();
+}
+
+}  // namespace ap::core

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "core/compiler.hpp"
+#include "ir/program.hpp"
+
+namespace ap::core {
+
+/// What to include in a compilation listing.
+struct ListingOptions {
+    bool include_symbols = true;      ///< per-routine symbol tables
+    bool include_annotated = false;   ///< full annotated source per routine
+    bool only_targets = false;        ///< restrict the loop table to !$TARGET loops
+};
+
+/// Renders a Polaris-style compilation listing: per-routine loop tables
+/// with verdicts, privates/reductions, the hindrance taxonomy summary,
+/// and per-pass cost — the human-readable artifact a source-to-source
+/// parallelizer hands back to its user. `program` must be the same
+/// (mutated, annotated) program `report` came from.
+[[nodiscard]] std::string make_listing(const ir::Program& program, const CompileReport& report,
+                                       const ListingOptions& options = {});
+
+}  // namespace ap::core

@@ -1,0 +1,196 @@
+#include "core/metrics.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "analysis/access.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::core {
+
+namespace {
+
+/// Deepest (subs, loops) accumulated along any call path from main to
+/// `routine` entry: subs counts call edges, loops counts DO loops
+/// enclosing the call sites along the path.
+struct PathDepth {
+    int subs = -1;  ///< -1 = unreachable
+    int loops = 0;
+};
+
+class OuterDepths {
+public:
+    OuterDepths(const ir::Program& prog, const analysis::CallGraph& cg) : prog_(prog), cg_(cg) {}
+
+    PathDepth of(const std::string& routine) {
+        if (auto it = memo_.find(routine); it != memo_.end()) return it->second;
+        if (onstack_.contains(routine)) return {-1, 0};  // cut recursion cycles
+        const auto* m = prog_.main();
+        if (m && routine == m->name) {
+            return memo_[routine] = {0, 0};
+        }
+        onstack_.insert(routine);
+        PathDepth best{-1, 0};
+        for (const auto* site : cg_.sites_calling(routine)) {
+            const PathDepth up = of(site->caller->name);
+            if (up.subs < 0) continue;
+            const int subs = up.subs + 1;
+            const int loops = up.loops + site->loop_depth;
+            if (subs > best.subs || (subs == best.subs && loops > best.loops)) {
+                best = {subs, loops};
+            }
+        }
+        onstack_.erase(routine);
+        return memo_[routine] = best;
+    }
+
+private:
+    const ir::Program& prog_;
+    const analysis::CallGraph& cg_;
+    std::map<std::string, PathDepth> memo_;
+    std::set<std::string> onstack_;
+};
+
+/// Deepest (subs, loops) chain inside a statement region, following calls
+/// into callee bodies.
+struct InnerDepth {
+    int subs = 0;
+    int loops = 0;
+};
+
+class InnerDepths {
+public:
+    explicit InnerDepths(const ir::Program& prog) : prog_(prog) {}
+
+    InnerDepth of_block(const ir::Block& block) {
+        InnerDepth best{0, 0};
+        for (const auto& sp : block) {
+            merge(best, of_stmt(*sp));
+        }
+        return best;
+    }
+
+private:
+    static void merge(InnerDepth& best, const InnerDepth& d) {
+        // Maximize loops first (the figure is about nesting depth), then subs.
+        if (d.loops > best.loops) best.loops = d.loops;
+        if (d.subs > best.subs) best.subs = d.subs;
+    }
+
+    InnerDepth of_routine(const std::string& name) {
+        if (auto it = memo_.find(name); it != memo_.end()) return it->second;
+        if (onstack_.contains(name)) return {0, 0};
+        const ir::Routine* r = prog_.find(name);
+        if (!r || r->is_foreign()) return memo_[name] = {0, 0};
+        onstack_.insert(name);
+        const InnerDepth d = of_block(r->body);
+        onstack_.erase(name);
+        return memo_[name] = d;
+    }
+
+    InnerDepth of_stmt(const ir::Stmt& s) {
+        InnerDepth best{0, 0};
+        switch (s.kind()) {
+            case ir::StmtKind::Do: {
+                const auto& d = static_cast<const ir::DoLoop&>(s);
+                InnerDepth inner = of_block(d.body);
+                inner.loops += 1;
+                merge(best, inner);
+                break;
+            }
+            case ir::StmtKind::If: {
+                const auto& i = static_cast<const ir::IfStmt&>(s);
+                merge(best, of_block(i.then_block));
+                merge(best, of_block(i.else_block));
+                break;
+            }
+            case ir::StmtKind::Call: {
+                const auto& c = static_cast<const ir::CallStmt&>(s);
+                InnerDepth inner = of_routine(c.name);
+                inner.subs += 1;
+                merge(best, inner);
+                break;
+            }
+            default:
+                break;
+        }
+        // Function calls inside expressions.
+        ir::for_each_own_expr(s, [&](const ir::Expr& root) {
+            ir::for_each_expr(root, [&](const ir::Expr& e) {
+                if (e.kind() == ir::ExprKind::Call &&
+                    !analysis::is_intrinsic_function(static_cast<const ir::Call&>(e).name)) {
+                    InnerDepth inner = of_routine(static_cast<const ir::Call&>(e).name);
+                    inner.subs += 1;
+                    merge(best, inner);
+                }
+            });
+        });
+        return best;
+    }
+
+    const ir::Program& prog_;
+    std::map<std::string, InnerDepth> memo_;
+    std::set<std::string> onstack_;
+};
+
+}  // namespace
+
+std::vector<TargetLoopNesting> nesting_metrics(const ir::Program& prog,
+                                               const analysis::CallGraph& cg) {
+    std::vector<TargetLoopNesting> out;
+    OuterDepths outer(prog, cg);
+    InnerDepths inner(prog);
+    for (const auto* r : prog.routines()) {
+        if (r->is_foreign()) continue;
+        // Walk with an explicit loop stack to know in-routine nesting.
+        std::function<void(const ir::Block&, int)> walk = [&](const ir::Block& block,
+                                                              int loop_depth) {
+            for (const auto& sp : block) {
+                const ir::Stmt& s = *sp;
+                if (s.kind() == ir::StmtKind::If) {
+                    const auto& i = static_cast<const ir::IfStmt&>(s);
+                    walk(i.then_block, loop_depth);
+                    walk(i.else_block, loop_depth);
+                } else if (s.kind() == ir::StmtKind::Do) {
+                    const auto& d = static_cast<const ir::DoLoop&>(s);
+                    if (d.is_target) {
+                        TargetLoopNesting m;
+                        m.routine = r->name;
+                        m.loop_id = d.loop_id;
+                        const PathDepth up = outer.of(r->name);
+                        m.outer_subs = up.subs < 0 ? 0 : up.subs;
+                        m.outer_loops = (up.subs < 0 ? 0 : up.loops) + loop_depth;
+                        const InnerDepth in = inner.of_block(d.body);
+                        m.enclosed_subs = in.subs;
+                        m.enclosed_loops = in.loops;
+                        out.push_back(m);
+                    }
+                    walk(d.body, loop_depth + 1);
+                }
+            }
+        };
+        walk(r->body, 0);
+    }
+    return out;
+}
+
+NestingAverages average(const std::vector<TargetLoopNesting>& metrics) {
+    NestingAverages avg;
+    avg.count = static_cast<int>(metrics.size());
+    if (metrics.empty()) return avg;
+    for (const auto& m : metrics) {
+        avg.outer_subs += m.outer_subs;
+        avg.outer_loops += m.outer_loops;
+        avg.enclosed_subs += m.enclosed_subs;
+        avg.enclosed_loops += m.enclosed_loops;
+    }
+    const double n = static_cast<double>(metrics.size());
+    avg.outer_subs /= n;
+    avg.outer_loops /= n;
+    avg.enclosed_subs /= n;
+    avg.enclosed_loops /= n;
+    return avg;
+}
+
+}  // namespace ap::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "ir/program.hpp"
+
+namespace ap::core {
+
+/// Figure-4 nesting characteristics of one target loop. "Outer" counts
+/// follow the deepest call-graph path from the program level down to the
+/// loop; "enclosed" counts are the deepest chain inside the loop,
+/// following calls into callees.
+struct TargetLoopNesting {
+    std::string routine;
+    int loop_id = -1;
+    int outer_subs = 0;    ///< subroutine calls from the program level to the loop
+    int outer_loops = 0;   ///< loops enclosing it along that path (incl. caller loops)
+    int enclosed_subs = 0;   ///< deepest call chain inside the loop body
+    int enclosed_loops = 0;  ///< deepest loop nest inside (through callees)
+};
+
+struct NestingAverages {
+    double outer_subs = 0;
+    double outer_loops = 0;
+    double enclosed_subs = 0;
+    double enclosed_loops = 0;
+    int count = 0;
+};
+
+/// Computes nesting metrics for every `!$TARGET` loop. Must run on the
+/// original program (before inlining rewrites the call structure).
+[[nodiscard]] std::vector<TargetLoopNesting> nesting_metrics(const ir::Program& prog,
+                                                             const analysis::CallGraph& cg);
+
+[[nodiscard]] NestingAverages average(const std::vector<TargetLoopNesting>& metrics);
+
+}  // namespace ap::core

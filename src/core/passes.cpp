@@ -1,0 +1,17 @@
+#include "core/passes.hpp"
+
+#include "symbolic/linear.hpp"
+
+namespace ap::core {
+
+PassTimer::PassTimer(PassTimes& times, PassId pass)
+    : times_(times), pass_(pass), start_(std::chrono::steady_clock::now()),
+      ops_start_(symbolic::OpCounter::count()) {}
+
+PassTimer::~PassTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    times_.sec(pass_) += std::chrono::duration<double>(elapsed).count();
+    times_.ops(pass_) += symbolic::OpCounter::count() - ops_start_;
+}
+
+}  // namespace ap::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace ap::core {
+
+/// The compiler passes the paper instruments in Figures 2-3.
+enum class PassId : unsigned char {
+    DataDependence,
+    Privatization,
+    InductionSubstitution,
+    InlineExpansion,
+    GsaTranslation,
+    InterproceduralConstProp,
+    Reduction,
+    Other,
+};
+inline constexpr int kPassCount = 8;
+
+[[nodiscard]] constexpr std::string_view to_string(PassId p) noexcept {
+    switch (p) {
+        case PassId::DataDependence: return "data-dependence test";
+        case PassId::Privatization: return "privatization";
+        case PassId::InductionSubstitution: return "induction variable substitution";
+        case PassId::InlineExpansion: return "inline expansion";
+        case PassId::GsaTranslation: return "GSA translation";
+        case PassId::InterproceduralConstProp: return "interprocedural constant propagation";
+        case PassId::Reduction: return "reduction";
+        case PassId::Other: return "others";
+    }
+    return "?";
+}
+
+/// Wall-clock seconds and symbolic-engine operations per pass.
+struct PassTimes {
+    std::array<double, kPassCount> seconds{};
+    std::array<std::uint64_t, kPassCount> symbolic_ops{};
+
+    double& sec(PassId p) { return seconds[static_cast<std::size_t>(p)]; }
+    [[nodiscard]] double sec(PassId p) const { return seconds[static_cast<std::size_t>(p)]; }
+    std::uint64_t& ops(PassId p) { return symbolic_ops[static_cast<std::size_t>(p)]; }
+    [[nodiscard]] std::uint64_t ops(PassId p) const {
+        return symbolic_ops[static_cast<std::size_t>(p)];
+    }
+    [[nodiscard]] double total_seconds() const {
+        double t = 0;
+        for (double s : seconds) t += s;
+        return t;
+    }
+    PassTimes& operator+=(const PassTimes& o) {
+        for (int i = 0; i < kPassCount; ++i) {
+            seconds[static_cast<std::size_t>(i)] += o.seconds[static_cast<std::size_t>(i)];
+            symbolic_ops[static_cast<std::size_t>(i)] += o.symbolic_ops[static_cast<std::size_t>(i)];
+        }
+        return *this;
+    }
+};
+
+/// RAII timer attributing a scope's wall time and symbolic ops to a pass.
+class PassTimer {
+public:
+    PassTimer(PassTimes& times, PassId pass);
+    ~PassTimer();
+    PassTimer(const PassTimer&) = delete;
+    PassTimer& operator=(const PassTimer&) = delete;
+
+private:
+    PassTimes& times_;
+    PassId pass_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t ops_start_;
+};
+
+}  // namespace ap::core

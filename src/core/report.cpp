@@ -1,0 +1,54 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ap::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << "  ";
+            os << row[c];
+            for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+std::string Table::fixed(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+std::string Table::sci(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+    return buf;
+}
+
+std::string Table::count(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace ap::core

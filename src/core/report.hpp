@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ap::core {
+
+/// Minimal fixed-width ASCII table used by the figure benches: the same
+/// rows/series the paper's charts plot, printed as text.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    /// Renders with a header underline; columns auto-sized.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Numeric formatting helpers.
+    [[nodiscard]] static std::string fixed(double v, int decimals = 3);
+    [[nodiscard]] static std::string sci(double v);
+    [[nodiscard]] static std::string count(std::int64_t v);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ap::core

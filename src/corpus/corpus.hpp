@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ap::corpus {
+
+/// One benchmark code set of the study: Mini-F source plus the metadata
+/// the experiments need. The industrial corpora (SEISMIC, GAMESS, SANDER)
+/// are synthetic stand-ins for the paper's proprietary applications,
+/// built to exhibit the same software-engineering patterns (DESIGN.md §2);
+/// PERFECT and LINPACK are the kernel-style contrast class.
+struct CorpusProgram {
+    std::string name;
+    std::string description;
+    std::string source;  ///< Mini-F text
+    /// Input deck for a runnable validation execution (values consumed by
+    /// READ in order). Doubles throughout; READ converts to the target's
+    /// declared type.
+    std::vector<double> sample_deck;
+    /// Expected Figure-5 histogram over `!$TARGET` loops. Tests pin the
+    /// classifier to this.
+    std::map<ir::Hindrance, int> expected_targets;
+    /// Per-loop symbolic-operation budget for compiling this corpus: the
+    /// scaled-down analogue of the paper's "reasonable compile-time
+    /// limit" (the corpora are ~100x smaller than the real applications,
+    /// so the 12-hour workstation limit scales accordingly).
+    std::uint64_t loop_op_budget = 2'000'000;
+    /// Whether the sample deck exercises a full run under the interpreter
+    /// (the industrial corpora register foreign callbacks).
+    bool runnable = true;
+};
+
+const CorpusProgram& linpack();
+const CorpusProgram& perfect();
+const CorpusProgram& seismic();
+const CorpusProgram& gamess();
+const CorpusProgram& sander();
+
+/// All five, in the order the paper's figures list them.
+[[nodiscard]] std::vector<const CorpusProgram*> all();
+
+/// Parses a corpus into IR (convenience).
+[[nodiscard]] ir::Program load(const CorpusProgram& corpus);
+
+}  // namespace ap::corpus

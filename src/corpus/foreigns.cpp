@@ -1,0 +1,53 @@
+#include "corpus/foreigns.hpp"
+
+#include <stdexcept>
+
+namespace ap::corpus {
+
+namespace {
+
+std::int64_t scalar_int(const interp::ForeignArg& arg, const char* what) {
+    if (!arg.scalar) throw interp::RuntimeError(std::string("expected scalar for ") + what);
+    return std::get<std::int64_t>(*arg.scalar);
+}
+
+}  // namespace
+
+void register_foreigns(interp::Machine& machine) {
+    machine.register_foreign("CMEMIN", [](std::vector<interp::ForeignArg>& args) {
+        if (args.size() != 2 || !args[0].array) {
+            throw interp::RuntimeError("CMEMIN: bad arguments");
+        }
+        const auto n = scalar_int(args[1], "CMEMIN n");
+        auto& view = *args[0].array;
+        for (std::int64_t i = 0; i < n; ++i) {
+            (*view.buffer)[static_cast<std::size_t>(view.base + i)] = 0.0;
+        }
+    });
+    machine.register_foreign("CFILEWR", [](std::vector<interp::ForeignArg>& args) {
+        if (args.size() != 3 || !args[0].array) {
+            throw interp::RuntimeError("CFILEWR: bad arguments");
+        }
+        // Archival only: the record leaves the program.
+    });
+    machine.register_foreign("CFILERD", [](std::vector<interp::ForeignArg>& args) {
+        if (args.size() != 3 || !args[0].array) {
+            throw interp::RuntimeError("CFILERD: bad arguments");
+        }
+        const auto n = scalar_int(args[1], "CFILERD n");
+        const auto rec = scalar_int(args[2], "CFILERD irec");
+        auto& view = *args[0].array;
+        for (std::int64_t i = 0; i < n; ++i) {
+            (*view.buffer)[static_cast<std::size_t>(view.base + i)] =
+                0.125 * static_cast<double>(rec) + 0.001 * static_cast<double>(i + 1);
+        }
+    });
+    machine.register_foreign("CWINTS", [](std::vector<interp::ForeignArg>& args) {
+        if (args.size() != 3 || !args[0].array) {
+            throw interp::RuntimeError("CWINTS: bad arguments");
+        }
+        // Integral file write: swallowed.
+    });
+}
+
+}  // namespace ap::corpus

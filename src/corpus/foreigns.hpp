@@ -1,0 +1,16 @@
+#pragma once
+
+#include "interp/interp.hpp"
+
+namespace ap::corpus {
+
+/// Registers the native implementations of every EXTERNAL "C" routine the
+/// corpora declare (the multilingual layer of DESIGN.md §2):
+///   CMEMIN(W, N)          — memory-subsystem init: zeroes W(1..N)
+///   CFILEWR(BUF, N, IREC) — trace archival: swallows the record
+///   CFILERD(BUF, N, IREC) — header re-read: deterministic fill
+///   CWINTS(BUF, NBUF, I)  — integral record writer: swallows the record
+/// Idempotent; safe to call for corpora that use none of them.
+void register_foreigns(interp::Machine& machine);
+
+}  // namespace ap::corpus

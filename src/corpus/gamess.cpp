@@ -1,0 +1,459 @@
+#include "corpus/corpus.hpp"
+
+namespace ap::corpus {
+
+namespace {
+
+// GAMESS-style quantum chemistry (synthetic stand-in). Patterns from the
+// paper reproduced:
+//   - multifunctionality: the wavefunction type (RHF/UHF/GVB) is chosen
+//     from the input deck (§2.1);
+//   - the JKDER/DABGVB pattern (§2.3): a shared work array X in COMMON,
+//     indexed from the runtime offset LVEC, reshaped to a 2-D matrix of
+//     runtime leading dimension inside the callee — the compiler's region
+//     representation cannot capture it ("access representation");
+//   - the triangular index table IA ("indirection") and packed-triangle
+//     subscript arithmetic I*(I+1)/2 ("symbol analysis");
+//   - runtime-read orbital windows and offsets ("rangeless");
+//   - integral files written through a foreign C routine (§2.4).
+constexpr const char* kSource = R"MINIF(
+PROGRAM GMSMAIN
+  PARAMETER (MAXORB = 16)
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR
+  READ *, ISCF, NORB, NCORE, LVEC, IPTR
+  IF (NORB .GT. MAXORB) STOP
+  IF (NORB .LT. 2) STOP
+  CALL XSETUP
+  IF (ISCF .EQ. 1) THEN
+    CALL RHFCLC
+  ELSE
+    IF (ISCF .EQ. 2) THEN
+      CALL UHFCLC
+    ELSE
+      CALL GVBCLC
+    END IF
+  END IF
+  CALL XREPRT
+END
+
+SUBROUTINE XSETUP
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  COMMON /IAIDX/ IA(16)
+  COMMON /DMAT/ D(16, 16)
+  COMMON /QMAT/ Q(256)
+  COMMON /EBLK/ E(128)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, IA
+  INTEGER I, J
+  DO I = 1, 512
+    X(I) = 0.01 * I
+  END DO
+  DO I = 1, 16
+    IA(I) = (I * (I - 1)) / 2
+    DO J = 1, 16
+      D(I, J) = 0.0
+    END DO
+  END DO
+  DO I = 1, 256
+    Q(I) = 0.002 * I
+  END DO
+  DO I = 1, 128
+    E(I) = 0.003 * I
+  END DO
+  RETURN
+END
+
+SUBROUTINE RHFCLC
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR
+  REAL OVLP
+  CALL DENMAT
+  CALL ORBNRM(OVLP)
+  CALL FOCKAD
+  CALL GUESSV
+  CALL ONEEI
+  CALL PCKTRI
+  CALL JKDER
+  CALL INTWRT
+  CALL SCLVEC(5)
+  PRINT *, OVLP
+  RETURN
+END
+
+SUBROUTINE UHFCLC
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR
+  CALL DENMAT
+  CALL MOWIND
+  CALL SCATTR
+  CALL TWOEI
+  CALL ORTHOV
+  CALL SCLVEC(3)
+  RETURN
+END
+
+SUBROUTINE GVBCLC
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /QMAT/ Q(256)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR
+  CALL TFTRI(Q, Q, 128)
+  CALL VMULT(Q, Q, 96)
+  CALL GTHDNS
+  CALL DIISX
+  CALL TRNPSV
+  CALL FOCKD2
+  CALL CPHFKR
+  RETURN
+END
+
+SUBROUTINE XREPRT
+  COMMON /XBLK/ X(512)
+  PRINT *, X(1), X(101), X(200)
+  RETURN
+END
+
+SUBROUTINE DENMAT
+! Density build: clean affine loop nest, parallelized.
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /DMAT/ D(16, 16)
+  COMMON /XBLK/ X(512)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I, J
+!$TARGET
+  DO I = 1, NORB
+    DO J = 1, NORB
+      D(I, J) = X(I) * X(J) * 2.0
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE ORBNRM(OVLP)
+! Orbital-overlap reduction: recognized and parallelized.
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I
+  REAL OVLP
+  OVLP = 0.0
+!$TARGET
+  DO I = 1, NORB
+    OVLP = OVLP + X(I) * X(I)
+  END DO
+  RETURN
+END
+
+SUBROUTINE FOCKAD
+! Fock update into the region at the runtime offset IPTR: the compiler
+! has no bounds for IPTR ("rangeless").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I
+!$TARGET
+  DO I = 1, NORB
+    X(IPTR + I) = X(I) * 1.5
+  END DO
+  RETURN
+END
+
+SUBROUTINE MOWIND
+! Active-window compaction: the core window start NCORE is read from the
+! deck and unbounded ("rangeless").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I
+!$TARGET
+  DO I = NCORE + 1, NORB
+    X(I - NCORE) = X(I) * 0.5
+  END DO
+  RETURN
+END
+
+SUBROUTINE DIISX
+! DIIS error-vector shift by the runtime offset LVEC ("rangeless").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /EBLK/ E(128)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I
+!$TARGET
+  DO I = 1, NORB
+    E(I + LVEC) = E(I) * 0.25
+  END DO
+  RETURN
+END
+
+SUBROUTINE SCATTR
+! Scatter through the triangular index table ("indirection").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  COMMON /IAIDX/ IA(16)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, IA, I
+!$TARGET
+  DO I = 1, NORB
+    X(IA(I) + 1) = 0.1 * I
+  END DO
+  RETURN
+END
+
+SUBROUTINE GTHDNS
+! Density gather/scatter through IA ("indirection").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  COMMON /IAIDX/ IA(16)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, IA, I, J
+!$TARGET
+  DO I = 1, NORB
+    DO J = 1, I
+      X(IA(I) + J) = X(IA(I) + J) * 0.9 + 0.001 * J
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE PCKTRI
+! Packed-triangle subscript arithmetic: the division in I*(I+1)/2 defeats
+! the linear subscript representation ("symbol analysis").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I, J
+!$TARGET
+  DO I = 1, NORB
+    DO J = 1, I
+      X((I * (I + 1)) / 2 + J) = 0.01 * (I + J)
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE SCLVEC(KSTR)
+! Strided scaling with a symbolic stride: even clamped, the product
+! KSTR*I is beyond the affine engine ("symbol analysis").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, KSTR, I
+  IF (KSTR .GT. 8) STOP
+  IF (KSTR .LT. 2) STOP
+!$TARGET
+  DO I = 1, NORB
+    X(KSTR * I) = X(KSTR * I) * 1.1 + 0.5
+  END DO
+  RETURN
+END
+
+SUBROUTINE JKDER
+! The paper's JKDER pattern: the shared X storage from offset LVEC is
+! handed to DABGVB, which views it as a 2-D matrix of runtime leading
+! dimension. The summarized access region cannot be represented
+! ("access representation").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, ISHELL
+!$TARGET
+  DO ISHELL = 1, NORB
+    CALL DABGVB(X(LVEC), NORB)
+  END DO
+  RETURN
+END
+
+SUBROUTINE DABGVB(V, L1)
+  INTEGER L1, MU, NU
+  REAL V(L1, *)
+  DO MU = 1, L1
+    DO NU = 1, MU
+      V(MU, NU) = V(MU, NU) * 0.999
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE INTWRT
+! Two-electron integral records written through the C I/O layer (§2.4):
+! the foreign call's effects are opaque ("access representation").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  REAL BUF(32)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, II, K
+!$TARGET
+  DO II = 1, NORB
+    DO K = 1, 32
+      BUF(K) = X(II) * K
+    END DO
+    CALL CWINTS(BUF, 32, II)
+  END DO
+  RETURN
+END
+
+EXTERNAL SUBROUTINE CWINTS(BUF, NBUF, IREC)
+  REAL BUF(*)
+  INTEGER NBUF, IREC
+END
+
+SUBROUTINE TFTRI(A, B, N)
+! Triangular transform applied in place: callers pass the same matrix for
+! both operands, so the dummies may alias ("aliasing").
+  INTEGER N, I
+  REAL A(N), B(N)
+!$TARGET
+  DO I = 1, N
+    A(I) = 0.5 * A(I) + 0.5 * B(I)
+  END DO
+  RETURN
+END
+
+SUBROUTINE GUESSV
+! Initial-guess vectors: clean affine nest, parallelized.
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /DMAT/ D(16, 16)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I, J
+!$TARGET
+  DO I = 1, NORB
+    DO J = 1, NORB
+      D(J, I) = 1.0 / (I + J)
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE ONEEI
+! One-electron integral accumulation shifted by twice the core window:
+! NCORE is a deck value with no bounds ("rangeless").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I
+!$TARGET
+  DO I = 1, NORB
+    X(I + NCORE * 2) = X(I) * 0.75 + 0.01
+  END DO
+  RETURN
+END
+
+SUBROUTINE TWOEI
+! Two-electron contribution scattered through the triangular table
+! ("indirection").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  COMMON /IAIDX/ IA(16)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, IA, I
+!$TARGET
+  DO I = 2, NORB
+    X(IA(I) + 2) = X(I) * X(I - 1)
+  END DO
+  RETURN
+END
+
+SUBROUTINE ORTHOV
+! Orthonormalization addressed by a computed column index: the engine
+! cannot bound the MOD-derived local ("symbol analysis").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /EBLK/ E(128)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I, KCOL
+!$TARGET
+  DO I = 1, NORB
+    KCOL = MOD(I * 11, 31) + 1
+    E(KCOL) = 0.1 * I
+  END DO
+  RETURN
+END
+
+SUBROUTINE VMULT(A, B, N)
+! Vector multiply applied in place: the GVB path passes the same matrix
+! twice, so the dummies may alias ("aliasing").
+  INTEGER N, I
+  REAL A(N), B(N)
+!$TARGET
+  DO I = 1, N
+    A(I) = 0.25 * A(I) + 0.75 * B(I)
+  END DO
+  RETURN
+END
+
+SUBROUTINE TRNPSV
+! Transposed scaling of the X region through a runtime-leading-dimension
+! view ("access representation").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, IP
+!$TARGET
+  DO IP = 1, NORB
+    CALL DABGVB(X(IPTR), NORB)
+  END DO
+  RETURN
+END
+
+SUBROUTINE FOCKD2
+! Second Fock shift against the vector offset ("rangeless").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /EBLK/ E(128)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR, I
+!$TARGET
+  DO I = 1, NORB
+    E(I + IPTR) = E(I) * 1.25
+  END DO
+  RETURN
+END
+
+SUBROUTINE CPHFKR
+! Coupled-perturbed HF kernel: a deep nest whose pairwise subscript
+! comparisons exhaust the compile-time budget ("complexity").
+  COMMON /XCTL/ ISCF, NORB, NCORE, LVEC, IPTR
+  COMMON /XBLK/ X(512)
+  COMMON /QMAT/ Q(256)
+  COMMON /EBLK/ E(128)
+  COMMON /DMAT/ D(16, 16)
+  INTEGER ISCF, NORB, NCORE, LVEC, IPTR
+  INTEGER I, J, K, L
+!$TARGET
+  DO I = 1, NORB
+    DO J = 1, NORB
+      DO K = 1, NORB
+        DO L = 1, NORB
+          D(I, J) = D(J, I) + Q(I * 16 + J - 15) * Q(J * 16 + K - 15)
+          D(J, I) = D(I, J) + Q(K * 16 + L - 15) * Q(L * 16 + I - 15)
+          D(I, K) = D(K, I) + E(I + J - 1) * E(K + L - 1)
+          D(K, I) = D(I, K) + E(J + K - 1) * E(L + I - 1)
+          D(J, K) = D(K, J) + X(I * 2 + J) * X(K * 2 + L)
+          D(K, J) = D(J, K) + X(J * 2 + K) * X(L * 2 + I)
+          D(J, L) = D(L, J) + Q(I + J + K) * E(I + 1)
+          D(L, J) = D(J, L) + Q(J + K + L) * E(J + 1)
+          D(K, L) = D(L, K) + X(I + J) * Q(K + L)
+          D(L, K) = D(K, L) + X(K + L) * Q(I + J)
+          D(I, L) = D(L, I) + Q(I * 16 + L - 15) * E(K + 2)
+          D(L, I) = D(I, L) + Q(L * 16 + I - 15) * E(L + 2)
+          E(I + K) = E(K + I - 1) + X(J + L) * 0.001
+          E(J + L) = E(L + J - 1) + X(I + K) * 0.001
+          Q(I * 16 + K - 15) = Q(K * 16 + I - 15) + D(I, J) * 0.01
+          Q(J * 16 + L - 15) = Q(L * 16 + J - 15) + D(K, L) * 0.01
+          X(I * 4 + J + K) = X(J * 4 + K + L) + E(I + 3) * 0.1
+          X(K * 4 + L + I) = X(L * 4 + I + J) + E(J + 3) * 0.1
+        END DO
+      END DO
+    END DO
+  END DO
+  RETURN
+END
+)MINIF";
+
+}  // namespace
+
+const CorpusProgram& gamess() {
+    static const CorpusProgram corpus = [] {
+        CorpusProgram c;
+        c.name = "GAMESS";
+        c.description = "GAMESS-style quantum chemistry (synthetic stand-in)";
+        c.source = kSource;
+        // iscf=1 (RHF), norb=8, ncore=2, lvec=100, iptr=60
+        c.sample_deck = {1, 8, 2, 100, 60};
+        c.loop_op_budget = 15'000;
+        c.expected_targets = {
+            {ir::Hindrance::Autoparallelized, 3},      // DENMAT, ORBNRM, GUESSV
+            {ir::Hindrance::Aliasing, 2},              // TFTRI, VMULT
+            {ir::Hindrance::Rangeless, 5},             // FOCKAD, MOWIND, DIISX, ONEEI, FOCKD2
+            {ir::Hindrance::Indirection, 3},           // SCATTR, GTHDNS, TWOEI
+            {ir::Hindrance::SymbolAnalysis, 3},        // PCKTRI, SCLVEC, ORTHOV
+            {ir::Hindrance::AccessRepresentation, 3},  // JKDER, INTWRT, TRNPSV
+            {ir::Hindrance::Complexity, 1},            // CPHFKR
+        };
+        return c;
+    }();
+    return corpus;
+}
+
+}  // namespace ap::corpus

@@ -1,0 +1,183 @@
+#include "corpus/corpus.hpp"
+#include "frontend/parser.hpp"
+
+namespace ap::corpus {
+
+namespace {
+
+// LINPACK-style linear algebra kernels: trivially analyzable subscripts,
+// shallow nesting, no runtime-dependent control flow. The paper's
+// cheapest-to-compile contrast class (Figures 2-3).
+constexpr const char* kSource = R"MINIF(
+PROGRAM LINMAIN
+  PARAMETER (N = 24)
+  REAL A(N, N), B(N), X(N)
+  INTEGER IPVT(N), INFO
+  INTEGER I, J
+  DO I = 1, N
+    B(I) = 1.0 + 0.5 * I
+    DO J = 1, N
+      A(I, J) = 1.0 / (I + J - 1)
+    END DO
+    A(I, I) = A(I, I) + N
+  END DO
+  CALL DGEFA(A, N, N, IPVT, INFO)
+  IF (INFO .NE. 0) STOP
+  CALL DGESL(A, N, N, IPVT, B)
+  CALL DMXPY(N, X, N, N, B, A)
+  PRINT *, B(1), B(N), X(1)
+END
+
+SUBROUTINE DAXPY(N, DA, DX, DY)
+  INTEGER N, I
+  REAL DA, DX(N), DY(N)
+  IF (N .LE. 0) RETURN
+  IF (DA .EQ. 0.0) RETURN
+  DO I = 1, N
+    DY(I) = DY(I) + DA * DX(I)
+  END DO
+  RETURN
+END
+
+FUNCTION DDOT(N, DX, DY)
+  INTEGER N, I
+  REAL DDOT, DX(N), DY(N)
+  DDOT = 0.0
+  IF (N .LE. 0) RETURN
+  DO I = 1, N
+    DDOT = DDOT + DX(I) * DY(I)
+  END DO
+  RETURN
+END
+
+SUBROUTINE DSCAL(N, DA, DX)
+  INTEGER N, I
+  REAL DA, DX(N)
+  IF (N .LE. 0) RETURN
+  DO I = 1, N
+    DX(I) = DA * DX(I)
+  END DO
+  RETURN
+END
+
+FUNCTION IDAMAX(N, DX)
+  INTEGER IDAMAX, N, I
+  REAL DX(N), DMAX
+  IDAMAX = 1
+  IF (N .LT. 1) RETURN
+  DMAX = ABS(DX(1))
+  DO I = 2, N
+    IF (ABS(DX(I)) .GT. DMAX) THEN
+      IDAMAX = I
+      DMAX = ABS(DX(I))
+    END IF
+  END DO
+  RETURN
+END
+
+SUBROUTINE DGEFA(A, LDA, N, IPVT, INFO)
+  INTEGER LDA, N, IPVT(N), INFO
+  REAL A(LDA, N), T
+  INTEGER I, J, K, L, NM1, KP1
+  INFO = 0
+  NM1 = N - 1
+  IF (NM1 .LT. 1) RETURN
+  DO K = 1, NM1
+    KP1 = K + 1
+    L = K
+    DO I = KP1, N
+      IF (ABS(A(I, K)) .GT. ABS(A(L, K))) THEN
+        L = I
+      END IF
+    END DO
+    IPVT(K) = L
+    IF (A(L, K) .EQ. 0.0) THEN
+      INFO = K
+    ELSE
+      IF (L .NE. K) THEN
+        T = A(L, K)
+        A(L, K) = A(K, K)
+        A(K, K) = T
+      END IF
+      T = -1.0 / A(K, K)
+      DO I = KP1, N
+        A(I, K) = A(I, K) * T
+      END DO
+      DO J = KP1, N
+        T = A(L, J)
+        IF (L .NE. K) THEN
+          A(L, J) = A(K, J)
+          A(K, J) = T
+        END IF
+        DO I = KP1, N
+          A(I, J) = A(I, J) + T * A(I, K)
+        END DO
+      END DO
+    END IF
+  END DO
+  IPVT(N) = N
+  IF (A(N, N) .EQ. 0.0) THEN
+    INFO = N
+  END IF
+  RETURN
+END
+
+SUBROUTINE DGESL(A, LDA, N, IPVT, B)
+  INTEGER LDA, N, IPVT(N)
+  REAL A(LDA, N), B(N), T
+  INTEGER K, KB, L, NM1
+  NM1 = N - 1
+  DO K = 1, NM1
+    L = IPVT(K)
+    T = B(L)
+    IF (L .NE. K) THEN
+      B(L) = B(K)
+      B(K) = T
+    END IF
+    CALL DAXPY(N - K, T, A(K + 1, K), B(K + 1))
+  END DO
+  DO KB = 1, N
+    K = N + 1 - KB
+    B(K) = B(K) / A(K, K)
+    T = -B(K)
+    CALL DAXPY(K - 1, T, A(1, K), B(1))
+  END DO
+  RETURN
+END
+
+SUBROUTINE DMXPY(N1, Y, N2, LDM, X, M)
+  INTEGER N1, N2, LDM, I, J
+  REAL Y(N1), X(N2), M(LDM, N2)
+  DO J = 1, N2
+    DO I = 1, N1
+      Y(I) = Y(I) + X(J) * M(I, J)
+    END DO
+  END DO
+  RETURN
+END
+)MINIF";
+
+}  // namespace
+
+const CorpusProgram& linpack() {
+    static const CorpusProgram corpus = [] {
+        CorpusProgram c;
+        c.name = "Linpack";
+        c.description = "LINPACK-style BLAS/solver kernels (contrast class)";
+        c.source = kSource;
+        c.sample_deck = {};
+        c.expected_targets = {};  // no hand-identified target loops
+        return c;
+    }();
+    return corpus;
+}
+
+ir::Program load(const CorpusProgram& corpus) {
+    return frontend::parse(corpus.source, corpus.name);
+}
+
+std::vector<const CorpusProgram*> all() {
+    return {&seismic(), &gamess(), &sander(), &perfect(), &linpack()};
+}
+
+}  // namespace ap::corpus

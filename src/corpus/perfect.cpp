@@ -1,0 +1,177 @@
+#include "corpus/corpus.hpp"
+
+namespace ap::corpus {
+
+namespace {
+
+// PERFECT-BENCHMARKS-style codes: computational cores extracted from full
+// applications, with outer-context values bound to static PARAMETERs —
+// exactly the construction §2.5.1 of the paper describes. Target loops
+// sit at shallow nesting depth and analyze cleanly.
+constexpr const char* kSource = R"MINIF(
+PROGRAM PERFMAIN
+  CALL FLOKRN
+  CALL TRFKRN
+  CALL MDKERN
+  CALL ADIKRN
+END
+
+SUBROUTINE FLOKRN
+  PARAMETER (NX = 34, NY = 18, NSWEEP = 4)
+  REAL W(NX, NY), WNEW(NX, NY), FS(NX, NY)
+  INTEGER I, J, IS
+  DO J = 1, NY
+    DO I = 1, NX
+      W(I, J) = 0.01 * I + 0.02 * J
+      FS(I, J) = 0.001 * (I - J)
+    END DO
+  END DO
+  DO IS = 1, NSWEEP
+!$TARGET
+    DO J = 2, NY - 1
+      DO I = 2, NX - 1
+        WNEW(I, J) = W(I, J) + 0.25 * (W(I - 1, J) + W(I + 1, J) + &
+          W(I, J - 1) + W(I, J + 1) - 4.0 * W(I, J)) + FS(I, J)
+      END DO
+    END DO
+!$TARGET
+    DO J = 2, NY - 1
+      DO I = 2, NX - 1
+        W(I, J) = WNEW(I, J)
+      END DO
+    END DO
+  END DO
+  PRINT *, W(3, 3), W(NX - 2, NY - 2)
+  RETURN
+END
+
+SUBROUTINE TRFKRN
+  PARAMETER (NB = 12)
+  REAL XIJ(NB, NB), V(NB, NB), TMP(NB, NB), XOUT(NB, NB)
+  INTEGER I, J, K
+  DO J = 1, NB
+    DO I = 1, NB
+      XIJ(I, J) = 1.0 / (I + J)
+      V(I, J) = 0.1 * I - 0.05 * J
+      IF (I .EQ. J) THEN
+        V(I, J) = 1.0
+      END IF
+    END DO
+  END DO
+!$TARGET
+  DO J = 1, NB
+    DO I = 1, NB
+      TMP(I, J) = 0.0
+      DO K = 1, NB
+        TMP(I, J) = TMP(I, J) + XIJ(I, K) * V(K, J)
+      END DO
+    END DO
+  END DO
+!$TARGET
+  DO J = 1, NB
+    DO I = 1, NB
+      XOUT(I, J) = 0.0
+      DO K = 1, NB
+        XOUT(I, J) = XOUT(I, J) + V(K, I) * TMP(K, J)
+      END DO
+    END DO
+  END DO
+  PRINT *, XOUT(1, 1), XOUT(NB, NB)
+  RETURN
+END
+
+SUBROUTINE MDKERN
+  PARAMETER (NATOM = 40, NSTEP = 3)
+  REAL X(NATOM), Y(NATOM), Z(NATOM)
+  REAL FX(NATOM), FY(NATOM), FZ(NATOM)
+  REAL DX, DY, DZ, R2, FORCE, EPOT
+  INTEGER I, J, IS
+  DO I = 1, NATOM
+    X(I) = 0.3 * I
+    Y(I) = 0.2 * MOD(I, 7)
+    Z(I) = 0.1 * MOD(I, 11)
+  END DO
+  DO IS = 1, NSTEP
+!$TARGET
+    DO I = 1, NATOM
+      FX(I) = 0.0
+      FY(I) = 0.0
+      FZ(I) = 0.0
+      DO J = 1, NATOM
+        IF (J .NE. I) THEN
+          DX = X(J) - X(I)
+          DY = Y(J) - Y(I)
+          DZ = Z(J) - Z(I)
+          R2 = DX * DX + DY * DY + DZ * DZ + 0.5
+          FORCE = 1.0 / (R2 * R2)
+          FX(I) = FX(I) + FORCE * DX
+          FY(I) = FY(I) + FORCE * DY
+          FZ(I) = FZ(I) + FORCE * DZ
+        END IF
+      END DO
+    END DO
+    EPOT = 0.0
+!$TARGET
+    DO I = 1, NATOM
+      EPOT = EPOT + FX(I) * FX(I) + FY(I) * FY(I) + FZ(I) * FZ(I)
+    END DO
+    DO I = 1, NATOM
+      X(I) = X(I) + 0.001 * FX(I)
+      Y(I) = Y(I) + 0.001 * FY(I)
+      Z(I) = Z(I) + 0.001 * FZ(I)
+    END DO
+  END DO
+  PRINT *, EPOT
+  RETURN
+END
+
+SUBROUTINE ADIKRN
+  PARAMETER (NG = 24, NSWP = 2)
+  REAL P(NG, NG), RHS(NG, NG)
+  INTEGER I, J, IS
+  DO J = 1, NG
+    DO I = 1, NG
+      P(I, J) = 0.05 * I - 0.03 * J
+      RHS(I, J) = 0.01 * (I + J)
+    END DO
+  END DO
+  DO IS = 1, NSWP
+! Row sweep of the ADI iteration: the recurrence runs along I, so the
+! J loop (independent columns) is the hand-parallelized target.
+!$TARGET
+    DO J = 1, NG
+      DO I = 2, NG
+        P(I, J) = P(I, J) + 0.5 * P(I - 1, J) + RHS(I, J)
+      END DO
+    END DO
+! Column sweep: recurrence along J, parallel across rows I.
+!$TARGET
+    DO I = 1, NG
+      DO J = 2, NG
+        P(I, J) = P(I, J) + 0.5 * P(I, J - 1) + RHS(I, J)
+      END DO
+    END DO
+  END DO
+  PRINT *, P(NG, NG)
+  RETURN
+END
+)MINIF";
+
+}  // namespace
+
+const CorpusProgram& perfect() {
+    static const CorpusProgram corpus = [] {
+        CorpusProgram c;
+        c.name = "Perf. Bench.";
+        c.description = "PERFECT-style extracted computational kernels (contrast class)";
+        c.source = kSource;
+        c.sample_deck = {};
+        c.expected_targets = {
+            {ir::Hindrance::Autoparallelized, 8},
+        };
+        return c;
+    }();
+    return corpus;
+}
+
+}  // namespace ap::corpus

@@ -1,0 +1,419 @@
+#include "corpus/corpus.hpp"
+
+namespace ap::corpus {
+
+namespace {
+
+// SANDER-style molecular dynamics (the FORTRAN 77 computational core of
+// AMBER, per the paper). Patterns reproduced:
+//   - multifunctionality: `imin` selects minimization vs dynamics (§2.1);
+//   - neighbour-list indirection in the force loops (Figure 5
+//     "indirection", the dominant SANDER hindrance);
+//   - rangeless runtime-read sizes and offsets (Figure 5 "rangeless");
+//   - aliased coordinate sections passed to one routine ("aliasing").
+constexpr const char* kSource = R"MINIF(
+PROGRAM SNDMAIN
+  PARAMETER (MAXNAT = 64)
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  INTEGER IMIN, NATOM, NSTEP, NOFF
+  READ *, IMIN, NATOM, NSTEP, NOFF
+  IF (NATOM .GT. MAXNAT) STOP
+  IF (NATOM .LT. 2) STOP
+  CALL SETUP
+  IF (IMIN .EQ. 1) THEN
+    CALL RUNMIN
+  ELSE
+    CALL RUNMD
+  END IF
+END
+
+SUBROUTINE SETUP
+  PARAMETER (MAXNAT = 64, MAXNB = 512)
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /COORD/ X(64), Y(64), Z(64)
+  COMMON /FORCE/ FX(64), FY(64), FZ(64)
+  COMMON /VELOC/ VX(64), VY(64), VZ(64)
+  COMMON /NBLST/ NPAIR, JLO(64), JHI(64), JLIST(512)
+  COMMON /BONDS/ NBOND, IB(64), JB(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF
+  INTEGER NPAIR, JLO, JHI, JLIST, NBOND, IB, JB
+  INTEGER I, K, NB
+  DO I = 1, NATOM
+    X(I) = 0.4 * I
+    Y(I) = 0.3 * MOD(I, 5)
+    Z(I) = 0.2 * MOD(I, 9)
+    VX(I) = 0.0
+    VY(I) = 0.0
+    VZ(I) = 0.0
+  END DO
+  NBOND = NATOM - 1
+  DO K = 1, NBOND
+    IB(K) = K
+    JB(K) = K + 1
+  END DO
+  NPAIR = 0
+  DO I = 1, NATOM
+    JLO(I) = NPAIR + 1
+    NB = 0
+    DO K = 1, NATOM
+      IF (K .NE. I) THEN
+        IF (MOD(K + I, 7) .EQ. 0) THEN
+          NPAIR = NPAIR + 1
+          JLIST(NPAIR) = K
+          NB = NB + 1
+        END IF
+      END IF
+    END DO
+    JHI(I) = NPAIR
+  END DO
+  RETURN
+END
+
+SUBROUTINE RUNMD
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /VELOC/ VX(64), VY(64), VZ(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF
+  INTEGER ISTEP, I, PERM(64)
+  REAL ETOT
+  DO ISTEP = 1, NSTEP
+    CALL FRCCLR
+    CALL BONDEN
+    CALL ANGLEN
+    CALL DIHEDE
+    CALL NBENER
+    CALL RESTRN
+    CALL TEMPSC
+    CALL VERLET
+  END DO
+  CALL PMEGRD
+  CALL EKIN(ETOT)
+  DO I = 1, NATOM
+    PERM(I) = MOD(I + 2, NATOM) + 1
+  END DO
+  CALL REORDR(PERM, NATOM)
+  CALL HISTV(NATOM, 29)
+  PRINT *, ETOT, VX(1)
+  RETURN
+END
+
+SUBROUTINE RUNMIN
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  INTEGER IMIN, NATOM, NSTEP, NOFF
+  INTEGER ITER
+  REAL ETOT
+  DO ITER = 1, NSTEP
+    CALL FRCCLR
+    CALL BONDEN
+    CALL NBENER
+    CALL STEEPD
+  END DO
+  CALL EKIN(ETOT)
+  PRINT *, ETOT
+  RETURN
+END
+
+SUBROUTINE FRCCLR
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /FORCE/ FX(64), FY(64), FZ(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, I
+!$TARGET
+  DO I = 1, NATOM
+    FX(I) = 0.0
+    FY(I) = 0.0
+    FZ(I) = 0.0
+  END DO
+  RETURN
+END
+
+SUBROUTINE BONDEN
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /COORD/ X(64), Y(64), Z(64)
+  COMMON /FORCE/ FX(64), FY(64), FZ(64)
+  COMMON /BONDS/ NBOND, IB(64), JB(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, NBOND, IB, JB
+  INTEGER K, I1, J1
+  REAL DX, DY, DZ, R2, DED, W
+! The bonded-force scatter: both endpoints of each bond are updated
+! through the index lists ("arrays indexed by arrays"), and W reads FX
+! outside the update pattern, so no reduction is recognized either.
+!$TARGET
+  DO K = 1, NBOND
+    I1 = IB(K)
+    J1 = JB(K)
+    DX = X(I1) - X(J1)
+    DY = Y(I1) - Y(J1)
+    DZ = Z(I1) - Z(J1)
+    R2 = DX * DX + DY * DY + DZ * DZ
+    DED = 2.0 * (R2 - 1.0)
+    W = FX(IB(K))
+    FX(IB(K)) = W - DED * DX
+    FX(JB(K)) = FX(JB(K)) + DED * DX
+    FY(IB(K)) = FY(IB(K)) - DED * DY
+    FY(JB(K)) = FY(JB(K)) + DED * DY
+    FZ(IB(K)) = FZ(IB(K)) - DED * DZ
+    FZ(JB(K)) = FZ(JB(K)) + DED * DZ
+  END DO
+  RETURN
+END
+
+SUBROUTINE NBENER
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /COORD/ X(64), Y(64), Z(64)
+  COMMON /FORCE/ FX(64), FY(64), FZ(64)
+  COMMON /NBLST/ NPAIR, JLO(64), JHI(64), JLIST(512)
+  INTEGER IMIN, NATOM, NSTEP, NOFF
+  INTEGER NPAIR, JLO, JHI, JLIST
+  INTEGER I, K, J
+  REAL DX, DY, DZ, R2, F0, W
+! Nonbonded forces through the neighbour list: the inner subscripts come
+! from JLIST, so the write side is again indirect.
+!$TARGET
+  DO I = 1, NATOM
+    DO K = JLO(I), JHI(I)
+      J = JLIST(K)
+      DX = X(J) - X(I)
+      DY = Y(J) - Y(I)
+      DZ = Z(J) - Z(I)
+      R2 = DX * DX + DY * DY + DZ * DZ + 1.0
+      F0 = 1.0 / (R2 * R2)
+      W = FX(JLIST(K))
+      FX(JLIST(K)) = W + F0 * DX
+      FY(JLIST(K)) = FY(JLIST(K)) + F0 * DY
+      FZ(JLIST(K)) = FZ(JLIST(K)) + F0 * DZ
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE VERLET
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /COORD/ X(64), Y(64), Z(64)
+  COMMON /FORCE/ FX(64), FY(64), FZ(64)
+  COMMON /VELOC/ VX(64), VY(64), VZ(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, I
+  REAL DT
+  DT = 0.002
+! Velocity and position update: clean unit-stride loop, the kind the
+! compiler parallelizes.
+!$TARGET
+  DO I = 1, NATOM
+    VX(I) = VX(I) + DT * FX(I)
+    VY(I) = VY(I) + DT * FY(I)
+    VZ(I) = VZ(I) + DT * FZ(I)
+    X(I) = X(I) + DT * VX(I)
+    Y(I) = Y(I) + DT * VY(I)
+    Z(I) = Z(I) + DT * VZ(I)
+  END DO
+  CALL WRAPPD(X, NATOM)
+  CALL WRAPPD(Y, NATOM)
+  CALL WRAPPD(Z, NATOM)
+  RETURN
+END
+
+SUBROUTINE WRAPPD(C, N)
+  REAL C(N)
+  INTEGER N, I
+  DO I = 1, N
+    IF (C(I) .GT. 50.0) THEN
+      C(I) = C(I) - 50.0
+    END IF
+  END DO
+  RETURN
+END
+
+SUBROUTINE STEEPD
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /COORD/ X(64), Y(64), Z(64)
+  COMMON /FORCE/ FX(64), FY(64), FZ(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, I
+! Steepest-descent move used by the minimization path. The shift NOFF is
+! read from the input deck and never bounded: comparing X(I) against the
+! scratch copy at X-offset defeats the range test ("rangeless").
+  COMMON /SCRTCH/ T(128)
+  INTEGER K
+!$TARGET
+  DO I = 1, NATOM
+    T(I + NOFF) = X(I) + 0.01 * FX(I)
+    T(I) = X(I)
+  END DO
+!$TARGET
+  DO K = 1, NATOM
+    X(K) = T(K + NOFF)
+    T(K) = 0.0
+  END DO
+  RETURN
+END
+
+SUBROUTINE ANGLEN
+! Angle bending forces through the angle index lists ("indirection").
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /COORD/ X(64), Y(64), Z(64)
+  COMMON /FORCE/ FX(64), FY(64), FZ(64)
+  COMMON /BONDS/ NBOND, IB(64), JB(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, NBOND, IB, JB
+  INTEGER K
+  REAL TH, W
+!$TARGET
+  DO K = 2, NBOND
+    TH = X(IB(K)) - 2.0 * X(JB(K)) + X(IB(K - 1))
+    W = FY(IB(K))
+    FY(IB(K)) = W - 0.1 * TH
+    FY(JB(K)) = FY(JB(K)) + 0.1 * TH
+  END DO
+  RETURN
+END
+
+SUBROUTINE DIHEDE
+! Dihedral torsions: four-body terms through the same lists
+! ("indirection").
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /COORD/ X(64), Y(64), Z(64)
+  COMMON /FORCE/ FX(64), FY(64), FZ(64)
+  COMMON /BONDS/ NBOND, IB(64), JB(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, NBOND, IB, JB
+  INTEGER K
+  REAL PHI, W
+!$TARGET
+  DO K = 3, NBOND
+    PHI = Z(IB(K)) - Z(JB(K - 1)) + Z(IB(K - 2))
+    W = FZ(JB(K))
+    FZ(JB(K)) = W + 0.05 * COS(PHI)
+    FZ(IB(K)) = FZ(IB(K)) - 0.05 * COS(PHI)
+  END DO
+  RETURN
+END
+
+SUBROUTINE RESTRN
+! Positional restraints against reference coordinates stored at the
+! runtime scratch offset NOFF ("rangeless").
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /COORD/ X(64), Y(64), Z(64)
+  COMMON /SCRTCH/ T(128)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, I
+!$TARGET
+  DO I = 1, NATOM
+    T(I + NOFF) = T(I) + 0.02 * X(I)
+  END DO
+  RETURN
+END
+
+SUBROUTINE TEMPSC
+! Berendsen-style velocity rescaling: clean unit-stride update.
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /VELOC/ VX(64), VY(64), VZ(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, I
+  REAL SC
+  SC = 0.995
+!$TARGET
+  DO I = 1, NATOM
+    VX(I) = VX(I) * SC
+    VY(I) = VY(I) * SC
+    VZ(I) = VZ(I) * SC
+  END DO
+  RETURN
+END
+
+SUBROUTINE PMEGRD
+! Charge spreading onto the PME grid through a computed cell index
+! ("symbol analysis": the compiler cannot bound the MOD-derived local).
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /COORD/ X(64), Y(64), Z(64)
+  COMMON /SCRTCH/ T(128)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, I, ICELL
+!$TARGET
+  DO I = 1, NATOM
+    ICELL = MOD(I * 13, 97) + 1
+    T(ICELL) = X(I) * 0.3
+  END DO
+  RETURN
+END
+
+SUBROUTINE EKIN(ETOT)
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /VELOC/ VX(64), VY(64), VZ(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF, I
+  REAL ETOT
+  ETOT = 0.0
+! Kinetic-energy reduction: recognized and parallelized.
+!$TARGET
+  DO I = 1, NATOM
+    ETOT = ETOT + VX(I) * VX(I) + VY(I) * VY(I) + VZ(I) * VZ(I)
+  END DO
+  CALL PAIRUP
+  RETURN
+END
+
+SUBROUTINE PAIRUP
+  COMMON /MDCTL/ IMIN, NATOM, NSTEP, NOFF
+  COMMON /VELOC/ VX(64), VY(64), VZ(64)
+  INTEGER IMIN, NATOM, NSTEP, NOFF
+! The same velocity array is passed as both halves of the exchange: the
+! callee's dummies may alias (the Polaris failure the paper reports).
+  CALL VEXCH(VX, VX, NATOM)
+  RETURN
+END
+
+SUBROUTINE VEXCH(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N, I
+!$TARGET
+  DO I = 1, N
+    A(I) = 0.5 * (A(I) + B(I))
+  END DO
+  RETURN
+END
+
+SUBROUTINE REORDR(NEWIDX, N)
+! Scatter permutation of velocities through an index table: write-side
+! indirection with no reduction structure.
+  COMMON /VELOC/ VX(64), VY(64), VZ(64)
+  COMMON /SCRTCH/ T(128)
+  INTEGER NEWIDX(N), N, I
+!$TARGET
+  DO I = 1, N
+    T(NEWIDX(I)) = VX(I)
+  END DO
+  DO I = 1, N
+    VX(I) = T(I)
+  END DO
+  RETURN
+END
+
+SUBROUTINE HISTV(N, NBIN)
+! Velocity histogram through a computed bin index: the compiler cannot
+! bound the MOD-derived local, a symbolic-analysis gap.
+  COMMON /VELOC/ VX(64), VY(64), VZ(64)
+  COMMON /SCRTCH/ T(128)
+  INTEGER N, NBIN, I, K2
+!$TARGET
+  DO I = 1, N
+    K2 = MOD(I * 7, NBIN) + 1
+    T(K2) = VX(I) * VX(I) + I * 0.001
+  END DO
+  RETURN
+END
+)MINIF";
+
+}  // namespace
+
+const CorpusProgram& sander() {
+    static const CorpusProgram corpus = [] {
+        CorpusProgram c;
+        c.name = "Sander";
+        c.description = "SANDER-style molecular dynamics (synthetic stand-in)";
+        c.source = kSource;
+        // imin=0 (dynamics), natom=20, nstep=4, noff=32
+        c.sample_deck = {0, 20, 4, 32};
+        c.expected_targets = {
+            {ir::Hindrance::Autoparallelized, 4},  // FRCCLR, VERLET, TEMPSC, EKIN
+            {ir::Hindrance::Indirection, 5},       // BONDEN, ANGLEN, DIHEDE, NBENER, REORDR
+            {ir::Hindrance::Rangeless, 3},         // STEEPD (both loops), RESTRN
+            {ir::Hindrance::Aliasing, 1},          // VEXCH
+            {ir::Hindrance::SymbolAnalysis, 2},    // HISTV, PMEGRD
+        };
+        return c;
+    }();
+    return corpus;
+}
+
+}  // namespace ap::corpus

@@ -1,0 +1,535 @@
+#include "corpus/corpus.hpp"
+
+namespace ap::corpus {
+
+namespace {
+
+// SEISMIC-style seismic processing suite (synthetic stand-in for the
+// paper's proprietary SEISMIC). Patterns reproduced, per DESIGN.md §2:
+//   - the reusable execution framework (§2.2): SEISPROC dispatches the
+//     modules selected in the input deck, every module follows the
+//     MODULEPREP/MODULECOMP template and works on sections of the shared
+//     RA work array;
+//   - shared data structures (§2.3): RA sections passed to multiple
+//     module dummies (aliasing), runtime leading dimensions (access
+//     representation);
+//   - multilingual code (§2.4): memory setup and trace file I/O go
+//     through EXTERNAL "C" routines;
+//   - deep nesting (§2.5.1): target loops sit 3-4 subroutines below the
+//     main program, under the shot and module framework loops.
+constexpr const char* kSource = R"MINIF(
+PROGRAM SEISMN
+  PARAMETER (MAXSMP = 64)
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  COMMON /SEISCM/ RA(4096), SA(1024)
+  COMMON /MSEL/ MCODES(8)
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2, MCODES
+  INTEGER IM
+  READ *, NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW
+  IF (NSAMP .GT. MAXSMP) STOP
+  IF (NSAMP .LT. 4) STOP
+  DO IM = 1, NMODS
+    READ *, MCODES(IM)
+  END DO
+  CALL SEISPREP
+  CALL CMEMIN(RA, 4096)
+  CALL CMEMIN(SA, 1024)
+  CALL SEISDRV
+  CALL SEISOUT
+END
+
+SUBROUTINE SEISPREP
+! MODULEPREP-style parameter derivation: section offsets into the shared
+! RA array are computed from runtime deck values.
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  IRA1 = 1
+  IRA2 = NTRC * NSAMP + 1
+  RETURN
+END
+
+SUBROUTINE SEISDRV
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER ISHOT
+  DO ISHOT = 1, NSHOT
+    CALL SEISPROC(ISHOT)
+  END DO
+  RETURN
+END
+
+SUBROUTINE SEISPROC(ISHOT)
+! The execution framework (§2.2): the deck decides which computational
+! modules run and in which order; the compiler must assume all of them.
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  COMMON /SEISCM/ RA(4096), SA(1024)
+  COMMON /MSEL/ MCODES(8)
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2, MCODES
+  INTEGER ISHOT, IM, ICODE
+  DO IM = 1, NMODS
+    ICODE = MCODES(IM)
+    IF (ICODE .EQ. 1) THEN
+      CALL DGENB(RA(IRA1), NTRC, ISHOT)
+    ELSE
+      IF (ICODE .EQ. 2) THEN
+        CALL STAKB(RA(IRA1), RA(IRA2), NTRC)
+      ELSE
+        IF (ICODE .EQ. 3) THEN
+          CALL M3FKB(RA(IRA1), RA(IRA2), NSAMP)
+        ELSE
+          IF (ICODE .EQ. 4) THEN
+            CALL FDMGB
+          ELSE
+            IF (ICODE .EQ. 5) THEN
+              CALL DECONB(RA(IRA1), NSAMP)
+            ELSE
+              CALL VELANB(RA(IRA1), RA(IRA1), NTRC)
+            END IF
+          END IF
+        END IF
+      END IF
+    END IF
+  END DO
+  CALL TSORT
+  CALL SEISIO
+  CALL RESHAP
+  CALL SEISMIG
+  RETURN
+END
+
+SUBROUTINE DGENB(OTR, NTRI, ISHOT)
+! Data-generation module: compute body of the MODULECOMP template.
+  INTEGER NTRI, ISHOT
+  REAL OTR(*)
+  CALL DGKERN(OTR, NTRI, ISHOT)
+  RETURN
+END
+
+SUBROUTINE DGKERN(OTR, NTRI, ISHOT)
+  PARAMETER (MAXS = 64)
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NTRI, ISHOT, I, J
+  REAL OTR(*)
+! Trace synthesis: the static leading dimension MAXS makes the stride
+! provably larger than the inner span, so this one parallelizes.
+!$TARGET
+  DO I = 1, NTRI
+    DO J = 1, MAXS
+      OTR((I - 1) * MAXS + J) = WVLT(J) * (0.5 + 0.1 * ISHOT) + 0.01 * I
+    END DO
+  END DO
+! Ghost-reflection add at the runtime sample offset NSAMP: the offset is
+! a deck value the compiler cannot bound ("rangeless").
+!$TARGET
+  DO I = 1, NTRC
+    OTR(I + NSAMP) = OTR(I) * 0.3
+  END DO
+  CALL DGTAIL(OTR, NSAMP, IOFF)
+  CALL DGSCAL(OTR, NTRI)
+  RETURN
+END
+
+SUBROUTINE DGSCAL(OTR, NTRI)
+! Trace scaling through a running output pointer: induction-variable
+! substitution turns KP into an affine function of I, after which the
+! stride test parallelizes the loop.
+  PARAMETER (MAXS = 64)
+  INTEGER NTRI, I, KP
+  REAL OTR(*)
+  KP = 0
+!$TARGET
+  DO I = 1, NTRI
+    KP = KP + MAXS
+    OTR(KP) = OTR(KP) * 0.99 + 0.5
+  END DO
+  RETURN
+END
+
+FUNCTION WVLT(J)
+  INTEGER J
+  REAL WVLT
+  WVLT = (1.0 - 0.08 * J) * EXP(-0.002 * J * J)
+  RETURN
+END
+
+SUBROUTINE DGTAIL(C, N, KOFF)
+! Tail taper shifted by the unbounded dummy KOFF ("rangeless").
+  INTEGER N, KOFF, I
+  REAL C(*)
+!$TARGET
+  DO I = 1, N
+    C(I + KOFF) = C(I) * 0.9
+  END DO
+  RETURN
+END
+
+SUBROUTINE STAKB(A, B, NTRI)
+! Stacking module: SEISPROC hands it two sections of the same RA array,
+! so the dummies may alias ("aliasing", the Polaris failure of Figure 5).
+  INTEGER NTRI
+  REAL A(*), B(*)
+  CALL STKPRE(B, NTRI)
+  CALL STKKRN(A, B, NTRI)
+  RETURN
+END
+
+SUBROUTINE STKPRE(W, NTRO)
+! Stack-buffer preparation shifted by the unbounded dummy NTRO
+! ("rangeless").
+  INTEGER NTRO, I
+  REAL W(*)
+!$TARGET
+  DO I = 1, 12
+    W(I + NTRO) = W(I) + 1.0
+  END DO
+  RETURN
+END
+
+SUBROUTINE STKKRN(A, B, NTRI)
+  PARAMETER (MAXS = 64)
+  INTEGER NTRI, I, J
+  REAL A(*), B(*)
+!$TARGET
+  DO I = 1, NTRI
+    DO J = 1, MAXS
+      B(I) = B(I) + A((I - 1) * MAXS + J)
+    END DO
+  END DO
+!$TARGET
+  DO I = 1, NTRI
+    B(I) = B(I) / MAXS + A(I) * 0.001
+  END DO
+  RETURN
+END
+
+SUBROUTINE M3FKB(WR, WI, N)
+! 3-D FFT module: real and imaginary planes are again RA sections
+! ("aliasing").
+  INTEGER N, I
+  REAL WR(*), WI(*)
+  REAL TR, TI
+!$TARGET
+  DO I = 1, N
+    TR = WR(I) * 0.96 - WI(I) * 0.28
+    TI = WR(I) * 0.28 + WI(I) * 0.96
+    WR(I) = TR
+    WI(I) = TI
+  END DO
+!$TARGET
+  DO I = 1, N
+    WR(I) = WR(I) + WI(I) * 0.001
+  END DO
+  CALL M3SYMB(WR, N)
+  RETURN
+END
+
+SUBROUTINE M3SYMB(W, N)
+! Butterfly addressing with the runtime leading dimension LDW: the
+! product LDW*I defeats the affine subscript engine ("symbol analysis").
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER N, I, J
+  REAL W(*)
+!$TARGET
+  DO I = 1, N / 16
+    DO J = 1, 4
+      W(LDW * I + J) = W(LDW * I + J) * 0.5 + 0.1
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE FDMGB
+! Finite-difference migration module.
+  PARAMETER (MAXG = 128)
+  COMMON /FDGRD/ U(128), UN(128)
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER I, K
+! Interior stencil update into the new grid: parallel.
+!$TARGET
+  DO I = 2, MAXG - 1
+    UN(I) = U(I) + 0.2 * (U(I - 1) + U(I + 1) - 2.0 * U(I))
+  END DO
+! Halo exchange against the runtime pad offset IOFF ("rangeless").
+!$TARGET
+  DO I = 1, NSAMP
+    U(I + IOFF) = U(I)
+  END DO
+! Dispersion correction through a computed index: the engine cannot
+! bound the MOD-derived local ("symbol analysis").
+!$TARGET
+  DO I = 1, MAXG
+    K = MOD(I * 3, MAXG) + 1
+    UN(K) = U(I) * 0.75
+  END DO
+  CALL FDPACK
+  RETURN
+END
+
+SUBROUTINE FDPACK
+! Packed-triangle scratch addressing ("symbol analysis").
+  COMMON /FDGRD/ U(128), UN(128)
+  INTEGER I, J
+!$TARGET
+  DO I = 1, 12
+    DO J = 1, I
+      UN((I * (I + 1)) / 2 + J) = 0.01 * I * J + 0.5
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE TSORT
+! Trace-order permutation through an index table ("indirection").
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  COMMON /SEISCM/ RA(4096), SA(1024)
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER IPERM(64), I
+  DO I = 1, NTRC
+    IPERM(I) = MOD(I + 4, NTRC) + 1
+  END DO
+!$TARGET
+  DO I = 1, NTRC
+    SA(IPERM(I)) = RA(I)
+  END DO
+  RETURN
+END
+
+SUBROUTINE SEISIO
+! Trace archival through the C file layer (§2.4).
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  COMMON /SEISCM/ RA(4096), SA(1024)
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  REAL BUF(64)
+  INTEGER IT, K
+! Writing through the opaque C routine blocks the trace loop
+! ("access representation").
+!$TARGET
+  DO IT = 1, NTRC
+    DO K = 1, 64
+      BUF(K) = RA((IT - 1) * 64 + K)
+    END DO
+    CALL CFILEWR(BUF, 64, IT)
+  END DO
+! Re-reading headers: CFILERD declares its effects, but the written
+! region is still the whole buffer ("access representation").
+!$TARGET
+  DO IT = 1, NTRC
+    CALL CFILERD(BUF, 64, IT)
+    SA(512 + IT) = BUF(1)
+  END DO
+  RETURN
+END
+
+SUBROUTINE RESHAP
+! The shared-structure reshape (§2.3): a section of RA is viewed as a
+! 2-D panel with runtime leading dimension LDW inside VIEW2
+! ("access representation").
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  COMMON /SEISCM/ RA(4096), SA(1024)
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER IP
+!$TARGET
+  DO IP = 1, NTRC
+    CALL VIEW2(RA(IOFF), LDW)
+  END DO
+  RETURN
+END
+
+SUBROUTINE VIEW2(V, LD)
+  INTEGER LD, I, J
+  REAL V(LD, *)
+  DO I = 1, LD
+    DO J = 1, I
+      V(I, J) = V(I, J) * 0.98
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE SEISMIG
+! Migration kernel: the pairwise subscript analysis of this nest exceeds
+! the compile-time budget ("complexity").
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  COMMON /SEISCM/ RA(4096), SA(1024)
+  COMMON /FDGRD/ U(128), UN(128)
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER I, J, K, L
+!$TARGET
+  DO I = 1, 8
+    DO J = 1, 8
+      DO K = 1, 8
+        DO L = 1, 8
+          RA(I * 8 + J) = RA(J * 8 + I) + SA(K + L) * 0.01
+          RA(J * 8 + K) = RA(K * 8 + J) + SA(L + I) * 0.01
+          RA(K * 8 + L) = RA(L * 8 + K) + SA(I + J) * 0.01
+          RA(L * 8 + I) = RA(I * 8 + L) + SA(J + K) * 0.01
+          SA(I * 4 + K) = SA(K * 4 + I) + U(J + L) * 0.02
+          SA(J * 4 + L) = SA(L * 4 + J) + U(I + K) * 0.02
+          U(I + J + K) = U(K + J + I - 1) + RA(L + 1) * 0.001
+          U(J + K + L) = U(L + K + J - 1) + RA(I + 1) * 0.001
+          UN(I * 2 + J) = UN(J * 2 + I) + SA(K + 2) * 0.005
+          UN(K * 2 + L) = UN(L * 2 + K) + SA(I + 2) * 0.005
+        END DO
+      END DO
+    END DO
+  END DO
+  RETURN
+END
+
+SUBROUTINE DECONB(TR, NS)
+! Deconvolution module: Wiener-style filtering of each trace.
+  INTEGER NS
+  REAL TR(*)
+  CALL DCKERN(TR, NS)
+  CALL DCLAG(TR, NS)
+  RETURN
+END
+
+SUBROUTINE DCKERN(TR, NS)
+! Filter application with a static filter length: the stride argument is
+! a PARAMETER, so the loop parallelizes.
+  PARAMETER (MAXS = 64, NFILT = 8)
+  INTEGER NS, I, K
+  REAL TR(*), ACC
+!$TARGET
+  DO I = 1, 12
+    ACC = 0.0
+    DO K = 1, NFILT
+      ACC = ACC + TR((I - 1) * MAXS + K) * (0.5 - 0.05 * K)
+    END DO
+    TR((I - 1) * MAXS + MAXS) = ACC
+  END DO
+  RETURN
+END
+
+SUBROUTINE DCLAG(TR, NS)
+! Prediction-error lag: the gap LAG comes from the deck via /SEISPR/ and
+! is unbounded ("rangeless").
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NS, I
+  REAL TR(*)
+!$TARGET
+  DO I = 1, 12
+    TR(I + IOFF) = TR(I) - 0.5 * TR(I + 1)
+  END DO
+  RETURN
+END
+
+SUBROUTINE VELANB(GATH, SEMB, NTRI)
+! Velocity-analysis module: the framework hands it the same RA section
+! for the gather and the semblance panel ("aliasing").
+  INTEGER NTRI
+  REAL GATH(*), SEMB(*)
+  CALL VAKERN(GATH, SEMB, NTRI)
+  CALL VAPICK(NTRI)
+  CALL VASCAN(GATH, NTRI)
+  RETURN
+END
+
+SUBROUTINE VAKERN(GATH, SEMB, NTRI)
+  PARAMETER (MAXS = 64)
+  INTEGER NTRI, IV, K
+  REAL GATH(*), SEMB(*), S
+!$TARGET
+  DO IV = 1, NTRI
+    S = 0.0
+    DO K = 1, 8
+      S = S + GATH((IV - 1) * MAXS + K)
+    END DO
+    SEMB(IV) = S * S
+  END DO
+  RETURN
+END
+
+SUBROUTINE VAPICK(NV)
+! Velocity picking through the pick-index table ("indirection").
+  COMMON /SEISCM/ RA(4096), SA(1024)
+  INTEGER NV, IPICK(64), I
+  DO I = 1, NV
+    IPICK(I) = MOD(I * 5, NV) + 1
+  END DO
+!$TARGET
+  DO I = 1, NV
+    SA(256 + IPICK(I)) = RA(I) * 2.0
+  END DO
+  RETURN
+END
+
+SUBROUTINE VASCAN(GATH, NTRI)
+! Velocity scan addressed with the runtime panel stride LDW: the product
+! LDW*IV is beyond the affine engine ("symbol analysis").
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER NTRI, IV
+  REAL GATH(*)
+!$TARGET
+  DO IV = 1, NTRI
+    GATH(LDW * IV + 1) = GATH(LDW * IV + 1) * 0.5 + 0.25
+  END DO
+  RETURN
+END
+
+SUBROUTINE SEISOUT
+! Final gather with the runtime trace-count shift ("rangeless").
+  COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  COMMON /SEISCM/ RA(4096), SA(1024)
+  INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
+  INTEGER I
+!$TARGET
+  DO I = 1, NTRC
+    SA(I + IOFF) = SA(I) * 0.5
+  END DO
+  PRINT *, RA(1), RA(65), SA(1), SA(13)
+  RETURN
+END
+
+EXTERNAL SUBROUTINE CMEMIN(W, N)
+  REAL W(*)
+  INTEGER N
+!$EFFECTS WRITES(W) READS(N) NOCOMMON
+END
+
+EXTERNAL SUBROUTINE CFILEWR(BUF, N, IREC)
+  REAL BUF(*)
+  INTEGER N, IREC
+END
+
+EXTERNAL SUBROUTINE CFILERD(BUF, N, IREC)
+  REAL BUF(*)
+  INTEGER N, IREC
+!$EFFECTS WRITES(BUF) READS(N) READS(IREC) NOCOMMON
+END
+)MINIF";
+
+}  // namespace
+
+const CorpusProgram& seismic() {
+    static const CorpusProgram corpus = [] {
+        CorpusProgram c;
+        c.name = "Seismic";
+        c.description = "SEISMIC-style seismic processing suite (synthetic stand-in)";
+        c.source = kSource;
+        // nshot=2, nmods=6, ntrc=12, nsamp=32, ioff=64, ldw=16,
+        // then the 6 module codes.
+        c.sample_deck = {2, 6, 12, 32, 64, 16, 1, 2, 3, 4, 5, 6};
+        c.loop_op_budget = 3'000;
+        c.expected_targets = {
+            {ir::Hindrance::Autoparallelized, 4},      // DGKERN#1, DGSCAL, FDMGB#1, DCKERN
+            {ir::Hindrance::Aliasing, 5},              // STKKRN x2, M3FKB x2, VAKERN
+            {ir::Hindrance::Rangeless, 6},             // DGKERN#2, DGTAIL, STKPRE, FDMGB#2,
+                                                       // DCLAG, SEISOUT
+            {ir::Hindrance::Indirection, 2},           // TSORT, VAPICK
+            {ir::Hindrance::SymbolAnalysis, 4},        // M3SYMB, FDMGB#3, FDPACK, VASCAN
+            {ir::Hindrance::AccessRepresentation, 3},  // SEISIO x2, RESHAP
+            {ir::Hindrance::Complexity, 1},            // SEISMIG
+        };
+        return c;
+    }();
+    return corpus;
+}
+
+}  // namespace ap::corpus

@@ -1,0 +1,619 @@
+#include "dependence/ddtest.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "analysis/access.hpp"
+#include "ir/visit.hpp"
+#include "symbolic/linear.hpp"
+#include "symbolic/range.hpp"
+
+namespace ap::dependence {
+
+namespace {
+
+using analysis::AccessRegion;
+using analysis::ArrayAccess;
+using symbolic::ConvertFailure;
+using symbolic::LinearForm;
+using symbolic::Proof;
+using symbolic::Prover;
+using symbolic::SymRange;
+
+/// One testable access in candidate-loop space: either a direct array
+/// reference or a linearized region (from a call summary or a direct
+/// reference that had to be linearized for comparison against one).
+struct TestAccess {
+    // Direct form (per-dimension subscripts), when available.
+    const ArrayAccess* direct = nullptr;
+    // Region form (always derivable unless `region_unknown`).
+    std::string storage;
+    std::optional<LinearForm> lo;  ///< min offset, inner loops eliminated, I symbolic
+    std::optional<LinearForm> hi;
+    ConvertFailure why_unknown = ConvertFailure::None;
+    bool is_write = false;
+    bool from_call = false;
+    std::string label;  ///< array name for diagnostics
+};
+
+struct Issue {
+    ir::Hindrance kind;
+    std::string detail;
+};
+
+int severity(ir::Hindrance h) {
+    switch (h) {
+        case ir::Hindrance::Complexity: return 6;
+        case ir::Hindrance::Aliasing: return 5;
+        case ir::Hindrance::Indirection: return 4;
+        case ir::Hindrance::Rangeless: return 3;
+        case ir::Hindrance::AccessRepresentation: return 2;
+        case ir::Hindrance::SymbolAnalysis: return 1;
+        case ir::Hindrance::Autoparallelized: return 0;
+    }
+    return 0;
+}
+
+/// Call sites textually inside `body`, with the loops between the body's
+/// root and the call.
+struct EnclosedCall {
+    const analysis::CallSite* site;
+    std::vector<const ir::DoLoop*> loops;
+};
+
+std::vector<EnclosedCall> find_enclosed_calls(const ir::Block& body,
+                                              const analysis::CallGraph& cg,
+                                              const ir::Routine& routine) {
+    std::vector<EnclosedCall> out;
+    std::vector<const ir::DoLoop*> stack;
+    std::function<void(const ir::Block&)> walk = [&](const ir::Block& b) {
+        for (const auto& sp : b) {
+            const ir::Stmt& s = *sp;
+            auto match_args = [&](const std::vector<ir::ExprPtr>* args) {
+                for (const auto& site : cg.call_sites()) {
+                    if (site.caller == &routine && site.args == args) {
+                        out.push_back({&site, stack});
+                        return;
+                    }
+                }
+            };
+            if (s.kind() == ir::StmtKind::Call) {
+                match_args(&static_cast<const ir::CallStmt&>(s).args);
+            }
+            ir::for_each_own_expr(s, [&](const ir::Expr& root) {
+                ir::for_each_expr(root, [&](const ir::Expr& e) {
+                    if (e.kind() == ir::ExprKind::Call &&
+                        !analysis::is_intrinsic_function(static_cast<const ir::Call&>(e).name)) {
+                        match_args(&static_cast<const ir::Call&>(e).args);
+                    }
+                });
+            });
+            if (s.kind() == ir::StmtKind::If) {
+                const auto& i = static_cast<const ir::IfStmt&>(s);
+                walk(i.then_block);
+                walk(i.else_block);
+            } else if (s.kind() == ir::StmtKind::Do) {
+                const auto& d = static_cast<const ir::DoLoop&>(s);
+                stack.push_back(&d);
+                walk(d.body);
+                stack.pop_back();
+            }
+        }
+    };
+    walk(body);
+    return out;
+}
+
+class LoopTester {
+public:
+    LoopTester(const ir::DoLoop& loop, const RoutineContext& rc, const LoopContext& lc)
+        : loop_(loop), rc_(rc), lc_(lc) {
+        env_ = rc.ranges->env;
+        analysis::push_loop_range(env_, loop, *rc.consts);
+        candidate_range_ = env_[loop.var];
+    }
+
+    LoopDependenceResult run() {
+        const std::uint64_t ops_start = symbolic::OpCounter::count();
+        LoopDependenceResult result;
+        analyze();
+        result.symbolic_ops = symbolic::OpCounter::count() - ops_start;
+        result.pairs_tested = pairs_tested_;
+        if (result.symbolic_ops > lc_.op_budget) budget_exceeded_ = true;
+        if (budget_exceeded_) {
+            result.parallel = false;
+            result.blocker = ir::Hindrance::Complexity;
+            result.reason = "symbolic analysis exceeded the compile-time budget";
+            return result;
+        }
+        if (issues_.empty()) {
+            result.parallel = true;
+            result.blocker = ir::Hindrance::Autoparallelized;
+            return result;
+        }
+        const Issue* worst = &issues_.front();
+        for (const auto& i : issues_) {
+            if (severity(i.kind) > severity(worst->kind)) worst = &i;
+        }
+        result.parallel = false;
+        result.blocker = worst->kind;
+        result.reason = worst->detail;
+        return result;
+    }
+
+private:
+    void note(ir::Hindrance h, std::string detail) { issues_.push_back({h, std::move(detail)}); }
+
+    bool over_budget() {
+        if (budget_exceeded_) return true;
+        // The budget is on ops consumed by this loop's analysis.
+        if (symbolic::OpCounter::count() - start_ops_ > lc_.op_budget) budget_exceeded_ = true;
+        return budget_exceeded_;
+    }
+
+    bool excluded(const std::string& name) const {
+        return lc_.privates.contains(name) || lc_.reductions.contains(name) ||
+               name == loop_.var;
+    }
+
+    void analyze() {
+        start_ops_ = symbolic::OpCounter::count();
+        const analysis::AccessInfo info = analysis::collect_accesses(loop_.body);
+        if (info.has_io) {
+            note(ir::Hindrance::AccessRepresentation, "I/O statement inside the loop");
+            return;
+        }
+        // Scalars written in the body that are neither private nor
+        // reductions nor the loop index carry a dependence.
+        std::set<std::string> bad_scalars;
+        for (const auto& a : info.scalars) {
+            if (a.is_write && !excluded(a.name)) bad_scalars.insert(a.name);
+        }
+        for (const auto& name : bad_scalars) {
+            note(ir::Hindrance::SymbolAnalysis,
+                 "scalar " + name + " is assigned but not privatizable");
+        }
+
+        // Direct array accesses.
+        std::vector<TestAccess> accesses;
+        for (const auto& a : info.arrays) {
+            if (excluded(a.ref->name)) continue;
+            TestAccess t;
+            t.direct = &a;
+            t.is_write = a.is_write;
+            t.label = a.ref->name;
+            const auto* sym = rc_.routine->symbols.find(a.ref->name);
+            if (sym) {
+                const auto loc = analysis::storage_location(*rc_.routine, *sym);
+                t.storage = loc.key;
+            } else {
+                t.storage = a.ref->name;
+            }
+            accesses.push_back(std::move(t));
+        }
+
+        // Calls left in the body contribute their summarized regions.
+        const auto calls = find_enclosed_calls(loop_.body, *rc_.callgraph, *rc_.routine);
+        for (const auto& ec : calls) {
+            if (!ec.site->callee) {
+                note(ir::Hindrance::AccessRepresentation,
+                     "call to unknown routine " + ec.site->callee_name);
+                continue;
+            }
+            const auto it = rc_.summaries->find(ec.site->callee->name);
+            if (it == rc_.summaries->end() || it->second.opaque) {
+                const bool foreign = ec.site->callee->is_foreign();
+                note(ir::Hindrance::AccessRepresentation,
+                     foreign ? "opaque foreign-language call to " + ec.site->callee_name
+                             : "unanalyzable call to " + ec.site->callee_name);
+                continue;
+            }
+            if (it->second.has_io) {
+                note(ir::Hindrance::AccessRepresentation,
+                     "I/O inside called routine " + ec.site->callee_name);
+                continue;
+            }
+            auto regions = analysis::map_call_regions(*ec.site, it->second, *rc_.consts);
+            auto scalar_writes = analysis::map_scalar_writes(*ec.site, it->second, *rc_.consts);
+            if (scalar_writes.unknown) {
+                note(ir::Hindrance::AccessRepresentation,
+                     "unknown side effects of call to " + ec.site->callee_name);
+            }
+            for (const auto& name : scalar_writes.scalar_names) {
+                if (!excluded(name)) {
+                    note(ir::Hindrance::SymbolAnalysis,
+                         "scalar " + name + " assigned through call to " + ec.site->callee_name);
+                }
+            }
+            auto inner = inner_ranges(ec.loops);
+            for (auto& region : regions) {
+                if (excluded_storage(region.storage)) continue;
+                accesses.push_back(region_access(region, inner, ec.site->callee_name));
+            }
+            for (auto& region : scalar_writes.element_writes) {
+                if (excluded_storage(region.storage)) continue;
+                accesses.push_back(region_access(region, inner, ec.site->callee_name));
+            }
+        }
+
+        // Alias pairs: any two distinct touched names that may alias, with
+        // a write on either, block the loop. This check runs on the RAW
+        // access set — a "reduction" or "private" transformation is not
+        // valid on storage that may alias another touched array.
+        check_aliases(info);
+
+        // Pairwise dependence tests.
+        for (std::size_t i = 0; i < accesses.size() && !over_budget(); ++i) {
+            for (std::size_t j = i; j < accesses.size() && !over_budget(); ++j) {
+                const TestAccess& a = accesses[i];
+                const TestAccess& b = accesses[j];
+                if (!a.is_write && !b.is_write) continue;
+                if (a.storage != b.storage) continue;
+                if (i == j && !a.is_write) continue;
+                ++pairs_tested_;
+                test_pair(a, b);
+            }
+        }
+    }
+
+    bool excluded_storage(const std::string& storage) const {
+        return !storage.empty() && storage[0] != '/' && excluded(storage);
+    }
+
+    std::vector<std::pair<std::string, SymRange>> inner_ranges(
+        const std::vector<const ir::DoLoop*>& loops) const {
+        std::vector<std::pair<std::string, SymRange>> out;
+        for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+            symbolic::RangeEnv tmp;
+            analysis::push_loop_range(tmp, **it, *rc_.consts);
+            out.emplace_back((*it)->var, tmp[(*it)->var]);
+        }
+        return out;
+    }
+
+    TestAccess region_access(const AccessRegion& region,
+                             const std::vector<std::pair<std::string, SymRange>>& inner,
+                             const std::string& callee) const {
+        TestAccess t;
+        t.storage = region.storage;
+        t.is_write = region.is_write;
+        t.from_call = true;
+        t.label = region.storage + " (via " + callee + ")";
+        t.why_unknown = region.why_unknown;
+        if (region.lo) t.lo = symbolic::eliminate_extreme(*region.lo, inner, false);
+        if (region.hi) t.hi = symbolic::eliminate_extreme(*region.hi, inner, true);
+        if (region.lo && !t.lo) t.why_unknown = ConvertFailure::NonAffine;
+        if (region.hi && !t.hi) t.why_unknown = ConvertFailure::NonAffine;
+        return t;
+    }
+
+    void check_aliases(const analysis::AccessInfo& info) {
+        std::set<std::string> touched;
+        std::set<std::string> written;
+        for (const auto& a : info.arrays) {
+            touched.insert(a.ref->name);
+            if (a.is_write) written.insert(a.ref->name);
+        }
+        for (const auto& a : touched) {
+            for (const auto& b : touched) {
+                if (a >= b) continue;
+                if (!rc_.aliases->may_alias(a, b)) continue;
+                if (written.contains(a) || written.contains(b)) {
+                    note(ir::Hindrance::Aliasing,
+                         "arrays " + a + " and " + b + " may be aliased");
+                }
+            }
+        }
+    }
+
+    // --- pair testing -------------------------------------------------------
+
+    /// Declared element count of a symbol, when every extent folds to a
+    /// constant.
+    std::optional<std::int64_t> declared_size(const ir::Symbol& sym) const {
+        if (!sym.is_array()) return 1;
+        std::int64_t total = 1;
+        for (const auto& d : sym.dims) {
+            if (d.assumed_size()) return std::nullopt;
+            auto lo = symbolic::to_linear(*d.lo, *rc_.consts);
+            auto hi = symbolic::to_linear(*d.hi, *rc_.consts);
+            if (!lo.ok() || !hi.ok()) return std::nullopt;
+            const LinearForm extent = *hi.form - *lo.form + LinearForm(1);
+            if (!extent.is_constant()) return std::nullopt;
+            total *= extent.constant();
+        }
+        return total;
+    }
+
+    void test_pair(const TestAccess& a, const TestAccess& b) {
+        // Per-dimension subscript testing needs the same declared array;
+        // distinct COMMON members sharing a storage key are compared by
+        // their declared extents first (Fortran guarantees subscripts stay
+        // within declared bounds), then through linearized regions.
+        if (a.direct && b.direct && a.direct->ref->name != b.direct->ref->name) {
+            const auto* sa = rc_.routine->symbols.find(a.direct->ref->name);
+            const auto* sb = rc_.routine->symbols.find(b.direct->ref->name);
+            if (sa && sb) {
+                const auto la = analysis::storage_location(*rc_.routine, *sa);
+                const auto lb = analysis::storage_location(*rc_.routine, *sb);
+                const auto size_a = declared_size(*sa);
+                const auto size_b = declared_size(*sb);
+                if (la.base_offset && lb.base_offset && size_a && size_b) {
+                    const std::int64_t a0 = *la.base_offset, a1 = a0 + *size_a;
+                    const std::int64_t b0 = *lb.base_offset, b1 = b0 + *size_b;
+                    if (a1 <= b0 || b1 <= a0) return;  // declared extents disjoint
+                }
+            }
+        }
+        if (a.direct && b.direct && a.direct->ref->name == b.direct->ref->name &&
+            a.direct->ref->subscripts.size() == b.direct->ref->subscripts.size()) {
+            test_direct_pair(a, b);
+            return;
+        }
+        // Fall back to region form; linearize direct accesses.
+        auto ra = as_region(a);
+        auto rb = as_region(b);
+        test_region_pair(ra, rb, a.label, b.label);
+    }
+
+    struct RegionForm {
+        std::optional<LinearForm> lo, hi;
+        ConvertFailure why = ConvertFailure::None;
+    };
+
+    RegionForm as_region(const TestAccess& t) const {
+        RegionForm r;
+        if (!t.direct) {
+            r.lo = t.lo;
+            r.hi = t.hi;
+            r.why = t.why_unknown;
+            return r;
+        }
+        auto lin = analysis::linearize(*t.direct->ref, *rc_.routine, *rc_.consts);
+        if (!lin.offset) {
+            r.why = lin.why;
+            return r;
+        }
+        LinearForm offset = *lin.offset;
+        if (const auto* sym = rc_.routine->symbols.find(t.direct->ref->name)) {
+            const auto loc = analysis::storage_location(*rc_.routine, *sym);
+            if (loc.base_offset) {
+                offset += LinearForm(*loc.base_offset);
+            } else if (loc.key[0] == '/') {
+                r.why = ConvertFailure::NonAffine;
+                return r;
+            }
+        }
+        const auto inner = inner_ranges(t.direct->loops);
+        r.lo = symbolic::eliminate_extreme(offset, inner, false);
+        r.hi = symbolic::eliminate_extreme(offset, inner, true);
+        if (!r.lo || !r.hi) {
+            r.lo.reset();
+            r.hi.reset();
+            r.why = ConvertFailure::NonAffine;
+        }
+        return r;
+    }
+
+    /// Classification of a conversion failure. Context matters: a
+    /// non-affine *subscript* (packed-triangular index arithmetic) is a
+    /// symbolic-analysis gap, while a region whose *extent* could not be
+    /// represented (reshaped or opaque accesses) is the paper's
+    /// access-representation category.
+    ir::Hindrance subscript_hindrance(ConvertFailure f) const {
+        return f == ConvertFailure::Indirection ? ir::Hindrance::Indirection
+                                                : ir::Hindrance::SymbolAnalysis;
+    }
+    ir::Hindrance region_hindrance(ConvertFailure f) const {
+        return f == ConvertFailure::Indirection ? ir::Hindrance::Indirection
+                                                : ir::Hindrance::AccessRepresentation;
+    }
+
+    /// Classifies a failed (Unknown) proof: rangeless blockers present →
+    /// Rangeless, otherwise imprecision → SymbolAnalysis.
+    ir::Hindrance classify_unknown(const Prover& prover) const {
+        // A blocker is "rangeless" in the paper's sense when its value
+        // comes from outside the compiler's view: a runtime READ or an
+        // unbounded dummy argument. A local the engine merely failed to
+        // bound is a symbolic-analysis gap instead.
+        for (const auto& name : prover.blockers()) {
+            if (rc_.ranges->runtime_inputs.contains(name)) return ir::Hindrance::Rangeless;
+            const auto* sym = rc_.routine->symbols.find(name);
+            if (sym && sym->is_dummy && !env_.contains(name)) return ir::Hindrance::Rangeless;
+            if (sym && sym->common_block && !env_.contains(name)) return ir::Hindrance::Rangeless;
+        }
+        return ir::Hindrance::SymbolAnalysis;
+    }
+
+    enum class DimOutcome { ProvenDistinct, NoInfo, Fail };
+
+    void test_direct_pair(const TestAccess& ta, const TestAccess& tb) {
+        const auto& a = *ta.direct;
+        const auto& b = *tb.direct;
+        const std::size_t rank = a.ref->subscripts.size();
+        std::optional<Issue> first_fail;
+        for (std::size_t d = 0; d < rank; ++d) {
+            Issue issue{ir::Hindrance::SymbolAnalysis, ""};
+            const DimOutcome out = test_dim(a, b, d, issue);
+            if (out == DimOutcome::ProvenDistinct) return;  // independent
+            if (out == DimOutcome::Fail && !first_fail) first_fail = issue;
+        }
+        if (first_fail) {
+            note(first_fail->kind, first_fail->detail);
+        } else {
+            note(ir::Hindrance::SymbolAnalysis,
+                 "possible cross-iteration dependence on " + a.ref->name);
+        }
+    }
+
+    DimOutcome test_dim(const ArrayAccess& a, const ArrayAccess& b, std::size_t d, Issue& issue) {
+        auto fa = symbolic::to_linear(*a.ref->subscripts[d], *rc_.consts);
+        auto fb = symbolic::to_linear(*b.ref->subscripts[d], *rc_.consts);
+        if (!fa.ok() || !fb.ok()) {
+            const auto why = !fa.ok() ? fa.failure : fb.failure;
+            issue = {subscript_hindrance(why),
+                     std::string(why == ConvertFailure::Indirection ? "indirect subscript"
+                                                                    : "non-affine subscript") +
+                         " of " + a.ref->name};
+            return DimOutcome::Fail;
+        }
+        // Eliminate inner-loop indices toward min/max per access.
+        const auto ia = inner_ranges(a.loops);
+        const auto ib = inner_ranges(b.loops);
+        auto a_min = symbolic::eliminate_extreme(*fa.form, ia, false);
+        auto a_max = symbolic::eliminate_extreme(*fa.form, ia, true);
+        auto b_min = symbolic::eliminate_extreme(*fb.form, ib, false);
+        auto b_max = symbolic::eliminate_extreme(*fb.form, ib, true);
+        if (!a_min || !a_max || !b_min || !b_max) {
+            issue = {ir::Hindrance::SymbolAnalysis,
+                     "could not bound subscript of " + a.ref->name + " over inner loops"};
+            return DimOutcome::Fail;
+        }
+        return range_test(*a_min, *a_max, *b_min, *b_max, a.ref->name, issue);
+    }
+
+    /// The Range Test on candidate index I over two access ranges
+    /// [a_min(I), a_max(I)] and [b_min(I'), b_max(I')], I != I'.
+    DimOutcome range_test(const LinearForm& a_min, const LinearForm& a_max,
+                          const LinearForm& b_min, const LinearForm& b_max,
+                          const std::string& label, Issue& issue) {
+        Prover prover(env_);
+        const std::string& I = loop_.var;
+        const std::int64_t ca_lo = a_min.coeff_of(I);
+        const std::int64_t ca_hi = a_max.coeff_of(I);
+        const std::int64_t cb_lo = b_min.coeff_of(I);
+        const std::int64_t cb_hi = b_max.coeff_of(I);
+        const bool affine =
+            a_min.affine_in(I) && a_max.affine_in(I) && b_min.affine_in(I) && b_max.affine_in(I);
+
+        if (!affine) {
+            issue = {ir::Hindrance::SymbolAnalysis, "non-affine use of " + I + " in " + label};
+            return DimOutcome::Fail;
+        }
+
+        // Case 1: equal coefficients everywhere — the classic stride test.
+        // Collision between iterations I and I' = I + k (k != 0) requires
+        //   a*k in [b_min - a_max , b_max - a_min]   (I cancels).
+        if (ca_lo == ca_hi && cb_lo == cb_hi && ca_lo == cb_lo && ca_lo != 0) {
+            const std::int64_t stride = ca_lo < 0 ? -ca_lo : ca_lo;
+            LinearForm d_hi = b_max - a_min;  // I-free by construction
+            LinearForm d_lo = b_min - a_max;
+            if (!d_hi.depends_on(I) && !d_lo.depends_on(I)) {
+                const Proof upper = prover.prove_lt(d_hi, LinearForm(stride));
+                const Proof lower = prover.prove_lt(LinearForm(-stride), d_lo);
+                if (upper == Proof::Proven && lower == Proof::Proven) {
+                    return DimOutcome::ProvenDistinct;
+                }
+                // GCD test: an exact constant difference must be divisible
+                // by the stride for any collision to exist.
+                if (d_hi.equals(d_lo) && d_hi.is_constant() &&
+                    d_hi.constant() % stride != 0) {
+                    return DimOutcome::ProvenDistinct;
+                }
+                // The dependence distance may exceed the iteration span:
+                // collisions need a*k in [-d_hi, -d_lo] with |k| <= span.
+                if (candidate_range_.lo && candidate_range_.hi) {
+                    const LinearForm reach =
+                        (*candidate_range_.hi - *candidate_range_.lo).scaled(stride);
+                    if (prover.prove_lt(reach, d_lo) == Proof::Proven ||
+                        prover.prove_lt(d_hi, reach.negate()) == Proof::Proven) {
+                        return DimOutcome::ProvenDistinct;
+                    }
+                }
+                if (upper == Proof::Unknown || lower == Proof::Unknown) {
+                    issue = {classify_unknown(prover),
+                             "cannot compare stride and span of " + label};
+                    return DimOutcome::Fail;
+                }
+                return DimOutcome::NoInfo;  // provable collision
+            }
+        }
+
+        // Case 1.5: monotonic separation (the full Range Test) — the
+        // ranges accessed at later iterations lie wholly above (or below)
+        // those of earlier iterations, even when the span itself grows
+        // with I (triangular nests). For I' > I, collisions are excluded
+        // by  B_min(I+1) > A_max(I)  with B_min nondecreasing in I, plus
+        // the symmetric condition for the other order.
+        {
+            const LinearForm next = LinearForm::variable(I) + LinearForm(1);
+            const LinearForm b_min_next = b_min.substituted(I, next);
+            const LinearForm a_min_next = a_min.substituted(I, next);
+            if (cb_lo >= 0 && ca_lo >= 0 &&
+                prover.prove_pos(b_min_next - a_max) == Proof::Proven &&
+                prover.prove_pos(a_min_next - b_max) == Proof::Proven) {
+                return DimOutcome::ProvenDistinct;
+            }
+            const LinearForm b_max_next = b_max.substituted(I, next);
+            const LinearForm a_max_next = a_max.substituted(I, next);
+            if (cb_hi <= 0 && ca_hi <= 0 &&
+                prover.prove_pos(a_min - b_max_next) == Proof::Proven &&
+                prover.prove_pos(b_min - a_max_next) == Proof::Proven) {
+                return DimOutcome::ProvenDistinct;
+            }
+        }
+
+        // Case 2: total disjointness over the whole iteration space.
+        std::vector<std::pair<std::string, SymRange>> cand{{I, candidate_range_}};
+        auto A_min = symbolic::eliminate_extreme(a_min, cand, false);
+        auto A_max = symbolic::eliminate_extreme(a_max, cand, true);
+        auto B_min = symbolic::eliminate_extreme(b_min, cand, false);
+        auto B_max = symbolic::eliminate_extreme(b_max, cand, true);
+        if (A_min && A_max && B_min && B_max) {
+            const Proof ab = prover.prove_lt(*A_max, *B_min);
+            const Proof ba = prover.prove_lt(*B_max, *A_min);
+            if (ab == Proof::Proven || ba == Proof::Proven) return DimOutcome::ProvenDistinct;
+            if ((ca_lo | ca_hi | cb_lo | cb_hi) == 0) {
+                // Both sides I-independent and not disjoint: an element is
+                // touched in every iteration.
+                if (ab == Proof::Unknown || ba == Proof::Unknown) {
+                    issue = {classify_unknown(prover), "cannot separate accesses to " + label};
+                    return DimOutcome::Fail;
+                }
+                return DimOutcome::NoInfo;
+            }
+        }
+        issue = {classify_unknown(prover),
+                 "cannot prove independence of accesses to " + label};
+        return DimOutcome::Fail;
+    }
+
+    void test_region_pair(const RegionForm& a, const RegionForm& b, const std::string& la,
+                          const std::string& lb) {
+        if (!a.lo || !a.hi || !b.lo || !b.hi) {
+            const auto why = (!a.lo || !a.hi) ? a.why : b.why;
+            note(region_hindrance(why == ConvertFailure::None ? ConvertFailure::NonAffine : why),
+                 "unknown extent of access to " + la + " vs " + lb);
+            return;
+        }
+        Issue issue{ir::Hindrance::SymbolAnalysis, ""};
+        const DimOutcome out = range_test(*a.lo, *a.hi, *b.lo, *b.hi, la, issue);
+        if (out == DimOutcome::ProvenDistinct) return;
+        if (out == DimOutcome::Fail) {
+            note(issue.kind, issue.detail);
+        } else {
+            note(ir::Hindrance::SymbolAnalysis,
+                 "possible cross-iteration dependence between " + la + " and " + lb);
+        }
+    }
+
+    const ir::DoLoop& loop_;
+    const RoutineContext& rc_;
+    const LoopContext& lc_;
+    symbolic::RangeEnv env_;
+    SymRange candidate_range_;
+    std::vector<Issue> issues_;
+    int pairs_tested_ = 0;
+    std::uint64_t start_ops_ = 0;
+    bool budget_exceeded_ = false;
+};
+
+}  // namespace
+
+LoopDependenceResult test_loop(const ir::DoLoop& loop, const RoutineContext& rc,
+                               const LoopContext& lc) {
+    LoopTester tester(loop, rc, lc);
+    return tester.run();
+}
+
+}  // namespace ap::dependence

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/alias.hpp"
+#include "analysis/constprop.hpp"
+#include "analysis/ranges.hpp"
+#include "analysis/regions.hpp"
+
+namespace ap::dependence {
+
+/// Outcome of the whole-loop dependence analysis (the paper's
+/// "data-dependence test" pass — the largest compile-time consumer in
+/// Figures 2-3).
+struct LoopDependenceResult {
+    bool parallel = false;
+    std::optional<ir::Hindrance> blocker;  ///< set when not parallel
+    std::string reason;
+    int pairs_tested = 0;          ///< array reference pairs examined
+    std::uint64_t symbolic_ops = 0;  ///< OpCounter delta consumed
+};
+
+/// Inputs shared across loops of one routine.
+struct RoutineContext {
+    const ir::Routine* routine = nullptr;
+    const analysis::ConstMap* consts = nullptr;
+    const analysis::RangeInfo* ranges = nullptr;
+    const analysis::AliasInfo* aliases = nullptr;
+    const analysis::SummaryMap* summaries = nullptr;
+    const analysis::CallGraph* callgraph = nullptr;
+};
+
+/// Per-loop facts computed by the driver before dependence testing.
+struct LoopContext {
+    std::set<std::string> privates;    ///< privatized scalars/arrays
+    std::set<std::string> reductions;  ///< recognized reduction variables
+    /// Symbolic-operation budget for this loop; exceeding it aborts the
+    /// analysis with Hindrance::Complexity (the paper's compile-time
+    /// limit, made deterministic by counting engine operations instead of
+    /// wall-clock).
+    std::uint64_t op_budget = 50'000'000;
+};
+
+/// Tests whether `loop` can be run in parallel: no loop-carried
+/// dependence on any array or scalar that is not private or a reduction.
+/// Implements:
+///   - ZIV / strong-SIV subscript tests,
+///   - the Range Test: monotonic stride-vs-span separation with symbolic
+///     ranges, per subscript dimension,
+///   - interprocedural testing through linearized region summaries for
+///     calls remaining in the body,
+///   - alias-pair blocking (Polaris's behaviour on aliased parameters),
+///   - hindrance classification per the paper's Figure-5 taxonomy.
+[[nodiscard]] LoopDependenceResult test_loop(const ir::DoLoop& loop, const RoutineContext& rc,
+                                             const LoopContext& lc);
+
+}  // namespace ap::dependence

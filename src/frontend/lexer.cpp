@@ -1,0 +1,247 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace ap::frontend {
+
+std::string to_string(TokenKind k) {
+    switch (k) {
+        case TokenKind::Ident: return "identifier";
+        case TokenKind::IntLit: return "integer literal";
+        case TokenKind::RealLit: return "real literal";
+        case TokenKind::StrLit: return "string literal";
+        case TokenKind::LParen: return "'('";
+        case TokenKind::RParen: return "')'";
+        case TokenKind::Comma: return "','";
+        case TokenKind::Colon: return "':'";
+        case TokenKind::Assign: return "'='";
+        case TokenKind::Plus: return "'+'";
+        case TokenKind::Minus: return "'-'";
+        case TokenKind::Star: return "'*'";
+        case TokenKind::Slash: return "'/'";
+        case TokenKind::DoubleStar: return "'**'";
+        case TokenKind::Lt: return "'.LT.'";
+        case TokenKind::Le: return "'.LE.'";
+        case TokenKind::Gt: return "'.GT.'";
+        case TokenKind::Ge: return "'.GE.'";
+        case TokenKind::Eq: return "'.EQ.'";
+        case TokenKind::Ne: return "'.NE.'";
+        case TokenKind::And: return "'.AND.'";
+        case TokenKind::Or: return "'.OR.'";
+        case TokenKind::Not: return "'.NOT.'";
+        case TokenKind::True: return "'.TRUE.'";
+        case TokenKind::False: return "'.FALSE.'";
+        case TokenKind::Newline: return "end of line";
+        case TokenKind::Directive: return "directive";
+        case TokenKind::EndOfFile: return "end of file";
+    }
+    return "?";
+}
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+char Lexer::peek(int ahead) const noexcept {
+    const std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+    return p < src_.size() ? src_[p] : '\0';
+}
+
+char Lexer::advance() noexcept {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+void Lexer::lex_number(std::vector<Token>& out) {
+    const auto loc = here();
+    const std::size_t start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    bool is_real = false;
+    // A '.' is part of the number only if not starting a dotted operator
+    // like `1.AND.` — require a digit or exponent after it, or treat a
+    // lone trailing '.' followed by non-letter as decimal point.
+    if (peek() == '.' && !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+        is_real = true;
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    if (peek() == 'E' || peek() == 'e' || peek() == 'D' || peek() == 'd') {
+        const char next = peek(1);
+        const char next2 = peek(2);
+        if (std::isdigit(static_cast<unsigned char>(next)) ||
+            ((next == '+' || next == '-') && std::isdigit(static_cast<unsigned char>(next2)))) {
+            is_real = true;
+            advance();  // E
+            if (peek() == '+' || peek() == '-') advance();
+            while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        }
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    Token t;
+    t.loc = loc;
+    t.text = text;
+    if (is_real) {
+        for (auto& c : text) {
+            if (c == 'D' || c == 'd') c = 'e';
+        }
+        t.kind = TokenKind::RealLit;
+        t.real_value = std::stod(text);
+    } else {
+        t.kind = TokenKind::IntLit;
+        t.int_value = std::stoll(text);
+    }
+    out.push_back(std::move(t));
+}
+
+void Lexer::lex_ident(std::vector<Token>& out) {
+    const auto loc = here();
+    const std::size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') advance();
+    std::string text(src_.substr(start, pos_ - start));
+    for (auto& c : text) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    out.push_back(Token{TokenKind::Ident, std::move(text), 0, 0.0, loc});
+}
+
+void Lexer::lex_dotted(std::vector<Token>& out) {
+    const auto loc = here();
+    advance();  // '.'
+    const std::size_t start = pos_;
+    while (std::isalpha(static_cast<unsigned char>(peek()))) advance();
+    std::string word(src_.substr(start, pos_ - start));
+    for (auto& c : word) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (peek() != '.') throw ParseError("malformed dotted operator '." + word + "'", loc);
+    advance();  // trailing '.'
+    TokenKind k;
+    if (word == "LT") k = TokenKind::Lt;
+    else if (word == "LE") k = TokenKind::Le;
+    else if (word == "GT") k = TokenKind::Gt;
+    else if (word == "GE") k = TokenKind::Ge;
+    else if (word == "EQ") k = TokenKind::Eq;
+    else if (word == "NE") k = TokenKind::Ne;
+    else if (word == "AND") k = TokenKind::And;
+    else if (word == "OR") k = TokenKind::Or;
+    else if (word == "NOT") k = TokenKind::Not;
+    else if (word == "TRUE") k = TokenKind::True;
+    else if (word == "FALSE") k = TokenKind::False;
+    else throw ParseError("unknown dotted operator '." + word + ".'", loc);
+    out.push_back(Token{k, "." + word + ".", 0, 0.0, loc});
+}
+
+void Lexer::lex_string(std::vector<Token>& out) {
+    const auto loc = here();
+    advance();  // opening quote
+    std::string value;
+    while (true) {
+        if (at_end() || peek() == '\n') throw ParseError("unterminated string literal", loc);
+        const char c = advance();
+        if (c == '\'') {
+            if (peek() == '\'') {  // doubled quote escape
+                value.push_back('\'');
+                advance();
+                continue;
+            }
+            break;
+        }
+        value.push_back(c);
+    }
+    out.push_back(Token{TokenKind::StrLit, std::move(value), 0, 0.0, loc});
+}
+
+std::vector<Token> Lexer::tokenize() {
+    std::vector<Token> out;
+    auto push = [&](TokenKind k, std::string text, ir::SourceLoc loc) {
+        out.push_back(Token{k, std::move(text), 0, 0.0, loc});
+    };
+    while (!at_end()) {
+        const char c = peek();
+        const auto loc = here();
+        if (c == '\n') {
+            advance();
+            if (!out.empty() && out.back().kind != TokenKind::Newline &&
+                out.back().kind != TokenKind::Directive) {
+                push(TokenKind::Newline, "\n", loc);
+            }
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            advance();
+            continue;
+        }
+        if (c == '&') {
+            // Continuation: skip to end of line including the newline.
+            advance();
+            while (!at_end() && peek() != '\n') advance();
+            if (!at_end()) advance();
+            continue;
+        }
+        if (c == '!') {
+            if (peek(1) == '$') {
+                advance();
+                advance();
+                const std::size_t start = pos_;
+                while (!at_end() && peek() != '\n') advance();
+                std::string payload(src_.substr(start, pos_ - start));
+                for (auto& ch : payload)
+                    ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+                // Directives act as their own line; swallow preceding newline need.
+                out.push_back(Token{TokenKind::Directive, std::move(payload), 0, 0.0, loc});
+            } else {
+                while (!at_end() && peek() != '\n') advance();
+            }
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            lex_number(out);
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            lex_ident(out);
+            continue;
+        }
+        if (c == '.') {
+            if (std::isdigit(static_cast<unsigned char>(peek(1)))) {
+                lex_number(out);  // .5 style literal
+                continue;
+            }
+            lex_dotted(out);
+            continue;
+        }
+        if (c == '\'') {
+            lex_string(out);
+            continue;
+        }
+        advance();
+        switch (c) {
+            case '(': push(TokenKind::LParen, "(", loc); break;
+            case ')': push(TokenKind::RParen, ")", loc); break;
+            case ',': push(TokenKind::Comma, ",", loc); break;
+            case ':': push(TokenKind::Colon, ":", loc); break;
+            case '=': push(TokenKind::Assign, "=", loc); break;
+            case '+': push(TokenKind::Plus, "+", loc); break;
+            case '-': push(TokenKind::Minus, "-", loc); break;
+            case '/': push(TokenKind::Slash, "/", loc); break;
+            case '*':
+                if (peek() == '*') {
+                    advance();
+                    push(TokenKind::DoubleStar, "**", loc);
+                } else {
+                    push(TokenKind::Star, "*", loc);
+                }
+                break;
+            default:
+                throw ParseError(std::string("unexpected character '") + c + "'", loc);
+        }
+    }
+    if (!out.empty() && out.back().kind != TokenKind::Newline) {
+        out.push_back(Token{TokenKind::Newline, "\n", 0, 0.0, here()});
+    }
+    out.push_back(Token{TokenKind::EndOfFile, "", 0, 0.0, here()});
+    return out;
+}
+
+}  // namespace ap::frontend

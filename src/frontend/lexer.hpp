@@ -1,0 +1,52 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+
+namespace ap::frontend {
+
+/// Error type for all frontend diagnostics. Carries the source location
+/// in the message.
+class ParseError : public std::runtime_error {
+public:
+    ParseError(const std::string& message, ir::SourceLoc loc)
+        : std::runtime_error("line " + loc.to_string() + ": " + message), loc_(loc) {}
+    [[nodiscard]] ir::SourceLoc loc() const noexcept { return loc_; }
+
+private:
+    ir::SourceLoc loc_;
+};
+
+/// Tokenizes Mini-F source. Identifiers and keywords are upper-cased;
+/// `!` starts a comment except `!$` which starts a directive token;
+/// newlines are significant (they terminate statements). `&` at end of
+/// line continues the statement onto the next line.
+class Lexer {
+public:
+    explicit Lexer(std::string_view source);
+
+    /// Tokenizes the whole input. Throws ParseError on malformed input.
+    [[nodiscard]] std::vector<Token> tokenize();
+
+private:
+    [[nodiscard]] char peek(int ahead = 0) const noexcept;
+    char advance() noexcept;
+    [[nodiscard]] bool at_end() const noexcept { return pos_ >= src_.size(); }
+    [[nodiscard]] ir::SourceLoc here() const noexcept { return {line_, col_}; }
+
+    void lex_number(std::vector<Token>& out);
+    void lex_ident(std::vector<Token>& out);
+    void lex_dotted(std::vector<Token>& out);
+    void lex_string(std::vector<Token>& out);
+
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    std::int32_t line_ = 1;
+    std::int32_t col_ = 1;
+};
+
+}  // namespace ap::frontend

@@ -1,0 +1,703 @@
+#include "frontend/parser.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/visit.hpp"
+
+namespace ap::frontend {
+
+namespace {
+
+const std::vector<std::string_view> kIntrinsics = {
+    "MAX", "MIN", "MOD", "ABS", "SQRT", "SIN", "COS", "TAN", "EXP", "LOG",
+    "INT", "REAL", "DBLE", "NINT", "SIGN", "ATAN", "ATAN2", "CMPLX", "CONJG",
+    "AIMAG", "FLOAT", "IABS",
+};
+
+bool is_intrinsic(const std::string& name) {
+    return std::find(kIntrinsics.begin(), kIntrinsics.end(), name) != kIntrinsics.end();
+}
+
+}  // namespace
+
+Parser::Parser(std::string_view source) {
+    Lexer lex(source);
+    tokens_ = lex.tokenize();
+}
+
+const Token& Parser::peek(int ahead) const {
+    const std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+    return p < tokens_.size() ? tokens_[p] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+}
+
+bool Parser::check_ident(std::string_view word) const {
+    return peek().kind == TokenKind::Ident && peek().text == word;
+}
+
+bool Parser::accept(TokenKind k) {
+    if (check(k)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+bool Parser::accept_ident(std::string_view word) {
+    if (check_ident(word)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+const Token& Parser::expect(TokenKind k, std::string_view what) {
+    if (!check(k)) {
+        throw ParseError("expected " + std::string(what) + " but found " + to_string(peek().kind) +
+                             (peek().kind == TokenKind::Ident ? " '" + peek().text + "'" : ""),
+                         peek().loc);
+    }
+    return advance();
+}
+
+void Parser::expect_ident(std::string_view word) {
+    if (!check_ident(word)) {
+        throw ParseError("expected '" + std::string(word) + "'", peek().loc);
+    }
+    advance();
+}
+
+void Parser::expect_newline() {
+    if (!check(TokenKind::Newline) && !check(TokenKind::EndOfFile)) {
+        throw ParseError("expected end of statement, found " + to_string(peek().kind), peek().loc);
+    }
+    if (check(TokenKind::Newline)) advance();
+}
+
+void Parser::skip_newlines() {
+    while (check(TokenKind::Newline)) advance();
+}
+
+ir::Program Parser::parse_program(std::string program_name) {
+    ir::Program prog;
+    prog.name = std::move(program_name);
+    skip_newlines();
+    while (!check(TokenKind::EndOfFile)) {
+        if (check(TokenKind::Directive)) {
+            // stray file-level directive; ignore
+            advance();
+            skip_newlines();
+            continue;
+        }
+        prog.add_routine(parse_routine());
+        skip_newlines();
+    }
+    ir::number_loops(prog);
+    return prog;
+}
+
+ir::RoutinePtr Parser::parse_routine() {
+    auto r = std::make_unique<ir::Routine>();
+    current_ = r.get();
+    next_do_is_target_ = false;
+
+    bool external = false;
+    if (accept_ident("EXTERNAL")) external = true;
+
+    if (accept_ident("PROGRAM")) {
+        if (external) throw ParseError("EXTERNAL PROGRAM is not allowed", peek().loc);
+        r->kind = ir::RoutineKind::Program;
+    } else if (accept_ident("SUBROUTINE")) {
+        r->kind = ir::RoutineKind::Subroutine;
+    } else if (accept_ident("FUNCTION")) {
+        r->kind = ir::RoutineKind::Function;
+    } else {
+        throw ParseError("expected PROGRAM, SUBROUTINE or FUNCTION", peek().loc);
+    }
+    r->language = external ? ir::Language::C : ir::Language::Fortran;
+    r->name = expect(TokenKind::Ident, "routine name").text;
+
+    if (r->kind != ir::RoutineKind::Program && accept(TokenKind::LParen)) {
+        if (!check(TokenKind::RParen)) {
+            do {
+                r->dummies.push_back(expect(TokenKind::Ident, "dummy argument").text);
+            } while (accept(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "')'");
+    }
+    expect_newline();
+    skip_newlines();
+
+    // Declarations first.
+    while (true) {
+        if (check(TokenKind::Directive)) {
+            const Token d = advance();
+            if (d.text.rfind("EFFECTS", 0) == 0) {
+                parse_effects_directive(*r, d.text, d.loc);
+            } else if (d.text.rfind("TARGET", 0) == 0) {
+                next_do_is_target_ = true;
+            }
+            skip_newlines();
+            continue;
+        }
+        if (!check(TokenKind::Ident)) break;
+        const std::string& kw = peek().text;
+        if (kw == "INTEGER" || kw == "REAL" || kw == "COMPLEX" || kw == "LOGICAL" ||
+            kw == "CHARACTER" || kw == "PARAMETER" || kw == "COMMON" || kw == "EQUIVALENCE") {
+            const Token keyword = advance();
+            parse_declaration(*r, keyword);
+            skip_newlines();
+        } else {
+            break;
+        }
+    }
+
+    // Mark dummies.
+    for (const auto& d : r->dummies) {
+        if (auto* s = r->symbols.find(d)) {
+            s->is_dummy = true;
+        } else {
+            // Undeclared dummy: implicit type, scalar.
+            ir::Symbol sym(d, (d[0] >= 'I' && d[0] <= 'N') ? ir::ScalarType::Integer
+                                                           : ir::ScalarType::Real);
+            sym.is_dummy = true;
+            r->symbols.declare(std::move(sym));
+        }
+    }
+
+    // Body.
+    r->body = parse_block({"END"});
+    expect_ident("END");
+    // optional `END SUBROUTINE`-style trailer
+    if (check(TokenKind::Ident)) advance();
+    expect_newline();
+
+    if (external && !r->body.empty()) {
+        throw ParseError("EXTERNAL routine " + r->name + " must have an empty body",
+                         peek().loc);
+    }
+
+    apply_implicit_typing(*r);
+    if (r->kind == ir::RoutineKind::Function) {
+        if (const auto* self = r->symbols.find(r->name)) {
+            r->return_type = self->type;
+        } else {
+            const char c = r->name[0];
+            r->return_type =
+                (c >= 'I' && c <= 'N') ? ir::ScalarType::Integer : ir::ScalarType::Real;
+        }
+    }
+    current_ = nullptr;
+    return r;
+}
+
+void Parser::parse_declaration(ir::Routine& r, const Token& keyword) {
+    const std::string& kw = keyword.text;
+    if (kw == "PARAMETER") {
+        parse_parameter(r);
+    } else if (kw == "COMMON") {
+        parse_common(r);
+    } else if (kw == "EQUIVALENCE") {
+        parse_equivalence(r);
+    } else {
+        ir::ScalarType t = ir::ScalarType::Integer;
+        if (kw == "REAL") t = ir::ScalarType::Real;
+        else if (kw == "COMPLEX") t = ir::ScalarType::Complex;
+        else if (kw == "LOGICAL") t = ir::ScalarType::Logical;
+        else if (kw == "CHARACTER") t = ir::ScalarType::Character;
+        parse_type_declaration(r, t);
+    }
+    expect_newline();
+}
+
+void Parser::parse_type_declaration(ir::Routine& r, ir::ScalarType type) {
+    do {
+        const std::string name = expect(TokenKind::Ident, "declared name").text;
+        ir::Symbol sym(name, type);
+        if (accept(TokenKind::LParen)) {
+            sym.kind = ir::SymbolKind::Array;
+            do {
+                if (accept(TokenKind::Star)) {
+                    sym.dims.emplace_back(ir::make_int(1), nullptr);
+                } else {
+                    auto first = parse_expr();
+                    if (accept(TokenKind::Colon)) {
+                        if (accept(TokenKind::Star)) {
+                            sym.dims.emplace_back(std::move(first), nullptr);
+                        } else {
+                            auto hi = parse_expr();
+                            sym.dims.emplace_back(std::move(first), std::move(hi));
+                        }
+                    } else {
+                        sym.dims.emplace_back(ir::make_int(1), std::move(first));
+                    }
+                }
+            } while (accept(TokenKind::Comma));
+            expect(TokenKind::RParen, "')' after dimensions");
+        }
+        // Preserve common-block info if the name appeared in COMMON first.
+        if (auto* prev = r.symbols.find(name)) {
+            sym.common_block = prev->common_block;
+            sym.common_index = prev->common_index;
+            sym.is_dummy = prev->is_dummy;
+            if (prev->is_array() && !sym.is_array()) {
+                // type-only redeclaration of an array declared in COMMON
+                sym.kind = ir::SymbolKind::Array;
+                sym.dims = prev->dims;
+            }
+        }
+        r.symbols.declare(std::move(sym));
+    } while (accept(TokenKind::Comma));
+}
+
+void Parser::parse_parameter(ir::Routine& r) {
+    expect(TokenKind::LParen, "'(' after PARAMETER");
+    do {
+        const std::string name = expect(TokenKind::Ident, "parameter name").text;
+        expect(TokenKind::Assign, "'='");
+        auto value = parse_expr();
+        ir::Symbol sym(name, ir::ScalarType::Integer, ir::SymbolKind::NamedConstant);
+        if (value->kind() == ir::ExprKind::RealConst) sym.type = ir::ScalarType::Real;
+        sym.const_value = std::move(value);
+        r.symbols.declare(std::move(sym));
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::RParen, "')'");
+}
+
+void Parser::parse_common(ir::Routine& r) {
+    expect(TokenKind::Slash, "'/' before common block name");
+    const std::string block = expect(TokenKind::Ident, "common block name").text;
+    expect(TokenKind::Slash, "'/' after common block name");
+    int index = 0;
+    do {
+        const std::string name = expect(TokenKind::Ident, "common member").text;
+        ir::Symbol sym(name, (name[0] >= 'I' && name[0] <= 'N') ? ir::ScalarType::Integer
+                                                                : ir::ScalarType::Real);
+        if (accept(TokenKind::LParen)) {
+            sym.kind = ir::SymbolKind::Array;
+            do {
+                if (accept(TokenKind::Star)) {
+                    sym.dims.emplace_back(ir::make_int(1), nullptr);
+                } else {
+                    auto first = parse_expr();
+                    if (accept(TokenKind::Colon)) {
+                        auto hi = parse_expr();
+                        sym.dims.emplace_back(std::move(first), std::move(hi));
+                    } else {
+                        sym.dims.emplace_back(ir::make_int(1), std::move(first));
+                    }
+                }
+            } while (accept(TokenKind::Comma));
+            expect(TokenKind::RParen, "')'");
+        }
+        if (auto* prev = r.symbols.find(name)) {
+            // Type declaration seen first; keep its type/dims.
+            prev->common_block = block;
+            prev->common_index = index++;
+        } else {
+            sym.common_block = block;
+            sym.common_index = index++;
+            r.symbols.declare(std::move(sym));
+        }
+    } while (accept(TokenKind::Comma));
+}
+
+void Parser::parse_equivalence(ir::Routine& r) {
+    expect(TokenKind::LParen, "'(' after EQUIVALENCE");
+    auto parse_ref = [&](std::string& name, std::int64_t& offset) {
+        name = expect(TokenKind::Ident, "equivalenced name").text;
+        offset = 0;
+        if (accept(TokenKind::LParen)) {
+            const Token& t = expect(TokenKind::IntLit, "constant subscript");
+            offset = t.int_value - 1;  // element offset from base
+            expect(TokenKind::RParen, "')'");
+        }
+    };
+    ir::Equivalence eq;
+    parse_ref(eq.a, eq.offset_a);
+    expect(TokenKind::Comma, "','");
+    parse_ref(eq.b, eq.offset_b);
+    expect(TokenKind::RParen, "')'");
+    r.equivalences.push_back(std::move(eq));
+}
+
+void Parser::parse_effects_directive(ir::Routine& r, const std::string& payload,
+                                     ir::SourceLoc loc) {
+    // payload: "EFFECTS WRITES(A,B) READS(N) NOCOMMON"
+    r.foreign.opaque = false;
+    r.foreign.touches_commons = true;
+    std::istringstream is(payload);
+    std::string word;
+    is >> word;  // EFFECTS
+    auto dummy_index = [&](const std::string& nm) -> int {
+        for (std::size_t i = 0; i < r.dummies.size(); ++i) {
+            if (r.dummies[i] == nm) return static_cast<int>(i);
+        }
+        throw ParseError("EFFECTS names unknown dummy '" + nm + "' of " + r.name, loc);
+    };
+    while (is >> word) {
+        if (word == "NOCOMMON") {
+            r.foreign.touches_commons = false;
+            continue;
+        }
+        const bool writes = word.rfind("WRITES(", 0) == 0;
+        const bool reads = word.rfind("READS(", 0) == 0;
+        if (!writes && !reads) throw ParseError("bad EFFECTS clause '" + word + "'", loc);
+        const auto open = word.find('(');
+        const auto close = word.rfind(')');
+        if (close == std::string::npos || close < open) {
+            throw ParseError("bad EFFECTS clause '" + word + "'", loc);
+        }
+        std::string names = word.substr(open + 1, close - open - 1);
+        std::istringstream ns(names);
+        std::string nm;
+        while (std::getline(ns, nm, ',')) {
+            if (nm.empty()) continue;
+            if (writes) {
+                r.foreign.writes_args.push_back(dummy_index(nm));
+            } else {
+                r.foreign.reads_args.push_back(dummy_index(nm));
+            }
+        }
+    }
+}
+
+ir::Block Parser::parse_block(const std::vector<std::string_view>& terminators) {
+    ir::Block block;
+    skip_newlines();
+    while (true) {
+        if (check(TokenKind::EndOfFile)) break;
+        if (check(TokenKind::Directive)) {
+            const Token d = advance();
+            if (d.text.rfind("TARGET", 0) == 0) next_do_is_target_ = true;
+            skip_newlines();
+            continue;
+        }
+        if (check(TokenKind::Ident)) {
+            bool term = false;
+            for (auto t : terminators) {
+                if (peek().text == t) {
+                    // Distinguish `END` terminator from `END DO` / `END IF`
+                    // belonging to a nested construct — callers pass the
+                    // right terminator set so a bare match terminates.
+                    term = true;
+                    break;
+                }
+            }
+            if (term) break;
+        }
+        block.push_back(parse_statement());
+        skip_newlines();
+    }
+    return block;
+}
+
+ir::StmtPtr Parser::parse_statement() {
+    const auto loc = peek().loc;
+    ir::StmtPtr s;
+    if (check_ident("IF")) {
+        s = parse_if();
+    } else if (check_ident("DO")) {
+        s = parse_do();
+    } else {
+        s = parse_simple_statement();
+        expect_newline();
+    }
+    s->set_loc(loc);
+    return s;
+}
+
+ir::StmtPtr Parser::parse_if() {
+    expect_ident("IF");
+    expect(TokenKind::LParen, "'(' after IF");
+    auto cond = parse_expr();
+    expect(TokenKind::RParen, "')' after IF condition");
+    if (accept_ident("THEN")) {
+        expect_newline();
+        auto then_block = parse_block({"ELSE", "END"});
+        ir::Block else_block;
+        if (accept_ident("ELSE")) {
+            if (check_ident("IF")) {
+                // ELSE IF ... chains share the outer END IF.
+                else_block.push_back(parse_if());
+                return ir::make_if(std::move(cond), std::move(then_block), std::move(else_block));
+            }
+            expect_newline();
+            else_block = parse_block({"END"});
+        }
+        expect_ident("END");
+        expect_ident("IF");
+        expect_newline();
+        return ir::make_if(std::move(cond), std::move(then_block), std::move(else_block));
+    }
+    // One-line logical IF.
+    auto body = parse_simple_statement();
+    expect_newline();
+    ir::Block then_block;
+    then_block.push_back(std::move(body));
+    return ir::make_if(std::move(cond), std::move(then_block), {});
+}
+
+ir::StmtPtr Parser::parse_do() {
+    expect_ident("DO");
+    const bool target = next_do_is_target_;
+    next_do_is_target_ = false;
+    const std::string var = expect(TokenKind::Ident, "loop variable").text;
+    expect(TokenKind::Assign, "'=' in DO");
+    auto lo = parse_expr();
+    expect(TokenKind::Comma, "',' in DO");
+    auto hi = parse_expr();
+    ir::ExprPtr step;
+    if (accept(TokenKind::Comma)) step = parse_expr();
+    expect_newline();
+    auto body = parse_block({"END"});
+    expect_ident("END");
+    expect_ident("DO");
+    expect_newline();
+    auto loop = ir::make_do(var, std::move(lo), std::move(hi), std::move(body), std::move(step));
+    static_cast<ir::DoLoop*>(loop.get())->is_target = target;
+    return loop;
+}
+
+ir::StmtPtr Parser::parse_simple_statement() {
+    if (accept_ident("CALL")) {
+        const std::string name = expect(TokenKind::Ident, "subroutine name").text;
+        std::vector<ir::ExprPtr> args;
+        if (accept(TokenKind::LParen)) {
+            if (!check(TokenKind::RParen)) args = parse_arg_list();
+            expect(TokenKind::RParen, "')'");
+        }
+        return ir::make_call_stmt(name, std::move(args));
+    }
+    if (accept_ident("READ")) {
+        expect(TokenKind::Star, "'*' after READ");
+        expect(TokenKind::Comma, "',' after READ *");
+        std::vector<ir::ExprPtr> targets;
+        do {
+            targets.push_back(parse_lvalue());
+        } while (accept(TokenKind::Comma));
+        return std::make_unique<ir::ReadStmt>(std::move(targets));
+    }
+    if (accept_ident("PRINT")) {
+        expect(TokenKind::Star, "'*' after PRINT");
+        expect(TokenKind::Comma, "',' after PRINT *");
+        std::vector<ir::ExprPtr> args;
+        do {
+            args.push_back(parse_expr());
+        } while (accept(TokenKind::Comma));
+        return std::make_unique<ir::PrintStmt>(std::move(args));
+    }
+    if (accept_ident("RETURN")) return std::make_unique<ir::ReturnStmt>();
+    if (accept_ident("STOP")) return std::make_unique<ir::StopStmt>();
+    // Assignment.
+    auto lhs = parse_lvalue();
+    expect(TokenKind::Assign, "'=' in assignment");
+    auto rhs = parse_expr();
+    return ir::make_assign(std::move(lhs), std::move(rhs));
+}
+
+ir::ExprPtr Parser::parse_lvalue() {
+    const Token& name_tok = expect(TokenKind::Ident, "variable name");
+    const std::string name = name_tok.text;
+    if (check(TokenKind::LParen)) {
+        advance();
+        auto subs = parse_arg_list();
+        expect(TokenKind::RParen, "')'");
+        return ir::make_array_ref(name, std::move(subs));
+    }
+    return ir::make_var(name);
+}
+
+ir::ExprPtr Parser::parse_expr() { return parse_or(); }
+
+ir::ExprPtr Parser::parse_or() {
+    auto lhs = parse_and();
+    while (accept(TokenKind::Or)) {
+        lhs = ir::make_binary(ir::BinaryOp::Or, std::move(lhs), parse_and());
+    }
+    return lhs;
+}
+
+ir::ExprPtr Parser::parse_and() {
+    auto lhs = parse_not();
+    while (accept(TokenKind::And)) {
+        lhs = ir::make_binary(ir::BinaryOp::And, std::move(lhs), parse_not());
+    }
+    return lhs;
+}
+
+ir::ExprPtr Parser::parse_not() {
+    if (accept(TokenKind::Not)) {
+        return ir::make_unary(ir::UnaryOp::Not, parse_not());
+    }
+    return parse_comparison();
+}
+
+ir::ExprPtr Parser::parse_comparison() {
+    auto lhs = parse_additive();
+    ir::BinaryOp op;
+    bool has = true;
+    switch (peek().kind) {
+        case TokenKind::Lt: op = ir::BinaryOp::Lt; break;
+        case TokenKind::Le: op = ir::BinaryOp::Le; break;
+        case TokenKind::Gt: op = ir::BinaryOp::Gt; break;
+        case TokenKind::Ge: op = ir::BinaryOp::Ge; break;
+        case TokenKind::Eq: op = ir::BinaryOp::Eq; break;
+        case TokenKind::Ne: op = ir::BinaryOp::Ne; break;
+        default: has = false; op = ir::BinaryOp::Eq; break;
+    }
+    if (!has) return lhs;
+    advance();
+    return ir::make_binary(op, std::move(lhs), parse_additive());
+}
+
+ir::ExprPtr Parser::parse_additive() {
+    auto lhs = parse_multiplicative();
+    while (true) {
+        if (accept(TokenKind::Plus)) {
+            lhs = ir::make_binary(ir::BinaryOp::Add, std::move(lhs), parse_multiplicative());
+        } else if (accept(TokenKind::Minus)) {
+            lhs = ir::make_binary(ir::BinaryOp::Sub, std::move(lhs), parse_multiplicative());
+        } else {
+            return lhs;
+        }
+    }
+}
+
+ir::ExprPtr Parser::parse_multiplicative() {
+    auto lhs = parse_unary();
+    while (true) {
+        if (accept(TokenKind::Star)) {
+            lhs = ir::make_binary(ir::BinaryOp::Mul, std::move(lhs), parse_unary());
+        } else if (accept(TokenKind::Slash)) {
+            lhs = ir::make_binary(ir::BinaryOp::Div, std::move(lhs), parse_unary());
+        } else {
+            return lhs;
+        }
+    }
+}
+
+ir::ExprPtr Parser::parse_unary() {
+    if (accept(TokenKind::Minus)) {
+        return ir::make_unary(ir::UnaryOp::Neg, parse_unary());
+    }
+    if (accept(TokenKind::Plus)) {
+        return parse_unary();
+    }
+    return parse_power();
+}
+
+ir::ExprPtr Parser::parse_power() {
+    auto base = parse_primary();
+    if (accept(TokenKind::DoubleStar)) {
+        // Right-associative.
+        return ir::make_binary(ir::BinaryOp::Pow, std::move(base), parse_unary());
+    }
+    return base;
+}
+
+std::vector<ir::ExprPtr> Parser::parse_arg_list() {
+    std::vector<ir::ExprPtr> args;
+    do {
+        args.push_back(parse_expr());
+    } while (accept(TokenKind::Comma));
+    return args;
+}
+
+ir::ExprPtr Parser::parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+        case TokenKind::IntLit: {
+            advance();
+            return std::make_unique<ir::IntConst>(t.int_value, t.loc);
+        }
+        case TokenKind::RealLit: {
+            advance();
+            return std::make_unique<ir::RealConst>(t.real_value, t.loc);
+        }
+        case TokenKind::StrLit: {
+            advance();
+            return std::make_unique<ir::StrConst>(t.text, t.loc);
+        }
+        case TokenKind::True:
+            advance();
+            return std::make_unique<ir::LogicalConst>(true, t.loc);
+        case TokenKind::False:
+            advance();
+            return std::make_unique<ir::LogicalConst>(false, t.loc);
+        case TokenKind::LParen: {
+            advance();
+            auto e = parse_expr();
+            expect(TokenKind::RParen, "')'");
+            return e;
+        }
+        case TokenKind::Ident: {
+            const std::string name = advance().text;
+            if (check(TokenKind::LParen)) {
+                advance();
+                std::vector<ir::ExprPtr> args;
+                if (!check(TokenKind::RParen)) args = parse_arg_list();
+                expect(TokenKind::RParen, "')'");
+                // Array reference iff declared as an array in this routine;
+                // otherwise a function call (intrinsic or user function).
+                const ir::Symbol* sym = current_ ? current_->symbols.find(name) : nullptr;
+                if (sym && sym->is_array()) {
+                    return std::make_unique<ir::ArrayRef>(name, std::move(args), t.loc);
+                }
+                if (!is_intrinsic(name) && sym && !sym->is_array()) {
+                    throw ParseError("'" + name + "' is declared scalar but used with subscripts",
+                                     t.loc);
+                }
+                return std::make_unique<ir::Call>(name, std::move(args), t.loc);
+            }
+            if (current_) {
+                if (const auto* sym = current_->symbols.find(name);
+                    sym && sym->kind == ir::SymbolKind::NamedConstant) {
+                    // Named constants stay as VarRefs; constant propagation
+                    // folds them. (Polaris similarly resolves PARAMETERs in
+                    // a dedicated pass.)
+                }
+            }
+            return std::make_unique<ir::VarRef>(name, t.loc);
+        }
+        default:
+            throw ParseError("unexpected token " + to_string(t.kind) + " in expression", t.loc);
+    }
+}
+
+void Parser::apply_implicit_typing(ir::Routine& r) {
+    std::vector<std::string> undeclared;
+    auto note = [&](const std::string& name) {
+        if (r.symbols.contains(name)) return;
+        if (std::find(undeclared.begin(), undeclared.end(), name) == undeclared.end()) {
+            undeclared.push_back(name);
+        }
+    };
+    ir::for_each_expr_deep(r.body, [&](const ir::Expr& e) {
+        if (e.kind() == ir::ExprKind::VarRef) {
+            note(static_cast<const ir::VarRef&>(e).name);
+        }
+    });
+    ir::for_each_stmt(r.body, [&](const ir::Stmt& s) {
+        if (s.kind() == ir::StmtKind::Do) note(static_cast<const ir::DoLoop&>(s).var);
+    });
+    for (const auto& name : undeclared) {
+        const char c = name[0];
+        r.symbols.declare(
+            ir::Symbol(name, (c >= 'I' && c <= 'N') ? ir::ScalarType::Integer
+                                                    : ir::ScalarType::Real));
+    }
+}
+
+ir::Program parse(std::string_view source, std::string name) {
+    Parser p(source);
+    return p.parse_program(std::move(name));
+}
+
+}  // namespace ap::frontend

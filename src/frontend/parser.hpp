@@ -1,0 +1,88 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/lexer.hpp"
+#include "ir/program.hpp"
+
+namespace ap::frontend {
+
+/// Recursive-descent parser for Mini-F (see docs in README: a structured
+/// Fortran-77-like language). Grammar highlights:
+///
+///   PROGRAM NAME ... END
+///   SUBROUTINE NAME(D1, D2) ... END
+///   FUNCTION NAME(D1) ... END
+///   EXTERNAL SUBROUTINE NAME(D1)   <- foreign "C" routine, opaque body
+///
+/// Declarations must precede executable statements (so the parser can
+/// disambiguate array references from function calls, exactly as Fortran
+/// compilers do). Implicit typing (I-N => INTEGER, otherwise REAL)
+/// applies to undeclared scalars.
+///
+/// Directives:
+///   !$TARGET                 -- next DO is a hand-identified target loop
+///   !$EFFECTS WRITES(A) READS(N) NOCOMMON  -- foreign routine side effects
+class Parser {
+public:
+    explicit Parser(std::string_view source);
+
+    /// Parses the whole translation unit. Throws ParseError on any
+    /// malformed input. Loop ids are numbered before returning.
+    [[nodiscard]] ir::Program parse_program(std::string program_name = "UNNAMED");
+
+private:
+    // token stream helpers
+    [[nodiscard]] const Token& peek(int ahead = 0) const;
+    const Token& advance();
+    [[nodiscard]] bool check(TokenKind k) const { return peek().kind == k; }
+    [[nodiscard]] bool check_ident(std::string_view word) const;
+    bool accept(TokenKind k);
+    bool accept_ident(std::string_view word);
+    const Token& expect(TokenKind k, std::string_view what);
+    void expect_ident(std::string_view word);
+    void expect_newline();
+    void skip_newlines();
+
+    // grammar productions
+    ir::RoutinePtr parse_routine();
+    void parse_declaration(ir::Routine& r, const Token& keyword);
+    void parse_type_declaration(ir::Routine& r, ir::ScalarType type);
+    void parse_parameter(ir::Routine& r);
+    void parse_common(ir::Routine& r);
+    void parse_equivalence(ir::Routine& r);
+    ir::Block parse_block(const std::vector<std::string_view>& terminators);
+    ir::StmtPtr parse_statement();
+    ir::StmtPtr parse_if();
+    ir::StmtPtr parse_do();
+    ir::StmtPtr parse_simple_statement();  ///< call/read/print/return/stop/assign
+    ir::ExprPtr parse_lvalue();
+
+    // expressions (precedence climbing)
+    ir::ExprPtr parse_expr();
+    ir::ExprPtr parse_or();
+    ir::ExprPtr parse_and();
+    ir::ExprPtr parse_not();
+    ir::ExprPtr parse_comparison();
+    ir::ExprPtr parse_additive();
+    ir::ExprPtr parse_multiplicative();
+    ir::ExprPtr parse_unary();
+    ir::ExprPtr parse_power();
+    ir::ExprPtr parse_primary();
+    std::vector<ir::ExprPtr> parse_arg_list();
+
+    void apply_implicit_typing(ir::Routine& r);
+    void parse_effects_directive(ir::Routine& r, const std::string& payload,
+                                 ir::SourceLoc loc);
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    ir::Routine* current_ = nullptr;  ///< routine being parsed (for array lookup)
+    bool next_do_is_target_ = false;
+};
+
+/// Convenience: parse and return; `name` labels the program in reports.
+[[nodiscard]] ir::Program parse(std::string_view source, std::string name = "UNNAMED");
+
+}  // namespace ap::frontend

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/location.hpp"
+
+namespace ap::frontend {
+
+enum class TokenKind : unsigned char {
+    Ident,
+    IntLit,
+    RealLit,
+    StrLit,
+    // punctuation / operators
+    LParen, RParen, Comma, Colon, Assign,
+    Plus, Minus, Star, Slash, DoubleStar,
+    // Fortran dotted operators
+    Lt, Le, Gt, Ge, Eq, Ne, And, Or, Not, True, False,
+    // structure
+    Newline,
+    Directive,  ///< a `!$NAME ...` comment-directive; text carries the payload
+    EndOfFile,
+};
+
+struct Token {
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;        ///< identifier (upper-cased), literal text, or directive payload
+    std::int64_t int_value = 0;
+    double real_value = 0.0;
+    ir::SourceLoc loc;
+};
+
+[[nodiscard]] std::string to_string(TokenKind k);
+
+}  // namespace ap::frontend

@@ -1,0 +1,842 @@
+#include "interp/interp.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <deque>
+#include <mutex>
+
+#include "runtime/parallel_for.hpp"
+
+namespace ap::interp {
+
+namespace {
+
+struct StopSignal {};
+struct ReturnSignal {};
+
+std::int64_t as_int(const Value& v, const char* what) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+    if (const auto* d = std::get_if<double>(&v)) return static_cast<std::int64_t>(*d);
+    if (const auto* b = std::get_if<bool>(&v)) return *b ? 1 : 0;
+    throw RuntimeError(std::string("expected an integer value in ") + what);
+}
+
+double as_real(const Value& v, const char* what) {
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+    throw RuntimeError(std::string("expected a numeric value in ") + what);
+}
+
+std::complex<double> as_complex(const Value& v, const char* what) {
+    if (const auto* c = std::get_if<std::complex<double>>(&v)) return *c;
+    return {as_real(v, what), 0.0};
+}
+
+bool as_bool(const Value& v, const char* what) {
+    if (const auto* b = std::get_if<bool>(&v)) return *b;
+    throw RuntimeError(std::string("expected a LOGICAL value in ") + what);
+}
+
+bool is_complex(const Value& v) { return std::holds_alternative<std::complex<double>>(v); }
+bool is_real(const Value& v) { return std::holds_alternative<double>(v); }
+bool is_int(const Value& v) { return std::holds_alternative<std::int64_t>(v); }
+
+Value default_value(ir::ScalarType t) {
+    switch (t) {
+        case ir::ScalarType::Integer: return std::int64_t{0};
+        case ir::ScalarType::Real: return 0.0;
+        case ir::ScalarType::Complex: return std::complex<double>{0.0, 0.0};
+        case ir::ScalarType::Logical: return false;
+        case ir::ScalarType::Character: return std::string{};
+    }
+    return std::int64_t{0};
+}
+
+/// Converts `v` to the declared type of the assignment target.
+Value convert_to(ir::ScalarType t, const Value& v, const char* what) {
+    switch (t) {
+        case ir::ScalarType::Integer: return as_int(v, what);
+        case ir::ScalarType::Real: return as_real(v, what);
+        case ir::ScalarType::Complex: return as_complex(v, what);
+        case ir::ScalarType::Logical: return as_bool(v, what);
+        case ir::ScalarType::Character:
+            if (const auto* s = std::get_if<std::string>(&v)) return *s;
+            throw RuntimeError(std::string("expected CHARACTER value in ") + what);
+    }
+    return v;
+}
+
+}  // namespace
+
+std::int64_t ArrayBinding::element_offset(const std::vector<std::int64_t>& idx) const {
+    if (idx.size() != lo.size()) {
+        throw RuntimeError("array reference rank mismatch");
+    }
+    std::int64_t offset = 0;
+    std::int64_t stride = 1;
+    for (std::size_t d = 0; d < idx.size(); ++d) {
+        const std::int64_t rel = idx[d] - lo[d];
+        if (rel < 0 || (extent[d] >= 0 && rel >= extent[d] && d + 1 < idx.size())) {
+            throw RuntimeError("subscript out of declared bounds (dim " + std::to_string(d + 1) +
+                               ")");
+        }
+        offset += rel * stride;
+        if (extent[d] >= 0) stride *= extent[d];
+    }
+    const std::int64_t addr = base + offset;
+    if (addr < 0 || static_cast<std::size_t>(addr) >= buffer->size()) {
+        throw RuntimeError("array access outside underlying storage");
+    }
+    return addr;
+}
+
+std::string format_value(const Value& v) {
+    char buf[64];
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(*i));
+        return buf;
+    }
+    if (const auto* d = std::get_if<double>(&v)) {
+        std::snprintf(buf, sizeof buf, "%.10g", *d);
+        return buf;
+    }
+    if (const auto* c = std::get_if<std::complex<double>>(&v)) {
+        std::snprintf(buf, sizeof buf, "(%.10g,%.10g)", c->real(), c->imag());
+        return buf;
+    }
+    if (const auto* b = std::get_if<bool>(&v)) return *b ? "T" : "F";
+    return std::get<std::string>(v);
+}
+
+struct Machine::Impl {
+    const ir::Program* prog;
+    std::map<std::string, ForeignFn> foreigns;
+
+    // Per-run state.
+    std::map<std::string, std::vector<Value>> commons;
+    std::map<std::string, ir::ScalarType> common_elem_types;  // "BLK:offset" -> type
+    std::deque<Value> deck;
+    ExecutionOptions opts;
+    std::vector<std::string> output;
+    std::mutex output_mutex;
+    std::mutex deck_mutex;
+    std::atomic<std::uint64_t> steps{0};
+
+    struct Frame {
+        const ir::Routine* routine = nullptr;
+        std::map<std::string, Value> scalars;
+        std::map<std::string, Value*> scalar_refs;  ///< by-reference dummies
+        std::map<std::string, ArrayBinding> arrays;
+        std::deque<std::vector<Value>> owned;  ///< local array storage (stable addresses)
+        Frame* overlay_parent = nullptr;       ///< parallel-iteration overlay chain
+    };
+
+    explicit Impl(const ir::Program& p) : prog(&p) {}
+
+    // --- storage helpers ---------------------------------------------------
+
+    [[nodiscard]] std::int64_t const_size_of(const ir::Symbol& sym, const ir::Routine& r) {
+        // Sizes of COMMON members must be compile-time constant.
+        std::int64_t total = 1;
+        Frame scratch;
+        scratch.routine = &r;
+        for (const auto& d : sym.dims) {
+            if (d.assumed_size()) {
+                throw RuntimeError("assumed-size array " + sym.name + " in COMMON");
+            }
+            const std::int64_t lo = as_int(eval_const(*d.lo, r), "COMMON dimension");
+            const std::int64_t hi = as_int(eval_const(*d.hi, r), "COMMON dimension");
+            total *= (hi - lo + 1);
+        }
+        return total;
+    }
+
+    /// Evaluates an expression using only named constants of the routine.
+    /// Constants are bound in declaration order (a PARAMETER may reference
+    /// earlier PARAMETERs, never later ones).
+    Value eval_const(const ir::Expr& e, const ir::Routine& r) {
+        Frame f;
+        f.routine = &r;
+        for (const auto& sym : r.symbols.symbols()) {
+            if (sym.kind == ir::SymbolKind::NamedConstant && sym.const_value) {
+                f.scalars[sym.name] = eval(f, *sym.const_value);
+            }
+        }
+        return eval(f, e);
+    }
+
+    void init_commons() {
+        commons.clear();
+        common_elem_types.clear();
+        std::map<std::string, std::int64_t> sizes;
+        for (const auto* r : prog->routines()) {
+            for (const auto& sym : r->symbols.symbols()) {
+                if (!sym.common_block) continue;
+                std::int64_t offset = 0;
+                for (const auto& other : r->symbols.symbols()) {
+                    if (other.common_block != sym.common_block ||
+                        other.common_index >= sym.common_index) {
+                        continue;
+                    }
+                    offset += other.is_array() ? const_size_of(other, *r) : 1;
+                }
+                const std::int64_t size = sym.is_array() ? const_size_of(sym, *r) : 1;
+                auto& total = sizes[*sym.common_block];
+                total = std::max(total, offset + size);
+                for (std::int64_t k = 0; k < size; ++k) {
+                    common_elem_types.try_emplace(
+                        *sym.common_block + ":" + std::to_string(offset + k), sym.type);
+                }
+            }
+        }
+        for (const auto& [block, size] : sizes) {
+            auto& storage = commons[block];
+            storage.resize(static_cast<std::size_t>(size));
+            for (std::int64_t k = 0; k < size; ++k) {
+                auto it = common_elem_types.find(block + ":" + std::to_string(k));
+                storage[static_cast<std::size_t>(k)] =
+                    default_value(it == common_elem_types.end() ? ir::ScalarType::Real
+                                                                : it->second);
+            }
+        }
+    }
+
+    /// Resolves where a common member lives for this routine.
+    std::pair<std::vector<Value>*, std::int64_t> common_slot(const ir::Routine& r,
+                                                             const ir::Symbol& sym) {
+        std::int64_t offset = 0;
+        for (const auto& other : r.symbols.symbols()) {
+            if (other.common_block != sym.common_block || other.common_index >= sym.common_index) {
+                continue;
+            }
+            offset += other.is_array() ? const_size_of(other, r) : 1;
+        }
+        return {&commons.at(*sym.common_block), offset};
+    }
+
+    // --- frame construction --------------------------------------------------
+
+    void bind_locals(Frame& f) {
+        const ir::Routine& r = *f.routine;
+        for (const auto& sym : r.symbols.symbols()) {
+            if (sym.kind == ir::SymbolKind::NamedConstant) {
+                f.scalars[sym.name] = sym.const_value ? eval_const(*sym.const_value, r)
+                                                      : default_value(sym.type);
+                continue;
+            }
+            if (sym.common_block) {
+                auto [buffer, offset] = common_slot(r, sym);
+                if (sym.is_array()) {
+                    ArrayBinding b;
+                    b.buffer = buffer;
+                    b.base = offset;
+                    resolve_dims(f, sym, b);
+                    f.arrays[sym.name] = std::move(b);
+                } else {
+                    f.scalar_refs[sym.name] = &(*buffer)[static_cast<std::size_t>(offset)];
+                }
+                continue;
+            }
+            if (sym.is_dummy) continue;  // bound by the caller
+            if (sym.is_array()) {
+                ArrayBinding b;
+                resolve_dims(f, sym, b);
+                std::int64_t size = 1;
+                for (std::size_t d = 0; d < b.extent.size(); ++d) {
+                    if (b.extent[d] < 0) {
+                        throw RuntimeError("local array " + sym.name + " has assumed size");
+                    }
+                    size *= b.extent[d];
+                }
+                f.owned.emplace_back(static_cast<std::size_t>(size), default_value(sym.type));
+                b.buffer = &f.owned.back();
+                b.base = 0;
+                f.arrays[sym.name] = std::move(b);
+            } else {
+                f.scalars[sym.name] = default_value(sym.type);
+            }
+        }
+    }
+
+    void resolve_dims(Frame& f, const ir::Symbol& sym, ArrayBinding& b) {
+        b.lo.clear();
+        b.extent.clear();
+        for (const auto& d : sym.dims) {
+            const std::int64_t lo = as_int(eval(f, *d.lo), "array bound");
+            b.lo.push_back(lo);
+            if (d.assumed_size()) {
+                b.extent.push_back(-1);
+            } else {
+                const std::int64_t hi = as_int(eval(f, *d.hi), "array bound");
+                b.extent.push_back(hi - lo + 1);
+            }
+        }
+    }
+
+    // --- name resolution -----------------------------------------------------
+
+    Value* find_scalar(Frame& f, const std::string& name) {
+        for (Frame* fr = &f; fr; fr = fr->overlay_parent) {
+            if (auto it = fr->scalars.find(name); it != fr->scalars.end()) return &it->second;
+            if (auto it = fr->scalar_refs.find(name); it != fr->scalar_refs.end()) {
+                return it->second;
+            }
+        }
+        return nullptr;
+    }
+
+    ArrayBinding* find_array(Frame& f, const std::string& name) {
+        for (Frame* fr = &f; fr; fr = fr->overlay_parent) {
+            if (auto it = fr->arrays.find(name); it != fr->arrays.end()) return &it->second;
+        }
+        return nullptr;
+    }
+
+    ir::ScalarType scalar_type(const Frame& f, const std::string& name) {
+        for (const Frame* fr = &f; fr; fr = fr->overlay_parent) {
+            if (const auto* sym = fr->routine->symbols.find(name)) return sym->type;
+        }
+        return (name[0] >= 'I' && name[0] <= 'N') ? ir::ScalarType::Integer
+                                                  : ir::ScalarType::Real;
+    }
+
+    // --- expression evaluation -------------------------------------------------
+
+    Value eval(Frame& f, const ir::Expr& e) {
+        switch (e.kind()) {
+            case ir::ExprKind::IntConst:
+                return static_cast<const ir::IntConst&>(e).value;
+            case ir::ExprKind::RealConst:
+                return static_cast<const ir::RealConst&>(e).value;
+            case ir::ExprKind::LogicalConst:
+                return static_cast<const ir::LogicalConst&>(e).value;
+            case ir::ExprKind::StrConst:
+                return static_cast<const ir::StrConst&>(e).value;
+            case ir::ExprKind::VarRef: {
+                const auto& name = static_cast<const ir::VarRef&>(e).name;
+                if (Value* v = find_scalar(f, name)) return *v;
+                throw RuntimeError("use of unset variable " + name);
+            }
+            case ir::ExprKind::ArrayRef: {
+                const auto& a = static_cast<const ir::ArrayRef&>(e);
+                ArrayBinding* b = find_array(f, a.name);
+                if (!b) throw RuntimeError("use of unbound array " + a.name);
+                return (*b->buffer)[static_cast<std::size_t>(b->element_offset(indices(f, a)))];
+            }
+            case ir::ExprKind::Unary: {
+                const auto& u = static_cast<const ir::Unary&>(e);
+                const Value v = eval(f, *u.operand);
+                if (u.op == ir::UnaryOp::Not) return !as_bool(v, ".NOT.");
+                if (is_complex(v)) return -as_complex(v, "negation");
+                if (is_real(v)) return -as_real(v, "negation");
+                return -as_int(v, "negation");
+            }
+            case ir::ExprKind::Binary:
+                return eval_binary(f, static_cast<const ir::Binary&>(e));
+            case ir::ExprKind::Call:
+                return eval_call(f, static_cast<const ir::Call&>(e));
+        }
+        throw RuntimeError("unreachable expression kind");
+    }
+
+    std::vector<std::int64_t> indices(Frame& f, const ir::ArrayRef& a) {
+        std::vector<std::int64_t> idx;
+        idx.reserve(a.subscripts.size());
+        for (const auto& s : a.subscripts) idx.push_back(as_int(eval(f, *s), "subscript"));
+        return idx;
+    }
+
+    Value eval_binary(Frame& f, const ir::Binary& b) {
+        using ir::BinaryOp;
+        if (b.op == BinaryOp::And) {
+            return as_bool(eval(f, *b.lhs), ".AND.") && as_bool(eval(f, *b.rhs), ".AND.");
+        }
+        if (b.op == BinaryOp::Or) {
+            return as_bool(eval(f, *b.lhs), ".OR.") || as_bool(eval(f, *b.rhs), ".OR.");
+        }
+        const Value l = eval(f, *b.lhs);
+        const Value r = eval(f, *b.rhs);
+        if (ir::is_comparison(b.op)) {
+            const double x = as_real(l, "comparison");
+            const double y = as_real(r, "comparison");
+            switch (b.op) {
+                case BinaryOp::Lt: return x < y;
+                case BinaryOp::Le: return x <= y;
+                case BinaryOp::Gt: return x > y;
+                case BinaryOp::Ge: return x >= y;
+                case BinaryOp::Eq: return x == y;
+                case BinaryOp::Ne: return x != y;
+                default: break;
+            }
+        }
+        if (is_complex(l) || is_complex(r)) {
+            const auto x = as_complex(l, "arithmetic");
+            const auto y = as_complex(r, "arithmetic");
+            switch (b.op) {
+                case BinaryOp::Add: return x + y;
+                case BinaryOp::Sub: return x - y;
+                case BinaryOp::Mul: return x * y;
+                case BinaryOp::Div: return x / y;
+                case BinaryOp::Pow: return std::pow(x, y);
+                default: break;
+            }
+        }
+        if (is_real(l) || is_real(r)) {
+            const double x = as_real(l, "arithmetic");
+            const double y = as_real(r, "arithmetic");
+            switch (b.op) {
+                case BinaryOp::Add: return x + y;
+                case BinaryOp::Sub: return x - y;
+                case BinaryOp::Mul: return x * y;
+                case BinaryOp::Div: return x / y;
+                case BinaryOp::Pow: return std::pow(x, y);
+                default: break;
+            }
+        }
+        const std::int64_t x = as_int(l, "arithmetic");
+        const std::int64_t y = as_int(r, "arithmetic");
+        switch (b.op) {
+            case BinaryOp::Add: return x + y;
+            case BinaryOp::Sub: return x - y;
+            case BinaryOp::Mul: return x * y;
+            case BinaryOp::Div:
+                if (y == 0) throw RuntimeError("integer division by zero");
+                return x / y;
+            case BinaryOp::Pow: {
+                std::int64_t out = 1;
+                for (std::int64_t k = 0; k < y; ++k) out *= x;
+                return out;
+            }
+            default: break;
+        }
+        throw RuntimeError("unreachable binary operator");
+    }
+
+    Value eval_intrinsic(Frame& f, const ir::Call& c) {
+        auto arg = [&](std::size_t i) { return eval(f, *c.args.at(i)); };
+        const std::string& n = c.name;
+        if (n == "MAX" || n == "MIN") {
+            Value best = arg(0);
+            bool any_real = is_real(best);
+            for (std::size_t i = 1; i < c.args.size(); ++i) {
+                const Value v = arg(i);
+                any_real = any_real || is_real(v);
+                const bool greater = as_real(v, "MAX") > as_real(best, "MAX");
+                if ((n == "MAX") == greater) best = v;
+            }
+            if (any_real) return as_real(best, "MAX");
+            return best;
+        }
+        if (n == "MOD") {
+            const Value a = arg(0), b = arg(1);
+            if (is_int(a) && is_int(b)) {
+                const std::int64_t d = as_int(b, "MOD");
+                if (d == 0) throw RuntimeError("MOD by zero");
+                return as_int(a, "MOD") % d;
+            }
+            return std::fmod(as_real(a, "MOD"), as_real(b, "MOD"));
+        }
+        if (n == "ABS") {
+            const Value a = arg(0);
+            if (is_complex(a)) return std::abs(as_complex(a, "ABS"));
+            if (is_real(a)) return std::fabs(as_real(a, "ABS"));
+            return std::abs(as_int(a, "ABS"));
+        }
+        if (n == "IABS") return std::abs(as_int(arg(0), "IABS"));
+        if (n == "SQRT") return std::sqrt(as_real(arg(0), "SQRT"));
+        if (n == "SIN") return std::sin(as_real(arg(0), "SIN"));
+        if (n == "COS") return std::cos(as_real(arg(0), "COS"));
+        if (n == "TAN") return std::tan(as_real(arg(0), "TAN"));
+        if (n == "EXP") return std::exp(as_real(arg(0), "EXP"));
+        if (n == "LOG") return std::log(as_real(arg(0), "LOG"));
+        if (n == "ATAN") return std::atan(as_real(arg(0), "ATAN"));
+        if (n == "ATAN2") return std::atan2(as_real(arg(0), "ATAN2"), as_real(arg(1), "ATAN2"));
+        if (n == "INT") return as_int(arg(0), "INT");
+        if (n == "NINT") return static_cast<std::int64_t>(std::llround(as_real(arg(0), "NINT")));
+        if (n == "REAL" || n == "DBLE" || n == "FLOAT") {
+            const Value a = arg(0);
+            if (is_complex(a)) return as_complex(a, n.c_str()).real();
+            return as_real(a, n.c_str());
+        }
+        if (n == "SIGN") {
+            const double mag = std::fabs(as_real(arg(0), "SIGN"));
+            return as_real(arg(1), "SIGN") < 0 ? -mag : mag;
+        }
+        if (n == "CMPLX") {
+            return std::complex<double>(as_real(arg(0), "CMPLX"),
+                                        c.args.size() > 1 ? as_real(arg(1), "CMPLX") : 0.0);
+        }
+        if (n == "CONJG") return std::conj(as_complex(arg(0), "CONJG"));
+        if (n == "AIMAG") return as_complex(arg(0), "AIMAG").imag();
+        throw RuntimeError("unknown intrinsic " + n);
+    }
+
+    Value eval_call(Frame& f, const ir::Call& c) {
+        const ir::Routine* callee = prog->find(c.name);
+        if (!callee) return eval_intrinsic(f, c);
+        Frame child;
+        call_routine(f, *callee, c.args, child);
+        // The function result is the value of the variable named like the
+        // function.
+        if (Value* v = find_scalar(child, callee->name)) return *v;
+        throw RuntimeError("function " + callee->name + " returned no value");
+    }
+
+    // --- calls ---------------------------------------------------------------
+
+    void call_routine(Frame& caller, const ir::Routine& callee,
+                      const std::vector<ir::ExprPtr>& args, Frame& frame) {
+        if (callee.is_foreign()) {
+            call_foreign(caller, callee, args);
+            return;
+        }
+        frame.routine = &callee;
+        if (args.size() != callee.dummies.size()) {
+            throw RuntimeError("call to " + callee.name + ": expected " +
+                               std::to_string(callee.dummies.size()) + " arguments, got " +
+                               std::to_string(args.size()));
+        }
+        // Bind dummies before locals (dims may reference dummies).
+        std::deque<Value> temporaries;
+        for (std::size_t k = 0; k < args.size(); ++k) {
+            const std::string& dummy = callee.dummies[k];
+            const ir::Symbol* dsym = callee.symbols.find(dummy);
+            const ir::Expr& actual = *args[k];
+            if (dsym && dsym->is_array()) {
+                ArrayBinding* src = nullptr;
+                std::int64_t base = 0;
+                if (actual.kind() == ir::ExprKind::VarRef) {
+                    src = find_array(caller, static_cast<const ir::VarRef&>(actual).name);
+                    if (src) base = src->base;
+                } else if (actual.kind() == ir::ExprKind::ArrayRef) {
+                    const auto& ar = static_cast<const ir::ArrayRef&>(actual);
+                    src = find_array(caller, ar.name);
+                    if (src) base = src->base + src->element_offset(indices(caller, ar)) -
+                                    src->base;
+                }
+                if (!src) {
+                    throw RuntimeError("call to " + callee.name + ": argument " + dummy +
+                                       " is not an array");
+                }
+                ArrayBinding b;
+                b.buffer = src->buffer;
+                b.base = actual.kind() == ir::ExprKind::ArrayRef ? base : src->base;
+                frame.arrays[dummy] = std::move(b);  // dims resolved after scalars bound
+            } else {
+                // Scalar dummy: by reference when the actual is a variable
+                // or array element; otherwise a temporary.
+                if (actual.kind() == ir::ExprKind::VarRef) {
+                    const auto& name = static_cast<const ir::VarRef&>(actual).name;
+                    if (Value* v = find_scalar(caller, name)) {
+                        frame.scalar_refs[dummy] = v;
+                        continue;
+                    }
+                }
+                if (actual.kind() == ir::ExprKind::ArrayRef) {
+                    const auto& ar = static_cast<const ir::ArrayRef&>(actual);
+                    if (ArrayBinding* b = find_array(caller, ar.name)) {
+                        const auto off = b->element_offset(indices(caller, ar));
+                        frame.scalar_refs[dummy] = &(*b->buffer)[static_cast<std::size_t>(off)];
+                        continue;
+                    }
+                }
+                temporaries.push_back(eval(caller, actual));
+                frame.scalar_refs[dummy] = &temporaries.back();
+            }
+        }
+        bind_locals(frame);
+        // Resolve dummy array shapes now that scalar dummies are visible.
+        for (std::size_t k = 0; k < args.size(); ++k) {
+            const std::string& dummy = callee.dummies[k];
+            const ir::Symbol* dsym = callee.symbols.find(dummy);
+            if (dsym && dsym->is_array()) {
+                resolve_dims(frame, *dsym, frame.arrays[dummy]);
+            }
+        }
+        try {
+            exec_block(frame, callee.body);
+        } catch (const ReturnSignal&) {
+        }
+    }
+
+    void call_foreign(Frame& caller, const ir::Routine& callee,
+                      const std::vector<ir::ExprPtr>& args) {
+        auto it = foreigns.find(callee.name);
+        if (it == foreigns.end()) {
+            throw RuntimeError("foreign routine " + callee.name + " is not registered");
+        }
+        std::deque<Value> temporaries;
+        std::deque<ArrayBinding> views;
+        std::vector<ForeignArg> fargs;
+        for (const auto& a : args) {
+            ForeignArg fa;
+            if (a->kind() == ir::ExprKind::VarRef) {
+                const auto& name = static_cast<const ir::VarRef&>(*a).name;
+                if (ArrayBinding* b = find_array(caller, name)) {
+                    views.push_back(*b);
+                    fa.array = &views.back();
+                } else if (Value* v = find_scalar(caller, name)) {
+                    fa.scalar = v;
+                }
+            } else if (a->kind() == ir::ExprKind::ArrayRef) {
+                const auto& ar = static_cast<const ir::ArrayRef&>(*a);
+                if (ArrayBinding* b = find_array(caller, ar.name)) {
+                    ArrayBinding view = *b;
+                    view.base = b->element_offset(indices(caller, ar));
+                    view.lo = {1};
+                    view.extent = {-1};
+                    views.push_back(std::move(view));
+                    fa.array = &views.back();
+                }
+            }
+            if (!fa.scalar && !fa.array) {
+                temporaries.push_back(eval(caller, *a));
+                fa.scalar = &temporaries.back();
+            }
+            fargs.push_back(fa);
+        }
+        it->second(fargs);
+    }
+
+    // --- statement execution ---------------------------------------------------
+
+    void step() {
+        if (steps.fetch_add(1, std::memory_order_relaxed) > opts.max_steps) {
+            throw RuntimeError("execution exceeded the step limit");
+        }
+    }
+
+    void exec_block(Frame& f, const ir::Block& block) {
+        for (const auto& s : block) exec_stmt(f, *s);
+    }
+
+    void assign_to(Frame& f, const ir::Expr& lhs, Value v) {
+        if (lhs.kind() == ir::ExprKind::VarRef) {
+            const auto& name = static_cast<const ir::VarRef&>(lhs).name;
+            Value* slot = find_scalar(f, name);
+            if (!slot) throw RuntimeError("assignment to unknown variable " + name);
+            *slot = convert_to(scalar_type(f, name), v, name.c_str());
+            return;
+        }
+        if (lhs.kind() == ir::ExprKind::ArrayRef) {
+            const auto& a = static_cast<const ir::ArrayRef&>(lhs);
+            ArrayBinding* b = find_array(f, a.name);
+            if (!b) throw RuntimeError("assignment to unbound array " + a.name);
+            const auto off = b->element_offset(indices(f, a));
+            ir::ScalarType t = ir::ScalarType::Real;
+            for (Frame* fr = &f; fr; fr = fr->overlay_parent) {
+                if (const auto* sym = fr->routine->symbols.find(a.name)) {
+                    t = sym->type;
+                    break;
+                }
+            }
+            (*b->buffer)[static_cast<std::size_t>(off)] = convert_to(t, v, a.name.c_str());
+            return;
+        }
+        throw RuntimeError("invalid assignment target");
+    }
+
+    void exec_stmt(Frame& f, const ir::Stmt& s) {
+        step();
+        switch (s.kind()) {
+            case ir::StmtKind::Assign: {
+                const auto& a = static_cast<const ir::Assign&>(s);
+                assign_to(f, *a.lhs, eval(f, *a.rhs));
+                break;
+            }
+            case ir::StmtKind::If: {
+                const auto& i = static_cast<const ir::IfStmt&>(s);
+                if (as_bool(eval(f, *i.cond), "IF condition")) {
+                    exec_block(f, i.then_block);
+                } else {
+                    exec_block(f, i.else_block);
+                }
+                break;
+            }
+            case ir::StmtKind::Do:
+                exec_do(f, static_cast<const ir::DoLoop&>(s));
+                break;
+            case ir::StmtKind::Call: {
+                const auto& c = static_cast<const ir::CallStmt&>(s);
+                const ir::Routine* callee = prog->find(c.name);
+                if (!callee) throw RuntimeError("CALL to unknown routine " + c.name);
+                Frame child;
+                call_routine(f, *callee, c.args, child);
+                break;
+            }
+            case ir::StmtKind::Read: {
+                const auto& r = static_cast<const ir::ReadStmt&>(s);
+                for (const auto& t : r.targets) {
+                    Value v;
+                    {
+                        std::lock_guard lock(deck_mutex);
+                        if (deck.empty()) throw RuntimeError("READ past end of input deck");
+                        v = std::move(deck.front());
+                        deck.pop_front();
+                    }
+                    assign_to(f, *t, std::move(v));
+                }
+                break;
+            }
+            case ir::StmtKind::Print: {
+                const auto& p = static_cast<const ir::PrintStmt&>(s);
+                std::string line;
+                for (std::size_t i = 0; i < p.args.size(); ++i) {
+                    if (i) line += ' ';
+                    line += format_value(eval(f, *p.args[i]));
+                }
+                std::lock_guard lock(output_mutex);
+                output.push_back(std::move(line));
+                break;
+            }
+            case ir::StmtKind::Return:
+                throw ReturnSignal{};
+            case ir::StmtKind::Stop:
+                throw StopSignal{};
+        }
+    }
+
+    void exec_do(Frame& f, const ir::DoLoop& loop) {
+        const std::int64_t lo = as_int(eval(f, *loop.lo), "DO bound");
+        const std::int64_t hi = as_int(eval(f, *loop.hi), "DO bound");
+        const std::int64_t st = as_int(eval(f, *loop.step), "DO step");
+        if (st == 0) throw RuntimeError("DO step is zero");
+        const std::int64_t trip = st > 0 ? (hi - lo + st) / st : (lo - hi - st) / (-st);
+        if (trip <= 0) return;
+
+        const bool array_reduction =
+            std::any_of(loop.annot.reductions.begin(), loop.annot.reductions.end(),
+                        [&](const auto& red) { return find_array(f, red.first) != nullptr; });
+        const bool run_parallel = opts.parallel && loop.annot.parallel && trip > 1 &&
+                                  !array_reduction && !runtime::detail::in_parallel_region;
+        if (!run_parallel) {
+            Value* var = find_scalar(f, loop.var);
+            if (!var) throw RuntimeError("DO variable " + loop.var + " is undeclared");
+            for (std::int64_t k = 0; k < trip; ++k) {
+                *var = lo + k * st;
+                exec_block(f, loop.body);
+            }
+            return;
+        }
+        exec_do_parallel(f, loop, lo, st, trip);
+    }
+
+    void exec_do_parallel(Frame& f, const ir::DoLoop& loop, std::int64_t lo, std::int64_t st,
+                          std::int64_t trip) {
+        // Ordered partials per reduction variable: identical fold order to
+        // serial execution (identity-seeded per iteration).
+        struct Partials {
+            std::string name;
+            ir::ReductionOp op;
+            std::vector<Value> values;
+        };
+        std::vector<Partials> reductions;
+        for (const auto& [name, op] : loop.annot.reductions) {
+            Value identity;
+            switch (op) {
+                case ir::ReductionOp::Sum: identity = 0.0; break;
+                case ir::ReductionOp::Product: identity = 1.0; break;
+                case ir::ReductionOp::Min: identity = std::numeric_limits<double>::infinity(); break;
+                case ir::ReductionOp::Max: identity = -std::numeric_limits<double>::infinity(); break;
+            }
+            reductions.push_back(
+                {name, op, std::vector<Value>(static_cast<std::size_t>(trip), identity)});
+        }
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
+        runtime::parallel_for(
+            0, trip,
+            [&](std::int64_t k) {
+                try {
+                    Frame overlay;
+                    overlay.routine = f.routine;
+                    overlay.overlay_parent = &f;
+                    overlay.scalars[loop.var] = lo + k * st;
+                    for (const auto& name : loop.annot.privates) {
+                        if (ArrayBinding* shared = find_array(f, name)) {
+                            std::int64_t size = 1;
+                            for (std::size_t d = 0; d < shared->extent.size(); ++d) {
+                                if (shared->extent[d] < 0) {
+                                    throw RuntimeError("cannot privatize assumed-size array " +
+                                                       name);
+                                }
+                                size *= shared->extent[d];
+                            }
+                            overlay.owned.emplace_back(static_cast<std::size_t>(size),
+                                                       default_value(ir::ScalarType::Real));
+                            ArrayBinding priv = *shared;
+                            priv.buffer = &overlay.owned.back();
+                            priv.base = 0;
+                            overlay.arrays[name] = std::move(priv);
+                        } else {
+                            overlay.scalars[name] = default_value(scalar_type(f, name));
+                        }
+                    }
+                    for (auto& red : reductions) {
+                        overlay.scalars[red.name] = red.values[static_cast<std::size_t>(k)];
+                    }
+                    exec_block(overlay, loop.body);
+                    for (auto& red : reductions) {
+                        red.values[static_cast<std::size_t>(k)] =
+                            *find_scalar(overlay, red.name);
+                    }
+                } catch (...) {
+                    std::lock_guard lock(error_mutex);
+                    if (!first_error) first_error = std::current_exception();
+                }
+            },
+            {.threads = opts.threads});
+        if (first_error) std::rethrow_exception(first_error);
+        // Fold partials in iteration order into the shared variable.
+        for (auto& red : reductions) {
+            Value* slot = find_scalar(f, red.name);
+            if (!slot) throw RuntimeError("reduction variable " + red.name + " not found");
+            double acc = as_real(*slot, "reduction");
+            for (const auto& p : red.values) {
+                const double x = as_real(p, "reduction");
+                switch (red.op) {
+                    case ir::ReductionOp::Sum: acc += x; break;
+                    case ir::ReductionOp::Product: acc *= x; break;
+                    case ir::ReductionOp::Min: acc = std::min(acc, x); break;
+                    case ir::ReductionOp::Max: acc = std::max(acc, x); break;
+                }
+            }
+            *slot = convert_to(scalar_type(f, red.name), acc, red.name.c_str());
+        }
+    }
+};
+
+Machine::Machine(const ir::Program& prog) : impl_(std::make_unique<Impl>(prog)) {}
+Machine::~Machine() = default;
+
+void Machine::register_foreign(const std::string& name, ForeignFn fn) {
+    impl_->foreigns[name] = std::move(fn);
+}
+
+ExecutionResult Machine::run(std::vector<Value> deck, const ExecutionOptions& options) {
+    impl_->opts = options;
+    impl_->deck.assign(std::make_move_iterator(deck.begin()), std::make_move_iterator(deck.end()));
+    impl_->output.clear();
+    impl_->steps = 0;
+    impl_->init_commons();
+
+    const ir::Routine* main = impl_->prog->main();
+    if (!main) throw RuntimeError("program has no PROGRAM routine");
+    Impl::Frame frame;
+    frame.routine = main;
+    impl_->bind_locals(frame);
+    ExecutionResult result;
+    try {
+        impl_->exec_block(frame, main->body);
+    } catch (const StopSignal&) {
+        result.stopped = true;
+    } catch (const ReturnSignal&) {
+    }
+    result.output = std::move(impl_->output);
+    return result;
+}
+
+}  // namespace ap::interp

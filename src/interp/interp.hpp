@@ -1,0 +1,90 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ap::interp {
+
+/// Runtime value of a Mini-F scalar. Integers and logicals are exact;
+/// REAL is double; COMPLEX is std::complex<double>.
+using Value = std::variant<std::int64_t, double, std::complex<double>, bool, std::string>;
+
+/// A bound array: a view into owned or foreign storage with resolved
+/// bounds. Element address = base + sum_d (idx_d - lo_d) * stride_d
+/// (column-major, like Fortran).
+struct ArrayBinding {
+    std::vector<Value>* buffer = nullptr;
+    std::int64_t base = 0;
+    std::vector<std::int64_t> lo;
+    std::vector<std::int64_t> extent;  ///< -1 for assumed-size last dimension
+
+    [[nodiscard]] std::int64_t element_offset(const std::vector<std::int64_t>& idx) const;
+};
+
+/// Argument view passed to a registered foreign ("C") routine.
+struct ForeignArg {
+    Value* scalar = nullptr;          ///< non-null for scalar actuals
+    ArrayBinding* array = nullptr;    ///< non-null for array actuals
+};
+using ForeignFn = std::function<void(std::vector<ForeignArg>&)>;
+
+struct ExecutionOptions {
+    /// Execute loops the compiler marked `!$PARALLEL` concurrently.
+    bool parallel = false;
+    unsigned threads = 4;
+    /// Safety valve for runaway programs (total statements executed).
+    std::uint64_t max_steps = 500'000'000;
+};
+
+struct ExecutionResult {
+    std::vector<std::string> output;  ///< PRINT lines, in order
+    bool stopped = false;             ///< STOP reached
+};
+
+/// Thrown on runtime errors: bad subscripts, type confusion, missing
+/// deck values, unregistered foreign routines.
+class RuntimeError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Executes Mini-F programs. One Machine per Program; `run` may be called
+/// repeatedly (common storage is reset each run).
+///
+/// Parallel mode is the oracle for the compiler: a loop annotated
+/// parallel executes its iterations concurrently, with annot.privates
+/// instantiated per iteration and annot.reductions merged in iteration
+/// order (bit-identical to serial execution for IEEE doubles, since the
+/// partials fold in the same order with identity seeds). Loops whose
+/// reductions include arrays run serially — a documented limitation.
+class Machine {
+public:
+    explicit Machine(const ir::Program& prog);
+    ~Machine();
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    /// Registers a native implementation for an EXTERNAL routine.
+    void register_foreign(const std::string& name, ForeignFn fn);
+
+    /// Runs the PROGRAM routine with the given input deck (values
+    /// consumed by READ statements, in order).
+    ExecutionResult run(std::vector<Value> deck, const ExecutionOptions& options = {});
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Formats a value the way PRINT does (used by tests).
+[[nodiscard]] std::string format_value(const Value& v);
+
+}  // namespace ap::interp

@@ -1,0 +1,66 @@
+#include "ir/expr.hpp"
+
+namespace ap::ir {
+
+ExprPtr ArrayRef::clone() const {
+    std::vector<ExprPtr> subs;
+    subs.reserve(subscripts.size());
+    for (const auto& s : subscripts) subs.push_back(s->clone());
+    return std::make_unique<ArrayRef>(name, std::move(subs), loc());
+}
+
+bool ArrayRef::equals(const Expr& o) const {
+    if (o.kind() != ExprKind::ArrayRef) return false;
+    const auto& a = static_cast<const ArrayRef&>(o);
+    if (a.name != name || a.subscripts.size() != subscripts.size()) return false;
+    for (std::size_t i = 0; i < subscripts.size(); ++i) {
+        if (!a.subscripts[i]->equals(*subscripts[i])) return false;
+    }
+    return true;
+}
+
+ExprPtr Call::clone() const {
+    std::vector<ExprPtr> a;
+    a.reserve(args.size());
+    for (const auto& e : args) a.push_back(e->clone());
+    return std::make_unique<Call>(name, std::move(a), loc());
+}
+
+bool Call::equals(const Expr& o) const {
+    if (o.kind() != ExprKind::Call) return false;
+    const auto& c = static_cast<const Call&>(o);
+    if (c.name != name || c.args.size() != args.size()) return false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (!c.args[i]->equals(*args[i])) return false;
+    }
+    return true;
+}
+
+std::string_view to_string(UnaryOp op) noexcept {
+    switch (op) {
+        case UnaryOp::Neg: return "-";
+        case UnaryOp::Not: return ".NOT.";
+    }
+    return "?";
+}
+
+std::string_view to_string(BinaryOp op) noexcept {
+    switch (op) {
+        case BinaryOp::Add: return "+";
+        case BinaryOp::Sub: return "-";
+        case BinaryOp::Mul: return "*";
+        case BinaryOp::Div: return "/";
+        case BinaryOp::Pow: return "**";
+        case BinaryOp::Lt: return ".LT.";
+        case BinaryOp::Le: return ".LE.";
+        case BinaryOp::Gt: return ".GT.";
+        case BinaryOp::Ge: return ".GE.";
+        case BinaryOp::Eq: return ".EQ.";
+        case BinaryOp::Ne: return ".NE.";
+        case BinaryOp::And: return ".AND.";
+        case BinaryOp::Or: return ".OR.";
+    }
+    return "?";
+}
+
+}  // namespace ap::ir

@@ -1,0 +1,207 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/location.hpp"
+#include "ir/type.hpp"
+
+namespace ap::ir {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : unsigned char {
+    IntConst,
+    RealConst,
+    LogicalConst,
+    StrConst,
+    VarRef,
+    ArrayRef,
+    Unary,
+    Binary,
+    Call,  ///< function call; intrinsics (MAX, MOD, ...) are Calls by name
+};
+
+enum class UnaryOp : unsigned char { Neg, Not };
+
+enum class BinaryOp : unsigned char {
+    Add, Sub, Mul, Div, Pow,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or,
+};
+
+[[nodiscard]] constexpr bool is_comparison(BinaryOp op) noexcept {
+    return op >= BinaryOp::Lt && op <= BinaryOp::Ne;
+}
+[[nodiscard]] constexpr bool is_logical(BinaryOp op) noexcept {
+    return op == BinaryOp::And || op == BinaryOp::Or;
+}
+[[nodiscard]] constexpr bool is_arithmetic(BinaryOp op) noexcept {
+    return op <= BinaryOp::Pow;
+}
+
+/// Base class for Mini-F expressions. Nodes are owned via unique_ptr and
+/// form trees; analyses never mutate shared subtrees, they clone().
+class Expr {
+public:
+    explicit Expr(ExprKind k, SourceLoc loc = {}) : kind_(k), loc_(loc) {}
+    virtual ~Expr() = default;
+    Expr(const Expr&) = delete;
+    Expr& operator=(const Expr&) = delete;
+
+    [[nodiscard]] ExprKind kind() const noexcept { return kind_; }
+    [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+    void set_loc(SourceLoc l) noexcept { loc_ = l; }
+
+    /// Deep copy.
+    [[nodiscard]] virtual ExprPtr clone() const = 0;
+    /// Structural equality (names compared case-sensitively; the frontend
+    /// upper-cases all identifiers so this is effectively Fortran-style).
+    [[nodiscard]] virtual bool equals(const Expr& other) const = 0;
+
+private:
+    ExprKind kind_;
+    SourceLoc loc_;
+};
+
+class IntConst final : public Expr {
+public:
+    explicit IntConst(std::int64_t v, SourceLoc loc = {}) : Expr(ExprKind::IntConst, loc), value(v) {}
+    std::int64_t value;
+    [[nodiscard]] ExprPtr clone() const override { return std::make_unique<IntConst>(value, loc()); }
+    [[nodiscard]] bool equals(const Expr& o) const override {
+        return o.kind() == ExprKind::IntConst && static_cast<const IntConst&>(o).value == value;
+    }
+};
+
+class RealConst final : public Expr {
+public:
+    explicit RealConst(double v, SourceLoc loc = {}) : Expr(ExprKind::RealConst, loc), value(v) {}
+    double value;
+    [[nodiscard]] ExprPtr clone() const override { return std::make_unique<RealConst>(value, loc()); }
+    [[nodiscard]] bool equals(const Expr& o) const override {
+        return o.kind() == ExprKind::RealConst && static_cast<const RealConst&>(o).value == value;
+    }
+};
+
+class LogicalConst final : public Expr {
+public:
+    explicit LogicalConst(bool v, SourceLoc loc = {}) : Expr(ExprKind::LogicalConst, loc), value(v) {}
+    bool value;
+    [[nodiscard]] ExprPtr clone() const override { return std::make_unique<LogicalConst>(value, loc()); }
+    [[nodiscard]] bool equals(const Expr& o) const override {
+        return o.kind() == ExprKind::LogicalConst && static_cast<const LogicalConst&>(o).value == value;
+    }
+};
+
+/// Short character constant; used for input-deck module names.
+class StrConst final : public Expr {
+public:
+    explicit StrConst(std::string v, SourceLoc loc = {}) : Expr(ExprKind::StrConst, loc), value(std::move(v)) {}
+    std::string value;
+    [[nodiscard]] ExprPtr clone() const override { return std::make_unique<StrConst>(value, loc()); }
+    [[nodiscard]] bool equals(const Expr& o) const override {
+        return o.kind() == ExprKind::StrConst && static_cast<const StrConst&>(o).value == value;
+    }
+};
+
+/// Reference to a scalar variable (or to a whole array when passed as an
+/// actual argument).
+class VarRef final : public Expr {
+public:
+    explicit VarRef(std::string n, SourceLoc loc = {}) : Expr(ExprKind::VarRef, loc), name(std::move(n)) {}
+    std::string name;
+    [[nodiscard]] ExprPtr clone() const override { return std::make_unique<VarRef>(name, loc()); }
+    [[nodiscard]] bool equals(const Expr& o) const override {
+        return o.kind() == ExprKind::VarRef && static_cast<const VarRef&>(o).name == name;
+    }
+};
+
+/// A subscripted array reference A(i, j+1, ...).
+class ArrayRef final : public Expr {
+public:
+    ArrayRef(std::string n, std::vector<ExprPtr> subs, SourceLoc loc = {})
+        : Expr(ExprKind::ArrayRef, loc), name(std::move(n)), subscripts(std::move(subs)) {}
+    std::string name;
+    std::vector<ExprPtr> subscripts;
+    [[nodiscard]] ExprPtr clone() const override;
+    [[nodiscard]] bool equals(const Expr& o) const override;
+};
+
+class Unary final : public Expr {
+public:
+    Unary(UnaryOp o, ExprPtr e, SourceLoc loc = {})
+        : Expr(ExprKind::Unary, loc), op(o), operand(std::move(e)) {}
+    UnaryOp op;
+    ExprPtr operand;
+    [[nodiscard]] ExprPtr clone() const override {
+        return std::make_unique<Unary>(op, operand->clone(), loc());
+    }
+    [[nodiscard]] bool equals(const Expr& o) const override {
+        if (o.kind() != ExprKind::Unary) return false;
+        const auto& u = static_cast<const Unary&>(o);
+        return u.op == op && u.operand->equals(*operand);
+    }
+};
+
+class Binary final : public Expr {
+public:
+    Binary(BinaryOp o, ExprPtr l, ExprPtr r, SourceLoc loc = {})
+        : Expr(ExprKind::Binary, loc), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+    BinaryOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+    [[nodiscard]] ExprPtr clone() const override {
+        return std::make_unique<Binary>(op, lhs->clone(), rhs->clone(), loc());
+    }
+    [[nodiscard]] bool equals(const Expr& o) const override {
+        if (o.kind() != ExprKind::Binary) return false;
+        const auto& b = static_cast<const Binary&>(o);
+        return b.op == op && b.lhs->equals(*lhs) && b.rhs->equals(*rhs);
+    }
+};
+
+/// Function call by name. Intrinsics (MAX, MIN, MOD, ABS, SQRT, ...) are
+/// recognized by name; anything else resolves against Program routines.
+class Call final : public Expr {
+public:
+    Call(std::string n, std::vector<ExprPtr> a, SourceLoc loc = {})
+        : Expr(ExprKind::Call, loc), name(std::move(n)), args(std::move(a)) {}
+    std::string name;
+    std::vector<ExprPtr> args;
+    [[nodiscard]] ExprPtr clone() const override;
+    [[nodiscard]] bool equals(const Expr& o) const override;
+};
+
+// ---------------------------------------------------------------------------
+// Factory helpers: the builder vocabulary used by tests and examples.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] inline ExprPtr make_int(std::int64_t v) { return std::make_unique<IntConst>(v); }
+[[nodiscard]] inline ExprPtr make_real(double v) { return std::make_unique<RealConst>(v); }
+[[nodiscard]] inline ExprPtr make_logical(bool v) { return std::make_unique<LogicalConst>(v); }
+[[nodiscard]] inline ExprPtr make_str(std::string v) { return std::make_unique<StrConst>(std::move(v)); }
+[[nodiscard]] inline ExprPtr make_var(std::string n) { return std::make_unique<VarRef>(std::move(n)); }
+[[nodiscard]] inline ExprPtr make_array_ref(std::string n, std::vector<ExprPtr> subs) {
+    return std::make_unique<ArrayRef>(std::move(n), std::move(subs));
+}
+[[nodiscard]] inline ExprPtr make_unary(UnaryOp op, ExprPtr e) {
+    return std::make_unique<Unary>(op, std::move(e));
+}
+[[nodiscard]] inline ExprPtr make_binary(BinaryOp op, ExprPtr l, ExprPtr r) {
+    return std::make_unique<Binary>(op, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr make_call(std::string n, std::vector<ExprPtr> args) {
+    return std::make_unique<Call>(std::move(n), std::move(args));
+}
+[[nodiscard]] inline ExprPtr add(ExprPtr l, ExprPtr r) { return make_binary(BinaryOp::Add, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr sub(ExprPtr l, ExprPtr r) { return make_binary(BinaryOp::Sub, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr mul(ExprPtr l, ExprPtr r) { return make_binary(BinaryOp::Mul, std::move(l), std::move(r)); }
+
+[[nodiscard]] std::string_view to_string(UnaryOp op) noexcept;
+[[nodiscard]] std::string_view to_string(BinaryOp op) noexcept;
+
+}  // namespace ap::ir

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ap::ir {
+
+/// A position in a Mini-F source file. Used by the frontend for
+/// diagnostics and kept on IR nodes so analyses can report where a
+/// hindrance was found.
+struct SourceLoc {
+    std::int32_t line = 0;
+    std::int32_t column = 0;
+
+    [[nodiscard]] bool valid() const noexcept { return line > 0; }
+    [[nodiscard]] std::string to_string() const {
+        if (!valid()) return "<unknown>";
+        return std::to_string(line) + ":" + std::to_string(column);
+    }
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace ap::ir

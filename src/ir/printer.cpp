@@ -1,0 +1,345 @@
+#include "ir/printer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ap::ir {
+
+namespace {
+
+int precedence(BinaryOp op) {
+    switch (op) {
+        case BinaryOp::Pow: return 7;
+        case BinaryOp::Mul:
+        case BinaryOp::Div: return 5;
+        case BinaryOp::Add:
+        case BinaryOp::Sub: return 4;
+        case BinaryOp::Lt:
+        case BinaryOp::Le:
+        case BinaryOp::Gt:
+        case BinaryOp::Ge:
+        case BinaryOp::Eq:
+        case BinaryOp::Ne: return 3;
+        case BinaryOp::And: return 1;
+        case BinaryOp::Or: return 0;
+    }
+    return 0;
+}
+
+void print_expr(std::ostream& os, const Expr& e, int parent_prec);
+
+void print_args(std::ostream& os, const std::vector<ExprPtr>& args) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i) os << ", ";
+        print_expr(os, *args[i], 0);
+    }
+}
+
+void print_expr(std::ostream& os, const Expr& e, int parent_prec) {
+    switch (e.kind()) {
+        case ExprKind::IntConst:
+            os << static_cast<const IntConst&>(e).value;
+            break;
+        case ExprKind::RealConst: {
+            std::ostringstream tmp;
+            tmp << static_cast<const RealConst&>(e).value;
+            std::string s = tmp.str();
+            os << s;
+            if (s.find_first_of(".eE") == std::string::npos) os << ".0";
+            break;
+        }
+        case ExprKind::LogicalConst:
+            os << (static_cast<const LogicalConst&>(e).value ? ".TRUE." : ".FALSE.");
+            break;
+        case ExprKind::StrConst:
+            os << '\'' << static_cast<const StrConst&>(e).value << '\'';
+            break;
+        case ExprKind::VarRef:
+            os << static_cast<const VarRef&>(e).name;
+            break;
+        case ExprKind::ArrayRef: {
+            const auto& a = static_cast<const ArrayRef&>(e);
+            os << a.name << '(';
+            print_args(os, a.subscripts);
+            os << ')';
+            break;
+        }
+        case ExprKind::Unary: {
+            const auto& u = static_cast<const Unary&>(e);
+            const int prec = (u.op == UnaryOp::Neg) ? 6 : 2;
+            const bool paren = prec < parent_prec;
+            if (paren) os << '(';
+            os << (u.op == UnaryOp::Neg ? "-" : ".NOT. ");
+            print_expr(os, *u.operand, prec + 1);
+            if (paren) os << ')';
+            break;
+        }
+        case ExprKind::Binary: {
+            const auto& b = static_cast<const Binary&>(e);
+            const int prec = precedence(b.op);
+            const bool paren = prec < parent_prec;
+            if (paren) os << '(';
+            print_expr(os, *b.lhs, prec);
+            os << ' ' << to_string(b.op) << ' ';
+            print_expr(os, *b.rhs, prec + 1);
+            if (paren) os << ')';
+            break;
+        }
+        case ExprKind::Call: {
+            const auto& c = static_cast<const Call&>(e);
+            os << c.name << '(';
+            print_args(os, c.args);
+            os << ')';
+            break;
+        }
+    }
+}
+
+void indent_to(std::ostream& os, int indent) {
+    for (int i = 0; i < indent; ++i) os << "  ";
+}
+
+void print_block(std::ostream& os, const Block& b, int indent);
+
+void print_stmt(std::ostream& os, const Stmt& s, int indent) {
+    switch (s.kind()) {
+        case StmtKind::Assign: {
+            const auto& a = static_cast<const Assign&>(s);
+            indent_to(os, indent);
+            print_expr(os, *a.lhs, 0);
+            os << " = ";
+            print_expr(os, *a.rhs, 0);
+            os << '\n';
+            break;
+        }
+        case StmtKind::If: {
+            const auto& i = static_cast<const IfStmt&>(s);
+            indent_to(os, indent);
+            os << "IF (";
+            print_expr(os, *i.cond, 0);
+            os << ") THEN\n";
+            print_block(os, i.then_block, indent + 1);
+            if (!i.else_block.empty()) {
+                indent_to(os, indent);
+                os << "ELSE\n";
+                print_block(os, i.else_block, indent + 1);
+            }
+            indent_to(os, indent);
+            os << "END IF\n";
+            break;
+        }
+        case StmtKind::Do: {
+            const auto& d = static_cast<const DoLoop&>(s);
+            if (d.is_target) {
+                indent_to(os, indent);
+                os << "!$TARGET\n";
+            }
+            if (d.annot.parallel) {
+                indent_to(os, indent);
+                os << "!$PARALLEL";
+                if (!d.annot.privates.empty()) {
+                    os << " PRIVATE(";
+                    for (std::size_t k = 0; k < d.annot.privates.size(); ++k) {
+                        if (k) os << ", ";
+                        os << d.annot.privates[k];
+                    }
+                    os << ')';
+                }
+                for (const auto& [var, op] : d.annot.reductions) {
+                    os << " REDUCTION(" << to_string(op) << " : " << var << ')';
+                }
+                os << '\n';
+            } else if (d.annot.verdict && *d.annot.verdict != Hindrance::Autoparallelized) {
+                indent_to(os, indent);
+                os << "!$SERIAL [" << to_string(*d.annot.verdict) << "] " << d.annot.reason << '\n';
+            }
+            indent_to(os, indent);
+            os << "DO " << d.var << " = ";
+            print_expr(os, *d.lo, 0);
+            os << ", ";
+            print_expr(os, *d.hi, 0);
+            const auto* step = d.step.get();
+            const bool unit_step = step->kind() == ExprKind::IntConst &&
+                                   static_cast<const IntConst*>(step)->value == 1;
+            if (!unit_step) {
+                os << ", ";
+                print_expr(os, *d.step, 0);
+            }
+            os << '\n';
+            print_block(os, d.body, indent + 1);
+            indent_to(os, indent);
+            os << "END DO\n";
+            break;
+        }
+        case StmtKind::Call: {
+            const auto& c = static_cast<const CallStmt&>(s);
+            indent_to(os, indent);
+            os << "CALL " << c.name << '(';
+            print_args(os, c.args);
+            os << ")\n";
+            break;
+        }
+        case StmtKind::Read: {
+            const auto& r = static_cast<const ReadStmt&>(s);
+            indent_to(os, indent);
+            os << "READ *, ";
+            print_args(os, r.targets);
+            os << '\n';
+            break;
+        }
+        case StmtKind::Print: {
+            const auto& p = static_cast<const PrintStmt&>(s);
+            indent_to(os, indent);
+            os << "PRINT *, ";
+            print_args(os, p.args);
+            os << '\n';
+            break;
+        }
+        case StmtKind::Return:
+            indent_to(os, indent);
+            os << "RETURN\n";
+            break;
+        case StmtKind::Stop:
+            indent_to(os, indent);
+            os << "STOP\n";
+            break;
+    }
+}
+
+void print_block(std::ostream& os, const Block& b, int indent) {
+    for (const auto& s : b) print_stmt(os, *s, indent);
+}
+
+void print_dims(std::ostream& os, const Symbol& sym) {
+    if (!sym.is_array()) return;
+    os << '(';
+    for (int i = 0; i < sym.rank(); ++i) {
+        if (i) os << ", ";
+        const auto& d = sym.dims[static_cast<std::size_t>(i)];
+        const bool unit_lo = d.lo->kind() == ExprKind::IntConst &&
+                             static_cast<const IntConst*>(d.lo.get())->value == 1;
+        if (!unit_lo) {
+            print_expr(os, *d.lo, 0);
+            os << ':';
+        }
+        if (d.assumed_size()) {
+            os << '*';
+        } else {
+            print_expr(os, *d.hi, 0);
+        }
+    }
+    os << ')';
+}
+
+/// Emits declarations in a form the parser accepts back (round-trip):
+/// PARAMETER statements, typed declarations, then COMMON groupings and
+/// EQUIVALENCEs.
+void print_decls(std::ostream& os, const Routine& r) {
+    for (const auto& sym : r.symbols.symbols()) {
+        if (sym.kind != SymbolKind::NamedConstant || !sym.const_value) continue;
+        os << "  PARAMETER (" << sym.name << " = ";
+        print_expr(os, *sym.const_value, 0);
+        os << ")\n";
+    }
+    for (const auto& sym : r.symbols.symbols()) {
+        if (sym.kind == SymbolKind::NamedConstant) continue;
+        os << "  " << to_string(sym.type) << ' ' << sym.name;
+        print_dims(os, sym);
+        if (sym.is_dummy) os << "  ! dummy";
+        os << '\n';
+    }
+    // COMMON groupings: members ordered by their block index.
+    std::vector<std::string> blocks;
+    for (const auto& sym : r.symbols.symbols()) {
+        if (sym.common_block &&
+            std::find(blocks.begin(), blocks.end(), *sym.common_block) == blocks.end()) {
+            blocks.push_back(*sym.common_block);
+        }
+    }
+    for (const auto& block : blocks) {
+        std::vector<const Symbol*> members;
+        for (const auto& sym : r.symbols.symbols()) {
+            if (sym.common_block == block) members.push_back(&sym);
+        }
+        std::sort(members.begin(), members.end(),
+                  [](const Symbol* a, const Symbol* b) { return a->common_index < b->common_index; });
+        os << "  COMMON /" << block << "/ ";
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (i) os << ", ";
+            os << members[i]->name;
+        }
+        os << '\n';
+    }
+    for (const auto& eq : r.equivalences) {
+        os << "  EQUIVALENCE (" << eq.a << '(' << eq.offset_a + 1 << "), " << eq.b << '('
+           << eq.offset_b + 1 << "))\n";
+    }
+}
+
+}  // namespace
+
+std::string to_source(const Expr& e) {
+    std::ostringstream os;
+    print_expr(os, e, 0);
+    return os.str();
+}
+
+std::string to_source(const Stmt& s, int indent) {
+    std::ostringstream os;
+    print_stmt(os, s, indent);
+    return os.str();
+}
+
+std::string to_source(const Block& b, int indent) {
+    std::ostringstream os;
+    print_block(os, b, indent);
+    return os.str();
+}
+
+std::string to_source(const Routine& r) {
+    std::ostringstream os;
+    if (r.is_foreign()) os << "EXTERNAL ";
+    switch (r.kind) {
+        case RoutineKind::Program: os << "PROGRAM " << r.name << '\n'; break;
+        case RoutineKind::Function: os << "FUNCTION " << r.name; break;
+        case RoutineKind::Subroutine: os << "SUBROUTINE " << r.name; break;
+    }
+    if (r.kind != RoutineKind::Program) {
+        os << '(';
+        for (std::size_t i = 0; i < r.dummies.size(); ++i) {
+            if (i) os << ", ";
+            os << r.dummies[i];
+        }
+        os << ")\n";
+    }
+    print_decls(os, r);
+    if (r.is_foreign() && !r.foreign.opaque) {
+        os << "!$EFFECTS";
+        if (!r.foreign.writes_args.empty()) {
+            os << " WRITES(";
+            for (std::size_t i = 0; i < r.foreign.writes_args.size(); ++i) {
+                if (i) os << ',';
+                os << r.dummies[static_cast<std::size_t>(r.foreign.writes_args[i])];
+            }
+            os << ')';
+        }
+        for (int idx : r.foreign.reads_args) {
+            os << " READS(" << r.dummies[static_cast<std::size_t>(idx)] << ')';
+        }
+        if (!r.foreign.touches_commons) os << " NOCOMMON";
+        os << '\n';
+    }
+    print_block(os, r.body, 1);
+    os << "END\n";
+    return os.str();
+}
+
+std::string to_source(const Program& p) {
+    std::ostringstream os;
+    for (const auto* r : p.routines()) {
+        os << to_source(*r) << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace ap::ir

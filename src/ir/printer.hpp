@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace ap::ir {
+
+/// Renders expressions/statements/programs back to Mini-F surface syntax.
+/// Loop annotations print as comment directives (`!$PARALLEL ...`), so the
+/// output of the compiler is itself readable Mini-F — the Polaris
+/// source-to-source idiom.
+[[nodiscard]] std::string to_source(const Expr& e);
+[[nodiscard]] std::string to_source(const Stmt& s, int indent = 0);
+[[nodiscard]] std::string to_source(const Block& b, int indent = 0);
+[[nodiscard]] std::string to_source(const Routine& r);
+[[nodiscard]] std::string to_source(const Program& p);
+
+}  // namespace ap::ir

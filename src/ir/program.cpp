@@ -1,0 +1,58 @@
+#include "ir/program.hpp"
+
+#include <stdexcept>
+
+#include "ir/visit.hpp"
+
+namespace ap::ir {
+
+Routine& Program::add_routine(RoutinePtr r) {
+    if (!r) throw std::invalid_argument("add_routine: null routine");
+    auto [it, inserted] = by_name_.emplace(r->name, std::move(r));
+    if (!inserted) throw std::invalid_argument("duplicate routine: " + it->first);
+    order_.push_back(it->second.get());
+    return *it->second;
+}
+
+const Routine* Program::find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+Routine* Program::find(const std::string& name) {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+const Routine* Program::main() const {
+    for (const auto* r : order_) {
+        if (r->kind == RoutineKind::Program) return r;
+    }
+    return nullptr;
+}
+
+int number_loops(Program& prog) {
+    int next = 0;
+    for (auto* r : prog.routines()) {
+        for_each_stmt(r->body, [&](Stmt& s) {
+            if (s.kind() == StmtKind::Do) static_cast<DoLoop&>(s).loop_id = next++;
+        });
+    }
+    return next;
+}
+
+std::size_t count_statements(const Routine& r) {
+    std::size_t n = 1;  // the SUBROUTINE/PROGRAM/FUNCTION line itself
+    n += r.symbols.size();
+    n += r.equivalences.size();
+    for_each_stmt(r.body, [&](const Stmt&) { ++n; });
+    return n;
+}
+
+std::size_t count_statements(const Program& prog) {
+    std::size_t n = 0;
+    for (const auto* r : prog.routines()) n += count_statements(*r);
+    return n;
+}
+
+}  // namespace ap::ir

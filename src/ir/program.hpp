@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+#include "ir/symbol.hpp"
+
+namespace ap::ir {
+
+enum class RoutineKind : unsigned char { Program, Subroutine, Function };
+enum class Language : unsigned char { Fortran, C };
+
+/// Declared side effects of a foreign (C) routine. The paper's point
+/// (§2.4) is that compilers *cannot* see across the language boundary, so
+/// the default-constructed state means "may read and write anything
+/// reachable": all arguments and all common blocks.
+struct ForeignEffects {
+    bool opaque = true;                    ///< true: assume worst case
+    std::vector<int> writes_args;          ///< if !opaque: 0-based args written
+    std::vector<int> reads_args;           ///< if !opaque: 0-based args read
+    bool touches_commons = true;           ///< if !opaque: may access commons
+};
+
+/// A Mini-F routine: the PROGRAM, a SUBROUTINE, or a FUNCTION. A routine
+/// with language == C has an empty body and is executed by a registered
+/// native callback in the interpreter; the compiler sees only
+/// ForeignEffects.
+struct Routine {
+    std::string name;
+    RoutineKind kind = RoutineKind::Subroutine;
+    Language language = Language::Fortran;
+    ScalarType return_type = ScalarType::Real;  ///< functions only
+    std::vector<std::string> dummies;           ///< dummy argument names, in order
+    SymbolTable symbols;
+    std::vector<Equivalence> equivalences;
+    Block body;
+    ForeignEffects foreign;  ///< meaningful only when language == C
+
+    [[nodiscard]] bool is_foreign() const noexcept { return language == Language::C; }
+    [[nodiscard]] const Symbol* dummy_symbol(int i) const {
+        if (i < 0 || i >= static_cast<int>(dummies.size())) return nullptr;
+        return symbols.find(dummies[static_cast<std::size_t>(i)]);
+    }
+};
+
+using RoutinePtr = std::unique_ptr<Routine>;
+
+/// A whole Mini-F program unit: every routine, keyed by (upper-case) name,
+/// plus the list of common block names seen anywhere.
+class Program {
+public:
+    Routine& add_routine(RoutinePtr r);
+
+    [[nodiscard]] const Routine* find(const std::string& name) const;
+    [[nodiscard]] Routine* find(const std::string& name);
+    [[nodiscard]] const Routine* main() const;
+
+    /// Routines in declaration order.
+    [[nodiscard]] const std::vector<Routine*>& routines() const noexcept { return order_; }
+
+    [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+
+    std::string name = "UNNAMED";  ///< suite label used in reports
+
+private:
+    std::map<std::string, RoutinePtr> by_name_;
+    std::vector<Routine*> order_;
+};
+
+/// Assigns document-order loop_ids across the whole program. Returns the
+/// number of loops. Idempotent.
+int number_loops(Program& prog);
+
+/// Counts statements the way the paper counts Fortran statements:
+/// executable statements plus declarations (each symbol declaration,
+/// common membership and equivalence counts once).
+[[nodiscard]] std::size_t count_statements(const Program& prog);
+[[nodiscard]] std::size_t count_statements(const Routine& r);
+
+}  // namespace ap::ir

@@ -1,0 +1,65 @@
+#include "ir/stmt.hpp"
+
+namespace ap::ir {
+
+Block clone_block(const Block& b) {
+    Block out;
+    out.reserve(b.size());
+    for (const auto& s : b) out.push_back(s->clone());
+    return out;
+}
+
+std::string_view to_string(ReductionOp op) noexcept {
+    switch (op) {
+        case ReductionOp::Sum: return "+";
+        case ReductionOp::Product: return "*";
+        case ReductionOp::Min: return "MIN";
+        case ReductionOp::Max: return "MAX";
+    }
+    return "?";
+}
+
+std::string_view to_string(Hindrance h) noexcept {
+    switch (h) {
+        case Hindrance::Autoparallelized: return "autoparallelized";
+        case Hindrance::Aliasing: return "aliasing";
+        case Hindrance::Rangeless: return "rangeless";
+        case Hindrance::Indirection: return "indirection";
+        case Hindrance::SymbolAnalysis: return "symbol analysis";
+        case Hindrance::AccessRepresentation: return "access representation";
+        case Hindrance::Complexity: return "complexity";
+    }
+    return "?";
+}
+
+StmtPtr DoLoop::clone() const {
+    auto copy = std::make_unique<DoLoop>(var, lo->clone(), hi->clone(), step->clone(),
+                                         clone_block(body), loc());
+    copy->loop_id = loop_id;
+    copy->is_target = is_target;
+    copy->annot = annot;
+    return copy;
+}
+
+StmtPtr CallStmt::clone() const {
+    std::vector<ExprPtr> a;
+    a.reserve(args.size());
+    for (const auto& e : args) a.push_back(e->clone());
+    return std::make_unique<CallStmt>(name, std::move(a), loc());
+}
+
+StmtPtr ReadStmt::clone() const {
+    std::vector<ExprPtr> t;
+    t.reserve(targets.size());
+    for (const auto& e : targets) t.push_back(e->clone());
+    return std::make_unique<ReadStmt>(std::move(t), loc());
+}
+
+StmtPtr PrintStmt::clone() const {
+    std::vector<ExprPtr> a;
+    a.reserve(args.size());
+    for (const auto& e : args) a.push_back(e->clone());
+    return std::make_unique<PrintStmt>(std::move(a), loc());
+}
+
+}  // namespace ap::ir

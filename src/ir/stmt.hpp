@@ -1,0 +1,178 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace ap::ir {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+/// A statement sequence. Mini-F is fully structured: there is no GOTO, so
+/// a Block is the only control-flow aggregation.
+using Block = std::vector<StmtPtr>;
+
+[[nodiscard]] Block clone_block(const Block& b);
+
+enum class StmtKind : unsigned char {
+    Assign,
+    If,
+    Do,
+    Call,
+    Read,
+    Print,
+    Return,
+    Stop,
+};
+
+/// Recognized reduction operators for loop annotations.
+enum class ReductionOp : unsigned char { Sum, Product, Min, Max };
+[[nodiscard]] std::string_view to_string(ReductionOp op) noexcept;
+
+/// The hindrance taxonomy of the paper's Figure 5: why a target loop was
+/// (or was not) parallelized by the compiler.
+enum class Hindrance : unsigned char {
+    Autoparallelized,      ///< the compiler proved the loop parallel
+    Aliasing,              ///< possibly-aliased subroutine array parameters
+    Rangeless,             ///< symbolic comparison blocked by unbounded variables
+    Indirection,           ///< subscripted subscripts (A(IDX(I)))
+    SymbolAnalysis,        ///< symbolic manipulation beyond the engine's power
+    AccessRepresentation,  ///< region representation too coarse (reshaped arrays)
+    Complexity,            ///< analysis exceeded the compile-time budget
+};
+[[nodiscard]] std::string_view to_string(Hindrance h) noexcept;
+
+/// Parallelization verdict attached to a DO loop by the compiler driver.
+struct LoopAnnotation {
+    bool parallel = false;
+    std::vector<std::string> privates;  ///< privatized scalars/arrays
+    std::vector<std::pair<std::string, ReductionOp>> reductions;
+    std::optional<Hindrance> verdict;   ///< set once the classifier ran
+    std::string reason;                 ///< human-readable explanation
+};
+
+class Stmt {
+public:
+    explicit Stmt(StmtKind k, SourceLoc loc = {}) : kind_(k), loc_(loc) {}
+    virtual ~Stmt() = default;
+    Stmt(const Stmt&) = delete;
+    Stmt& operator=(const Stmt&) = delete;
+
+    [[nodiscard]] StmtKind kind() const noexcept { return kind_; }
+    [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+    void set_loc(SourceLoc l) noexcept { loc_ = l; }
+
+    [[nodiscard]] virtual StmtPtr clone() const = 0;
+
+private:
+    StmtKind kind_;
+    SourceLoc loc_;
+};
+
+/// lhs = rhs. The lhs must be a VarRef or ArrayRef.
+class Assign final : public Stmt {
+public:
+    Assign(ExprPtr l, ExprPtr r, SourceLoc loc = {})
+        : Stmt(StmtKind::Assign, loc), lhs(std::move(l)), rhs(std::move(r)) {}
+    ExprPtr lhs;
+    ExprPtr rhs;
+    [[nodiscard]] StmtPtr clone() const override {
+        return std::make_unique<Assign>(lhs->clone(), rhs->clone(), loc());
+    }
+};
+
+class IfStmt final : public Stmt {
+public:
+    IfStmt(ExprPtr c, Block t, Block e, SourceLoc loc = {})
+        : Stmt(StmtKind::If, loc), cond(std::move(c)), then_block(std::move(t)), else_block(std::move(e)) {}
+    ExprPtr cond;
+    Block then_block;
+    Block else_block;
+    [[nodiscard]] StmtPtr clone() const override {
+        return std::make_unique<IfStmt>(cond->clone(), clone_block(then_block), clone_block(else_block), loc());
+    }
+};
+
+/// DO var = lo, hi [, step] ... END DO
+class DoLoop final : public Stmt {
+public:
+    DoLoop(std::string v, ExprPtr l, ExprPtr h, ExprPtr s, Block b, SourceLoc loc = {})
+        : Stmt(StmtKind::Do, loc), var(std::move(v)), lo(std::move(l)), hi(std::move(h)),
+          step(std::move(s)), body(std::move(b)) {}
+    std::string var;
+    ExprPtr lo;
+    ExprPtr hi;
+    ExprPtr step;  ///< never null; defaults to IntConst(1)
+    Block body;
+
+    /// Stable id assigned by ir::number_loops (document order), -1 before.
+    int loop_id = -1;
+    /// Source marker `!$TARGET` — a loop hand-identified as profitably
+    /// parallel (the paper's "target loops").
+    bool is_target = false;
+    LoopAnnotation annot;
+
+    [[nodiscard]] StmtPtr clone() const override;
+};
+
+class CallStmt final : public Stmt {
+public:
+    CallStmt(std::string n, std::vector<ExprPtr> a, SourceLoc loc = {})
+        : Stmt(StmtKind::Call, loc), name(std::move(n)), args(std::move(a)) {}
+    std::string name;
+    std::vector<ExprPtr> args;
+    [[nodiscard]] StmtPtr clone() const override;
+};
+
+/// READ *, v1, v2 ... — runtime input; the source of multifunctionality
+/// (§2.1): variables read here are "rangeless" unless constrained.
+class ReadStmt final : public Stmt {
+public:
+    explicit ReadStmt(std::vector<ExprPtr> t, SourceLoc loc = {})
+        : Stmt(StmtKind::Read, loc), targets(std::move(t)) {}
+    std::vector<ExprPtr> targets;  ///< VarRef or ArrayRef lvalues
+    [[nodiscard]] StmtPtr clone() const override;
+};
+
+class PrintStmt final : public Stmt {
+public:
+    explicit PrintStmt(std::vector<ExprPtr> a, SourceLoc loc = {})
+        : Stmt(StmtKind::Print, loc), args(std::move(a)) {}
+    std::vector<ExprPtr> args;
+    [[nodiscard]] StmtPtr clone() const override;
+};
+
+class ReturnStmt final : public Stmt {
+public:
+    explicit ReturnStmt(SourceLoc loc = {}) : Stmt(StmtKind::Return, loc) {}
+    [[nodiscard]] StmtPtr clone() const override { return std::make_unique<ReturnStmt>(loc()); }
+};
+
+class StopStmt final : public Stmt {
+public:
+    explicit StopStmt(SourceLoc loc = {}) : Stmt(StmtKind::Stop, loc) {}
+    [[nodiscard]] StmtPtr clone() const override { return std::make_unique<StopStmt>(loc()); }
+};
+
+// Factory helpers -----------------------------------------------------------
+
+[[nodiscard]] inline StmtPtr make_assign(ExprPtr lhs, ExprPtr rhs) {
+    return std::make_unique<Assign>(std::move(lhs), std::move(rhs));
+}
+[[nodiscard]] inline StmtPtr make_if(ExprPtr c, Block t, Block e = {}) {
+    return std::make_unique<IfStmt>(std::move(c), std::move(t), std::move(e));
+}
+[[nodiscard]] inline StmtPtr make_do(std::string v, ExprPtr lo, ExprPtr hi, Block body,
+                                     ExprPtr step = nullptr) {
+    if (!step) step = make_int(1);
+    return std::make_unique<DoLoop>(std::move(v), std::move(lo), std::move(hi), std::move(step),
+                                    std::move(body));
+}
+[[nodiscard]] inline StmtPtr make_call_stmt(std::string n, std::vector<ExprPtr> args) {
+    return std::make_unique<CallStmt>(std::move(n), std::move(args));
+}
+
+}  // namespace ap::ir

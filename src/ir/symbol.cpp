@@ -1,0 +1,26 @@
+#include "ir/symbol.hpp"
+
+namespace ap::ir {
+
+Symbol& SymbolTable::declare(Symbol s) {
+    auto it = index_.find(s.name);
+    if (it != index_.end()) {
+        order_[it->second] = std::move(s);
+        return order_[it->second];
+    }
+    index_.emplace(s.name, order_.size());
+    order_.push_back(std::move(s));
+    return order_.back();
+}
+
+const Symbol* SymbolTable::find(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &order_[it->second];
+}
+
+Symbol* SymbolTable::find(const std::string& name) {
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &order_[it->second];
+}
+
+}  // namespace ap::ir

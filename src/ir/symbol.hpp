@@ -1,0 +1,105 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/type.hpp"
+
+namespace ap::ir {
+
+/// One dimension of an array declaration. `hi == nullptr` means
+/// assumed-size (`*`), the Fortran idiom that makes the extent of the last
+/// dimension invisible to the compiler — one of the paper's shared-data-
+/// structure patterns (§2.3).
+struct Dim {
+    ExprPtr lo;  ///< never null; defaults to IntConst(1)
+    ExprPtr hi;  ///< null for `*`
+
+    Dim() = default;
+    Dim(ExprPtr l, ExprPtr h) : lo(std::move(l)), hi(std::move(h)) {}
+    Dim(const Dim& o) : lo(o.lo ? o.lo->clone() : nullptr), hi(o.hi ? o.hi->clone() : nullptr) {}
+    Dim& operator=(const Dim& o) {
+        if (this != &o) {
+            lo = o.lo ? o.lo->clone() : nullptr;
+            hi = o.hi ? o.hi->clone() : nullptr;
+        }
+        return *this;
+    }
+    Dim(Dim&&) = default;
+    Dim& operator=(Dim&&) = default;
+
+    [[nodiscard]] bool assumed_size() const noexcept { return hi == nullptr; }
+};
+
+enum class SymbolKind : unsigned char {
+    Scalar,
+    Array,
+    NamedConstant,  ///< PARAMETER (N = 100)
+};
+
+/// A declared entity of a routine: scalar, array, or named constant.
+struct Symbol {
+    std::string name;
+    ScalarType type = ScalarType::Integer;
+    SymbolKind kind = SymbolKind::Scalar;
+    std::vector<Dim> dims;            ///< non-empty iff kind == Array
+    bool is_dummy = false;            ///< subroutine dummy argument
+    std::optional<std::string> common_block;
+    int common_index = -1;            ///< ordinal position within the common block
+    ExprPtr const_value;              ///< initializer for NamedConstant
+
+    Symbol() = default;
+    Symbol(std::string n, ScalarType t, SymbolKind k = SymbolKind::Scalar)
+        : name(std::move(n)), type(t), kind(k) {}
+
+    Symbol(const Symbol& o)
+        : name(o.name), type(o.type), kind(o.kind), dims(o.dims), is_dummy(o.is_dummy),
+          common_block(o.common_block), common_index(o.common_index),
+          const_value(o.const_value ? o.const_value->clone() : nullptr) {}
+    Symbol& operator=(const Symbol& o) {
+        if (this != &o) {
+            Symbol tmp(o);
+            *this = std::move(tmp);
+        }
+        return *this;
+    }
+    Symbol(Symbol&&) = default;
+    Symbol& operator=(Symbol&&) = default;
+
+    [[nodiscard]] bool is_array() const noexcept { return kind == SymbolKind::Array; }
+    [[nodiscard]] int rank() const noexcept { return static_cast<int>(dims.size()); }
+};
+
+/// EQUIVALENCE (A(k), B(m)) — two names overlapping in storage. Offsets
+/// are linearized element offsets of the equivalenced elements.
+struct Equivalence {
+    std::string a;
+    std::int64_t offset_a = 0;
+    std::string b;
+    std::int64_t offset_b = 0;
+};
+
+/// Per-routine symbol table. Deterministic iteration order (declaration
+/// order) matters for reproducible diagnostics and metrics.
+class SymbolTable {
+public:
+    /// Adds or replaces; returns a reference to the stored symbol.
+    Symbol& declare(Symbol s);
+
+    [[nodiscard]] const Symbol* find(const std::string& name) const;
+    [[nodiscard]] Symbol* find(const std::string& name);
+    [[nodiscard]] bool contains(const std::string& name) const { return find(name) != nullptr; }
+
+    [[nodiscard]] const std::vector<Symbol>& symbols() const noexcept { return order_; }
+    [[nodiscard]] std::vector<Symbol>& symbols() noexcept { return order_; }
+    [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+
+private:
+    std::vector<Symbol> order_;
+    std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace ap::ir

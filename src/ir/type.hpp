@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string_view>
+
+namespace ap::ir {
+
+/// Scalar element types of the Mini-F language. COMPLEX is modelled as a
+/// pair of doubles by the interpreter; LOGICAL is a Fortran boolean.
+enum class ScalarType : unsigned char {
+    Integer,
+    Real,      ///< double precision throughout (the corpora do not need two widths)
+    Complex,
+    Logical,
+    Character, ///< fixed short strings, used for module-selection decks
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ScalarType t) noexcept {
+    switch (t) {
+        case ScalarType::Integer: return "INTEGER";
+        case ScalarType::Real: return "REAL";
+        case ScalarType::Complex: return "COMPLEX";
+        case ScalarType::Logical: return "LOGICAL";
+        case ScalarType::Character: return "CHARACTER";
+    }
+    return "?";
+}
+
+/// Whether a binary arithmetic result should be Integer or Real given the
+/// operand types (Fortran-style promotion; Complex dominates Real
+/// dominates Integer).
+[[nodiscard]] constexpr ScalarType promote(ScalarType a, ScalarType b) noexcept {
+    if (a == ScalarType::Complex || b == ScalarType::Complex) return ScalarType::Complex;
+    if (a == ScalarType::Real || b == ScalarType::Real) return ScalarType::Real;
+    return ScalarType::Integer;
+}
+
+}  // namespace ap::ir

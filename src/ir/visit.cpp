@@ -1,0 +1,125 @@
+#include "ir/visit.hpp"
+
+namespace ap::ir {
+
+namespace {
+
+template <typename BlockT, typename Fn>
+void walk_stmts(BlockT& block, const Fn& fn) {
+    for (auto& sp : block) {
+        auto& s = *sp;
+        fn(s);
+        switch (s.kind()) {
+            case StmtKind::If: {
+                auto& i = static_cast<std::conditional_t<std::is_const_v<std::remove_reference_t<decltype(s)>>,
+                                                         const IfStmt, IfStmt>&>(s);
+                walk_stmts(i.then_block, fn);
+                walk_stmts(i.else_block, fn);
+                break;
+            }
+            case StmtKind::Do: {
+                auto& d = static_cast<std::conditional_t<std::is_const_v<std::remove_reference_t<decltype(s)>>,
+                                                         const DoLoop, DoLoop>&>(s);
+                walk_stmts(d.body, fn);
+                break;
+            }
+            default:
+                break;
+        }
+    }
+}
+
+template <typename ExprT, typename Fn>
+void walk_expr(ExprT& e, const Fn& fn) {
+    fn(e);
+    switch (e.kind()) {
+        case ExprKind::ArrayRef: {
+            auto& a = static_cast<std::conditional_t<std::is_const_v<ExprT>, const ArrayRef, ArrayRef>&>(e);
+            for (auto& s : a.subscripts) walk_expr(*s, fn);
+            break;
+        }
+        case ExprKind::Unary: {
+            auto& u = static_cast<std::conditional_t<std::is_const_v<ExprT>, const Unary, Unary>&>(e);
+            walk_expr(*u.operand, fn);
+            break;
+        }
+        case ExprKind::Binary: {
+            auto& b = static_cast<std::conditional_t<std::is_const_v<ExprT>, const Binary, Binary>&>(e);
+            walk_expr(*b.lhs, fn);
+            walk_expr(*b.rhs, fn);
+            break;
+        }
+        case ExprKind::Call: {
+            auto& c = static_cast<std::conditional_t<std::is_const_v<ExprT>, const Call, Call>&>(e);
+            for (auto& a : c.args) walk_expr(*a, fn);
+            break;
+        }
+        default:
+            break;
+    }
+}
+
+template <typename StmtT, typename Fn>
+void walk_own_exprs(StmtT& s, const Fn& fn) {
+    switch (s.kind()) {
+        case StmtKind::Assign: {
+            auto& a = static_cast<std::conditional_t<std::is_const_v<StmtT>, const Assign, Assign>&>(s);
+            fn(*a.lhs);
+            fn(*a.rhs);
+            break;
+        }
+        case StmtKind::If: {
+            auto& i = static_cast<std::conditional_t<std::is_const_v<StmtT>, const IfStmt, IfStmt>&>(s);
+            fn(*i.cond);
+            break;
+        }
+        case StmtKind::Do: {
+            auto& d = static_cast<std::conditional_t<std::is_const_v<StmtT>, const DoLoop, DoLoop>&>(s);
+            fn(*d.lo);
+            fn(*d.hi);
+            fn(*d.step);
+            break;
+        }
+        case StmtKind::Call: {
+            auto& c = static_cast<std::conditional_t<std::is_const_v<StmtT>, const CallStmt, CallStmt>&>(s);
+            for (auto& a : c.args) fn(*a);
+            break;
+        }
+        case StmtKind::Read: {
+            auto& r = static_cast<std::conditional_t<std::is_const_v<StmtT>, const ReadStmt, ReadStmt>&>(s);
+            for (auto& t : r.targets) fn(*t);
+            break;
+        }
+        case StmtKind::Print: {
+            auto& p = static_cast<std::conditional_t<std::is_const_v<StmtT>, const PrintStmt, PrintStmt>&>(s);
+            for (auto& a : p.args) fn(*a);
+            break;
+        }
+        case StmtKind::Return:
+        case StmtKind::Stop:
+            break;
+    }
+}
+
+}  // namespace
+
+void for_each_stmt(Block& block, const std::function<void(Stmt&)>& fn) { walk_stmts(block, fn); }
+void for_each_stmt(const Block& block, const std::function<void(const Stmt&)>& fn) {
+    walk_stmts(block, fn);
+}
+
+void for_each_expr(Expr& e, const std::function<void(Expr&)>& fn) { walk_expr(e, fn); }
+void for_each_expr(const Expr& e, const std::function<void(const Expr&)>& fn) { walk_expr(e, fn); }
+
+void for_each_own_expr(Stmt& s, const std::function<void(Expr&)>& fn) { walk_own_exprs(s, fn); }
+void for_each_own_expr(const Stmt& s, const std::function<void(const Expr&)>& fn) {
+    walk_own_exprs(s, fn);
+}
+
+void for_each_expr_deep(const Block& block, const std::function<void(const Expr&)>& fn) {
+    for_each_stmt(block, [&](const Stmt& s) {
+        for_each_own_expr(s, [&](const Expr& e) { for_each_expr(e, fn); });
+    });
+}
+
+}  // namespace ap::ir

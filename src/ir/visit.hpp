@@ -1,0 +1,27 @@
+#pragma once
+
+#include <functional>
+
+#include "ir/program.hpp"
+
+namespace ap::ir {
+
+/// Pre-order walk over every statement in a block, descending into IF
+/// branches and DO bodies.
+void for_each_stmt(Block& block, const std::function<void(Stmt&)>& fn);
+void for_each_stmt(const Block& block, const std::function<void(const Stmt&)>& fn);
+
+/// Pre-order walk over an expression subtree, including the root.
+void for_each_expr(Expr& e, const std::function<void(Expr&)>& fn);
+void for_each_expr(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+/// Visits the expressions directly owned by one statement (condition,
+/// bounds, operands, arguments) — not those of nested statements.
+void for_each_own_expr(Stmt& s, const std::function<void(Expr&)>& fn);
+void for_each_own_expr(const Stmt& s, const std::function<void(const Expr&)>& fn);
+
+/// Every expression in a block: for_each_stmt × for_each_own_expr ×
+/// for_each_expr.
+void for_each_expr_deep(const Block& block, const std::function<void(const Expr&)>& fn);
+
+}  // namespace ap::ir

@@ -1,0 +1,155 @@
+#include "mpisim/mpisim.hpp"
+
+#include <exception>
+
+namespace ap::mpisim {
+
+Communicator::Communicator(int nranks) : nranks_(nranks) {
+    if (nranks <= 0) throw std::invalid_argument("Communicator: nranks must be positive");
+    channels_.resize(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
+    for (auto& c : channels_) c = std::make_unique<Channel>();
+    counters_.resize(static_cast<std::size_t>(nranks));
+    for (auto& c : counters_) c = std::make_unique<RankCounters>();
+}
+
+Communicator::CommStats Communicator::stats(int rank) const {
+    const auto& c = *counters_[static_cast<std::size_t>(rank)];
+    return {c.messages.load(), c.bytes.load()};
+}
+
+Communicator::Channel& Communicator::channel(int source, int dest) {
+    return *channels_[static_cast<std::size_t>(source) * static_cast<std::size_t>(nranks_) +
+                      static_cast<std::size_t>(dest)];
+}
+
+void Communicator::push(int source, int dest, int tag, std::vector<std::byte> payload) {
+    if (dest < 0 || dest >= nranks_) throw std::out_of_range("send: bad destination rank");
+    auto& counters = *counters_[static_cast<std::size_t>(source)];
+    counters.messages.fetch_add(1, std::memory_order_relaxed);
+    counters.bytes.fetch_add(static_cast<std::int64_t>(payload.size()), std::memory_order_relaxed);
+    Channel& c = channel(source, dest);
+    {
+        std::lock_guard lock(c.mutex);
+        c.queue.push(Message{tag, std::move(payload)});
+        ++c.push_count;
+    }
+    c.cv.notify_all();
+}
+
+std::vector<std::byte> Communicator::pop(int source, int dest, int tag) {
+    if (source < 0 || source >= nranks_) throw std::out_of_range("recv: bad source rank");
+    Channel& c = channel(source, dest);
+    std::unique_lock lock(c.mutex);
+    while (true) {
+        // FIFO per (source, dest, tag): scan the queue for the first
+        // matching tag, rotating non-matching messages to the back.
+        const std::size_t n = c.queue.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            Message m = std::move(c.queue.front());
+            c.queue.pop();
+            if (m.tag == tag) return std::move(m.payload);
+            c.queue.push(std::move(m));
+        }
+        // No matching tag yet: wait for new traffic.
+        const std::uint64_t seen = c.push_count;
+        c.cv.wait(lock, [&] { return c.push_count != seen; });
+    }
+}
+
+void Rank::barrier() {
+    std::unique_lock lock(comm_.barrier_mutex_);
+    const bool sense = comm_.barrier_sense_;
+    if (++comm_.barrier_waiting_ == comm_.nranks_) {
+        comm_.barrier_waiting_ = 0;
+        comm_.barrier_sense_ = !sense;
+        comm_.barrier_cv_.notify_all();
+    } else {
+        comm_.barrier_cv_.wait(lock, [&] { return comm_.barrier_sense_ != sense; });
+    }
+}
+
+void Rank::broadcast(std::vector<double>& data, int root) {
+    constexpr int kTag = -101;
+    if (rank_ == root) {
+        for (int r = 0; r < size(); ++r) {
+            if (r != root) send<double>(r, kTag, data);
+        }
+    } else {
+        data = recv<double>(root, kTag);
+    }
+}
+
+std::vector<double> Rank::scatter(const std::vector<double>& all, int root) {
+    constexpr int kTag = -102;
+    const int n = size();
+    if (rank_ == root) {
+        const std::size_t chunk = all.size() / static_cast<std::size_t>(n);
+        for (int r = 0; r < n; ++r) {
+            if (r == root) continue;
+            send<double>(r, kTag,
+                         std::span<const double>(all.data() + chunk * static_cast<std::size_t>(r),
+                                                 chunk));
+        }
+        return {all.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(root)),
+                all.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(root) +
+                                                          chunk)};
+    }
+    return recv<double>(root, kTag);
+}
+
+std::vector<double> Rank::gather(std::span<const double> part, int root) {
+    constexpr int kTag = -103;
+    const int n = size();
+    if (rank_ != root) {
+        send<double>(root, kTag + rank_, part);
+        return {};
+    }
+    std::vector<double> all(part.size() * static_cast<std::size_t>(n));
+    std::copy(part.begin(), part.end(),
+              all.begin() + static_cast<std::ptrdiff_t>(part.size() *
+                                                        static_cast<std::size_t>(root)));
+    for (int r = 0; r < n; ++r) {
+        if (r == root) continue;
+        auto chunk = recv<double>(r, kTag + r);
+        if (chunk.size() != part.size()) throw std::runtime_error("gather: ragged chunks");
+        std::copy(chunk.begin(), chunk.end(),
+                  all.begin() + static_cast<std::ptrdiff_t>(part.size() *
+                                                            static_cast<std::size_t>(r)));
+    }
+    return all;
+}
+
+double Rank::allreduce_sum(double value) {
+    constexpr int kTag = -104;
+    // Reduce to rank 0, broadcast back.
+    if (rank_ == 0) {
+        double total = value;
+        for (int r = 1; r < size(); ++r) total += recv_value<double>(r, kTag + r);
+        for (int r = 1; r < size(); ++r) send_value<double>(r, kTag, total);
+        return total;
+    }
+    send_value<double>(0, kTag + rank_, value);
+    return recv_value<double>(0, kTag);
+}
+
+void Communicator::run(const std::function<void(Rank&)>& fn) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks_));
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    for (int r = 0; r < nranks_; ++r) {
+        threads.emplace_back([&, r] {
+            Rank rank(*this, r);
+            try {
+                fn(rank);
+            } catch (...) {
+                std::lock_guard lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ap::mpisim

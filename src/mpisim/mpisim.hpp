@@ -1,0 +1,141 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ap::mpisim {
+
+/// A minimal MPI-flavoured message-passing runtime over std::thread
+/// ranks. Substitutes for the paper's 4-processor MPI machine (DESIGN.md
+/// §2): Figure 1 compares parallelization *strategies*, so thread-backed
+/// ranks on a multicore host preserve the comparison.
+///
+/// Semantics follow the MPI subset real seismic codes use:
+///   - blocking send/recv with (source, tag) matching, FIFO per channel;
+///   - barrier, broadcast, scatter/gather of contiguous doubles,
+///     allreduce(sum).
+/// Deadlock discipline is the caller's job, as with real MPI.
+class Communicator;
+
+class Rank {
+public:
+    Rank(Communicator& comm, int rank) : comm_(comm), rank_(rank) {}
+
+    [[nodiscard]] int rank() const noexcept { return rank_; }
+    [[nodiscard]] int size() const noexcept;
+
+    template <typename T>
+    void send(int dest, int tag, std::span<const T> data);
+    template <typename T>
+    void send_value(int dest, int tag, const T& v) {
+        send(dest, tag, std::span<const T>(&v, 1));
+    }
+
+    /// Blocks until a message with (source, tag) arrives; returns payload.
+    template <typename T>
+    std::vector<T> recv(int source, int tag);
+    template <typename T>
+    T recv_value(int source, int tag) {
+        auto v = recv<T>(source, tag);
+        if (v.size() != 1) throw std::runtime_error("recv_value: wrong payload size");
+        return v[0];
+    }
+
+    void barrier();
+    /// Root's data is copied to every rank (in place on non-roots).
+    void broadcast(std::vector<double>& data, int root);
+    /// Root splits `all` into equal chunks; every rank gets its chunk.
+    [[nodiscard]] std::vector<double> scatter(const std::vector<double>& all, int root);
+    /// Inverse of scatter; result valid on root only.
+    [[nodiscard]] std::vector<double> gather(std::span<const double> part, int root);
+    [[nodiscard]] double allreduce_sum(double value);
+
+private:
+    Communicator& comm_;
+    int rank_;
+};
+
+class Communicator {
+public:
+    explicit Communicator(int nranks);
+
+    [[nodiscard]] int size() const noexcept { return nranks_; }
+
+    /// Communication volume one rank has sent so far (for the simulated
+    /// cost model when the host cannot time real ranks meaningfully).
+    struct CommStats {
+        std::int64_t messages = 0;
+        std::int64_t bytes = 0;
+    };
+    [[nodiscard]] CommStats stats(int rank) const;
+
+    /// Runs `fn(rank)` on `nranks` threads and joins them all. Any
+    /// exception in a rank is rethrown after the join (first one wins).
+    void run(const std::function<void(Rank&)>& fn);
+
+private:
+    friend class Rank;
+
+    struct Message {
+        int tag;
+        std::vector<std::byte> payload;
+    };
+    struct Channel {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::queue<Message> queue;
+        std::uint64_t push_count = 0;  ///< lets receivers wait for *new* traffic
+    };
+
+    Channel& channel(int source, int dest);
+    void push(int source, int dest, int tag, std::vector<std::byte> payload);
+    std::vector<std::byte> pop(int source, int dest, int tag);
+
+    // Sense-reversing barrier.
+    std::mutex barrier_mutex_;
+    std::condition_variable barrier_cv_;
+    int barrier_waiting_ = 0;
+    bool barrier_sense_ = false;
+
+    int nranks_;
+    std::vector<std::unique_ptr<Channel>> channels_;  ///< nranks * nranks
+    struct RankCounters {
+        std::atomic<std::int64_t> messages{0};
+        std::atomic<std::int64_t> bytes{0};
+    };
+    std::vector<std::unique_ptr<RankCounters>> counters_;
+};
+
+// --- template implementations ----------------------------------------------
+
+template <typename T>
+void Rank::send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> payload(data.size_bytes());
+    if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size_bytes());
+    comm_.push(rank_, dest, tag, std::move(payload));
+}
+
+template <typename T>
+std::vector<T> Rank::recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto payload = comm_.pop(source, rank_, tag);
+    if (payload.size() % sizeof(T) != 0) throw std::runtime_error("recv: payload size mismatch");
+    std::vector<T> out(payload.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), payload.data(), payload.size());
+    return out;
+}
+
+inline int Rank::size() const noexcept { return comm_.size(); }
+
+}  // namespace ap::mpisim

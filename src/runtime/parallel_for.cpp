@@ -1,0 +1,18 @@
+#include "runtime/parallel_for.hpp"
+
+#include <chrono>
+
+namespace ap::runtime {
+
+double measure_fork_join_overhead(unsigned threads, int reps) {
+    // Warm the pool first.
+    parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads});
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+        parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads});
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(elapsed).count() / reps;
+}
+
+}  // namespace ap::runtime

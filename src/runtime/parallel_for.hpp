@@ -1,0 +1,69 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/thread_pool.hpp"
+
+namespace ap::runtime {
+
+/// Execution policy for parallel_for. `threads == 1` runs inline with no
+/// fork-join cost — the serial baseline.
+struct ParallelOptions {
+    unsigned threads = 0;  ///< 0 = pool size
+    /// Minimum iterations per chunk; loops smaller than `grain` run inline.
+    std::int64_t grain = 1;
+};
+
+/// Fork-join static-block parallel loop over [lo, hi) — the OpenMP
+/// `parallel do` stand-in. `fn(i)` must be safe to run concurrently for
+/// distinct i. The call blocks until every iteration completed. Each
+/// invocation pays one fork-join round trip on the shared pool, which is
+/// precisely the overhead that makes inner-loop-only parallelization lose
+/// (paper Figure 1, the "Polaris" bars).
+namespace detail {
+/// True on pool workers currently inside a parallel region; nested
+/// parallel_for calls then run inline instead of deadlocking the pool.
+inline thread_local bool in_parallel_region = false;
+}  // namespace detail
+
+template <typename Fn>
+void parallel_for(std::int64_t lo, std::int64_t hi, Fn&& fn, ParallelOptions options = {},
+                  ThreadPool* pool = nullptr) {
+    const std::int64_t n = hi - lo;
+    if (n <= 0) return;
+    ThreadPool& p = pool ? *pool : ThreadPool::global();
+    unsigned threads = options.threads ? options.threads : p.size();
+    if (threads > static_cast<unsigned>(n)) threads = static_cast<unsigned>(n);
+    if (threads <= 1 || n < options.grain || detail::in_parallel_region) {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+        return;
+    }
+    std::atomic<unsigned> remaining{threads};
+    std::mutex m;
+    std::condition_variable cv;
+    const std::int64_t chunk = (n + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+        const std::int64_t begin = lo + static_cast<std::int64_t>(t) * chunk;
+        const std::int64_t end = begin + chunk < hi ? begin + chunk : hi;
+        p.submit([&, begin, end] {
+            detail::in_parallel_region = true;
+            for (std::int64_t i = begin; i < end; ++i) fn(i);
+            detail::in_parallel_region = false;
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard lock(m);
+                cv.notify_one();
+            }
+        });
+    }
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+/// Measures the fork-join overhead of one empty parallel_for invocation
+/// in seconds (averaged over `reps`).
+double measure_fork_join_overhead(unsigned threads, int reps = 100);
+
+}  // namespace ap::runtime

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+
+#include "runtime/timer.hpp"
+
+namespace ap::runtime {
+
+/// Cost model of the simulated parallel machine (a 2008-era 4-processor
+/// SMP, per the paper's testbed). Used when the host cannot exhibit real
+/// speedups (e.g. a single-core container): chunks of parallel loops are
+/// executed serially and timed individually; the modeled elapsed time of
+/// a parallel region is max(chunk time) + fork_join_latency.
+struct SimCostModel {
+    int nprocs = 4;
+    double fork_join_latency = 10e-6;  ///< one parallel-do fork+join
+    double msg_latency = 5e-6;         ///< per point-to-point message
+    double bandwidth = 3e9;            ///< bytes/second between ranks (SMP memcpy)
+};
+
+/// Accumulates modeled elapsed seconds for one phase.
+class SimTimer {
+public:
+    explicit SimTimer(const SimCostModel& model) : model_(model) {}
+
+    /// Runs `fn` inline; its wall time is charged fully (a serial region).
+    template <typename Fn>
+    void serial(Fn&& fn) {
+        Timer t;
+        fn();
+        total_ += t.seconds();
+    }
+
+    /// What limits a parallel loop on the simulated machine. Compute-bound
+    /// loops scale with processors; memory-bound loops (copies, scalings)
+    /// saturate the shared bus of the 2008-era SMP and gain nothing.
+    enum class Bound { Compute, Memory };
+
+    /// Models a parallel do over [lo, hi): static chunking over nprocs,
+    /// every chunk executed (so results are real), but only the slowest
+    /// chunk (Compute) or the full loop time (Memory) plus one fork-join
+    /// is charged.
+    template <typename Fn>
+    void parallel(std::int64_t lo, std::int64_t hi, Fn&& fn, Bound bound = Bound::Compute) {
+        const std::int64_t n = hi - lo;
+        if (n <= 0) return;
+        const int procs = model_.nprocs;
+        const std::int64_t chunk = (n + procs - 1) / procs;
+        double slowest = 0;
+        double sum = 0;
+        for (std::int64_t begin = lo; begin < hi; begin += chunk) {
+            const std::int64_t end = begin + chunk < hi ? begin + chunk : hi;
+            Timer t;
+            for (std::int64_t i = begin; i < end; ++i) fn(i);
+            const double s = t.seconds();
+            sum += s;
+            if (s > slowest) slowest = s;
+        }
+        total_ += (bound == Bound::Compute ? slowest : sum) + model_.fork_join_latency;
+        ++forks_;
+    }
+
+    /// Charges explicit communication: `messages` point-to-point sends
+    /// moving `bytes` in total (used by the message-passing flavor).
+    void communicate(std::int64_t messages, std::int64_t bytes) {
+        total_ += static_cast<double>(messages) * model_.msg_latency +
+                  static_cast<double>(bytes) / model_.bandwidth;
+    }
+
+    /// Adds modeled seconds directly (e.g. a rank's measured CPU time).
+    void charge(double seconds) { total_ += seconds; }
+
+    [[nodiscard]] double seconds() const noexcept { return total_; }
+    [[nodiscard]] std::int64_t fork_count() const noexcept { return forks_; }
+    [[nodiscard]] const SimCostModel& model() const noexcept { return model_; }
+
+private:
+    SimCostModel model_;
+    double total_ = 0;
+    std::int64_t forks_ = 0;
+};
+
+/// CPU time consumed by the calling thread — how rank compute time is
+/// measured even when ranks time-share one core.
+[[nodiscard]] inline double thread_cpu_seconds() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace ap::runtime

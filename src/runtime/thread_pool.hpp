@@ -1,0 +1,41 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ap::runtime {
+
+/// Fixed-size worker pool with a single shared queue. Workers are joined
+/// in the destructor (CP.26: no detached threads). Tasks are void() and
+/// must not throw; exceptions terminate, which is the right behaviour for
+/// a numeric harness.
+class ThreadPool {
+public:
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    void submit(std::function<void()> task);
+    [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+    /// The process-wide default pool (hardware_concurrency workers,
+    /// created on first use).
+    static ThreadPool& global();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+}  // namespace ap::runtime

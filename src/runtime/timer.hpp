@@ -1,0 +1,20 @@
+#pragma once
+
+#include <chrono>
+
+namespace ap::runtime {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ap::runtime

@@ -1,0 +1,117 @@
+#include "seismic/seismic.hpp"
+
+#include <cmath>
+
+#include "seismic/detail.hpp"
+
+namespace ap::seismic {
+
+std::string to_string(Flavor f) {
+    switch (f) {
+        case Flavor::Serial: return "serial";
+        case Flavor::Mpi: return "MPI";
+        case Flavor::OuterParallel: return "OpenMP";
+        case Flavor::AutoInner: return "Polaris";
+    }
+    return "?";
+}
+
+Deck Deck::small() {
+    Deck d;
+    d.name = "SMALL";
+    d.nshots = 24;
+    d.ntraces = 48;
+    d.nsamples = 500;
+    d.nx = 64;
+    d.ny = 32;
+    d.nz = 32;
+    d.grid = 320;
+    d.timesteps = 220;
+    return d;
+}
+
+Deck Deck::medium() {
+    Deck d;
+    d.name = "MEDIUM";
+    d.nshots = 48;
+    d.ntraces = 96;
+    d.nsamples = 1000;
+    d.nx = 128;
+    d.ny = 64;
+    d.nz = 64;
+    d.grid = 640;
+    d.timesteps = 440;
+    return d;
+}
+
+Deck Deck::tiny() {
+    Deck d;
+    d.name = "TINY";
+    d.nshots = 4;
+    d.ntraces = 6;
+    d.nsamples = 64;
+    d.nx = 8;
+    d.ny = 8;
+    d.nz = 8;
+    d.grid = 32;
+    d.timesteps = 8;
+    return d;
+}
+
+namespace detail {
+
+// Definitions for detail.hpp: a deterministic reflector model — every
+// flavor must synthesize exactly the same wavefield, so all constants
+// derive from index hashes.
+double reflector_delay(int shot, int trace, int reflector, int nsamples) {
+    const double base = 40.0 + 55.0 * reflector;
+    const double offset = static_cast<double>(trace - 1) - 0.25 * shot;
+    const double moveout = 0.004 * offset * offset / (1.0 + 0.3 * reflector);
+    double delay = base + moveout;
+    const double cap = static_cast<double>(nsamples - 1);
+    return delay > cap ? cap : delay;
+}
+
+double reflector_amp(int shot, int trace, int reflector) {
+    // Cheap integer hash in [-1, 1].
+    unsigned h = static_cast<unsigned>(shot * 2654435761u) ^
+                 static_cast<unsigned>(trace * 40503u) ^
+                 static_cast<unsigned>(reflector * 69069u);
+    h ^= h >> 13;
+    h *= 0x5bd1e995u;
+    h ^= h >> 15;
+    return (static_cast<double>(h % 20001u) - 10000.0) / 10000.0;
+}
+
+double ricker(double x) {
+    constexpr double kf = 0.08;  // normalized dominant frequency
+    const double a = M_PI * kf * x;
+    const double a2 = a * a;
+    return (1.0 - 2.0 * a2) * std::exp(-a2);
+}
+
+}  // namespace detail
+
+std::vector<double> synthesize_traces(const Deck& deck) {
+    const std::size_t total = static_cast<std::size_t>(deck.nshots) *
+                              static_cast<std::size_t>(deck.ntraces) *
+                              static_cast<std::size_t>(deck.nsamples);
+    std::vector<double> data(total, 0.0);
+    constexpr int kReflectors = 6;
+    for (int s = 0; s < deck.nshots; ++s) {
+        for (int t = 0; t < deck.ntraces; ++t) {
+            double* trace = data.data() +
+                            (static_cast<std::size_t>(s) * deck.ntraces + t) * deck.nsamples;
+            for (int k = 0; k < kReflectors; ++k) {
+                const double delay = detail::reflector_delay(s, t, k, deck.nsamples);
+                const double amp = detail::reflector_amp(s, t, k);
+                for (int i = 0; i < deck.nsamples; ++i) {
+                    trace[i] += amp * detail::ricker(static_cast<double>(i) - delay);
+                }
+            }
+        }
+    }
+    return data;
+}
+
+}  // namespace ap::seismic

@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include "mpisim/mpisim.hpp"
+#include "runtime/sim.hpp"
+#include "seismic/detail.hpp"
+#include "seismic/seismic.hpp"
+
+namespace ap::seismic {
+
+namespace {
+
+constexpr int kReflectors = 6;
+
+void synth_trace(double* trace, int s, int t, int nsamples) {
+    for (int k = 0; k < kReflectors; ++k) {
+        const double delay = detail::reflector_delay(s, t, k, nsamples);
+        const double amp = detail::reflector_amp(s, t, k);
+        for (int i = 0; i < nsamples; ++i) {
+            trace[i] += amp * detail::ricker(static_cast<double>(i) - delay);
+        }
+    }
+}
+
+double checksum_range(const double* data, std::size_t n) {
+    double sum = 0;
+    for (std::size_t i = 0; i < n; ++i) sum += std::fabs(data[i]);
+    return sum;
+}
+
+}  // namespace
+
+PhaseResult run_datagen(const Deck& deck, Flavor flavor, int nprocs) {
+    const std::size_t per_shot =
+        static_cast<std::size_t>(deck.ntraces) * static_cast<std::size_t>(deck.nsamples);
+    const std::size_t total = per_shot * static_cast<std::size_t>(deck.nshots);
+    PhaseResult result;
+    runtime::SimCostModel model;
+    model.nprocs = nprocs;
+
+    if (flavor == Flavor::Mpi) {
+        // Shots block-partitioned over real mpisim ranks; modeled elapsed
+        // time is the slowest rank's CPU time plus its communication.
+        mpisim::Communicator comm(nprocs);
+        std::vector<double> rank_cpu(static_cast<std::size_t>(nprocs), 0.0);
+        double checksum = 0;
+        comm.run([&](mpisim::Rank& r) {
+            const double cpu0 = runtime::thread_cpu_seconds();
+            const int per_rank = (deck.nshots + r.size() - 1) / r.size();
+            const int s0 = r.rank() * per_rank;
+            const int s1 = std::min(deck.nshots, s0 + per_rank);
+            std::vector<double> local(per_shot * static_cast<std::size_t>(per_rank), 0.0);
+            for (int s = s0; s < s1; ++s) {
+                for (int t = 0; t < deck.ntraces; ++t) {
+                    synth_trace(local.data() +
+                                    (static_cast<std::size_t>(s - s0) * deck.ntraces + t) *
+                                        deck.nsamples,
+                                s, t, deck.nsamples);
+                }
+            }
+            const double local_sum = checksum_range(local.data(), local.size());
+            const double sum = r.allreduce_sum(local_sum);
+            auto gathered = r.gather(local, 0);
+            rank_cpu[static_cast<std::size_t>(r.rank())] = runtime::thread_cpu_seconds() - cpu0;
+            if (r.rank() == 0) checksum = sum;
+        });
+        runtime::SimTimer sim(model);
+        double slowest = 0;
+        for (int r = 0; r < nprocs; ++r) {
+            const auto stats = comm.stats(r);
+            const double t = rank_cpu[static_cast<std::size_t>(r)] +
+                             static_cast<double>(stats.messages) * model.msg_latency +
+                             static_cast<double>(stats.bytes) / model.bandwidth;
+            slowest = std::max(slowest, t);
+        }
+        sim.charge(slowest);
+        result.seconds = sim.seconds();
+        result.checksum = checksum / static_cast<double>(total);
+        return result;
+    }
+
+    std::vector<double> data(total, 0.0);
+    runtime::SimTimer sim(model);
+    switch (flavor) {
+        case Flavor::Serial:
+            sim.serial([&] {
+                for (int s = 0; s < deck.nshots; ++s) {
+                    for (int t = 0; t < deck.ntraces; ++t) {
+                        synth_trace(data.data() +
+                                        (static_cast<std::size_t>(s) * deck.ntraces + t) *
+                                            deck.nsamples,
+                                    s, t, deck.nsamples);
+                    }
+                }
+            });
+            break;
+        case Flavor::OuterParallel:
+            // The hand-parallelized outermost shot loop: one fork-join for
+            // the whole phase.
+            sim.parallel(0, deck.nshots, [&](std::int64_t s) {
+                for (int t = 0; t < deck.ntraces; ++t) {
+                    synth_trace(data.data() +
+                                    (static_cast<std::size_t>(s) * deck.ntraces + t) *
+                                        deck.nsamples,
+                                static_cast<int>(s), t, deck.nsamples);
+                }
+            });
+            break;
+        case Flavor::AutoInner:
+            // The automatic parallelizer only proves the innermost sample
+            // loop parallel: one fork-join per (shot, trace, reflector),
+            // each with a few microseconds of work inside.
+            for (int s = 0; s < deck.nshots; ++s) {
+                for (int t = 0; t < deck.ntraces; ++t) {
+                    double* trace = data.data() + (static_cast<std::size_t>(s) * deck.ntraces + t) *
+                                                      deck.nsamples;
+                    for (int k = 0; k < kReflectors; ++k) {
+                        const double delay = detail::reflector_delay(s, t, k, deck.nsamples);
+                        const double amp = detail::reflector_amp(s, t, k);
+                        sim.parallel(0, deck.nsamples, [&](std::int64_t i) {
+                            trace[i] += amp * detail::ricker(static_cast<double>(i) - delay);
+                        });
+                    }
+                }
+            }
+            break;
+        case Flavor::Mpi:
+            break;  // handled above
+    }
+    result.seconds = sim.seconds();
+    result.checksum = checksum_range(data.data(), data.size()) / static_cast<double>(total);
+    return result;
+}
+
+}  // namespace ap::seismic

@@ -1,0 +1,14 @@
+#pragma once
+
+// Internal helpers shared by the seismic phase implementations.
+
+namespace ap::seismic::detail {
+
+/// Two-way travel time (in samples) of a reflector for one shot/trace.
+double reflector_delay(int shot, int trace, int reflector, int nsamples);
+/// Deterministic pseudo-random reflectivity in [-1, 1].
+double reflector_amp(int shot, int trace, int reflector);
+/// Ricker wavelet at offset `x` samples from the arrival.
+double ricker(double x);
+
+}  // namespace ap::seismic::detail

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ap::seismic {
+
+/// How a phase is parallelized — the four bars of the paper's Figure 1.
+enum class Flavor {
+    Serial,         ///< one thread, no runtime calls
+    Mpi,            ///< domain decomposition over mpisim ranks ("MPI")
+    OuterParallel,  ///< outermost parallel loops on threads ("OpenMP")
+    AutoInner,      ///< only innermost simple loops parallel ("Polaris")
+};
+[[nodiscard]] std::string to_string(Flavor f);
+
+/// Problem sizes. MEDIUM is roughly an order of magnitude more memory
+/// than SMALL, matching the paper's datasets.
+struct Deck {
+    std::string name;
+    // data generation + stacking
+    int nshots = 0;
+    int ntraces = 0;   ///< traces per shot
+    int nsamples = 0;  ///< samples per trace
+    // 3-D FFT cube (powers of two)
+    int nx = 0, ny = 0, nz = 0;
+    // finite difference grid
+    int grid = 0;
+    int timesteps = 0;
+
+    [[nodiscard]] static Deck small();
+    [[nodiscard]] static Deck medium();
+    /// Tiny deck for unit tests.
+    [[nodiscard]] static Deck tiny();
+};
+
+struct PhaseResult {
+    double seconds = 0;
+    double checksum = 0;  ///< flavor-independent validation value
+};
+
+/// The four computational phases of the suite (paper Figure 1's series).
+PhaseResult run_datagen(const Deck& deck, Flavor flavor, int nprocs);
+PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs);
+PhaseResult run_fft3d(const Deck& deck, Flavor flavor, int nprocs);
+PhaseResult run_findiff(const Deck& deck, Flavor flavor, int nprocs);
+
+struct SuiteResult {
+    std::array<PhaseResult, 4> phases;  ///< datagen, stack, fft3d, findiff
+    [[nodiscard]] double total_seconds() const {
+        double t = 0;
+        for (const auto& p : phases) t += p.seconds;
+        return t;
+    }
+};
+inline constexpr std::array<const char*, 4> kPhaseNames = {"data gen.", "stack", "3D FFT",
+                                                           "finite diff."};
+
+SuiteResult run_suite(const Deck& deck, Flavor flavor, int nprocs);
+
+/// Deterministic trace synthesis shared by datagen and stack setup.
+/// Exposed for tests.
+[[nodiscard]] std::vector<double> synthesize_traces(const Deck& deck);
+
+}  // namespace ap::seismic

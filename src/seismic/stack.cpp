@@ -1,0 +1,136 @@
+#include <cmath>
+
+#include "mpisim/mpisim.hpp"
+#include "runtime/sim.hpp"
+#include "seismic/seismic.hpp"
+
+namespace ap::seismic {
+
+namespace {
+
+/// Normal-moveout sample index for stacking shot `s` into trace position
+/// `t` at output sample `i`. All flavors share it bit-for-bit.
+inline int nmo_index(int s, int t, int i, int nsamples) {
+    const double offset = 1.0 + 0.35 * s + 0.01 * t;
+    const double shifted = std::sqrt(static_cast<double>(i) * i + offset * offset * 36.0);
+    const int j = static_cast<int>(shifted);
+    return j < nsamples ? j : nsamples - 1;
+}
+
+/// Stacks all shots into output trace t (serial kernel).
+void stack_trace(const double* data, double* out, int t, const Deck& deck) {
+    const std::size_t stride_shot =
+        static_cast<std::size_t>(deck.ntraces) * static_cast<std::size_t>(deck.nsamples);
+    for (int i = 0; i < deck.nsamples; ++i) out[i] = 0.0;
+    for (int s = 0; s < deck.nshots; ++s) {
+        const double* trace = data + static_cast<std::size_t>(s) * stride_shot +
+                              static_cast<std::size_t>(t) * deck.nsamples;
+        for (int i = 0; i < deck.nsamples; ++i) {
+            out[i] += trace[nmo_index(s, t, i, deck.nsamples)];
+        }
+    }
+    const double inv = 1.0 / deck.nshots;
+    for (int i = 0; i < deck.nsamples; ++i) out[i] *= inv;
+}
+
+double checksum_range(const double* data, std::size_t n) {
+    double sum = 0;
+    for (std::size_t i = 0; i < n; ++i) sum += std::fabs(data[i]);
+    return sum;
+}
+
+}  // namespace
+
+PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs) {
+    // Input wavefield synthesis is setup, not part of the timed phase.
+    const std::vector<double> data = synthesize_traces(deck);
+    const std::size_t out_size =
+        static_cast<std::size_t>(deck.ntraces) * static_cast<std::size_t>(deck.nsamples);
+    PhaseResult result;
+    runtime::SimCostModel model;
+    model.nprocs = nprocs;
+
+    if (flavor == Flavor::Mpi) {
+        mpisim::Communicator comm(nprocs);
+        std::vector<double> rank_cpu(static_cast<std::size_t>(nprocs), 0.0);
+        double checksum = 0;
+        comm.run([&](mpisim::Rank& r) {
+            const double cpu0 = runtime::thread_cpu_seconds();
+            const int per_rank = (deck.ntraces + r.size() - 1) / r.size();
+            const int t0 = r.rank() * per_rank;
+            const int t1 = std::min(deck.ntraces, t0 + per_rank);
+            std::vector<double> local(static_cast<std::size_t>(per_rank) * deck.nsamples, 0.0);
+            for (int t = t0; t < t1; ++t) {
+                stack_trace(data.data(),
+                            local.data() + static_cast<std::size_t>(t - t0) * deck.nsamples, t,
+                            deck);
+            }
+            const double sum = r.allreduce_sum(checksum_range(local.data(), local.size()));
+            auto gathered = r.gather(local, 0);
+            rank_cpu[static_cast<std::size_t>(r.rank())] = runtime::thread_cpu_seconds() - cpu0;
+            if (r.rank() == 0) checksum = sum;
+        });
+        double slowest = 0;
+        for (int r = 0; r < nprocs; ++r) {
+            const auto stats = comm.stats(r);
+            slowest = std::max(slowest, rank_cpu[static_cast<std::size_t>(r)] +
+                                            static_cast<double>(stats.messages) * model.msg_latency +
+                                            static_cast<double>(stats.bytes) / model.bandwidth);
+        }
+        result.seconds = slowest;
+        result.checksum = checksum / static_cast<double>(out_size);
+        return result;
+    }
+
+    std::vector<double> out(out_size, 0.0);
+    runtime::SimTimer sim(model);
+    switch (flavor) {
+        case Flavor::Serial:
+            sim.serial([&] {
+                for (int t = 0; t < deck.ntraces; ++t) {
+                    stack_trace(data.data(),
+                                out.data() + static_cast<std::size_t>(t) * deck.nsamples, t, deck);
+                }
+            });
+            break;
+        case Flavor::OuterParallel:
+            sim.parallel(0, deck.ntraces, [&](std::int64_t t) {
+                stack_trace(data.data(), out.data() + static_cast<std::size_t>(t) * deck.nsamples,
+                            static_cast<int>(t), deck);
+            });
+            break;
+        case Flavor::AutoInner: {
+            // Only the innermost sample loops parallelize: fork-joins per
+            // (trace) for the zero/scale loops and per (trace, shot) for
+            // the gather-add loop.
+            const std::size_t stride_shot =
+                static_cast<std::size_t>(deck.ntraces) * static_cast<std::size_t>(deck.nsamples);
+            for (int t = 0; t < deck.ntraces; ++t) {
+                double* o = out.data() + static_cast<std::size_t>(t) * deck.nsamples;
+                sim.parallel(0, deck.nsamples, [&](std::int64_t i) { o[i] = 0.0; },
+                             runtime::SimTimer::Bound::Memory);
+                for (int s = 0; s < deck.nshots; ++s) {
+                    const double* trace = data.data() + static_cast<std::size_t>(s) * stride_shot +
+                                          static_cast<std::size_t>(t) * deck.nsamples;
+                    sim.parallel(
+                        0, deck.nsamples,
+                        [&](std::int64_t i) {
+                            o[i] += trace[nmo_index(s, t, static_cast<int>(i), deck.nsamples)];
+                        },
+                        runtime::SimTimer::Bound::Memory);
+                }
+                const double inv = 1.0 / deck.nshots;
+                sim.parallel(0, deck.nsamples, [&](std::int64_t i) { o[i] *= inv; },
+                             runtime::SimTimer::Bound::Memory);
+            }
+            break;
+        }
+        case Flavor::Mpi:
+            break;  // handled above
+    }
+    result.seconds = sim.seconds();
+    result.checksum = checksum_range(out.data(), out.size()) / static_cast<double>(out_size);
+    return result;
+}
+
+}  // namespace ap::seismic

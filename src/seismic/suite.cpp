@@ -1,0 +1,14 @@
+#include "seismic/seismic.hpp"
+
+namespace ap::seismic {
+
+SuiteResult run_suite(const Deck& deck, Flavor flavor, int nprocs) {
+    SuiteResult result;
+    result.phases[0] = run_datagen(deck, flavor, nprocs);
+    result.phases[1] = run_stack(deck, flavor, nprocs);
+    result.phases[2] = run_fft3d(deck, flavor, nprocs);
+    result.phases[3] = run_findiff(deck, flavor, nprocs);
+    return result;
+}
+
+}  // namespace ap::seismic

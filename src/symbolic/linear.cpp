@@ -1,0 +1,234 @@
+#include "symbolic/linear.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ap::symbolic {
+
+bool Term::contains(const std::string& name) const {
+    return std::find(factors.begin(), factors.end(), name) != factors.end();
+}
+
+std::string Term::to_string() const {
+    std::string s;
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+        if (i) s += "*";
+        s += factors[i];
+    }
+    return s;
+}
+
+std::uint64_t& OpCounter::count() noexcept {
+    thread_local std::uint64_t c = 0;
+    return c;
+}
+
+LinearForm LinearForm::variable(const std::string& name) {
+    LinearForm f;
+    f.add_term(Term{{name}}, 1);
+    return f;
+}
+
+std::int64_t LinearForm::coeff_of(const std::string& name) const {
+    auto it = terms_.find(Term{{name}});
+    return it == terms_.end() ? 0 : it->second;
+}
+
+bool LinearForm::depends_on(const std::string& name) const {
+    for (const auto& [t, c] : terms_) {
+        if (t.contains(name)) return true;
+    }
+    return false;
+}
+
+bool LinearForm::affine_in(const std::string& name) const {
+    for (const auto& [t, c] : terms_) {
+        if (t.contains(name) && t.degree() != 1) return false;
+    }
+    return true;
+}
+
+std::vector<std::string> LinearForm::symbols() const {
+    std::vector<std::string> out;
+    for (const auto& [t, c] : terms_) {
+        for (const auto& f : t.factors) {
+            if (std::find(out.begin(), out.end(), f) == out.end()) out.push_back(f);
+        }
+    }
+    return out;
+}
+
+void LinearForm::add_term(Term t, std::int64_t coeff) {
+    if (coeff == 0) return;
+    auto [it, inserted] = terms_.emplace(std::move(t), coeff);
+    if (!inserted) {
+        it->second += coeff;
+        if (it->second == 0) terms_.erase(it);
+    }
+}
+
+LinearForm& LinearForm::operator+=(const LinearForm& o) {
+    OpCounter::bump();
+    constant_ += o.constant_;
+    for (const auto& [t, c] : o.terms_) add_term(t, c);
+    return *this;
+}
+
+LinearForm& LinearForm::operator-=(const LinearForm& o) {
+    OpCounter::bump();
+    constant_ -= o.constant_;
+    for (const auto& [t, c] : o.terms_) add_term(t, -c);
+    return *this;
+}
+
+LinearForm LinearForm::negate() const { return scaled(-1); }
+
+LinearForm LinearForm::scaled(std::int64_t k) const {
+    OpCounter::bump();
+    LinearForm out;
+    if (k == 0) return out;
+    out.constant_ = constant_ * k;
+    for (const auto& [t, c] : terms_) out.terms_.emplace(t, c * k);
+    return out;
+}
+
+LinearForm LinearForm::times(const LinearForm& o) const {
+    OpCounter::bump();
+    LinearForm out;
+    out.constant_ = constant_ * o.constant_;
+    for (const auto& [t, c] : terms_) out.add_term(t, c * o.constant_);
+    for (const auto& [t, c] : o.terms_) out.add_term(t, c * constant_);
+    for (const auto& [t1, c1] : terms_) {
+        for (const auto& [t2, c2] : o.terms_) {
+            Term prod;
+            prod.factors = t1.factors;
+            prod.factors.insert(prod.factors.end(), t2.factors.begin(), t2.factors.end());
+            std::sort(prod.factors.begin(), prod.factors.end());
+            out.add_term(std::move(prod), c1 * c2);
+        }
+    }
+    return out;
+}
+
+LinearForm LinearForm::substituted(const std::string& name, const LinearForm& value) const {
+    OpCounter::bump();
+    LinearForm out(constant_);
+    for (const auto& [t, c] : terms_) {
+        if (!t.contains(name)) {
+            out.add_term(t, c);
+            continue;
+        }
+        // Rebuild the term as a product, substituting each occurrence.
+        LinearForm prod(c);
+        for (const auto& f : t.factors) {
+            prod = (f == name) ? prod.times(value) : prod.times(LinearForm::variable(f));
+        }
+        out += prod;
+    }
+    return out;
+}
+
+std::string LinearForm::to_string() const {
+    std::ostringstream os;
+    bool first = true;
+    if (constant_ != 0 || terms_.empty()) {
+        os << constant_;
+        first = false;
+    }
+    for (const auto& [t, c] : terms_) {
+        if (c >= 0 && !first) os << " + ";
+        if (c < 0) os << (first ? "-" : " - ");
+        const std::int64_t mag = c < 0 ? -c : c;
+        if (mag != 1) os << mag << "*";
+        os << t.to_string();
+        first = false;
+    }
+    return os.str();
+}
+
+namespace {
+
+ConvertResult fail(ConvertFailure f) {
+    ConvertResult r;
+    r.failure = f;
+    return r;
+}
+
+ConvertResult convert(const ir::Expr& e, const std::map<std::string, std::int64_t>& constants) {
+    OpCounter::bump();
+    using ir::ExprKind;
+    switch (e.kind()) {
+        case ExprKind::IntConst:
+            return {LinearForm(static_cast<const ir::IntConst&>(e).value), ConvertFailure::None};
+        case ExprKind::RealConst: {
+            const double v = static_cast<const ir::RealConst&>(e).value;
+            const auto iv = static_cast<std::int64_t>(v);
+            if (static_cast<double>(iv) == v) return {LinearForm(iv), ConvertFailure::None};
+            return fail(ConvertFailure::NotInteger);
+        }
+        case ExprKind::LogicalConst:
+        case ExprKind::StrConst:
+            return fail(ConvertFailure::NotInteger);
+        case ExprKind::VarRef: {
+            const auto& name = static_cast<const ir::VarRef&>(e).name;
+            if (auto it = constants.find(name); it != constants.end()) {
+                return {LinearForm(it->second), ConvertFailure::None};
+            }
+            return {LinearForm::variable(name), ConvertFailure::None};
+        }
+        case ExprKind::ArrayRef:
+            return fail(ConvertFailure::Indirection);
+        case ExprKind::Unary: {
+            const auto& u = static_cast<const ir::Unary&>(e);
+            if (u.op != ir::UnaryOp::Neg) return fail(ConvertFailure::NonAffine);
+            auto r = convert(*u.operand, constants);
+            if (!r.ok()) return r;
+            return {r.form->negate(), ConvertFailure::None};
+        }
+        case ExprKind::Binary: {
+            const auto& b = static_cast<const ir::Binary&>(e);
+            auto l = convert(*b.lhs, constants);
+            if (!l.ok()) return l;
+            auto r = convert(*b.rhs, constants);
+            if (!r.ok()) return r;
+            switch (b.op) {
+                case ir::BinaryOp::Add: return {*l.form + *r.form, ConvertFailure::None};
+                case ir::BinaryOp::Sub: return {*l.form - *r.form, ConvertFailure::None};
+                case ir::BinaryOp::Mul: return {l.form->times(*r.form), ConvertFailure::None};
+                case ir::BinaryOp::Div:
+                    // Exact constant division only.
+                    if (r.form->is_constant() && r.form->constant() != 0) {
+                        const std::int64_t d = r.form->constant();
+                        // Exact division of every coefficient, else give up.
+                        if (l.form->constant() % d != 0) return fail(ConvertFailure::NonAffine);
+                        for (const auto& [t, c] : l.form->terms()) {
+                            if (c % d != 0) return fail(ConvertFailure::NonAffine);
+                        }
+                        LinearForm scaled_down(l.form->constant() / d);
+                        for (const auto& [t, c] : l.form->terms()) {
+                            LinearForm prod(c / d);
+                            for (const auto& f : t.factors) {
+                                prod = prod.times(LinearForm::variable(f));
+                            }
+                            scaled_down += prod;
+                        }
+                        return {scaled_down, ConvertFailure::None};
+                    }
+                    return fail(ConvertFailure::NonAffine);
+                default:
+                    return fail(ConvertFailure::NonAffine);
+            }
+        }
+        case ExprKind::Call:
+            return fail(ConvertFailure::NonAffine);
+    }
+    return fail(ConvertFailure::NonAffine);
+}
+
+}  // namespace
+
+ConvertResult to_linear(const ir::Expr& e, const std::map<std::string, std::int64_t>& constants) {
+    return convert(e, constants);
+}
+
+}  // namespace ap::symbolic

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace ap::symbolic {
+
+/// A product of symbol names, e.g. {N} or {M, N} for M*N. Factors are
+/// kept sorted so the term acts as a canonical map key. An empty factor
+/// list is not a valid Term (constants live in LinearForm::constant).
+struct Term {
+    std::vector<std::string> factors;
+
+    [[nodiscard]] int degree() const noexcept { return static_cast<int>(factors.size()); }
+    [[nodiscard]] bool contains(const std::string& name) const;
+    [[nodiscard]] std::string to_string() const;
+    auto operator<=>(const Term&) const = default;
+};
+
+/// Canonical multilinear form: constant + Σ coeff · term. This is the
+/// normal form all symbolic reasoning reduces to; expressions that cannot
+/// be brought into this form (division, calls, subscripted subscripts)
+/// fail conversion and the caller classifies the failure.
+class LinearForm {
+public:
+    LinearForm() = default;
+    explicit LinearForm(std::int64_t c) : constant_(c) {}
+
+    /// A form that is just one symbol.
+    [[nodiscard]] static LinearForm variable(const std::string& name);
+
+    [[nodiscard]] std::int64_t constant() const noexcept { return constant_; }
+    [[nodiscard]] const std::map<Term, std::int64_t>& terms() const noexcept { return terms_; }
+
+    [[nodiscard]] bool is_constant() const noexcept { return terms_.empty(); }
+    /// The coefficient of the degree-1 term in `name` (0 if absent).
+    [[nodiscard]] std::int64_t coeff_of(const std::string& name) const;
+    /// True if `name` occurs in any term (any degree).
+    [[nodiscard]] bool depends_on(const std::string& name) const;
+    /// True if every term containing `name` is exactly degree-1 {name}:
+    /// the form is affine in `name`.
+    [[nodiscard]] bool affine_in(const std::string& name) const;
+    /// All distinct symbols across terms.
+    [[nodiscard]] std::vector<std::string> symbols() const;
+
+    LinearForm& operator+=(const LinearForm& o);
+    LinearForm& operator-=(const LinearForm& o);
+    [[nodiscard]] friend LinearForm operator+(LinearForm a, const LinearForm& b) { return a += b; }
+    [[nodiscard]] friend LinearForm operator-(LinearForm a, const LinearForm& b) { return a -= b; }
+    [[nodiscard]] LinearForm negate() const;
+    [[nodiscard]] LinearForm scaled(std::int64_t k) const;
+    /// Full product, multiplying terms into higher-degree terms.
+    [[nodiscard]] LinearForm times(const LinearForm& o) const;
+
+    /// Replaces every occurrence of symbol `name` with `value`,
+    /// re-expanding products.
+    [[nodiscard]] LinearForm substituted(const std::string& name, const LinearForm& value) const;
+
+    [[nodiscard]] bool equals(const LinearForm& o) const {
+        return constant_ == o.constant_ && terms_ == o.terms_;
+    }
+    [[nodiscard]] bool is_zero() const noexcept { return constant_ == 0 && terms_.empty(); }
+
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    void add_term(Term t, std::int64_t coeff);
+
+    std::int64_t constant_ = 0;
+    std::map<Term, std::int64_t> terms_;
+};
+
+/// Global counter of symbolic-engine operations: conversions, arithmetic,
+/// comparisons. The paper's thesis is that this work dominates compile
+/// time for full applications; exposing the counter lets the metrics
+/// module report it alongside wall time.
+struct OpCounter {
+    static std::uint64_t& count() noexcept;
+    static void reset() noexcept { count() = 0; }
+    static void bump(std::uint64_t n = 1) noexcept { count() += n; }
+};
+
+/// Why an expression failed to convert to a LinearForm. The distinction
+/// feeds the paper's Figure-5 hindrance taxonomy.
+enum class ConvertFailure : unsigned char {
+    None,
+    Indirection,     ///< an ArrayRef occurs inside the expression
+    NonAffine,       ///< division, POW, call, or other non-polynomial operator
+    NotInteger,      ///< real/logical constants where integers are required
+};
+
+struct ConvertResult {
+    std::optional<LinearForm> form;
+    ConvertFailure failure = ConvertFailure::None;
+
+    [[nodiscard]] bool ok() const noexcept { return form.has_value(); }
+};
+
+/// Converts an integer-valued IR expression to canonical form.
+/// `constants` maps names (e.g. PARAMETERs or propagated constants) to
+/// values; names found there fold to constants during conversion.
+[[nodiscard]] ConvertResult to_linear(const ir::Expr& e,
+                                      const std::map<std::string, std::int64_t>& constants = {});
+
+}  // namespace ap::symbolic

@@ -1,0 +1,138 @@
+#include "symbolic/range.hpp"
+
+#include <algorithm>
+
+namespace ap::symbolic {
+
+namespace {
+
+std::optional<std::int64_t> mul_opt(std::optional<std::int64_t> a, std::optional<std::int64_t> b) {
+    if (!a || !b) return std::nullopt;
+    return *a * *b;
+}
+
+}  // namespace
+
+Prover::Interval Prover::bound_symbol(const std::string& name, int depth) const {
+    OpCounter::bump();
+    auto it = env_->find(name);
+    if (it == env_->end()) {
+        blockers_.insert(name);
+        return {};
+    }
+    Interval out;
+    if (depth <= 0) return out;
+    if (it->second.lo) {
+        out.lo = bound_form(*it->second.lo, depth - 1).lo;
+    } else {
+        blockers_.insert(name);
+    }
+    if (it->second.hi) {
+        out.hi = bound_form(*it->second.hi, depth - 1).hi;
+    } else {
+        blockers_.insert(name);
+    }
+    return out;
+}
+
+Prover::Interval Prover::bound_term(const Term& t, int depth) const {
+    OpCounter::bump();
+    // Degree-1 terms keep one-sided intervals intact.
+    if (t.factors.size() == 1) return bound_symbol(t.factors[0], depth);
+    Interval acc{1, 1};
+    for (const auto& f : t.factors) {
+        const Interval fi = bound_symbol(f, depth);
+        // General interval multiplication over possibly-missing sides:
+        // combinations of the available endpoints; a missing side of
+        // either operand makes the dependent side missing unless sign
+        // information saves it. We keep it simple and correct: require
+        // both sides of both operands, else the result side is unknown.
+        if (!acc.lo || !acc.hi || !fi.lo || !fi.hi) {
+            // Preserve a one-sided product only for provably nonnegative
+            // factors: lo*lo is then still a valid lower bound.
+            if (acc.lo && fi.lo && *acc.lo >= 0 && *fi.lo >= 0) {
+                acc = Interval{mul_opt(acc.lo, fi.lo), std::nullopt};
+                continue;
+            }
+            return {};
+        }
+        const std::int64_t c1 = *acc.lo * *fi.lo;
+        const std::int64_t c2 = *acc.lo * *fi.hi;
+        const std::int64_t c3 = *acc.hi * *fi.lo;
+        const std::int64_t c4 = *acc.hi * *fi.hi;
+        acc.lo = std::min({c1, c2, c3, c4});
+        acc.hi = std::max({c1, c2, c3, c4});
+    }
+    return acc;
+}
+
+Prover::Interval Prover::bound_form(const LinearForm& f, int depth) const {
+    OpCounter::bump();
+    Interval out{f.constant(), f.constant()};
+    for (const auto& [t, c] : f.terms()) {
+        const Interval ti = bound_term(t, depth);
+        std::optional<std::int64_t> contrib_lo, contrib_hi;
+        if (c > 0) {
+            contrib_lo = ti.lo ? std::optional(c * *ti.lo) : std::nullopt;
+            contrib_hi = ti.hi ? std::optional(c * *ti.hi) : std::nullopt;
+        } else {
+            contrib_lo = ti.hi ? std::optional(c * *ti.hi) : std::nullopt;
+            contrib_hi = ti.lo ? std::optional(c * *ti.lo) : std::nullopt;
+        }
+        out.lo = (out.lo && contrib_lo) ? std::optional(*out.lo + *contrib_lo) : std::nullopt;
+        out.hi = (out.hi && contrib_hi) ? std::optional(*out.hi + *contrib_hi) : std::nullopt;
+        if (!out.lo && !out.hi) return out;
+    }
+    return out;
+}
+
+std::optional<std::int64_t> Prover::lower_bound(const LinearForm& f) const {
+    return bound_form(f, depth_limit_).lo;
+}
+
+std::optional<std::int64_t> Prover::upper_bound(const LinearForm& f) const {
+    return bound_form(f, depth_limit_).hi;
+}
+
+Proof Prover::prove_nonneg(const LinearForm& f) const {
+    if (f.is_constant()) return f.constant() >= 0 ? Proof::Proven : Proof::Disproven;
+    const Interval i = bound_form(f, depth_limit_);
+    if (i.lo && *i.lo >= 0) return Proof::Proven;
+    if (i.hi && *i.hi < 0) return Proof::Disproven;
+    return Proof::Unknown;
+}
+
+Proof Prover::prove_pos(const LinearForm& f) const {
+    if (f.is_constant()) return f.constant() > 0 ? Proof::Proven : Proof::Disproven;
+    const Interval i = bound_form(f, depth_limit_);
+    if (i.lo && *i.lo > 0) return Proof::Proven;
+    if (i.hi && *i.hi <= 0) return Proof::Disproven;
+    return Proof::Unknown;
+}
+
+std::optional<LinearForm> eliminate_extreme(
+    LinearForm f, const std::vector<std::pair<std::string, SymRange>>& vars_inner_to_outer,
+    bool maximize) {
+    for (const auto& [var, range] : vars_inner_to_outer) {
+        if (!f.depends_on(var)) continue;
+        if (!f.affine_in(var)) return std::nullopt;
+        const std::int64_t c = f.coeff_of(var);
+        const bool want_hi = (c > 0) == maximize;
+        const auto& side = want_hi ? range.hi : range.lo;
+        if (!side) return std::nullopt;
+        f = f.substituted(var, *side);
+    }
+    return f;
+}
+
+Proof Prover::prove_eq(const LinearForm& a, const LinearForm& b) const {
+    const LinearForm d = a - b;
+    if (d.is_zero()) return Proof::Proven;
+    if (d.is_constant()) return Proof::Disproven;
+    const Interval i = bound_form(d, depth_limit_);
+    if (i.lo && i.hi && *i.lo == 0 && *i.hi == 0) return Proof::Proven;
+    if ((i.lo && *i.lo > 0) || (i.hi && *i.hi < 0)) return Proof::Disproven;
+    return Proof::Unknown;
+}
+
+}  // namespace ap::symbolic

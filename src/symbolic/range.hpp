@@ -1,0 +1,89 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "symbolic/linear.hpp"
+
+namespace ap::symbolic {
+
+/// Symbolic interval for a variable. A missing side means unbounded in
+/// that direction; a variable missing from the environment entirely is
+/// the paper's "rangeless variable" (§3).
+struct SymRange {
+    std::optional<LinearForm> lo;
+    std::optional<LinearForm> hi;
+
+    [[nodiscard]] static SymRange exactly(std::int64_t v) {
+        return {LinearForm(v), LinearForm(v)};
+    }
+    [[nodiscard]] static SymRange between(LinearForm l, LinearForm h) {
+        return {std::move(l), std::move(h)};
+    }
+    [[nodiscard]] bool bounded() const noexcept { return lo.has_value() && hi.has_value(); }
+};
+
+/// Name → range. Loop analyses layer environments: routine-level facts
+/// (parameters, clamped READ variables) plus the ranges of enclosing loop
+/// indices.
+using RangeEnv = std::map<std::string, SymRange>;
+
+enum class Proof : unsigned char { Proven, Disproven, Unknown };
+
+/// Resolves symbolic relations against a RangeEnv by recursively bounding
+/// linear forms to integer intervals. Every failed lookup is recorded in
+/// `blockers()` — the set of rangeless symbols that prevented a proof,
+/// which drives the Rangeless hindrance classification.
+class Prover {
+public:
+    explicit Prover(const RangeEnv& env, int max_depth = 8) : env_(&env), depth_limit_(max_depth) {}
+
+    /// Constant bounds of a form under the environment, if derivable.
+    [[nodiscard]] std::optional<std::int64_t> lower_bound(const LinearForm& f) const;
+    [[nodiscard]] std::optional<std::int64_t> upper_bound(const LinearForm& f) const;
+
+    /// Attempts to prove f >= 0 / f > 0 / f == 0.
+    [[nodiscard]] Proof prove_nonneg(const LinearForm& f) const;
+    [[nodiscard]] Proof prove_pos(const LinearForm& f) const;
+    /// a <= b, a < b, a == b as difference proofs.
+    [[nodiscard]] Proof prove_le(const LinearForm& a, const LinearForm& b) const {
+        return prove_nonneg(b - a);
+    }
+    [[nodiscard]] Proof prove_lt(const LinearForm& a, const LinearForm& b) const {
+        return prove_pos(b - a);
+    }
+    [[nodiscard]] Proof prove_eq(const LinearForm& a, const LinearForm& b) const;
+
+    /// Symbols whose missing ranges blocked at least one bound derivation
+    /// since construction (accumulates across queries).
+    [[nodiscard]] const std::set<std::string>& blockers() const noexcept { return blockers_; }
+    void clear_blockers() { blockers_.clear(); }
+
+private:
+    struct Interval {
+        std::optional<std::int64_t> lo;
+        std::optional<std::int64_t> hi;
+    };
+    [[nodiscard]] Interval bound_form(const LinearForm& f, int depth) const;
+    [[nodiscard]] Interval bound_symbol(const std::string& name, int depth) const;
+    [[nodiscard]] Interval bound_term(const Term& t, int depth) const;
+
+    const RangeEnv* env_;
+    int depth_limit_;
+    mutable std::set<std::string> blockers_;
+};
+
+/// Symbolically eliminates the given variables from `f` by substituting
+/// each with the range endpoint that extremizes the form (hi for positive
+/// coefficients when maximizing, lo otherwise). Variables are processed
+/// in the given order — pass loop indices innermost-first so triangular
+/// bounds (an inner bound mentioning an outer index) resolve correctly.
+/// Fails (nullopt) when `f` is non-affine in a variable being eliminated
+/// or the needed range side is missing.
+[[nodiscard]] std::optional<LinearForm> eliminate_extreme(
+    LinearForm f, const std::vector<std::pair<std::string, SymRange>>& vars_inner_to_outer,
+    bool maximize);
+
+}  // namespace ap::symbolic

@@ -1,0 +1,985 @@
+#include <gtest/gtest.h>
+
+#include "analysis/access.hpp"
+#include "analysis/alias.hpp"
+#include "analysis/callgraph.hpp"
+#include "analysis/constprop.hpp"
+#include "analysis/gsa.hpp"
+#include "analysis/induction.hpp"
+#include "analysis/inline.hpp"
+#include "analysis/privatization.hpp"
+#include "analysis/ranges.hpp"
+#include "analysis/reduction.hpp"
+#include "analysis/regions.hpp"
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::analysis {
+namespace {
+
+const ir::DoLoop& first_loop(const ir::Routine& r) {
+    const ir::DoLoop* found = nullptr;
+    ir::for_each_stmt(r.body, [&](const ir::Stmt& s) {
+        if (!found && s.kind() == ir::StmtKind::Do) found = &static_cast<const ir::DoLoop&>(s);
+    });
+    EXPECT_NE(found, nullptr);
+    return *found;
+}
+
+// --- access ----------------------------------------------------------------
+
+TEST(Access, ClassifiesReadsAndWrites) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N, I
+  DO I = 1, N
+    A(I) = B(I) + A(I - 1)
+  END DO
+  RETURN
+END
+)");
+    const auto info = collect_accesses(prog.find("S")->body);
+    int writes = 0, reads = 0;
+    for (const auto& a : info.arrays) {
+        (a.is_write ? writes : reads)++;
+    }
+    EXPECT_EQ(writes, 1);
+    EXPECT_EQ(reads, 2);
+    // Loop var I: written by the DO, read in subscripts.
+    EXPECT_TRUE(info.scalar_written("I"));
+}
+
+TEST(Access, GuardDepthAndLoopsTracked) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, FLAG)
+  REAL A(N)
+  INTEGER N, I
+  LOGICAL FLAG
+  DO I = 1, N
+    IF (FLAG) THEN
+      A(I) = 0.0
+    END IF
+  END DO
+  RETURN
+END
+)");
+    const auto info = collect_accesses(prog.find("S")->body);
+    const ArrayAccess* w = nullptr;
+    for (const auto& a : info.arrays) {
+        if (a.is_write) w = &a;
+    }
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->guard_depth, 1);
+    ASSERT_EQ(w->loops.size(), 1u);
+    EXPECT_EQ(w->loops[0]->var, "I");
+}
+
+TEST(Access, IoAndCallsRecorded) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  INTEGER N
+  READ *, N
+  CALL WORK(N)
+  PRINT *, N
+END
+SUBROUTINE WORK(N)
+  INTEGER N
+  RETURN
+END
+)");
+    const auto info = collect_accesses(prog.main()->body);
+    EXPECT_TRUE(info.has_io);
+    ASSERT_EQ(info.calls.size(), 1u);
+    EXPECT_EQ(info.calls[0]->name, "WORK");
+}
+
+// --- call graph --------------------------------------------------------------
+
+constexpr const char* kCallGraphProgram = R"(
+PROGRAM MAIN
+  CALL A
+  CALL B
+END
+SUBROUTINE A
+  INTEGER I
+  DO I = 1, 10
+    CALL C(I)
+  END DO
+  RETURN
+END
+SUBROUTINE B
+  CALL C(1)
+  RETURN
+END
+SUBROUTINE C(K)
+  INTEGER K
+  RETURN
+END
+)";
+
+TEST(CallGraph, EdgesAndReachability) {
+    auto prog = frontend::parse(kCallGraphProgram);
+    CallGraph cg(prog);
+    EXPECT_TRUE(cg.callees_of("MAIN").contains("A"));
+    EXPECT_TRUE(cg.callees_of("A").contains("C"));
+    EXPECT_TRUE(cg.callers_of("C").contains("B"));
+    const auto reach = cg.reachable_from("MAIN");
+    EXPECT_EQ(reach.size(), 4u);
+    EXPECT_EQ(cg.reachable_from("B").size(), 2u);
+}
+
+TEST(CallGraph, LoopDepthAtCallSites) {
+    auto prog = frontend::parse(kCallGraphProgram);
+    CallGraph cg(prog);
+    for (const auto& site : cg.call_sites()) {
+        if (site.caller->name == "A") EXPECT_EQ(site.loop_depth, 1);
+        if (site.caller->name == "B") EXPECT_EQ(site.loop_depth, 0);
+    }
+}
+
+TEST(CallGraph, DepthFromMainIsLongestPath) {
+    auto prog = frontend::parse(kCallGraphProgram);
+    CallGraph cg(prog);
+    EXPECT_EQ(cg.depth_from_main("MAIN"), 0);
+    EXPECT_EQ(cg.depth_from_main("A"), 1);
+    EXPECT_EQ(cg.depth_from_main("C"), 2);
+    EXPECT_EQ(cg.depth_from_main("NOSUCH"), -1);
+}
+
+TEST(CallGraph, BottomUpOrderPutsCalleesFirst) {
+    auto prog = frontend::parse(kCallGraphProgram);
+    CallGraph cg(prog);
+    const auto order = cg.bottom_up_order();
+    auto pos = [&](const std::string& n) {
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            if (order[i]->name == n) return static_cast<int>(i);
+        }
+        return -1;
+    };
+    EXPECT_LT(pos("C"), pos("A"));
+    EXPECT_LT(pos("A"), pos("MAIN"));
+}
+
+// --- constant propagation ----------------------------------------------------
+
+TEST(ConstProp, ParametersAndLocalChains) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  PARAMETER (N = 100)
+  INTEGER M, K
+  M = N * 2
+  K = M + 1
+  CALL USE(K)
+END
+SUBROUTINE USE(K)
+  INTEGER K
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto result = propagate_constants(prog, cg);
+    const auto& main_consts = result.of("P");
+    EXPECT_EQ(main_consts.at("N"), 100);
+    EXPECT_EQ(main_consts.at("M"), 200);
+    EXPECT_EQ(main_consts.at("K"), 201);
+    // And into the callee.
+    EXPECT_EQ(result.of("USE").at("K"), 201);
+}
+
+TEST(ConstProp, ReadPoisonsConstant) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  INTEGER N
+  N = 5
+  READ *, N
+  CALL USE(N)
+END
+SUBROUTINE USE(K)
+  INTEGER K
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto result = propagate_constants(prog, cg);
+    EXPECT_FALSE(result.of("P").contains("N"));
+    EXPECT_FALSE(result.of("USE").contains("K"));
+}
+
+TEST(ConstProp, DisagreeingCallSitesBlockPropagation) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  CALL USE(1)
+  CALL USE(2)
+  CALL BOTH(7)
+  CALL BOTH(7)
+END
+SUBROUTINE USE(K)
+  INTEGER K
+  RETURN
+END
+SUBROUTINE BOTH(K)
+  INTEGER K
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto result = propagate_constants(prog, cg);
+    EXPECT_FALSE(result.of("USE").contains("K"));
+    EXPECT_EQ(result.of("BOTH").at("K"), 7);
+}
+
+// --- ranges -------------------------------------------------------------------
+
+TEST(Ranges, ClampGuardsBoundReadInputs) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  INTEGER N, M, L
+  READ *, N, M, L
+  IF (N .GT. 1000) STOP
+  IF (N .LT. 1) STOP
+  IF (M .GT. 50) M = 50
+END
+)");
+    CallGraph cg(prog);
+    auto consts = propagate_constants(prog, cg);
+    auto info = analyze_ranges(*prog.main(), consts.of("P"));
+    EXPECT_TRUE(info.runtime_inputs.contains("N"));
+    ASSERT_TRUE(info.env.contains("N"));
+    symbolic::Prover prover(info.env);
+    EXPECT_EQ(prover.upper_bound(symbolic::LinearForm::variable("N")), 1000);
+    EXPECT_EQ(prover.lower_bound(symbolic::LinearForm::variable("N")), 1);
+    EXPECT_EQ(prover.upper_bound(symbolic::LinearForm::variable("M")), 50);
+    // L is rangeless: absent from env.
+    EXPECT_FALSE(info.env.contains("L"));
+}
+
+TEST(Ranges, PushLoopRangeHandlesNegativeStep) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  INTEGER I
+  DO I = 10, 2, -1
+    CALL F(I)
+  END DO
+END
+)");
+    const auto& loop = first_loop(*prog.main());
+    symbolic::RangeEnv env;
+    push_loop_range(env, loop, {});
+    symbolic::Prover prover(env);
+    EXPECT_EQ(prover.lower_bound(symbolic::LinearForm::variable("I")), 2);
+    EXPECT_EQ(prover.upper_bound(symbolic::LinearForm::variable("I")), 10);
+}
+
+// --- GSA -----------------------------------------------------------------------
+
+TEST(Gsa, GatesAndGammasCountConditionals) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(IMIN, X)
+  INTEGER IMIN
+  REAL X
+  IF (IMIN .EQ. 1) THEN
+    X = 1.0
+  ELSE
+    X = 2.0
+  END IF
+  RETURN
+END
+)");
+    auto gsa = build_gsa(*prog.find("S"));
+    EXPECT_EQ(gsa.defs_of("X").size(), 2u);
+    EXPECT_EQ(gsa.gamma_count, 1u);  // one merge for X at the IF join
+    EXPECT_EQ(gsa.gate_count, 2u);   // each def carries one guard
+    EXPECT_EQ(gsa.context_count("X"), 1u);
+}
+
+TEST(Gsa, MultifunctionalityMultipliesContexts) {
+    // k independent option flags => defs under distinct guard contexts.
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(I1, I2, X)
+  INTEGER I1, I2
+  REAL X
+  X = 0.0
+  IF (I1 .EQ. 1) THEN
+    X = 1.0
+  END IF
+  IF (I2 .EQ. 1) THEN
+    X = 2.0
+  END IF
+  RETURN
+END
+)");
+    auto gsa = build_gsa(*prog.find("S"));
+    EXPECT_EQ(gsa.defs_of("X").size(), 3u);
+    EXPECT_EQ(gsa.context_count("X"), 3u);
+    EXPECT_EQ(gsa.gamma_count, 2u);
+}
+
+// --- reductions ------------------------------------------------------------------
+
+TEST(Reduction, RecognizesScalarSum) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, TOTAL)
+  REAL A(N), TOTAL
+  INTEGER N, I
+  DO I = 1, N
+    TOTAL = TOTAL + A(I)
+  END DO
+  RETURN
+END
+)");
+    auto reds = find_reductions(first_loop(*prog.find("S")));
+    ASSERT_EQ(reds.size(), 1u);
+    EXPECT_EQ(reds[0].var, "TOTAL");
+    EXPECT_EQ(reds[0].op, ir::ReductionOp::Sum);
+    EXPECT_FALSE(reds[0].is_array);
+}
+
+TEST(Reduction, RecognizesMinMaxAndProduct) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, BIG, SMALL, PROD)
+  REAL A(N), BIG, SMALL, PROD
+  INTEGER N, I
+  DO I = 1, N
+    BIG = MAX(BIG, A(I))
+    SMALL = MIN(A(I), SMALL)
+    PROD = PROD * A(I)
+  END DO
+  RETURN
+END
+)");
+    auto reds = find_reductions(first_loop(*prog.find("S")));
+    ASSERT_EQ(reds.size(), 3u);
+}
+
+TEST(Reduction, OtherUsesDisqualify) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, TOTAL)
+  REAL A(N), TOTAL
+  INTEGER N, I
+  DO I = 1, N
+    TOTAL = TOTAL + A(I)
+    A(I) = TOTAL
+  END DO
+  RETURN
+END
+)");
+    auto reds = find_reductions(first_loop(*prog.find("S")));
+    EXPECT_TRUE(reds.empty());
+}
+
+TEST(Reduction, ArrayReductionWithIdenticalSubscripts) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(HIST, IDX, N)
+  REAL HIST(64)
+  INTEGER IDX(N), N, I
+  DO I = 1, N
+    HIST(IDX(I)) = HIST(IDX(I)) + 1.0
+  END DO
+  RETURN
+END
+)");
+    auto reds = find_reductions(first_loop(*prog.find("S")));
+    ASSERT_EQ(reds.size(), 1u);
+    EXPECT_EQ(reds[0].var, "HIST");
+    EXPECT_TRUE(reds[0].is_array);
+}
+
+TEST(Reduction, MixedOperatorsDisqualify) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, T)
+  REAL A(N), T
+  INTEGER N, I
+  DO I = 1, N
+    T = T + A(I)
+    T = T * 2.0
+  END DO
+  RETURN
+END
+)");
+    EXPECT_TRUE(find_reductions(first_loop(*prog.find("S"))).empty());
+}
+
+// --- induction --------------------------------------------------------------------
+
+TEST(Induction, SubstitutesClassicPattern) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, M)
+  REAL A(N)
+  INTEGER N, M, I, K
+  K = 0
+  DO I = 1, N
+    K = K + M
+    A(K) = 1.0
+  END DO
+  CALL USE(K)
+  RETURN
+END
+)");
+    auto* s = prog.find("S");
+    // The loop is body[1] (after K = 0).
+    auto vars = substitute_inductions(s->body, 1);
+    ASSERT_EQ(vars.size(), 1u);
+    EXPECT_EQ(vars[0], "K");
+    const auto& loop = static_cast<const ir::DoLoop&>(*s->body[1]);
+    // Increment removed: body is just the array assignment.
+    ASSERT_EQ(loop.body.size(), 1u);
+    const std::string src = ir::to_source(loop.body[0]->clone() ? *loop.body[0] : *loop.body[0]);
+    EXPECT_NE(src.find("K + M * (I - 1 + 1)"), std::string::npos) << src;
+    // Post-loop fixup inserted before CALL USE.
+    const std::string fix = ir::to_source(*s->body[2]);
+    EXPECT_NE(fix.find("K = K + M * (N - 1 + 1)"), std::string::npos) << fix;
+}
+
+TEST(Induction, RefusesNonUnitStepAndMultipleWrites) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N)
+  REAL A(N)
+  INTEGER N, I, K, J
+  K = 0
+  DO I = 1, N, 2
+    K = K + 1
+    A(K) = 1.0
+  END DO
+  J = 0
+  DO I = 1, N
+    J = J + 1
+    J = J + 2
+    A(J) = 1.0
+  END DO
+  RETURN
+END
+)");
+    auto* s = prog.find("S");
+    EXPECT_TRUE(substitute_inductions(s->body, 1).empty());
+    EXPECT_TRUE(substitute_inductions(s->body, 3).empty());
+}
+
+TEST(Induction, RoutineWideHandlesNesting) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, M)
+  REAL A(N)
+  INTEGER N, M, I, J, K
+  K = 0
+  DO I = 1, N
+    DO J = 1, M
+      K = K + 1
+      A(K) = 1.0
+    END DO
+  END DO
+  RETURN
+END
+)");
+    auto* s = prog.find("S");
+    const int count = substitute_inductions_in_routine(*s);
+    // Inner substitution plus the outer one enabled by the inner fixup.
+    EXPECT_EQ(count, 2);
+    // No K = K + 1 remains inside any loop.
+    bool increment_left = false;
+    ir::for_each_stmt(s->body, [&](const ir::Stmt& st) {
+        if (st.kind() != ir::StmtKind::Do) return;
+        ir::for_each_stmt(static_cast<const ir::DoLoop&>(st).body, [&](const ir::Stmt& inner) {
+            if (inner.kind() == ir::StmtKind::Assign) {
+                const auto& a = static_cast<const ir::Assign&>(inner);
+                if (a.lhs->kind() == ir::ExprKind::VarRef &&
+                    static_cast<const ir::VarRef&>(*a.lhs).name == "K") {
+                    increment_left = true;
+                }
+            }
+        });
+    });
+    EXPECT_FALSE(increment_left);
+}
+
+// --- privatization ---------------------------------------------------------------
+
+TEST(Privatization, ScalarTempIsPrivate) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N), T
+  INTEGER N, I
+  DO I = 1, N
+    T = B(I) * 2.0
+    A(I) = T + 1.0
+  END DO
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    auto res = privatize(first_loop(*s), *s, {}, {});
+    EXPECT_TRUE(res.is_private("T"));
+}
+
+TEST(Privatization, ReadBeforeWriteFails) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, T)
+  REAL A(N), T
+  INTEGER N, I
+  DO I = 1, N
+    A(I) = T
+    T = A(I) * 2.0
+  END DO
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    auto res = privatize(first_loop(*s), *s, {}, {});
+    EXPECT_FALSE(res.is_private("T"));
+}
+
+TEST(Privatization, LiveOutScalarFails) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N)
+  REAL A(N), T
+  INTEGER N, I
+  DO I = 1, N
+    T = A(I)
+    A(I) = T * 2.0
+  END DO
+  A(1) = T
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    auto res = privatize(first_loop(*s), *s, {}, {});
+    EXPECT_FALSE(res.is_private("T"));
+}
+
+TEST(Privatization, LocalScratchArrayCoveredByWrites) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, M)
+  REAL A(N), W(100)
+  INTEGER N, M, I, J
+  IF (M .GT. 100) STOP
+  IF (M .LT. 1) STOP
+  DO I = 1, N
+    DO J = 1, M
+      W(J) = A(I) * J
+    END DO
+    DO J = 1, M
+      A(I) = A(I) + W(J)
+    END DO
+  END DO
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    CallGraph cg(prog);
+    auto consts = propagate_constants(prog, cg);
+    auto rinfo = analyze_ranges(*s, consts.of("S"));
+    auto res = privatize(first_loop(*s), *s, rinfo.env, consts.of("S"));
+    EXPECT_TRUE(res.is_private("W"));
+}
+
+TEST(Privatization, DummyArrayFailsLiveness) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, W, N)
+  REAL A(N), W(N)
+  INTEGER N, I
+  DO I = 1, N
+    W(I) = A(I)
+    A(I) = W(I) * 2.0
+  END DO
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    auto res = privatize(first_loop(*s), *s, {}, {});
+    EXPECT_FALSE(res.is_private("W"));
+    bool found = false;
+    for (const auto& f : res.failures) {
+        if (f.name == "W") {
+            found = true;
+            EXPECT_NE(f.reason.find("dummy"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Privatization, PartialWriteDoesNotCoverReads) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N)
+  REAL A(N), W(100)
+  INTEGER N, I, J
+  DO I = 1, N
+    DO J = 1, 50
+      W(J) = A(I)
+    END DO
+    DO J = 1, 100
+      A(I) = A(I) + W(J)
+    END DO
+  END DO
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    auto res = privatize(first_loop(*s), *s, {}, {});
+    EXPECT_FALSE(res.is_private("W"));
+}
+
+// --- alias ----------------------------------------------------------------------
+
+TEST(Alias, SameActualToTwoDummies) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL X(10)
+  CALL S(X, X, 10)
+END
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto aliases = analyze_aliases(prog, cg);
+    EXPECT_TRUE(aliases["S"].may_alias("A", "B"));
+    EXPECT_FALSE(aliases["P"].may_alias("X", "X"));
+}
+
+TEST(Alias, SectionsOfSameArrayAlias) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL RA(1000)
+  CALL S(RA(1), RA(501), 500)
+END
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto aliases = analyze_aliases(prog, cg);
+    EXPECT_TRUE(aliases["S"].may_alias("A", "B"));
+}
+
+TEST(Alias, EquivalencePropagatesThroughCalls) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL X(10), Y(10)
+  EQUIVALENCE (X(1), Y(1))
+  CALL S(X, Y, 10)
+END
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto aliases = analyze_aliases(prog, cg);
+    EXPECT_TRUE(aliases["P"].may_alias("X", "Y"));
+    EXPECT_TRUE(aliases["S"].may_alias("A", "B"));
+}
+
+TEST(Alias, TransitiveDownCallChain) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL X(10)
+  CALL S1(X, X)
+END
+SUBROUTINE S1(A, B)
+  REAL A(10), B(10)
+  CALL S2(A, B)
+  RETURN
+END
+SUBROUTINE S2(U, V)
+  REAL U(10), V(10)
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto aliases = analyze_aliases(prog, cg);
+    EXPECT_TRUE(aliases["S2"].may_alias("U", "V"));
+}
+
+TEST(Alias, DistinctArraysDoNotAlias) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL X(10), Y(10)
+  CALL S(X, Y, 10)
+END
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto aliases = analyze_aliases(prog, cg);
+    EXPECT_FALSE(aliases["S"].may_alias("A", "B"));
+}
+
+// --- regions ---------------------------------------------------------------------
+
+TEST(Regions, LinearizeColumnMajor) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, M)
+  REAL A(N, M)
+  INTEGER N, M
+  A(2, 3) = 0.0
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    const auto info = collect_accesses(s->body);
+    ASSERT_EQ(info.arrays.size(), 1u);
+    auto lin = linearize(*info.arrays[0].ref, *s, {});
+    ASSERT_TRUE(lin.offset.has_value());
+    // offset = (2-1) + (3-1)*N = 1 + 2N
+    EXPECT_EQ(lin.offset->constant(), 1);
+    EXPECT_EQ(lin.offset->coeff_of("N"), 2);
+}
+
+TEST(Regions, SummaryOverDummyArray) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE FILL(A, N)
+  REAL A(N)
+  INTEGER N, I
+  DO I = 1, N
+    A(I) = 0.0
+  END DO
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto consts = propagate_constants(prog, cg);
+    auto summaries = summarize_program(prog, cg, consts);
+    const auto& sum = summaries.at("FILL");
+    ASSERT_EQ(sum.regions.size(), 1u);
+    const auto& region = sum.regions[0];
+    EXPECT_EQ(region.storage, "A");
+    EXPECT_TRUE(region.is_write);
+    ASSERT_TRUE(region.lo && region.hi);
+    EXPECT_EQ(region.lo->constant(), 0);   // A(1) -> offset 0
+    EXPECT_EQ(region.hi->coeff_of("N"), 1);
+    EXPECT_EQ(region.hi->constant(), -1);  // A(N) -> offset N-1
+}
+
+TEST(Regions, CallSiteMappingShiftsSections) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL RA(1000)
+  CALL FILL(RA(101), 50)
+END
+SUBROUTINE FILL(A, N)
+  REAL A(N)
+  INTEGER N, I
+  DO I = 1, N
+    A(I) = 0.0
+  END DO
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto consts = propagate_constants(prog, cg);
+    auto summaries = summarize_program(prog, cg, consts);
+    const auto sites = cg.sites_calling("FILL");
+    ASSERT_EQ(sites.size(), 1u);
+    auto mapped = map_call_regions(*sites[0], summaries.at("FILL"), consts.of("P"));
+    ASSERT_EQ(mapped.size(), 1u);
+    EXPECT_EQ(mapped[0].storage, "RA");
+    ASSERT_TRUE(mapped[0].lo && mapped[0].hi);
+    // RA(101)..RA(150) -> offsets 100..149 (N=50 propagated).
+    EXPECT_EQ(mapped[0].lo->constant(), 100);
+    EXPECT_EQ(mapped[0].hi->constant(), 149);
+}
+
+TEST(Regions, CommonStorageUnifiesAcrossRoutines) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE W1
+  COMMON /BLK/ X(10), Y(20)
+  INTEGER I
+  DO I = 1, 20
+    Y(I) = 0.0
+  END DO
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto consts = propagate_constants(prog, cg);
+    auto summaries = summarize_program(prog, cg, consts);
+    const auto& sum = summaries.at("W1");
+    ASSERT_EQ(sum.regions.size(), 1u);
+    EXPECT_EQ(sum.regions[0].storage, "/BLK");
+    ASSERT_TRUE(sum.regions[0].lo && sum.regions[0].hi);
+    EXPECT_EQ(sum.regions[0].lo->constant(), 10);  // after X(10)
+    EXPECT_EQ(sum.regions[0].hi->constant(), 29);
+}
+
+TEST(Regions, IndirectionYieldsUnknownRegion) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, IDX, N)
+  REAL A(N)
+  INTEGER IDX(N), N, I
+  DO I = 1, N
+    A(IDX(I)) = 0.0
+  END DO
+  RETURN
+END
+)");
+    CallGraph cg(prog);
+    auto consts = propagate_constants(prog, cg);
+    auto summaries = summarize_program(prog, cg, consts);
+    const auto& sum = summaries.at("S");
+    bool found_unknown_write = false;
+    for (const auto& region : sum.regions) {
+        if (region.storage == "A" && region.is_write) {
+            EXPECT_TRUE(region.unknown());
+            EXPECT_EQ(region.why_unknown, symbolic::ConvertFailure::Indirection);
+            found_unknown_write = true;
+        }
+    }
+    EXPECT_TRUE(found_unknown_write);
+}
+
+TEST(Regions, OpaqueForeignPropagatesUp) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL BUF(10)
+  CALL CWRITE(BUF, 10)
+END
+EXTERNAL SUBROUTINE CWRITE(B, N)
+END
+)");
+    CallGraph cg(prog);
+    auto consts = propagate_constants(prog, cg);
+    auto summaries = summarize_program(prog, cg, consts);
+    EXPECT_TRUE(summaries.at("CWRITE").opaque);
+    EXPECT_TRUE(summaries.at("P").opaque);
+}
+
+TEST(Regions, ForeignWithEffectsIsNotOpaque) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL BUF(10)
+  INTEGER N
+  N = 10
+  CALL CFILL(BUF, N)
+END
+EXTERNAL SUBROUTINE CFILL(B, N)
+  REAL B(*)
+  INTEGER N
+!$EFFECTS WRITES(B) READS(N) NOCOMMON
+END
+)");
+    CallGraph cg(prog);
+    auto consts = propagate_constants(prog, cg);
+    auto summaries = summarize_program(prog, cg, consts);
+    EXPECT_FALSE(summaries.at("CFILL").opaque);
+    const auto& sum = summaries.at("CFILL");
+    ASSERT_EQ(sum.regions.size(), 1u);
+    EXPECT_EQ(sum.regions[0].storage, "B");
+    EXPECT_TRUE(sum.regions[0].is_write);
+    EXPECT_TRUE(sum.regions[0].unknown());  // whole array assumed
+}
+
+// --- inline ------------------------------------------------------------------------
+
+TEST(Inline, ExpandsSmallCalleeInsideLoop) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL A(100)
+  INTEGER I
+  DO I = 1, 100
+    CALL SCALE(A, I)
+  END DO
+END
+SUBROUTINE SCALE(A, K)
+  REAL A(100)
+  INTEGER K
+  A(K) = A(K) * 2.0
+  RETURN
+END
+)");
+    auto res = inline_calls(prog);
+    EXPECT_EQ(res.inlined, 1);
+    const auto& loop = first_loop(*prog.main());
+    ASSERT_EQ(loop.body.size(), 1u);
+    EXPECT_EQ(loop.body[0]->kind(), ir::StmtKind::Assign);
+    const std::string src = ir::to_source(*loop.body[0]);
+    EXPECT_NE(src.find("A(I) = A(I) * 2"), std::string::npos) << src;
+}
+
+TEST(Inline, RenamesCalleeLocals) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL A(10), T
+  INTEGER I
+  T = 5.0
+  DO I = 1, 10
+    CALL WORK(A, I)
+  END DO
+  PRINT *, T
+END
+SUBROUTINE WORK(A, K)
+  REAL A(10), T
+  INTEGER K
+  T = A(K) + 1.0
+  A(K) = T
+  RETURN
+END
+)");
+    auto res = inline_calls(prog);
+    EXPECT_EQ(res.inlined, 1);
+    // Callee's T must not collide with caller's T.
+    const auto& loop = first_loop(*prog.main());
+    const std::string src = ir::to_source(loop.body);
+    EXPECT_EQ(src.find("T ="), std::string::npos) << src;  // renamed to T_I1
+    EXPECT_NE(src.find("T_I1"), std::string::npos) << src;
+    EXPECT_NE(prog.main()->symbols.find("T_I1"), nullptr);
+}
+
+TEST(Inline, RefusesSectionActualAndReshape) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL RA(1000)
+  INTEGER I
+  DO I = 1, 10
+    CALL WORK(RA(I), 10)
+  END DO
+END
+SUBROUTINE WORK(A, N)
+  REAL A(N)
+  INTEGER N
+  A(1) = 0.0
+  RETURN
+END
+)");
+    auto res = inline_calls(prog);
+    EXPECT_EQ(res.inlined, 0);
+    EXPECT_GE(res.refused, 1);
+}
+
+TEST(Inline, HandlesCallChainsAcrossRounds) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL A(10)
+  INTEGER I
+  DO I = 1, 10
+    CALL OUTER(A, I)
+  END DO
+END
+SUBROUTINE OUTER(A, K)
+  REAL A(10)
+  INTEGER K
+  CALL INNER(A, K)
+  RETURN
+END
+SUBROUTINE INNER(A, K)
+  REAL A(10)
+  INTEGER K
+  A(K) = 1.0
+  RETURN
+END
+)");
+    auto res = inline_calls(prog);
+    EXPECT_EQ(res.inlined, 2);
+    const auto& loop = first_loop(*prog.main());
+    EXPECT_EQ(ir::to_source(loop.body).find("CALL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ap::analysis

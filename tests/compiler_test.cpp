@@ -1,0 +1,499 @@
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/metrics.hpp"
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+
+namespace ap::core {
+namespace {
+
+CompileReport run(const std::string& src, ir::Program& prog, CompilerOptions opts = {}) {
+    prog = frontend::parse(src);
+    return compile(prog, opts);
+}
+
+const LoopReport& loop_in(const CompileReport& r, const std::string& routine, int which = 0) {
+    int seen = 0;
+    for (const auto& l : r.loops) {
+        if (l.routine == routine && seen++ == which) return l;
+    }
+    ADD_FAILURE() << "no loop " << which << " in " << routine;
+    static LoopReport dummy;
+    return dummy;
+}
+
+TEST(Compiler, SimpleLoopParallel) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N, I
+!$TARGET
+  DO I = 1, N
+    A(I) = B(I) * 2.0
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "S");
+    EXPECT_TRUE(l.parallel) << l.reason;
+    EXPECT_EQ(l.verdict, ir::Hindrance::Autoparallelized);
+    EXPECT_EQ(report.target_parallel(), 1);
+}
+
+TEST(Compiler, StencilLoopSerial) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, N)
+  REAL A(N)
+  INTEGER N, I
+  DO I = 2, N
+    A(I) = A(I - 1) + 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    EXPECT_FALSE(loop_in(report, "S").parallel);
+}
+
+TEST(Compiler, ReductionLoopParallel) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, N, TOTAL)
+  REAL A(N), TOTAL
+  INTEGER N, I
+  DO I = 1, N
+    TOTAL = TOTAL + A(I)
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "S");
+    EXPECT_TRUE(l.parallel) << l.reason;
+    ASSERT_EQ(l.reductions.size(), 1u);
+    EXPECT_EQ(l.reductions[0], "TOTAL");
+}
+
+TEST(Compiler, PrivatizableTempParallel) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N), T
+  INTEGER N, I
+  DO I = 1, N
+    T = B(I) * B(I)
+    A(I) = T + 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "S");
+    EXPECT_TRUE(l.parallel) << l.reason;
+    EXPECT_NE(std::find(l.privates.begin(), l.privates.end(), "T"), l.privates.end());
+}
+
+TEST(Compiler, AliasedParametersBlocked) {
+    ir::Program prog;
+    auto report = run(R"(
+PROGRAM P
+  REAL X(100)
+  CALL S(X, X, 100)
+END
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N, I
+!$TARGET
+  DO I = 1, N
+    A(I) = B(I) + 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog, {.do_inline = false});
+    const auto& l = loop_in(report, "S");
+    EXPECT_FALSE(l.parallel);
+    EXPECT_EQ(l.verdict, ir::Hindrance::Aliasing) << l.reason;
+}
+
+TEST(Compiler, RanglessVariableBlocked) {
+    // M read at runtime with no clamp: the write A(I) vs read A(I + M)
+    // cannot be separated because M is rangeless.
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, N, M)
+  REAL A(N)
+  INTEGER N, M, I
+  READ *, M
+!$TARGET
+  DO I = 1, N
+    A(I) = A(I + M) + 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "S");
+    EXPECT_FALSE(l.parallel);
+    EXPECT_EQ(l.verdict, ir::Hindrance::Rangeless) << l.reason;
+}
+
+TEST(Compiler, ClampedVariableParallel) {
+    // Same loop, but a guard bounds M: with M >= N the accesses cannot
+    // collide... actually A(I) vs A(I+M) with M >= 1 never collide for
+    // I' > I only when M > N - 1; bound M so the stride test can prove it.
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, M)
+  REAL A(2000)
+  INTEGER M, I
+  READ *, M
+  IF (M .LT. 1000) STOP
+  IF (M .GT. 1000) STOP
+  DO I = 1, 1000
+    A(I) = A(I + M) + 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "S");
+    EXPECT_TRUE(l.parallel) << l.reason;
+}
+
+TEST(Compiler, IndirectionBlocked) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, B, IDX, N)
+  REAL A(N), B(N)
+  INTEGER IDX(N), N, I
+!$TARGET
+  DO I = 1, N
+    A(IDX(I)) = B(I)
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "S");
+    EXPECT_FALSE(l.parallel);
+    EXPECT_EQ(l.verdict, ir::Hindrance::Indirection) << l.reason;
+}
+
+TEST(Compiler, IndirectionOnReadOnlyGatherIsParallel) {
+    // A(I) = B(IDX(I)): the write side is affine; gather reads never
+    // conflict with writes to a different array.
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, B, IDX, N)
+  REAL A(N), B(N)
+  INTEGER IDX(N), N, I
+  DO I = 1, N
+    A(I) = B(IDX(I))
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "S");
+    EXPECT_TRUE(l.parallel) << l.reason;
+}
+
+TEST(Compiler, ForeignOpaqueCallBlocked) {
+    ir::Program prog;
+    auto report = run(R"(
+PROGRAM P
+  REAL A(100)
+  INTEGER I
+!$TARGET
+  DO I = 1, 100
+    CALL CMAGIC(A, I)
+  END DO
+END
+EXTERNAL SUBROUTINE CMAGIC(A, K)
+  REAL A(*)
+  INTEGER K
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "P");
+    EXPECT_FALSE(l.parallel);
+    EXPECT_EQ(l.verdict, ir::Hindrance::AccessRepresentation) << l.reason;
+    EXPECT_NE(l.reason.find("foreign"), std::string::npos);
+}
+
+TEST(Compiler, CallWithDisjointSectionsParallel) {
+    // Each iteration hands a disjoint slice to the callee: the region
+    // summary proves independence interprocedurally. The callee is too
+    // big to inline thanks to the option override.
+    ir::Program prog;
+    CompilerOptions opts;
+    opts.do_inline = false;
+    auto report = run(R"(
+PROGRAM P
+  REAL A(1000)
+  INTEGER I
+  DO I = 1, 10
+    CALL FILL(A((I - 1) * 100 + 1), 100)
+  END DO
+END
+SUBROUTINE FILL(V, N)
+  REAL V(N)
+  INTEGER N, J
+  DO J = 1, N
+    V(J) = J * 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog, opts);
+    const auto& l = loop_in(report, "P");
+    EXPECT_TRUE(l.parallel) << l.reason;
+}
+
+TEST(Compiler, CallWithOverlappingSectionsBlocked) {
+    ir::Program prog;
+    CompilerOptions opts;
+    opts.do_inline = false;
+    auto report = run(R"(
+PROGRAM P
+  REAL A(1000)
+  INTEGER I
+  DO I = 1, 10
+    CALL FILL(A(I * 50 + 1), 100)
+  END DO
+END
+SUBROUTINE FILL(V, N)
+  REAL V(N)
+  INTEGER N, J
+  DO J = 1, N
+    V(J) = J * 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog, opts);
+    EXPECT_FALSE(loop_in(report, "P").parallel);
+}
+
+TEST(Compiler, InductionVariableSubstitutionEnablesParallelism) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, N)
+  REAL A(N)
+  INTEGER N, I, K
+  K = 0
+  DO I = 1, N
+    K = K + 1
+    A(K) = 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "S");
+    EXPECT_TRUE(l.parallel) << l.reason;
+    EXPECT_EQ(report.induction_substitutions, 1);
+}
+
+TEST(Compiler, ComplexityBudgetTriggersComplexityVerdict) {
+    ir::Program prog;
+    CompilerOptions opts;
+    opts.loop_op_budget = 1;  // absurdly small: everything blows the budget
+    auto report = run(R"(
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N, I
+!$TARGET
+  DO I = 1, N
+    A(I) = B(I) + A(I + 1)
+  END DO
+  RETURN
+END
+)",
+                      prog, opts);
+    const auto& l = loop_in(report, "S");
+    EXPECT_FALSE(l.parallel);
+    EXPECT_EQ(l.verdict, ir::Hindrance::Complexity);
+}
+
+TEST(Compiler, OutputDependenceOnInvariantElementBlocked) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N, I
+  DO I = 1, N
+    A(5) = B(I)
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    EXPECT_FALSE(loop_in(report, "S").parallel);
+}
+
+TEST(Compiler, IoInLoopBlocked) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, N)
+  REAL A(N)
+  INTEGER N, I
+  DO I = 1, N
+    PRINT *, A(I)
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    const auto& l = loop_in(report, "S");
+    EXPECT_FALSE(l.parallel);
+    EXPECT_NE(l.reason.find("I/O"), std::string::npos);
+}
+
+TEST(Compiler, AnnotationsWrittenToIr) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, N)
+  REAL A(N)
+  INTEGER N, I
+  DO I = 1, N
+    A(I) = 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    ASSERT_EQ(report.loops.size(), 1u);
+    const std::string src = ir::to_source(prog);
+    EXPECT_NE(src.find("!$PARALLEL"), std::string::npos) << src;
+}
+
+TEST(Compiler, PassTimesAccumulate) {
+    ir::Program prog;
+    auto report = run(R"(
+SUBROUTINE S(A, N)
+  REAL A(N)
+  INTEGER N, I
+  DO I = 1, N
+    A(I) = 1.0
+  END DO
+  RETURN
+END
+)",
+                      prog);
+    EXPECT_GT(report.total_seconds(), 0.0);
+    EXPECT_GT(report.times.ops(PassId::DataDependence), 0u);
+    EXPECT_GT(report.statements, 0u);
+    EXPECT_GT(report.seconds_per_statement(), 0.0);
+}
+
+TEST(Compiler, InlineExposesSubscriptsToCallerLoop) {
+    // Polaris's motivation for inlining: the caller loop around a small
+    // call becomes analyzable.
+    ir::Program prog;
+    auto report = run(R"(
+PROGRAM P
+  REAL A(100)
+  INTEGER I
+!$TARGET
+  DO I = 1, 100
+    CALL SET1(A, I)
+  END DO
+END
+SUBROUTINE SET1(A, K)
+  REAL A(100)
+  INTEGER K
+  A(K) = 1.0
+  RETURN
+END
+)",
+                      prog);
+    EXPECT_EQ(report.inlined_calls, 1);
+    const auto& l = loop_in(report, "P");
+    EXPECT_TRUE(l.parallel) << l.reason;
+}
+
+TEST(Compiler, MultifunctionalDispatchBothBranchesAnalyzed) {
+    // The compiler must assume both module choices possible (§2.1): the
+    // branch that is unparallelizable blocks only its own loop.
+    ir::Program prog;
+    auto report = run(R"(
+PROGRAM P
+  REAL A(100)
+  INTEGER IMIN, I
+  READ *, IMIN
+  IF (IMIN .EQ. 1) THEN
+    DO I = 1, 100
+      A(I) = 1.0
+    END DO
+  ELSE
+    DO I = 2, 100
+      A(I) = A(I - 1)
+    END DO
+  END IF
+END
+)",
+                      prog);
+    ASSERT_EQ(report.loops.size(), 2u);
+    EXPECT_TRUE(report.loops[0].parallel);
+    EXPECT_FALSE(report.loops[1].parallel);
+}
+
+TEST(Metrics, NestingCountsOuterAndEnclosed) {
+    auto prog = frontend::parse(R"(
+PROGRAM MAIN
+  INTEGER ISHOT
+  DO ISHOT = 1, 4
+    CALL DRIVER(ISHOT)
+  END DO
+END
+SUBROUTINE DRIVER(ISHOT)
+  INTEGER ISHOT
+  CALL MODULE(ISHOT)
+  RETURN
+END
+SUBROUTINE MODULE(ISHOT)
+  REAL A(10, 10)
+  INTEGER ISHOT, I, J
+!$TARGET
+  DO I = 1, 10
+    DO J = 1, 10
+      CALL KERNEL(A, I, J)
+    END DO
+  END DO
+  RETURN
+END
+SUBROUTINE KERNEL(A, I, J)
+  REAL A(10, 10)
+  INTEGER I, J
+  A(I, J) = 0.0
+  RETURN
+END
+)");
+    analysis::CallGraph cg(prog);
+    auto metrics = nesting_metrics(prog, cg);
+    ASSERT_EQ(metrics.size(), 1u);
+    const auto& m = metrics[0];
+    EXPECT_EQ(m.routine, "MODULE");
+    EXPECT_EQ(m.outer_subs, 2);   // MAIN -> DRIVER -> MODULE
+    EXPECT_EQ(m.outer_loops, 1);  // the ISHOT loop
+    EXPECT_EQ(m.enclosed_subs, 1);   // KERNEL
+    EXPECT_EQ(m.enclosed_loops, 1);  // the J loop
+    const auto avg = average(metrics);
+    EXPECT_DOUBLE_EQ(avg.outer_subs, 2.0);
+    EXPECT_EQ(avg.count, 1);
+}
+
+TEST(Metrics, AverageOfEmptyIsZero) {
+    auto avg = average({});
+    EXPECT_EQ(avg.count, 0);
+    EXPECT_EQ(avg.outer_subs, 0.0);
+}
+
+}  // namespace
+}  // namespace ap::core

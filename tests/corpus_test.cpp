@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.hpp"
+#include "core/compiler.hpp"
+#include "core/metrics.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/foreigns.hpp"
+#include "interp/interp.hpp"
+
+namespace ap::corpus {
+namespace {
+
+std::vector<interp::Value> to_deck(const std::vector<double>& deck) {
+    std::vector<interp::Value> out;
+    out.reserve(deck.size());
+    for (double v : deck) out.emplace_back(v);
+    return out;
+}
+
+class CorpusSuite : public ::testing::TestWithParam<const CorpusProgram*> {};
+
+TEST_P(CorpusSuite, ParsesAndCompiles) {
+    const auto& corpus = *GetParam();
+    auto prog = load(corpus);
+    EXPECT_GT(prog.size(), 0u);
+    core::CompilerOptions opts;
+    opts.loop_op_budget = corpus.loop_op_budget;
+    auto report = core::compile(prog, opts);
+    EXPECT_GT(report.statements, 50u);
+    EXPECT_GT(report.loops_total(), 0);
+}
+
+TEST_P(CorpusSuite, TargetHistogramMatchesDesign) {
+    const auto& corpus = *GetParam();
+    auto prog = load(corpus);
+    core::CompilerOptions opts;
+    opts.loop_op_budget = corpus.loop_op_budget;
+    auto report = core::compile(prog, opts);
+    const auto histogram = report.target_histogram();
+    // Print a readable diff on failure.
+    for (const auto& [kind, want] : corpus.expected_targets) {
+        auto it = histogram.find(kind);
+        const int got = it == histogram.end() ? 0 : it->second;
+        EXPECT_EQ(got, want) << corpus.name << ": category " << ir::to_string(kind);
+    }
+    for (const auto& [kind, got] : histogram) {
+        EXPECT_TRUE(corpus.expected_targets.contains(kind))
+            << corpus.name << ": unexpected category " << ir::to_string(kind) << " x" << got;
+    }
+}
+
+TEST_P(CorpusSuite, RunsUnderInterpreter) {
+    const auto& corpus = *GetParam();
+    if (!corpus.runnable) GTEST_SKIP();
+    auto prog = load(corpus);
+    interp::Machine machine(prog);
+    register_foreigns(machine);
+    auto result = machine.run(to_deck(corpus.sample_deck));
+    EXPECT_FALSE(result.output.empty()) << corpus.name << " produced no output";
+}
+
+TEST_P(CorpusSuite, OracleParallelMatchesSerial) {
+    const auto& corpus = *GetParam();
+    if (!corpus.runnable) GTEST_SKIP();
+
+    auto serial_prog = load(corpus);
+    interp::Machine serial(serial_prog);
+    register_foreigns(serial);
+    const auto serial_out = serial.run(to_deck(corpus.sample_deck));
+
+    auto par_prog = load(corpus);
+    core::CompilerOptions opts;
+    opts.loop_op_budget = corpus.loop_op_budget;
+    (void)core::compile(par_prog, opts);
+    interp::Machine parallel(par_prog);
+    register_foreigns(parallel);
+    interp::ExecutionOptions run_opts;
+    run_opts.parallel = true;
+    run_opts.threads = 4;
+    const auto par_out = parallel.run(to_deck(corpus.sample_deck), run_opts);
+
+    EXPECT_EQ(serial_out.output, par_out.output) << corpus.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorpora, CorpusSuite,
+                         ::testing::Values(&seismic(), &gamess(), &sander(), &perfect(),
+                                           &linpack()),
+                         [](const auto& info) {
+                             std::string name = info.param->name;
+                             for (auto& c : name) {
+                                 if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                             }
+                             return name;
+                         });
+
+TEST(CorpusDecks, SanderMinimizationPathAlsoRuns) {
+    // imin=1 exercises RUNMIN/STEEPD (the rangeless loops).
+    auto prog = load(sander());
+    interp::Machine machine(prog);
+    register_foreigns(machine);
+    auto result = machine.run(to_deck({1, 20, 4, 32}));
+    EXPECT_FALSE(result.output.empty());
+}
+
+TEST(CorpusDecks, GamessAllWavefunctionsRun) {
+    for (double iscf : {1.0, 2.0, 3.0}) {
+        auto prog = load(gamess());
+        interp::Machine machine(prog);
+        register_foreigns(machine);
+        auto result = machine.run(to_deck({iscf, 8, 2, 100, 60}));
+        EXPECT_FALSE(result.output.empty()) << "ISCF=" << iscf;
+    }
+}
+
+TEST(CorpusNesting, SeismicTargetsNestDeeperThanPerfect) {
+    // The paper's Figure-4 claim, pinned as a regression test.
+    auto seismic_prog = load(seismic());
+    analysis::CallGraph seismic_cg(seismic_prog);
+    const auto seismic_avg = core::average(core::nesting_metrics(seismic_prog, seismic_cg));
+
+    auto perfect_prog = load(perfect());
+    analysis::CallGraph perfect_cg(perfect_prog);
+    const auto perfect_avg = core::average(core::nesting_metrics(perfect_prog, perfect_cg));
+
+    EXPECT_GT(seismic_avg.count, 0);
+    EXPECT_GT(perfect_avg.count, 0);
+    // Outer subroutine nesting is the discriminator (Fig. 4): SEISMIC
+    // target loops sit several calls below the program; PERFECT's sit
+    // directly in extracted kernels.
+    EXPECT_GE(seismic_avg.outer_subs, perfect_avg.outer_subs + 2.0);
+    // Enclosed nesting is similar between the two (the paper's point).
+    EXPECT_LE(std::abs(seismic_avg.enclosed_loops - perfect_avg.enclosed_loops), 1.5);
+}
+
+TEST(CorpusStats, IndustrialCodesHaveMoreStatements) {
+    EXPECT_GT(ir::count_statements(load(seismic())), ir::count_statements(load(linpack())));
+    EXPECT_GT(ir::count_statements(load(gamess())), ir::count_statements(load(linpack())));
+}
+
+}  // namespace
+}  // namespace ap::corpus

@@ -1,0 +1,415 @@
+// Edge-case coverage for paths the module tests don't reach: clamp-guard
+// variants, inline refusal reasons, region mapping corners, GSA contexts,
+// interpreter error handling and intrinsic corners, and the compiler on
+// degenerate programs.
+
+#include <gtest/gtest.h>
+
+#include "analysis/gsa.hpp"
+#include "analysis/inline.hpp"
+#include "analysis/ranges.hpp"
+#include "analysis/regions.hpp"
+#include "core/compiler.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "ir/printer.hpp"
+
+namespace ap {
+namespace {
+
+// --- clamp-guard variants ----------------------------------------------------
+
+struct ClampCase {
+    const char* label;
+    const char* guard;       ///< statement(s) after READ
+    std::int64_t expect_lo;  ///< INT64_MIN = unbounded
+    std::int64_t expect_hi;  ///< INT64_MAX = unbounded
+};
+
+class ClampGuards : public ::testing::TestWithParam<ClampCase> {};
+
+TEST_P(ClampGuards, BoundsMatchSemantics) {
+    const auto& c = GetParam();
+    const std::string src = std::string("PROGRAM P\n  INTEGER V\n  READ *, V\n") + c.guard +
+                            "\n  PRINT *, V\nEND\n";
+    auto prog = frontend::parse(src);
+    analysis::CallGraph cg(prog);
+    auto consts = analysis::propagate_constants(prog, cg);
+    auto info = analysis::analyze_ranges(*prog.main(), consts.of("P"));
+    symbolic::Prover prover(info.env);
+    const auto v = symbolic::LinearForm::variable("V");
+    const auto lo = prover.lower_bound(v);
+    const auto hi = prover.upper_bound(v);
+    if (c.expect_lo == INT64_MIN) {
+        EXPECT_FALSE(lo.has_value()) << c.label;
+    } else {
+        ASSERT_TRUE(lo.has_value()) << c.label;
+        EXPECT_EQ(*lo, c.expect_lo) << c.label;
+    }
+    if (c.expect_hi == INT64_MAX) {
+        EXPECT_FALSE(hi.has_value()) << c.label;
+    } else {
+        ASSERT_TRUE(hi.has_value()) << c.label;
+        EXPECT_EQ(*hi, c.expect_hi) << c.label;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, ClampGuards,
+    ::testing::Values(
+        // Bail guards: after surviving, the negation holds.
+        ClampCase{"gt_stop", "  IF (V .GT. 100) STOP", INT64_MIN, 100},
+        ClampCase{"ge_stop", "  IF (V .GE. 100) STOP", INT64_MIN, 99},
+        ClampCase{"lt_stop", "  IF (V .LT. 5) STOP", 5, INT64_MAX},
+        ClampCase{"le_stop", "  IF (V .LE. 5) STOP", 6, INT64_MAX},
+        // Clamping assignments: the bound itself becomes reachable.
+        ClampCase{"gt_assign", "  IF (V .GT. 100) V = 100", INT64_MIN, 100},
+        ClampCase{"lt_assign", "  IF (V .LT. 5) V = 5", 5, INT64_MAX},
+        // Both sides.
+        ClampCase{"both", "  IF (V .GT. 10) STOP\n  IF (V .LT. 1) STOP", 1, 10},
+        // Not a clamp: an unrelated assignment in the branch.
+        ClampCase{"not_clamp", "  IF (V .GT. 100) V = 7", INT64_MIN, INT64_MAX}),
+    [](const auto& info) { return info.param.label; });
+
+// --- inline refusal paths ----------------------------------------------------
+
+TEST(InlineEdge, RefusesEarlyReturn) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL A(10)
+  INTEGER I
+  DO I = 1, 10
+    CALL G(A, I)
+  END DO
+END
+SUBROUTINE G(A, K)
+  REAL A(10)
+  INTEGER K
+  IF (K .GT. 5) RETURN
+  A(K) = 1.0
+  RETURN
+END
+)");
+    auto res = analysis::inline_calls(prog);
+    EXPECT_EQ(res.inlined, 0);
+    ASSERT_GE(res.refusal_reasons.size(), 1u);
+    EXPECT_NE(res.refusal_reasons[0].find("RETURN"), std::string::npos);
+}
+
+TEST(InlineEdge, RefusesExpressionActualForWrittenDummy) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  INTEGER I
+  DO I = 1, 10
+    CALL G(I + 1)
+  END DO
+END
+SUBROUTINE G(K)
+  INTEGER K
+  K = K * 2
+  RETURN
+END
+)");
+    auto res = analysis::inline_calls(prog);
+    EXPECT_EQ(res.inlined, 0);
+    EXPECT_GE(res.refused, 1);
+}
+
+TEST(InlineEdge, SubstitutesExpressionActualForReadOnlyDummy) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL A(20)
+  INTEGER I
+  DO I = 1, 10
+    CALL G(A, I + 5)
+  END DO
+END
+SUBROUTINE G(A, K)
+  REAL A(20)
+  INTEGER K
+  A(K) = 1.0
+  RETURN
+END
+)");
+    auto res = analysis::inline_calls(prog);
+    EXPECT_EQ(res.inlined, 1);
+    const std::string src = ir::to_source(prog);
+    EXPECT_NE(src.find("A(I + 5) = 1.0"), std::string::npos) << src;
+}
+
+TEST(InlineEdge, SymbolicShapeMatchAfterBinding) {
+    // Dummy A(N) with N bound to caller's M, caller array B(M): shapes
+    // match after substitution.
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  PARAMETER (M = 32)
+  REAL B(M)
+  INTEGER I
+  DO I = 1, 4
+    CALL G(B, M, I)
+  END DO
+END
+SUBROUTINE G(A, N, K)
+  INTEGER N, K
+  REAL A(N)
+  A(K) = 2.0
+  RETURN
+END
+)");
+    auto res = analysis::inline_calls(prog);
+    EXPECT_EQ(res.inlined, 1) << (res.refusal_reasons.empty() ? "" : res.refusal_reasons[0]);
+}
+
+// --- region mapping corners ----------------------------------------------------
+
+TEST(RegionEdge, NegativeLowerBoundDeclarations) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(N)
+  COMMON /G/ U(-4:4)
+  INTEGER N, I
+  DO I = -4, 4
+    U(I) = 1.0
+  END DO
+  RETURN
+END
+)");
+    analysis::CallGraph cg(prog);
+    auto consts = analysis::propagate_constants(prog, cg);
+    auto summaries = analysis::summarize_program(prog, cg, consts);
+    const auto& sum = summaries.at("S");
+    ASSERT_EQ(sum.regions.size(), 1u);
+    ASSERT_TRUE(sum.regions[0].lo && sum.regions[0].hi);
+    EXPECT_EQ(sum.regions[0].lo->constant(), 0);  // U(-4) is block offset 0
+    EXPECT_EQ(sum.regions[0].hi->constant(), 8);
+}
+
+TEST(RegionEdge, ScalarWriteThroughElementActual) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL A(10)
+  INTEGER I
+  DO I = 1, 10
+    CALL SETV(A(I), 3.5)
+  END DO
+END
+SUBROUTINE SETV(X, V)
+  REAL X, V
+  X = V
+  RETURN
+END
+)");
+    analysis::CallGraph cg(prog);
+    auto consts = analysis::propagate_constants(prog, cg);
+    auto summaries = analysis::summarize_program(prog, cg, consts);
+    EXPECT_TRUE(summaries.at("SETV").scalar_dummy_writes.contains("X"));
+    // And the caller loop parallelizes: each iteration writes A(I) via
+    // the element actual.
+    auto prog2 = frontend::parse(ir::to_source(prog));
+    core::CompilerOptions opts;
+    opts.do_inline = false;
+    auto report = core::compile(prog2, opts);
+    EXPECT_TRUE(report.loops.front().parallel) << report.loops.front().reason;
+}
+
+// --- GSA contexts -----------------------------------------------------------------
+
+TEST(GsaEdge, NestedGuardsCompose) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(I1, I2, X)
+  INTEGER I1, I2
+  REAL X
+  IF (I1 .EQ. 1) THEN
+    IF (I2 .EQ. 1) THEN
+      X = 1.0
+    ELSE
+      X = 2.0
+    END IF
+  END IF
+  RETURN
+END
+)");
+    auto gsa = analysis::build_gsa(*prog.find("S"));
+    const auto defs = gsa.defs_of("X");
+    ASSERT_EQ(defs.size(), 2u);
+    EXPECT_EQ(defs[0]->guards.size(), 2u);
+    EXPECT_TRUE(defs[0]->polarity[1]);
+    EXPECT_FALSE(defs[1]->polarity[1]);
+    // One gamma at the inner IF, one at the outer.
+    EXPECT_EQ(gsa.gamma_count, 2u);
+}
+
+TEST(GsaEdge, LoopDefsCountMuNodes) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(N)
+  INTEGER N, I, K
+  K = 0
+  DO I = 1, N
+    K = K + 1
+  END DO
+  RETURN
+END
+)");
+    auto gsa = analysis::build_gsa(*prog.find("S"));
+    // K defined in the loop body -> one mu merge; I is the loop def.
+    EXPECT_GE(gsa.gamma_count, 1u);
+    EXPECT_TRUE(std::any_of(gsa.defs.begin(), gsa.defs.end(),
+                            [](const analysis::GuardedDef& d) { return d.var == "K" && d.in_loop; }));
+}
+
+// --- interpreter corners ------------------------------------------------------------
+
+TEST(InterpEdge, IntegerPowAndNegativeMod) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  INTEGER A, B
+  A = 2 ** 10
+  B = MOD(-7, 3)
+  PRINT *, A, B
+END
+)");
+    interp::Machine m(prog);
+    auto r = m.run({});
+    EXPECT_EQ(r.output[0], "1024 -1");  // Fortran MOD keeps the dividend's sign
+}
+
+TEST(InterpEdge, DivisionByZeroThrows) {
+    auto prog = frontend::parse("PROGRAM P\n  INTEGER A\n  A = 1 / 0\nEND\n");
+    interp::Machine m(prog);
+    EXPECT_THROW(m.run({}), interp::RuntimeError);
+}
+
+TEST(InterpEdge, WrongArgumentCountThrows) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  CALL F(1, 2)
+END
+SUBROUTINE F(A)
+  INTEGER A
+  RETURN
+END
+)");
+    interp::Machine m(prog);
+    EXPECT_THROW(m.run({}), interp::RuntimeError);
+}
+
+TEST(InterpEdge, CharacterValuesFlowThroughDeck) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  CHARACTER NAME
+  READ *, NAME
+  PRINT *, 'hello', NAME
+END
+)");
+    interp::Machine m(prog);
+    auto r = m.run({std::string("world")});
+    EXPECT_EQ(r.output[0], "hello world");
+}
+
+TEST(InterpEdge, SignIntrinsicFollowsFortran) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  PRINT *, SIGN(3.0, -1.0), SIGN(-3.0, 2.0), ABS(-2.5)
+END
+)");
+    interp::Machine m(prog);
+    auto r = m.run({});
+    EXPECT_EQ(r.output[0], "-3 3 2.5");
+}
+
+TEST(InterpEdge, FunctionArgumentsAreByReference) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  INTEGER N
+  REAL Y
+  N = 3
+  Y = BUMPF(N)
+  PRINT *, N, Y
+END
+FUNCTION BUMPF(K)
+  REAL BUMPF
+  INTEGER K
+  K = K + 1
+  BUMPF = K * 10.0
+  RETURN
+END
+)");
+    interp::Machine m(prog);
+    auto r = m.run({});
+    EXPECT_EQ(r.output[0], "4 40");
+}
+
+// --- compiler on degenerate inputs -----------------------------------------------
+
+TEST(CompilerEdge, EmptyLoopBodyParallel) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(N)
+  INTEGER N, I
+  DO I = 1, N
+  END DO
+  RETURN
+END
+)");
+    auto report = core::compile(prog);
+    ASSERT_EQ(report.loops.size(), 1u);
+    EXPECT_TRUE(report.loops[0].parallel);
+}
+
+TEST(CompilerEdge, ZeroTripLoopStillAnalyzed) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A)
+  REAL A(10)
+  INTEGER I
+  DO I = 10, 1
+    A(I) = A(I + 1)
+  END DO
+  RETURN
+END
+)");
+    auto report = core::compile(prog);
+    ASSERT_EQ(report.loops.size(), 1u);
+    // lo > hi with default step: the analyzer treats bounds symbolically
+    // (it may or may not prove emptiness); it must simply not crash and
+    // not claim nonsense about privates.
+    EXPECT_TRUE(report.loops[0].privates.empty());
+}
+
+TEST(CompilerEdge, RecursionDoesNotHang) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  CALL A(3)
+END
+SUBROUTINE A(N)
+  INTEGER N
+  IF (N .GT. 0) THEN
+    CALL B(N - 1)
+  END IF
+  RETURN
+END
+SUBROUTINE B(N)
+  INTEGER N
+  CALL A(N)
+  RETURN
+END
+)");
+    auto report = core::compile(prog);
+    EXPECT_GE(report.statements, 5u);
+}
+
+TEST(CompilerEdge, NegativeStepLoopConservative) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N)
+  REAL A(N)
+  INTEGER N, I
+  DO I = N, 1, -1
+    A(I) = A(I) * 2.0
+  END DO
+  RETURN
+END
+)");
+    auto report = core::compile(prog);
+    ASSERT_EQ(report.loops.size(), 1u);
+    EXPECT_TRUE(report.loops[0].parallel) << report.loops[0].reason;
+}
+
+}  // namespace
+}  // namespace ap

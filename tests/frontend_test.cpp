@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::frontend {
+namespace {
+
+using ir::ExprKind;
+using ir::StmtKind;
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+    Lexer lex("X = 1 + 2.5 .LT. Y ** 2");
+    auto toks = lex.tokenize();
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_EQ(toks[0].kind, TokenKind::Ident);
+    EXPECT_EQ(toks[0].text, "X");
+    EXPECT_EQ(toks[1].kind, TokenKind::Assign);
+    EXPECT_EQ(toks[2].kind, TokenKind::IntLit);
+    EXPECT_EQ(toks[2].int_value, 1);
+    EXPECT_EQ(toks[3].kind, TokenKind::Plus);
+    EXPECT_EQ(toks[4].kind, TokenKind::RealLit);
+    EXPECT_DOUBLE_EQ(toks[4].real_value, 2.5);
+    EXPECT_EQ(toks[5].kind, TokenKind::Lt);
+    EXPECT_EQ(toks[7].kind, TokenKind::DoubleStar);
+}
+
+TEST(Lexer, UpperCasesIdentifiers) {
+    Lexer lex("foo = bar");
+    auto toks = lex.tokenize();
+    EXPECT_EQ(toks[0].text, "FOO");
+    EXPECT_EQ(toks[2].text, "BAR");
+}
+
+TEST(Lexer, CommentsAreSkippedDirectivesKept) {
+    Lexer lex("x = 1 ! a comment\n!$TARGET\ny = 2\n");
+    auto toks = lex.tokenize();
+    int directives = 0;
+    for (const auto& t : toks) {
+        if (t.kind == TokenKind::Directive) {
+            ++directives;
+            EXPECT_EQ(t.text, "TARGET");
+        }
+    }
+    EXPECT_EQ(directives, 1);
+}
+
+TEST(Lexer, ContinuationJoinsLines) {
+    Lexer lex("x = 1 + &\n    2\n");
+    auto toks = lex.tokenize();
+    // Expect: X = 1 + 2 NL EOF — no newline between + and 2.
+    std::vector<TokenKind> kinds;
+    for (const auto& t : toks) kinds.push_back(t.kind);
+    const std::vector<TokenKind> want = {TokenKind::Ident,  TokenKind::Assign, TokenKind::IntLit,
+                                         TokenKind::Plus,   TokenKind::IntLit, TokenKind::Newline,
+                                         TokenKind::EndOfFile};
+    EXPECT_EQ(kinds, want);
+}
+
+TEST(Lexer, ScientificNotationAndDExponent) {
+    Lexer lex("a = 1.5E3 + 2D-2 + .25");
+    auto toks = lex.tokenize();
+    EXPECT_EQ(toks[2].kind, TokenKind::RealLit);
+    EXPECT_DOUBLE_EQ(toks[2].real_value, 1500.0);
+    EXPECT_EQ(toks[4].kind, TokenKind::RealLit);
+    EXPECT_DOUBLE_EQ(toks[4].real_value, 0.02);
+    EXPECT_EQ(toks[6].kind, TokenKind::RealLit);
+    EXPECT_DOUBLE_EQ(toks[6].real_value, 0.25);
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+    Lexer lex("s = 'it''s'");
+    auto toks = lex.tokenize();
+    EXPECT_EQ(toks[2].kind, TokenKind::StrLit);
+    EXPECT_EQ(toks[2].text, "it's");
+}
+
+TEST(Lexer, RejectsMalformedDottedOp) {
+    Lexer lex("x .FOO. y");
+    EXPECT_THROW(lex.tokenize(), ParseError);
+}
+
+constexpr const char* kSmallProgram = R"(
+PROGRAM MAIN
+  INTEGER N, I
+  REAL A(100)
+  READ *, N
+  DO I = 1, N
+    A(I) = A(I) + 1.0
+  END DO
+  PRINT *, A(1)
+END
+)";
+
+TEST(Parser, ParsesSmallProgram) {
+    auto prog = parse(kSmallProgram, "SMALL");
+    EXPECT_EQ(prog.name, "SMALL");
+    ASSERT_EQ(prog.size(), 1u);
+    const auto* m = prog.main();
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->name, "MAIN");
+    ASSERT_EQ(m->body.size(), 3u);
+    EXPECT_EQ(m->body[0]->kind(), StmtKind::Read);
+    EXPECT_EQ(m->body[1]->kind(), StmtKind::Do);
+    EXPECT_EQ(m->body[2]->kind(), StmtKind::Print);
+    const auto* a = m->symbols.find("A");
+    ASSERT_NE(a, nullptr);
+    EXPECT_TRUE(a->is_array());
+}
+
+TEST(Parser, ArrayRefVsFunctionCallDisambiguation) {
+    auto prog = parse(R"(
+PROGRAM P
+  REAL A(10), X
+  X = A(3) + F(3)
+END
+FUNCTION F(K)
+  INTEGER K
+  F = K * 2.0
+  RETURN
+END
+)");
+    const auto* p = prog.main();
+    ASSERT_NE(p, nullptr);
+    const auto& assign = static_cast<const ir::Assign&>(*p->body[0]);
+    const auto& rhs = static_cast<const ir::Binary&>(*assign.rhs);
+    EXPECT_EQ(rhs.lhs->kind(), ExprKind::ArrayRef);
+    EXPECT_EQ(rhs.rhs->kind(), ExprKind::Call);
+}
+
+TEST(Parser, SubroutineDummiesMarked) {
+    auto prog = parse(R"(
+SUBROUTINE SUB(A, N)
+  REAL A(N)
+  INTEGER N, I
+  DO I = 1, N
+    A(I) = 0.0
+  END DO
+  RETURN
+END
+)");
+    const auto* s = prog.find("SUB");
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->dummies.size(), 2u);
+    EXPECT_TRUE(s->symbols.find("A")->is_dummy);
+    EXPECT_TRUE(s->symbols.find("N")->is_dummy);
+    EXPECT_FALSE(s->symbols.find("I")->is_dummy);
+}
+
+TEST(Parser, ImplicitTypingFollowsINRule) {
+    auto prog = parse(R"(
+PROGRAM P
+  J = 1
+  X = 2.0
+END
+)");
+    const auto* p = prog.main();
+    EXPECT_EQ(p->symbols.find("J")->type, ir::ScalarType::Integer);
+    EXPECT_EQ(p->symbols.find("X")->type, ir::ScalarType::Real);
+}
+
+TEST(Parser, CommonBlocksRecordMembership) {
+    auto prog = parse(R"(
+SUBROUTINE S1
+  COMMON /BLK/ X, Y(10), N
+  REAL X
+  RETURN
+END
+)");
+    const auto* s = prog.find("S1");
+    const auto* x = s->symbols.find("X");
+    const auto* y = s->symbols.find("Y");
+    const auto* n = s->symbols.find("N");
+    ASSERT_NE(x, nullptr);
+    EXPECT_EQ(x->common_block, "BLK");
+    EXPECT_EQ(x->common_index, 0);
+    EXPECT_TRUE(y->is_array());
+    EXPECT_EQ(y->common_index, 1);
+    EXPECT_EQ(n->common_index, 2);
+    EXPECT_EQ(n->type, ir::ScalarType::Integer);
+}
+
+TEST(Parser, TypeBeforeCommonKeepsArrayShape) {
+    auto prog = parse(R"(
+SUBROUTINE S2
+  REAL RA(1000)
+  COMMON /WORK/ RA
+  RETURN
+END
+)");
+    const auto* ra = prog.find("S2")->symbols.find("RA");
+    ASSERT_NE(ra, nullptr);
+    EXPECT_TRUE(ra->is_array());
+    EXPECT_EQ(ra->common_block, "WORK");
+}
+
+TEST(Parser, EquivalenceParsed) {
+    auto prog = parse(R"(
+SUBROUTINE S3
+  REAL A(10), B(10)
+  EQUIVALENCE (A(1), B(1))
+  RETURN
+END
+)");
+    const auto* s = prog.find("S3");
+    ASSERT_EQ(s->equivalences.size(), 1u);
+    EXPECT_EQ(s->equivalences[0].a, "A");
+    EXPECT_EQ(s->equivalences[0].offset_a, 0);
+}
+
+TEST(Parser, AssumedSizeArrays) {
+    auto prog = parse(R"(
+SUBROUTINE S4(RA)
+  REAL RA(*)
+  RETURN
+END
+)");
+    const auto* ra = prog.find("S4")->symbols.find("RA");
+    ASSERT_NE(ra, nullptr);
+    ASSERT_EQ(ra->dims.size(), 1u);
+    EXPECT_TRUE(ra->dims[0].assumed_size());
+}
+
+TEST(Parser, ParameterConstants) {
+    auto prog = parse(R"(
+PROGRAM P
+  PARAMETER (N = 100, PI = 3.14159)
+  REAL A(N)
+  A(1) = PI
+END
+)");
+    const auto* p = prog.main();
+    const auto* n = p->symbols.find("N");
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->kind, ir::SymbolKind::NamedConstant);
+    EXPECT_EQ(n->type, ir::ScalarType::Integer);
+    const auto* pi = p->symbols.find("PI");
+    EXPECT_EQ(pi->type, ir::ScalarType::Real);
+}
+
+TEST(Parser, TargetDirectiveMarksNextLoop) {
+    auto prog = parse(R"(
+PROGRAM P
+  INTEGER I, J
+  REAL A(10)
+  DO I = 1, 10
+    A(I) = 0.0
+  END DO
+!$TARGET
+  DO J = 1, 10
+    A(J) = 1.0
+  END DO
+END
+)");
+    std::vector<bool> targets;
+    ir::for_each_stmt(prog.main()->body, [&](const ir::Stmt& s) {
+        if (s.kind() == StmtKind::Do) targets.push_back(static_cast<const ir::DoLoop&>(s).is_target);
+    });
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_FALSE(targets[0]);
+    EXPECT_TRUE(targets[1]);
+}
+
+TEST(Parser, ExternalRoutineWithEffects) {
+    auto prog = parse(R"(
+EXTERNAL SUBROUTINE CMEMGET(RA, NEED)
+!$EFFECTS WRITES(RA) READS(NEED) NOCOMMON
+END
+)");
+    const auto* c = prog.find("CMEMGET");
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->is_foreign());
+    EXPECT_FALSE(c->foreign.opaque);
+    ASSERT_EQ(c->foreign.writes_args.size(), 1u);
+    EXPECT_EQ(c->foreign.writes_args[0], 0);
+    ASSERT_EQ(c->foreign.reads_args.size(), 1u);
+    EXPECT_EQ(c->foreign.reads_args[0], 1);
+    EXPECT_FALSE(c->foreign.touches_commons);
+}
+
+TEST(Parser, ExternalRoutineDefaultOpaque) {
+    auto prog = parse(R"(
+EXTERNAL SUBROUTINE CWRITE(BUF, N)
+END
+)");
+    const auto* c = prog.find("CWRITE");
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->foreign.opaque);
+}
+
+TEST(Parser, IfElseChains) {
+    auto prog = parse(R"(
+PROGRAM P
+  INTEGER IMIN
+  READ *, IMIN
+  IF (IMIN .EQ. 1) THEN
+    CALL MINIM
+  ELSE IF (IMIN .EQ. 2) THEN
+    CALL MDRUN
+  ELSE
+    CALL OTHER
+  END IF
+END
+)");
+    const auto* p = prog.main();
+    ASSERT_EQ(p->body.size(), 2u);
+    const auto& outer = static_cast<const ir::IfStmt&>(*p->body[1]);
+    ASSERT_EQ(outer.else_block.size(), 1u);
+    EXPECT_EQ(outer.else_block[0]->kind(), StmtKind::If);
+    const auto& inner = static_cast<const ir::IfStmt&>(*outer.else_block[0]);
+    ASSERT_EQ(inner.else_block.size(), 1u);
+    EXPECT_EQ(inner.else_block[0]->kind(), StmtKind::Call);
+}
+
+TEST(Parser, OneLineIf) {
+    auto prog = parse(R"(
+SUBROUTINE S(N)
+  IF (N .LT. 0) RETURN
+  IF (N .EQ. 0) N = 1
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    ASSERT_EQ(s->body.size(), 3u);
+    const auto& i0 = static_cast<const ir::IfStmt&>(*s->body[0]);
+    ASSERT_EQ(i0.then_block.size(), 1u);
+    EXPECT_EQ(i0.then_block[0]->kind(), StmtKind::Return);
+}
+
+TEST(Parser, DoWithStep) {
+    auto prog = parse(R"(
+PROGRAM P
+  INTEGER I
+  DO I = 10, 1, -1
+    CALL F(I)
+  END DO
+END
+)");
+    const auto& d = static_cast<const ir::DoLoop&>(*prog.main()->body[0]);
+    EXPECT_EQ(d.step->kind(), ExprKind::Unary);
+}
+
+TEST(Parser, FunctionReturnTypeFromDeclaration) {
+    auto prog = parse(R"(
+FUNCTION COUNTUP(K)
+  INTEGER COUNTUP, K
+  COUNTUP = K + 1
+  RETURN
+END
+)");
+    EXPECT_EQ(prog.find("COUNTUP")->return_type, ir::ScalarType::Integer);
+}
+
+TEST(Parser, LoopsNumberedDocumentOrder) {
+    auto prog = parse(R"(
+PROGRAM P
+  INTEGER I, J
+  DO I = 1, 4
+    DO J = 1, 4
+      CALL F(I, J)
+    END DO
+  END DO
+END
+)");
+    std::vector<int> ids;
+    ir::for_each_stmt(prog.main()->body, [&](const ir::Stmt& s) {
+        if (s.kind() == StmtKind::Do) ids.push_back(static_cast<const ir::DoLoop&>(s).loop_id);
+    });
+    EXPECT_EQ(ids, (std::vector<int>{0, 1}));
+}
+
+TEST(Parser, ErrorsHaveLocations) {
+    try {
+        parse("PROGRAM P\n  X = * 3\nEND\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Parser, RejectsScalarUsedWithSubscripts) {
+    EXPECT_THROW((void)parse(R"(
+PROGRAM P
+  REAL X
+  Y = X(3)
+END
+)"),
+                 ParseError);
+}
+
+TEST(Parser, RoundTripThroughPrinterReparses) {
+    auto prog = parse(kSmallProgram, "RT");
+    const std::string src = ir::to_source(prog);
+    // The printed form must itself be valid Mini-F.
+    auto prog2 = parse(src, "RT2");
+    EXPECT_EQ(prog2.size(), prog.size());
+    EXPECT_EQ(ir::count_statements(prog2), ir::count_statements(prog));
+}
+
+}  // namespace
+}  // namespace ap::frontend

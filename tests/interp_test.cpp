@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+
+namespace ap::interp {
+namespace {
+
+ExecutionResult run_src(const std::string& src, std::vector<Value> deck = {},
+                        ExecutionOptions opts = {}) {
+    auto prog = frontend::parse(src);
+    Machine m(prog);
+    return m.run(std::move(deck), opts);
+}
+
+TEST(Interp, ArithmeticAndPrint) {
+    auto r = run_src(R"(
+PROGRAM P
+  INTEGER I
+  REAL X
+  I = 2 + 3 * 4
+  X = 10.0 / 4.0
+  PRINT *, I, X
+END
+)");
+    ASSERT_EQ(r.output.size(), 1u);
+    EXPECT_EQ(r.output[0], "14 2.5");
+}
+
+TEST(Interp, IntegerDivisionTruncates) {
+    auto r = run_src(R"(
+PROGRAM P
+  INTEGER I
+  I = 7 / 2
+  PRINT *, I
+END
+)");
+    EXPECT_EQ(r.output[0], "3");
+}
+
+TEST(Interp, DoLoopAndArrays) {
+    auto r = run_src(R"(
+PROGRAM P
+  REAL A(10)
+  INTEGER I
+  DO I = 1, 10
+    A(I) = I * 2.0
+  END DO
+  PRINT *, A(1), A(10)
+END
+)");
+    EXPECT_EQ(r.output[0], "2 20");
+}
+
+TEST(Interp, NegativeStepLoop) {
+    auto r = run_src(R"(
+PROGRAM P
+  INTEGER I, S
+  S = 0
+  DO I = 10, 2, -2
+    S = S + I
+  END DO
+  PRINT *, S
+END
+)");
+    EXPECT_EQ(r.output[0], "30");  // 10+8+6+4+2
+}
+
+TEST(Interp, ReadDeckAndStop) {
+    auto r = run_src(R"(
+PROGRAM P
+  INTEGER N
+  READ *, N
+  IF (N .GT. 100) STOP
+  PRINT *, N
+END
+)",
+                     {std::int64_t{500}});
+    EXPECT_TRUE(r.stopped);
+    EXPECT_TRUE(r.output.empty());
+}
+
+TEST(Interp, ReadPastDeckThrows) {
+    EXPECT_THROW(run_src("PROGRAM P\n  INTEGER N\n  READ *, N\nEND\n"), RuntimeError);
+}
+
+TEST(Interp, SubroutineByReferenceSemantics) {
+    auto r = run_src(R"(
+PROGRAM P
+  INTEGER N
+  N = 5
+  CALL BUMP(N)
+  PRINT *, N
+END
+SUBROUTINE BUMP(K)
+  INTEGER K
+  K = K + 1
+  RETURN
+END
+)");
+    EXPECT_EQ(r.output[0], "6");
+}
+
+TEST(Interp, ArraySectionArgument) {
+    auto r = run_src(R"(
+PROGRAM P
+  REAL A(10)
+  INTEGER I
+  DO I = 1, 10
+    A(I) = 0.0
+  END DO
+  CALL FILL(A(6), 5)
+  PRINT *, A(5), A(6), A(10)
+END
+SUBROUTINE FILL(V, N)
+  REAL V(N)
+  INTEGER N, J
+  DO J = 1, N
+    V(J) = 7.0
+  END DO
+  RETURN
+END
+)");
+    EXPECT_EQ(r.output[0], "0 7 7");
+}
+
+TEST(Interp, FunctionsReturnValues) {
+    auto r = run_src(R"(
+PROGRAM P
+  REAL Y
+  Y = TWICE(3.5)
+  PRINT *, Y
+END
+FUNCTION TWICE(X)
+  REAL TWICE, X
+  TWICE = X * 2.0
+  RETURN
+END
+)");
+    EXPECT_EQ(r.output[0], "7");
+}
+
+TEST(Interp, CommonBlocksShareStorage) {
+    auto r = run_src(R"(
+PROGRAM P
+  COMMON /BLK/ X, N
+  REAL X
+  INTEGER N
+  X = 1.5
+  N = 42
+  CALL SHOW
+END
+SUBROUTINE SHOW
+  COMMON /BLK/ X, N
+  REAL X
+  INTEGER N
+  PRINT *, X, N
+  RETURN
+END
+)");
+    EXPECT_EQ(r.output[0], "1.5 42");
+}
+
+TEST(Interp, CommonReshapedAcrossRoutines) {
+    // The GAMESS §2.3 pattern: one routine sees a 1-D array, another a
+    // 2-D array over the same storage.
+    auto r = run_src(R"(
+PROGRAM P
+  COMMON /WORK/ X(12)
+  REAL X
+  INTEGER I
+  DO I = 1, 12
+    X(I) = I * 1.0
+  END DO
+  CALL VIEW2D
+END
+SUBROUTINE VIEW2D
+  COMMON /WORK/ V(3, 4)
+  REAL V
+  PRINT *, V(3, 1), V(1, 2)
+  RETURN
+END
+)");
+    // Column-major: V(3,1) = X(3), V(1,2) = X(4).
+    EXPECT_EQ(r.output[0], "3 4");
+}
+
+TEST(Interp, IntrinsicFunctions) {
+    auto r = run_src(R"(
+PROGRAM P
+  PRINT *, MAX(3, 7), MIN(2.5, 1.5), MOD(10, 3), ABS(-4), SQRT(16.0), NINT(2.6)
+END
+)");
+    EXPECT_EQ(r.output[0], "7 1.5 1 4 4 3");
+}
+
+TEST(Interp, ComplexArithmetic) {
+    auto r = run_src(R"(
+PROGRAM P
+  COMPLEX Z
+  Z = CMPLX(1.0, 2.0) * CMPLX(3.0, -1.0)
+  PRINT *, Z
+END
+)");
+    EXPECT_EQ(r.output[0], "(5,5)");
+}
+
+TEST(Interp, OutOfBoundsThrows) {
+    EXPECT_THROW(run_src(R"(
+PROGRAM P
+  REAL A(5)
+  INTEGER I
+  I = 9
+  A(I) = 1.0
+END
+)"),
+                 RuntimeError);
+}
+
+TEST(Interp, ForeignRoutineCallback) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL BUF(4)
+  INTEGER N
+  N = 4
+  CALL CFILL(BUF, N)
+  PRINT *, BUF(1), BUF(4)
+END
+EXTERNAL SUBROUTINE CFILL(B, N)
+  REAL B(*)
+  INTEGER N
+!$EFFECTS WRITES(B) READS(N) NOCOMMON
+END
+)");
+    Machine m(prog);
+    m.register_foreign("CFILL", [](std::vector<ForeignArg>& args) {
+        ASSERT_EQ(args.size(), 2u);
+        ASSERT_NE(args[0].array, nullptr);
+        ASSERT_NE(args[1].scalar, nullptr);
+        const auto n = std::get<std::int64_t>(*args[1].scalar);
+        for (std::int64_t i = 0; i < n; ++i) {
+            (*args[0].array->buffer)[static_cast<std::size_t>(args[0].array->base + i)] =
+                static_cast<double>(i + 1) * 1.5;
+        }
+    });
+    auto r = m.run({});
+    EXPECT_EQ(r.output[0], "1.5 6");
+}
+
+TEST(Interp, UnregisteredForeignThrows) {
+    EXPECT_THROW(run_src(R"(
+PROGRAM P
+  REAL B(4)
+  CALL CMISSING(B)
+END
+EXTERNAL SUBROUTINE CMISSING(B)
+  REAL B(*)
+END
+)"),
+                 RuntimeError);
+}
+
+TEST(Interp, StepLimitGuardsRunaway) {
+    ExecutionOptions opts;
+    opts.max_steps = 1000;
+    EXPECT_THROW(run_src(R"(
+PROGRAM P
+  INTEGER I, J
+  J = 0
+  DO I = 1, 100000000
+    J = J + 1
+  END DO
+END
+)",
+                         {}, opts),
+                 RuntimeError);
+}
+
+// ---- the oracle: serial vs compiler-parallelized execution -----------------
+
+void expect_parallel_matches_serial(const std::string& src, std::vector<Value> deck = {}) {
+    auto prog_serial = frontend::parse(src);
+    Machine serial(prog_serial);
+    auto out_serial = serial.run(deck);
+
+    auto prog_par = frontend::parse(src);
+    auto report = core::compile(prog_par);
+    Machine parallel(prog_par);
+    ExecutionOptions opts;
+    opts.parallel = true;
+    opts.threads = 4;
+    auto out_par = parallel.run(deck, opts);
+
+    EXPECT_EQ(out_serial.output, out_par.output);
+    // At least one loop should actually have been parallelized, or the
+    // oracle is vacuous.
+    EXPECT_GT(report.loops_parallel(), 0) << "no loop was parallelized";
+}
+
+TEST(Oracle, VectorMapLoop) {
+    expect_parallel_matches_serial(R"(
+PROGRAM P
+  REAL A(1000), B(1000)
+  INTEGER I
+  DO I = 1, 1000
+    B(I) = I * 1.0
+  END DO
+  DO I = 1, 1000
+    A(I) = B(I) * 2.0 + 1.0
+  END DO
+  PRINT *, A(1), A(500), A(1000)
+END
+)");
+}
+
+TEST(Oracle, SumReduction) {
+    expect_parallel_matches_serial(R"(
+PROGRAM P
+  REAL A(2000), S
+  INTEGER I
+  DO I = 1, 2000
+    A(I) = I * 0.001
+  END DO
+  S = 0.0
+  DO I = 1, 2000
+    S = S + A(I)
+  END DO
+  PRINT *, S
+END
+)");
+}
+
+TEST(Oracle, PrivateScalarTemp) {
+    expect_parallel_matches_serial(R"(
+PROGRAM P
+  REAL A(500), B(500), T
+  INTEGER I
+  DO I = 1, 500
+    B(I) = I * 1.0
+  END DO
+  DO I = 1, 500
+    T = B(I) * B(I)
+    A(I) = T - B(I)
+  END DO
+  PRINT *, A(1), A(250), A(500)
+END
+)");
+}
+
+TEST(Oracle, PrivateScratchArray) {
+    expect_parallel_matches_serial(R"(
+PROGRAM P
+  REAL A(100), W(8)
+  INTEGER I, J
+  DO I = 1, 100
+    DO J = 1, 8
+      W(J) = I * J * 1.0
+    END DO
+    A(I) = 0.0
+    DO J = 1, 8
+      A(I) = A(I) + W(J)
+    END DO
+  END DO
+  PRINT *, A(1), A(100)
+END
+)");
+}
+
+TEST(Oracle, MaxReduction) {
+    expect_parallel_matches_serial(R"(
+PROGRAM P
+  REAL A(1000), BIG
+  INTEGER I
+  DO I = 1, 1000
+    A(I) = MOD(I * 37, 101) * 1.0
+  END DO
+  BIG = -1.0
+  DO I = 1, 1000
+    BIG = MAX(BIG, A(I))
+  END DO
+  PRINT *, BIG
+END
+)");
+}
+
+TEST(Oracle, NestedLoopsOuterParallel) {
+    expect_parallel_matches_serial(R"(
+PROGRAM P
+  REAL A(50, 50)
+  INTEGER I, J
+  DO I = 1, 50
+    DO J = 1, 50
+      A(I, J) = I * 100.0 + J
+    END DO
+  END DO
+  PRINT *, A(1, 1), A(25, 30), A(50, 50)
+END
+)");
+}
+
+TEST(Oracle, SerialStencilStaysCorrect) {
+    // The stencil loop must NOT be parallelized; the surrounding program
+    // must still run correctly under parallel mode.
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL A(100)
+  INTEGER I
+  DO I = 1, 100
+    A(I) = I * 1.0
+  END DO
+  DO I = 2, 100
+    A(I) = A(I - 1) + A(I)
+  END DO
+  PRINT *, A(100)
+END
+)");
+    auto report = core::compile(prog);
+    // Second loop serial.
+    EXPECT_FALSE(report.loops[1].parallel);
+    Machine m(prog);
+    ExecutionOptions opts;
+    opts.parallel = true;
+    auto out = m.run({}, opts);
+    EXPECT_EQ(out.output[0], "5050");
+}
+
+}  // namespace
+}  // namespace ap::interp

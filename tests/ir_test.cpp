@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/program.hpp"
+#include "ir/visit.hpp"
+
+namespace ap::ir {
+namespace {
+
+ExprPtr sample_expr() {
+    // A(I+1, 2*J) + MAX(N, 3) - 4.5
+    std::vector<ExprPtr> subs;
+    subs.push_back(add(make_var("I"), make_int(1)));
+    subs.push_back(mul(make_int(2), make_var("J")));
+    std::vector<ExprPtr> args;
+    args.push_back(make_var("N"));
+    args.push_back(make_int(3));
+    return sub(add(make_array_ref("A", std::move(subs)), make_call("MAX", std::move(args))),
+               make_real(4.5));
+}
+
+TEST(IrExpr, CloneProducesStructurallyEqualTree) {
+    auto e = sample_expr();
+    auto c = e->clone();
+    EXPECT_TRUE(e->equals(*c));
+    EXPECT_TRUE(c->equals(*e));
+}
+
+TEST(IrExpr, EqualsDistinguishesDifferentTrees) {
+    auto e = sample_expr();
+    auto other = add(make_var("I"), make_int(2));
+    EXPECT_FALSE(e->equals(*other));
+    auto i1 = make_int(7);
+    auto i2 = make_int(8);
+    EXPECT_FALSE(i1->equals(*i2));
+}
+
+TEST(IrExpr, PrinterRoundsTripRecognizableSyntax) {
+    auto e = sample_expr();
+    EXPECT_EQ(to_source(*e), "A(I + 1, 2 * J) + MAX(N, 3) - 4.5");
+}
+
+TEST(IrExpr, PrinterParenthesizesByPrecedence) {
+    // (I + 1) * J must keep its parentheses.
+    auto e = mul(add(make_var("I"), make_int(1)), make_var("J"));
+    EXPECT_EQ(to_source(*e), "(I + 1) * J");
+    // I + 1 * J must not gain parentheses.
+    auto f = add(make_var("I"), mul(make_int(1), make_var("J")));
+    EXPECT_EQ(to_source(*f), "I + 1 * J");
+    // Left-associativity: A - (B - C) needs parens, (A - B) - C does not.
+    auto g = sub(make_var("A"), sub(make_var("B"), make_var("C")));
+    EXPECT_EQ(to_source(*g), "A - (B - C)");
+    auto h = sub(sub(make_var("A"), make_var("B")), make_var("C"));
+    EXPECT_EQ(to_source(*h), "A - B - C");
+}
+
+TEST(IrStmt, DoLoopCloneCopiesAnnotations) {
+    Block body;
+    body.push_back(make_assign(make_var("X"), make_int(0)));
+    auto loop = make_do("I", make_int(1), make_var("N"), std::move(body));
+    auto* d = static_cast<DoLoop*>(loop.get());
+    d->loop_id = 42;
+    d->is_target = true;
+    d->annot.parallel = true;
+    d->annot.privates = {"T"};
+    d->annot.reductions = {{"S", ReductionOp::Sum}};
+    d->annot.verdict = Hindrance::Autoparallelized;
+
+    auto c = loop->clone();
+    const auto* cd = static_cast<const DoLoop*>(c.get());
+    EXPECT_EQ(cd->loop_id, 42);
+    EXPECT_TRUE(cd->is_target);
+    EXPECT_TRUE(cd->annot.parallel);
+    ASSERT_EQ(cd->annot.privates.size(), 1u);
+    EXPECT_EQ(cd->annot.privates[0], "T");
+    ASSERT_EQ(cd->annot.reductions.size(), 1u);
+    EXPECT_EQ(cd->annot.reductions[0].first, "S");
+    EXPECT_EQ(cd->annot.verdict, Hindrance::Autoparallelized);
+}
+
+Routine make_routine_with_nest() {
+    Routine r;
+    r.name = "NEST";
+    r.kind = RoutineKind::Subroutine;
+    Block inner;
+    inner.push_back(make_assign(
+        make_array_ref("A", [] {
+            std::vector<ExprPtr> v;
+            v.push_back(make_var("I"));
+            v.push_back(make_var("J"));
+            return v;
+        }()),
+        make_int(0)));
+    Block outer;
+    outer.push_back(make_do("J", make_int(1), make_var("M"), std::move(inner)));
+    Block top;
+    top.push_back(make_do("I", make_int(1), make_var("N"), std::move(outer)));
+    top.push_back(std::make_unique<ReturnStmt>());
+    r.body = std::move(top);
+    return r;
+}
+
+TEST(IrVisit, ForEachStmtVisitsNestedBodies) {
+    auto r = make_routine_with_nest();
+    int dos = 0, assigns = 0, returns = 0;
+    for_each_stmt(r.body, [&](const Stmt& s) {
+        switch (s.kind()) {
+            case StmtKind::Do: ++dos; break;
+            case StmtKind::Assign: ++assigns; break;
+            case StmtKind::Return: ++returns; break;
+            default: break;
+        }
+    });
+    EXPECT_EQ(dos, 2);
+    EXPECT_EQ(assigns, 1);
+    EXPECT_EQ(returns, 1);
+}
+
+TEST(IrVisit, ForEachExprDeepReachesSubscripts) {
+    auto r = make_routine_with_nest();
+    int var_refs = 0;
+    for_each_expr_deep(r.body, [&](const Expr& e) {
+        if (e.kind() == ExprKind::VarRef) ++var_refs;
+    });
+    // Loop bounds N and M, subscripts I and J.
+    EXPECT_EQ(var_refs, 4);
+}
+
+TEST(IrProgram, NumberLoopsAssignsDocumentOrder) {
+    Program p;
+    auto r = std::make_unique<Routine>(make_routine_with_nest());
+    p.add_routine(std::move(r));
+    const int n = number_loops(p);
+    EXPECT_EQ(n, 2);
+    std::vector<int> ids;
+    for_each_stmt(p.routines()[0]->body, [&](const Stmt& s) {
+        if (s.kind() == StmtKind::Do) ids.push_back(static_cast<const DoLoop&>(s).loop_id);
+    });
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], 0);
+    EXPECT_EQ(ids[1], 1);
+}
+
+TEST(IrProgram, DuplicateRoutineThrows) {
+    Program p;
+    auto a = std::make_unique<Routine>();
+    a->name = "FOO";
+    p.add_routine(std::move(a));
+    auto b = std::make_unique<Routine>();
+    b->name = "FOO";
+    EXPECT_THROW(p.add_routine(std::move(b)), std::invalid_argument);
+}
+
+TEST(IrProgram, CountStatementsIncludesDeclarations) {
+    Program p;
+    auto r = std::make_unique<Routine>(make_routine_with_nest());
+    Symbol a("A", ScalarType::Real, SymbolKind::Array);
+    a.dims.emplace_back(make_int(1), make_var("N"));
+    a.dims.emplace_back(make_int(1), make_var("M"));
+    r->symbols.declare(std::move(a));
+    r->symbols.declare(Symbol("N", ScalarType::Integer));
+    r->symbols.declare(Symbol("M", ScalarType::Integer));
+    p.add_routine(std::move(r));
+    // 1 header + 3 decls + 4 stmts (2 DO + assign + return)
+    EXPECT_EQ(count_statements(p), 8u);
+}
+
+TEST(IrSymbol, DeclareReplacesAndFinds) {
+    SymbolTable t;
+    t.declare(Symbol("X", ScalarType::Integer));
+    ASSERT_NE(t.find("X"), nullptr);
+    EXPECT_EQ(t.find("X")->type, ScalarType::Integer);
+    t.declare(Symbol("X", ScalarType::Real));
+    EXPECT_EQ(t.find("X")->type, ScalarType::Real);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.find("Y"), nullptr);
+}
+
+TEST(IrSymbol, CopySemanticsDeepCopyDims) {
+    Symbol a("A", ScalarType::Real, SymbolKind::Array);
+    a.dims.emplace_back(make_int(1), make_var("N"));
+    Symbol b = a;
+    ASSERT_EQ(b.dims.size(), 1u);
+    EXPECT_TRUE(b.dims[0].hi->equals(*a.dims[0].hi));
+    EXPECT_NE(b.dims[0].hi.get(), a.dims[0].hi.get());
+}
+
+TEST(IrPrinter, RoutineHeaderAndAnnotations) {
+    auto r = make_routine_with_nest();
+    auto* outer = static_cast<DoLoop*>(r.body[0].get());
+    outer->annot.parallel = true;
+    outer->annot.privates = {"J"};
+    const std::string s = to_source(r);
+    EXPECT_NE(s.find("SUBROUTINE NEST()"), std::string::npos);
+    EXPECT_NE(s.find("!$PARALLEL PRIVATE(J)"), std::string::npos);
+    EXPECT_NE(s.find("DO I = 1, N"), std::string::npos);
+    EXPECT_NE(s.find("END DO"), std::string::npos);
+}
+
+TEST(IrType, PromotionFollowsFortranRules) {
+    EXPECT_EQ(promote(ScalarType::Integer, ScalarType::Integer), ScalarType::Integer);
+    EXPECT_EQ(promote(ScalarType::Integer, ScalarType::Real), ScalarType::Real);
+    EXPECT_EQ(promote(ScalarType::Real, ScalarType::Complex), ScalarType::Complex);
+}
+
+}  // namespace
+}  // namespace ap::ir

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/listing.hpp"
+#include "corpus/corpus.hpp"
+#include "frontend/parser.hpp"
+
+namespace ap::core {
+namespace {
+
+TEST(Listing, ContainsVerdictsAndPassBreakdown) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N)
+  REAL A(N), T
+  INTEGER N, I
+  DO I = 1, N
+    T = A(I) * 2.0
+    A(I) = T
+  END DO
+  DO I = 2, N
+    A(I) = A(I - 1)
+  END DO
+  RETURN
+END
+)",
+                                "LISTDEMO");
+    auto report = compile(prog);
+    const std::string listing = make_listing(prog, report);
+    EXPECT_NE(listing.find("compilation listing: LISTDEMO"), std::string::npos);
+    EXPECT_NE(listing.find("PARALLEL"), std::string::npos);
+    EXPECT_NE(listing.find("private(T)"), std::string::npos);
+    EXPECT_NE(listing.find("symbol analysis"), std::string::npos);
+    EXPECT_NE(listing.find("data-dependence test"), std::string::npos);
+    EXPECT_NE(listing.find("ROUTINE S"), std::string::npos);
+}
+
+TEST(Listing, TargetSummaryAndForeignRoutines) {
+    const auto& corpus = corpus::gamess();
+    auto prog = corpus::load(corpus);
+    CompilerOptions opts;
+    opts.loop_op_budget = corpus.loop_op_budget;
+    auto report = compile(prog, opts);
+    const std::string listing = make_listing(prog, report);
+    EXPECT_NE(listing.find("target-loop hindrance summary"), std::string::npos);
+    EXPECT_NE(listing.find("rangeless"), std::string::npos);
+    EXPECT_NE(listing.find("EXTERNAL \"C\""), std::string::npos);
+    // Target loops are starred in the loop tables.
+    EXPECT_NE(listing.find("* "), std::string::npos);
+}
+
+TEST(Listing, OnlyTargetsFilters) {
+    const auto& corpus = corpus::sander();
+    auto prog = corpus::load(corpus);
+    CompilerOptions opts;
+    opts.loop_op_budget = corpus.loop_op_budget;
+    auto report = compile(prog, opts);
+    ListingOptions lo;
+    lo.only_targets = true;
+    lo.include_symbols = false;
+    const std::string listing = make_listing(prog, report, lo);
+    // SETUP's non-target loops must not appear.
+    EXPECT_EQ(listing.find("ROUTINE SETUP\n    loop"), std::string::npos);
+    EXPECT_NE(listing.find("(no loops)"), std::string::npos);
+}
+
+TEST(Listing, AnnotatedBodiesIncludedOnRequest) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N)
+  REAL A(N)
+  INTEGER N, I
+  DO I = 1, N
+    A(I) = 1.0
+  END DO
+  RETURN
+END
+)");
+    auto report = compile(prog);
+    ListingOptions lo;
+    lo.include_annotated = true;
+    const std::string listing = make_listing(prog, report, lo);
+    EXPECT_NE(listing.find("| SUBROUTINE S"), std::string::npos);
+    EXPECT_NE(listing.find("!$PARALLEL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ap::core

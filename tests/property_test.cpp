@@ -1,0 +1,248 @@
+// Property-based tests: algebraic laws of the symbolic engine checked
+// against brute-force evaluation, prover soundness against enumeration,
+// printer round-trip idempotence over the full corpora, and
+// reduction-operator sweeps through the parallel interpreter.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "core/compiler.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/foreigns.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "ir/printer.hpp"
+#include "symbolic/linear.hpp"
+#include "symbolic/range.hpp"
+
+namespace ap {
+namespace {
+
+// --- LinearForm algebra vs direct evaluation --------------------------------
+
+using Assignment = std::map<std::string, std::int64_t>;
+
+std::int64_t evaluate(const symbolic::LinearForm& f, const Assignment& values) {
+    std::int64_t total = f.constant();
+    for (const auto& [term, coeff] : f.terms()) {
+        std::int64_t prod = coeff;
+        for (const auto& factor : term.factors) prod *= values.at(factor);
+        total += prod;
+    }
+    return total;
+}
+
+/// Deterministic pseudo-random linear form over variables X, Y, Z.
+symbolic::LinearForm random_form(std::mt19937& rng) {
+    std::uniform_int_distribution<int> coeff(-4, 4);
+    std::uniform_int_distribution<int> pick(0, 2);
+    const char* names[] = {"X", "Y", "Z"};
+    symbolic::LinearForm f(coeff(rng));
+    for (int t = 0; t < 3; ++t) {
+        symbolic::LinearForm term(coeff(rng));
+        term = term.times(symbolic::LinearForm::variable(names[pick(rng)]));
+        if (pick(rng) == 0) term = term.times(symbolic::LinearForm::variable(names[pick(rng)]));
+        f += term;
+    }
+    return f;
+}
+
+class LinearFormLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinearFormLaws, RingOperationsMatchEvaluation) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    std::uniform_int_distribution<std::int64_t> value(-5, 5);
+    const auto a = random_form(rng);
+    const auto b = random_form(rng);
+    const auto c = random_form(rng);
+    for (int trial = 0; trial < 8; ++trial) {
+        const Assignment env{{"X", value(rng)}, {"Y", value(rng)}, {"Z", value(rng)}};
+        const auto va = evaluate(a, env), vb = evaluate(b, env), vc = evaluate(c, env);
+        EXPECT_EQ(evaluate(a + b, env), va + vb);
+        EXPECT_EQ(evaluate(a - b, env), va - vb);
+        EXPECT_EQ(evaluate(a.times(b), env), va * vb);
+        EXPECT_EQ(evaluate((a + b) + c, env), evaluate(a + (b + c), env));
+        EXPECT_EQ(evaluate(a.times(b + c), env), evaluate(a.times(b) + a.times(c), env));
+        EXPECT_EQ(evaluate(a.negate(), env), -va);
+        EXPECT_EQ(evaluate(a.scaled(3), env), 3 * va);
+    }
+}
+
+TEST_P(LinearFormLaws, SubstitutionMatchesEvaluation) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) + 1000);
+    std::uniform_int_distribution<std::int64_t> value(-5, 5);
+    const auto f = random_form(rng);
+    const auto g = random_form(rng);
+    for (int trial = 0; trial < 8; ++trial) {
+        Assignment env{{"X", value(rng)}, {"Y", value(rng)}, {"Z", value(rng)}};
+        // f[X := g] evaluated at env == f evaluated with X = g(env).
+        const auto substituted = f.substituted("X", g);
+        Assignment inner = env;
+        inner["X"] = evaluate(g, env);
+        EXPECT_EQ(evaluate(substituted, env), evaluate(f, inner));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearFormLaws, ::testing::Range(1, 9));
+
+// --- Prover soundness vs enumeration ------------------------------------------
+
+class ProverSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProverSoundness, VerdictsNeverContradictEnumeration) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) + 77);
+    std::uniform_int_distribution<std::int64_t> bound(-6, 6);
+    // Random ranges for X, Y, Z.
+    symbolic::RangeEnv env;
+    std::map<std::string, std::pair<std::int64_t, std::int64_t>> limits;
+    for (const char* name : {"X", "Y", "Z"}) {
+        auto lo = bound(rng);
+        auto hi = bound(rng);
+        if (lo > hi) std::swap(lo, hi);
+        env[name] = symbolic::SymRange::between(symbolic::LinearForm(lo),
+                                                symbolic::LinearForm(hi));
+        limits[name] = {lo, hi};
+    }
+    symbolic::Prover prover(env);
+    for (int trial = 0; trial < 16; ++trial) {
+        const auto f = random_form(rng);
+        // Enumerate the true min/max.
+        std::int64_t true_min = INT64_MAX, true_max = INT64_MIN;
+        for (auto x = limits["X"].first; x <= limits["X"].second; ++x) {
+            for (auto y = limits["Y"].first; y <= limits["Y"].second; ++y) {
+                for (auto z = limits["Z"].first; z <= limits["Z"].second; ++z) {
+                    const auto v = evaluate(f, {{"X", x}, {"Y", y}, {"Z", z}});
+                    true_min = std::min(true_min, v);
+                    true_max = std::max(true_max, v);
+                }
+            }
+        }
+        // Interval bounds must bracket the truth.
+        if (auto lb = prover.lower_bound(f)) EXPECT_LE(*lb, true_min) << f.to_string();
+        if (auto ub = prover.upper_bound(f)) EXPECT_GE(*ub, true_max) << f.to_string();
+        // Proof verdicts must never contradict enumeration.
+        switch (prover.prove_nonneg(f)) {
+            case symbolic::Proof::Proven:
+                EXPECT_GE(true_min, 0) << f.to_string();
+                break;
+            case symbolic::Proof::Disproven:
+                EXPECT_LT(true_max, 0) << f.to_string();
+                break;
+            case symbolic::Proof::Unknown:
+                break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProverSoundness, ::testing::Range(1, 13));
+
+// --- printer round trip over the corpora ---------------------------------------
+
+class PrinterRoundTrip : public ::testing::TestWithParam<const corpus::CorpusProgram*> {};
+
+TEST_P(PrinterRoundTrip, PrintParsePrintIsIdempotent) {
+    const auto& corpus = *GetParam();
+    auto prog1 = corpus::load(corpus);
+    const std::string printed1 = ir::to_source(prog1);
+    auto prog2 = frontend::parse(printed1, corpus.name);
+    const std::string printed2 = ir::to_source(prog2);
+    EXPECT_EQ(printed1, printed2) << corpus.name;
+    EXPECT_EQ(ir::count_statements(prog1), ir::count_statements(prog2));
+}
+
+TEST_P(PrinterRoundTrip, ReparsedProgramCompilesIdentically) {
+    const auto& corpus = *GetParam();
+    core::CompilerOptions opts;
+    opts.loop_op_budget = corpus.loop_op_budget;
+
+    auto prog1 = corpus::load(corpus);
+    auto report1 = core::compile(prog1, opts);
+
+    auto prog2 = frontend::parse(ir::to_source(corpus::load(corpus)), corpus.name);
+    auto report2 = core::compile(prog2, opts);
+
+    EXPECT_EQ(report1.loops_total(), report2.loops_total());
+    EXPECT_EQ(report1.loops_parallel(), report2.loops_parallel());
+    EXPECT_EQ(report1.target_histogram(), report2.target_histogram());
+}
+
+TEST_P(PrinterRoundTrip, AnnotatedOutputReparsesAndRecompiles) {
+    // After compilation the printed source carries !$PARALLEL / !$SERIAL
+    // annotations; it must still parse, and recompiling it must yield the
+    // same verdicts.
+    const auto& corpus = *GetParam();
+    core::CompilerOptions opts;
+    opts.loop_op_budget = corpus.loop_op_budget;
+
+    auto prog1 = corpus::load(corpus);
+    auto report1 = core::compile(prog1, opts);
+    const std::string annotated = ir::to_source(prog1);
+
+    auto prog2 = frontend::parse(annotated, corpus.name);
+    auto report2 = core::compile(prog2, opts);
+    EXPECT_EQ(report1.target_histogram(), report2.target_histogram()) << corpus.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorpora, PrinterRoundTrip,
+                         ::testing::Values(&corpus::seismic(), &corpus::gamess(),
+                                           &corpus::sander(), &corpus::perfect(),
+                                           &corpus::linpack()),
+                         [](const auto& info) {
+                             std::string name = info.param->name;
+                             for (auto& c : name) {
+                                 if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                             }
+                             return name;
+                         });
+
+// --- reduction operator sweep through the oracle --------------------------------
+
+struct ReductionCase {
+    const char* label;
+    const char* update;  ///< statement updating S from A(I)
+    const char* init;
+};
+
+class ReductionSweep : public ::testing::TestWithParam<ReductionCase> {};
+
+TEST_P(ReductionSweep, ParallelExecutionMatchesSerialExactly) {
+    const auto& c = GetParam();
+    const std::string src = std::string(R"(
+PROGRAM P
+  REAL A(777), S
+  INTEGER I
+  DO I = 1, 777
+    A(I) = MOD(I * 131, 997) * 0.001
+  END DO
+  S = )") + c.init + "\n  DO I = 1, 777\n    " + c.update +
+                            "\n  END DO\n  PRINT *, S\nEND\n";
+    auto serial_prog = frontend::parse(src);
+    interp::Machine serial(serial_prog);
+    const auto serial_out = serial.run({});
+
+    auto par_prog = frontend::parse(src);
+    auto report = core::compile(par_prog);
+    // The reduction loop must actually be parallel or the sweep is vacuous.
+    EXPECT_TRUE(report.loops.back().parallel) << c.label << ": " << report.loops.back().reason;
+    interp::Machine par(par_prog);
+    interp::ExecutionOptions opts;
+    opts.parallel = true;
+    opts.threads = 4;
+    const auto par_out = par.run({}, opts);
+    EXPECT_EQ(serial_out.output, par_out.output) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, ReductionSweep,
+    ::testing::Values(ReductionCase{"sum", "S = S + A(I)", "0.0"},
+                      ReductionCase{"sum_multi", "S = S + A(I) * A(I) - A(I)", "0.0"},
+                      ReductionCase{"subtract", "S = S - A(I)", "100.0"},
+                      ReductionCase{"product", "S = S * (1.0 + A(I) * 0.001)", "1.0"},
+                      ReductionCase{"max", "S = MAX(S, A(I))", "-1.0"},
+                      ReductionCase{"min", "S = MIN(S, A(I))", "2.0"}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace ap

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpisim/mpisim.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/timer.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace ap {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+    runtime::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&] {
+            count.fetch_add(1);
+            done.fetch_add(1);
+        });
+    }
+    while (done.load() < 100) std::this_thread::yield();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, CoversEveryIterationExactlyOnce) {
+    std::vector<std::atomic<int>> hits(1000);
+    runtime::parallel_for(0, 1000, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; },
+                          {.threads = 4});
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+    int calls = 0;
+    runtime::parallel_for(5, 5, [&](std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    runtime::parallel_for(5, 6, [&](std::int64_t i) {
+        ++calls;
+        EXPECT_EQ(i, 5);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, GrainForcesInlineExecution) {
+    const auto main_id = std::this_thread::get_id();
+    std::atomic<bool> off_thread{false};
+    runtime::parallel_for(
+        0, 8,
+        [&](std::int64_t) {
+            if (std::this_thread::get_id() != main_id) off_thread = true;
+        },
+        {.threads = 4, .grain = 100});
+    EXPECT_FALSE(off_thread.load());
+}
+
+TEST(ParallelFor, NestedCallsRunInlineNotDeadlock) {
+    std::atomic<int> total{0};
+    runtime::parallel_for(
+        0, 8,
+        [&](std::int64_t) {
+            runtime::parallel_for(0, 8, [&](std::int64_t) { total.fetch_add(1); },
+                                  {.threads = 4});
+        },
+        {.threads = 4});
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, SpeedsUpOrAtLeastMatchesComputeBoundLoop) {
+    // Smoke check only: with 4 threads a compute-bound loop should not be
+    // dramatically slower than serial.
+    auto work = [](std::int64_t i) {
+        volatile double x = 0;
+        for (int k = 0; k < 2000; ++k) x = x + static_cast<double>(i) * 1e-9;
+    };
+    runtime::Timer t0;
+    for (std::int64_t i = 0; i < 2000; ++i) work(i);
+    const double serial = t0.seconds();
+    runtime::Timer t1;
+    runtime::parallel_for(0, 2000, work, {.threads = 4});
+    const double parallel = t1.seconds();
+    EXPECT_LT(parallel, serial * 2.0);
+}
+
+TEST(ForkJoinOverhead, IsMeasurableAndSmall) {
+    const double o = runtime::measure_fork_join_overhead(4, 20);
+    EXPECT_GT(o, 0.0);
+    EXPECT_LT(o, 0.01);  // 10ms would mean something is very wrong
+}
+
+TEST(MpiSim, SendRecvRoundTrip) {
+    mpisim::Communicator comm(2);
+    comm.run([](mpisim::Rank& r) {
+        if (r.rank() == 0) {
+            std::vector<double> data{1.0, 2.0, 3.0};
+            r.send<double>(1, 7, data);
+            auto back = r.recv<double>(1, 8);
+            ASSERT_EQ(back.size(), 3u);
+            EXPECT_DOUBLE_EQ(back[1], 4.0);
+        } else {
+            auto data = r.recv<double>(0, 7);
+            for (auto& x : data) x *= 2.0;
+            r.send<double>(0, 8, data);
+        }
+    });
+}
+
+TEST(MpiSim, TagMatchingOutOfOrder) {
+    mpisim::Communicator comm(2);
+    comm.run([](mpisim::Rank& r) {
+        if (r.rank() == 0) {
+            r.send_value<int>(1, /*tag=*/1, 111);
+            r.send_value<int>(1, /*tag=*/2, 222);
+        } else {
+            // Receive tag 2 first even though tag 1 was sent first.
+            EXPECT_EQ(r.recv_value<int>(0, 2), 222);
+            EXPECT_EQ(r.recv_value<int>(0, 1), 111);
+        }
+    });
+}
+
+TEST(MpiSim, BarrierSynchronizesRepeatedly) {
+    mpisim::Communicator comm(4);
+    std::atomic<int> phase_counts[3] = {{0}, {0}, {0}};
+    comm.run([&](mpisim::Rank& r) {
+        for (int phase = 0; phase < 3; ++phase) {
+            phase_counts[phase].fetch_add(1);
+            r.barrier();
+            // After the barrier every rank must have bumped this phase.
+            EXPECT_EQ(phase_counts[phase].load(), 4);
+        }
+    });
+}
+
+TEST(MpiSim, BroadcastScatterGather) {
+    mpisim::Communicator comm(4);
+    comm.run([](mpisim::Rank& r) {
+        std::vector<double> data;
+        if (r.rank() == 2) data = {5.0, 6.0};
+        r.broadcast(data, 2);
+        ASSERT_EQ(data.size(), 2u);
+        EXPECT_DOUBLE_EQ(data[0], 5.0);
+
+        std::vector<double> all;
+        if (r.rank() == 0) {
+            all.resize(16);
+            std::iota(all.begin(), all.end(), 0.0);
+        }
+        auto mine = r.scatter(all, 0);
+        ASSERT_EQ(mine.size(), 4u);
+        EXPECT_DOUBLE_EQ(mine[0], r.rank() * 4.0);
+
+        for (auto& x : mine) x += 100.0;
+        auto gathered = r.gather(mine, 0);
+        if (r.rank() == 0) {
+            ASSERT_EQ(gathered.size(), 16u);
+            EXPECT_DOUBLE_EQ(gathered[15], 115.0);
+        }
+    });
+}
+
+TEST(MpiSim, AllreduceSum) {
+    mpisim::Communicator comm(4);
+    comm.run([](mpisim::Rank& r) {
+        const double total = r.allreduce_sum(static_cast<double>(r.rank() + 1));
+        EXPECT_DOUBLE_EQ(total, 10.0);
+    });
+}
+
+TEST(MpiSim, ExceptionInRankPropagates) {
+    mpisim::Communicator comm(2);
+    EXPECT_THROW(comm.run([](mpisim::Rank& r) {
+        r.barrier();
+        if (r.rank() == 1) throw std::runtime_error("rank 1 failed");
+    }),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ap

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "seismic/seismic.hpp"
+
+namespace ap::seismic {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+class SeismicPhases : public ::testing::TestWithParam<Flavor> {};
+
+TEST_P(SeismicPhases, DatagenChecksumMatchesSerial) {
+    const Deck deck = Deck::tiny();
+    const auto serial = run_datagen(deck, Flavor::Serial, 1);
+    const auto other = run_datagen(deck, GetParam(), 2);
+    EXPECT_NEAR(other.checksum, serial.checksum, kTol * std::abs(serial.checksum));
+    EXPECT_GT(serial.checksum, 0.0);
+}
+
+TEST_P(SeismicPhases, StackChecksumMatchesSerial) {
+    const Deck deck = Deck::tiny();
+    const auto serial = run_stack(deck, Flavor::Serial, 1);
+    const auto other = run_stack(deck, GetParam(), 2);
+    EXPECT_NEAR(other.checksum, serial.checksum, kTol * std::abs(serial.checksum));
+    EXPECT_GT(serial.checksum, 0.0);
+}
+
+TEST_P(SeismicPhases, Fft3dChecksumMatchesSerial) {
+    const Deck deck = Deck::tiny();
+    const auto serial = run_fft3d(deck, Flavor::Serial, 1);
+    const auto other = run_fft3d(deck, GetParam(), 2);
+    EXPECT_NEAR(other.checksum, serial.checksum, 1e-6 * std::abs(serial.checksum));
+    EXPECT_GT(serial.checksum, 0.0);
+}
+
+TEST_P(SeismicPhases, FindiffChecksumMatchesSerial) {
+    const Deck deck = Deck::tiny();
+    const auto serial = run_findiff(deck, Flavor::Serial, 1);
+    const auto other = run_findiff(deck, GetParam(), 2);
+    EXPECT_NEAR(other.checksum, serial.checksum, kTol * std::abs(serial.checksum));
+    EXPECT_GT(serial.checksum, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavors, SeismicPhases,
+                         ::testing::Values(Flavor::Serial, Flavor::Mpi, Flavor::OuterParallel,
+                                           Flavor::AutoInner),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Seismic, FftRoundTripRecoversInput) {
+    // After forward+inverse+normalize the checksum equals the input's
+    // mean magnitude; verify it is stable across two runs (determinism).
+    const Deck deck = Deck::tiny();
+    const auto a = run_fft3d(deck, Flavor::Serial, 1);
+    const auto b = run_fft3d(deck, Flavor::Serial, 1);
+    EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(Seismic, SynthesizeTracesIsDeterministic) {
+    const Deck deck = Deck::tiny();
+    const auto a = synthesize_traces(deck);
+    const auto b = synthesize_traces(deck);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a, b);
+    // Not all zeros.
+    double sum = 0;
+    for (double x : a) sum += std::abs(x);
+    EXPECT_GT(sum, 0.0);
+}
+
+TEST(Seismic, DeckSizesScale) {
+    const Deck s = Deck::small();
+    const Deck m = Deck::medium();
+    const auto mem = [](const Deck& d) {
+        return static_cast<long long>(d.nshots) * d.ntraces * d.nsamples +
+               static_cast<long long>(d.nx) * d.ny * d.nz * 2 +
+               3LL * d.grid * d.grid;
+    };
+    // MEDIUM is roughly an order of magnitude more memory than SMALL.
+    EXPECT_GE(mem(m), 6 * mem(s));
+}
+
+TEST(Seismic, SuiteRunsAllPhases) {
+    const auto result = run_suite(Deck::tiny(), Flavor::Serial, 1);
+    for (const auto& phase : result.phases) {
+        EXPECT_GT(phase.checksum, 0.0);
+        EXPECT_GE(phase.seconds, 0.0);
+    }
+    EXPECT_GT(result.total_seconds(), 0.0);
+}
+
+TEST(Seismic, FftAgainstNaiveDft) {
+    // Validate the suite's radix-2 FFT against a direct DFT on a tiny
+    // cube by comparing the flavor-independent spectrum checksum with an
+    // independently computed reference. The run_fft3d checksum is the
+    // mean |value| after a forward+inverse round trip, which must equal
+    // the mean |value| of the input field itself.
+    const Deck deck = Deck::tiny();
+    const auto fft = run_fft3d(deck, Flavor::Serial, 1);
+    // Reference: rebuild the deterministic input field and average |v|.
+    double sum = 0;
+    for (int z = 0; z < deck.nz; ++z) {
+        for (int y = 0; y < deck.ny; ++y) {
+            for (int x = 0; x < deck.nx; ++x) {
+                const double phase = 0.11 * x + 0.23 * y + 0.37 * z;
+                const double re = std::sin(phase) + 0.25 * std::cos(2.9 * phase);
+                const double im = 0.1 * std::cos(phase);
+                sum += std::sqrt(re * re + im * im);
+            }
+        }
+    }
+    const double reference =
+        sum / (static_cast<double>(deck.nx) * deck.ny * deck.nz);
+    EXPECT_NEAR(fft.checksum, reference, 1e-9 * std::abs(reference));
+}
+
+TEST(Seismic, MpiWithDifferentRankCountsAgrees) {
+    const Deck deck = Deck::tiny();
+    const auto two = run_findiff(deck, Flavor::Mpi, 2);
+    const auto four = run_findiff(deck, Flavor::Mpi, 4);
+    EXPECT_NEAR(two.checksum, four.checksum, kTol * std::abs(two.checksum));
+}
+
+}  // namespace
+}  // namespace ap::seismic

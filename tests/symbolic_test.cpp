@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "symbolic/linear.hpp"
+#include "symbolic/range.hpp"
+
+namespace ap::symbolic {
+namespace {
+
+LinearForm lf(const ir::Expr& e) {
+    auto r = to_linear(e);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? *r.form : LinearForm();
+}
+
+ir::ExprPtr expr_of(const std::string& text) {
+    // Parse `X = <text>` inside a scratch program and pull out the rhs.
+    // Array names A/B/IDX are pre-declared so ArrayRef parsing works.
+    const std::string src = "PROGRAM SCRATCH\n  REAL A(10), B(10, 10)\n  INTEGER IDX(10)\n  X = " +
+                            text + "\nEND\n";
+    auto prog = frontend::parse(src);
+    auto& body = prog.find("SCRATCH")->body;
+    auto& assign = static_cast<ir::Assign&>(*body.at(0));
+    return assign.rhs->clone();
+}
+
+TEST(LinearForm, ConvertsAffineExpressions) {
+    auto f = lf(*expr_of("2 * I + 3 * J - 5"));
+    EXPECT_EQ(f.constant(), -5);
+    EXPECT_EQ(f.coeff_of("I"), 2);
+    EXPECT_EQ(f.coeff_of("J"), 3);
+    EXPECT_TRUE(f.affine_in("I"));
+}
+
+TEST(LinearForm, CancelsTerms) {
+    auto f = lf(*expr_of("I + J - I"));
+    EXPECT_EQ(f.coeff_of("I"), 0);
+    EXPECT_EQ(f.coeff_of("J"), 1);
+    EXPECT_FALSE(f.depends_on("I"));
+}
+
+TEST(LinearForm, ProductsBecomeHigherDegreeTerms) {
+    auto f = lf(*expr_of("N * M + 2 * N"));
+    EXPECT_TRUE(f.depends_on("N"));
+    EXPECT_FALSE(f.affine_in("N"));  // N occurs in degree-2 term N*M
+    EXPECT_EQ(f.coeff_of("N"), 2);   // degree-1 coefficient
+    // (I + 1) * (I + 1) = I^2 + 2I + 1
+    auto g = lf(*expr_of("(I + 1) * (I + 1)"));
+    EXPECT_EQ(g.constant(), 1);
+    EXPECT_EQ(g.coeff_of("I"), 2);
+    Term sq{{"I", "I"}};
+    ASSERT_TRUE(g.terms().contains(sq));
+    EXPECT_EQ(g.terms().at(sq), 1);
+}
+
+TEST(LinearForm, ConstantsMapFoldsNames) {
+    std::map<std::string, std::int64_t> consts{{"N", 100}};
+    auto r = to_linear(*expr_of("N * I + N"), consts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.form->coeff_of("I"), 100);
+    EXPECT_EQ(r.form->constant(), 100);
+}
+
+TEST(LinearForm, ExactConstantDivision) {
+    auto r = to_linear(*expr_of("(4 * I + 8) / 2"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.form->coeff_of("I"), 2);
+    EXPECT_EQ(r.form->constant(), 4);
+}
+
+TEST(LinearForm, InexactDivisionFails) {
+    auto r = to_linear(*expr_of("(I + 1) / 2"));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.failure, ConvertFailure::NonAffine);
+}
+
+TEST(LinearForm, IndirectionDetected) {
+    auto r = to_linear(*expr_of("IDX(I) + 1"));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.failure, ConvertFailure::Indirection);
+}
+
+TEST(LinearForm, CallsAreNonAffine) {
+    auto r = to_linear(*expr_of("MAX(I, J)"));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.failure, ConvertFailure::NonAffine);
+}
+
+TEST(LinearForm, SubstitutionExpandsProducts) {
+    // f = I*M + J, substitute I := K + 1  ->  K*M + M + J
+    auto f = lf(*expr_of("I * M + J"));
+    auto g = f.substituted("I", lf(*expr_of("K + 1")));
+    EXPECT_EQ(g.coeff_of("J"), 1);
+    EXPECT_EQ(g.coeff_of("M"), 1);
+    Term km{{"K", "M"}};
+    ASSERT_TRUE(g.terms().contains(km));
+    EXPECT_EQ(g.terms().at(km), 1);
+}
+
+TEST(LinearForm, ToStringReadable) {
+    auto f = lf(*expr_of("2 * I - J + 7"));
+    EXPECT_EQ(f.to_string(), "7 + 2*I - J");
+}
+
+// --- Prover ---------------------------------------------------------------
+
+TEST(Prover, ConstantFacts) {
+    RangeEnv env;
+    Prover p(env);
+    EXPECT_EQ(p.prove_nonneg(LinearForm(3)), Proof::Proven);
+    EXPECT_EQ(p.prove_nonneg(LinearForm(-1)), Proof::Disproven);
+    EXPECT_EQ(p.prove_pos(LinearForm(0)), Proof::Disproven);
+}
+
+TEST(Prover, UsesVariableRanges) {
+    RangeEnv env;
+    env["N"] = SymRange::between(LinearForm(1), LinearForm(1000));
+    Prover p(env);
+    // N >= 0
+    EXPECT_EQ(p.prove_nonneg(LinearForm::variable("N")), Proof::Proven);
+    // N - 2000 < 0, i.e. not nonneg
+    auto f = LinearForm::variable("N") - LinearForm(2000);
+    EXPECT_EQ(p.prove_nonneg(f), Proof::Disproven);
+    // N - 500: unknown
+    auto g = LinearForm::variable("N") - LinearForm(500);
+    EXPECT_EQ(p.prove_nonneg(g), Proof::Unknown);
+}
+
+TEST(Prover, ResolvesSymbolicBoundsRecursively) {
+    RangeEnv env;
+    env["N"] = SymRange::between(LinearForm(1), LinearForm(100));
+    // I in [1, N] — bound of I resolves through N's range.
+    env["I"] = SymRange::between(LinearForm(1), LinearForm::variable("N"));
+    Prover p(env);
+    auto i = LinearForm::variable("I");
+    EXPECT_EQ(p.lower_bound(i), 1);
+    EXPECT_EQ(p.upper_bound(i), 100);
+    // I - 101 can never be nonneg.
+    EXPECT_EQ(p.prove_nonneg(i - LinearForm(101)), Proof::Disproven);
+}
+
+TEST(Prover, RecordsRanglessBlockers) {
+    RangeEnv env;  // M absent: rangeless
+    Prover p(env);
+    auto f = LinearForm::variable("M") - LinearForm(1);
+    EXPECT_EQ(p.prove_nonneg(f), Proof::Unknown);
+    EXPECT_TRUE(p.blockers().contains("M"));
+}
+
+TEST(Prover, OneSidedRangeStillBlocksOtherSide) {
+    RangeEnv env;
+    env["N"] = SymRange{LinearForm(1), std::nullopt};  // N >= 1, no upper bound
+    Prover p(env);
+    EXPECT_EQ(p.prove_nonneg(LinearForm::variable("N")), Proof::Proven);
+    // N <= 10 unknowable.
+    EXPECT_EQ(p.prove_le(LinearForm::variable("N"), LinearForm(10)), Proof::Unknown);
+    EXPECT_TRUE(p.blockers().contains("N"));
+}
+
+TEST(Prover, ProductBounds) {
+    RangeEnv env;
+    env["N"] = SymRange::between(LinearForm(1), LinearForm(10));
+    env["M"] = SymRange::between(LinearForm(2), LinearForm(3));
+    Prover p(env);
+    LinearForm nm = LinearForm::variable("N").times(LinearForm::variable("M"));
+    EXPECT_EQ(p.lower_bound(nm), 2);
+    EXPECT_EQ(p.upper_bound(nm), 30);
+}
+
+TEST(Prover, NegativeRangesInProducts) {
+    RangeEnv env;
+    env["A"] = SymRange::between(LinearForm(-3), LinearForm(2));
+    env["B"] = SymRange::between(LinearForm(-1), LinearForm(4));
+    Prover p(env);
+    LinearForm ab = LinearForm::variable("A").times(LinearForm::variable("B"));
+    EXPECT_EQ(p.lower_bound(ab), -12);  // -3 * 4
+    EXPECT_EQ(p.upper_bound(ab), 8);    // 2 * 4
+}
+
+TEST(Prover, ProveEq) {
+    RangeEnv env;
+    Prover p(env);
+    auto a = LinearForm::variable("I") + LinearForm(1);
+    auto b = LinearForm(1) + LinearForm::variable("I");
+    EXPECT_EQ(p.prove_eq(a, b), Proof::Proven);
+    EXPECT_EQ(p.prove_eq(a, a + LinearForm(1)), Proof::Disproven);
+    EXPECT_EQ(p.prove_eq(a, LinearForm::variable("J")), Proof::Unknown);
+}
+
+TEST(Prover, DepthLimitStopsRunawayRecursion) {
+    RangeEnv env;
+    // Mutually-recursive ranges: A in [1, B], B in [1, A].
+    env["A"] = SymRange::between(LinearForm(1), LinearForm::variable("B"));
+    env["B"] = SymRange::between(LinearForm(1), LinearForm::variable("A"));
+    Prover p(env, 6);
+    // Must terminate; upper bound underivable.
+    EXPECT_FALSE(p.upper_bound(LinearForm::variable("A")).has_value());
+    EXPECT_EQ(p.lower_bound(LinearForm::variable("A")), 1);
+}
+
+TEST(OpCounter, TracksWork) {
+    OpCounter::reset();
+    RangeEnv env;
+    env["N"] = SymRange::between(LinearForm(1), LinearForm(10));
+    Prover p(env);
+    (void)p.prove_nonneg(LinearForm::variable("N"));
+    EXPECT_GT(OpCounter::count(), 0u);
+}
+
+}  // namespace
+}  // namespace ap::symbolic

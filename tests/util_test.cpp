@@ -1,0 +1,171 @@
+// Coverage for remaining utility surfaces: symbolic variable elimination
+// (the primitive under region summaries and the Range Test), the report
+// Table formatter, storage_location layouts, and the simulated-machine
+// timer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/regions.hpp"
+#include "core/report.hpp"
+#include "frontend/parser.hpp"
+#include "runtime/sim.hpp"
+#include "symbolic/range.hpp"
+
+namespace ap {
+namespace {
+
+using symbolic::LinearForm;
+using symbolic::SymRange;
+
+TEST(EliminateExtreme, PicksBoundBySign) {
+    // f = 3*I - 2*J + 5 with I in [1, 10], J in [0, 4].
+    LinearForm f = LinearForm(5) + LinearForm::variable("I").scaled(3) -
+                   LinearForm::variable("J").scaled(2);
+    std::vector<std::pair<std::string, SymRange>> vars{
+        {"I", SymRange::between(LinearForm(1), LinearForm(10))},
+        {"J", SymRange::between(LinearForm(0), LinearForm(4))},
+    };
+    auto lo = symbolic::eliminate_extreme(f, vars, /*maximize=*/false);
+    auto hi = symbolic::eliminate_extreme(f, vars, /*maximize=*/true);
+    ASSERT_TRUE(lo && hi);
+    EXPECT_EQ(lo->constant(), 5 + 3 * 1 - 2 * 4);  // 0
+    EXPECT_EQ(hi->constant(), 5 + 3 * 10 - 2 * 0);  // 35
+}
+
+TEST(EliminateExtreme, TriangularBoundsResolveInnerFirst) {
+    // f = J with J in [1, I], I in [1, N]: max is N, min is 1.
+    LinearForm f = LinearForm::variable("J");
+    std::vector<std::pair<std::string, SymRange>> vars{
+        {"J", SymRange::between(LinearForm(1), LinearForm::variable("I"))},
+        {"I", SymRange::between(LinearForm(1), LinearForm::variable("N"))},
+    };
+    auto hi = symbolic::eliminate_extreme(f, vars, true);
+    ASSERT_TRUE(hi);
+    EXPECT_EQ(hi->coeff_of("N"), 1);
+    EXPECT_EQ(hi->constant(), 0);
+    auto lo = symbolic::eliminate_extreme(f, vars, false);
+    ASSERT_TRUE(lo);
+    EXPECT_EQ(lo->constant(), 1);
+}
+
+TEST(EliminateExtreme, FailsOnMissingSideOrNonAffine) {
+    LinearForm f = LinearForm::variable("I");
+    std::vector<std::pair<std::string, SymRange>> one_sided{
+        {"I", SymRange{LinearForm(0), std::nullopt}},
+    };
+    EXPECT_FALSE(symbolic::eliminate_extreme(f, one_sided, true).has_value());
+    EXPECT_TRUE(symbolic::eliminate_extreme(f, one_sided, false).has_value());
+
+    LinearForm sq = LinearForm::variable("I").times(LinearForm::variable("I"));
+    std::vector<std::pair<std::string, SymRange>> full{
+        {"I", SymRange::between(LinearForm(1), LinearForm(4))},
+    };
+    EXPECT_FALSE(symbolic::eliminate_extreme(sq, full, true).has_value());
+}
+
+TEST(EliminateExtreme, UntouchedVariablesSurvive) {
+    LinearForm f = LinearForm::variable("I") + LinearForm::variable("K").scaled(7);
+    std::vector<std::pair<std::string, SymRange>> vars{
+        {"I", SymRange::between(LinearForm(2), LinearForm(3))},
+    };
+    auto hi = symbolic::eliminate_extreme(f, vars, true);
+    ASSERT_TRUE(hi);
+    EXPECT_EQ(hi->coeff_of("K"), 7);
+    EXPECT_EQ(hi->constant(), 3);
+}
+
+TEST(ReportTable, AlignsColumnsAndFormatsNumbers) {
+    core::Table t({"name", "value"});
+    t.add_row({"alpha", core::Table::fixed(1.23456, 2)});
+    t.add_row({"a-much-longer-name", core::Table::count(42)});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.23"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    // Header underline spans the widest row.
+    EXPECT_NE(s.find("------"), std::string::npos);
+    // Every line has the same column start for "value".
+    const auto header_pos = s.find("value");
+    ASSERT_NE(header_pos, std::string::npos);
+}
+
+TEST(StorageLocation, CommonOffsetsAccumulateMemberSizes) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S
+  COMMON /B/ HEAD, MID(3, 2), TAIL(4)
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    const auto loc_head = analysis::storage_location(*s, *s->symbols.find("HEAD"));
+    const auto loc_mid = analysis::storage_location(*s, *s->symbols.find("MID"));
+    const auto loc_tail = analysis::storage_location(*s, *s->symbols.find("TAIL"));
+    EXPECT_EQ(loc_head.key, "/B");
+    EXPECT_EQ(loc_head.base_offset, 0);
+    EXPECT_EQ(loc_mid.base_offset, 1);
+    EXPECT_EQ(loc_tail.base_offset, 7);  // 1 + 3*2
+}
+
+TEST(StorageLocation, SymbolicMemberSizeYieldsUnknownOffset) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(N)
+  INTEGER N
+  COMMON /B/ V(N), W(4)
+  RETURN
+END
+)");
+    const auto* s = prog.find("S");
+    const auto loc_w = analysis::storage_location(*s, *s->symbols.find("W"));
+    EXPECT_EQ(loc_w.key, "/B");
+    EXPECT_FALSE(loc_w.base_offset.has_value());
+}
+
+TEST(SimTimer, ComputeScalesMemoryDoesNot) {
+    runtime::SimCostModel model;
+    model.nprocs = 4;
+    model.fork_join_latency = 0.0;  // isolate the scaling rule
+    auto burn = [](std::int64_t) {
+        volatile double x = 0;
+        for (int k = 0; k < 2000; ++k) x = x + 1e-9;
+    };
+    // Median of several trials to ride out scheduler noise on busy hosts.
+    std::vector<double> ratios;
+    for (int trial = 0; trial < 5; ++trial) {
+        runtime::SimTimer compute(model);
+        compute.parallel(0, 4000, burn, runtime::SimTimer::Bound::Compute);
+        runtime::SimTimer memory(model);
+        memory.parallel(0, 4000, burn, runtime::SimTimer::Bound::Memory);
+        ratios.push_back(memory.seconds() / compute.seconds());
+    }
+    std::sort(ratios.begin(), ratios.end());
+    // Memory-bound charge is the sum of all chunks: ~4x the compute
+    // charge (slowest single chunk). Allow generous noise margins.
+    EXPECT_GT(ratios[2], 1.8);
+}
+
+TEST(SimTimer, ForkLatencyChargedPerRegion) {
+    runtime::SimCostModel model;
+    model.fork_join_latency = 1e-3;
+    runtime::SimTimer sim(model);
+    for (int r = 0; r < 10; ++r) {
+        sim.parallel(0, 4, [](std::int64_t) {});
+    }
+    EXPECT_EQ(sim.fork_count(), 10);
+    EXPECT_GE(sim.seconds(), 10e-3);
+    EXPECT_LT(sim.seconds(), 15e-3);
+}
+
+TEST(SimTimer, CommunicateUsesLatencyAndBandwidth) {
+    runtime::SimCostModel model;
+    model.msg_latency = 1e-6;
+    model.bandwidth = 1e9;
+    runtime::SimTimer sim(model);
+    sim.communicate(1000, 1'000'000);
+    EXPECT_NEAR(sim.seconds(), 1e-3 + 1e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace ap
