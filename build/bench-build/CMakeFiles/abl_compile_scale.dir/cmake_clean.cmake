@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_compile_scale"
+  "../bench/abl_compile_scale.pdb"
+  "CMakeFiles/abl_compile_scale.dir/abl_compile_scale.cpp.o"
+  "CMakeFiles/abl_compile_scale.dir/abl_compile_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_compile_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

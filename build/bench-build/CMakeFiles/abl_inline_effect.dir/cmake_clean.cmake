@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_inline_effect"
+  "../bench/abl_inline_effect.pdb"
+  "CMakeFiles/abl_inline_effect.dir/abl_inline_effect.cpp.o"
+  "CMakeFiles/abl_inline_effect.dir/abl_inline_effect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_inline_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_multifunctionality"
+  "../bench/abl_multifunctionality.pdb"
+  "CMakeFiles/abl_multifunctionality.dir/abl_multifunctionality.cpp.o"
+  "CMakeFiles/abl_multifunctionality.dir/abl_multifunctionality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multifunctionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

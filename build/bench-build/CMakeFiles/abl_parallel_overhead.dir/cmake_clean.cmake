@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_parallel_overhead"
+  "../bench/abl_parallel_overhead.pdb"
+  "CMakeFiles/abl_parallel_overhead.dir/abl_parallel_overhead.cpp.o"
+  "CMakeFiles/abl_parallel_overhead.dir/abl_parallel_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_parallel_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_seismic_speedup"
+  "../bench/fig1_seismic_speedup.pdb"
+  "CMakeFiles/fig1_seismic_speedup.dir/fig1_seismic_speedup.cpp.o"
+  "CMakeFiles/fig1_seismic_speedup.dir/fig1_seismic_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_seismic_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

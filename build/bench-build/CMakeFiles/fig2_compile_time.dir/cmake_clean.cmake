@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_compile_time"
+  "../bench/fig2_compile_time.pdb"
+  "CMakeFiles/fig2_compile_time.dir/fig2_compile_time.cpp.o"
+  "CMakeFiles/fig2_compile_time.dir/fig2_compile_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_pass_breakdown.cpp" "bench-build/CMakeFiles/fig3_pass_breakdown.dir/fig3_pass_breakdown.cpp.o" "gcc" "bench-build/CMakeFiles/fig3_pass_breakdown.dir/fig3_pass_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/ap_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ap_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ap_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ap_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/ap_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ap_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/ap_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ap_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

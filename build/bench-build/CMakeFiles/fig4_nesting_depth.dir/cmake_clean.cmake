@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_nesting_depth"
+  "../bench/fig4_nesting_depth.pdb"
+  "CMakeFiles/fig4_nesting_depth.dir/fig4_nesting_depth.cpp.o"
+  "CMakeFiles/fig4_nesting_depth.dir/fig4_nesting_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nesting_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

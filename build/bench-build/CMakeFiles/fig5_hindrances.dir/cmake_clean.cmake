@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_hindrances"
+  "../bench/fig5_hindrances.pdb"
+  "CMakeFiles/fig5_hindrances.dir/fig5_hindrances.cpp.o"
+  "CMakeFiles/fig5_hindrances.dir/fig5_hindrances.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hindrances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

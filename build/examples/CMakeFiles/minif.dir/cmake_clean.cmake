@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minif.dir/minif.cpp.o"
+  "CMakeFiles/minif.dir/minif.cpp.o.d"
+  "minif"
+  "minif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

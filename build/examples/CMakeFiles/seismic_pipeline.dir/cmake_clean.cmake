@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic_pipeline.dir/seismic_pipeline.cpp.o"
+  "CMakeFiles/seismic_pipeline.dir/seismic_pipeline.cpp.o.d"
+  "seismic_pipeline"
+  "seismic_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

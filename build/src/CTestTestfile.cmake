@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("ir")
+subdirs("frontend")
+subdirs("symbolic")
+subdirs("analysis")
+subdirs("dependence")
+subdirs("core")
+subdirs("runtime")
+subdirs("mpisim")
+subdirs("interp")
+subdirs("seismic")
+subdirs("corpus")

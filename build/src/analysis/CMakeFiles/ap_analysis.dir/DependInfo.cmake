@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/access.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/access.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/access.cpp.o.d"
+  "/root/repo/src/analysis/alias.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/alias.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/alias.cpp.o.d"
+  "/root/repo/src/analysis/callgraph.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/callgraph.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/callgraph.cpp.o.d"
+  "/root/repo/src/analysis/constprop.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/constprop.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/constprop.cpp.o.d"
+  "/root/repo/src/analysis/gsa.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/gsa.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/gsa.cpp.o.d"
+  "/root/repo/src/analysis/induction.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/induction.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/induction.cpp.o.d"
+  "/root/repo/src/analysis/inline.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/inline.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/inline.cpp.o.d"
+  "/root/repo/src/analysis/privatization.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/privatization.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/privatization.cpp.o.d"
+  "/root/repo/src/analysis/ranges.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/ranges.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/ranges.cpp.o.d"
+  "/root/repo/src/analysis/reduction.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/reduction.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/reduction.cpp.o.d"
+  "/root/repo/src/analysis/regions.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/regions.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/regions.cpp.o.d"
+  "/root/repo/src/analysis/rewrite.cpp" "src/analysis/CMakeFiles/ap_analysis.dir/rewrite.cpp.o" "gcc" "src/analysis/CMakeFiles/ap_analysis.dir/rewrite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/ap_symbolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_analysis.dir/access.cpp.o"
+  "CMakeFiles/ap_analysis.dir/access.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/alias.cpp.o"
+  "CMakeFiles/ap_analysis.dir/alias.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/callgraph.cpp.o"
+  "CMakeFiles/ap_analysis.dir/callgraph.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/constprop.cpp.o"
+  "CMakeFiles/ap_analysis.dir/constprop.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/gsa.cpp.o"
+  "CMakeFiles/ap_analysis.dir/gsa.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/induction.cpp.o"
+  "CMakeFiles/ap_analysis.dir/induction.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/inline.cpp.o"
+  "CMakeFiles/ap_analysis.dir/inline.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/privatization.cpp.o"
+  "CMakeFiles/ap_analysis.dir/privatization.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/ranges.cpp.o"
+  "CMakeFiles/ap_analysis.dir/ranges.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/reduction.cpp.o"
+  "CMakeFiles/ap_analysis.dir/reduction.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/regions.cpp.o"
+  "CMakeFiles/ap_analysis.dir/regions.cpp.o.d"
+  "CMakeFiles/ap_analysis.dir/rewrite.cpp.o"
+  "CMakeFiles/ap_analysis.dir/rewrite.cpp.o.d"
+  "libap_analysis.a"
+  "libap_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

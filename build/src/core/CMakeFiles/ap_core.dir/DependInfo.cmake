@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compiler.cpp" "src/core/CMakeFiles/ap_core.dir/compiler.cpp.o" "gcc" "src/core/CMakeFiles/ap_core.dir/compiler.cpp.o.d"
+  "/root/repo/src/core/listing.cpp" "src/core/CMakeFiles/ap_core.dir/listing.cpp.o" "gcc" "src/core/CMakeFiles/ap_core.dir/listing.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/ap_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/ap_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/passes.cpp" "src/core/CMakeFiles/ap_core.dir/passes.cpp.o" "gcc" "src/core/CMakeFiles/ap_core.dir/passes.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ap_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ap_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ap_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/ap_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/ap_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ap_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_core.dir/compiler.cpp.o"
+  "CMakeFiles/ap_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/ap_core.dir/listing.cpp.o"
+  "CMakeFiles/ap_core.dir/listing.cpp.o.d"
+  "CMakeFiles/ap_core.dir/metrics.cpp.o"
+  "CMakeFiles/ap_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/ap_core.dir/passes.cpp.o"
+  "CMakeFiles/ap_core.dir/passes.cpp.o.d"
+  "CMakeFiles/ap_core.dir/report.cpp.o"
+  "CMakeFiles/ap_core.dir/report.cpp.o.d"
+  "libap_core.a"
+  "libap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/foreigns.cpp" "src/corpus/CMakeFiles/ap_corpus.dir/foreigns.cpp.o" "gcc" "src/corpus/CMakeFiles/ap_corpus.dir/foreigns.cpp.o.d"
+  "/root/repo/src/corpus/gamess.cpp" "src/corpus/CMakeFiles/ap_corpus.dir/gamess.cpp.o" "gcc" "src/corpus/CMakeFiles/ap_corpus.dir/gamess.cpp.o.d"
+  "/root/repo/src/corpus/linpack.cpp" "src/corpus/CMakeFiles/ap_corpus.dir/linpack.cpp.o" "gcc" "src/corpus/CMakeFiles/ap_corpus.dir/linpack.cpp.o.d"
+  "/root/repo/src/corpus/perfect.cpp" "src/corpus/CMakeFiles/ap_corpus.dir/perfect.cpp.o" "gcc" "src/corpus/CMakeFiles/ap_corpus.dir/perfect.cpp.o.d"
+  "/root/repo/src/corpus/sander.cpp" "src/corpus/CMakeFiles/ap_corpus.dir/sander.cpp.o" "gcc" "src/corpus/CMakeFiles/ap_corpus.dir/sander.cpp.o.d"
+  "/root/repo/src/corpus/seismic_corpus.cpp" "src/corpus/CMakeFiles/ap_corpus.dir/seismic_corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/ap_corpus.dir/seismic_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ap_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ap_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ap_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_corpus.dir/foreigns.cpp.o"
+  "CMakeFiles/ap_corpus.dir/foreigns.cpp.o.d"
+  "CMakeFiles/ap_corpus.dir/gamess.cpp.o"
+  "CMakeFiles/ap_corpus.dir/gamess.cpp.o.d"
+  "CMakeFiles/ap_corpus.dir/linpack.cpp.o"
+  "CMakeFiles/ap_corpus.dir/linpack.cpp.o.d"
+  "CMakeFiles/ap_corpus.dir/perfect.cpp.o"
+  "CMakeFiles/ap_corpus.dir/perfect.cpp.o.d"
+  "CMakeFiles/ap_corpus.dir/sander.cpp.o"
+  "CMakeFiles/ap_corpus.dir/sander.cpp.o.d"
+  "CMakeFiles/ap_corpus.dir/seismic_corpus.cpp.o"
+  "CMakeFiles/ap_corpus.dir/seismic_corpus.cpp.o.d"
+  "libap_corpus.a"
+  "libap_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_dependence.dir/ddtest.cpp.o"
+  "CMakeFiles/ap_dependence.dir/ddtest.cpp.o.d"
+  "libap_dependence.a"
+  "libap_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/ap_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/ap_frontend.dir/parser.cpp.o"
+  "CMakeFiles/ap_frontend.dir/parser.cpp.o.d"
+  "libap_frontend.a"
+  "libap_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

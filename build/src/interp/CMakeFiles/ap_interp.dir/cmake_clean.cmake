@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_interp.dir/interp.cpp.o"
+  "CMakeFiles/ap_interp.dir/interp.cpp.o.d"
+  "libap_interp.a"
+  "libap_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_ir.dir/expr.cpp.o"
+  "CMakeFiles/ap_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/ap_ir.dir/printer.cpp.o"
+  "CMakeFiles/ap_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/ap_ir.dir/program.cpp.o"
+  "CMakeFiles/ap_ir.dir/program.cpp.o.d"
+  "CMakeFiles/ap_ir.dir/stmt.cpp.o"
+  "CMakeFiles/ap_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/ap_ir.dir/symbol.cpp.o"
+  "CMakeFiles/ap_ir.dir/symbol.cpp.o.d"
+  "CMakeFiles/ap_ir.dir/visit.cpp.o"
+  "CMakeFiles/ap_ir.dir/visit.cpp.o.d"
+  "libap_ir.a"
+  "libap_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

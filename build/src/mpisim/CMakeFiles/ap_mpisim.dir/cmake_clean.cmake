@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_mpisim.dir/mpisim.cpp.o"
+  "CMakeFiles/ap_mpisim.dir/mpisim.cpp.o.d"
+  "libap_mpisim.a"
+  "libap_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ap_mpisim.
+# This may be replaced when dependencies are built.

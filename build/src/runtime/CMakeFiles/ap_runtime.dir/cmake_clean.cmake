@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_runtime.dir/parallel_for.cpp.o"
+  "CMakeFiles/ap_runtime.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/ap_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/ap_runtime.dir/thread_pool.cpp.o.d"
+  "libap_runtime.a"
+  "libap_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seismic/common.cpp" "src/seismic/CMakeFiles/ap_seismic.dir/common.cpp.o" "gcc" "src/seismic/CMakeFiles/ap_seismic.dir/common.cpp.o.d"
+  "/root/repo/src/seismic/datagen.cpp" "src/seismic/CMakeFiles/ap_seismic.dir/datagen.cpp.o" "gcc" "src/seismic/CMakeFiles/ap_seismic.dir/datagen.cpp.o.d"
+  "/root/repo/src/seismic/fft3d.cpp" "src/seismic/CMakeFiles/ap_seismic.dir/fft3d.cpp.o" "gcc" "src/seismic/CMakeFiles/ap_seismic.dir/fft3d.cpp.o.d"
+  "/root/repo/src/seismic/findiff.cpp" "src/seismic/CMakeFiles/ap_seismic.dir/findiff.cpp.o" "gcc" "src/seismic/CMakeFiles/ap_seismic.dir/findiff.cpp.o.d"
+  "/root/repo/src/seismic/stack.cpp" "src/seismic/CMakeFiles/ap_seismic.dir/stack.cpp.o" "gcc" "src/seismic/CMakeFiles/ap_seismic.dir/stack.cpp.o.d"
+  "/root/repo/src/seismic/suite.cpp" "src/seismic/CMakeFiles/ap_seismic.dir/suite.cpp.o" "gcc" "src/seismic/CMakeFiles/ap_seismic.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ap_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/ap_mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_seismic.dir/common.cpp.o"
+  "CMakeFiles/ap_seismic.dir/common.cpp.o.d"
+  "CMakeFiles/ap_seismic.dir/datagen.cpp.o"
+  "CMakeFiles/ap_seismic.dir/datagen.cpp.o.d"
+  "CMakeFiles/ap_seismic.dir/fft3d.cpp.o"
+  "CMakeFiles/ap_seismic.dir/fft3d.cpp.o.d"
+  "CMakeFiles/ap_seismic.dir/findiff.cpp.o"
+  "CMakeFiles/ap_seismic.dir/findiff.cpp.o.d"
+  "CMakeFiles/ap_seismic.dir/stack.cpp.o"
+  "CMakeFiles/ap_seismic.dir/stack.cpp.o.d"
+  "CMakeFiles/ap_seismic.dir/suite.cpp.o"
+  "CMakeFiles/ap_seismic.dir/suite.cpp.o.d"
+  "libap_seismic.a"
+  "libap_seismic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_seismic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/linear.cpp" "src/symbolic/CMakeFiles/ap_symbolic.dir/linear.cpp.o" "gcc" "src/symbolic/CMakeFiles/ap_symbolic.dir/linear.cpp.o.d"
+  "/root/repo/src/symbolic/range.cpp" "src/symbolic/CMakeFiles/ap_symbolic.dir/range.cpp.o" "gcc" "src/symbolic/CMakeFiles/ap_symbolic.dir/range.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ap_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_symbolic.dir/linear.cpp.o"
+  "CMakeFiles/ap_symbolic.dir/linear.cpp.o.d"
+  "CMakeFiles/ap_symbolic.dir/range.cpp.o"
+  "CMakeFiles/ap_symbolic.dir/range.cpp.o.d"
+  "libap_symbolic.a"
+  "libap_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

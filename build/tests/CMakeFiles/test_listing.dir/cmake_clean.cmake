@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_listing.dir/listing_test.cpp.o"
+  "CMakeFiles/test_listing.dir/listing_test.cpp.o.d"
+  "test_listing"
+  "test_listing.pdb"
+  "test_listing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
