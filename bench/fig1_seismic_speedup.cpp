@@ -20,6 +20,8 @@ using namespace ap;
 
 constexpr int kProcs = 4;
 
+trace::json::Value g_decks = trace::json::Value::array();
+
 int run_deck(const seismic::Deck& deck) {
     std::printf("--- dataset %s (shots=%d traces=%d samples=%d cube=%dx%dx%d grid=%d^2 x %d) ---\n",
                 deck.name.c_str(), deck.nshots, deck.ntraces, deck.nsamples, deck.nx, deck.ny,
@@ -74,17 +76,59 @@ int run_deck(const seismic::Deck& deck) {
         ++failures;
     }
     std::printf("\n");
+
+    namespace json = ap::trace::json;
+    json::Value deck_json = json::Value::object();
+    deck_json.set("name", deck.name);
+    json::Value flavor_list = json::Value::array();
+    for (int f = 0; f < 4; ++f) {
+        json::Value fv = json::Value::object();
+        fv.set("flavor", to_string(flavors[f]));
+        json::Value phases = json::Value::array();
+        for (int p = 0; p < 4; ++p) {
+            json::Value ph = json::Value::object();
+            ph.set("phase", seismic::kPhaseNames[p]);
+            ph.set("seconds", results[f].phases[p].seconds);
+            ph.set("checksum", results[f].phases[p].checksum);
+            phases.push_back(std::move(ph));
+        }
+        fv.set("phases", std::move(phases));
+        fv.set("total_seconds", results[f].total_seconds());
+        fv.set("speedup", serial_total / results[f].total_seconds());
+        flavor_list.push_back(std::move(fv));
+    }
+    deck_json.set("flavors", std::move(flavor_list));
+    deck_json.set("failures", failures);
+    g_decks.push_back(std::move(deck_json));
     return failures;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const core::BenchArgs args = core::parse_bench_args(argc, argv);
+    if (!args.ok) {
+        std::fprintf(stderr, "fig1: %s\n", args.error.c_str());
+        return 2;
+    }
     std::printf("=== Figure 1: seismic suite performance by parallelization strategy ===\n");
     std::printf("(simulated %d-processor machine; see DESIGN.md for the cost model)\n\n", kProcs);
     int failures = 0;
     failures += run_deck(seismic::Deck::small());
     failures += run_deck(seismic::Deck::medium());
+
+    if (!args.json_path.empty()) {
+        namespace json = ap::trace::json;
+        json::Value data = json::Value::object();
+        data.set("procs", kProcs);
+        data.set("decks", std::move(g_decks));
+        if (!core::write_bench_report(args.json_path, "fig1", std::move(data), failures == 0)) {
+            std::fprintf(stderr, "fig1: cannot write %s\n", args.json_path.c_str());
+            return EXIT_FAILURE;
+        }
+        std::printf("json report: %s\n", args.json_path.c_str());
+    }
+
     if (failures) {
         std::printf("fig1: %d validation failure(s)\n", failures);
         return EXIT_FAILURE;

@@ -18,7 +18,7 @@ namespace {
 
 using namespace ap;
 
-constexpr int kRepeats = 12;  // average out timer noise on small corpora
+constexpr int kDefaultRepeats = 12;  // average out timer noise on small corpora
 
 struct Row {
     std::string name;
@@ -27,10 +27,10 @@ struct Row {
     double total = 0;
 };
 
-Row measure(const corpus::CorpusProgram& corpus) {
+Row measure(const corpus::CorpusProgram& corpus, int repeats) {
     Row row;
     row.name = corpus.name;
-    for (int rep = 0; rep < kRepeats; ++rep) {
+    for (int rep = 0; rep < repeats; ++rep) {
         auto prog = corpus::load(corpus);
         core::CompilerOptions opts;
         opts.loop_op_budget = corpus.loop_op_budget;
@@ -38,20 +38,29 @@ Row measure(const corpus::CorpusProgram& corpus) {
         row.statements = report.statements;
         row.times += report.times;
     }
-    for (auto& s : row.times.seconds) s /= kRepeats;
-    for (auto& o : row.times.symbolic_ops) o /= kRepeats;
+    const auto reps = static_cast<std::uint64_t>(repeats);
+    for (auto& s : row.times.seconds) s /= repeats;
+    // Round to nearest: truncating division under-reports the op averages
+    // on small corpora, where per-pass counts are close to `repeats`.
+    for (auto& o : row.times.symbolic_ops) o = (o + reps / 2) / reps;
     row.total = row.times.total_seconds();
     return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const core::BenchArgs args = core::parse_bench_args(argc, argv);
+    if (!args.ok) {
+        std::fprintf(stderr, "fig2: %s\n", args.error.c_str());
+        return 2;
+    }
+    const int repeats = args.repeats ? args.repeats : kDefaultRepeats;
     std::printf("=== Figure 2: compile time per code statement, by compiler pass ===\n");
-    std::printf("(averaged over %d compilations per code set)\n\n", kRepeats);
+    std::printf("(averaged over %d compilations per code set)\n\n", repeats);
 
     std::vector<Row> rows;
-    for (const auto* c : corpus::all()) rows.push_back(measure(*c));
+    for (const auto* c : corpus::all()) rows.push_back(measure(*c, repeats));
 
     core::Table per_stmt({"pass \\ code", "Seismic", "GAMESS", "Sander", "Perf. Bench.",
                           "Linpack"});
@@ -107,6 +116,34 @@ int main() {
         std::printf("SHAPE VIOLATION: Linpack must be cheapest\n");
         ++failures;
     }
+
+    if (!args.json_path.empty()) {
+        namespace json = ap::trace::json;
+        json::Value codes = json::Value::array();
+        for (const auto& row : rows) {
+            std::int64_t ops = 0;
+            for (auto o : row.times.symbolic_ops) ops += static_cast<std::int64_t>(o);
+            json::Value code = json::Value::object();
+            code.set("name", row.name);
+            code.set("statements", row.statements);
+            code.set("passes", core::pass_times_json(row.times));
+            code.set("total_seconds", row.total);
+            code.set("us_per_statement", 1e6 * row.total / static_cast<double>(row.statements));
+            code.set("symbolic_ops", ops);
+            code.set("ops_per_statement",
+                     static_cast<double>(ops) / static_cast<double>(row.statements));
+            codes.push_back(std::move(code));
+        }
+        json::Value data = json::Value::object();
+        data.set("repeats", repeats);
+        data.set("codes", std::move(codes));
+        if (!core::write_bench_report(args.json_path, "fig2", std::move(data), failures == 0)) {
+            std::fprintf(stderr, "fig2: cannot write %s\n", args.json_path.c_str());
+            return EXIT_FAILURE;
+        }
+        std::printf("json report: %s\n", args.json_path.c_str());
+    }
+
     if (failures) return EXIT_FAILURE;
     std::printf("fig2: OK\n");
     return EXIT_SUCCESS;

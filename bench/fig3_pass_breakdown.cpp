@@ -16,11 +16,11 @@ namespace {
 
 using namespace ap;
 
-constexpr int kRepeats = 12;
+constexpr int kDefaultRepeats = 12;
 
-core::PassTimes measure(const corpus::CorpusProgram& corpus) {
+core::PassTimes measure(const corpus::CorpusProgram& corpus, int repeats) {
     core::PassTimes total;
-    for (int rep = 0; rep < kRepeats; ++rep) {
+    for (int rep = 0; rep < repeats; ++rep) {
         auto prog = corpus::load(corpus);
         core::CompilerOptions opts;
         opts.loop_op_budget = corpus.loop_op_budget;
@@ -31,10 +31,16 @@ core::PassTimes measure(const corpus::CorpusProgram& corpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const core::BenchArgs args = core::parse_bench_args(argc, argv);
+    if (!args.ok) {
+        std::fprintf(stderr, "fig3: %s\n", args.error.c_str());
+        return 2;
+    }
+    const int repeats = args.repeats ? args.repeats : kDefaultRepeats;
     std::printf("=== Figure 3: share of compile time per compiler pass ===\n\n");
     std::vector<std::pair<std::string, core::PassTimes>> rows;
-    for (const auto* c : corpus::all()) rows.emplace_back(c->name, measure(*c));
+    for (const auto* c : corpus::all()) rows.emplace_back(c->name, measure(*c, repeats));
 
     core::Table table({"pass \\ code", "Seismic", "GAMESS", "Sander", "Perf. Bench.", "Linpack"});
     for (int p = 0; p < core::kPassCount; ++p) {
@@ -62,6 +68,33 @@ int main() {
             ++failures;
         }
     }
+    if (!args.json_path.empty()) {
+        namespace json = ap::trace::json;
+        json::Value codes = json::Value::array();
+        for (const auto& [name, times] : rows) {
+            json::Value code = json::Value::object();
+            code.set("name", name);
+            code.set("total_seconds", times.total_seconds());
+            json::Value shares = json::Value::object();
+            for (int p = 0; p < core::kPassCount; ++p) {
+                const auto id = static_cast<core::PassId>(p);
+                shares.set(std::string(core::to_string(id)),
+                           100.0 * times.sec(id) / times.total_seconds());
+            }
+            code.set("share_percent", std::move(shares));
+            code.set("passes", core::pass_times_json(times));
+            codes.push_back(std::move(code));
+        }
+        json::Value data = json::Value::object();
+        data.set("repeats", repeats);
+        data.set("codes", std::move(codes));
+        if (!core::write_bench_report(args.json_path, "fig3", std::move(data), failures == 0)) {
+            std::fprintf(stderr, "fig3: cannot write %s\n", args.json_path.c_str());
+            return EXIT_FAILURE;
+        }
+        std::printf("json report: %s\n", args.json_path.c_str());
+    }
+
     if (failures) return EXIT_FAILURE;
     std::printf("fig3: OK\n");
     return EXIT_SUCCESS;

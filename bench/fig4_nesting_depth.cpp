@@ -26,7 +26,12 @@ core::NestingAverages measure(const corpus::CorpusProgram& corpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const core::BenchArgs args = core::parse_bench_args(argc, argv);
+    if (!args.ok) {
+        std::fprintf(stderr, "fig4: %s\n", args.error.c_str());
+        return 2;
+    }
     std::printf("=== Figure 4: nesting characteristics of target loops ===\n\n");
     const auto perfect = measure(corpus::perfect());
     const auto seismic = measure(corpus::seismic());
@@ -55,6 +60,32 @@ int main() {
         std::printf("SHAPE VIOLATION: enclosed nesting should be similar (paper's point)\n");
         ++failures;
     }
+    if (!args.json_path.empty()) {
+        namespace json = ap::trace::json;
+        json::Value codes = json::Value::array();
+        auto emit = [&](const char* name, const core::NestingAverages& a) {
+            json::Value code = json::Value::object();
+            code.set("name", name);
+            code.set("targets", a.count);
+            code.set("outer_subs", a.outer_subs);
+            code.set("outer_loops", a.outer_loops);
+            code.set("enclosed_subs", a.enclosed_subs);
+            code.set("enclosed_loops", a.enclosed_loops);
+            codes.push_back(std::move(code));
+        };
+        emit("Perf. Bench.", perfect);
+        emit("Seismic", seismic);
+        emit("GAMESS", gamess);
+        emit("Sander", sander);
+        json::Value data = json::Value::object();
+        data.set("codes", std::move(codes));
+        if (!core::write_bench_report(args.json_path, "fig4", std::move(data), failures == 0)) {
+            std::fprintf(stderr, "fig4: cannot write %s\n", args.json_path.c_str());
+            return EXIT_FAILURE;
+        }
+        std::printf("json report: %s\n", args.json_path.c_str());
+    }
+
     if (failures) return EXIT_FAILURE;
     std::printf("fig4: OK\n");
     return EXIT_SUCCESS;

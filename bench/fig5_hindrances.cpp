@@ -29,7 +29,12 @@ constexpr ir::Hindrance kCategories[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const core::BenchArgs args = core::parse_bench_args(argc, argv);
+    if (!args.ok) {
+        std::fprintf(stderr, "fig5: %s\n", args.error.c_str());
+        return 2;
+    }
     std::printf("=== Figure 5: hindrance categories of target loops ===\n\n");
     const corpus::CorpusProgram* codes[] = {&corpus::seismic(), &corpus::gamess(),
                                             &corpus::sander()};
@@ -83,6 +88,25 @@ int main() {
             }
         }
     }
+    if (!args.json_path.empty()) {
+        namespace json = ap::trace::json;
+        json::Value code_list = json::Value::array();
+        for (const auto* c : codes) {
+            json::Value code = json::Value::object();
+            code.set("name", c->name);
+            code.set("total_targets", totals[c->name]);
+            code.set("histogram", core::hindrance_histogram_json(histograms[c->name]));
+            code_list.push_back(std::move(code));
+        }
+        json::Value data = json::Value::object();
+        data.set("codes", std::move(code_list));
+        if (!core::write_bench_report(args.json_path, "fig5", std::move(data), failures == 0)) {
+            std::fprintf(stderr, "fig5: cannot write %s\n", args.json_path.c_str());
+            return EXIT_FAILURE;
+        }
+        std::printf("json report: %s\n", args.json_path.c_str());
+    }
+
     if (failures) return EXIT_FAILURE;
     std::printf("fig5: OK\n");
     return EXIT_SUCCESS;

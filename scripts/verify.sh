@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the test suite, then prove
+# the machine-readable report path end to end (fig2 --json through
+# tools/report_lint).
+#
+#   scripts/verify.sh                      # full pipeline into ./build
+#   scripts/verify.sh --build-dir out      # full pipeline into ./out
+#   scripts/verify.sh --json-only --build-dir build
+#       # skip configure/build/ctest; just regenerate + lint the fig2
+#       # report from an existing build tree. This is the mode the
+#       # verify_fig2_json CTest test runs (ctest invoking ctest would
+#       # recurse).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+JSON_ONLY=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build-dir) BUILD_DIR=$2; shift 2 ;;
+        --json-only) JSON_ONLY=1; shift ;;
+        *) echo "verify.sh: unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+if [ "$JSON_ONLY" -eq 0 ]; then
+    echo "== configure + build =="
+    cmake -B "$BUILD_DIR" -S .
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    echo "== ctest =="
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi
+
+echo "== fig2 --json + schema lint =="
+report=$(mktemp /tmp/ap-fig2-report.XXXXXX.json)
+trap 'rm -f "$report"' EXIT
+"$BUILD_DIR"/bench/fig2_compile_time --json "$report" --repeats 2 >/dev/null
+"$BUILD_DIR"/tools/report_lint "$report" fig2
+
+echo "verify.sh: OK"

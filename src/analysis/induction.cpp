@@ -7,6 +7,7 @@
 #include "analysis/access.hpp"
 #include "analysis/rewrite.hpp"
 #include "symbolic/linear.hpp"
+#include "trace/counters.hpp"
 
 namespace ap::analysis {
 
@@ -164,6 +165,8 @@ std::vector<std::string> substitute_inductions(ir::Block& parent, std::size_t in
 int substitute_inductions_in_routine(ir::Routine& r) {
     int total = 0;
     walk_blocks_postorder(r.body, total);
+    static trace::Counter& subs = trace::counters::get("induction.substitutions");
+    subs.add(total);
     return total;
 }
 

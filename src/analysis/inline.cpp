@@ -7,6 +7,7 @@
 #include "analysis/access.hpp"
 #include "analysis/rewrite.hpp"
 #include "ir/visit.hpp"
+#include "trace/counters.hpp"
 
 namespace ap::analysis {
 
@@ -238,6 +239,10 @@ InlineResult inline_calls(ir::Program& prog, const InlineOptions& options) {
     Inliner inliner{prog, options, {}, 0};
     inliner.run();
     ir::number_loops(prog);
+    static trace::Counter& inlined = trace::counters::get("inline.inlined");
+    static trace::Counter& refused = trace::counters::get("inline.refused");
+    inlined.add(inliner.result.inlined);
+    refused.add(inliner.result.refused);
     return inliner.result;
 }
 

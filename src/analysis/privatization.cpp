@@ -7,6 +7,7 @@
 
 #include "analysis/ranges.hpp"
 #include "ir/visit.hpp"
+#include "trace/counters.hpp"
 
 namespace ap::analysis {
 
@@ -284,6 +285,12 @@ PrivatizationResult privatize(const ir::DoLoop& loop, const ir::Routine& routine
             result.failures.push_back({name, why});
         }
     }
+    static trace::Counter& scalars = trace::counters::get("privatization.scalars");
+    static trace::Counter& arrays = trace::counters::get("privatization.arrays");
+    static trace::Counter& failures = trace::counters::get("privatization.failures");
+    scalars.add(static_cast<std::int64_t>(result.scalars.size()));
+    arrays.add(static_cast<std::int64_t>(result.arrays.size()));
+    failures.add(static_cast<std::int64_t>(result.failures.size()));
     return result;
 }
 

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "ir/visit.hpp"
+#include "trace/counters.hpp"
 
 namespace ap::analysis {
 
@@ -196,6 +197,8 @@ std::vector<Reduction> find_reductions(const ir::DoLoop& loop) {
         if (total != in_updates) continue;  // used elsewhere in the loop
         out.push_back(Reduction{name, cand.op, cand.is_array});
     }
+    static trace::Counter& recognized = trace::counters::get("reduction.recognized");
+    recognized.add(static_cast<std::int64_t>(out.size()));
     return out;
 }
 

@@ -15,6 +15,8 @@
 #include "analysis/regions.hpp"
 #include "dependence/ddtest.hpp"
 #include "ir/visit.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace ap::core {
 
@@ -59,6 +61,11 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         if (s.kind() != ir::StmtKind::Do) continue;
         auto& loop = static_cast<ir::DoLoop&>(s);
 
+        trace::Span loop_span("loop", "compile");
+        loop_span.arg("routine", routine.name);
+        loop_span.arg("loop_id", loop.loop_id);
+        loop_span.arg("line", loop.loc().line);
+
         dependence::LoopContext lc;
         lc.op_budget = options.loop_op_budget;
 
@@ -87,6 +94,9 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
             PassTimer t(times, PassId::DataDependence);
             dd = dependence::test_loop(loop, rc, lc);
         }
+        loop_span.arg("pairs_tested", dd.pairs_tested);
+        loop_span.arg("symbolic_ops", dd.symbolic_ops);
+        loop_span.arg("parallel", static_cast<std::int64_t>(dd.parallel));
 
         loop.annot.parallel = dd.parallel;
         loop.annot.verdict = dd.blocker;
@@ -116,9 +126,15 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
 }  // namespace
 
 CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
+    trace::Span compile_span("compile", "compile");
+    static trace::Counter& compiles = trace::counters::get("core.compiles");
+    compiles.add();
+
     CompileReport report;
     report.program = prog.name;
     report.statements = ir::count_statements(prog);
+    compile_span.arg("program", prog.name);
+    compile_span.arg("statements", report.statements);
 
     // GSA translation (per routine, on the original code).
     {
@@ -171,6 +187,8 @@ CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
 
     for (auto* r : prog.routines()) {
         if (r->is_foreign()) continue;
+        trace::Span routine_span("routine", "compile");
+        routine_span.arg("routine", r->name);
         analysis::RangeInfo ranges;
         {
             PassTimer t(report.times, PassId::Other);

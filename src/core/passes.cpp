@@ -5,13 +5,15 @@
 namespace ap::core {
 
 PassTimer::PassTimer(PassTimes& times, PassId pass)
-    : times_(times), pass_(pass), start_(std::chrono::steady_clock::now()),
-      ops_start_(symbolic::OpCounter::count()) {}
+    : times_(times), pass_(pass), span_(to_string(pass), "pass"),
+      start_(std::chrono::steady_clock::now()), ops_start_(symbolic::OpCounter::count()) {}
 
 PassTimer::~PassTimer() {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const std::uint64_t ops = symbolic::OpCounter::count() - ops_start_;
     times_.sec(pass_) += std::chrono::duration<double>(elapsed).count();
-    times_.ops(pass_) += symbolic::OpCounter::count() - ops_start_;
+    times_.ops(pass_) += ops;
+    span_.arg("symbolic_ops", ops);
 }
 
 }  // namespace ap::core

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "trace/trace.hpp"
+
 namespace ap::core {
 
 /// The compiler passes the paper instruments in Figures 2-3.
@@ -60,6 +62,8 @@ struct PassTimes {
 };
 
 /// RAII timer attributing a scope's wall time and symbolic ops to a pass.
+/// Also emits an `ap::trace` span named after the pass (category "pass")
+/// carrying the consumed symbolic ops, when tracing is enabled.
 class PassTimer {
 public:
     PassTimer(PassTimes& times, PassId pass);
@@ -70,6 +74,7 @@ public:
 private:
     PassTimes& times_;
     PassId pass_;
+    trace::Span span_;
     std::chrono::steady_clock::time_point start_;
     std::uint64_t ops_start_;
 };

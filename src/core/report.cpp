@@ -1,7 +1,11 @@
 #include "core/report.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
+
+#include "trace/counters.hpp"
 
 namespace ap::core {
 
@@ -50,5 +54,89 @@ std::string Table::sci(double v) {
 }
 
 std::string Table::count(std::int64_t v) { return std::to_string(v); }
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (std::strcmp(a, "--json") == 0) {
+            const char* v = value();
+            if (!v) {
+                args.ok = false;
+                args.error = "--json requires a path";
+                return args;
+            }
+            args.json_path = v;
+        } else if (std::strcmp(a, "--repeats") == 0) {
+            const char* v = value();
+            if (!v || std::atoi(v) <= 0) {
+                args.ok = false;
+                args.error = "--repeats requires a positive integer";
+                return args;
+            }
+            args.repeats = std::atoi(v);
+        } else {
+            args.ok = false;
+            args.error = std::string("unknown argument: ") + a +
+                         " (supported: --json <path>, --repeats <n>)";
+            return args;
+        }
+    }
+    return args;
+}
+
+trace::json::Value pass_times_json(const PassTimes& times) {
+    trace::json::Value out = trace::json::Value::object();
+    for (int p = 0; p < kPassCount; ++p) {
+        const auto id = static_cast<PassId>(p);
+        trace::json::Value pass = trace::json::Value::object();
+        pass.set("seconds", times.sec(id));
+        pass.set("symbolic_ops", times.ops(id));
+        out.set(std::string(to_string(id)), std::move(pass));
+    }
+    return out;
+}
+
+trace::json::Value hindrance_histogram_json(const std::map<ir::Hindrance, int>& histogram) {
+    trace::json::Value out = trace::json::Value::object();
+    for (const auto& [kind, n] : histogram) {
+        out.set(std::string(ir::to_string(kind)), n);
+    }
+    return out;
+}
+
+trace::json::Value compile_report_json(const CompileReport& report) {
+    trace::json::Value out = trace::json::Value::object();
+    out.set("program", report.program);
+    out.set("statements", report.statements);
+    out.set("total_seconds", report.total_seconds());
+    out.set("seconds_per_statement", report.seconds_per_statement());
+    out.set("passes", pass_times_json(report.times));
+    out.set("loops_total", report.loops_total());
+    out.set("loops_parallel", report.loops_parallel());
+    out.set("target_loops", report.target_loops());
+    out.set("target_parallel", report.target_parallel());
+    out.set("target_histogram", hindrance_histogram_json(report.target_histogram()));
+    out.set("inlined_calls", report.inlined_calls);
+    out.set("induction_substitutions", report.induction_substitutions);
+    return out;
+}
+
+bool write_bench_report(const std::string& path, std::string_view bench,
+                        trace::json::Value data, bool ok) {
+    trace::json::Value doc = trace::json::Value::object();
+    doc.set("schema", "ap.bench.v1");
+    doc.set("bench", std::string(bench));
+    doc.set("ok", ok);
+    doc.set("data", std::move(data));
+    doc.set("counters", trace::counters::snapshot());
+    const std::string text = doc.dump(2);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) return false;
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const bool file_ok = std::fclose(f) == 0 && written == text.size();
+    return file_ok;
+}
 
 }  // namespace ap::core

@@ -1,7 +1,13 @@
 #pragma once
 
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "core/compiler.hpp"
+#include "core/passes.hpp"
+#include "trace/json.hpp"
 
 namespace ap::core {
 
@@ -24,5 +30,40 @@ private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+// --- machine-readable experiment reports ------------------------------------
+//
+// Every fig* bench accepts `--json <path>` and drops a schema-stable
+// report there (schema id "ap.bench.v1"), so perf trajectories can be
+// tracked across commits by diffing BENCH_*.json artifacts. The envelope
+// is shared; the `data` payload is figure-specific. The process-wide
+// `ap::trace` counters snapshot rides along for free.
+
+/// Command-line options common to the fig* benches.
+struct BenchArgs {
+    std::string json_path;  ///< empty = no JSON report requested
+    int repeats = 0;        ///< 0 = bench default
+    bool ok = true;         ///< false on malformed argv (bench should exit 2)
+    std::string error;
+};
+
+/// Parses `--json <path>` and `--repeats <n>`; unknown arguments fail.
+[[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
+
+/// Per-pass {seconds, symbolic_ops} keyed by pass name, all 8 passes.
+[[nodiscard]] trace::json::Value pass_times_json(const PassTimes& times);
+
+/// Hindrance-category -> count object (Figure-5 histograms).
+[[nodiscard]] trace::json::Value hindrance_histogram_json(
+    const std::map<ir::Hindrance, int>& histogram);
+
+/// Full per-program compile outcome: statements, pass breakdown, loop
+/// totals, and the Figure-5 histogram over target loops.
+[[nodiscard]] trace::json::Value compile_report_json(const CompileReport& report);
+
+/// Wraps `data` in the shared envelope (schema, bench name, ok flag,
+/// counters snapshot) and writes it pretty-printed. False on I/O error.
+bool write_bench_report(const std::string& path, std::string_view bench,
+                        trace::json::Value data, bool ok);
 
 }  // namespace ap::core

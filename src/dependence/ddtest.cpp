@@ -7,6 +7,8 @@
 #include "ir/visit.hpp"
 #include "symbolic/linear.hpp"
 #include "symbolic/range.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace ap::dependence {
 
@@ -19,6 +21,29 @@ using symbolic::LinearForm;
 using symbolic::Proof;
 using symbolic::Prover;
 using symbolic::SymRange;
+
+/// Counters over the test's decision points (see docs/OBSERVABILITY.md
+/// for the glossary). References cached once: registry lookups are
+/// mutex-guarded and this is the compiler's hottest path.
+struct DdCounters {
+    trace::Counter& loops_tested = trace::counters::get("ddtest.loops_tested");
+    trace::Counter& loops_parallel = trace::counters::get("ddtest.loops_parallel");
+    trace::Counter& loops_blocked = trace::counters::get("ddtest.loops_blocked");
+    trace::Counter& budget_exceeded = trace::counters::get("ddtest.budget_exceeded");
+    trace::Counter& pairs_tested = trace::counters::get("ddtest.pairs_tested");
+    trace::Counter& proved_stride = trace::counters::get("ddtest.proved.stride_window");
+    trace::Counter& proved_gcd = trace::counters::get("ddtest.proved.gcd");
+    trace::Counter& proved_reach = trace::counters::get("ddtest.proved.trip_reach");
+    trace::Counter& proved_monotonic = trace::counters::get("ddtest.proved.monotonic");
+    trace::Counter& proved_disjoint = trace::counters::get("ddtest.proved.disjoint");
+    trace::Counter& gave_up = trace::counters::get("ddtest.gave_up");
+    trace::Distribution& ops_per_loop = trace::counters::distribution("ddtest.symbolic_ops_per_loop");
+
+    static DdCounters& instance() {
+        static DdCounters c;
+        return c;
+    }
+};
 
 /// One testable access in candidate-loop space: either a direct array
 /// reference or a linearized region (from a call summary or a direct
@@ -114,22 +139,44 @@ public:
     }
 
     LoopDependenceResult run() {
+        trace::Span span("ddtest.loop", "dependence");
+        span.arg("loop_id", loop_.loop_id);
+        span.arg("var", loop_.var);
+
         const std::uint64_t ops_start = symbolic::OpCounter::count();
         LoopDependenceResult result;
         analyze();
         result.symbolic_ops = symbolic::OpCounter::count() - ops_start;
         result.pairs_tested = pairs_tested_;
         if (result.symbolic_ops > lc_.op_budget) budget_exceeded_ = true;
+        finalize(result);
+
+        DdCounters& c = DdCounters::instance();
+        c.loops_tested.add();
+        (result.parallel ? c.loops_parallel : c.loops_blocked).add();
+        if (budget_exceeded_) c.budget_exceeded.add();
+        c.pairs_tested.add(pairs_tested_);
+        c.ops_per_loop.record(static_cast<std::int64_t>(result.symbolic_ops));
+
+        span.arg("pairs_tested", result.pairs_tested);
+        span.arg("symbolic_ops", result.symbolic_ops);
+        span.arg("parallel", static_cast<std::int64_t>(result.parallel));
+        if (result.blocker) span.arg("verdict", ir::to_string(*result.blocker));
+        return result;
+    }
+
+private:
+    void finalize(LoopDependenceResult& result) const {
         if (budget_exceeded_) {
             result.parallel = false;
             result.blocker = ir::Hindrance::Complexity;
             result.reason = "symbolic analysis exceeded the compile-time budget";
-            return result;
+            return;
         }
         if (issues_.empty()) {
             result.parallel = true;
             result.blocker = ir::Hindrance::Autoparallelized;
-            return result;
+            return;
         }
         const Issue* worst = &issues_.front();
         for (const auto& i : issues_) {
@@ -138,10 +185,8 @@ public:
         result.parallel = false;
         result.blocker = worst->kind;
         result.reason = worst->detail;
-        return result;
     }
 
-private:
     void note(ir::Hindrance h, std::string detail) { issues_.push_back({h, std::move(detail)}); }
 
     bool over_budget() {
@@ -502,12 +547,14 @@ private:
                 const Proof upper = prover.prove_lt(d_hi, LinearForm(stride));
                 const Proof lower = prover.prove_lt(LinearForm(-stride), d_lo);
                 if (upper == Proof::Proven && lower == Proof::Proven) {
+                    DdCounters::instance().proved_stride.add();
                     return DimOutcome::ProvenDistinct;
                 }
                 // GCD test: an exact constant difference must be divisible
                 // by the stride for any collision to exist.
                 if (d_hi.equals(d_lo) && d_hi.is_constant() &&
                     d_hi.constant() % stride != 0) {
+                    DdCounters::instance().proved_gcd.add();
                     return DimOutcome::ProvenDistinct;
                 }
                 // The dependence distance may exceed the iteration span:
@@ -517,10 +564,12 @@ private:
                         (*candidate_range_.hi - *candidate_range_.lo).scaled(stride);
                     if (prover.prove_lt(reach, d_lo) == Proof::Proven ||
                         prover.prove_lt(d_hi, reach.negate()) == Proof::Proven) {
+                        DdCounters::instance().proved_reach.add();
                         return DimOutcome::ProvenDistinct;
                     }
                 }
                 if (upper == Proof::Unknown || lower == Proof::Unknown) {
+                    DdCounters::instance().gave_up.add();
                     issue = {classify_unknown(prover),
                              "cannot compare stride and span of " + label};
                     return DimOutcome::Fail;
@@ -542,6 +591,7 @@ private:
             if (cb_lo >= 0 && ca_lo >= 0 &&
                 prover.prove_pos(b_min_next - a_max) == Proof::Proven &&
                 prover.prove_pos(a_min_next - b_max) == Proof::Proven) {
+                DdCounters::instance().proved_monotonic.add();
                 return DimOutcome::ProvenDistinct;
             }
             const LinearForm b_max_next = b_max.substituted(I, next);
@@ -549,6 +599,7 @@ private:
             if (cb_hi <= 0 && ca_hi <= 0 &&
                 prover.prove_pos(a_min - b_max_next) == Proof::Proven &&
                 prover.prove_pos(b_min - a_max_next) == Proof::Proven) {
+                DdCounters::instance().proved_monotonic.add();
                 return DimOutcome::ProvenDistinct;
             }
         }
@@ -562,17 +613,22 @@ private:
         if (A_min && A_max && B_min && B_max) {
             const Proof ab = prover.prove_lt(*A_max, *B_min);
             const Proof ba = prover.prove_lt(*B_max, *A_min);
-            if (ab == Proof::Proven || ba == Proof::Proven) return DimOutcome::ProvenDistinct;
+            if (ab == Proof::Proven || ba == Proof::Proven) {
+                DdCounters::instance().proved_disjoint.add();
+                return DimOutcome::ProvenDistinct;
+            }
             if ((ca_lo | ca_hi | cb_lo | cb_hi) == 0) {
                 // Both sides I-independent and not disjoint: an element is
                 // touched in every iteration.
                 if (ab == Proof::Unknown || ba == Proof::Unknown) {
+                    DdCounters::instance().gave_up.add();
                     issue = {classify_unknown(prover), "cannot separate accesses to " + label};
                     return DimOutcome::Fail;
                 }
                 return DimOutcome::NoInfo;
             }
         }
+        DdCounters::instance().gave_up.add();
         issue = {classify_unknown(prover),
                  "cannot prove independence of accesses to " + label};
         return DimOutcome::Fail;

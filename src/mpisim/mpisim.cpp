@@ -2,6 +2,8 @@
 
 #include <exception>
 
+#include "trace/counters.hpp"
+
 namespace ap::mpisim {
 
 Communicator::Communicator(int nranks) : nranks_(nranks) {
@@ -27,6 +29,12 @@ void Communicator::push(int source, int dest, int tag, std::vector<std::byte> pa
     auto& counters = *counters_[static_cast<std::size_t>(source)];
     counters.messages.fetch_add(1, std::memory_order_relaxed);
     counters.bytes.fetch_add(static_cast<std::int64_t>(payload.size()), std::memory_order_relaxed);
+    static trace::Counter& messages = trace::counters::get("mpisim.messages");
+    static trace::Counter& bytes = trace::counters::get("mpisim.bytes");
+    static trace::Distribution& sizes = trace::counters::distribution("mpisim.message_bytes");
+    messages.add();
+    bytes.add(static_cast<std::int64_t>(payload.size()));
+    sizes.record(static_cast<std::int64_t>(payload.size()));
     Channel& c = channel(source, dest);
     {
         std::lock_guard lock(c.mutex);
@@ -57,6 +65,8 @@ std::vector<std::byte> Communicator::pop(int source, int dest, int tag) {
 }
 
 void Rank::barrier() {
+    trace::Span span("mpi.barrier", "mpisim");
+    span.arg("rank", rank_);
     std::unique_lock lock(comm_.barrier_mutex_);
     const bool sense = comm_.barrier_sense_;
     if (++comm_.barrier_waiting_ == comm_.nranks_) {
@@ -69,6 +79,10 @@ void Rank::barrier() {
 }
 
 void Rank::broadcast(std::vector<double>& data, int root) {
+    trace::Span span("mpi.broadcast", "mpisim");
+    span.arg("rank", rank_);
+    span.arg("root", root);
+    span.arg("bytes", static_cast<std::int64_t>(data.size() * sizeof(double)));
     constexpr int kTag = -101;
     if (rank_ == root) {
         for (int r = 0; r < size(); ++r) {
@@ -80,6 +94,10 @@ void Rank::broadcast(std::vector<double>& data, int root) {
 }
 
 std::vector<double> Rank::scatter(const std::vector<double>& all, int root) {
+    trace::Span span("mpi.scatter", "mpisim");
+    span.arg("rank", rank_);
+    span.arg("root", root);
+    span.arg("bytes", static_cast<std::int64_t>(all.size() * sizeof(double)));
     constexpr int kTag = -102;
     const int n = size();
     if (rank_ == root) {
@@ -98,6 +116,10 @@ std::vector<double> Rank::scatter(const std::vector<double>& all, int root) {
 }
 
 std::vector<double> Rank::gather(std::span<const double> part, int root) {
+    trace::Span span("mpi.gather", "mpisim");
+    span.arg("rank", rank_);
+    span.arg("root", root);
+    span.arg("bytes", static_cast<std::int64_t>(part.size_bytes()));
     constexpr int kTag = -103;
     const int n = size();
     if (rank_ != root) {
@@ -120,6 +142,8 @@ std::vector<double> Rank::gather(std::span<const double> part, int root) {
 }
 
 double Rank::allreduce_sum(double value) {
+    trace::Span span("mpi.allreduce", "mpisim");
+    span.arg("rank", rank_);
     constexpr int kTag = -104;
     // Reduce to rank 0, broadcast back.
     if (rank_ == 0) {

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "trace/trace.hpp"
+
 namespace ap::mpisim {
 
 /// A minimal MPI-flavoured message-passing runtime over std::thread
@@ -121,6 +123,11 @@ private:
 template <typename T>
 void Rank::send(int dest, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
+    trace::Span span("mpi.send", "mpisim");
+    span.arg("rank", rank_);
+    span.arg("dest", dest);
+    span.arg("tag", tag);
+    span.arg("bytes", static_cast<std::int64_t>(data.size_bytes()));
     std::vector<std::byte> payload(data.size_bytes());
     if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size_bytes());
     comm_.push(rank_, dest, tag, std::move(payload));
@@ -129,7 +136,12 @@ void Rank::send(int dest, int tag, std::span<const T> data) {
 template <typename T>
 std::vector<T> Rank::recv(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
+    trace::Span span("mpi.recv", "mpisim");
+    span.arg("rank", rank_);
+    span.arg("source", source);
+    span.arg("tag", tag);
     auto payload = comm_.pop(source, rank_, tag);
+    span.arg("bytes", static_cast<std::int64_t>(payload.size()));
     if (payload.size() % sizeof(T) != 0) throw std::runtime_error("recv: payload size mismatch");
     std::vector<T> out(payload.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), payload.data(), payload.size());

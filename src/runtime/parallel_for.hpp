@@ -6,6 +6,8 @@
 #include <mutex>
 
 #include "runtime/thread_pool.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace ap::runtime {
 
@@ -37,10 +39,18 @@ void parallel_for(std::int64_t lo, std::int64_t hi, Fn&& fn, ParallelOptions opt
     ThreadPool& p = pool ? *pool : ThreadPool::global();
     unsigned threads = options.threads ? options.threads : p.size();
     if (threads > static_cast<unsigned>(n)) threads = static_cast<unsigned>(n);
+    trace::Span span("parallel_for", "runtime");
+    span.arg("iterations", n);
     if (threads <= 1 || n < options.grain || detail::in_parallel_region) {
+        static trace::Counter& inline_runs = trace::counters::get("runtime.parallel_for.inline");
+        inline_runs.add();
+        span.arg("threads", 1);
         for (std::int64_t i = lo; i < hi; ++i) fn(i);
         return;
     }
+    static trace::Counter& forked_runs = trace::counters::get("runtime.parallel_for.forked");
+    forked_runs.add();
+    span.arg("threads", static_cast<std::int64_t>(threads));
     std::atomic<unsigned> remaining{threads};
     std::mutex m;
     std::condition_variable cv;

@@ -1,5 +1,8 @@
 #include "runtime/thread_pool.hpp"
 
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
+
 namespace ap::runtime {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -20,23 +23,33 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+    static trace::Counter& submitted = trace::counters::get("runtime.tasks_submitted");
+    static trace::Distribution& depth = trace::counters::distribution("runtime.queue_depth");
+    submitted.add();
+    std::size_t depth_after = 0;
     {
         std::lock_guard lock(mutex_);
         queue_.push(std::move(task));
+        depth_after = queue_.size();
     }
+    depth.record(static_cast<std::int64_t>(depth_after));
     cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
     while (true) {
         std::function<void()> task;
+        std::size_t depth_at_pop = 0;
         {
             std::unique_lock lock(mutex_);
             cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
             if (stopping_ && queue_.empty()) return;
             task = std::move(queue_.front());
             queue_.pop();
+            depth_at_pop = queue_.size();
         }
+        trace::Span span("pool.task", "runtime");
+        span.arg("queue_depth", static_cast<std::int64_t>(depth_at_pop));
         task();
     }
 }

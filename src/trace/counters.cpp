@@ -1,0 +1,120 @@
+#include "trace/counters.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <variant>
+
+namespace ap::trace {
+
+void Distribution::record(std::int64_t sample) noexcept {
+    const std::int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    if (n == 0) {
+        // First sample seeds min/max; racing first samples fall through
+        // to the CAS loops below, so no update is lost.
+        std::int64_t zero = 0;
+        min_.compare_exchange_strong(zero, sample, std::memory_order_relaxed);
+        zero = 0;
+        max_.compare_exchange_strong(zero, sample, std::memory_order_relaxed);
+    }
+    std::int64_t cur = min_.load(std::memory_order_relaxed);
+    while (sample < cur &&
+           !min_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (sample > cur &&
+           !max_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+    }
+}
+
+Distribution::Snapshot Distribution::snapshot() const noexcept {
+    Snapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void Distribution::reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+namespace counters {
+
+namespace {
+
+using Entry = std::variant<std::unique_ptr<Counter>, std::unique_ptr<Distribution>>;
+
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, Entry, std::less<>> entries;  // sorted => stable JSON order
+};
+
+Registry& registry() {
+    static Registry* r = new Registry;  // leaked: counters outlive static destructors
+    return *r;
+}
+
+}  // namespace
+
+Counter& get(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    auto it = r.entries.find(name);
+    if (it == r.entries.end()) {
+        it = r.entries.emplace(std::string(name), std::make_unique<Counter>()).first;
+    }
+    return *std::get<std::unique_ptr<Counter>>(it->second);
+}
+
+Distribution& distribution(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    auto it = r.entries.find(name);
+    if (it == r.entries.end()) {
+        it = r.entries.emplace(std::string(name), std::make_unique<Distribution>()).first;
+    }
+    return *std::get<std::unique_ptr<Distribution>>(it->second);
+}
+
+json::Value snapshot() {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    json::Value out = json::Value::object();
+    for (const auto& [name, entry] : r.entries) {
+        if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&entry)) {
+            out.set(name, (*c)->value());
+        } else {
+            const auto s = std::get<std::unique_ptr<Distribution>>(entry)->snapshot();
+            json::Value d = json::Value::object();
+            d.set("count", s.count);
+            d.set("sum", s.sum);
+            d.set("min", s.min);
+            d.set("max", s.max);
+            d.set("mean", s.mean());
+            out.set(name, std::move(d));
+        }
+    }
+    return out;
+}
+
+void reset_all() {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    for (auto& [name, entry] : r.entries) {
+        if (auto* c = std::get_if<std::unique_ptr<Counter>>(&entry)) {
+            (*c)->reset();
+        } else {
+            std::get<std::unique_ptr<Distribution>>(entry)->reset();
+        }
+    }
+}
+
+}  // namespace counters
+
+}  // namespace ap::trace

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "trace/json.hpp"
+
+namespace ap::trace {
+
+/// A named monotonic counter. Obtain a reference once (function-local
+/// static in hot code) via counters::get(); add() is a relaxed atomic,
+/// safe and cheap from any thread.
+class Counter {
+public:
+    void add(std::int64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// A named value distribution: count / sum / min / max of recorded
+/// samples (queue depths, message sizes, chunk sizes). Lock-free; min
+/// and max converge via CAS loops.
+class Distribution {
+public:
+    void record(std::int64_t sample) noexcept;
+
+    struct Snapshot {
+        std::int64_t count = 0;
+        std::int64_t sum = 0;
+        std::int64_t min = 0;  ///< 0 when count == 0
+        std::int64_t max = 0;
+        [[nodiscard]] double mean() const noexcept {
+            return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+        }
+    };
+    [[nodiscard]] Snapshot snapshot() const noexcept;
+    void reset() noexcept;
+
+private:
+    std::atomic<std::int64_t> count_{0};
+    std::atomic<std::int64_t> sum_{0};
+    std::atomic<std::int64_t> min_{0};
+    std::atomic<std::int64_t> max_{0};
+};
+
+namespace counters {
+
+/// Registry lookup, creating on first use. The returned reference stays
+/// valid for the process lifetime. Lookup takes a mutex — cache the
+/// reference in hot paths.
+[[nodiscard]] Counter& get(std::string_view name);
+[[nodiscard]] Distribution& distribution(std::string_view name);
+
+/// Everything registered so far, as one JSON object: counters map to
+/// their integer value, distributions to {count, sum, min, max, mean}.
+/// Counters registered but never bumped are included (value 0).
+[[nodiscard]] json::Value snapshot();
+
+/// Zeroes every registered counter and distribution (benches and tests
+/// isolate their measurements with this; registration survives).
+void reset_all();
+
+}  // namespace counters
+
+}  // namespace ap::trace

@@ -1,0 +1,350 @@
+#include "trace/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ap::trace::json {
+
+const std::string& Value::as_string() const noexcept {
+    static const std::string empty;
+    const std::string* s = std::get_if<std::string>(&v_);
+    return s ? *s : empty;
+}
+
+Value& Value::set(std::string key, Value value) {
+    if (!is_object()) v_ = Object{};
+    Object& obj = std::get<Object>(v_);
+    for (auto& [k, v] : obj) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    obj.emplace_back(std::move(key), std::move(value));
+    return *this;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+    const Object* obj = as_object();
+    if (!obj) return nullptr;
+    for (const auto& [k, v] : *obj) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+void Value::push_back(Value value) {
+    if (!is_array()) v_ = Array{};
+    std::get<Array>(v_).push_back(std::move(value));
+}
+
+std::size_t Value::size() const noexcept {
+    if (const Array* a = as_array()) return a->size();
+    if (const Object* o = as_object()) return o->size();
+    return 0;
+}
+
+std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+    if (!std::isfinite(d)) {
+        out += "null";  // JSON has no inf/nan; null is the conventional stand-in
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+    if (is_null()) {
+        out += "null";
+    } else if (const bool* b = std::get_if<bool>(&v_)) {
+        out += *b ? "true" : "false";
+    } else if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) {
+        out += std::to_string(*i);
+    } else if (const double* d = std::get_if<double>(&v_)) {
+        append_number(out, *d);
+    } else if (const std::string* s = std::get_if<std::string>(&v_)) {
+        out += '"';
+        out += escape(*s);
+        out += '"';
+    } else if (const Array* a = std::get_if<Array>(&v_)) {
+        if (a->empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        bool first = true;
+        for (const Value& v : *a) {
+            if (!first) out += ',';
+            first = false;
+            if (indent >= 0) append_indent(out, indent, depth + 1);
+            v.dump_to(out, indent, depth + 1);
+        }
+        if (indent >= 0) append_indent(out, indent, depth);
+        out += ']';
+    } else if (const Object* o = std::get_if<Object>(&v_)) {
+        if (o->empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto& [k, v] : *o) {
+            if (!first) out += ',';
+            first = false;
+            if (indent >= 0) append_indent(out, indent, depth + 1);
+            out += '"';
+            out += escape(k);
+            out += "\":";
+            if (indent >= 0) out += ' ';
+            v.dump_to(out, indent, depth + 1);
+        }
+        if (indent >= 0) append_indent(out, indent, depth);
+        out += '}';
+    }
+}
+
+std::string Value::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<Value> run() {
+        auto v = value(0);
+        if (!v) return std::nullopt;
+        skip_ws();
+        if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+        return v;
+    }
+
+private:
+    static constexpr int kMaxDepth = 200;
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    std::optional<Value> value(int depth) {
+        if (depth > kMaxDepth) return std::nullopt;
+        skip_ws();
+        if (pos_ >= text_.size()) return std::nullopt;
+        switch (text_[pos_]) {
+            case 'n': return literal("null") ? std::optional<Value>(Value(nullptr)) : std::nullopt;
+            case 't': return literal("true") ? std::optional<Value>(Value(true)) : std::nullopt;
+            case 'f': return literal("false") ? std::optional<Value>(Value(false)) : std::nullopt;
+            case '"': return string_value();
+            case '[': return array_value(depth);
+            case '{': return object_value(depth);
+            default: return number_value();
+        }
+    }
+
+    std::optional<Value> number_value() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty()) return std::nullopt;
+        if (integral) {
+            std::int64_t i = 0;
+            const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+            if (ec == std::errc() && p == tok.data() + tok.size()) return Value(i);
+        }
+        double d = 0;
+        const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (ec != std::errc() || p != tok.data() + tok.size()) return std::nullopt;
+        return Value(d);
+    }
+
+    static void append_utf8(std::string& out, unsigned cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::optional<unsigned> hex4() {
+        if (pos_ + 4 > text_.size()) return std::nullopt;
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+            else return std::nullopt;
+        }
+        return cp;
+    }
+
+    std::optional<std::string> string_body() {
+        if (!consume('"')) return std::nullopt;
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) return std::nullopt;
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    auto cp = hex4();
+                    if (!cp) return std::nullopt;
+                    unsigned code = *cp;
+                    // Surrogate pair.
+                    if (code >= 0xD800 && code <= 0xDBFF && pos_ + 1 < text_.size() &&
+                        text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+                        pos_ += 2;
+                        auto lo = hex4();
+                        if (!lo || *lo < 0xDC00 || *lo > 0xDFFF) return std::nullopt;
+                        code = 0x10000 + ((code - 0xD800) << 10) + (*lo - 0xDC00);
+                    }
+                    append_utf8(out, code);
+                    break;
+                }
+                default: return std::nullopt;
+            }
+        }
+        return std::nullopt;  // unterminated
+    }
+
+    std::optional<Value> string_value() {
+        auto s = string_body();
+        if (!s) return std::nullopt;
+        return Value(std::move(*s));
+    }
+
+    std::optional<Value> array_value(int depth) {
+        if (!consume('[')) return std::nullopt;
+        Value out = Value::array();
+        if (consume(']')) return out;
+        while (true) {
+            auto v = value(depth + 1);
+            if (!v) return std::nullopt;
+            out.push_back(std::move(*v));
+            if (consume(']')) return out;
+            if (!consume(',')) return std::nullopt;
+        }
+    }
+
+    std::optional<Value> object_value(int depth) {
+        if (!consume('{')) return std::nullopt;
+        Value out = Value::object();
+        if (consume('}')) return out;
+        while (true) {
+            skip_ws();
+            auto key = string_body();
+            if (!key) return std::nullopt;
+            if (!consume(':')) return std::nullopt;
+            auto v = value(depth + 1);
+            if (!v) return std::nullopt;
+            out.set(std::move(*key), std::move(*v));
+            if (consume('}')) return out;
+            if (!consume(',')) return std::nullopt;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace ap::trace::json

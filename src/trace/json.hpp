@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ap::trace::json {
+
+/// Minimal JSON document model shared by the tracer, the counters
+/// registry, and the bench report writer. Objects preserve insertion
+/// order so emitted reports diff cleanly across runs; lookups are linear
+/// (documents here are small).
+class Value {
+public:
+    using Array = std::vector<Value>;
+    using Object = std::vector<std::pair<std::string, Value>>;
+
+    Value() : v_(nullptr) {}
+    Value(std::nullptr_t) : v_(nullptr) {}
+    Value(bool b) : v_(b) {}
+    Value(double d) : v_(d) {}
+    Value(std::int64_t i) : v_(i) {}
+    Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+    Value(std::uint64_t u) : v_(static_cast<std::int64_t>(u)) {}
+    Value(std::string s) : v_(std::move(s)) {}
+    Value(std::string_view s) : v_(std::string(s)) {}
+    Value(const char* s) : v_(std::string(s)) {}
+    Value(Array a) : v_(std::move(a)) {}
+    Value(Object o) : v_(std::move(o)) {}
+
+    [[nodiscard]] static Value array() { return Value(Array{}); }
+    [[nodiscard]] static Value object() { return Value(Object{}); }
+
+    [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(v_); }
+    [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(v_); }
+    [[nodiscard]] bool is_number() const noexcept {
+        return std::holds_alternative<double>(v_) || std::holds_alternative<std::int64_t>(v_);
+    }
+    [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(v_); }
+    [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(v_); }
+    [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<Object>(v_); }
+
+    [[nodiscard]] bool as_bool(bool dflt = false) const noexcept {
+        const bool* b = std::get_if<bool>(&v_);
+        return b ? *b : dflt;
+    }
+    [[nodiscard]] double as_double(double dflt = 0.0) const noexcept {
+        if (const double* d = std::get_if<double>(&v_)) return *d;
+        if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*i);
+        return dflt;
+    }
+    [[nodiscard]] std::int64_t as_int(std::int64_t dflt = 0) const noexcept {
+        if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) return *i;
+        if (const double* d = std::get_if<double>(&v_)) return static_cast<std::int64_t>(*d);
+        return dflt;
+    }
+    [[nodiscard]] const std::string& as_string() const noexcept;
+    [[nodiscard]] const Array* as_array() const noexcept { return std::get_if<Array>(&v_); }
+    [[nodiscard]] const Object* as_object() const noexcept { return std::get_if<Object>(&v_); }
+
+    /// Object insertion (replaces an existing key). Non-objects become {}.
+    Value& set(std::string key, Value value);
+    /// Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+    /// Array append. Non-arrays become [].
+    void push_back(Value value);
+    /// Element count of an array/object, 0 otherwise.
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Serializes; indent < 0 is compact, otherwise pretty-printed with
+    /// `indent` spaces per level.
+    [[nodiscard]] std::string dump(int indent = -1) const;
+
+private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array, Object> v_;
+};
+
+/// JSON string escaping of `s` (no surrounding quotes). Non-ASCII bytes
+/// pass through (valid UTF-8 stays valid); control characters become
+/// \uXXXX escapes.
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Strict-enough recursive-descent parser for the documents this project
+/// emits (full JSON minus exotic number forms). Returns nullopt on any
+/// syntax error or trailing garbage.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+}  // namespace ap::trace::json

@@ -1,0 +1,217 @@
+#include "trace/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace ap::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() noexcept {
+    // One process-wide epoch so events from every thread share a timeline.
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - epoch)
+                                          .count());
+}
+
+struct ThreadBuffer;
+
+/// Live thread buffers plus events retired by exited threads. Leaked so
+/// thread-locals destroyed after main() can still retire safely.
+struct Registry {
+    std::mutex mutex;
+    std::vector<ThreadBuffer*> live;
+    std::vector<Event> retired;
+};
+
+Registry& registry() {
+    static Registry* r = new Registry;
+    return *r;
+}
+
+struct ThreadBuffer {
+    std::mutex mutex;  ///< guards events against a concurrent drain
+    std::vector<Event> events;
+    std::uint32_t tid;
+    bool registered = false;
+
+    ThreadBuffer() {
+        static std::atomic<std::uint32_t> next_tid{1};
+        tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    ~ThreadBuffer() {
+        Registry& r = registry();
+        std::lock_guard lock(r.mutex);
+        if (registered) {
+            std::erase(r.live, this);
+        }
+        r.retired.insert(r.retired.end(), std::make_move_iterator(events.begin()),
+                         std::make_move_iterator(events.end()));
+    }
+
+    void push(Event&& e) {
+        {
+            std::lock_guard lock(mutex);
+            events.push_back(std::move(e));
+        }
+        if (!registered) {
+            Registry& r = registry();
+            std::lock_guard lock(r.mutex);
+            r.live.push_back(this);
+            registered = true;
+        }
+    }
+};
+
+ThreadBuffer& thread_buffer() {
+    thread_local ThreadBuffer buffer;
+    return buffer;
+}
+
+std::vector<Event> drain_all() {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    std::vector<Event> out = std::move(r.retired);
+    r.retired.clear();
+    for (ThreadBuffer* b : r.live) {
+        std::lock_guard blk(b->mutex);
+        out.insert(out.end(), std::make_move_iterator(b->events.begin()),
+                   std::make_move_iterator(b->events.end()));
+        b->events.clear();
+    }
+    return out;
+}
+
+void flush_at_exit();
+
+void init_from_env() noexcept {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char* flag = std::getenv("AP_TRACE");
+        const char* path = std::getenv("AP_TRACE_PATH");
+        if (flag && flag[0] && !(flag[0] == '0' && flag[1] == '\0')) {
+            g_enabled.store(true, std::memory_order_relaxed);
+        }
+        if (path && path[0]) {
+            g_enabled.store(true, std::memory_order_relaxed);
+            std::atexit(flush_at_exit);
+        }
+    });
+}
+
+void flush_at_exit() {
+    const char* path = std::getenv("AP_TRACE_PATH");
+    if (path && path[0]) {
+        if (!write(path)) {
+            std::fprintf(stderr, "ap::trace: failed to write %s\n", path);
+        }
+    }
+}
+
+// Apply AP_TRACE / AP_TRACE_PATH at load time too: a process that never
+// happens to construct a span must still honor AP_TRACE_PATH (writing an
+// empty trace) rather than silently skipping the atexit registration.
+[[maybe_unused]] const bool g_env_applied = (init_from_env(), true);
+
+json::Value arg_to_json(const ArgValue& v) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return json::Value(*i);
+    if (const auto* d = std::get_if<double>(&v)) return json::Value(*d);
+    return json::Value(std::get<std::string>(v));
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+    init_from_env();
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+    init_from_env();  // keep env semantics consistent regardless of call order
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Span::Span(std::string_view name, std::string_view category) : active_(enabled()) {
+    if (!active_) return;
+    event_.name.assign(name);
+    event_.category.assign(category);
+    event_.start_ns = now_ns();
+}
+
+Span::~Span() {
+    if (!active_) return;
+    event_.dur_ns = now_ns() - event_.start_ns;
+    ThreadBuffer& b = thread_buffer();
+    event_.tid = b.tid;
+    b.push(std::move(event_));
+}
+
+void Span::arg(std::string_view key, std::int64_t v) {
+    if (active_) event_.args.emplace_back(std::string(key), ArgValue(v));
+}
+
+void Span::arg(std::string_view key, double v) {
+    if (active_) event_.args.emplace_back(std::string(key), ArgValue(v));
+}
+
+void Span::arg(std::string_view key, std::string_view v) {
+    if (active_) event_.args.emplace_back(std::string(key), ArgValue(std::string(v)));
+}
+
+std::size_t event_count() {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    std::size_t n = r.retired.size();
+    for (ThreadBuffer* b : r.live) {
+        std::lock_guard blk(b->mutex);
+        n += b->events.size();
+    }
+    return n;
+}
+
+json::Value to_json_value() {
+    std::vector<Event> events = drain_all();
+    json::Value list = json::Value::array();
+    for (const Event& e : events) {
+        json::Value ev = json::Value::object();
+        ev.set("name", e.name);
+        ev.set("cat", e.category);
+        ev.set("ph", "X");
+        ev.set("ts", static_cast<double>(e.start_ns) / 1e3);  // Chrome expects microseconds
+        ev.set("dur", static_cast<double>(e.dur_ns) / 1e3);
+        ev.set("pid", 1);
+        ev.set("tid", static_cast<std::int64_t>(e.tid));
+        if (!e.args.empty()) {
+            json::Value args = json::Value::object();
+            for (const auto& [k, v] : e.args) args.set(k, arg_to_json(v));
+            ev.set("args", std::move(args));
+        }
+        list.push_back(std::move(ev));
+    }
+    json::Value doc = json::Value::object();
+    doc.set("traceEvents", std::move(list));
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+std::string to_json() { return to_json_value().dump(); }
+
+bool write(const std::string& path) {
+    const std::string text = to_json();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) return false;
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == text.size();
+    return ok;
+}
+
+void clear() { (void)drain_all(); }
+
+}  // namespace ap::trace

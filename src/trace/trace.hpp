@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "trace/json.hpp"
+
+namespace ap::trace {
+
+/// ap::trace — low-overhead structured tracing.
+///
+/// Scoped `Span` objects record Chrome trace-event / Perfetto "complete"
+/// events (`ph:"X"`) into thread-local buffers; `to_json()` /
+/// `write()` merge every thread's buffer into one trace document
+/// (chrome://tracing or https://ui.perfetto.dev load it directly).
+///
+/// Tracing is OFF by default. A span checks the runtime flag exactly
+/// once, in its constructor; when disabled it stores one bool and does
+/// nothing else — cheap enough to leave spans compiled into hot paths.
+/// Enable programmatically with `set_enabled(true)` or by environment:
+///   AP_TRACE=1            enable from process start
+///   AP_TRACE_PATH=t.json  enable and write the trace there at exit
+
+/// True when spans are being recorded. First call applies AP_TRACE /
+/// AP_TRACE_PATH from the environment.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// One recorded span argument; numeric or string.
+using ArgValue = std::variant<std::int64_t, double, std::string>;
+
+/// A completed span, as buffered per thread.
+struct Event {
+    std::string name;
+    std::string category;
+    std::uint64_t start_ns = 0;  ///< since the process trace epoch
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;
+    std::vector<std::pair<std::string, ArgValue>> args;
+};
+
+/// RAII span: measures construction-to-destruction and records one event
+/// when tracing is enabled. Args attach at any point during the span's
+/// life. Must be destroyed on the thread that created it.
+class Span {
+public:
+    explicit Span(std::string_view name, std::string_view category = "ap");
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// No-ops when tracing was disabled at construction.
+    void arg(std::string_view key, std::int64_t v);
+    void arg(std::string_view key, std::uint64_t v) { arg(key, static_cast<std::int64_t>(v)); }
+    void arg(std::string_view key, int v) { arg(key, static_cast<std::int64_t>(v)); }
+    void arg(std::string_view key, double v);
+    void arg(std::string_view key, std::string_view v);
+    void arg(std::string_view key, const char* v) { arg(key, std::string_view(v)); }
+
+    [[nodiscard]] bool active() const noexcept { return active_; }
+
+private:
+    bool active_;
+    Event event_;  // filled only when active_
+};
+
+/// Number of events currently buffered across all threads.
+[[nodiscard]] std::size_t event_count();
+
+/// Drains every thread's buffer into a Chrome trace-event JSON document
+/// ({"traceEvents": [...]}). Spans still open are not included.
+[[nodiscard]] std::string to_json();
+
+/// Same, as a parsed tree (tests introspect events through this).
+[[nodiscard]] json::Value to_json_value();
+
+/// to_json() to a file; false on I/O failure.
+bool write(const std::string& path);
+
+/// Discards all buffered events.
+void clear();
+
+}  // namespace ap::trace

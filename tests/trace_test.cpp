@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "core/compiler.hpp"
+#include "core/passes.hpp"
+#include "corpus/corpus.hpp"
+#include "runtime/thread_pool.hpp"
+#include "trace/counters.hpp"
+#include "trace/json.hpp"
+#include "trace/trace.hpp"
+
+namespace ap {
+namespace {
+
+// Every test owns the global tracer state for its duration.
+class TraceTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        trace::set_enabled(false);
+        trace::clear();
+    }
+    void TearDown() override {
+        trace::set_enabled(false);
+        trace::clear();
+    }
+};
+
+// --- JSON model ------------------------------------------------------
+
+TEST(Json, RoundTripsNestedDocument) {
+    auto doc = trace::json::Value::object();
+    doc.set("int", std::int64_t{-42});
+    doc.set("float", 2.5);
+    doc.set("bool", true);
+    doc.set("null", nullptr);
+    doc.set("text", "hello");
+    auto arr = trace::json::Value::array();
+    arr.push_back(1);
+    arr.push_back("two");
+    auto inner = trace::json::Value::object();
+    inner.set("k", 3);
+    arr.push_back(std::move(inner));
+    doc.set("list", std::move(arr));
+
+    for (int indent : {-1, 2}) {
+        const auto parsed = trace::json::parse(doc.dump(indent));
+        ASSERT_TRUE(parsed.has_value()) << "indent=" << indent;
+        EXPECT_EQ(parsed->find("int")->as_int(), -42);
+        EXPECT_DOUBLE_EQ(parsed->find("float")->as_double(), 2.5);
+        EXPECT_TRUE(parsed->find("bool")->as_bool());
+        EXPECT_TRUE(parsed->find("null")->is_null());
+        EXPECT_EQ(parsed->find("text")->as_string(), "hello");
+        const auto* list = parsed->find("list");
+        ASSERT_NE(list, nullptr);
+        ASSERT_EQ(list->size(), 3u);
+        EXPECT_EQ((*list->as_array())[2].find("k")->as_int(), 3);
+    }
+}
+
+TEST(Json, EscapesAndParsesAwkwardStrings) {
+    const std::string awkward = "quote\" slash\\ tab\t nl\n cr\r nul\x01 end";
+    EXPECT_EQ(trace::json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(trace::json::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(trace::json::escape("\n"), "\\n");
+
+    auto doc = trace::json::Value::object();
+    doc.set(awkward, awkward);
+    const auto parsed = trace::json::parse(doc.dump());
+    ASSERT_TRUE(parsed.has_value());
+    const auto* v = parsed->find(awkward);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->as_string(), awkward);
+}
+
+TEST(Json, ParsesUnicodeEscapesAndRejectsGarbage) {
+    const auto ok = trace::json::parse(R"({"s": "aA😀b"})");
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->find("s")->as_string(), "aA\xF0\x9F\x98\x80"
+                                          "b");
+    EXPECT_FALSE(trace::json::parse("{").has_value());
+    EXPECT_FALSE(trace::json::parse("[1,]").has_value());
+    EXPECT_FALSE(trace::json::parse("{}x").has_value());
+    EXPECT_FALSE(trace::json::parse("\"unterminated").has_value());
+}
+
+// --- spans -----------------------------------------------------------
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+    ASSERT_FALSE(trace::enabled());
+    {
+        trace::Span outer("outer");
+        outer.arg("k", 1);
+        trace::Span inner("inner", "cat");
+        EXPECT_FALSE(outer.active());
+        EXPECT_FALSE(inner.active());
+    }
+    EXPECT_EQ(trace::event_count(), 0u);
+    const auto doc = trace::json::parse(trace::to_json());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("traceEvents")->size(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansEmitParsableChromeTrace) {
+    trace::set_enabled(true);
+    {
+        trace::Span outer("outer", "test");
+        outer.arg("answer", 42);
+        outer.arg("ratio", 0.5);
+        outer.arg("label", "weird \"quoted\"\nvalue");
+        { trace::Span inner("inner", "test"); }
+    }
+    trace::set_enabled(false);
+    EXPECT_EQ(trace::event_count(), 2u);
+
+    const auto doc = trace::json::parse(trace::to_json());
+    ASSERT_TRUE(doc.has_value());
+    const auto* events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->size(), 2u);
+
+    const trace::json::Value* outer = nullptr;
+    const trace::json::Value* inner = nullptr;
+    for (const auto& e : *events->as_array()) {
+        if (e.find("name")->as_string() == "outer") outer = &e;
+        if (e.find("name")->as_string() == "inner") inner = &e;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    for (const auto* e : {outer, inner}) {
+        EXPECT_EQ(e->find("ph")->as_string(), "X");
+        EXPECT_EQ(e->find("cat")->as_string(), "test");
+        EXPECT_TRUE(e->find("ts")->is_number());
+        EXPECT_TRUE(e->find("dur")->is_number());
+        EXPECT_TRUE(e->find("pid")->is_number());
+        EXPECT_TRUE(e->find("tid")->is_number());
+    }
+    // The inner span nests inside the outer one on the timeline.
+    EXPECT_GE(inner->find("ts")->as_double(), outer->find("ts")->as_double());
+    EXPECT_LE(inner->find("dur")->as_double(), outer->find("dur")->as_double());
+    const auto* args = outer->find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("answer")->as_int(), 42);
+    EXPECT_DOUBLE_EQ(args->find("ratio")->as_double(), 0.5);
+    EXPECT_EQ(args->find("label")->as_string(), "weird \"quoted\"\nvalue");
+}
+
+TEST_F(TraceTest, SpansFromPoolThreadsAllReachTheTrace) {
+    trace::set_enabled(true);
+    { trace::Span s("main-span", "test"); }
+    {
+        runtime::ThreadPool pool(4);
+        std::atomic<int> done{0};
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&] {
+                trace::Span s("unit-span", "test");
+                done.fetch_add(1);
+            });
+        }
+        while (done.load() < 32) std::this_thread::yield();
+    }  // pool joins; worker buffers retire into the registry
+    trace::set_enabled(false);
+
+    const auto doc = trace::to_json_value();
+    int unit_spans = 0;
+    std::int64_t main_tid = -1;
+    std::set<std::int64_t> worker_tids;
+    for (const auto& e : *doc.find("traceEvents")->as_array()) {
+        const std::string& name = e.find("name")->as_string();
+        if (name == "main-span") main_tid = e.find("tid")->as_int();
+        if (name == "unit-span") {
+            ++unit_spans;
+            worker_tids.insert(e.find("tid")->as_int());
+        }
+    }
+    // Every span survived its worker thread's exit, and none of them ran
+    // on the main thread. (On a one-core host the pool may funnel all 32
+    // tasks through a single worker, so no minimum distinct-tid count.)
+    EXPECT_EQ(unit_spans, 32);
+    ASSERT_GE(main_tid, 0);
+    EXPECT_GE(worker_tids.size(), 1u);
+    EXPECT_FALSE(worker_tids.count(main_tid));
+}
+
+TEST_F(TraceTest, WriteProducesLoadableFile) {
+    trace::set_enabled(true);
+    { trace::Span s("filed", "test"); }
+    trace::set_enabled(false);
+    const std::string path = ::testing::TempDir() + "/ap_trace_test.json";
+    ASSERT_TRUE(trace::write(path));
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+    const auto doc = trace::json::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("traceEvents")->size(), 1u);
+}
+
+// --- counters --------------------------------------------------------
+
+TEST(Counters, AggregateAcrossPoolThreads) {
+    trace::counters::reset_all();
+    auto& hits = trace::counters::get("test.hits");
+    auto& depth = trace::counters::distribution("test.depth");
+    {
+        runtime::ThreadPool pool(4);
+        std::atomic<int> done{0};
+        for (int i = 0; i < 200; ++i) {
+            pool.submit([&, i] {
+                hits.add();
+                depth.record(i % 10);
+                done.fetch_add(1);
+            });
+        }
+        while (done.load() < 200) std::this_thread::yield();
+    }
+    EXPECT_EQ(hits.value(), 200);
+    const auto snap = depth.snapshot();
+    EXPECT_EQ(snap.count, 200);
+    EXPECT_EQ(snap.min, 0);
+    EXPECT_EQ(snap.max, 9);
+    EXPECT_EQ(snap.sum, 20 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9));
+
+    const auto json = trace::counters::snapshot();
+    const auto* c = json.find("test.hits");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->as_int(), 200);
+    const auto* d = json.find("test.depth");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->find("count")->as_int(), 200);
+    EXPECT_DOUBLE_EQ(d->find("mean")->as_double(), 4.5);
+
+    trace::counters::reset_all();
+    EXPECT_EQ(hits.value(), 0);
+    EXPECT_EQ(depth.snapshot().count, 0);
+}
+
+// --- end-to-end: compiling the seismic corpus under tracing ----------
+
+TEST_F(TraceTest, CompilingSeismicTracesEveryPassAndDependenceTests) {
+    trace::counters::reset_all();
+    trace::set_enabled(true);
+    {
+        auto prog = corpus::load(corpus::seismic());
+        core::CompilerOptions opts;
+        opts.loop_op_budget = corpus::seismic().loop_op_budget;
+        (void)core::compile(prog, opts);
+    }
+    trace::set_enabled(false);
+
+    const auto doc = trace::json::parse(trace::to_json());
+    ASSERT_TRUE(doc.has_value());
+    const auto* events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_GT(events->size(), 0u);
+
+    std::set<std::string> pass_spans;
+    int ddtest_spans_with_ops = 0;
+    bool compile_span = false;
+    for (const auto& e : *events->as_array()) {
+        const std::string& name = e.find("name")->as_string();
+        if (e.find("cat")->as_string() == "pass") pass_spans.insert(name);
+        if (name == "compile") compile_span = true;
+        if (name == "ddtest.loop") {
+            const auto* args = e.find("args");
+            if (args && args->find("symbolic_ops")) ++ddtest_spans_with_ops;
+        }
+    }
+    EXPECT_TRUE(compile_span);
+    for (int p = 0; p < core::kPassCount; ++p) {
+        const std::string pass(core::to_string(static_cast<core::PassId>(p)));
+        EXPECT_TRUE(pass_spans.count(pass)) << "no span for pass: " << pass;
+    }
+    EXPECT_GE(ddtest_spans_with_ops, 1);
+
+    // The counters registry saw the same compile.
+    const auto snap = trace::counters::snapshot();
+    EXPECT_GE(snap.find("core.compiles")->as_int(), 1);
+    EXPECT_GE(snap.find("ddtest.loops_tested")->as_int(), 1);
+    EXPECT_GE(snap.find("ddtest.pairs_tested")->as_int(), 1);
+    trace::counters::reset_all();
+}
+
+}  // namespace
+}  // namespace ap

@@ -1,0 +1,169 @@
+// Schema validator for the machine-readable bench reports
+// (`fig* --json <path>`, schema "ap.bench.v1"). scripts/verify.sh and the
+// verify_fig2_json CTest test run it after regenerating a report; exits
+// nonzero with a diagnostic when the document is missing anything a
+// trajectory-tracking consumer relies on.
+//
+// Usage: report_lint <report.json> [expected-bench]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/passes.hpp"
+#include "trace/json.hpp"
+
+namespace {
+
+using ap::trace::json::Value;
+
+int g_failures = 0;
+
+void fail(const std::string& what) {
+    std::fprintf(stderr, "report_lint: %s\n", what.c_str());
+    ++g_failures;
+}
+
+const Value* require(const Value& obj, const std::string& key, const char* type) {
+    const Value* v = obj.find(key);
+    if (!v) {
+        fail("missing key \"" + key + "\"");
+        return nullptr;
+    }
+    const bool ok = (std::string(type) == "object" && v->is_object()) ||
+                    (std::string(type) == "array" && v->is_array()) ||
+                    (std::string(type) == "string" && v->is_string()) ||
+                    (std::string(type) == "number" && v->is_number()) ||
+                    (std::string(type) == "bool" && v->is_bool());
+    if (!ok) {
+        fail("key \"" + key + "\" is not a " + type);
+        return nullptr;
+    }
+    return v;
+}
+
+void check_codes(const Value& data, const std::vector<std::string>& member_keys) {
+    const Value* codes = require(data, "codes", "array");
+    if (!codes) return;
+    if (codes->size() == 0) {
+        fail("\"codes\" is empty");
+        return;
+    }
+    for (const Value& code : *codes->as_array()) {
+        if (!code.is_object()) {
+            fail("codes[] entry is not an object");
+            continue;
+        }
+        require(code, "name", "string");
+        for (const auto& key : member_keys) {
+            if (!code.find(key)) fail("codes[] entry missing \"" + key + "\"");
+        }
+    }
+}
+
+void check_passes_complete(const Value& passes) {
+    for (int p = 0; p < ap::core::kPassCount; ++p) {
+        const std::string name(ap::core::to_string(static_cast<ap::core::PassId>(p)));
+        const Value* pass = passes.find(name);
+        if (!pass || !pass->is_object()) {
+            fail("passes missing pass \"" + name + "\"");
+            continue;
+        }
+        require(*pass, "seconds", "number");
+        require(*pass, "symbolic_ops", "number");
+    }
+}
+
+void check_bench(const std::string& bench, const Value& data) {
+    if (bench == "fig1") {
+        const Value* decks = require(data, "decks", "array");
+        if (!decks || decks->size() == 0) {
+            if (decks) fail("\"decks\" is empty");
+            return;
+        }
+        for (const Value& deck : *decks->as_array()) {
+            require(deck, "name", "string");
+            const Value* flavors = require(deck, "flavors", "array");
+            if (!flavors) continue;
+            if (flavors->size() != 4) fail("deck must report exactly 4 flavors");
+            for (const Value& fv : *flavors->as_array()) {
+                require(fv, "flavor", "string");
+                require(fv, "total_seconds", "number");
+                require(fv, "speedup", "number");
+                const Value* phases = require(fv, "phases", "array");
+                if (phases && phases->size() != 4) fail("flavor must report 4 phases");
+            }
+        }
+    } else if (bench == "fig2") {
+        require(data, "repeats", "number");
+        check_codes(data, {"statements", "total_seconds", "us_per_statement", "symbolic_ops",
+                           "ops_per_statement"});
+        if (const Value* codes = data.find("codes"); codes && codes->is_array()) {
+            for (const Value& code : *codes->as_array()) {
+                if (const Value* passes = code.find("passes")) check_passes_complete(*passes);
+                else fail("codes[] entry missing \"passes\"");
+            }
+        }
+    } else if (bench == "fig3") {
+        require(data, "repeats", "number");
+        check_codes(data, {"total_seconds", "share_percent", "passes"});
+    } else if (bench == "fig4") {
+        check_codes(data, {"targets", "outer_subs", "outer_loops", "enclosed_subs",
+                           "enclosed_loops"});
+    } else if (bench == "fig5") {
+        check_codes(data, {"total_targets", "histogram"});
+    } else {
+        fail("unknown bench \"" + bench + "\"");
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr, "usage: report_lint <report.json> [expected-bench]\n");
+        return 2;
+    }
+    std::FILE* f = std::fopen(argv[1], "rb");
+    if (!f) {
+        std::fprintf(stderr, "report_lint: cannot open %s\n", argv[1]);
+        return 2;
+    }
+    std::string text;
+    char buf[1 << 16];
+    for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) text.append(buf, n);
+    std::fclose(f);
+
+    const auto doc = ap::trace::json::parse(text);
+    if (!doc) {
+        std::fprintf(stderr, "report_lint: %s is not valid JSON\n", argv[1]);
+        return 1;
+    }
+
+    const Value* schema = require(*doc, "schema", "string");
+    if (schema && schema->as_string() != "ap.bench.v1") {
+        fail("schema is \"" + schema->as_string() + "\", expected \"ap.bench.v1\"");
+    }
+    const Value* bench = require(*doc, "bench", "string");
+    require(*doc, "ok", "bool");
+    const Value* counters = require(*doc, "counters", "object");
+    const Value* data = require(*doc, "data", "object");
+    // fig4 only walks the call graph; every other bench drives the compiler
+    // or runtime and must have recorded at least one counter.
+    if (counters && bench && bench->as_string() != "fig4" && counters->size() == 0) {
+        fail("\"counters\" is empty");
+    }
+
+    if (bench && argc == 3 && bench->as_string() != argv[2]) {
+        fail("bench is \"" + bench->as_string() + "\", expected \"" + argv[2] + "\"");
+    }
+    if (bench && data) check_bench(bench->as_string(), *data);
+
+    if (g_failures) {
+        std::fprintf(stderr, "report_lint: %s: %d problem(s)\n", argv[1], g_failures);
+        return 1;
+    }
+    std::printf("report_lint: %s: OK (%s)\n", argv[1], bench ? bench->as_string().c_str() : "?");
+    return 0;
+}
