@@ -10,9 +10,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/report.hpp"
+#include "fault/fault.hpp"
 #include "seismic/seismic.hpp"
+#include "trace/counters.hpp"
 
 namespace {
 
@@ -21,6 +26,8 @@ using namespace ap;
 constexpr int kProcs = 4;
 
 trace::json::Value g_decks = trace::json::Value::array();
+trace::json::Value g_chaos = trace::json::Value::object();
+bool g_chaos_mode = false;
 
 int run_deck(const seismic::Deck& deck) {
     std::printf("--- dataset %s (shots=%d traces=%d samples=%d cube=%dx%dx%d grid=%d^2 x %d) ---\n",
@@ -103,6 +110,138 @@ int run_deck(const seismic::Deck& deck) {
     return failures;
 }
 
+// --- chaos mode (--chaos N) -------------------------------------------------
+//
+// Seeded fault sweep over the MPI seismic pipeline on the tiny deck:
+// for every seed x fault kind, inject faults via a shared deterministic
+// ap::fault::Injector and assert the recovered run reproduces the
+// fault-free checksums bit for bit (docs/ROBUSTNESS.md). Emits a
+// `data.chaos` section instead of `data.decks`, and the counters
+// snapshot carries the fault.* accounting report_lint validates.
+
+struct ChaosKind {
+    const char* name;
+    fault::Plan (*plan)(int seed);
+};
+
+const ChaosKind kChaosKinds[] = {
+    {"drop",
+     [](int seed) {
+         fault::Plan p;
+         p.seed = static_cast<std::uint64_t>(seed);
+         p.drop = 0.05;
+         return p;
+     }},
+    {"delay",
+     [](int seed) {
+         fault::Plan p;
+         p.seed = static_cast<std::uint64_t>(seed);
+         p.delay = 0.2;
+         p.delay_us = 100;
+         return p;
+     }},
+    {"crash",
+     [](int seed) {
+         fault::Plan p;
+         p.seed = static_cast<std::uint64_t>(seed);
+         p.crash_rank = seed % kProcs;
+         p.crash_at = 3 + (seed * 7) % 60;
+         return p;
+     }},
+    {"stall",
+     [](int seed) {
+         fault::Plan p;
+         p.seed = static_cast<std::uint64_t>(seed);
+         p.stall_rank = seed % kProcs;
+         p.stall_at = 5 + (seed * 11) % 40;
+         p.stall_ms = 600;  // well past the 0.25 s chaos deadline
+         return p;
+     }},
+};
+
+int run_chaos(int nseeds) {
+    std::printf("=== chaos sweep: %d seeds x %zu kinds over the MPI seismic pipeline ===\n",
+                nseeds, std::size(kChaosKinds));
+    // Pre-register so every chaos report carries them even when zero.
+    (void)trace::counters::get("mpi.timeouts");
+    (void)trace::counters::get("mpi.retries");
+
+    const seismic::Deck deck = seismic::Deck::tiny();
+    // Fault-free baseline over the same fault-tolerant code path (an
+    // inert injector also suppresses any ambient AP_FAULT plan).
+    seismic::FaultTolerance clean;
+    clean.injector = std::make_shared<fault::Injector>(fault::Plan{});
+    const seismic::SuiteResult baseline = seismic::run_suite(deck, seismic::Flavor::Mpi, kProcs,
+                                                             clean);
+
+    namespace json = ap::trace::json;
+    json::Value runs = json::Value::array();
+    int failures = 0;
+    int degraded_runs = 0;
+    for (int seed = 1; seed <= nseeds; ++seed) {
+        for (const auto& kind : kChaosKinds) {
+            const fault::Plan plan = kind.plan(seed);
+            seismic::FaultTolerance ft;
+            ft.injector = std::make_shared<fault::Injector>(plan);
+            ft.deadline_s = 0.25;
+            ft.max_attempts = 3;
+            const seismic::SuiteResult result =
+                seismic::run_suite(deck, seismic::Flavor::Mpi, kProcs, ft);
+            bool match = true;
+            int attempts = 0;
+            bool degraded = false;
+            for (int p = 0; p < 4; ++p) {
+                if (result.phases[p].checksum != baseline.phases[p].checksum) match = false;
+                attempts += result.phases[p].attempts;
+                degraded = degraded || result.phases[p].degraded;
+            }
+            if (!match) {
+                std::printf("CHAOS MISMATCH: seed=%d kind=%s plan=\"%s\"\n", seed, kind.name,
+                            plan.spec().c_str());
+                ++failures;
+            }
+            if (degraded) ++degraded_runs;
+            json::Value run = json::Value::object();
+            run.set("seed", seed);
+            run.set("kind", kind.name);
+            run.set("plan", plan.spec());
+            run.set("checksum_match", match);
+            run.set("attempts", attempts);
+            run.set("degraded", degraded);
+            runs.push_back(std::move(run));
+        }
+    }
+
+    // The accounting invariant: every injected fault was either recovered
+    // or written off as fatal — nothing leaks.
+    for (const fault::Kind k : fault::kAllKinds) {
+        const auto injected = fault::counters::injected_count(k);
+        const auto recovered = fault::counters::recovered_count(k);
+        const auto fatal = fault::counters::fatal_count(k);
+        if (injected != recovered + fatal) {
+            std::printf("COUNTER IMBALANCE: fault.%s injected=%lld recovered=%lld fatal=%lld\n",
+                        std::string(fault::to_string(k)).c_str(),
+                        static_cast<long long>(injected), static_cast<long long>(recovered),
+                        static_cast<long long>(fatal));
+            ++failures;
+        }
+    }
+
+    const int total_runs = nseeds * static_cast<int>(std::size(kChaosKinds));
+    std::printf("chaos: %d runs, %d degraded to serial, %d failure(s)\n", total_runs,
+                degraded_runs, failures);
+
+    json::Value chaos = json::Value::object();
+    chaos.set("deck", deck.name);
+    chaos.set("seeds", nseeds);
+    chaos.set("total_runs", total_runs);
+    chaos.set("degraded_runs", degraded_runs);
+    chaos.set("runs", std::move(runs));
+    g_chaos = std::move(chaos);
+    g_chaos_mode = true;
+    return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,17 +250,26 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "fig1: %s\n", args.error.c_str());
         return 2;
     }
-    std::printf("=== Figure 1: seismic suite performance by parallelization strategy ===\n");
-    std::printf("(simulated %d-processor machine; see DESIGN.md for the cost model)\n\n", kProcs);
     int failures = 0;
-    failures += run_deck(seismic::Deck::small());
-    failures += run_deck(seismic::Deck::medium());
+    if (args.chaos > 0) {
+        failures += run_chaos(args.chaos);
+    } else {
+        std::printf("=== Figure 1: seismic suite performance by parallelization strategy ===\n");
+        std::printf("(simulated %d-processor machine; see DESIGN.md for the cost model)\n\n",
+                    kProcs);
+        failures += run_deck(seismic::Deck::small());
+        failures += run_deck(seismic::Deck::medium());
+    }
 
     if (!args.json_path.empty()) {
         namespace json = ap::trace::json;
         json::Value data = json::Value::object();
         data.set("procs", kProcs);
-        data.set("decks", std::move(g_decks));
+        if (g_chaos_mode) {
+            data.set("chaos", std::move(g_chaos));
+        } else {
+            data.set("decks", std::move(g_decks));
+        }
         if (!core::write_bench_report(args.json_path, "fig1", std::move(data), failures == 0)) {
             std::fprintf(stderr, "fig1: cannot write %s\n", args.json_path.c_str());
             return EXIT_FAILURE;

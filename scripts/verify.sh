@@ -10,19 +10,36 @@
 #       # report from an existing build tree. This is the mode the
 #       # verify_fig2_json CTest test runs (ctest invoking ctest would
 #       # recurse).
+#   scripts/verify.sh --tsan
+#       # opt-in sanitizer pass: configure a separate build-tsan tree
+#       # with -DAP_SANITIZE=ON (ThreadSanitizer + UBSan) and run only
+#       # the `tsan`-labelled concurrency tests there.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 JSON_ONLY=0
+TSAN=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --build-dir) BUILD_DIR=$2; shift 2 ;;
         --json-only) JSON_ONLY=1; shift ;;
+        --tsan) TSAN=1; shift ;;
         *) echo "verify.sh: unknown argument: $1" >&2; exit 2 ;;
     esac
 done
+
+if [ "$TSAN" -eq 1 ]; then
+    TSAN_DIR=${BUILD_DIR}-tsan
+    echo "== tsan: configure + build ($TSAN_DIR) =="
+    cmake -B "$TSAN_DIR" -S . -DAP_SANITIZE=ON
+    cmake --build "$TSAN_DIR" -j "$(nproc)"
+    echo "== tsan: ctest -L tsan =="
+    ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure -j "$(nproc)"
+    echo "verify.sh: tsan OK"
+    exit 0
+fi
 
 if [ "$JSON_ONLY" -eq 0 ]; then
     echo "== configure + build =="

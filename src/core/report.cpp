@@ -76,10 +76,18 @@ BenchArgs parse_bench_args(int argc, char** argv) {
                 return args;
             }
             args.repeats = std::atoi(v);
+        } else if (std::strcmp(a, "--chaos") == 0) {
+            const char* v = value();
+            if (!v || std::atoi(v) <= 0) {
+                args.ok = false;
+                args.error = "--chaos requires a positive seed count";
+                return args;
+            }
+            args.chaos = std::atoi(v);
         } else {
             args.ok = false;
             args.error = std::string("unknown argument: ") + a +
-                         " (supported: --json <path>, --repeats <n>)";
+                         " (supported: --json <path>, --repeats <n>, --chaos <seeds>)";
             return args;
         }
     }

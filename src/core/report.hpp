@@ -43,11 +43,13 @@ private:
 struct BenchArgs {
     std::string json_path;  ///< empty = no JSON report requested
     int repeats = 0;        ///< 0 = bench default
+    int chaos = 0;          ///< fig1: run the seeded fault sweep with this many seeds
     bool ok = true;         ///< false on malformed argv (bench should exit 2)
     std::string error;
 };
 
-/// Parses `--json <path>` and `--repeats <n>`; unknown arguments fail.
+/// Parses `--json <path>`, `--repeats <n>` and `--chaos <seeds>`;
+/// unknown arguments fail.
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
 
 /// Per-pass {seconds, symbolic_ops} keyed by pass name, all 8 passes.

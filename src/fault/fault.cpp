@@ -1,0 +1,248 @@
+#include "fault/fault.hpp"
+
+#include <array>
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "trace/counters.hpp"
+
+namespace ap::fault {
+
+std::string_view to_string(Kind k) noexcept {
+    switch (k) {
+        case Kind::Drop: return "drop";
+        case Kind::Delay: return "delay";
+        case Kind::Duplicate: return "duplicate";
+        case Kind::Stall: return "stall";
+        case Kind::Crash: return "crash";
+    }
+    return "?";
+}
+
+namespace counters {
+
+namespace {
+
+trace::Counter& bucket(std::string_view stage, Kind k) {
+    // Five kinds x three stages: cache the fifteen counters on first use.
+    // Slots are atomic because ranks race to fill them; get() returns a
+    // stable address, so a racing double-store is idempotent.
+    static std::array<std::array<std::atomic<trace::Counter*>, 5>, 3> cache{};
+    auto& slot = cache[stage == "injected" ? 0 : stage == "recovered" ? 1 : 2]
+                      [static_cast<std::size_t>(k)];
+    trace::Counter* c = slot.load(std::memory_order_acquire);
+    if (!c) {
+        c = &trace::counters::get("fault." + std::string(stage) + "." +
+                                  std::string(to_string(k)));
+        slot.store(c, std::memory_order_release);
+    }
+    return *c;
+}
+
+}  // namespace
+
+void injected(Kind k, std::int64_t n) { bucket("injected", k).add(n); }
+void recovered(Kind k, std::int64_t n) { bucket("recovered", k).add(n); }
+void fatal(Kind k, std::int64_t n) { bucket("fatal", k).add(n); }
+
+std::int64_t injected_count(Kind k) { return bucket("injected", k).value(); }
+std::int64_t recovered_count(Kind k) { return bucket("recovered", k).value(); }
+std::int64_t fatal_count(Kind k) { return bucket("fatal", k).value(); }
+
+std::int64_t outstanding(Kind k) {
+    return injected_count(k) - recovered_count(k) - fatal_count(k);
+}
+
+void recover_outstanding() {
+    for (Kind k : kAllKinds) {
+        if (const auto n = outstanding(k); n > 0) recovered(k, n);
+    }
+}
+
+void fatal_outstanding() {
+    for (Kind k : kAllKinds) {
+        if (const auto n = outstanding(k); n > 0) fatal(k, n);
+    }
+}
+
+}  // namespace counters
+
+// --- plan parsing -----------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_clause(std::string_view clause, const char* why) {
+    throw std::invalid_argument("AP_FAULT clause '" + std::string(clause) + "': " + why);
+}
+
+double parse_double(std::string_view clause, std::string_view text) {
+    // std::from_chars<double> is still spotty across toolchains; strtod
+    // via a bounded copy keeps this dependency-free.
+    const std::string s(text);
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || s.empty()) bad_clause(clause, "malformed number");
+    return v;
+}
+
+std::int64_t parse_int(std::string_view clause, std::string_view text) {
+    std::int64_t v = 0;
+    const auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc() || p != text.data() + text.size()) {
+        bad_clause(clause, "malformed integer");
+    }
+    return v;
+}
+
+/// "R@N" -> (rank, op index).
+std::pair<int, std::int64_t> parse_rank_at(std::string_view clause, std::string_view text) {
+    const auto at = text.find('@');
+    if (at == std::string_view::npos) bad_clause(clause, "expected RANK@NTH_OP");
+    const auto rank = parse_int(clause, text.substr(0, at));
+    const auto nth = parse_int(clause, text.substr(at + 1));
+    if (rank < 0) bad_clause(clause, "rank must be >= 0");
+    if (nth <= 0) bad_clause(clause, "op index must be >= 1");
+    return {static_cast<int>(rank), nth};
+}
+
+double parse_probability(std::string_view clause, std::string_view text) {
+    const double p = parse_double(clause, text);
+    if (p < 0.0 || p > 1.0) bad_clause(clause, "probability must be in [0, 1]");
+    return p;
+}
+
+}  // namespace
+
+Plan Plan::parse(std::string_view spec) {
+    Plan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        auto comma = spec.find(',', pos);
+        if (comma == std::string_view::npos) comma = spec.size();
+        const std::string_view clause = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (clause.empty()) continue;
+        const auto eq = clause.find('=');
+        if (eq == std::string_view::npos) bad_clause(clause, "expected key=value");
+        const std::string_view key = clause.substr(0, eq);
+        const std::string_view value = clause.substr(eq + 1);
+        if (key == "seed") {
+            plan.seed = static_cast<std::uint64_t>(parse_int(clause, value));
+        } else if (key == "drop") {
+            plan.drop = parse_probability(clause, value);
+        } else if (key == "delay") {
+            plan.delay = parse_probability(clause, value);
+        } else if (key == "dup") {
+            plan.duplicate = parse_probability(clause, value);
+        } else if (key == "delay_us") {
+            plan.delay_us = parse_double(clause, value);
+        } else if (key == "stall_ms") {
+            plan.stall_ms = parse_double(clause, value);
+        } else if (key == "crash") {
+            std::tie(plan.crash_rank, plan.crash_at) = parse_rank_at(clause, value);
+        } else if (key == "stall") {
+            std::tie(plan.stall_rank, plan.stall_at) = parse_rank_at(clause, value);
+        } else {
+            bad_clause(clause, "unknown key (expected seed, drop, delay, dup, delay_us, "
+                               "stall_ms, crash, stall)");
+        }
+    }
+    return plan;
+}
+
+const Plan* Plan::from_env() {
+    static const Plan* plan = [] () -> const Plan* {
+        const char* spec = std::getenv("AP_FAULT");
+        if (!spec || !*spec) return nullptr;
+        static Plan p = Plan::parse(spec);
+        return &p;
+    }();
+    return plan;
+}
+
+std::string Plan::spec() const {
+    std::string s = "seed=" + std::to_string(seed);
+    const auto frac = [](double v) {
+        std::string t = std::to_string(v);
+        while (t.size() > 1 && t.back() == '0') t.pop_back();
+        if (!t.empty() && t.back() == '.') t.pop_back();
+        return t;
+    };
+    if (drop > 0) s += ",drop=" + frac(drop);
+    if (delay > 0) s += ",delay=" + frac(delay) + ",delay_us=" + frac(delay_us);
+    if (duplicate > 0) s += ",dup=" + frac(duplicate);
+    if (crash_rank >= 0) {
+        s += ",crash=" + std::to_string(crash_rank) + "@" + std::to_string(crash_at);
+    }
+    if (stall_rank >= 0) {
+        s += ",stall=" + std::to_string(stall_rank) + "@" + std::to_string(stall_at) +
+             ",stall_ms=" + frac(stall_ms);
+    }
+    return s;
+}
+
+// --- injector ---------------------------------------------------------------
+
+namespace {
+
+/// splitmix64 — tiny, well-mixed, and stable across platforms.
+std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double Injector::uniform(int rank, std::int64_t op, std::uint64_t salt) const noexcept {
+    std::uint64_t h = mix(plan_.seed);
+    h = mix(h ^ static_cast<std::uint64_t>(rank));
+    h = mix(h ^ static_cast<std::uint64_t>(op));
+    h = mix(h ^ salt);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Injector::SendFaults Injector::on_send(int rank) noexcept {
+    SendFaults f;
+    if (!plan_.any()) return f;
+    const std::int64_t op = slot(send_ops_, rank).fetch_add(1, std::memory_order_relaxed);
+    if (plan_.drop > 0) {
+        int attempt = 0;
+        while (attempt < kMaxSendAttempts &&
+               uniform(rank, op, 1000 + static_cast<std::uint64_t>(attempt)) < plan_.drop) {
+            ++attempt;
+        }
+        f.drops = attempt;
+        f.dropped_all = attempt == kMaxSendAttempts;
+    }
+    f.delay = plan_.delay > 0 && uniform(rank, op, 2000) < plan_.delay;
+    f.duplicate = plan_.duplicate > 0 && uniform(rank, op, 3000) < plan_.duplicate;
+    return f;
+}
+
+void Injector::on_op(int rank) {
+    if (plan_.crash_rank < 0 && plan_.stall_rank < 0) return;
+    const std::int64_t nth = slot(ops_, rank).fetch_add(1, std::memory_order_relaxed) + 1;
+    if (rank == plan_.stall_rank && nth == plan_.stall_at &&
+        !stall_fired_.exchange(true, std::memory_order_relaxed)) {
+        counters::injected(Kind::Stall);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<std::int64_t>(plan_.stall_ms * 1000.0)));
+    }
+    if (rank == plan_.crash_rank && nth == plan_.crash_at &&
+        !crash_fired_.exchange(true, std::memory_order_relaxed)) {
+        counters::injected(Kind::Crash);
+        throw InjectedCrash(rank);
+    }
+}
+
+std::shared_ptr<Injector> injector_from_env() {
+    const Plan* plan = Plan::from_env();
+    return plan ? std::make_shared<Injector>(*plan) : nullptr;
+}
+
+}  // namespace ap::fault

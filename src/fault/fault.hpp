@@ -1,0 +1,193 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ap::fault {
+
+/// ap::fault — deterministic, seeded fault injection for the
+/// message-passing and threading runtimes (docs/ROBUSTNESS.md).
+///
+/// A `Plan` describes *what* to inject (drop/delay/duplicate messages,
+/// stall or crash a rank at its Nth operation); an `Injector` turns the
+/// plan into a per-rank decision stream that is a pure function of
+/// (seed, rank, operation index) — the same seed always injects the
+/// same faults, regardless of thread interleaving, which is what makes
+/// chaos runs replayable.
+///
+/// Plans come from code or from the environment:
+///   AP_FAULT="seed=42,drop=0.01,crash=2@50"
+
+// --- error taxonomy ---------------------------------------------------------
+
+/// Base class for every failure the hardened runtimes signal. Catching
+/// this (rather than std::runtime_error) distinguishes an injected or
+/// environmental fault from a logic bug.
+class FaultError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// A receive or collective exceeded its deadline. `peer` is the rank
+/// being waited on when known (-1 otherwise) — recovery layers use it to
+/// mark the stalled rank dead.
+class TimeoutError : public FaultError {
+public:
+    explicit TimeoutError(const std::string& what, int peer = -1)
+        : FaultError(what), peer_(peer) {}
+    [[nodiscard]] int peer() const noexcept { return peer_; }
+
+private:
+    int peer_;
+};
+
+/// Thrown out of blocked operations when a peer rank failed and the
+/// communicator was poisoned; the original error is rethrown by
+/// Communicator::run after the join.
+class AbortedError : public FaultError {
+public:
+    using FaultError::FaultError;
+};
+
+/// The injected crash itself — what a plan's `crash=R@N` throws inside
+/// rank R. Carries the rank so recovery can exclude it from reassignment.
+class InjectedCrash : public FaultError {
+public:
+    explicit InjectedCrash(int rank)
+        : FaultError("injected crash on rank " + std::to_string(rank)), rank_(rank) {}
+    [[nodiscard]] int rank() const noexcept { return rank_; }
+
+private:
+    int rank_;
+};
+
+// --- fault kinds and accounting ---------------------------------------------
+
+enum class Kind { Drop, Delay, Duplicate, Stall, Crash };
+inline constexpr std::array<Kind, 5> kAllKinds = {Kind::Drop, Kind::Delay, Kind::Duplicate,
+                                                  Kind::Stall, Kind::Crash};
+[[nodiscard]] std::string_view to_string(Kind k) noexcept;
+
+/// Fault bookkeeping over ap::trace counters. Every injected fault must
+/// end up either recovered or fatal — `fault.injected.<kind> ==
+/// fault.recovered.<kind> + fault.fatal.<kind>` is the invariant chaos
+/// reports assert (tools/report_lint checks it).
+///
+///   injected  — the fault fired (message dropped, rank crashed, ...)
+///   recovered — the affected operation nonetheless completed (retry
+///               succeeded, duplicate discarded, chunk reassigned)
+///   fatal     — recovery was abandoned; the fault cost real work
+namespace counters {
+
+void injected(Kind k, std::int64_t n = 1);
+void recovered(Kind k, std::int64_t n = 1);
+void fatal(Kind k, std::int64_t n = 1);
+
+[[nodiscard]] std::int64_t injected_count(Kind k);
+[[nodiscard]] std::int64_t recovered_count(Kind k);
+[[nodiscard]] std::int64_t fatal_count(Kind k);
+
+/// injected - recovered - fatal for `k` (what recovery still owes).
+[[nodiscard]] std::int64_t outstanding(Kind k);
+
+/// Settle all outstanding faults of every kind as recovered — called by
+/// a recovery driver when the computation completed despite them.
+void recover_outstanding();
+/// Settle all outstanding faults of every kind as fatal — called when
+/// recovery gives up and the failure propagates.
+void fatal_outstanding();
+
+}  // namespace counters
+
+// --- plan -------------------------------------------------------------------
+
+/// Declarative fault schedule. Probabilities are per message-send
+/// attempt; crash/stall fire exactly once, at the named rank's Nth
+/// mpisim operation (sends, receives, barrier entries — 1-based).
+struct Plan {
+    std::uint64_t seed = 1;
+    double drop = 0;         ///< P(send attempt silently dropped)
+    double delay = 0;        ///< P(message delivery delayed by delay_us)
+    double duplicate = 0;    ///< P(message delivered twice)
+    double delay_us = 200;   ///< injected latency per delayed message
+    int crash_rank = -1;     ///< rank to crash (-1 = never)
+    std::int64_t crash_at = 0;   ///< crash at this op index (1-based)
+    int stall_rank = -1;     ///< rank to stall (-1 = never)
+    std::int64_t stall_at = 0;   ///< stall at this op index (1-based)
+    double stall_ms = 250;   ///< how long the stalled rank sleeps
+
+    [[nodiscard]] bool any() const noexcept {
+        return drop > 0 || delay > 0 || duplicate > 0 || crash_rank >= 0 || stall_rank >= 0;
+    }
+
+    /// Parses the AP_FAULT grammar:
+    ///   seed=N  drop=P  delay=P  dup=P  delay_us=N  stall_ms=N
+    ///   crash=R@N  stall=R@N
+    /// comma-separated, e.g. "seed=42,drop=0.01,crash=2@50".
+    /// Throws std::invalid_argument naming the offending clause.
+    [[nodiscard]] static Plan parse(std::string_view spec);
+
+    /// The AP_FAULT environment plan, parsed once per process; nullptr
+    /// when the variable is unset or empty.
+    [[nodiscard]] static const Plan* from_env();
+
+    /// Round-trippable spec string (reports embed it for replay).
+    [[nodiscard]] std::string spec() const;
+};
+
+// --- injector ---------------------------------------------------------------
+
+/// Executes a Plan deterministically. Decision draws are keyed by
+/// (seed, rank, per-rank op counter), so each rank's fault stream is
+/// fixed no matter how threads interleave. Crash/stall schedules fire
+/// exactly once per Injector instance — a retry that shares the
+/// injector will not re-crash, which is what lets recovery drivers
+/// resume past a one-shot fault.
+class Injector {
+public:
+    explicit Injector(Plan plan) : plan_(plan) {}
+
+    [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+
+    /// Faults decided for one send. `drops` is how many consecutive
+    /// injected transient drops precede the successful attempt
+    /// (bounded by kMaxSendAttempts - 1); `dropped_all` means every
+    /// attempt was dropped and the send must fail.
+    struct SendFaults {
+        int drops = 0;
+        bool dropped_all = false;
+        bool delay = false;
+        bool duplicate = false;
+    };
+    static constexpr int kMaxSendAttempts = 8;
+    [[nodiscard]] SendFaults on_send(int rank) noexcept;
+
+    /// Counts one operation on `rank` against the crash/stall schedule:
+    /// throws InjectedCrash or sleeps stall_ms when the schedule fires
+    /// (each at most once per injector).
+    void on_op(int rank);
+
+private:
+    [[nodiscard]] double uniform(int rank, std::int64_t op, std::uint64_t salt) const noexcept;
+    [[nodiscard]] std::atomic<std::int64_t>& slot(std::array<std::atomic<std::int64_t>, 64>& a,
+                                                  int rank) noexcept {
+        return a[static_cast<std::size_t>(rank) & 63];
+    }
+
+    Plan plan_;
+    std::array<std::atomic<std::int64_t>, 64> send_ops_{};
+    std::array<std::atomic<std::int64_t>, 64> ops_{};
+    std::atomic<bool> crash_fired_{false};
+    std::atomic<bool> stall_fired_{false};
+};
+
+/// Fresh injector for the AP_FAULT plan, or nullptr when unset. Each
+/// call returns a new instance (new one-shot schedules).
+[[nodiscard]] std::shared_ptr<Injector> injector_from_env();
+
+}  // namespace ap::fault

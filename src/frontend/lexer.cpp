@@ -152,10 +152,24 @@ void Lexer::lex_string(std::vector<Token>& out) {
     out.push_back(Token{TokenKind::StrLit, std::move(value), 0, 0.0, loc});
 }
 
-std::vector<Token> Lexer::tokenize() {
+std::vector<Token> Lexer::tokenize(std::vector<Diagnostic>* diags) {
     std::vector<Token> out;
     auto push = [&](TokenKind k, std::string text, ir::SourceLoc loc) {
         out.push_back(Token{k, std::move(text), 0, 0.0, loc});
+    };
+    // Recovery policy: without a sink, rethrow (strict single-error
+    // mode); with one, record the error and drop the *whole* poisoned
+    // line — tokens already emitted for it included, so the parser sees
+    // one clean statement boundary instead of a truncated statement that
+    // would cascade a second diagnostic (docs/ROBUSTNESS.md).
+    auto fail = [&](const ParseError& e) {
+        if (!diags) throw e;
+        diags->push_back({e.message(), e.loc()});
+        while (!at_end() && peek() != '\n') advance();
+        while (!out.empty() && out.back().kind != TokenKind::Newline &&
+               out.back().kind != TokenKind::Directive) {
+            out.pop_back();
+        }
     };
     while (!at_end()) {
         const char c = peek();
@@ -208,11 +222,19 @@ std::vector<Token> Lexer::tokenize() {
                 lex_number(out);  // .5 style literal
                 continue;
             }
-            lex_dotted(out);
+            try {
+                lex_dotted(out);
+            } catch (const ParseError& e) {
+                fail(e);
+            }
             continue;
         }
         if (c == '\'') {
-            lex_string(out);
+            try {
+                lex_string(out);
+            } catch (const ParseError& e) {
+                fail(e);
+            }
             continue;
         }
         advance();
@@ -234,7 +256,7 @@ std::vector<Token> Lexer::tokenize() {
                 }
                 break;
             default:
-                throw ParseError(std::string("unexpected character '") + c + "'", loc);
+                fail(ParseError(std::string("unexpected character '") + c + "'", loc));
         }
     }
     if (!out.empty() && out.back().kind != TokenKind::Newline) {

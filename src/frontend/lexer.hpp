@@ -9,16 +9,46 @@
 
 namespace ap::frontend {
 
-/// Error type for all frontend diagnostics. Carries the source location
-/// in the message.
+/// One frontend error, kept separate from the exception type so the
+/// lexer and parser can collect several per file before reporting
+/// (docs/ROBUSTNESS.md: recovery resynchronizes at statement
+/// boundaries instead of stopping at the first typo).
+struct Diagnostic {
+    std::string message;  ///< without the location prefix
+    ir::SourceLoc loc;
+    [[nodiscard]] std::string to_string() const {
+        return "line " + loc.to_string() + ": " + message;
+    }
+};
+
+/// Error type for all frontend diagnostics. Always carries at least one
+/// Diagnostic; what() renders the first (the root cause) and counts the
+/// rest, so single-error behavior reads exactly as before.
 class ParseError : public std::runtime_error {
 public:
     ParseError(const std::string& message, ir::SourceLoc loc)
-        : std::runtime_error("line " + loc.to_string() + ": " + message), loc_(loc) {}
-    [[nodiscard]] ir::SourceLoc loc() const noexcept { return loc_; }
+        : ParseError(std::vector<Diagnostic>{{message, loc}}) {}
+    explicit ParseError(std::vector<Diagnostic> diags)
+        : std::runtime_error(render(diags)), diags_(std::move(diags)) {}
+
+    /// Location of the first error.
+    [[nodiscard]] ir::SourceLoc loc() const noexcept { return diags_.front().loc; }
+    /// First error's message, without the location prefix.
+    [[nodiscard]] const std::string& message() const noexcept { return diags_.front().message; }
+    /// Every error collected before the parser gave up, in source order.
+    [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept { return diags_; }
 
 private:
-    ir::SourceLoc loc_;
+    static std::string render(const std::vector<Diagnostic>& diags) {
+        std::string out = diags.empty() ? std::string("parse error") : diags.front().to_string();
+        if (diags.size() > 1) {
+            out += " (and " + std::to_string(diags.size() - 1) + " more error" +
+                   (diags.size() > 2 ? "s" : "") + ")";
+        }
+        return out;
+    }
+
+    std::vector<Diagnostic> diags_;
 };
 
 /// Tokenizes Mini-F source. Identifiers and keywords are upper-cased;
@@ -30,7 +60,13 @@ public:
     explicit Lexer(std::string_view source);
 
     /// Tokenizes the whole input. Throws ParseError on malformed input.
-    [[nodiscard]] std::vector<Token> tokenize();
+    [[nodiscard]] std::vector<Token> tokenize() { return tokenize(nullptr); }
+
+    /// Recovering variant: with a non-null sink, malformed input is
+    /// recorded there and lexing resumes at the next end of line (the
+    /// poisoned rest of the line is dropped, its Newline survives), so
+    /// the parser still sees a structurally usable token stream.
+    [[nodiscard]] std::vector<Token> tokenize(std::vector<Diagnostic>* diags);
 
 private:
     [[nodiscard]] char peek(int ahead = 0) const noexcept;

@@ -22,8 +22,38 @@ bool is_intrinsic(const std::string& name) {
 }  // namespace
 
 Parser::Parser(std::string_view source) {
+    // Lex in recovering mode: malformed lines are recorded in diags_ and
+    // dropped up to their newline, so parsing proceeds on the rest.
     Lexer lex(source);
-    tokens_ = lex.tokenize();
+    tokens_ = lex.tokenize(&diags_);
+    if (diags_.size() >= kMaxDiagnostics) bailed_ = true;
+}
+
+void Parser::note(const ParseError& e) {
+    if (bailed_) return;
+    for (const auto& d : e.diagnostics()) diags_.push_back(d);
+    if (diags_.size() >= kMaxDiagnostics) {
+        // Anything past the cap is almost certainly cascade noise; jump
+        // to EOF so every production unwinds promptly.
+        bailed_ = true;
+        pos_ = tokens_.size() - 1;
+    }
+}
+
+void Parser::sync_to_statement() {
+    while (!check(TokenKind::EndOfFile) && !check(TokenKind::Newline)) advance();
+    accept(TokenKind::Newline);
+}
+
+void Parser::sync_to_routine() {
+    while (!check(TokenKind::EndOfFile)) {
+        const bool at_line_start = accept(TokenKind::Newline);
+        if (at_line_start && (check_ident("PROGRAM") || check_ident("SUBROUTINE") ||
+                              check_ident("FUNCTION") || check_ident("EXTERNAL"))) {
+            return;
+        }
+        if (!at_line_start) advance();
+    }
 }
 
 const Token& Parser::peek(int ahead) const {
@@ -95,9 +125,17 @@ ir::Program Parser::parse_program(std::string program_name) {
             skip_newlines();
             continue;
         }
-        prog.add_routine(parse_routine());
+        try {
+            prog.add_routine(parse_routine());
+        } catch (const ParseError& e) {
+            // A header or END-matching error poisons the routine; keep
+            // its diagnostics and resume at the next routine keyword.
+            note(e);
+            sync_to_routine();
+        }
         skip_newlines();
     }
+    if (!diags_.empty()) throw ParseError(std::move(diags_));
     ir::number_loops(prog);
     return prog;
 }
@@ -151,7 +189,12 @@ ir::RoutinePtr Parser::parse_routine() {
         if (kw == "INTEGER" || kw == "REAL" || kw == "COMPLEX" || kw == "LOGICAL" ||
             kw == "CHARACTER" || kw == "PARAMETER" || kw == "COMMON" || kw == "EQUIVALENCE") {
             const Token keyword = advance();
-            parse_declaration(*r, keyword);
+            try {
+                parse_declaration(*r, keyword);
+            } catch (const ParseError& e) {
+                note(e);
+                sync_to_statement();
+            }
             skip_newlines();
         } else {
             break;
@@ -392,7 +435,14 @@ ir::Block Parser::parse_block(const std::vector<std::string_view>& terminators) 
             }
             if (term) break;
         }
-        block.push_back(parse_statement());
+        try {
+            block.push_back(parse_statement());
+        } catch (const ParseError& e) {
+            // Statement-boundary recovery: record, drop tokens through
+            // the newline, and keep parsing the block.
+            note(e);
+            sync_to_statement();
+        }
         skip_newlines();
     }
     return block;

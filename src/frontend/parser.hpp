@@ -28,9 +28,17 @@ class Parser {
 public:
     explicit Parser(std::string_view source);
 
-    /// Parses the whole translation unit. Throws ParseError on any
-    /// malformed input. Loop ids are numbered before returning.
+    /// Parses the whole translation unit. On malformed input the parser
+    /// resynchronizes at the next statement boundary (and, for header
+    /// errors, the next routine) and keeps going, collecting up to
+    /// kMaxDiagnostics errors; it then throws one ParseError carrying
+    /// all of them (what() renders the first). Loop ids are numbered
+    /// before returning.
     [[nodiscard]] ir::Program parse_program(std::string program_name = "UNNAMED");
+
+    /// Cap on collected diagnostics per file; past it the parser stops
+    /// looking for further errors (cascades past this point are noise).
+    static constexpr std::size_t kMaxDiagnostics = 25;
 
 private:
     // token stream helpers
@@ -76,10 +84,17 @@ private:
     void parse_effects_directive(ir::Routine& r, const std::string& payload,
                                  ir::SourceLoc loc);
 
+    // error recovery (docs/ROBUSTNESS.md)
+    void note(const ParseError& e);    ///< collect; fast-forward to EOF past the cap
+    void sync_to_statement();          ///< skip tokens through the next Newline
+    void sync_to_routine();            ///< skip to the next routine header keyword
+
     std::vector<Token> tokens_;
     std::size_t pos_ = 0;
     ir::Routine* current_ = nullptr;  ///< routine being parsed (for array lookup)
     bool next_do_is_target_ = false;
+    std::vector<Diagnostic> diags_;
+    bool bailed_ = false;  ///< hit kMaxDiagnostics; stop collecting
 };
 
 /// Convenience: parse and return; `name` labels the program in reports.

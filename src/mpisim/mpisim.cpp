@@ -1,17 +1,22 @@
 #include "mpisim/mpisim.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "trace/counters.hpp"
 
 namespace ap::mpisim {
 
-Communicator::Communicator(int nranks) : nranks_(nranks) {
+Communicator::Communicator(int nranks) : Communicator(nranks, Options{}) {}
+
+Communicator::Communicator(int nranks, Options options) : nranks_(nranks), options_(options) {
     if (nranks <= 0) throw std::invalid_argument("Communicator: nranks must be positive");
     channels_.resize(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
     for (auto& c : channels_) c = std::make_unique<Channel>();
     counters_.resize(static_cast<std::size_t>(nranks));
     for (auto& c : counters_) c = std::make_unique<RankCounters>();
+    injector_ = fault::injector_from_env();
 }
 
 Communicator::CommStats Communicator::stats(int rank) const {
@@ -24,21 +29,80 @@ Communicator::Channel& Communicator::channel(int source, int dest) {
                       static_cast<std::size_t>(dest)];
 }
 
+void Communicator::throw_aborted(const char* where) const {
+    throw fault::AbortedError(std::string(where) +
+                              ": communicator aborted because a peer rank failed");
+}
+
+void Communicator::abort() noexcept {
+    aborted_.store(true, std::memory_order_release);
+    // Locking each mutex before notifying guarantees no blocked waiter
+    // misses the flag between its predicate check and its wait.
+    for (auto& c : channels_) {
+        std::lock_guard lock(c->mutex);
+        c->cv.notify_all();
+    }
+    std::lock_guard lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+}
+
 void Communicator::push(int source, int dest, int tag, std::vector<std::byte> payload) {
     if (dest < 0 || dest >= nranks_) throw std::out_of_range("send: bad destination rank");
+    if (aborted()) throw_aborted("send");
+    fault::Injector::SendFaults faults;
+    if (injector_) {
+        injector_->on_op(source);
+        faults = injector_->on_send(source);
+        if (faults.drops > 0) {
+            static trace::Counter& retries = trace::counters::get("mpi.retries");
+            fault::counters::injected(fault::Kind::Drop, faults.drops);
+            retries.add(faults.drops);
+            for (int a = 0; a < faults.drops; ++a) {
+                // Bounded exponential backoff between resend attempts.
+                std::this_thread::sleep_for(std::chrono::microseconds(20LL << std::min(a, 6)));
+            }
+            if (faults.dropped_all) {
+                static trace::Counter& timeouts = trace::counters::get("mpi.timeouts");
+                timeouts.add();
+                // The drops stay outstanding; a recovery driver settles
+                // them as recovered (rerun) or fatal (gave up).
+                throw fault::TimeoutError(
+                    "send: rank " + std::to_string(source) + " -> rank " + std::to_string(dest) +
+                        " (tag " + std::to_string(tag) + ") dropped " +
+                        std::to_string(fault::Injector::kMaxSendAttempts) +
+                        " consecutive attempts",
+                    dest);
+            }
+            fault::counters::recovered(fault::Kind::Drop, faults.drops);
+        }
+        if (faults.delay) {
+            fault::counters::injected(fault::Kind::Delay);
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<std::int64_t>(injector_->plan().delay_us)));
+            fault::counters::recovered(fault::Kind::Delay);
+        }
+    }
+    const int copies = faults.duplicate ? 2 : 1;
     auto& counters = *counters_[static_cast<std::size_t>(source)];
-    counters.messages.fetch_add(1, std::memory_order_relaxed);
-    counters.bytes.fetch_add(static_cast<std::int64_t>(payload.size()), std::memory_order_relaxed);
+    counters.messages.fetch_add(copies, std::memory_order_relaxed);
+    counters.bytes.fetch_add(static_cast<std::int64_t>(payload.size()) * copies,
+                             std::memory_order_relaxed);
     static trace::Counter& messages = trace::counters::get("mpisim.messages");
     static trace::Counter& bytes = trace::counters::get("mpisim.bytes");
     static trace::Distribution& sizes = trace::counters::distribution("mpisim.message_bytes");
-    messages.add();
-    bytes.add(static_cast<std::int64_t>(payload.size()));
+    messages.add(copies);
+    bytes.add(static_cast<std::int64_t>(payload.size()) * copies);
     sizes.record(static_cast<std::int64_t>(payload.size()));
     Channel& c = channel(source, dest);
     {
         std::lock_guard lock(c.mutex);
-        c.queue.push(Message{tag, std::move(payload)});
+        const std::uint64_t seq = ++c.next_seq;
+        if (faults.duplicate) {
+            fault::counters::injected(fault::Kind::Duplicate);
+            c.queue.push(Message{tag, seq, true, payload});
+            ++c.push_count;
+        }
+        c.queue.push(Message{tag, seq, false, std::move(payload)});
         ++c.push_count;
     }
     c.cv.notify_all();
@@ -46,36 +110,106 @@ void Communicator::push(int source, int dest, int tag, std::vector<std::byte> pa
 
 std::vector<std::byte> Communicator::pop(int source, int dest, int tag) {
     if (source < 0 || source >= nranks_) throw std::out_of_range("recv: bad source rank");
+    if (injector_) injector_->on_op(dest);
     Channel& c = channel(source, dest);
     std::unique_lock lock(c.mutex);
+    const bool bounded = options_.deadline_s > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(bounded ? options_.deadline_s : 0.0));
     while (true) {
+        if (aborted()) throw_aborted("recv");
         // FIFO per (source, dest, tag): scan the queue for the first
         // matching tag, rotating non-matching messages to the back.
+        // Sequence numbers are monotone per channel and FIFO per tag, so
+        // a message at or below the tag's last delivered sequence is an
+        // injected duplicate — absorb it instead of rotating.
         const std::size_t n = c.queue.size();
         for (std::size_t i = 0; i < n; ++i) {
             Message m = std::move(c.queue.front());
             c.queue.pop();
-            if (m.tag == tag) return std::move(m.payload);
+            std::uint64_t& last = c.delivered[m.tag];
+            if (m.seq <= last) {
+                fault::counters::recovered(fault::Kind::Duplicate);
+                continue;
+            }
+            if (m.tag == tag) {
+                last = m.seq;
+                return std::move(m.payload);
+            }
             c.queue.push(std::move(m));
         }
-        // No matching tag yet: wait for new traffic.
+        // No matching tag yet: wait for new traffic, abort, or deadline.
         const std::uint64_t seen = c.push_count;
-        c.cv.wait(lock, [&] { return c.push_count != seen; });
+        auto woken = [&] { return c.push_count != seen || aborted(); };
+        if (bounded) {
+            if (!c.cv.wait_until(lock, deadline, woken)) {
+                static trace::Counter& timeouts = trace::counters::get("mpi.timeouts");
+                timeouts.add();
+                throw fault::TimeoutError("recv: rank " + std::to_string(dest) +
+                                              " waiting on (source=" + std::to_string(source) +
+                                              ", tag=" + std::to_string(tag) +
+                                              ") exceeded deadline",
+                                          source);
+            }
+        } else {
+            c.cv.wait(lock, woken);
+        }
+    }
+}
+
+void Communicator::drain_duplicates() {
+    for (auto& cp : channels_) {
+        Channel& c = *cp;
+        std::lock_guard lock(c.mutex);
+        const std::size_t n = c.queue.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            Message m = std::move(c.queue.front());
+            c.queue.pop();
+            // Either copy may be the leftover: the injected one, or the
+            // original when the receiver happened to consume the injected
+            // copy first (same seq, so one delivery already happened).
+            const auto it = c.delivered.find(m.tag);
+            const bool superseded = it != c.delivered.end() && m.seq <= it->second;
+            if (m.duplicate || superseded) {
+                fault::counters::recovered(fault::Kind::Duplicate);
+                continue;  // absorbed without corrupting any receive
+            }
+            c.queue.push(std::move(m));
+        }
     }
 }
 
 void Rank::barrier() {
     trace::Span span("mpi.barrier", "mpisim");
     span.arg("rank", rank_);
+    if (comm_.injector_) comm_.injector_->on_op(rank_);
     std::unique_lock lock(comm_.barrier_mutex_);
+    if (comm_.aborted()) comm_.throw_aborted("barrier");
     const bool sense = comm_.barrier_sense_;
     if (++comm_.barrier_waiting_ == comm_.nranks_) {
         comm_.barrier_waiting_ = 0;
         comm_.barrier_sense_ = !sense;
         comm_.barrier_cv_.notify_all();
-    } else {
-        comm_.barrier_cv_.wait(lock, [&] { return comm_.barrier_sense_ != sense; });
+        return;
     }
+    auto released = [&] { return comm_.barrier_sense_ != sense || comm_.aborted(); };
+    const double deadline_s = comm_.options_.deadline_s;
+    if (deadline_s > 0) {
+        if (!comm_.barrier_cv_.wait_for(lock, std::chrono::duration<double>(deadline_s),
+                                        released)) {
+            // Withdraw so the barrier count is not corrupted for peers.
+            --comm_.barrier_waiting_;
+            static trace::Counter& timeouts = trace::counters::get("mpi.timeouts");
+            timeouts.add();
+            throw fault::TimeoutError("barrier: rank " + std::to_string(rank_) +
+                                      " exceeded deadline waiting for peers");
+        }
+    } else {
+        comm_.barrier_cv_.wait(lock, released);
+    }
+    if (comm_.barrier_sense_ == sense) comm_.throw_aborted("barrier");
 }
 
 void Rank::broadcast(std::vector<double>& data, int root) {
@@ -101,6 +235,13 @@ std::vector<double> Rank::scatter(const std::vector<double>& all, int root) {
     constexpr int kTag = -102;
     const int n = size();
     if (rank_ == root) {
+        if (all.size() % static_cast<std::size_t>(n) != 0) {
+            throw std::invalid_argument(
+                "scatter: " + std::to_string(all.size()) +
+                " element(s) cannot be split evenly over " + std::to_string(n) +
+                " rank(s) (the " + std::to_string(all.size() % static_cast<std::size_t>(n)) +
+                " leftover element(s) would be silently dropped)");
+        }
         const std::size_t chunk = all.size() / static_cast<std::size_t>(n);
         for (int r = 0; r < n; ++r) {
             if (r == root) continue;
@@ -133,7 +274,12 @@ std::vector<double> Rank::gather(std::span<const double> part, int root) {
     for (int r = 0; r < n; ++r) {
         if (r == root) continue;
         auto chunk = recv<double>(r, kTag + r);
-        if (chunk.size() != part.size()) throw std::runtime_error("gather: ragged chunks");
+        if (chunk.size() != part.size()) {
+            throw std::invalid_argument(
+                "gather: rank " + std::to_string(r) + " contributed " +
+                std::to_string(chunk.size()) + " element(s) but the root's part has " +
+                std::to_string(part.size()) + " — every rank must gather equal-size chunks");
+        }
         std::copy(chunk.begin(), chunk.end(),
                   all.begin() + static_cast<std::ptrdiff_t>(part.size() *
                                                             static_cast<std::size_t>(r)));
@@ -166,13 +312,23 @@ void Communicator::run(const std::function<void(Rank&)>& fn) {
             Rank rank(*this, r);
             try {
                 fn(rank);
-            } catch (...) {
+            } catch (const fault::AbortedError&) {
+                // This rank only unwound because a peer failed first;
+                // recording it would mask the root cause. Keep it only
+                // if it somehow *is* the first failure.
                 std::lock_guard lock(error_mutex);
                 if (!first_error) first_error = std::current_exception();
+            } catch (...) {
+                {
+                    std::lock_guard lock(error_mutex);
+                    if (!first_error) first_error = std::current_exception();
+                }
+                abort();  // poison channels + barrier: wake blocked peers
             }
         });
     }
     for (auto& t : threads) t.join();
+    drain_duplicates();
     if (first_error) std::rethrow_exception(first_error);
 }
 

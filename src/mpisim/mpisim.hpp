@@ -6,6 +6,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <span>
@@ -13,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace ap::mpisim {
@@ -26,7 +28,17 @@ namespace ap::mpisim {
 ///   - blocking send/recv with (source, tag) matching, FIFO per channel;
 ///   - barrier, broadcast, scatter/gather of contiguous doubles,
 ///     allreduce(sum).
-/// Deadlock discipline is the caller's job, as with real MPI.
+///
+/// Failure semantics (docs/ROBUSTNESS.md):
+///   - every blocking wait (recv, barrier) is bounded by a deadline
+///     (Options::deadline_s) and throws fault::TimeoutError on expiry;
+///   - when any rank's function throws, the Communicator is poisoned:
+///     peers blocked in recv/barrier unwind with fault::AbortedError,
+///     so run() always joins and rethrows the first real error;
+///   - an installed fault::Injector can drop (with bounded
+///     retry-with-backoff), delay, or duplicate messages and crash or
+///     stall ranks; duplicates are discarded by receiver-side sequence
+///     dedup. All of it is accounted in fault.* / mpi.* counters.
 class Communicator;
 
 class Rank {
@@ -44,6 +56,8 @@ public:
     }
 
     /// Blocks until a message with (source, tag) arrives; returns payload.
+    /// Throws fault::TimeoutError past the deadline and
+    /// fault::AbortedError when a peer failed meanwhile.
     template <typename T>
     std::vector<T> recv(int source, int tag);
     template <typename T>
@@ -57,8 +71,12 @@ public:
     /// Root's data is copied to every rank (in place on non-roots).
     void broadcast(std::vector<double>& data, int root);
     /// Root splits `all` into equal chunks; every rank gets its chunk.
+    /// The root validates divisibility up front: a size not divisible by
+    /// nranks throws std::invalid_argument naming both sizes (ragged
+    /// chunks would otherwise be silently truncated).
     [[nodiscard]] std::vector<double> scatter(const std::vector<double>& all, int root);
-    /// Inverse of scatter; result valid on root only.
+    /// Inverse of scatter; result valid on root only. A contribution
+    /// whose size differs from the root's throws with both sizes named.
     [[nodiscard]] std::vector<double> gather(std::span<const double> part, int root);
     [[nodiscard]] double allreduce_sum(double value);
 
@@ -69,9 +87,27 @@ private:
 
 class Communicator {
 public:
-    explicit Communicator(int nranks);
+    struct Options {
+        /// Upper bound on any single blocking wait (recv, barrier);
+        /// <= 0 disables deadlines. Generous by default — it exists to
+        /// bound hangs, not to race healthy traffic.
+        double deadline_s = 30.0;
+    };
+
+    explicit Communicator(int nranks);  ///< default Options
+    Communicator(int nranks, Options options);
 
     [[nodiscard]] int size() const noexcept { return nranks_; }
+    [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+    /// Replaces the fault injector (constructor default: a fresh
+    /// injector for the AP_FAULT environment plan, if set). Share one
+    /// injector across retry Communicators so one-shot crash/stall
+    /// schedules do not refire. Pass nullptr to disable injection.
+    void set_injector(std::shared_ptr<fault::Injector> injector) {
+        injector_ = std::move(injector);
+    }
+    [[nodiscard]] fault::Injector* injector() const noexcept { return injector_.get(); }
 
     /// Communication volume one rank has sent so far (for the simulated
     /// cost model when the host cannot time real ranks meaningfully).
@@ -82,14 +118,26 @@ public:
     [[nodiscard]] CommStats stats(int rank) const;
 
     /// Runs `fn(rank)` on `nranks` threads and joins them all. Any
-    /// exception in a rank is rethrown after the join (first one wins).
+    /// exception in a rank poisons the communicator (peers blocked in
+    /// recv/barrier unwind with fault::AbortedError) and is rethrown
+    /// after the join — the first real error wins.
     void run(const std::function<void(Rank&)>& fn);
+
+    /// True once any rank failed (or abort() was called); every
+    /// subsequent blocking operation throws fault::AbortedError.
+    [[nodiscard]] bool aborted() const noexcept {
+        return aborted_.load(std::memory_order_acquire);
+    }
+    /// Poisons every channel and the barrier, waking all blocked ranks.
+    void abort() noexcept;
 
 private:
     friend class Rank;
 
     struct Message {
         int tag;
+        std::uint64_t seq;    ///< per-channel sequence for duplicate dedup
+        bool duplicate;       ///< injected copy (for teardown accounting)
         std::vector<std::byte> payload;
     };
     struct Channel {
@@ -97,11 +145,17 @@ private:
         std::condition_variable cv;
         std::queue<Message> queue;
         std::uint64_t push_count = 0;  ///< lets receivers wait for *new* traffic
+        std::uint64_t next_seq = 0;
+        std::map<int, std::uint64_t> delivered;  ///< tag -> last delivered seq
     };
 
     Channel& channel(int source, int dest);
     void push(int source, int dest, int tag, std::vector<std::byte> payload);
     std::vector<std::byte> pop(int source, int dest, int tag);
+    /// Counts injected duplicates still queued at teardown as recovered
+    /// (they were absorbed without corrupting any receive).
+    void drain_duplicates();
+    [[noreturn]] void throw_aborted(const char* where) const;
 
     // Sense-reversing barrier.
     std::mutex barrier_mutex_;
@@ -110,6 +164,9 @@ private:
     bool barrier_sense_ = false;
 
     int nranks_;
+    Options options_;
+    std::atomic<bool> aborted_{false};
+    std::shared_ptr<fault::Injector> injector_;
     std::vector<std::unique_ptr<Channel>> channels_;  ///< nranks * nranks
     struct RankCounters {
         std::atomic<std::int64_t> messages{0};

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 
 #include "runtime/thread_pool.hpp"
@@ -25,6 +26,10 @@ struct ParallelOptions {
 /// invocation pays one fork-join round trip on the shared pool, which is
 /// precisely the overhead that makes inner-loop-only parallelization lose
 /// (paper Figure 1, the "Polaris" bars).
+///
+/// If any iteration throws, the first exception is rethrown in the
+/// caller after the join; a cancellation flag makes the remaining chunks
+/// drain without running their iterations (docs/ROBUSTNESS.md).
 namespace detail {
 /// True on pool workers currently inside a parallel region; nested
 /// parallel_for calls then run inline instead of deadlocking the pool.
@@ -52,15 +57,32 @@ void parallel_for(std::int64_t lo, std::int64_t hi, Fn&& fn, ParallelOptions opt
     forked_runs.add();
     span.arg("threads", static_cast<std::int64_t>(threads));
     std::atomic<unsigned> remaining{threads};
+    std::atomic<bool> cancelled{false};
     std::mutex m;
     std::condition_variable cv;
+    std::exception_ptr first_error;
     const std::int64_t chunk = (n + threads - 1) / threads;
     for (unsigned t = 0; t < threads; ++t) {
         const std::int64_t begin = lo + static_cast<std::int64_t>(t) * chunk;
         const std::int64_t end = begin + chunk < hi ? begin + chunk : hi;
         p.submit([&, begin, end] {
             detail::in_parallel_region = true;
-            for (std::int64_t i = begin; i < end; ++i) fn(i);
+            try {
+                for (std::int64_t i = begin; i < end; ++i) {
+                    // A thrown iteration cancels the loop: chunks not yet
+                    // started (and iterations not yet run) drain fast so
+                    // the caller's rethrow is not stuck behind dead work.
+                    if (cancelled.load(std::memory_order_relaxed)) break;
+                    fn(i);
+                }
+            } catch (...) {
+                cancelled.store(true, std::memory_order_relaxed);
+                static trace::Counter& failed =
+                    trace::counters::get("runtime.parallel_for.iteration_exceptions");
+                failed.add();
+                std::lock_guard lock(m);
+                if (!first_error) first_error = std::current_exception();
+            }
             detail::in_parallel_region = false;
             if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
                 std::lock_guard lock(m);
@@ -70,6 +92,7 @@ void parallel_for(std::int64_t lo, std::int64_t hi, Fn&& fn, ParallelOptions opt
     }
     std::unique_lock lock(m);
     cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+    if (first_error) std::rethrow_exception(first_error);
 }
 
 /// Measures the fork-join overhead of one empty parallel_for invocation

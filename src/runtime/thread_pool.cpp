@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
+#include <utility>
+
 #include "trace/counters.hpp"
 #include "trace/trace.hpp"
 
@@ -50,8 +52,20 @@ void ThreadPool::worker_loop() {
         }
         trace::Span span("pool.task", "runtime");
         span.arg("queue_depth", static_cast<std::int64_t>(depth_at_pop));
-        task();
+        try {
+            task();
+        } catch (...) {
+            static trace::Counter& exceptions = trace::counters::get("runtime.task_exceptions");
+            exceptions.add();
+            std::lock_guard lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
     }
+}
+
+std::exception_ptr ThreadPool::take_error() noexcept {
+    std::lock_guard lock(mutex_);
+    return std::exchange(first_error_, nullptr);
 }
 
 ThreadPool& ThreadPool::global() {

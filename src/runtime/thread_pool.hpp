@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -11,9 +12,10 @@
 namespace ap::runtime {
 
 /// Fixed-size worker pool with a single shared queue. Workers are joined
-/// in the destructor (CP.26: no detached threads). Tasks are void() and
-/// must not throw; exceptions terminate, which is the right behaviour for
-/// a numeric harness.
+/// in the destructor (CP.26: no detached threads). A task that throws no
+/// longer terminates the process: the first exception is captured and
+/// can be collected with take_error() — parallel_for uses this to
+/// rethrow task failures in the caller.
 class ThreadPool {
 public:
     explicit ThreadPool(unsigned threads);
@@ -23,6 +25,10 @@ public:
 
     void submit(std::function<void()> task);
     [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+    /// The first exception thrown by any task since the last take_error()
+    /// call, or nullptr. Retrieval clears it.
+    [[nodiscard]] std::exception_ptr take_error() noexcept;
 
     /// The process-wide default pool (hardware_concurrency workers,
     /// created on first use).
@@ -36,6 +42,7 @@ private:
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+    std::exception_ptr first_error_;
 };
 
 }  // namespace ap::runtime

@@ -29,7 +29,7 @@ double checksum_range(const double* data, std::size_t n) {
 
 }  // namespace
 
-PhaseResult run_datagen(const Deck& deck, Flavor flavor, int nprocs) {
+PhaseResult run_datagen(const Deck& deck, Flavor flavor, int nprocs, const FaultTolerance& ft) {
     const std::size_t per_shot =
         static_cast<std::size_t>(deck.ntraces) * static_cast<std::size_t>(deck.nsamples);
     const std::size_t total = per_shot * static_cast<std::size_t>(deck.nshots);
@@ -38,43 +38,42 @@ PhaseResult run_datagen(const Deck& deck, Flavor flavor, int nprocs) {
     model.nprocs = nprocs;
 
     if (flavor == Flavor::Mpi) {
-        // Shots block-partitioned over real mpisim ranks; modeled elapsed
-        // time is the slowest rank's CPU time plus its communication.
-        mpisim::Communicator comm(nprocs);
-        std::vector<double> rank_cpu(static_cast<std::size_t>(nprocs), 0.0);
-        double checksum = 0;
-        comm.run([&](mpisim::Rank& r) {
-            const double cpu0 = runtime::thread_cpu_seconds();
-            const int per_rank = (deck.nshots + r.size() - 1) / r.size();
-            const int s0 = r.rank() * per_rank;
-            const int s1 = std::min(deck.nshots, s0 + per_rank);
-            std::vector<double> local(per_shot * static_cast<std::size_t>(per_rank), 0.0);
-            for (int s = s0; s < s1; ++s) {
+        // One chunk per shot, streamed to the root and checkpointed as it
+        // completes; a crashed or stalled rank only costs its unfinished
+        // shots, which are reassigned to the survivors (recovery.hpp).
+        // Per-shot sums are reduced in shot order so recovery order cannot
+        // perturb the checksum bits. Modeled elapsed time is still the
+        // slowest rank's CPU time plus its communication.
+        std::vector<double> shot_sums(static_cast<std::size_t>(deck.nshots), 0.0);
+        const RecoveryOutcome outcome = run_chunked(
+            nprocs, deck.nshots, ft,
+            [&](int s) {
+                std::vector<double> shot(per_shot, 0.0);
                 for (int t = 0; t < deck.ntraces; ++t) {
-                    synth_trace(local.data() +
-                                    (static_cast<std::size_t>(s - s0) * deck.ntraces + t) *
-                                        deck.nsamples,
-                                s, t, deck.nsamples);
+                    synth_trace(shot.data() + static_cast<std::size_t>(t) * deck.nsamples, s, t,
+                                deck.nsamples);
                 }
-            }
-            const double local_sum = checksum_range(local.data(), local.size());
-            const double sum = r.allreduce_sum(local_sum);
-            auto gathered = r.gather(local, 0);
-            rank_cpu[static_cast<std::size_t>(r.rank())] = runtime::thread_cpu_seconds() - cpu0;
-            if (r.rank() == 0) checksum = sum;
-        });
+                return shot;
+            },
+            [&](int s, std::vector<double>&& shot) {
+                shot_sums[static_cast<std::size_t>(s)] = checksum_range(shot.data(), shot.size());
+            });
+        double checksum = 0;
+        for (int s = 0; s < deck.nshots; ++s) checksum += shot_sums[static_cast<std::size_t>(s)];
         runtime::SimTimer sim(model);
         double slowest = 0;
         for (int r = 0; r < nprocs; ++r) {
-            const auto stats = comm.stats(r);
-            const double t = rank_cpu[static_cast<std::size_t>(r)] +
+            const auto& stats = outcome.stats[static_cast<std::size_t>(r)];
+            const double t = outcome.rank_cpu[static_cast<std::size_t>(r)] +
                              static_cast<double>(stats.messages) * model.msg_latency +
                              static_cast<double>(stats.bytes) / model.bandwidth;
             slowest = std::max(slowest, t);
         }
-        sim.charge(slowest);
+        sim.charge(slowest + outcome.serial_seconds);
         result.seconds = sim.seconds();
         result.checksum = checksum / static_cast<double>(total);
+        result.attempts = outcome.attempts;
+        result.degraded = outcome.degraded_serial;
         return result;
     }
 

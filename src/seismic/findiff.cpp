@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 
 #include "mpisim/mpisim.hpp"
@@ -31,7 +32,7 @@ double checksum_grid(const double* u, std::size_t n) {
 
 }  // namespace
 
-PhaseResult run_findiff(const Deck& deck, Flavor flavor, int nprocs) {
+PhaseResult run_findiff(const Deck& deck, Flavor flavor, int nprocs, const FaultTolerance& ft) {
     const int n = deck.grid;
     const std::size_t cells = static_cast<std::size_t>(n) * n;
     const double c2 = 0.2;
@@ -40,11 +41,14 @@ PhaseResult run_findiff(const Deck& deck, Flavor flavor, int nprocs) {
     model.nprocs = nprocs;
 
     if (flavor == Flavor::Mpi) {
-        // Row-block decomposition with halo exchange each timestep.
-        mpisim::Communicator comm(nprocs);
+        // Row-block decomposition with halo exchange each timestep. The
+        // halo dependency chain makes mid-step restart impossible, so
+        // fault recovery is whole-phase retry then serial re-execution
+        // (recovery.hpp); every attempt restarts from the zero wavefield.
         std::vector<double> rank_cpu(static_cast<std::size_t>(nprocs), 0.0);
         double checksum = 0;
-        comm.run([&](mpisim::Rank& r) {
+        double slowest = 0;
+        const auto attempt_fn = [&](mpisim::Rank& r) {
             const double cpu0 = runtime::thread_cpu_seconds();
             const int rows_per = (n - 2 + r.size() - 1) / r.size();
             const int r0 = 1 + r.rank() * rows_per;
@@ -97,16 +101,57 @@ PhaseResult run_findiff(const Deck& deck, Flavor flavor, int nprocs) {
             const double sum = r.allreduce_sum(local_sum);
             rank_cpu[static_cast<std::size_t>(r.rank())] = runtime::thread_cpu_seconds() - cpu0;
             if (r.rank() == 0) checksum = sum;
-        });
-        double slowest = 0;
-        for (int r = 0; r < nprocs; ++r) {
-            const auto stats = comm.stats(r);
-            slowest = std::max(slowest, rank_cpu[static_cast<std::size_t>(r)] +
-                                            static_cast<double>(stats.messages) * model.msg_latency +
-                                            static_cast<double>(stats.bytes) / model.bandwidth);
-        }
-        result.seconds = slowest;
+        };
+        const RecoveryOutcome outcome = run_with_recovery(
+            nprocs, ft,
+            [&](mpisim::Communicator& comm) {
+                std::fill(rank_cpu.begin(), rank_cpu.end(), 0.0);
+                comm.run(attempt_fn);
+                double s = 0;
+                for (int r = 0; r < nprocs; ++r) {
+                    const auto stats = comm.stats(r);
+                    s = std::max(s, rank_cpu[static_cast<std::size_t>(r)] +
+                                        static_cast<double>(stats.messages) * model.msg_latency +
+                                        static_cast<double>(stats.bytes) / model.bandwidth);
+                }
+                slowest = s;
+            },
+            [&] {
+                // Serial re-execution on the full grid. The stencil work
+                // is bit-identical to the distributed run (same kernel,
+                // same per-cell operand order); the checksum reduction
+                // replays the allreduce grouping — per-rank row-block
+                // partials summed in rank order — so the bits match too.
+                std::vector<double> up(cells, 0.0);
+                std::vector<double> u(cells, 0.0);
+                std::vector<double> un(cells, 0.0);
+                const std::size_t src = static_cast<std::size_t>(n / 2) * n + n / 2;
+                for (int step = 0; step < deck.timesteps; ++step) {
+                    u[src] += source(step);
+                    for (int row = 1; row < n - 1; ++row) {
+                        stencil_row(up.data(), u.data(), un.data(), row, n, c2);
+                    }
+                    std::swap(up, u);
+                    std::swap(u, un);
+                }
+                const int rows_per = (n - 2 + nprocs - 1) / nprocs;
+                double total = 0;
+                for (int rk = 0; rk < nprocs; ++rk) {
+                    const int r0 = 1 + rk * rows_per;
+                    const int r1 = std::min(n - 1, r0 + rows_per);
+                    double part = 0;
+                    for (int row = r0; row < r1; ++row) {
+                        part += checksum_grid(u.data() + static_cast<std::size_t>(row) * n,
+                                              static_cast<std::size_t>(n));
+                    }
+                    total += part;
+                }
+                checksum = total;
+            });
+        result.seconds = slowest + outcome.serial_seconds;
         result.checksum = checksum / static_cast<double>(cells);
+        result.attempts = outcome.attempts;
+        result.degraded = outcome.degraded_serial;
         return result;
     }
 

@@ -1,0 +1,195 @@
+#include "seismic/recovery.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "runtime/sim.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
+
+namespace ap::seismic {
+
+namespace {
+
+/// Chunk-result tags live above every tag the phases use (phases stay
+/// below 3000; collectives use small negative tags).
+constexpr int kChunkTagBase = 5000;
+
+std::shared_ptr<fault::Injector> effective_injector(const FaultTolerance& ft) {
+    return ft.injector ? ft.injector : fault::injector_from_env();
+}
+
+/// Translates a failed attempt's error into rank liveness: a crashed
+/// rank is dead; a receive that timed out condemns the silent peer
+/// (conservatively — a stalled-but-alive rank is excluded too, which
+/// costs recomputation, never correctness). Other fault-class errors
+/// (aborts, unattributed timeouts) leave liveness unchanged and simply
+/// consume an attempt.
+void mark_dead(std::vector<char>& dead, const fault::FaultError& err) {
+    static trace::Counter& lost = trace::counters::get("fault.recovery.ranks_lost");
+    int rank = -1;
+    if (const auto* crash = dynamic_cast<const fault::InjectedCrash*>(&err)) {
+        rank = crash->rank();
+    } else if (const auto* timeout = dynamic_cast<const fault::TimeoutError*>(&err)) {
+        rank = timeout->peer();
+    }
+    if (rank >= 0 && rank < static_cast<int>(dead.size()) && !dead[static_cast<std::size_t>(rank)]) {
+        dead[static_cast<std::size_t>(rank)] = 1;
+        lost.add();
+    }
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+RecoveryOutcome run_with_recovery(int nprocs, const FaultTolerance& ft,
+                                  const std::function<void(mpisim::Communicator&)>& attempt,
+                                  const std::function<void()>& serial_fallback) {
+    trace::Span span("fault.run_with_recovery", "seismic");
+    static trace::Counter& retries = trace::counters::get("fault.recovery.attempts");
+    static trace::Counter& fallbacks = trace::counters::get("fault.recovery.serial_fallbacks");
+    const auto injector = effective_injector(ft);
+    RecoveryOutcome out;
+    const int max_attempts = std::max(1, ft.max_attempts);
+    for (int a = 0; a < max_attempts; ++a) {
+        out.attempts = a + 1;
+        if (a > 0) retries.add();
+        mpisim::Communicator comm(nprocs, {.deadline_s = ft.deadline_s});
+        comm.set_injector(injector);
+        try {
+            attempt(comm);
+            fault::counters::recover_outstanding();
+            span.arg("attempts", out.attempts);
+            return out;
+        } catch (const fault::FaultError&) {
+            // Consumed one attempt; the next one restarts from scratch on
+            // a fresh communicator (one-shot crash/stall schedules on the
+            // shared injector do not refire).
+        }
+    }
+    fallbacks.add();
+    out.degraded_serial = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    serial_fallback();
+    out.serial_seconds = elapsed_seconds(t0);
+    fault::counters::recover_outstanding();
+    span.arg("attempts", out.attempts);
+    span.arg("degraded", 1);
+    return out;
+}
+
+RecoveryOutcome run_chunked(int nprocs, int nchunks, const FaultTolerance& ft,
+                            const std::function<std::vector<double>(int chunk)>& compute,
+                            const std::function<void(int chunk, std::vector<double>&&)>& commit) {
+    trace::Span span("fault.run_chunked", "seismic");
+    span.arg("chunks", nchunks);
+    static trace::Counter& retries = trace::counters::get("fault.recovery.attempts");
+    static trace::Counter& reassigned = trace::counters::get("fault.recovery.chunks_reassigned");
+    static trace::Counter& fallbacks = trace::counters::get("fault.recovery.serial_fallbacks");
+    const auto injector = effective_injector(ft);
+    RecoveryOutcome out;
+    out.rank_cpu.assign(static_cast<std::size_t>(nprocs), 0.0);
+    out.stats.assign(static_cast<std::size_t>(nprocs), {});
+    std::vector<char> done(static_cast<std::size_t>(nchunks), 0);
+    std::vector<char> dead(static_cast<std::size_t>(nprocs), 0);
+    out.attempts = 0;
+
+    const int max_attempts = std::max(1, ft.max_attempts);
+    for (int a = 0; a < max_attempts; ++a) {
+        std::vector<int> live;
+        for (int r = 0; r < nprocs; ++r) {
+            if (!dead[static_cast<std::size_t>(r)]) live.push_back(r);
+        }
+        std::vector<int> pending;
+        for (int c = 0; c < nchunks; ++c) {
+            if (!done[static_cast<std::size_t>(c)]) pending.push_back(c);
+        }
+        if (live.empty() || pending.empty()) break;
+        out.attempts = a + 1;
+        if (a > 0) {
+            retries.add();
+            reassigned.add(static_cast<std::int64_t>(pending.size()));
+        }
+
+        // Round-robin the still-pending chunks over the surviving ranks;
+        // finished results stream to the lowest live rank (the root),
+        // which checkpoints them via commit().
+        std::vector<int> owner(static_cast<std::size_t>(nchunks), -1);
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            owner[static_cast<std::size_t>(pending[i])] = live[i % live.size()];
+        }
+        const int root = live.front();
+
+        mpisim::Communicator comm(nprocs, {.deadline_s = ft.deadline_s});
+        comm.set_injector(injector);
+        std::vector<double> cpu(static_cast<std::size_t>(nprocs), 0.0);
+        try {
+            comm.run([&](mpisim::Rank& r) {
+                if (dead[static_cast<std::size_t>(r.rank())]) return;  // excluded survivor-set
+                const double cpu0 = runtime::thread_cpu_seconds();
+                if (r.rank() == root) {
+                    // Own chunks first (each one checkpointed as soon as it
+                    // exists), then the peers' results in chunk order.
+                    for (const int c : pending) {
+                        if (owner[static_cast<std::size_t>(c)] != root) continue;
+                        commit(c, compute(c));
+                        done[static_cast<std::size_t>(c)] = 1;
+                    }
+                    for (const int c : pending) {
+                        if (owner[static_cast<std::size_t>(c)] == root) continue;
+                        auto buf = r.recv<double>(owner[static_cast<std::size_t>(c)],
+                                                  kChunkTagBase + c);
+                        commit(c, std::move(buf));
+                        done[static_cast<std::size_t>(c)] = 1;
+                    }
+                } else {
+                    for (const int c : pending) {
+                        if (owner[static_cast<std::size_t>(c)] != r.rank()) continue;
+                        const auto buf = compute(c);
+                        r.send<double>(root, kChunkTagBase + c, buf);
+                    }
+                }
+                cpu[static_cast<std::size_t>(r.rank())] = runtime::thread_cpu_seconds() - cpu0;
+            });
+        } catch (const fault::FaultError& err) {
+            mark_dead(dead, err);
+        }
+        // Last attempt's cost feeds the timing model whether it finished
+        // or died — a failed attempt still burned those cycles.
+        out.rank_cpu = cpu;
+        for (int r = 0; r < nprocs; ++r) {
+            out.stats[static_cast<std::size_t>(r)] = comm.stats(r);
+        }
+    }
+
+    std::vector<int> leftover;
+    for (int c = 0; c < nchunks; ++c) {
+        if (!done[static_cast<std::size_t>(c)]) leftover.push_back(c);
+    }
+    if (!leftover.empty()) {
+        // Every rank dead or attempts exhausted: degrade gracefully and
+        // recompute the stragglers serially in the caller's thread.
+        fallbacks.add();
+        out.degraded_serial = true;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const int c : leftover) {
+            commit(c, compute(c));
+            done[static_cast<std::size_t>(c)] = 1;
+        }
+        out.serial_seconds = elapsed_seconds(t0);
+    }
+    out.attempts = std::max(out.attempts, 1);
+    // The phase completed with every chunk committed: whatever injected
+    // faults were still unsettled (crashes, stalls, exhausted-retry
+    // drops) were absorbed by reassignment or serial re-execution.
+    fault::counters::recover_outstanding();
+    span.arg("attempts", out.attempts);
+    if (out.degraded_serial) span.arg("degraded", 1);
+    return out;
+}
+
+}  // namespace ap::seismic

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "mpisim/mpisim.hpp"
+
+namespace ap::seismic {
+
+/// Fault-tolerance knobs for the MPI-flavoured phases. Defaults are
+/// production-shaped (generous deadline, a few retries); chaos tests
+/// shrink the deadline so injected stalls are detected quickly.
+struct FaultTolerance {
+    /// Shared injector for every attempt — one-shot crash/stall
+    /// schedules fire once across retries. nullptr = a fresh injector
+    /// from AP_FAULT (or none when the variable is unset).
+    std::shared_ptr<fault::Injector> injector;
+    double deadline_s = 30.0;  ///< per-wait bound inside the communicator
+    int max_attempts = 3;      ///< MPI attempts before degrading to serial
+};
+
+/// How a fault-tolerant phase completed — attempts used, whether it had
+/// to degrade to serial re-execution, and the final attempt's per-rank
+/// cost for the simulated timing model.
+struct RecoveryOutcome {
+    int attempts = 1;
+    bool degraded_serial = false;
+    double serial_seconds = 0;  ///< wall time of the serial fallback, if any
+    std::vector<double> rank_cpu;
+    std::vector<mpisim::Communicator::CommStats> stats;
+};
+
+/// Runs a restartable whole-phase MPI attempt with retry and serial
+/// degradation. `attempt` must fully re-initialize its state each call
+/// (it receives a fresh poisoned-free Communicator with the shared
+/// injector installed). Fault-class errors (fault::FaultError) consume
+/// an attempt; anything else propagates — logic bugs are not retried.
+/// After `ft.max_attempts` failures `serial_fallback` recomputes the
+/// phase; outstanding injected faults are then settled as recovered.
+RecoveryOutcome run_with_recovery(int nprocs, const FaultTolerance& ft,
+                                  const std::function<void(mpisim::Communicator&)>& attempt,
+                                  const std::function<void()>& serial_fallback);
+
+/// Fault-tolerant chunked map over `nchunks` independent chunks:
+/// chunks are block-assigned to ranks, every finished chunk is sent to
+/// the lowest live rank (the root) and checkpointed there via
+/// `commit(chunk, data)`. When a rank crashes or stalls, its unfinished
+/// chunks are reassigned to the surviving ranks on the next attempt —
+/// already-committed chunks are never recomputed. When every rank is
+/// dead or attempts are exhausted, the remaining chunks are recomputed
+/// serially in the caller (graceful degradation).
+///
+/// `compute` must be pure and thread-safe (ranks run it concurrently);
+/// `commit` is only ever called from one thread at a time. Chunk commit
+/// order varies under faults, so accumulate into per-chunk slots and
+/// reduce in index order if bit-stable results are required.
+RecoveryOutcome run_chunked(int nprocs, int nchunks, const FaultTolerance& ft,
+                            const std::function<std::vector<double>(int chunk)>& compute,
+                            const std::function<void(int chunk, std::vector<double>&&)>& commit);
+
+}  // namespace ap::seismic

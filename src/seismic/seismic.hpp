@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "seismic/recovery.hpp"
+
 namespace ap::seismic {
 
 /// How a phase is parallelized — the four bars of the paper's Figure 1.
@@ -39,13 +41,21 @@ struct Deck {
 struct PhaseResult {
     double seconds = 0;
     double checksum = 0;  ///< flavor-independent validation value
+    // Fault-tolerance bookkeeping (MPI flavor only; docs/ROBUSTNESS.md).
+    int attempts = 1;       ///< communicator attempts the phase consumed
+    bool degraded = false;  ///< fell back to serial re-execution
 };
 
 /// The four computational phases of the suite (paper Figure 1's series).
-PhaseResult run_datagen(const Deck& deck, Flavor flavor, int nprocs);
-PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs);
-PhaseResult run_fft3d(const Deck& deck, Flavor flavor, int nprocs);
-PhaseResult run_findiff(const Deck& deck, Flavor flavor, int nprocs);
+/// The MPI flavor is fault-tolerant: `ft` carries the injector, the
+/// per-wait deadline, and the retry budget; the defaults are inert when
+/// no faults are injected (and AP_FAULT is unset).
+PhaseResult run_datagen(const Deck& deck, Flavor flavor, int nprocs,
+                        const FaultTolerance& ft = {});
+PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs, const FaultTolerance& ft = {});
+PhaseResult run_fft3d(const Deck& deck, Flavor flavor, int nprocs, const FaultTolerance& ft = {});
+PhaseResult run_findiff(const Deck& deck, Flavor flavor, int nprocs,
+                        const FaultTolerance& ft = {});
 
 struct SuiteResult {
     std::array<PhaseResult, 4> phases;  ///< datagen, stack, fft3d, findiff
@@ -58,7 +68,7 @@ struct SuiteResult {
 inline constexpr std::array<const char*, 4> kPhaseNames = {"data gen.", "stack", "3D FFT",
                                                            "finite diff."};
 
-SuiteResult run_suite(const Deck& deck, Flavor flavor, int nprocs);
+SuiteResult run_suite(const Deck& deck, Flavor flavor, int nprocs, const FaultTolerance& ft = {});
 
 /// Deterministic trace synthesis shared by datagen and stack setup.
 /// Exposed for tests.

@@ -41,7 +41,7 @@ double checksum_range(const double* data, std::size_t n) {
 
 }  // namespace
 
-PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs) {
+PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs, const FaultTolerance& ft) {
     // Input wavefield synthesis is setup, not part of the timed phase.
     const std::vector<double> data = synthesize_traces(deck);
     const std::size_t out_size =
@@ -51,34 +51,35 @@ PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs) {
     model.nprocs = nprocs;
 
     if (flavor == Flavor::Mpi) {
-        mpisim::Communicator comm(nprocs);
-        std::vector<double> rank_cpu(static_cast<std::size_t>(nprocs), 0.0);
+        // One chunk per output trace, checkpointed on the root; surviving
+        // ranks pick up a crashed rank's traces on retry (recovery.hpp).
+        // `data` is shared read-only across the rank threads. Per-trace
+        // sums are reduced in trace order for bit-stable checksums.
+        std::vector<double> trace_sums(static_cast<std::size_t>(deck.ntraces), 0.0);
+        const RecoveryOutcome outcome = run_chunked(
+            nprocs, deck.ntraces, ft,
+            [&](int t) {
+                std::vector<double> out_trace(static_cast<std::size_t>(deck.nsamples), 0.0);
+                stack_trace(data.data(), out_trace.data(), t, deck);
+                return out_trace;
+            },
+            [&](int t, std::vector<double>&& out_trace) {
+                trace_sums[static_cast<std::size_t>(t)] =
+                    checksum_range(out_trace.data(), out_trace.size());
+            });
         double checksum = 0;
-        comm.run([&](mpisim::Rank& r) {
-            const double cpu0 = runtime::thread_cpu_seconds();
-            const int per_rank = (deck.ntraces + r.size() - 1) / r.size();
-            const int t0 = r.rank() * per_rank;
-            const int t1 = std::min(deck.ntraces, t0 + per_rank);
-            std::vector<double> local(static_cast<std::size_t>(per_rank) * deck.nsamples, 0.0);
-            for (int t = t0; t < t1; ++t) {
-                stack_trace(data.data(),
-                            local.data() + static_cast<std::size_t>(t - t0) * deck.nsamples, t,
-                            deck);
-            }
-            const double sum = r.allreduce_sum(checksum_range(local.data(), local.size()));
-            auto gathered = r.gather(local, 0);
-            rank_cpu[static_cast<std::size_t>(r.rank())] = runtime::thread_cpu_seconds() - cpu0;
-            if (r.rank() == 0) checksum = sum;
-        });
+        for (int t = 0; t < deck.ntraces; ++t) checksum += trace_sums[static_cast<std::size_t>(t)];
         double slowest = 0;
         for (int r = 0; r < nprocs; ++r) {
-            const auto stats = comm.stats(r);
-            slowest = std::max(slowest, rank_cpu[static_cast<std::size_t>(r)] +
+            const auto& stats = outcome.stats[static_cast<std::size_t>(r)];
+            slowest = std::max(slowest, outcome.rank_cpu[static_cast<std::size_t>(r)] +
                                             static_cast<double>(stats.messages) * model.msg_latency +
                                             static_cast<double>(stats.bytes) / model.bandwidth);
         }
-        result.seconds = slowest;
+        result.seconds = slowest + outcome.serial_seconds;
         result.checksum = checksum / static_cast<double>(out_size);
+        result.attempts = outcome.attempts;
+        result.degraded = outcome.degraded_serial;
         return result;
     }
 

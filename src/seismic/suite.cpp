@@ -2,12 +2,12 @@
 
 namespace ap::seismic {
 
-SuiteResult run_suite(const Deck& deck, Flavor flavor, int nprocs) {
+SuiteResult run_suite(const Deck& deck, Flavor flavor, int nprocs, const FaultTolerance& ft) {
     SuiteResult result;
-    result.phases[0] = run_datagen(deck, flavor, nprocs);
-    result.phases[1] = run_stack(deck, flavor, nprocs);
-    result.phases[2] = run_fft3d(deck, flavor, nprocs);
-    result.phases[3] = run_findiff(deck, flavor, nprocs);
+    result.phases[0] = run_datagen(deck, flavor, nprocs, ft);
+    result.phases[1] = run_stack(deck, flavor, nprocs, ft);
+    result.phases[2] = run_fft3d(deck, flavor, nprocs, ft);
+    result.phases[3] = run_findiff(deck, flavor, nprocs, ft);
     return result;
 }
 

@@ -1,0 +1,181 @@
+// Deterministic chaos tests (docs/ROBUSTNESS.md): every mpisim
+// collective driven under seeded drop/delay/crash plans with bounded
+// retry recovery, replayability of a seed's fault stream, and the
+// fault-tolerant MPI seismic pipeline reproducing fault-free checksums
+// bit for bit. The fig1 bench (`--chaos N`) runs the larger acceptance
+// sweep; these are the fast, always-on slices of it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "mpisim/mpisim.hpp"
+#include "seismic/seismic.hpp"
+
+namespace ap {
+namespace {
+
+constexpr int kRanks = 4;
+
+/// Exercises every collective (barrier, broadcast, scatter, gather,
+/// allreduce) plus point-to-point traffic; returns a root-side value
+/// with a single correct answer (see expected_workload_value).
+double collective_workload(mpisim::Communicator& comm) {
+    double result = 0;
+    comm.run([&](mpisim::Rank& r) {
+        r.barrier();
+        std::vector<double> offsets;
+        if (r.rank() == 1) offsets = {1.0, 2.0, 3.0};
+        r.broadcast(offsets, 1);
+        std::vector<double> all;
+        if (r.rank() == 0) {
+            all.resize(16);
+            std::iota(all.begin(), all.end(), 0.0);
+        }
+        auto mine = r.scatter(all, 0);
+        for (auto& x : mine) x += offsets[0];
+        const double total = r.allreduce_sum(mine[0]);
+        auto gathered = r.gather(mine, 0);
+        r.barrier();
+        if (r.rank() == 0) {
+            double sum = 0;
+            for (const double x : gathered) sum += x;
+            result = sum + total;
+        }
+    });
+    return result;
+}
+
+/// scatter hands rank r elements {4r..4r+3}; +1 each makes the gathered
+/// sum 120 + 16 = 136; allreduce over each rank's first element is
+/// 1 + 5 + 9 + 13 = 28.
+constexpr double kExpectedWorkloadValue = 136.0 + 28.0;
+
+/// Bounded whole-run retry sharing one injector (so one-shot crash and
+/// stall schedules cannot refire) — the same recovery discipline
+/// seismic::run_with_recovery applies to the pipeline phases.
+double run_with_retry(const std::shared_ptr<fault::Injector>& injector, int max_attempts,
+                      int* attempts_out = nullptr) {
+    for (int attempt = 1;; ++attempt) {
+        mpisim::Communicator comm(kRanks, {.deadline_s = 1.0});
+        comm.set_injector(injector);
+        try {
+            const double v = collective_workload(comm);
+            fault::counters::recover_outstanding();
+            if (attempts_out) *attempts_out = attempt;
+            return v;
+        } catch (const fault::FaultError&) {
+            if (attempt >= max_attempts) {
+                fault::counters::fatal_outstanding();
+                throw;
+            }
+        }
+    }
+}
+
+void expect_counters_settled() {
+    for (const fault::Kind k : fault::kAllKinds) {
+        EXPECT_EQ(fault::counters::outstanding(k), 0)
+            << "unsettled fault." << fault::to_string(k) << " counters";
+    }
+}
+
+TEST(Chaos, CollectivesSurviveSeededDrops) {
+    for (int seed = 1; seed <= 20; ++seed) {
+        fault::Plan plan;
+        plan.seed = static_cast<std::uint64_t>(seed);
+        plan.drop = 0.05;
+        const double v = run_with_retry(std::make_shared<fault::Injector>(plan), 3);
+        EXPECT_EQ(v, kExpectedWorkloadValue) << "seed " << seed;
+        expect_counters_settled();
+    }
+}
+
+TEST(Chaos, CollectivesSurviveSeededDelays) {
+    for (int seed = 1; seed <= 20; ++seed) {
+        fault::Plan plan;
+        plan.seed = static_cast<std::uint64_t>(seed);
+        plan.delay = 0.3;
+        plan.delay_us = 50;
+        const double v = run_with_retry(std::make_shared<fault::Injector>(plan), 3);
+        EXPECT_EQ(v, kExpectedWorkloadValue) << "seed " << seed;
+        expect_counters_settled();
+    }
+}
+
+TEST(Chaos, CollectivesSurviveSeededCrashes) {
+    for (int seed = 1; seed <= 20; ++seed) {
+        fault::Plan plan;
+        plan.seed = static_cast<std::uint64_t>(seed);
+        plan.crash_rank = seed % kRanks;
+        plan.crash_at = 1 + (seed * 3) % 12;
+        int attempts = 0;
+        const double v = run_with_retry(std::make_shared<fault::Injector>(plan), 3, &attempts);
+        EXPECT_EQ(v, kExpectedWorkloadValue) << "seed " << seed;
+        // A crash that fired must have cost at least one retry.
+        if (plan.crash_at <= 6) {
+            EXPECT_GT(attempts, 1) << "seed " << seed;
+        }
+        expect_counters_settled();
+    }
+}
+
+TEST(Chaos, SameSeedReplaysTheSameFaultStream) {
+    fault::Plan plan;
+    plan.seed = 7;
+    plan.drop = 0.4;  // high enough that this seed's stream is non-empty
+    const auto injected_0 = fault::counters::injected_count(fault::Kind::Drop);
+    const double first = run_with_retry(std::make_shared<fault::Injector>(plan), 3);
+    const auto injected_1 = fault::counters::injected_count(fault::Kind::Drop);
+    const double second = run_with_retry(std::make_shared<fault::Injector>(plan), 3);
+    const auto injected_2 = fault::counters::injected_count(fault::Kind::Drop);
+    EXPECT_EQ(first, kExpectedWorkloadValue);
+    EXPECT_EQ(second, kExpectedWorkloadValue);
+    // Identical plans inject identical fault counts: the decision stream
+    // is a pure function of (seed, rank, op), not of thread timing.
+    EXPECT_GT(injected_1 - injected_0, 0);
+    EXPECT_EQ(injected_1 - injected_0, injected_2 - injected_1);
+}
+
+// The seismic acceptance slice: the fault-tolerant MPI pipeline must
+// reproduce the fault-free checksums *bit for bit* despite injected
+// crashes and drops (chunk reassignment + deterministic reduction
+// order). EXPECT_EQ on doubles is the point.
+TEST(Chaos, SeismicMpiPipelineMatchesFaultFreeChecksums) {
+    const seismic::Deck deck = seismic::Deck::tiny();
+    seismic::FaultTolerance clean;
+    clean.injector = std::make_shared<fault::Injector>(fault::Plan{});
+    const seismic::SuiteResult baseline =
+        seismic::run_suite(deck, seismic::Flavor::Mpi, kRanks, clean);
+
+    for (int seed = 1; seed <= 6; ++seed) {
+        for (const bool crash : {false, true}) {
+            fault::Plan plan;
+            plan.seed = static_cast<std::uint64_t>(seed);
+            if (crash) {
+                plan.crash_rank = seed % kRanks;
+                plan.crash_at = 2 + (seed * 5) % 30;
+            } else {
+                plan.drop = 0.05;
+            }
+            seismic::FaultTolerance ft;
+            ft.injector = std::make_shared<fault::Injector>(plan);
+            ft.deadline_s = 0.25;
+            ft.max_attempts = 3;
+            const seismic::SuiteResult result =
+                seismic::run_suite(deck, seismic::Flavor::Mpi, kRanks, ft);
+            for (int p = 0; p < 4; ++p) {
+                EXPECT_EQ(result.phases[p].checksum, baseline.phases[p].checksum)
+                    << "phase " << seismic::kPhaseNames[p] << " plan " << plan.spec();
+            }
+            expect_counters_settled();
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ap

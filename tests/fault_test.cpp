@@ -1,0 +1,358 @@
+// ap::fault unit + regression tests (docs/ROBUSTNESS.md): plan parsing,
+// injector determinism, the mpisim failure semantics (deadlines, abort,
+// retry, dedup), ragged-collective validation, and the first-exception
+// behavior of the threading runtime. The `tsan` CTest label reruns this
+// binary under ThreadSanitizer via `scripts/verify.sh --tsan`; the
+// per-test TIMEOUT is the hang detector for the deadlock regressions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "mpisim/mpisim.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "trace/counters.hpp"
+
+namespace ap {
+namespace {
+
+// --- Plan parsing -----------------------------------------------------------
+
+TEST(FaultPlan, ParsesTheDocumentedGrammar) {
+    const auto plan = fault::Plan::parse("seed=42,drop=0.01,crash=2@50");
+    EXPECT_EQ(plan.seed, 42u);
+    EXPECT_DOUBLE_EQ(plan.drop, 0.01);
+    EXPECT_EQ(plan.crash_rank, 2);
+    EXPECT_EQ(plan.crash_at, 50);
+    EXPECT_EQ(plan.stall_rank, -1);
+
+    const auto full = fault::Plan::parse(
+        "seed=7,drop=0.1,delay=0.25,dup=0.5,delay_us=50,stall_ms=100,stall=1@9");
+    EXPECT_EQ(full.seed, 7u);
+    EXPECT_DOUBLE_EQ(full.delay, 0.25);
+    EXPECT_DOUBLE_EQ(full.duplicate, 0.5);
+    EXPECT_DOUBLE_EQ(full.delay_us, 50.0);
+    EXPECT_DOUBLE_EQ(full.stall_ms, 100.0);
+    EXPECT_EQ(full.stall_rank, 1);
+    EXPECT_EQ(full.stall_at, 9);
+}
+
+TEST(FaultPlan, SpecRoundTrips) {
+    fault::Plan plan;
+    plan.seed = 13;
+    plan.drop = 0.125;
+    plan.duplicate = 0.5;
+    plan.crash_rank = 3;
+    plan.crash_at = 17;
+    const auto back = fault::Plan::parse(plan.spec());
+    EXPECT_EQ(back.seed, plan.seed);
+    EXPECT_DOUBLE_EQ(back.drop, plan.drop);
+    EXPECT_DOUBLE_EQ(back.duplicate, plan.duplicate);
+    EXPECT_EQ(back.crash_rank, plan.crash_rank);
+    EXPECT_EQ(back.crash_at, plan.crash_at);
+}
+
+TEST(FaultPlan, RejectsMalformedClauses) {
+    EXPECT_THROW((void)fault::Plan::parse("bogus=1"), std::invalid_argument);
+    EXPECT_THROW((void)fault::Plan::parse("noequals"), std::invalid_argument);
+    EXPECT_THROW((void)fault::Plan::parse("drop=abc"), std::invalid_argument);
+    EXPECT_THROW((void)fault::Plan::parse("drop=1.5"), std::invalid_argument);
+    EXPECT_THROW((void)fault::Plan::parse("crash=2"), std::invalid_argument);
+    EXPECT_THROW((void)fault::Plan::parse("crash=-1@5"), std::invalid_argument);
+    EXPECT_THROW((void)fault::Plan::parse("stall=1@0"), std::invalid_argument);
+    // The offending clause is named in the diagnostic.
+    try {
+        (void)fault::Plan::parse("seed=1,drop=oops");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("drop=oops"), std::string::npos);
+    }
+}
+
+TEST(FaultPlan, EnvInjectorAbsentWhenUnset) {
+    if (std::getenv("AP_FAULT") != nullptr) GTEST_SKIP() << "AP_FAULT set in environment";
+    EXPECT_EQ(fault::injector_from_env(), nullptr);
+}
+
+// --- Injector determinism ---------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameDecisionStream) {
+    fault::Plan plan;
+    plan.seed = 99;
+    plan.drop = 0.3;
+    plan.delay = 0.2;
+    plan.duplicate = 0.1;
+    fault::Injector a(plan), b(plan);
+    for (int rank = 0; rank < 4; ++rank) {
+        for (int op = 0; op < 100; ++op) {
+            const auto fa = a.on_send(rank);
+            const auto fb = b.on_send(rank);
+            EXPECT_EQ(fa.drops, fb.drops);
+            EXPECT_EQ(fa.dropped_all, fb.dropped_all);
+            EXPECT_EQ(fa.delay, fb.delay);
+            EXPECT_EQ(fa.duplicate, fb.duplicate);
+        }
+    }
+}
+
+TEST(FaultInjector, CrashFiresExactlyOnce) {
+    fault::Plan plan;
+    plan.crash_rank = 0;
+    plan.crash_at = 3;
+    fault::Injector inj(plan);
+    inj.on_op(0);
+    inj.on_op(0);
+    try {
+        inj.on_op(0);
+        FAIL() << "expected InjectedCrash";
+    } catch (const fault::InjectedCrash& e) {
+        EXPECT_EQ(e.rank(), 0);
+    }
+    // One-shot: the schedule must not refire on later ops (this is what
+    // lets a retry that shares the injector get past the crash).
+    EXPECT_NO_THROW(inj.on_op(0));
+    EXPECT_NO_THROW(inj.on_op(0));
+}
+
+// --- mpisim failure semantics ----------------------------------------------
+
+// Regression: a rank that throws while a peer is blocked in recv used to
+// leave the peer waiting forever (run() never joined). With deadlines
+// disabled the only thing that can unblock rank 0 is the cooperative
+// abort — the CTest timeout is the hang detector.
+TEST(MpiFault, RankThrowMidExchangeDoesNotDeadlock) {
+    mpisim::Communicator comm(2, {.deadline_s = 0});
+    EXPECT_THROW(comm.run([](mpisim::Rank& r) {
+                     if (r.rank() == 0) {
+                         (void)r.recv<double>(1, 7);  // never sent
+                     } else {
+                         throw std::logic_error("rank 1 failed before sending");
+                     }
+                 }),
+                 std::logic_error);
+}
+
+TEST(MpiFault, PeerFailureUnblocksBarrierAndKeepsRootCause) {
+    mpisim::Communicator comm(4, {.deadline_s = 0});
+    // The first *real* error must win — peers unwinding with
+    // AbortedError must not mask rank 2's logic_error.
+    EXPECT_THROW(comm.run([](mpisim::Rank& r) {
+                     if (r.rank() == 2) throw std::logic_error("rank 2 failed");
+                     r.barrier();
+                 }),
+                 std::logic_error);
+}
+
+TEST(MpiFault, RecvDeadlineThrowsTimeoutNamingThePeer) {
+    mpisim::Communicator comm(2, {.deadline_s = 0.05});
+    try {
+        comm.run([](mpisim::Rank& r) {
+            if (r.rank() == 0) (void)r.recv<double>(1, 3);  // rank 1 exits silently
+        });
+        FAIL() << "expected TimeoutError";
+    } catch (const fault::TimeoutError& e) {
+        EXPECT_EQ(e.peer(), 1);
+        EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+    }
+}
+
+TEST(MpiFault, BarrierDeadlineThrowsTimeout) {
+    mpisim::Communicator comm(2, {.deadline_s = 0.05});
+    EXPECT_THROW(comm.run([](mpisim::Rank& r) {
+                     if (r.rank() == 0) r.barrier();  // rank 1 never arrives
+                 }),
+                 fault::TimeoutError);
+}
+
+TEST(MpiFault, InjectedDropsAreRetriedTransparently) {
+    const auto injected_before = fault::counters::injected_count(fault::Kind::Drop);
+    fault::Plan plan;
+    plan.seed = 3;
+    plan.drop = 0.2;
+    mpisim::Communicator comm(2);
+    comm.set_injector(std::make_shared<fault::Injector>(plan));
+    comm.run([](mpisim::Rank& r) {
+        if (r.rank() == 0) {
+            for (int i = 0; i < 50; ++i) r.send_value<int>(1, i, i * 3);
+        } else {
+            for (int i = 0; i < 50; ++i) EXPECT_EQ(r.recv_value<int>(0, i), i * 3);
+        }
+    });
+    // Every injected drop was absorbed by a resend.
+    EXPECT_GT(fault::counters::injected_count(fault::Kind::Drop), injected_before);
+    EXPECT_EQ(fault::counters::outstanding(fault::Kind::Drop), 0);
+}
+
+TEST(MpiFault, DroppingEverySendAttemptFailsTheSend) {
+    fault::Plan plan;
+    plan.drop = 1.0;
+    mpisim::Communicator comm(2, {.deadline_s = 0.5});
+    comm.set_injector(std::make_shared<fault::Injector>(plan));
+    try {
+        comm.run([](mpisim::Rank& r) {
+            if (r.rank() == 0) r.send_value<int>(1, 0, 42);
+            // rank 1 exits; its recv would only add a second timeout.
+        });
+        FAIL() << "expected TimeoutError";
+    } catch (const fault::TimeoutError& e) {
+        EXPECT_EQ(e.peer(), 1);
+    }
+    // The abandoned drops stay outstanding until a recovery driver
+    // settles them; giving up settles them as fatal.
+    EXPECT_GT(fault::counters::outstanding(fault::Kind::Drop), 0);
+    fault::counters::fatal_outstanding();
+    EXPECT_EQ(fault::counters::outstanding(fault::Kind::Drop), 0);
+}
+
+TEST(MpiFault, DuplicatesAreDiscardedBySequenceDedup) {
+    fault::Plan plan;
+    plan.seed = 11;
+    plan.duplicate = 1.0;  // every message delivered twice
+    mpisim::Communicator comm(2);
+    comm.set_injector(std::make_shared<fault::Injector>(plan));
+    comm.run([](mpisim::Rank& r) {
+        if (r.rank() == 0) {
+            for (int i = 0; i < 20; ++i) r.send_value<int>(1, 5, i);
+        } else {
+            // FIFO per tag and no double delivery despite the duplicates.
+            for (int i = 0; i < 20; ++i) EXPECT_EQ(r.recv_value<int>(0, 5), i);
+        }
+    });
+    // Receiver dedup + teardown drain absorbed every injected copy.
+    EXPECT_EQ(fault::counters::outstanding(fault::Kind::Duplicate), 0);
+}
+
+TEST(MpiFault, StalledPeerTripsTheDeadline) {
+    const auto injected_before = fault::counters::injected_count(fault::Kind::Stall);
+    fault::Plan plan;
+    plan.stall_rank = 1;
+    plan.stall_at = 1;
+    plan.stall_ms = 400;
+    mpisim::Communicator comm(2, {.deadline_s = 0.05});
+    comm.set_injector(std::make_shared<fault::Injector>(plan));
+    EXPECT_THROW(comm.run([](mpisim::Rank& r) {
+                     if (r.rank() == 0) {
+                         (void)r.recv<double>(1, 1);
+                     } else {
+                         std::vector<double> v{1.0};
+                         r.send<double>(1 - r.rank(), 1, v);  // stalls on its first op
+                     }
+                 }),
+                 fault::TimeoutError);
+    EXPECT_EQ(fault::counters::injected_count(fault::Kind::Stall), injected_before + 1);
+    fault::counters::fatal_outstanding();
+    EXPECT_EQ(fault::counters::outstanding(fault::Kind::Stall), 0);
+}
+
+// --- ragged collective validation -------------------------------------------
+
+TEST(MpiFault, ScatterRejectsRaggedChunksUpFront) {
+    mpisim::Communicator comm(4, {.deadline_s = 0});
+    try {
+        comm.run([](mpisim::Rank& r) {
+            std::vector<double> all;
+            if (r.rank() == 0) all.resize(10);  // 10 % 4 == 2 leftover
+            (void)r.scatter(all, 0);
+        });
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("10"), std::string::npos);
+        EXPECT_NE(what.find("4"), std::string::npos);
+        EXPECT_NE(what.find("2 leftover"), std::string::npos);
+    }
+}
+
+TEST(MpiFault, GatherRejectsMismatchedContributions) {
+    mpisim::Communicator comm(4, {.deadline_s = 0});
+    try {
+        comm.run([](mpisim::Rank& r) {
+            // Rank 2 contributes 3 elements; everyone else 2.
+            std::vector<double> part(r.rank() == 2 ? 3 : 2, 1.0);
+            (void)r.gather(part, 0);
+        });
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("rank 2"), std::string::npos);
+        EXPECT_NE(what.find("3"), std::string::npos);
+        EXPECT_NE(what.find("2"), std::string::npos);
+    }
+}
+
+TEST(MpiFault, EmptyScatterGatherAreValid) {
+    mpisim::Communicator comm(4);
+    comm.run([](mpisim::Rank& r) {
+        const std::vector<double> nothing;  // 0 % 4 == 0: legal everywhere
+        auto mine = r.scatter(nothing, 0);
+        EXPECT_TRUE(mine.empty());
+        auto all = r.gather(mine, 0);
+        EXPECT_TRUE(all.empty());
+    });
+}
+
+// --- threading runtime first-exception capture ------------------------------
+
+TEST(RuntimeFault, ParallelForRethrowsFirstIterationError) {
+    const auto failures_before =
+        trace::counters::get("runtime.parallel_for.iteration_exceptions").value();
+    try {
+        runtime::parallel_for(
+            0, 1000,
+            [](std::int64_t i) {
+                if (i == 500) throw std::runtime_error("iteration 500 failed");
+            },
+            {.threads = 4});
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "iteration 500 failed");
+    }
+    EXPECT_GT(trace::counters::get("runtime.parallel_for.iteration_exceptions").value(),
+              failures_before);
+}
+
+TEST(RuntimeFault, ParallelForCancelsRemainingIterations) {
+    std::atomic<std::int64_t> executed{0};
+    EXPECT_THROW(runtime::parallel_for(
+                     0, 100000,
+                     [&](std::int64_t i) {
+                         if (i == 0) throw std::runtime_error("first iteration failed");
+                         executed.fetch_add(1, std::memory_order_relaxed);
+                         std::this_thread::sleep_for(std::chrono::microseconds(10));
+                     },
+                     {.threads = 4}),
+                 std::runtime_error);
+    // The cancellation flag must have cut the other chunks short.
+    EXPECT_LT(executed.load(), 100000 - 1);
+}
+
+TEST(RuntimeFault, ThreadPoolCapturesTaskExceptions) {
+    runtime::ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    std::exception_ptr error;
+    for (int i = 0; i < 2000 && !error; ++i) {
+        error = pool.take_error();
+        if (!error) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_NE(error, nullptr);
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task failed");
+    }
+    // Retrieval clears the slot.
+    EXPECT_EQ(pool.take_error(), nullptr);
+}
+
+}  // namespace
+}  // namespace ap

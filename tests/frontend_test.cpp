@@ -398,5 +398,105 @@ TEST(Parser, RoundTripThroughPrinterReparses) {
     EXPECT_EQ(ir::count_statements(prog2), ir::count_statements(prog));
 }
 
+// --- error recovery (docs/ROBUSTNESS.md) ------------------------------------
+//
+// The parser resynchronizes at statement boundaries and collects up to
+// Parser::kMaxDiagnostics errors per file before throwing one
+// ParseError that carries all of them.
+
+std::vector<Diagnostic> diagnostics_of(const std::string& src) {
+    try {
+        (void)parse(src, "BAD");
+    } catch (const ParseError& e) {
+        return e.diagnostics();
+    }
+    return {};
+}
+
+TEST(ParserRecovery, CollectsMultipleStatementErrors) {
+    const auto diags = diagnostics_of("PROGRAM P\n"
+                                      "  X = * 3\n"
+                                      "  Y = 1\n"
+                                      "  Z = + * 2\n"
+                                      "END\n");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].loc.line, 2);
+    EXPECT_EQ(diags[1].loc.line, 4);
+}
+
+TEST(ParserRecovery, CombinedErrorNamesFirstAndCountsTheRest) {
+    try {
+        (void)parse("PROGRAM P\n  X = * 3\n  Y = * 4\n  Z = * 5\nEND\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.diagnostics().size(), 3u);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos);
+        EXPECT_NE(what.find("and 2 more error"), std::string::npos);
+    }
+}
+
+TEST(ParserRecovery, UnterminatedStringRecoversAtLineEnd) {
+    const auto diags = diagnostics_of("PROGRAM P\n"
+                                      "  PRINT *, 'no closing quote\n"
+                                      "  X = 1\n"
+                                      "  PRINT *, 'another one\n"
+                                      "END\n");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_NE(diags[0].message.find("unterminated string"), std::string::npos);
+    EXPECT_EQ(diags[0].loc.line, 2);
+    EXPECT_EQ(diags[1].loc.line, 4);
+}
+
+TEST(ParserRecovery, BadDottedOperatorDoesNotStopTheFile) {
+    const auto diags = diagnostics_of("PROGRAM P\n"
+                                      "  IF (X .LQ. 1) Y = 2\n"
+                                      "  Z = * 9\n"
+                                      "END\n");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_NE(diags[0].message.find("dotted operator"), std::string::npos);
+    EXPECT_EQ(diags[1].loc.line, 3);
+}
+
+TEST(ParserRecovery, ScalarUsedAsArrayIsOneDiagnosticAmongOthers) {
+    const auto diags = diagnostics_of("PROGRAM P\n"
+                                      "  REAL X\n"
+                                      "  Y = X(3)\n"
+                                      "  Z = * 1\n"
+                                      "END\n");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].loc.line, 3);
+    EXPECT_EQ(diags[1].loc.line, 4);
+}
+
+TEST(ParserRecovery, LaterRoutinesStillParsedAfterABadOne) {
+    // The sync point after an unparseable routine header is the next
+    // routine keyword; the second subroutine's error must be found too.
+    const auto diags = diagnostics_of("PROGRAM P\n"
+                                      "  CALL A()\n"
+                                      "END\n"
+                                      "SUBROUTINE A()\n"
+                                      "  X = * 2\n"
+                                      "END\n"
+                                      "SUBROUTINE B()\n"
+                                      "  Y = * 3\n"
+                                      "END\n");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].loc.line, 5);
+    EXPECT_EQ(diags[1].loc.line, 8);
+}
+
+TEST(ParserRecovery, DiagnosticsAreCappedPerFile) {
+    std::string src = "PROGRAM P\n";
+    for (int i = 0; i < 40; ++i) src += "  X = * " + std::to_string(i) + "\n";
+    src += "END\n";
+    const auto diags = diagnostics_of(src);
+    EXPECT_EQ(diags.size(), Parser::kMaxDiagnostics);
+}
+
+TEST(ParserRecovery, CleanSourceStillThrowsNothing) {
+    EXPECT_NO_THROW((void)parse(kSmallProgram, "OK"));
+}
+
 }  // namespace
 }  // namespace ap::frontend

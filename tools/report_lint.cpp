@@ -75,8 +75,53 @@ void check_passes_complete(const Value& passes) {
     }
 }
 
-void check_bench(const std::string& bench, const Value& data) {
+// fig1 --chaos reports: a non-empty run list, each run fully described,
+// and at least one fault actually injected (a chaos sweep that injected
+// nothing proves nothing).
+void check_chaos(const Value& chaos, const Value* counters) {
+    require(chaos, "deck", "string");
+    require(chaos, "seeds", "number");
+    require(chaos, "total_runs", "number");
+    require(chaos, "degraded_runs", "number");
+    const Value* runs = require(chaos, "runs", "array");
+    if (!runs) return;
+    if (runs->size() == 0) {
+        fail("\"chaos.runs\" is empty");
+        return;
+    }
+    for (const Value& run : *runs->as_array()) {
+        if (!run.is_object()) {
+            fail("chaos.runs[] entry is not an object");
+            continue;
+        }
+        require(run, "seed", "number");
+        require(run, "kind", "string");
+        require(run, "plan", "string");
+        require(run, "attempts", "number");
+        require(run, "degraded", "bool");
+        const Value* match = require(run, "checksum_match", "bool");
+        if (match && !match->as_bool()) fail("chaos.runs[] entry has checksum_match=false");
+    }
+    bool any_injected = false;
+    if (counters && counters->as_object()) {
+        for (const auto& [name, v] : *counters->as_object()) {
+            if (name.rfind("fault.injected.", 0) == 0 && v.as_int() > 0) any_injected = true;
+        }
+    }
+    if (!any_injected) fail("chaos report has no nonzero \"fault.injected.*\" counter");
+}
+
+void check_bench(const std::string& bench, const Value& data, const Value* counters) {
     if (bench == "fig1") {
+        // Chaos sweeps (`--chaos N`) replace the decks payload.
+        if (const Value* chaos = data.find("chaos")) {
+            if (!chaos->is_object()) {
+                fail("\"chaos\" is not an object");
+                return;
+            }
+            check_chaos(*chaos, counters);
+            return;
+        }
         const Value* decks = require(data, "decks", "array");
         if (!decks || decks->size() == 0) {
             if (decks) fail("\"decks\" is empty");
@@ -115,6 +160,39 @@ void check_bench(const std::string& bench, const Value& data) {
         check_codes(data, {"total_targets", "histogram"});
     } else {
         fail("unknown bench \"" + bench + "\"");
+    }
+}
+
+// Every report's counters snapshot must satisfy the fault accounting
+// invariant (docs/ROBUSTNESS.md): for each kind K,
+//   fault.injected.K == fault.recovered.K + fault.fatal.K
+// (an absent counter reads as 0), and all fault.*/mpi.* counters must be
+// non-negative numbers.
+void check_fault_counters(const Value& counters) {
+    const Value::Object* obj = counters.as_object();
+    if (!obj) return;
+    auto count = [&](const std::string& name) -> std::int64_t {
+        const Value* v = counters.find(name);
+        return v ? v->as_int() : 0;
+    };
+    for (const auto& [name, v] : *obj) {
+        const bool fault_family = name.rfind("fault.", 0) == 0 || name.rfind("mpi.", 0) == 0;
+        if (!fault_family) continue;
+        if (!v.is_number()) {
+            fail("counter \"" + name + "\" is not a number");
+        } else if (v.as_int() < 0) {
+            fail("counter \"" + name + "\" is negative");
+        }
+    }
+    for (const char* kind : {"drop", "delay", "duplicate", "stall", "crash"}) {
+        const std::int64_t injected = count(std::string("fault.injected.") + kind);
+        const std::int64_t recovered = count(std::string("fault.recovered.") + kind);
+        const std::int64_t fatal = count(std::string("fault.fatal.") + kind);
+        if (injected != recovered + fatal) {
+            fail("fault accounting imbalance for \"" + std::string(kind) + "\": injected=" +
+                 std::to_string(injected) + " != recovered=" + std::to_string(recovered) +
+                 " + fatal=" + std::to_string(fatal));
+        }
     }
 }
 
@@ -158,7 +236,8 @@ int main(int argc, char** argv) {
     if (bench && argc == 3 && bench->as_string() != argv[2]) {
         fail("bench is \"" + bench->as_string() + "\", expected \"" + argv[2] + "\"");
     }
-    if (bench && data) check_bench(bench->as_string(), *data);
+    if (counters) check_fault_counters(*counters);
+    if (bench && data) check_bench(bench->as_string(), *data, counters);
 
     if (g_failures) {
         std::fprintf(stderr, "report_lint: %s: %d problem(s)\n", argv[1], g_failures);
