@@ -25,18 +25,23 @@ struct Row {
     std::size_t statements = 0;
     core::PassTimes times;
     double total = 0;
+    std::vector<guard::Incident> incidents;
 };
 
-Row measure(const corpus::CorpusProgram& corpus, int repeats) {
+Row measure(const corpus::CorpusProgram& corpus, int repeats, const core::BenchArgs& args) {
     Row row;
     row.name = corpus.name;
     for (int rep = 0; rep < repeats; ++rep) {
         auto prog = corpus::load(corpus);
         core::CompilerOptions opts;
         opts.loop_op_budget = corpus.loop_op_budget;
+        core::apply_budget_args(args, opts);
         auto report = core::compile(prog, opts);
         row.statements = report.statements;
         row.times += report.times;
+        // Keep one representative incident set (deterministic across
+        // repeats; folding all repeats would just duplicate it).
+        if (rep == 0) row.incidents = std::move(report.incidents);
     }
     const auto reps = static_cast<std::uint64_t>(repeats);
     for (auto& s : row.times.seconds) s /= repeats;
@@ -60,7 +65,7 @@ int main(int argc, char** argv) {
     std::printf("(averaged over %d compilations per code set)\n\n", repeats);
 
     std::vector<Row> rows;
-    for (const auto* c : corpus::all()) rows.push_back(measure(*c, repeats));
+    for (const auto* c : corpus::all()) rows.push_back(measure(*c, repeats, args));
 
     core::Table per_stmt({"pass \\ code", "Seismic", "GAMESS", "Sander", "Perf. Bench.",
                           "Linpack"});
@@ -137,6 +142,19 @@ int main(int argc, char** argv) {
         json::Value data = json::Value::object();
         data.set("repeats", repeats);
         data.set("codes", std::move(codes));
+        {
+            std::vector<guard::Incident> all;
+            for (const auto& row : rows) {
+                all.insert(all.end(), row.incidents.begin(), row.incidents.end());
+            }
+            std::int64_t fatal = 0;
+            for (const auto& inc : all) fatal += inc.fatal ? 1 : 0;
+            json::Value compiler = json::Value::object();
+            compiler.set("incidents", core::incidents_json(all));
+            compiler.set("degraded", static_cast<std::int64_t>(all.size()) - fatal);
+            compiler.set("fatal", fatal);
+            data.set("compiler", std::move(compiler));
+        }
         if (!core::write_bench_report(args.json_path, "fig2", std::move(data), failures == 0)) {
             std::fprintf(stderr, "fig2: cannot write %s\n", args.json_path.c_str());
             return EXIT_FAILURE;

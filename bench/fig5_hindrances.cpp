@@ -40,13 +40,16 @@ int main(int argc, char** argv) {
                                             &corpus::sander()};
     std::map<std::string, std::map<ir::Hindrance, int>> histograms;
     std::map<std::string, int> totals;
+    std::vector<guard::Incident> incidents;
     for (const auto* c : codes) {
         auto prog = corpus::load(*c);
         core::CompilerOptions opts;
         opts.loop_op_budget = c->loop_op_budget;
+        core::apply_budget_args(args, opts);
         auto report = core::compile(prog, opts);
         histograms[c->name] = report.target_histogram();
         totals[c->name] = report.target_loops();
+        incidents.insert(incidents.end(), report.incidents.begin(), report.incidents.end());
     }
 
     core::Table table({"category", "Seismic", "GAMESS", "Sander"});
@@ -100,6 +103,15 @@ int main(int argc, char** argv) {
         }
         json::Value data = json::Value::object();
         data.set("codes", std::move(code_list));
+        {
+            std::int64_t fatal = 0;
+            for (const auto& inc : incidents) fatal += inc.fatal ? 1 : 0;
+            json::Value compiler = json::Value::object();
+            compiler.set("incidents", core::incidents_json(incidents));
+            compiler.set("degraded", static_cast<std::int64_t>(incidents.size()) - fatal);
+            compiler.set("fatal", fatal);
+            data.set("compiler", std::move(compiler));
+        }
         if (!core::write_bench_report(args.json_path, "fig5", std::move(data), failures == 0)) {
             std::fprintf(stderr, "fig5: cannot write %s\n", args.json_path.c_str());
             return EXIT_FAILURE;

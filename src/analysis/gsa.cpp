@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <set>
 
+#include "trace/counters.hpp"
+
 namespace ap::analysis {
 
 namespace {
+
+/// Nesting cap for the GSA walk. The parser bounds source nesting, but
+/// inline expansion can splice bodies arbitrarily deep; past the cap the
+/// translation stops descending (a counted trip, analysis.gsa_depth_trips)
+/// instead of blowing the stack — the enclosing constructs still get
+/// their gates.
+constexpr int kMaxGsaDepth = 512;
 
 class GsaBuilder {
 public:
@@ -15,6 +24,13 @@ public:
     /// caller to count gamma merges at IF joins).
     std::set<std::string> walk(const ir::Block& b) {
         std::set<std::string> defined;
+        if (block_depth_ >= kMaxGsaDepth) {
+            static trace::Counter& depth_trips =
+                trace::counters::get("analysis.gsa_depth_trips");
+            depth_trips.add();
+            return defined;
+        }
+        ++block_depth_;
         for (const auto& sp : b) {
             const ir::Stmt& s = *sp;
             switch (s.kind()) {
@@ -69,6 +85,7 @@ public:
                     break;
             }
         }
+        --block_depth_;
         return defined;
     }
 
@@ -88,6 +105,7 @@ private:
     std::vector<const ir::Expr*> guards_;
     std::vector<bool> polarity_;
     int loop_depth_ = 0;
+    int block_depth_ = 0;
 };
 
 }  // namespace

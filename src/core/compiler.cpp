@@ -1,6 +1,7 @@
 #include "core/compiler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "analysis/access.hpp"
@@ -14,6 +15,7 @@
 #include "analysis/reduction.hpp"
 #include "analysis/regions.hpp"
 #include "dependence/ddtest.hpp"
+#include "guard/guard.hpp"
 #include "ir/visit.hpp"
 #include "trace/counters.hpp"
 #include "trace/trace.hpp"
@@ -46,16 +48,18 @@ std::map<ir::Hindrance, int> CompileReport::target_histogram() const {
 namespace {
 
 /// Analyzes every loop of one routine, outermost first, recursing into
-/// bodies so inner loops also get verdicts.
+/// bodies so inner loops also get verdicts. Each per-loop pass runs as a
+/// guarded unit: a budget trip or contained exception degrades only this
+/// loop (to Hindrance::Complexity), never the compile.
 void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions& options,
                    const dependence::RoutineContext& rc, CompileReport& report,
-                   PassTimes& times) {
+                   PassTimes& times, guard::Budget& budget, guard::IncidentLog& log) {
     for (auto& sp : block) {
         ir::Stmt& s = *sp;
         if (s.kind() == ir::StmtKind::If) {
             auto& i = static_cast<ir::IfStmt&>(s);
-            analyze_loops(i.then_block, routine, options, rc, report, times);
-            analyze_loops(i.else_block, routine, options, rc, report, times);
+            analyze_loops(i.then_block, routine, options, rc, report, times, budget, log);
+            analyze_loops(i.else_block, routine, options, rc, report, times, budget, log);
             continue;
         }
         if (s.kind() != ir::StmtKind::Do) continue;
@@ -68,21 +72,32 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
 
         dependence::LoopContext lc;
         lc.op_budget = options.loop_op_budget;
+        lc.prover_max_depth = options.prover_max_depth;
+        lc.budget = &budget;
+
+        const auto loop_t0 = std::chrono::steady_clock::now();
+        auto loop_elapsed = [&loop_t0] {
+            return std::chrono::duration<double>(std::chrono::steady_clock::now() - loop_t0)
+                .count();
+        };
 
         // Reduction recognition.
         std::vector<analysis::Reduction> reds;
-        {
-            PassTimer t(times, PassId::Reduction);
-            reds = analysis::find_reductions(loop);
-        }
+        bool ok = guard::guarded(log, to_string(PassId::Reduction), routine.name, loop.loop_id,
+                                 [&] {
+                                     PassTimer t(times, PassId::Reduction);
+                                     reds = analysis::find_reductions(loop);
+                                 });
         for (const auto& r : reds) lc.reductions.insert(r.var);
 
         // Privatization.
         analysis::PrivatizationResult priv;
-        {
-            PassTimer t(times, PassId::Privatization);
-            priv = analysis::privatize(loop, routine, rc.ranges->env, *rc.consts);
-        }
+        ok = ok && guard::guarded(log, to_string(PassId::Privatization), routine.name,
+                                  loop.loop_id, [&] {
+                                      PassTimer t(times, PassId::Privatization);
+                                      priv = analysis::privatize(loop, routine, rc.ranges->env,
+                                                                 *rc.consts);
+                                  });
         for (const auto& name : priv.scalars) lc.privates.insert(name);
         for (const auto& name : priv.arrays) lc.privates.insert(name);
         // A reduction variable must not also be listed private.
@@ -90,9 +105,34 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
 
         // Data-dependence test.
         dependence::LoopDependenceResult dd;
-        {
-            PassTimer t(times, PassId::DataDependence);
-            dd = dependence::test_loop(loop, rc, lc);
+        ok = ok && guard::guarded(log, to_string(PassId::DataDependence), routine.name,
+                                  loop.loop_id, [&] {
+                                      PassTimer t(times, PassId::DataDependence);
+                                      dd = dependence::test_loop(loop, rc, lc);
+                                  });
+        if (!ok) {
+            // A guarded unit failed: this loop keeps a verdict (the
+            // paper's compile-time Complexity hindrance) and compilation
+            // continues with the next loop.
+            dd = {};
+            dd.blocker = ir::Hindrance::Complexity;
+            dd.trip = budget.tripped() ? budget.cause() : guard::TripCause::Exception;
+            dd.reason = dd.trip == guard::TripCause::Exception
+                            ? "analysis failed and was contained by the compile guard"
+                            : "analysis abandoned: compile budget exhausted";
+        } else if (dd.blocker == ir::Hindrance::Complexity &&
+                   dd.trip != guard::TripCause::None) {
+            // The dependence test gave up within its own budget; surface
+            // that as a (degraded) incident so budget-pressure runs show
+            // up in `compiler.incidents`.
+            guard::Incident inc;
+            inc.pass = std::string(to_string(PassId::DataDependence));
+            inc.routine = routine.name;
+            inc.loop_id = loop.loop_id;
+            inc.cause = dd.trip;
+            inc.detail = dd.reason;
+            inc.elapsed_seconds = loop_elapsed();
+            log.record(std::move(inc));
         }
         loop_span.arg("pairs_tested", dd.pairs_tested);
         loop_span.arg("symbolic_ops", dd.symbolic_ops);
@@ -119,7 +159,7 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         lr.symbolic_ops = dd.symbolic_ops;
         report.loops.push_back(std::move(lr));
 
-        analyze_loops(loop.body, routine, options, rc, report, times);
+        analyze_loops(loop.body, routine, options, rc, report, times, budget, log);
     }
 }
 
@@ -136,27 +176,39 @@ CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
     compile_span.arg("program", prog.name);
     compile_span.arg("statements", report.statements);
 
+    // Compile-wide resource budget (deadline) and the incident log every
+    // guarded unit reports into. A whole-program pass that fails degrades
+    // to its identity result; per-routine and per-loop failures degrade
+    // only the offending unit.
+    guard::BudgetLimits limits;
+    limits.deadline_seconds = options.deadline_seconds;
+    guard::Budget budget(limits);
+    guard::IncidentLog log;
+
     // GSA translation (per routine, on the original code).
     {
         PassTimer t(report.times, PassId::GsaTranslation);
         for (const auto* r : prog.routines()) {
-            (void)analysis::build_gsa(*r);
+            guard::guarded(log, to_string(PassId::GsaTranslation), r->name, -1,
+                           [&] { (void)analysis::build_gsa(*r); });
         }
     }
 
     // Interprocedural constant propagation (pre-inline).
     analysis::ConstPropResult consts;
-    {
+    guard::guarded(log, to_string(PassId::InterproceduralConstProp), "", -1, [&] {
         PassTimer t(report.times, PassId::InterproceduralConstProp);
         analysis::CallGraph cg0(prog);
         consts = analysis::propagate_constants(prog, cg0);
-    }
+    });
 
     // Inline expansion.
     if (options.do_inline) {
-        PassTimer t(report.times, PassId::InlineExpansion);
-        auto res = analysis::inline_calls(prog, options.inline_options);
-        report.inlined_calls = res.inlined;
+        guard::guarded(log, to_string(PassId::InlineExpansion), "", -1, [&] {
+            PassTimer t(report.times, PassId::InlineExpansion);
+            auto res = analysis::inline_calls(prog, options.inline_options);
+            report.inlined_calls = res.inlined;
+        });
     }
 
     // Induction variable substitution (post-inline, innermost first).
@@ -164,25 +216,30 @@ CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
         PassTimer t(report.times, PassId::InductionSubstitution);
         for (auto* r : prog.routines()) {
             if (!r->is_foreign()) {
-                report.induction_substitutions += analysis::substitute_inductions_in_routine(*r);
+                guard::guarded(log, to_string(PassId::InductionSubstitution), r->name, -1, [&] {
+                    report.induction_substitutions +=
+                        analysis::substitute_inductions_in_routine(*r);
+                });
             }
         }
     }
 
     // Re-derive whole-program facts on the transformed code.
     analysis::CallGraph cg(prog);
-    {
+    guard::guarded(log, to_string(PassId::InterproceduralConstProp), "", -1, [&] {
         PassTimer t(report.times, PassId::InterproceduralConstProp);
         consts = analysis::propagate_constants(prog, cg);
-    }
+    });
     std::map<std::string, analysis::AliasInfo> aliases;
     analysis::SummaryMap summaries;
     {
         // Alias analysis and region summaries feed the dependence test;
         // attribute them there, as the paper's Polaris instrumentation does.
         PassTimer t(report.times, PassId::DataDependence);
-        aliases = analysis::analyze_aliases(prog, cg);
-        summaries = analysis::summarize_program(prog, cg, consts);
+        guard::guarded(log, "alias analysis", "", -1,
+                       [&] { aliases = analysis::analyze_aliases(prog, cg); });
+        guard::guarded(log, "region summaries", "", -1,
+                       [&] { summaries = analysis::summarize_program(prog, cg, consts); });
     }
 
     for (auto* r : prog.routines()) {
@@ -190,10 +247,10 @@ CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
         trace::Span routine_span("routine", "compile");
         routine_span.arg("routine", r->name);
         analysis::RangeInfo ranges;
-        {
+        guard::guarded(log, to_string(PassId::Other), r->name, -1, [&] {
             PassTimer t(report.times, PassId::Other);
             ranges = analysis::analyze_ranges(*r, consts.of(r->name));
-        }
+        });
         dependence::RoutineContext rc;
         rc.routine = r;
         rc.consts = &consts.of(r->name);
@@ -201,8 +258,9 @@ CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
         rc.aliases = &aliases[r->name];
         rc.summaries = &summaries;
         rc.callgraph = &cg;
-        analyze_loops(r->body, *r, options, rc, report, report.times);
+        analyze_loops(r->body, *r, options, rc, report, report.times, budget, log);
     }
+    report.incidents = log.incidents();
     return report;
 }
 

@@ -6,7 +6,9 @@
 
 #include "analysis/inline.hpp"
 #include "core/passes.hpp"
+#include "guard/guard.hpp"
 #include "ir/program.hpp"
+#include "symbolic/range.hpp"
 
 namespace ap::core {
 
@@ -18,6 +20,13 @@ struct CompilerOptions {
     /// Hindrance::Complexity (the paper's "reasonable compile-time limit",
     /// made deterministic by counting engine operations).
     std::uint64_t loop_op_budget = 2'000'000;
+    /// Wall-clock cap for the whole compile (0 = unlimited). Once the
+    /// deadline passes, remaining loops degrade to Hindrance::Complexity
+    /// instead of being analyzed.
+    double deadline_seconds = 0;
+    /// Recursion allowance for the symbolic Prover's range chasing;
+    /// exhaustion is counted (symbolic.prover_depth_trips), not fatal.
+    int prover_max_depth = symbolic::Prover::kDefaultMaxDepth;
     analysis::InlineOptions inline_options{};
 };
 
@@ -44,6 +53,9 @@ struct CompileReport {
     std::vector<LoopReport> loops;
     int inlined_calls = 0;
     int induction_substitutions = 0;
+    /// Guarded-pass failures (budget trips, contained exceptions) in
+    /// pipeline order — the `compiler.incidents` report section.
+    std::vector<guard::Incident> incidents;
 
     [[nodiscard]] double total_seconds() const { return times.total_seconds(); }
     [[nodiscard]] double seconds_per_statement() const {

@@ -84,14 +84,52 @@ BenchArgs parse_bench_args(int argc, char** argv) {
                 return args;
             }
             args.chaos = std::atoi(v);
+        } else if (std::strcmp(a, "--budget-ops") == 0) {
+            const char* v = value();
+            if (!v || std::atoll(v) <= 0) {
+                args.ok = false;
+                args.error = "--budget-ops requires a positive op count";
+                return args;
+            }
+            args.budget_ops = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (std::strcmp(a, "--deadline-ms") == 0) {
+            const char* v = value();
+            if (!v || std::atof(v) <= 0) {
+                args.ok = false;
+                args.error = "--deadline-ms requires a positive duration";
+                return args;
+            }
+            args.deadline_ms = std::atof(v);
         } else {
             args.ok = false;
             args.error = std::string("unknown argument: ") + a +
-                         " (supported: --json <path>, --repeats <n>, --chaos <seeds>)";
+                         " (supported: --json <path>, --repeats <n>, --chaos <seeds>, "
+                         "--budget-ops <n>, --deadline-ms <n>)";
             return args;
         }
     }
     return args;
+}
+
+void apply_budget_args(const BenchArgs& args, CompilerOptions& options) {
+    if (args.budget_ops) options.loop_op_budget = args.budget_ops;
+    if (args.deadline_ms > 0) options.deadline_seconds = args.deadline_ms / 1000.0;
+}
+
+trace::json::Value incidents_json(const std::vector<guard::Incident>& incidents) {
+    trace::json::Value arr = trace::json::Value::array();
+    for (const auto& inc : incidents) {
+        trace::json::Value o = trace::json::Value::object();
+        o.set("pass", inc.pass);
+        o.set("routine", inc.routine);
+        o.set("loop", inc.loop_id);
+        o.set("cause", std::string(guard::to_string(inc.cause)));
+        o.set("detail", inc.detail);
+        o.set("elapsed_seconds", inc.elapsed_seconds);
+        o.set("fatal", inc.fatal);
+        arr.push_back(std::move(o));
+    }
+    return arr;
 }
 
 trace::json::Value pass_times_json(const PassTimes& times) {

@@ -44,13 +44,27 @@ struct BenchArgs {
     std::string json_path;  ///< empty = no JSON report requested
     int repeats = 0;        ///< 0 = bench default
     int chaos = 0;          ///< fig1: run the seeded fault sweep with this many seeds
+    /// Budget-pressure knobs: override the per-loop symbolic-op budget /
+    /// set a compile deadline, so the benches can exercise ap::guard
+    /// degradation paths (populated `compiler.incidents`). 0 = bench
+    /// defaults (no pressure).
+    std::uint64_t budget_ops = 0;
+    double deadline_ms = 0;
     bool ok = true;         ///< false on malformed argv (bench should exit 2)
     std::string error;
 };
 
-/// Parses `--json <path>`, `--repeats <n>` and `--chaos <seeds>`;
-/// unknown arguments fail.
+/// Parses `--json <path>`, `--repeats <n>`, `--chaos <seeds>`,
+/// `--budget-ops <n>` and `--deadline-ms <n>`; unknown arguments fail.
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
+
+/// Applies the budget-pressure knobs of `args` to compiler options.
+void apply_budget_args(const BenchArgs& args, CompilerOptions& options);
+
+/// The `compiler.incidents` section: an array of structured incident
+/// records (pass, routine, loop, cause, detail, elapsed_seconds, fatal).
+[[nodiscard]] trace::json::Value incidents_json(
+    const std::vector<guard::Incident>& incidents);
 
 /// Per-pass {seconds, symbolic_ops} keyed by pass name, all 8 passes.
 [[nodiscard]] trace::json::Value pass_times_json(const PassTimes& times);

@@ -148,7 +148,7 @@ public:
         analyze();
         result.symbolic_ops = symbolic::OpCounter::count() - ops_start;
         result.pairs_tested = pairs_tested_;
-        if (result.symbolic_ops > lc_.op_budget) budget_exceeded_ = true;
+        if (result.symbolic_ops > lc_.op_budget) trip_budget(guard::TripCause::Ops);
         finalize(result);
 
         DdCounters& c = DdCounters::instance();
@@ -170,7 +170,10 @@ private:
         if (budget_exceeded_) {
             result.parallel = false;
             result.blocker = ir::Hindrance::Complexity;
-            result.reason = "symbolic analysis exceeded the compile-time budget";
+            result.trip = trip_cause_;
+            result.reason = trip_cause_ == guard::TripCause::Deadline
+                                ? "symbolic analysis exceeded the compile deadline"
+                                : "symbolic analysis exceeded the compile-time budget";
             return;
         }
         if (issues_.empty()) {
@@ -189,10 +192,20 @@ private:
 
     void note(ir::Hindrance h, std::string detail) { issues_.push_back({h, std::move(detail)}); }
 
+    void trip_budget(guard::TripCause cause) {
+        if (!budget_exceeded_) trip_cause_ = cause;
+        budget_exceeded_ = true;
+    }
+
     bool over_budget() {
         if (budget_exceeded_) return true;
-        // The budget is on ops consumed by this loop's analysis.
-        if (symbolic::OpCounter::count() - start_ops_ > lc_.op_budget) budget_exceeded_ = true;
+        // The budget is on ops consumed by this loop's analysis; the
+        // compile-wide deadline (when present) trips the same escape.
+        if (symbolic::OpCounter::count() - start_ops_ > lc_.op_budget) {
+            trip_budget(guard::TripCause::Ops);
+        } else if (lc_.budget && lc_.budget->expired()) {
+            trip_budget(lc_.budget->cause());
+        }
         return budget_exceeded_;
     }
 
@@ -522,7 +535,7 @@ private:
     DimOutcome range_test(const LinearForm& a_min, const LinearForm& a_max,
                           const LinearForm& b_min, const LinearForm& b_max,
                           const std::string& label, Issue& issue) {
-        Prover prover(env_);
+        Prover prover(env_, lc_.prover_max_depth);
         const std::string& I = loop_.var;
         const std::int64_t ca_lo = a_min.coeff_of(I);
         const std::int64_t ca_hi = a_max.coeff_of(I);
@@ -662,6 +675,7 @@ private:
     int pairs_tested_ = 0;
     std::uint64_t start_ops_ = 0;
     bool budget_exceeded_ = false;
+    guard::TripCause trip_cause_ = guard::TripCause::Ops;
 };
 
 }  // namespace

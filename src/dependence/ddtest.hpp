@@ -9,6 +9,8 @@
 #include "analysis/constprop.hpp"
 #include "analysis/ranges.hpp"
 #include "analysis/regions.hpp"
+#include "guard/guard.hpp"
+#include "symbolic/range.hpp"
 
 namespace ap::dependence {
 
@@ -21,6 +23,9 @@ struct LoopDependenceResult {
     std::string reason;
     int pairs_tested = 0;          ///< array reference pairs examined
     std::uint64_t symbolic_ops = 0;  ///< OpCounter delta consumed
+    /// What cut the analysis short when blocker == Complexity (Ops for
+    /// the per-loop op budget, Deadline for the compile-wide wall clock).
+    guard::TripCause trip = guard::TripCause::None;
 };
 
 /// Inputs shared across loops of one routine.
@@ -42,6 +47,13 @@ struct LoopContext {
     /// limit, made deterministic by counting engine operations instead of
     /// wall-clock).
     std::uint64_t op_budget = 50'000'000;
+    /// Recursion budget for the symbolic Prover's range chasing
+    /// (CompilerOptions::prover_max_depth).
+    int prover_max_depth = symbolic::Prover::kDefaultMaxDepth;
+    /// Compile-wide resource budget, when the driver runs one; a deadline
+    /// trip mid-analysis degrades this loop to Complexity exactly like an
+    /// op-budget trip.
+    guard::Budget* budget = nullptr;
 };
 
 /// Tests whether `loop` can be run in parallel: no loop-carried

@@ -85,15 +85,24 @@ void Lexer::lex_number(std::vector<Token>& out) {
     Token t;
     t.loc = loc;
     t.text = text;
+    // std::from_chars reports overflow as an error code instead of the
+    // exceptions std::stoll/std::stod would let escape the lexer.
     if (is_real) {
         for (auto& c : text) {
             if (c == 'D' || c == 'd') c = 'e';
         }
         t.kind = TokenKind::RealLit;
-        t.real_value = std::stod(text);
+        const auto [p, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), t.real_value);
+        if (ec != std::errc{} || p != text.data() + text.size()) {
+            throw ParseError("real literal '" + text + "' out of range", loc);
+        }
     } else {
         t.kind = TokenKind::IntLit;
-        t.int_value = std::stoll(text);
+        const auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), t.int_value);
+        if (ec != std::errc{} || p != text.data() + text.size()) {
+            throw ParseError("integer literal '" + text + "' out of range", loc);
+        }
     }
     out.push_back(std::move(t));
 }
@@ -210,7 +219,11 @@ std::vector<Token> Lexer::tokenize(std::vector<Diagnostic>* diags) {
             continue;
         }
         if (std::isdigit(static_cast<unsigned char>(c))) {
-            lex_number(out);
+            try {
+                lex_number(out);
+            } catch (const ParseError& e) {
+                fail(e);
+            }
             continue;
         }
         if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
@@ -219,7 +232,11 @@ std::vector<Token> Lexer::tokenize(std::vector<Diagnostic>* diags) {
         }
         if (c == '.') {
             if (std::isdigit(static_cast<unsigned char>(peek(1)))) {
-                lex_number(out);  // .5 style literal
+                try {
+                    lex_number(out);  // .5 style literal
+                } catch (const ParseError& e) {
+                    fail(e);
+                }
                 continue;
             }
             try {

@@ -19,6 +19,24 @@ bool is_intrinsic(const std::string& name) {
     return std::find(kIntrinsics.begin(), kIntrinsics.end(), name) != kIntrinsics.end();
 }
 
+/// Exception-safe recursion accounting: throws before the productions
+/// recurse past the cap (ParseError unwinds through parse_block's
+/// recovery, so the counter must decrement on that path too).
+class DepthScope {
+public:
+    DepthScope(int& depth, int cap, const char* what, ir::SourceLoc loc) : depth_(depth) {
+        if (++depth_ > cap) {
+            throw ParseError(std::string(what) + " nested too deeply", loc);
+        }
+    }
+    ~DepthScope() { --depth_; }
+    DepthScope(const DepthScope&) = delete;
+    DepthScope& operator=(const DepthScope&) = delete;
+
+private:
+    int& depth_;
+};
+
 }  // namespace
 
 Parser::Parser(std::string_view source) {
@@ -126,7 +144,14 @@ ir::Program Parser::parse_program(std::string program_name) {
             continue;
         }
         try {
-            prog.add_routine(parse_routine());
+            auto routine = parse_routine();
+            try {
+                prog.add_routine(std::move(routine));
+            } catch (const std::invalid_argument& e) {
+                // Redefinition (e.g. a duplicated SUBROUTINE) is a source
+                // error, not an internal one; diagnose and keep going.
+                note(ParseError(e.what(), peek().loc));
+            }
         } catch (const ParseError& e) {
             // A header or END-matching error poisons the routine; keep
             // its diagnostics and resume at the next routine keyword.
@@ -450,6 +475,7 @@ ir::Block Parser::parse_block(const std::vector<std::string_view>& terminators) 
 
 ir::StmtPtr Parser::parse_statement() {
     const auto loc = peek().loc;
+    DepthScope depth(stmt_depth_, kMaxStmtDepth, "statements", loc);
     ir::StmtPtr s;
     if (check_ident("IF")) {
         s = parse_if();
@@ -464,6 +490,9 @@ ir::StmtPtr Parser::parse_statement() {
 }
 
 ir::StmtPtr Parser::parse_if() {
+    // Counted separately from parse_statement: ELSE IF chains recurse
+    // here directly.
+    DepthScope depth(stmt_depth_, kMaxStmtDepth, "statements", peek().loc);
     expect_ident("IF");
     expect(TokenKind::LParen, "'(' after IF");
     auto cond = parse_expr();
@@ -564,7 +593,10 @@ ir::ExprPtr Parser::parse_lvalue() {
     return ir::make_var(name);
 }
 
-ir::ExprPtr Parser::parse_expr() { return parse_or(); }
+ir::ExprPtr Parser::parse_expr() {
+    DepthScope depth(expr_depth_, kMaxExprDepth, "expression", peek().loc);
+    return parse_or();
+}
 
 ir::ExprPtr Parser::parse_or() {
     auto lhs = parse_and();
@@ -634,6 +666,9 @@ ir::ExprPtr Parser::parse_multiplicative() {
 }
 
 ir::ExprPtr Parser::parse_unary() {
+    // Counted against kMaxExprDepth: `-----x` and `2**2**...` chains
+    // recurse here without passing through parse_expr.
+    DepthScope depth(expr_depth_, kMaxExprDepth, "expression", peek().loc);
     if (accept(TokenKind::Minus)) {
         return ir::make_unary(ir::UnaryOp::Neg, parse_unary());
     }

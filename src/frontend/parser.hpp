@@ -40,6 +40,14 @@ public:
     /// looking for further errors (cascades past this point are noise).
     static constexpr std::size_t kMaxDiagnostics = 25;
 
+    /// Nesting caps: recursive descent means source nesting is stack
+    /// depth, so pathological inputs (fuzzed or generated) must hit a
+    /// ParseError before they hit the guard page. Statements count
+    /// DO/IF nesting; expressions count parenthesization plus unary and
+    /// `**` chains.
+    static constexpr int kMaxStmtDepth = 200;
+    static constexpr int kMaxExprDepth = 200;
+
 private:
     // token stream helpers
     [[nodiscard]] const Token& peek(int ahead = 0) const;
@@ -95,6 +103,8 @@ private:
     bool next_do_is_target_ = false;
     std::vector<Diagnostic> diags_;
     bool bailed_ = false;  ///< hit kMaxDiagnostics; stop collecting
+    int stmt_depth_ = 0;   ///< live DO/IF nesting (kMaxStmtDepth)
+    int expr_depth_ = 0;   ///< live expression recursion (kMaxExprDepth)
 };
 
 /// Convenience: parse and return; `name` labels the program in reports.

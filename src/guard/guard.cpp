@@ -1,0 +1,113 @@
+#include "guard/guard.hpp"
+
+#include "trace/counters.hpp"
+
+namespace ap::guard {
+
+std::string_view to_string(TripCause c) noexcept {
+    switch (c) {
+        case TripCause::None: return "none";
+        case TripCause::Deadline: return "deadline";
+        case TripCause::Ops: return "ops";
+        case TripCause::Recursion: return "recursion";
+        case TripCause::Steps: return "steps";
+        case TripCause::Exception: return "exception";
+    }
+    return "?";
+}
+
+namespace {
+
+struct GuardCounters {
+    trace::Counter& trips = trace::counters::get("guard.trips");
+    trace::Counter& incidents = trace::counters::get("guard.incidents");
+    trace::Counter& degraded = trace::counters::get("guard.degraded");
+    trace::Counter& fatal = trace::counters::get("guard.fatal");
+
+    static GuardCounters& instance() {
+        static GuardCounters c;
+        return c;
+    }
+};
+
+}  // namespace
+
+Budget::Budget(BudgetLimits limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+
+double Budget::elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+void Budget::trip(TripCause cause) noexcept {
+    TripCause expected = TripCause::None;
+    if (cause_.compare_exchange_strong(expected, cause, std::memory_order_relaxed)) {
+        GuardCounters::instance().trips.add();
+    }
+}
+
+bool Budget::expired() noexcept {
+    if (tripped()) return true;
+    if (limits_.deadline_seconds <= 0) return false;
+    // The clock is the expensive part; consult it once per stride.
+    if (polls_.fetch_add(1, std::memory_order_relaxed) % kClockStride != 0) return false;
+    if (elapsed_seconds() > limits_.deadline_seconds) trip(TripCause::Deadline);
+    return tripped();
+}
+
+void Budget::charge_ops(std::uint64_t n) noexcept {
+    const std::uint64_t total = ops_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (limits_.max_ops && total > limits_.max_ops) trip(TripCause::Ops);
+    (void)expired();
+}
+
+void Budget::count_step() noexcept {
+    const std::uint64_t total = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (limits_.max_steps && total > limits_.max_steps) trip(TripCause::Steps);
+    (void)expired();
+}
+
+void Budget::check() const {
+    const TripCause c = cause();
+    if (c == TripCause::None) return;
+    throw BudgetError(c, "budget exhausted: " + std::string(to_string(c)));
+}
+
+DepthGuard::DepthGuard(Budget& budget) noexcept : budget_(budget) {
+    const int depth = budget_.depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ok_ = !(budget_.limits_.max_recursion && depth > budget_.limits_.max_recursion);
+    if (!ok_) budget_.trip(TripCause::Recursion);
+}
+
+DepthGuard::~DepthGuard() { budget_.depth_.fetch_sub(1, std::memory_order_relaxed); }
+
+void IncidentLog::record(Incident incident) {
+    GuardCounters& c = GuardCounters::instance();
+    c.incidents.add();
+    if (incident.fatal) {
+        ++fatal_;
+        c.fatal.add();
+    } else {
+        ++degraded_;
+        c.degraded.add();
+    }
+    incidents_.push_back(std::move(incident));
+}
+
+namespace detail {
+
+void record_failure(IncidentLog& log, std::string_view pass, std::string_view routine,
+                    int loop_id, TripCause cause, const char* what, double elapsed) {
+    Incident inc;
+    inc.pass = std::string(pass);
+    inc.routine = std::string(routine);
+    inc.loop_id = loop_id;
+    inc.cause = cause;
+    inc.detail = what ? what : "";
+    inc.elapsed_seconds = elapsed;
+    log.record(std::move(inc));
+}
+
+}  // namespace detail
+
+}  // namespace ap::guard

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ap::guard {
+
+/// ap::guard — resource budgets and per-unit failure isolation for the
+/// compiler and interpreter (docs/ROBUSTNESS.md §compiler guards).
+///
+/// The paper's "compile-time complexity" hindrance (§2.5, Fig. 5) is
+/// Polaris *giving up gracefully*: a loop it cannot afford to analyze
+/// gets a verdict, not a crash. `Budget` makes "cannot afford" explicit
+/// and checkable at pass, routine, and loop granularity; `guarded()`
+/// turns any exception or budget trip inside one unit of work into a
+/// recorded `Incident` that degrades only that unit, so one pathological
+/// input never aborts a whole compile.
+
+// --- trip taxonomy ----------------------------------------------------------
+
+/// Why a budget tripped (or a guarded unit failed). Stable strings feed
+/// the `compiler.incidents` report section.
+enum class TripCause : unsigned char {
+    None,
+    Deadline,   ///< steady-clock deadline exceeded
+    Ops,        ///< symbolic-operation allowance exhausted
+    Recursion,  ///< recursion-depth watermark exceeded
+    Steps,      ///< interpreter statement-count cap exceeded
+    Exception,  ///< an exception escaped the guarded unit
+};
+
+[[nodiscard]] std::string_view to_string(TripCause c) noexcept;
+
+/// Thrown by Budget::check() (and by guarded code that polls a tripped
+/// budget) so deep call chains unwind to the enclosing guard. Catching
+/// this rather than std::runtime_error distinguishes "ran out of budget"
+/// from a logic bug.
+class BudgetError : public std::runtime_error {
+public:
+    BudgetError(TripCause cause, const std::string& what)
+        : std::runtime_error(what), cause_(cause) {}
+    [[nodiscard]] TripCause cause() const noexcept { return cause_; }
+
+private:
+    TripCause cause_;
+};
+
+// --- budget -----------------------------------------------------------------
+
+/// Resource allowances for one unit of work. A zero limit means
+/// "unlimited" for that axis.
+struct BudgetLimits {
+    double deadline_seconds = 0;   ///< wall-clock cap (steady clock)
+    std::uint64_t max_ops = 0;     ///< symbolic/engine operation cap
+    int max_recursion = 0;         ///< DepthGuard watermark
+    std::uint64_t max_steps = 0;   ///< interpreter statement cap
+};
+
+/// A steady-clock deadline plus op/step/recursion-depth counters,
+/// checkable cheaply from hot paths. Counter updates are relaxed atomics
+/// so the interpreter's parallel loops may share one budget; the clock
+/// is only consulted every `kClockStride` polls.
+///
+/// Every trip bumps the `guard.trips` counter and latches the first
+/// cause; once tripped, a budget stays tripped.
+class Budget {
+public:
+    explicit Budget(BudgetLimits limits = {});
+
+    [[nodiscard]] const BudgetLimits& limits() const noexcept { return limits_; }
+
+    /// Deadline poll (throttled). Returns true once tripped (any cause).
+    bool expired() noexcept;
+    /// Charges `n` operations against max_ops (and polls the deadline).
+    void charge_ops(std::uint64_t n = 1) noexcept;
+    /// Charges one interpreter statement (and polls the deadline).
+    void count_step() noexcept;
+
+    [[nodiscard]] bool tripped() const noexcept {
+        return cause_.load(std::memory_order_relaxed) != TripCause::None;
+    }
+    [[nodiscard]] TripCause cause() const noexcept {
+        return cause_.load(std::memory_order_relaxed);
+    }
+    /// Throws BudgetError when tripped; otherwise a no-op.
+    void check() const;
+
+    [[nodiscard]] double elapsed_seconds() const noexcept;
+
+    /// Latches a trip (first cause wins) and bumps `guard.trips`.
+    void trip(TripCause cause) noexcept;
+
+private:
+    friend class DepthGuard;
+    static constexpr std::uint64_t kClockStride = 1024;
+
+    BudgetLimits limits_;
+    std::chrono::steady_clock::time_point start_;
+    std::atomic<std::uint64_t> ops_{0};
+    std::atomic<std::uint64_t> steps_{0};
+    std::atomic<std::uint64_t> polls_{0};
+    std::atomic<int> depth_{0};
+    std::atomic<TripCause> cause_{TripCause::None};
+};
+
+/// RAII recursion-depth guard against a Budget's max_recursion. Usage:
+///
+///   DepthGuard d(budget);
+///   if (!d.ok()) return unknown_result;   // counted trip, no stack blow
+class DepthGuard {
+public:
+    explicit DepthGuard(Budget& budget) noexcept;
+    ~DepthGuard();
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+private:
+    Budget& budget_;
+    bool ok_;
+};
+
+// --- incidents --------------------------------------------------------------
+
+/// One degraded (or, pathologically, fatal) unit of compilation: the
+/// structured record behind the `compiler.incidents` report section.
+struct Incident {
+    std::string pass;      ///< pass name (core::to_string(PassId) vocabulary)
+    std::string routine;   ///< affected routine ("" = whole program)
+    int loop_id = -1;      ///< affected loop (-1 = not loop-scoped)
+    TripCause cause = TripCause::Exception;
+    std::string detail;    ///< human-readable diagnosis (exception text, limit)
+    double elapsed_seconds = 0;  ///< time spent in the unit before it tripped
+    bool fatal = false;    ///< guard could not contain the failure
+};
+
+/// Collects incidents for one compile and keeps the guard.* accounting:
+///   guard.incidents == guard.degraded + guard.fatal
+/// (tools/report_lint enforces this on every report; fatal must stay 0
+/// in tier-1 runs).
+class IncidentLog {
+public:
+    void record(Incident incident);
+
+    [[nodiscard]] const std::vector<Incident>& incidents() const noexcept { return incidents_; }
+    [[nodiscard]] int degraded() const noexcept { return degraded_; }
+    [[nodiscard]] int fatal() const noexcept { return fatal_; }
+
+private:
+    std::vector<Incident> incidents_;
+    int degraded_ = 0;
+    int fatal_ = 0;
+};
+
+// --- guarded execution ------------------------------------------------------
+
+namespace detail {
+/// Out-of-line incident construction keeps the template thin.
+void record_failure(IncidentLog& log, std::string_view pass, std::string_view routine,
+                    int loop_id, TripCause cause, const char* what, double elapsed);
+}  // namespace detail
+
+/// Runs `fn` as one isolatable unit: any BudgetError or std::exception
+/// escaping it is converted into a degraded Incident and `false` is
+/// returned; the caller continues with the unit's work skipped or its
+/// fallback verdict applied. Only non-std exceptions propagate.
+template <typename Fn>
+bool guarded(IncidentLog& log, std::string_view pass, std::string_view routine, int loop_id,
+             Fn&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&t0] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    };
+    try {
+        fn();
+        return true;
+    } catch (const BudgetError& e) {
+        detail::record_failure(log, pass, routine, loop_id, e.cause(), e.what(), elapsed());
+    } catch (const std::exception& e) {
+        detail::record_failure(log, pass, routine, loop_id, TripCause::Exception, e.what(),
+                               elapsed());
+    }
+    return false;
+}
+
+}  // namespace ap::guard

@@ -6,9 +6,12 @@
 #include <cstdio>
 #include <limits>
 #include <deque>
+#include <memory>
 #include <mutex>
 
+#include "guard/guard.hpp"
 #include "runtime/parallel_for.hpp"
+#include "trace/counters.hpp"
 
 namespace ap::interp {
 
@@ -19,9 +22,22 @@ struct ReturnSignal {};
 
 std::int64_t as_int(const Value& v, const char* what) {
     if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
-    if (const auto* d = std::get_if<double>(&v)) return static_cast<std::int64_t>(*d);
+    if (const auto* d = std::get_if<double>(&v)) {
+        // Guard the float->int conversion: out-of-range (or NaN) is UB.
+        constexpr double lo = -9223372036854775808.0;  // -2^63, exact
+        constexpr double hi = 9223372036854775808.0;   //  2^63, exact
+        if (!(*d >= lo && *d < hi)) {
+            throw RuntimeError(std::string("value out of INTEGER range in ") + what);
+        }
+        return static_cast<std::int64_t>(*d);
+    }
     if (const auto* b = std::get_if<bool>(&v)) return *b ? 1 : 0;
     throw RuntimeError(std::string("expected an integer value in ") + what);
+}
+
+std::int64_t checked(bool overflow, std::int64_t out, const char* op) {
+    if (overflow) throw RuntimeError(std::string("INTEGER overflow in ") + op);
+    return out;
 }
 
 double as_real(const Value& v, const char* what) {
@@ -123,7 +139,11 @@ struct Machine::Impl {
     std::vector<std::string> output;
     std::mutex output_mutex;
     std::mutex deck_mutex;
-    std::atomic<std::uint64_t> steps{0};
+    /// Per-run watchdog: statement count + wall clock, shared across the
+    /// parallel loops' worker threads.
+    std::unique_ptr<guard::Budget> budget;
+    std::atomic<bool> watchdog_reported{false};
+    std::atomic<int> call_depth{0};
 
     struct Frame {
         const ir::Routine* routine = nullptr;
@@ -332,7 +352,10 @@ struct Machine::Impl {
                 if (u.op == ir::UnaryOp::Not) return !as_bool(v, ".NOT.");
                 if (is_complex(v)) return -as_complex(v, "negation");
                 if (is_real(v)) return -as_real(v, "negation");
-                return -as_int(v, "negation");
+                std::int64_t out;
+                const bool ovf = __builtin_sub_overflow(std::int64_t{0}, as_int(v, "negation"),
+                                                        &out);
+                return checked(ovf, out, "negation");
             }
             case ir::ExprKind::Binary:
                 return eval_binary(f, static_cast<const ir::Binary&>(e));
@@ -398,16 +421,37 @@ struct Machine::Impl {
         }
         const std::int64_t x = as_int(l, "arithmetic");
         const std::int64_t y = as_int(r, "arithmetic");
+        std::int64_t out;
+        bool ovf;
         switch (b.op) {
-            case BinaryOp::Add: return x + y;
-            case BinaryOp::Sub: return x - y;
-            case BinaryOp::Mul: return x * y;
+            case BinaryOp::Add:
+                ovf = __builtin_add_overflow(x, y, &out);
+                return checked(ovf, out, "+");
+            case BinaryOp::Sub:
+                ovf = __builtin_sub_overflow(x, y, &out);
+                return checked(ovf, out, "-");
+            case BinaryOp::Mul:
+                ovf = __builtin_mul_overflow(x, y, &out);
+                return checked(ovf, out, "*");
             case BinaryOp::Div:
                 if (y == 0) throw RuntimeError("integer division by zero");
+                if (x == std::numeric_limits<std::int64_t>::min() && y == -1) {
+                    throw RuntimeError("INTEGER overflow in /");
+                }
                 return x / y;
             case BinaryOp::Pow: {
-                std::int64_t out = 1;
-                for (std::int64_t k = 0; k < y; ++k) out *= x;
+                // Special-case |x| <= 1 so a huge exponent cannot spin;
+                // otherwise the overflow check bounds the loop at 63 rounds.
+                if (x == 0) return std::int64_t{y == 0 ? 1 : 0};
+                if (x == 1) return std::int64_t{1};
+                if (x == -1) return std::int64_t{(y % 2) ? -1 : 1};
+                if (y < 0) return std::int64_t{0};  // truncates toward zero
+                out = 1;
+                for (std::int64_t k = 0; k < y; ++k) {
+                    if (__builtin_mul_overflow(out, x, &out)) {
+                        throw RuntimeError("INTEGER overflow in **");
+                    }
+                }
                 return out;
             }
             default: break;
@@ -435,17 +479,24 @@ struct Machine::Impl {
             if (is_int(a) && is_int(b)) {
                 const std::int64_t d = as_int(b, "MOD");
                 if (d == 0) throw RuntimeError("MOD by zero");
+                if (d == -1) return std::int64_t{0};  // INT64_MIN % -1 is UB
                 return as_int(a, "MOD") % d;
             }
             return std::fmod(as_real(a, "MOD"), as_real(b, "MOD"));
         }
+        auto iabs = [](std::int64_t x, const char* what) {
+            std::int64_t out;
+            if (x >= 0) return x;
+            const bool ovf = __builtin_sub_overflow(std::int64_t{0}, x, &out);
+            return checked(ovf, out, what);
+        };
         if (n == "ABS") {
             const Value a = arg(0);
             if (is_complex(a)) return std::abs(as_complex(a, "ABS"));
             if (is_real(a)) return std::fabs(as_real(a, "ABS"));
-            return std::abs(as_int(a, "ABS"));
+            return iabs(as_int(a, "ABS"), "ABS");
         }
-        if (n == "IABS") return std::abs(as_int(arg(0), "IABS"));
+        if (n == "IABS") return iabs(as_int(arg(0), "IABS"), "IABS");
         if (n == "SQRT") return std::sqrt(as_real(arg(0), "SQRT"));
         if (n == "SIN") return std::sin(as_real(arg(0), "SIN"));
         if (n == "COS") return std::cos(as_real(arg(0), "COS"));
@@ -489,6 +540,16 @@ struct Machine::Impl {
 
     void call_routine(Frame& caller, const ir::Routine& callee,
                       const std::vector<ir::ExprPtr>& args, Frame& frame) {
+        // Cap call recursion well below the thread's stack (summed across
+        // the parallel workers — a conservative bound is fine here).
+        constexpr int kMaxCallDepth = 512;
+        struct DepthScope {
+            std::atomic<int>& d;
+            ~DepthScope() { d.fetch_sub(1, std::memory_order_relaxed); }
+        } scope{call_depth};
+        if (call_depth.fetch_add(1, std::memory_order_relaxed) >= kMaxCallDepth) {
+            throw RuntimeError("call to " + callee.name + ": recursion too deep");
+        }
         if (callee.is_foreign()) {
             call_foreign(caller, callee, args);
             return;
@@ -604,8 +665,13 @@ struct Machine::Impl {
     // --- statement execution ---------------------------------------------------
 
     void step() {
-        if (steps.fetch_add(1, std::memory_order_relaxed) > opts.max_steps) {
-            throw RuntimeError("execution exceeded the step limit");
+        budget->count_step();
+        if (budget->tripped()) {
+            static trace::Counter& trips = trace::counters::get("interp.watchdog_trips");
+            if (!watchdog_reported.exchange(true, std::memory_order_relaxed)) trips.add();
+            throw RuntimeError(budget->cause() == guard::TripCause::Deadline
+                                   ? "execution exceeded the time limit"
+                                   : "execution exceeded the step limit");
         }
     }
 
@@ -704,8 +770,14 @@ struct Machine::Impl {
         const std::int64_t hi = as_int(eval(f, *loop.hi), "DO bound");
         const std::int64_t st = as_int(eval(f, *loop.step), "DO step");
         if (st == 0) throw RuntimeError("DO step is zero");
-        const std::int64_t trip = st > 0 ? (hi - lo + st) / st : (lo - hi - st) / (-st);
-        if (trip <= 0) return;
+        // Wide arithmetic: extreme bounds must not overflow the trip count.
+        using wide = __int128;
+        const wide span = st > 0 ? (wide{hi} - lo + st) / st : (wide{lo} - hi - st) / -wide{st};
+        if (span <= 0) return;
+        const std::int64_t trip =
+            span > std::numeric_limits<std::int64_t>::max()
+                ? std::numeric_limits<std::int64_t>::max()
+                : static_cast<std::int64_t>(span);
 
         const bool array_reduction =
             std::any_of(loop.annot.reductions.begin(), loop.annot.reductions.end(),
@@ -820,7 +892,12 @@ ExecutionResult Machine::run(std::vector<Value> deck, const ExecutionOptions& op
     impl_->opts = options;
     impl_->deck.assign(std::make_move_iterator(deck.begin()), std::make_move_iterator(deck.end()));
     impl_->output.clear();
-    impl_->steps = 0;
+    guard::BudgetLimits limits;
+    limits.deadline_seconds = options.deadline_seconds;
+    limits.max_steps = options.max_steps;
+    impl_->budget = std::make_unique<guard::Budget>(limits);
+    impl_->watchdog_reported.store(false, std::memory_order_relaxed);
+    impl_->call_depth.store(0, std::memory_order_relaxed);
     impl_->init_commons();
 
     const ir::Routine* main = impl_->prog->main();

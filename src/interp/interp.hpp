@@ -42,6 +42,9 @@ struct ExecutionOptions {
     unsigned threads = 4;
     /// Safety valve for runaway programs (total statements executed).
     std::uint64_t max_steps = 500'000'000;
+    /// Wall-clock watchdog for the whole run, in seconds (0 = unlimited).
+    /// A trip raises RuntimeError and bumps `interp.watchdog_trips`.
+    double deadline_seconds = 0;
 };
 
 struct ExecutionResult {

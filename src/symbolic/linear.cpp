@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "trace/counters.hpp"
+
 namespace ap::symbolic {
 
 bool Term::contains(const std::string& name) const {
@@ -154,7 +156,29 @@ ConvertResult fail(ConvertFailure f) {
     return r;
 }
 
-ConvertResult convert(const ir::Expr& e, const std::map<std::string, std::int64_t>& constants) {
+/// Recursion cap for expression-tree conversion. Mini-F expression trees
+/// are shallow in practice, but adversarial inputs (fuzzed `1+1+1+...`
+/// chains) build left-deep trees whose conversion would otherwise blow
+/// the stack; past the cap the expression degrades to a counted
+/// NonAffine "unknown" (symbolic.convert_depth_trips).
+constexpr int kMaxConvertDepth = 256;
+
+ConvertResult convert(const ir::Expr& e, const std::map<std::string, std::int64_t>& constants,
+                      int depth);
+
+ConvertResult convert_deeper(const ir::Expr& e,
+                             const std::map<std::string, std::int64_t>& constants, int depth) {
+    if (depth >= kMaxConvertDepth) {
+        static trace::Counter& depth_trips =
+            trace::counters::get("symbolic.convert_depth_trips");
+        depth_trips.add();
+        return fail(ConvertFailure::NonAffine);
+    }
+    return convert(e, constants, depth + 1);
+}
+
+ConvertResult convert(const ir::Expr& e, const std::map<std::string, std::int64_t>& constants,
+                      int depth) {
     OpCounter::bump();
     using ir::ExprKind;
     switch (e.kind()) {
@@ -181,15 +205,15 @@ ConvertResult convert(const ir::Expr& e, const std::map<std::string, std::int64_
         case ExprKind::Unary: {
             const auto& u = static_cast<const ir::Unary&>(e);
             if (u.op != ir::UnaryOp::Neg) return fail(ConvertFailure::NonAffine);
-            auto r = convert(*u.operand, constants);
+            auto r = convert_deeper(*u.operand, constants, depth);
             if (!r.ok()) return r;
             return {r.form->negate(), ConvertFailure::None};
         }
         case ExprKind::Binary: {
             const auto& b = static_cast<const ir::Binary&>(e);
-            auto l = convert(*b.lhs, constants);
+            auto l = convert_deeper(*b.lhs, constants, depth);
             if (!l.ok()) return l;
-            auto r = convert(*b.rhs, constants);
+            auto r = convert_deeper(*b.rhs, constants, depth);
             if (!r.ok()) return r;
             switch (b.op) {
                 case ir::BinaryOp::Add: return {*l.form + *r.form, ConvertFailure::None};
@@ -228,7 +252,7 @@ ConvertResult convert(const ir::Expr& e, const std::map<std::string, std::int64_
 }  // namespace
 
 ConvertResult to_linear(const ir::Expr& e, const std::map<std::string, std::int64_t>& constants) {
-    return convert(e, constants);
+    return convert(e, constants, 0);
 }
 
 }  // namespace ap::symbolic

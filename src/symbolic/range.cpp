@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/counters.hpp"
+
 namespace ap::symbolic {
 
 namespace {
@@ -21,7 +23,15 @@ Prover::Interval Prover::bound_symbol(const std::string& name, int depth) const 
         return {};
     }
     Interval out;
-    if (depth <= 0) return out;
+    if (depth <= 0) {
+        // Depth-limit exhaustion degrades the query to "unknown"; the trip
+        // used to be silent, which made budget effects invisible in
+        // reports. Counted here, surfaced as symbolic.prover_depth_trips.
+        static trace::Counter& depth_trips =
+            trace::counters::get("symbolic.prover_depth_trips");
+        depth_trips.add();
+        return out;
+    }
     if (it->second.lo) {
         out.lo = bound_form(*it->second.lo, depth - 1).lo;
     } else {

@@ -38,7 +38,14 @@ enum class Proof : unsigned char { Proven, Disproven, Unknown };
 /// which drives the Rangeless hindrance classification.
 class Prover {
 public:
-    explicit Prover(const RangeEnv& env, int max_depth = 8) : env_(&env), depth_limit_(max_depth) {}
+    /// Default recursion budget for bounding chained ranges (a range's
+    /// endpoint mentioning a symbol whose range mentions another, ...).
+    /// Exhaustion yields "unknown" and bumps symbolic.prover_depth_trips;
+    /// the compiler exposes the limit via CompilerOptions::prover_max_depth.
+    static constexpr int kDefaultMaxDepth = 8;
+
+    explicit Prover(const RangeEnv& env, int max_depth = kDefaultMaxDepth)
+        : env_(&env), depth_limit_(max_depth) {}
 
     /// Constant bounds of a form under the environment, if derivable.
     [[nodiscard]] std::optional<std::int64_t> lower_bound(const LinearForm& f) const;

@@ -498,5 +498,73 @@ TEST(ParserRecovery, CleanSourceStillThrowsNothing) {
     EXPECT_NO_THROW((void)parse(kSmallProgram, "OK"));
 }
 
+// --- fuzz-class inputs ------------------------------------------------------
+//
+// Reductions of classes tools/minif_fuzz exercises at scale: each must be
+// *rejected with ParseError* (or parsed), never crash, hang, or invoke UB.
+
+TEST(FrontendFuzzClass, EmptyAndWhitespaceOnlyFiles) {
+    // An empty translation unit is a valid (routine-less) program.
+    ir::Program empty;
+    EXPECT_NO_THROW(empty = parse("", "EMPTY"));
+    EXPECT_EQ(empty.size(), 0u);
+    ir::Program blank;
+    EXPECT_NO_THROW(blank = parse("   \n\t\n  ", "BLANK"));
+    EXPECT_EQ(blank.size(), 0u);
+}
+
+TEST(FrontendFuzzClass, DuplicateRoutineIsDiagnosedNotFatal) {
+    const char* src =
+        "SUBROUTINE A()\n  X = 1\nEND\n"
+        "SUBROUTINE A()\n  X = 2\nEND\n";
+    EXPECT_THROW((void)parse(src, "DUP"), ParseError);
+}
+
+TEST(FrontendFuzzClass, UnterminatedStringLiteral) {
+    EXPECT_THROW((void)parse("PROGRAM P\n  PRINT *, 'no closing quote\nEND\n", "STR"),
+                 ParseError);
+}
+
+TEST(FrontendFuzzClass, DeepNestingIsBoundedNotStackOverflow) {
+    // 64 nested DO loops parse fine (well under Parser::kMaxStmtDepth)...
+    std::string ok = "PROGRAM P\n";
+    for (int i = 0; i < 64; ++i) ok += "  DO I" + std::to_string(i) + " = 1, 2\n";
+    ok += "  X = 1\n";
+    for (int i = 0; i < 64; ++i) ok += "  END DO\n";
+    ok += "END\n";
+    EXPECT_NO_THROW((void)parse(ok, "DEEP64"));
+
+    // ...while pathological depth is rejected by the cap, not the stack.
+    std::string deep = "PROGRAM P\n";
+    for (int i = 0; i < Parser::kMaxStmtDepth + 50; ++i) {
+        deep += "  IF (X .LT. 1) THEN\n";
+    }
+    deep += "  X = 1\n";
+    for (int i = 0; i < Parser::kMaxStmtDepth + 50; ++i) deep += "  END IF\n";
+    deep += "END\n";
+    EXPECT_THROW((void)parse(deep, "DEEP-STMT"), ParseError);
+
+    // Expression nesting has its own cap (unary chains bypass parse_expr).
+    std::string expr = "PROGRAM P\n  X = ";
+    for (int i = 0; i < Parser::kMaxExprDepth + 50; ++i) expr += "-";
+    expr += "1\nEND\n";
+    EXPECT_THROW((void)parse(expr, "DEEP-EXPR"), ParseError);
+}
+
+TEST(FrontendFuzzClass, IntegerLiteralOverflowIsRejected) {
+    EXPECT_THROW((void)parse("PROGRAM P\n  X = 99999999999999999999\nEND\n", "BIGINT"),
+                 ParseError);
+    // INT64_MAX itself still lexes.
+    EXPECT_NO_THROW((void)parse("PROGRAM P\n  X = 9223372036854775807\nEND\n", "MAXINT"));
+}
+
+TEST(FrontendFuzzClass, CrlfAndTrailingGarbage) {
+    // CRLF line endings parse as if the \r were trailing space.
+    EXPECT_NO_THROW((void)parse("PROGRAM P\r\n  X = 1\r\nEND\r\n", "CRLF"));
+    // Binary garbage after a valid program must be a diagnostic, not UB.
+    EXPECT_THROW((void)parse("PROGRAM P\n  X = 1\nEND\n\x01\x02\xff garbage", "TRAIL"),
+                 ParseError);
+}
+
 }  // namespace
 }  // namespace ap::frontend

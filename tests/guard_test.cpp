@@ -1,0 +1,195 @@
+// ap::guard unit tests: budget trip semantics, recursion guard, incident
+// accounting, guarded() containment, and end-to-end compile degradation
+// under pressure (docs/ROBUSTNESS.md §compiler guards).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "core/compiler.hpp"
+#include "corpus/corpus.hpp"
+#include "frontend/parser.hpp"
+#include "guard/guard.hpp"
+
+namespace ap::guard {
+namespace {
+
+TEST(Budget, UnlimitedByDefault) {
+    Budget b;
+    for (int i = 0; i < 100'000; ++i) b.charge_ops();
+    for (int i = 0; i < 100'000; ++i) b.count_step();
+    EXPECT_FALSE(b.tripped());
+    EXPECT_EQ(b.cause(), TripCause::None);
+    EXPECT_NO_THROW(b.check());
+}
+
+TEST(Budget, OpsTripLatchesFirstCause) {
+    BudgetLimits limits;
+    limits.max_ops = 10;
+    Budget b(limits);
+    for (int i = 0; i < 20; ++i) b.charge_ops();
+    EXPECT_TRUE(b.tripped());
+    EXPECT_EQ(b.cause(), TripCause::Ops);
+    // A later manual trip must not overwrite the latched cause.
+    b.trip(TripCause::Deadline);
+    EXPECT_EQ(b.cause(), TripCause::Ops);
+    EXPECT_THROW(b.check(), BudgetError);
+}
+
+TEST(Budget, StepsTrip) {
+    BudgetLimits limits;
+    limits.max_steps = 5;
+    Budget b(limits);
+    for (int i = 0; i < 10; ++i) b.count_step();
+    EXPECT_EQ(b.cause(), TripCause::Steps);
+}
+
+TEST(Budget, DeadlineTrips) {
+    BudgetLimits limits;
+    limits.deadline_seconds = 1e-9;  // effectively already expired
+    Budget b(limits);
+    // expired() polls the clock every kClockStride calls; loop past it.
+    bool tripped = false;
+    for (int i = 0; i < 5000 && !tripped; ++i) tripped = b.expired();
+    EXPECT_TRUE(tripped);
+    EXPECT_EQ(b.cause(), TripCause::Deadline);
+}
+
+TEST(Budget, CheckThrowsBudgetErrorWithCause) {
+    BudgetLimits limits;
+    limits.max_ops = 1;
+    Budget b(limits);
+    b.charge_ops(2);
+    try {
+        b.check();
+        FAIL() << "check() must throw once tripped";
+    } catch (const BudgetError& e) {
+        EXPECT_EQ(e.cause(), TripCause::Ops);
+    }
+}
+
+TEST(DepthGuard, TripsPastWatermark) {
+    BudgetLimits limits;
+    limits.max_recursion = 3;
+    Budget b(limits);
+    // Recurse to the cap: guards at depth <= 3 are ok, depth 4 trips.
+    std::function<int(int)> go = [&](int depth) -> int {
+        DepthGuard d(b);
+        if (!d.ok()) return depth;
+        return go(depth + 1);
+    };
+    EXPECT_EQ(go(1), 4);
+    EXPECT_EQ(b.cause(), TripCause::Recursion);
+}
+
+TEST(DepthGuard, BalancedWithinWatermark) {
+    BudgetLimits limits;
+    limits.max_recursion = 8;
+    Budget b(limits);
+    for (int round = 0; round < 4; ++round) {
+        DepthGuard a(b);
+        DepthGuard c(b);
+        EXPECT_TRUE(a.ok());
+        EXPECT_TRUE(c.ok());
+    }
+    EXPECT_FALSE(b.tripped());
+}
+
+TEST(IncidentLog, AccountingInvariant) {
+    IncidentLog log;
+    Incident degraded;
+    degraded.pass = "data-dependence test";
+    degraded.cause = TripCause::Ops;
+    log.record(degraded);
+    Incident fatal;
+    fatal.pass = "GSA translation";
+    fatal.fatal = true;
+    log.record(fatal);
+    EXPECT_EQ(log.incidents().size(), 2u);
+    EXPECT_EQ(log.degraded(), 1);
+    EXPECT_EQ(log.fatal(), 1);
+    EXPECT_EQ(static_cast<int>(log.incidents().size()), log.degraded() + log.fatal());
+}
+
+TEST(Guarded, SuccessRecordsNothing) {
+    IncidentLog log;
+    EXPECT_TRUE(guarded(log, "pass", "ROUTINE", -1, [] {}));
+    EXPECT_TRUE(log.incidents().empty());
+}
+
+TEST(Guarded, ContainsStdException) {
+    IncidentLog log;
+    const bool ok = guarded(log, "inline expansion", "MAIN", -1,
+                            [] { throw std::runtime_error("boom"); });
+    EXPECT_FALSE(ok);
+    ASSERT_EQ(log.incidents().size(), 1u);
+    const Incident& inc = log.incidents()[0];
+    EXPECT_EQ(inc.pass, "inline expansion");
+    EXPECT_EQ(inc.routine, "MAIN");
+    EXPECT_EQ(inc.cause, TripCause::Exception);
+    EXPECT_EQ(inc.detail, "boom");
+    EXPECT_FALSE(inc.fatal);
+}
+
+TEST(Guarded, ContainsBudgetErrorWithCause) {
+    IncidentLog log;
+    const bool ok = guarded(log, "data-dependence test", "SUB", 7, [] {
+        throw BudgetError(TripCause::Deadline, "deadline exceeded");
+    });
+    EXPECT_FALSE(ok);
+    ASSERT_EQ(log.incidents().size(), 1u);
+    EXPECT_EQ(log.incidents()[0].cause, TripCause::Deadline);
+    EXPECT_EQ(log.incidents()[0].loop_id, 7);
+}
+
+TEST(TripCauseNames, StableVocabulary) {
+    EXPECT_EQ(to_string(TripCause::Deadline), "deadline");
+    EXPECT_EQ(to_string(TripCause::Ops), "ops");
+    EXPECT_EQ(to_string(TripCause::Recursion), "recursion");
+    EXPECT_EQ(to_string(TripCause::Steps), "steps");
+    EXPECT_EQ(to_string(TripCause::Exception), "exception");
+}
+
+// End to end: a starvation-level op budget must degrade loops to the
+// Complexity verdict with recorded incidents — never throw, never crash.
+TEST(CompileUnderPressure, DegradesToComplexityWithIncidents) {
+    auto prog = corpus::load(corpus::gamess());
+    core::CompilerOptions opts;
+    opts.loop_op_budget = 50;  // starvation: every analyzed loop trips
+    core::CompileReport report;
+    ASSERT_NO_THROW(report = core::compile(prog, opts));
+    EXPECT_GT(report.statements, 0u);
+    EXPECT_FALSE(report.incidents.empty());
+    const auto histogram = report.target_histogram();
+    auto it = histogram.find(ir::Hindrance::Complexity);
+    EXPECT_TRUE(it != histogram.end() && it->second > 0)
+        << "starved compile must classify loops as compile-time complexity";
+    for (const auto& inc : report.incidents) {
+        EXPECT_FALSE(inc.fatal) << inc.pass << ": " << inc.detail;
+        EXPECT_NE(inc.cause, TripCause::None);
+    }
+}
+
+// A deadline in the past must also complete (degraded), not hang or throw.
+TEST(CompileUnderPressure, ExpiredDeadlineStillCompletes) {
+    auto prog = corpus::load(corpus::seismic());
+    core::CompilerOptions opts;
+    opts.deadline_seconds = 1e-9;
+    core::CompileReport report;
+    ASSERT_NO_THROW(report = core::compile(prog, opts));
+    EXPECT_GT(report.statements, 0u);
+    for (const auto& inc : report.incidents) EXPECT_FALSE(inc.fatal);
+}
+
+// An unpressured compile of a healthy corpus records no incidents.
+TEST(CompileUnderPressure, HealthyCompileIsIncidentFree) {
+    auto prog = corpus::load(corpus::linpack());
+    core::CompilerOptions opts;
+    opts.loop_op_budget = corpus::linpack().loop_op_budget;
+    auto report = core::compile(prog, opts);
+    EXPECT_TRUE(report.incidents.empty());
+}
+
+}  // namespace
+}  // namespace ap::guard

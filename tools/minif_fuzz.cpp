@@ -1,0 +1,322 @@
+// Deterministic mutational fuzzer for the Mini-F toolchain (ISSUE 3).
+//
+// Seeds are the five corpus programs; each iteration derives a mutant
+// source (byte flips, line shuffles, token splices, truncation, ...) from
+// a splitmix64 stream, then drives it through the full pipeline:
+//
+//   1. lex + parse        — frontend::ParseError is a correct rejection;
+//                           anything else escaping is a fuzzer FAILURE.
+//   2. compile            — under a deliberately tight op budget and
+//                           deadline. The compiler must NEVER throw: the
+//                           ap::guard layer has to contain every failure
+//                           as a degraded incident. guard.fatal != 0 or
+//                           an escaped exception is a FAILURE.
+//   3. interpret          — serial then parallel (the oracle pair), with
+//                           a small step cap and wall-clock watchdog so
+//                           mutants that loop forever are cut off.
+//                           interp::RuntimeError is a correct rejection.
+//   4. differential check — when BOTH runs complete, their output must
+//                           match line for line; a mismatch means the
+//                           compiler marked a loop parallel unsoundly.
+//
+// Everything is derived from --seed, so any failure reproduces with the
+// same binary and flags. No wall-clock or ASLR dependence.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/foreigns.hpp"
+#include "frontend/parser.hpp"
+#include "guard/guard.hpp"
+#include "interp/interp.hpp"
+
+namespace {
+
+using namespace ap;
+
+/// splitmix64 — the same mixer ap::fault uses; stable across platforms.
+std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+    std::uint64_t next() { return mix(state_++); }
+    /// Uniform in [0, n); n must be > 0.
+    std::size_t below(std::size_t n) { return static_cast<std::size_t>(next() % n); }
+    bool chance(int percent) { return below(100) < static_cast<std::size_t>(percent); }
+
+private:
+    std::uint64_t state_;
+};
+
+// Tokens the grammar reacts to: keywords, annotations, and literals that
+// stress the numeric edges (the 20-nines literal must be rejected by the
+// lexer's range check, not wrap).
+const char* const kDictionary[] = {
+    "DO",        "END DO",    "IF",       "THEN",      "ELSE",     "END IF",
+    "CALL",      "RETURN",    "STOP",     "PRINT",     "READ",     "PARAMETER",
+    "INTEGER",   "REAL",      "COMMON",   "DIMENSION", "EXTERNAL", "SUBROUTINE",
+    "FUNCTION",  "END",       "(",        ")",         ",",        "=",
+    "+",         "-",         "*",        "**",        "'",        ".AND.",
+    ".OR.",      ".NOT.",     ".EQ.",     ".LT.",      "1",        "0",
+    "-1",        "2147483647","99999999999999999999",  "1.0E308",  "1.0E-308",
+    "!$TARGET",  "!$PARALLEL","X",        "I",         "J",
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty()) lines.push_back(cur);
+    return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+    std::string out;
+    for (const auto& l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+/// One mutation step; composable (the driver applies 1-4 per iteration).
+std::string mutate_once(Rng& rng, std::string src, const std::string& splice_donor) {
+    if (src.empty()) src = " ";
+    switch (rng.below(9)) {
+    case 0: {  // flip a byte to a printable character
+        src[rng.below(src.size())] = static_cast<char>(' ' + rng.below(95));
+        return src;
+    }
+    case 1: {  // insert a dictionary token at a random position
+        const char* tok = kDictionary[rng.below(std::size(kDictionary))];
+        src.insert(rng.below(src.size() + 1), std::string(" ") + tok + " ");
+        return src;
+    }
+    case 2: {  // delete a span
+        const std::size_t at = rng.below(src.size());
+        const std::size_t len = 1 + rng.below(std::min<std::size_t>(40, src.size() - at));
+        src.erase(at, len);
+        return src;
+    }
+    case 3: {  // duplicate a line
+        auto lines = split_lines(src);
+        if (lines.empty()) return src;
+        const std::size_t at = rng.below(lines.size());
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at), lines[at]);
+        return join_lines(lines);
+    }
+    case 4: {  // swap two lines (breaks DO/ENDDO and IF/ENDIF pairing)
+        auto lines = split_lines(src);
+        if (lines.size() < 2) return src;
+        std::swap(lines[rng.below(lines.size())], lines[rng.below(lines.size())]);
+        return join_lines(lines);
+    }
+    case 5: {  // truncate mid-construct
+        src.resize(1 + rng.below(src.size()));
+        return src;
+    }
+    case 6: {  // CRLF / stray control characters
+        const std::size_t at = rng.below(src.size() + 1);
+        src.insert(at, rng.chance(50) ? "\r\n" : "\t\r");
+        return src;
+    }
+    case 7: {  // splice a random window from another corpus program
+        if (splice_donor.empty()) return src;
+        const std::size_t at = rng.below(splice_donor.size());
+        const std::size_t len =
+            1 + rng.below(std::min<std::size_t>(200, splice_donor.size() - at));
+        src.insert(rng.below(src.size() + 1), splice_donor.substr(at, len));
+        return src;
+    }
+    default: {  // deepen nesting around a random line
+        auto lines = split_lines(src);
+        if (lines.empty()) return src;
+        const std::size_t at = rng.below(lines.size());
+        const int depth = 1 + static_cast<int>(rng.below(8));
+        for (int d = 0; d < depth; ++d) {
+            lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                         "  DO IFZ" + std::to_string(d) + " = 1, 2");
+            lines.push_back("  END DO");
+        }
+        return join_lines(lines);
+    }
+    }
+}
+
+std::vector<interp::Value> to_deck(const std::vector<double>& deck) {
+    std::vector<interp::Value> out;
+    out.reserve(deck.size());
+    for (double v : deck) out.emplace_back(v);
+    return out;
+}
+
+struct Stats {
+    std::int64_t iterations = 0;
+    std::int64_t parse_rejects = 0;
+    std::int64_t compiled = 0;
+    std::int64_t degraded = 0;       ///< compiles with >=1 guard incident
+    std::int64_t runtime_rejects = 0;
+    std::int64_t differential = 0;   ///< serial+parallel pairs compared
+    std::int64_t failures = 0;
+};
+
+void fail(Stats& stats, const char* stage, std::uint64_t seed, std::int64_t iter,
+          const std::string& detail) {
+    ++stats.failures;
+    std::fprintf(stderr, "minif_fuzz FAILURE [%s] seed=%llu iter=%lld: %s\n", stage,
+                 static_cast<unsigned long long>(seed), static_cast<long long>(iter),
+                 detail.c_str());
+}
+
+void run_iteration(Rng& rng, std::uint64_t seed, std::int64_t iter, Stats& stats) {
+    const auto& corpora = corpus::all();
+    const auto& base = *corpora[rng.below(corpora.size())];
+    const auto& donor = *corpora[rng.below(corpora.size())];
+
+    std::string src = base.source;
+    const int steps = 1 + static_cast<int>(rng.below(4));
+    for (int s = 0; s < steps; ++s) src = mutate_once(rng, std::move(src), donor.source);
+
+    ++stats.iterations;
+
+    // 1. parse — ParseError is the expected rejection path.
+    ir::Program prog;
+    try {
+        prog = frontend::parse(src, base.name + "-mutant");
+    } catch (const frontend::ParseError&) {
+        ++stats.parse_rejects;
+        return;
+    } catch (const std::exception& e) {
+        fail(stats, "parse", seed, iter, std::string("escaped exception: ") + e.what());
+        return;
+    }
+
+    // 2. compile under pressure — must not throw, ever.
+    core::CompileReport report;
+    try {
+        core::CompilerOptions opts;
+        opts.loop_op_budget = 200'000;  // far below corpus defaults
+        opts.deadline_seconds = 2.0;
+        opts.prover_max_depth = 24;
+        report = core::compile(prog, opts);
+    } catch (const std::exception& e) {
+        fail(stats, "compile", seed, iter, std::string("escaped exception: ") + e.what());
+        return;
+    }
+    ++stats.compiled;
+    if (!report.incidents.empty()) ++stats.degraded;
+    for (const auto& inc : report.incidents) {
+        if (inc.fatal) {
+            fail(stats, "compile", seed, iter,
+                 "fatal incident in pass '" + inc.pass + "': " + inc.detail);
+            return;
+        }
+    }
+
+    // 3 + 4. serial/parallel differential on the annotated program.
+    interp::ExecutionOptions serial_opts;
+    serial_opts.max_steps = 200'000;
+    serial_opts.deadline_seconds = 2.0;
+    auto run_one = [&](bool parallel, interp::ExecutionResult& out) -> bool {
+        try {
+            interp::Machine machine(prog);
+            corpus::register_foreigns(machine);
+            auto opts = serial_opts;
+            opts.parallel = parallel;
+            opts.threads = 4;
+            out = machine.run(to_deck(base.sample_deck), opts);
+            return true;
+        } catch (const interp::RuntimeError&) {
+            ++stats.runtime_rejects;
+            return false;
+        } catch (const std::exception& e) {
+            fail(stats, parallel ? "interp-parallel" : "interp-serial", seed, iter,
+                 std::string("escaped exception: ") + e.what());
+            return false;
+        }
+    };
+    interp::ExecutionResult serial_out;
+    if (!run_one(false, serial_out)) return;
+    interp::ExecutionResult parallel_out;
+    if (!run_one(true, parallel_out)) return;
+
+    ++stats.differential;
+    if (serial_out.output != parallel_out.output) {
+        std::string detail = "serial/parallel output diverged (" +
+                             std::to_string(serial_out.output.size()) + " vs " +
+                             std::to_string(parallel_out.output.size()) + " lines)";
+        fail(stats, "differential", seed, iter, detail);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 1;
+    std::int64_t iterations = 500;
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (std::strcmp(a, "--seed") == 0) {
+            const char* v = value();
+            if (!v) {
+                std::fprintf(stderr, "minif_fuzz: --seed requires a value\n");
+                return 2;
+            }
+            seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+        } else if (std::strcmp(a, "--iterations") == 0) {
+            const char* v = value();
+            if (!v || std::atoll(v) <= 0) {
+                std::fprintf(stderr, "minif_fuzz: --iterations requires a positive count\n");
+                return 2;
+            }
+            iterations = std::atoll(v);
+        } else {
+            std::fprintf(stderr,
+                         "minif_fuzz: unknown argument %s (supported: --seed <n>, "
+                         "--iterations <n>)\n",
+                         a);
+            return 2;
+        }
+    }
+
+    Stats stats;
+    Rng rng(mix(seed));
+    for (std::int64_t iter = 0; iter < iterations; ++iter) {
+        run_iteration(rng, seed, iter, stats);
+    }
+
+    std::printf(
+        "minif_fuzz: seed=%llu iterations=%lld parse_rejects=%lld compiled=%lld "
+        "degraded=%lld runtime_rejects=%lld differential=%lld failures=%lld\n",
+        static_cast<unsigned long long>(seed), static_cast<long long>(stats.iterations),
+        static_cast<long long>(stats.parse_rejects), static_cast<long long>(stats.compiled),
+        static_cast<long long>(stats.degraded), static_cast<long long>(stats.runtime_rejects),
+        static_cast<long long>(stats.differential), static_cast<long long>(stats.failures));
+    if (stats.failures) {
+        std::fprintf(stderr, "minif_fuzz: %lld failure(s)\n",
+                     static_cast<long long>(stats.failures));
+        return EXIT_FAILURE;
+    }
+    std::printf("minif_fuzz: OK\n");
+    return EXIT_SUCCESS;
+}

@@ -196,6 +196,86 @@ void check_fault_counters(const Value& counters) {
     }
 }
 
+// Guard accounting invariant (docs/ROBUSTNESS.md §compiler guards):
+//   guard.incidents == guard.degraded + guard.fatal
+// whenever any guard.* counter is present, and guard.fatal must be 0 —
+// a fatal incident means ap::guard failed to contain a failure, which is
+// a defect in tier-1 runs.
+void check_guard_counters(const Value& counters) {
+    const Value::Object* obj = counters.as_object();
+    if (!obj) return;
+    bool any_guard = false;
+    for (const auto& [name, v] : *obj) {
+        if (name.rfind("guard.", 0) != 0) continue;
+        any_guard = true;
+        if (!v.is_number()) {
+            fail("counter \"" + name + "\" is not a number");
+        } else if (v.as_int() < 0) {
+            fail("counter \"" + name + "\" is negative");
+        }
+    }
+    if (!any_guard) return;
+    auto count = [&](const char* name) -> std::int64_t {
+        const Value* v = counters.find(name);
+        return v ? v->as_int() : 0;
+    };
+    const std::int64_t incidents = count("guard.incidents");
+    const std::int64_t degraded = count("guard.degraded");
+    const std::int64_t fatal = count("guard.fatal");
+    if (incidents != degraded + fatal) {
+        fail("guard accounting imbalance: incidents=" + std::to_string(incidents) +
+             " != degraded=" + std::to_string(degraded) + " + fatal=" + std::to_string(fatal));
+    }
+    if (fatal != 0) {
+        fail("guard.fatal=" + std::to_string(fatal) + " (must be 0: a fatal incident means "
+             "the guard failed to contain a failure)");
+    }
+}
+
+// The optional `compiler.incidents` section any bench may attach to its
+// data payload: structured records of guarded-pass degradations.
+void check_compiler_incidents(const Value& data) {
+    const Value* compiler = data.find("compiler");
+    if (!compiler) return;
+    if (!compiler->is_object()) {
+        fail("\"compiler\" is not an object");
+        return;
+    }
+    require(*compiler, "degraded", "number");
+    const Value* fatal = require(*compiler, "fatal", "number");
+    if (fatal && fatal->as_int() != 0) {
+        fail("compiler.fatal=" + std::to_string(fatal->as_int()) + " (must be 0)");
+    }
+    const Value* incidents = require(*compiler, "incidents", "array");
+    if (!incidents) return;
+    for (const Value& inc : *incidents->as_array()) {
+        if (!inc.is_object()) {
+            fail("compiler.incidents[] entry is not an object");
+            continue;
+        }
+        require(inc, "pass", "string");
+        require(inc, "routine", "string");
+        require(inc, "loop", "number");
+        require(inc, "detail", "string");
+        require(inc, "elapsed_seconds", "number");
+        require(inc, "fatal", "bool");
+        const Value* cause = require(inc, "cause", "string");
+        if (cause) {
+            const std::string& c = cause->as_string();
+            if (c != "deadline" && c != "ops" && c != "recursion" && c != "steps" &&
+                c != "exception") {
+                fail("compiler.incidents[] entry has unknown cause \"" + c + "\"");
+            }
+        }
+    }
+    const Value* degraded = compiler->find("degraded");
+    if (degraded && degraded->is_number() && fatal && fatal->is_number() &&
+        incidents->size() != static_cast<std::size_t>(degraded->as_int() + fatal->as_int())) {
+        fail("compiler.incidents count " + std::to_string(incidents->size()) +
+             " != degraded+fatal " + std::to_string(degraded->as_int() + fatal->as_int()));
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -237,7 +317,9 @@ int main(int argc, char** argv) {
         fail("bench is \"" + bench->as_string() + "\", expected \"" + argv[2] + "\"");
     }
     if (counters) check_fault_counters(*counters);
+    if (counters) check_guard_counters(*counters);
     if (bench && data) check_bench(bench->as_string(), *data, counters);
+    if (data) check_compiler_incidents(*data);
 
     if (g_failures) {
         std::fprintf(stderr, "report_lint: %s: %d problem(s)\n", argv[1], g_failures);
