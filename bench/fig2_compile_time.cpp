@@ -6,7 +6,14 @@
 // Expected shape (EXPERIMENTS.md): seconds/statement for Seismic and
 // GAMESS well above Perfect Benchmarks; Linpack insignificant; totals for
 // the full applications an order of magnitude above the kernels.
+//
+// The corpus x repeats job list runs through core::compile_many, so
+// `--threads N` scales the bench across the runtime thread pool; the
+// `data.sched` report section records the wall time, the speedup against
+// a `--threads 1` reference run, and the analysis-cache hit rate
+// (docs/PERFORMANCE.md).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -26,30 +33,63 @@ struct Row {
     core::PassTimes times;
     double total = 0;
     std::vector<guard::Incident> incidents;
+    std::map<ir::Hindrance, int> hindrances;  ///< rep-0 target histogram
 };
 
-Row measure(const corpus::CorpusProgram& corpus, int repeats, const core::BenchArgs& args) {
-    Row row;
-    row.name = corpus.name;
-    for (int rep = 0; rep < repeats; ++rep) {
-        auto prog = corpus::load(corpus);
-        core::CompilerOptions opts;
-        opts.loop_op_budget = corpus.loop_op_budget;
-        core::apply_budget_args(args, opts);
-        auto report = core::compile(prog, opts);
-        row.statements = report.statements;
-        row.times += report.times;
-        // Keep one representative incident set (deterministic across
-        // repeats; folding all repeats would just duplicate it).
-        if (rep == 0) row.incidents = std::move(report.incidents);
+/// One batch: every corpus compiled `repeats` times through
+/// compile_many. Jobs are corpus-major, so reports[c * repeats + rep] is
+/// corpus c's rep'th compile. Returns the batch wall seconds; fills
+/// `reports_out` (and leaves program loading outside the clock).
+double run_batch(int repeats, const core::BenchArgs& args, unsigned threads,
+                 std::vector<core::CompileReport>& reports_out) {
+    const auto& corpora = corpus::all();
+    std::vector<ir::Program> programs;
+    std::vector<core::CompilerOptions> opts;
+    programs.reserve(corpora.size() * static_cast<std::size_t>(repeats));
+    opts.reserve(programs.capacity());
+    for (const auto* c : corpora) {
+        for (int rep = 0; rep < repeats; ++rep) {
+            programs.push_back(corpus::load(*c));
+            core::CompilerOptions o;
+            o.loop_op_budget = c->loop_op_budget;
+            core::apply_budget_args(args, o);
+            o.threads = threads;
+            opts.push_back(o);
+        }
     }
-    const auto reps = static_cast<std::uint64_t>(repeats);
-    for (auto& s : row.times.seconds) s /= repeats;
-    // Round to nearest: truncating division under-reports the op averages
-    // on small corpora, where per-pass counts are close to `repeats`.
-    for (auto& o : row.times.symbolic_ops) o = (o + reps / 2) / reps;
-    row.total = row.times.total_seconds();
-    return row;
+    const auto t0 = std::chrono::steady_clock::now();
+    reports_out = core::compile_many(programs, opts);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+std::vector<Row> fold_rows(int repeats, const std::vector<core::CompileReport>& reports) {
+    const auto& corpora = corpus::all();
+    std::vector<Row> rows;
+    for (std::size_t c = 0; c < corpora.size(); ++c) {
+        Row row;
+        row.name = corpora[c]->name;
+        for (int rep = 0; rep < repeats; ++rep) {
+            const auto& report = reports[c * static_cast<std::size_t>(repeats) +
+                                         static_cast<std::size_t>(rep)];
+            row.statements = report.statements;
+            row.times += report.times;
+            // Keep one representative incident set (deterministic across
+            // repeats; folding all repeats would just duplicate it).
+            if (rep == 0) {
+                row.incidents = report.incidents;
+                row.hindrances = report.target_histogram();
+            }
+        }
+        const auto reps = static_cast<std::uint64_t>(repeats);
+        for (auto& s : row.times.seconds) s /= repeats;
+        // Round to nearest: truncating division under-reports the op
+        // averages on small corpora, where per-pass counts are close to
+        // `repeats`.
+        for (auto& o : row.times.symbolic_ops) o = (o + reps / 2) / reps;
+        row.total = row.times.total_seconds();
+        rows.push_back(std::move(row));
+    }
+    return rows;
 }
 
 }  // namespace
@@ -62,10 +102,23 @@ int main(int argc, char** argv) {
     }
     const int repeats = args.repeats ? args.repeats : kDefaultRepeats;
     std::printf("=== Figure 2: compile time per code statement, by compiler pass ===\n");
-    std::printf("(averaged over %d compilations per code set)\n\n", repeats);
+    std::printf("(averaged over %d compilations per code set, %u thread%s)\n\n", repeats,
+                args.threads, args.threads == 1 ? "" : "s");
 
-    std::vector<Row> rows;
-    for (const auto* c : corpus::all()) rows.push_back(measure(*c, repeats, args));
+    std::vector<core::CompileReport> reports;
+    const double wall_seconds = run_batch(repeats, args, args.threads, reports);
+    // The serial reference for the speedup figure; its reports are
+    // discarded (determinism across thread counts is report_lint
+    // --compare's business, on full report files).
+    double wall_seconds_serial = 0;
+    if (args.threads != 1) {
+        std::vector<core::CompileReport> serial_reports;
+        wall_seconds_serial = run_batch(repeats, args, 1, serial_reports);
+    }
+    const std::vector<Row> rows = fold_rows(repeats, reports);
+
+    sched::CacheStats cache;
+    for (const auto& r : reports) cache += r.cache;
 
     core::Table per_stmt({"pass \\ code", "Seismic", "GAMESS", "Sander", "Perf. Bench.",
                           "Linpack"});
@@ -97,6 +150,16 @@ int main(int argc, char** argv) {
                         core::Table::fixed(1e3 * row.total, 3), core::Table::count(ops)});
     }
     std::printf("%s\n", totals.to_string().c_str());
+
+    std::printf("pipeline: %u thread%s, batch wall %.3fs", args.threads,
+                args.threads == 1 ? "" : "s", wall_seconds);
+    if (wall_seconds_serial > 0) {
+        std::printf(" (serial %.3fs, speedup %.2fx)", wall_seconds_serial,
+                    wall_seconds > 0 ? wall_seconds_serial / wall_seconds : 1.0);
+    }
+    std::printf("; cache hit rate %.1f%% (%llu/%llu)\n\n", 100.0 * cache.hit_rate(),
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.queries()));
 
     // Shape assertions: the industrial codes must cost more per statement
     // than the kernel codes. Wall-clock on shared machines is noisy, so
@@ -137,11 +200,14 @@ int main(int argc, char** argv) {
             code.set("symbolic_ops", ops);
             code.set("ops_per_statement",
                      static_cast<double>(ops) / static_cast<double>(row.statements));
+            code.set("hindrances", core::hindrance_histogram_json(row.hindrances));
             codes.push_back(std::move(code));
         }
         json::Value data = json::Value::object();
         data.set("repeats", repeats);
         data.set("codes", std::move(codes));
+        data.set("sched", core::sched_json(args.threads, wall_seconds, wall_seconds_serial,
+                                           cache));
         {
             std::vector<guard::Incident> all;
             for (const auto& row : rows) {

@@ -4,7 +4,12 @@
 // Expected shape (EXPERIMENTS.md): the data-dependence test and array
 // privatization dominate everywhere; the remaining passes are relatively
 // more significant for the kernel codes (Perfect, Linpack).
+//
+// Jobs run through core::compile_many; `--threads N` scales the batch and
+// `data.sched` records wall time, speedup vs a serial reference, and the
+// analysis-cache hit rate (docs/PERFORMANCE.md).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -18,15 +23,26 @@ using namespace ap;
 
 constexpr int kDefaultRepeats = 12;
 
-core::PassTimes measure(const corpus::CorpusProgram& corpus, int repeats) {
-    core::PassTimes total;
-    for (int rep = 0; rep < repeats; ++rep) {
-        auto prog = corpus::load(corpus);
-        core::CompilerOptions opts;
-        opts.loop_op_budget = corpus.loop_op_budget;
-        total += core::compile(prog, opts).times;
+/// Compiles every corpus `repeats` times through compile_many (jobs are
+/// corpus-major) and returns the batch wall seconds.
+double run_batch(int repeats, unsigned threads, std::vector<core::CompileReport>& reports_out) {
+    const auto& corpora = corpus::all();
+    std::vector<ir::Program> programs;
+    std::vector<core::CompilerOptions> opts;
+    programs.reserve(corpora.size() * static_cast<std::size_t>(repeats));
+    opts.reserve(programs.capacity());
+    for (const auto* c : corpora) {
+        for (int rep = 0; rep < repeats; ++rep) {
+            programs.push_back(corpus::load(*c));
+            core::CompilerOptions o;
+            o.loop_op_budget = c->loop_op_budget;
+            o.threads = threads;
+            opts.push_back(o);
+        }
     }
-    return total;
+    const auto t0 = std::chrono::steady_clock::now();
+    reports_out = core::compile_many(programs, opts);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
 }  // namespace
@@ -39,8 +55,28 @@ int main(int argc, char** argv) {
     }
     const int repeats = args.repeats ? args.repeats : kDefaultRepeats;
     std::printf("=== Figure 3: share of compile time per compiler pass ===\n\n");
+
+    std::vector<core::CompileReport> reports;
+    const double wall_seconds = run_batch(repeats, args.threads, reports);
+    double wall_seconds_serial = 0;
+    if (args.threads != 1) {
+        std::vector<core::CompileReport> serial_reports;
+        wall_seconds_serial = run_batch(repeats, 1, serial_reports);
+    }
+
+    const auto& corpora = corpus::all();
     std::vector<std::pair<std::string, core::PassTimes>> rows;
-    for (const auto* c : corpus::all()) rows.emplace_back(c->name, measure(*c, repeats));
+    sched::CacheStats cache;
+    for (const auto& r : reports) cache += r.cache;
+    for (std::size_t c = 0; c < corpora.size(); ++c) {
+        core::PassTimes total;
+        for (int rep = 0; rep < repeats; ++rep) {
+            total += reports[c * static_cast<std::size_t>(repeats) +
+                             static_cast<std::size_t>(rep)]
+                         .times;
+        }
+        rows.emplace_back(corpora[c]->name, total);
+    }
 
     core::Table table({"pass \\ code", "Seismic", "GAMESS", "Sander", "Perf. Bench.", "Linpack"});
     for (int p = 0; p < core::kPassCount; ++p) {
@@ -53,6 +89,14 @@ int main(int argc, char** argv) {
         table.add_row(std::move(cells));
     }
     std::printf("%s\n", table.to_string().c_str());
+
+    std::printf("pipeline: %u thread%s, batch wall %.3fs", args.threads,
+                args.threads == 1 ? "" : "s", wall_seconds);
+    if (wall_seconds_serial > 0) {
+        std::printf(" (serial %.3fs, speedup %.2fx)", wall_seconds_serial,
+                    wall_seconds > 0 ? wall_seconds_serial / wall_seconds : 1.0);
+    }
+    std::printf("; cache hit rate %.1f%%\n\n", 100.0 * cache.hit_rate());
 
     // Shape: DD + privatization together dominate for the industrial codes.
     int failures = 0;
@@ -88,6 +132,8 @@ int main(int argc, char** argv) {
         json::Value data = json::Value::object();
         data.set("repeats", repeats);
         data.set("codes", std::move(codes));
+        data.set("sched", core::sched_json(args.threads, wall_seconds, wall_seconds_serial,
+                                           cache));
         if (!core::write_bench_report(args.json_path, "fig3", std::move(data), failures == 0)) {
             std::fprintf(stderr, "fig3: cannot write %s\n", args.json_path.c_str());
             return EXIT_FAILURE;

@@ -10,6 +10,14 @@
 #       # report from an existing build tree. This is the mode the
 #       # verify_fig2_json CTest test runs (ctest invoking ctest would
 #       # recurse).
+#   scripts/verify.sh --perf --build-dir build
+#       # scheduler smoke (docs/PERFORMANCE.md): regenerate fig2 reports
+#       # at --threads 1 and --threads $(nproc) from an existing build
+#       # tree, lint both, and require byte-identical deterministic
+#       # fields via report_lint --compare. The >=2x speedup floor is
+#       # asserted only on machines with >= 4 cores — below that the
+#       # thread pool cannot demonstrate scaling. This is the mode the
+#       # verify_sched_determinism CTest test runs.
 #   scripts/verify.sh --tsan
 #       # opt-in sanitizer pass: configure a separate build-tsan tree
 #       # with -DAP_SANITIZE=ON (ThreadSanitizer + UBSan) and run only
@@ -27,15 +35,49 @@ BUILD_DIR=build
 JSON_ONLY=0
 TSAN=0
 ASAN=0
+PERF=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --build-dir) BUILD_DIR=$2; shift 2 ;;
         --json-only) JSON_ONLY=1; shift ;;
         --tsan) TSAN=1; shift ;;
         --asan) ASAN=1; shift ;;
+        --perf) PERF=1; shift ;;
         *) echo "verify.sh: unknown argument: $1" >&2; exit 2 ;;
     esac
 done
+
+if [ "$PERF" -eq 1 ]; then
+    cores=$(nproc)
+    # Even on a single core the threaded code path (work slices, shared
+    # cache, merge) must run and stay deterministic; only the speedup
+    # assertion needs real parallel hardware.
+    threads=$cores
+    [ "$threads" -lt 2 ] && threads=2
+    serial=$(mktemp /tmp/ap-sched-t1.XXXXXX.json)
+    threaded=$(mktemp /tmp/ap-sched-tN.XXXXXX.json)
+    trap 'rm -f "$serial" "$threaded"' EXIT
+    echo "== sched: fig2 --threads 1 vs --threads $threads =="
+    "$BUILD_DIR"/bench/fig2_compile_time --threads 1 --repeats 2 \
+        --json "$serial" >/dev/null
+    "$BUILD_DIR"/bench/fig2_compile_time --threads "$threads" --repeats 2 \
+        --json "$threaded" >/dev/null
+    echo "== sched: lint both reports =="
+    "$BUILD_DIR"/tools/report_lint "$serial" fig2
+    if [ "$cores" -ge 4 ]; then
+        # With a real pool the threaded batch must beat serial 2x; the
+        # data.sched.speedup field is measured against an in-process
+        # --threads 1 reference batch.
+        "$BUILD_DIR"/tools/report_lint "$threaded" fig2 --min-speedup 2.0
+    else
+        echo "   ($cores core(s): skipping the speedup floor, determinism only)"
+        "$BUILD_DIR"/tools/report_lint "$threaded" fig2
+    fi
+    echo "== sched: determinism across thread counts =="
+    "$BUILD_DIR"/tools/report_lint --compare "$serial" "$threaded"
+    echo "verify.sh: perf OK"
+    exit 0
+fi
 
 if [ "$TSAN" -eq 1 ]; then
     TSAN_DIR=${BUILD_DIR}-tsan

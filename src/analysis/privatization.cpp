@@ -194,16 +194,31 @@ PrivatizationResult privatize(const ir::DoLoop& loop, const ir::Routine& routine
         // Coverage. Fast path R1: every read subscript tuple structurally
         // equals some write subscript tuple *within the same enclosing
         // loop chain* (same expression under different sibling loops would
-        // bind different index values and is not coverage).
+        // bind different index values and is not coverage). The sweep is
+        // reads × writes; tuple digests computed once per access gate the
+        // deep-recursive equals() (equal trees hash equal, so a digest
+        // mismatch proves inequality).
+        auto tuple_digest = [](const ArrayAccess& a) {
+            std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+            for (const auto& s : a.ref->subscripts) h = ir::detail::hash_mix(h, s->hash());
+            return ir::detail::hash_mix(h, a.ref->subscripts.size());
+        };
+        std::vector<std::uint64_t> write_digest(writes.size());
+        for (std::size_t i = 0; i < writes.size(); ++i) write_digest[i] = tuple_digest(*writes[i]);
         auto equals_some_write = [&](const ArrayAccess& r) {
-            return std::any_of(writes.begin(), writes.end(), [&](const ArrayAccess* w) {
-                if (w->loops != r.loops) return false;
-                if (w->ref->subscripts.size() != r.ref->subscripts.size()) return false;
-                for (std::size_t d = 0; d < r.ref->subscripts.size(); ++d) {
-                    if (!w->ref->subscripts[d]->equals(*r.ref->subscripts[d])) return false;
+            const std::uint64_t rd = tuple_digest(r);
+            for (std::size_t i = 0; i < writes.size(); ++i) {
+                const ArrayAccess* w = writes[i];
+                if (write_digest[i] != rd) continue;
+                if (w->loops != r.loops) continue;
+                if (w->ref->subscripts.size() != r.ref->subscripts.size()) continue;
+                bool eq = true;
+                for (std::size_t d = 0; d < r.ref->subscripts.size() && eq; ++d) {
+                    eq = w->ref->subscripts[d]->equals(*r.ref->subscripts[d]);
                 }
-                return true;
-            });
+                if (eq) return true;
+            }
+            return false;
         };
         const bool r1 = std::all_of(reads.begin(), reads.end(),
                                     [&](const ArrayAccess* r) { return equals_some_write(*r); });

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <set>
+#include <stdexcept>
 
 #include "analysis/access.hpp"
 #include "analysis/alias.hpp"
@@ -17,6 +19,8 @@
 #include "dependence/ddtest.hpp"
 #include "guard/guard.hpp"
 #include "ir/visit.hpp"
+#include "runtime/parallel_for.hpp"
+#include "sched/cache.hpp"
 #include "trace/counters.hpp"
 #include "trace/trace.hpp"
 
@@ -52,14 +56,15 @@ namespace {
 /// guarded unit: a budget trip or contained exception degrades only this
 /// loop (to Hindrance::Complexity), never the compile.
 void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions& options,
-                   const dependence::RoutineContext& rc, CompileReport& report,
-                   PassTimes& times, guard::Budget& budget, guard::IncidentLog& log) {
+                   const dependence::RoutineContext& rc, sched::AnalysisCache* cache,
+                   std::vector<LoopReport>& loops, PassTimes& times, guard::Budget& budget,
+                   guard::IncidentLog& log) {
     for (auto& sp : block) {
         ir::Stmt& s = *sp;
         if (s.kind() == ir::StmtKind::If) {
             auto& i = static_cast<ir::IfStmt&>(s);
-            analyze_loops(i.then_block, routine, options, rc, report, times, budget, log);
-            analyze_loops(i.else_block, routine, options, rc, report, times, budget, log);
+            analyze_loops(i.then_block, routine, options, rc, cache, loops, times, budget, log);
+            analyze_loops(i.else_block, routine, options, rc, cache, loops, times, budget, log);
             continue;
         }
         if (s.kind() != ir::StmtKind::Do) continue;
@@ -74,6 +79,7 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         lc.op_budget = options.loop_op_budget;
         lc.prover_max_depth = options.prover_max_depth;
         lc.budget = &budget;
+        lc.cache = cache;
 
         const auto loop_t0 = std::chrono::steady_clock::now();
         auto loop_elapsed = [&loop_t0] {
@@ -157,9 +163,9 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         for (const auto& r : reds) lr.reductions.push_back(r.var);
         lr.pairs_tested = dd.pairs_tested;
         lr.symbolic_ops = dd.symbolic_ops;
-        report.loops.push_back(std::move(lr));
+        loops.push_back(std::move(lr));
 
-        analyze_loops(loop.body, routine, options, rc, report, times, budget, log);
+        analyze_loops(loop.body, routine, options, rc, cache, loops, times, budget, log);
     }
 }
 
@@ -242,26 +248,94 @@ CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
                        [&] { summaries = analysis::summarize_program(prog, cg, consts); });
     }
 
+    // Per-routine fan-out over the shared thread pool. Routines are
+    // independent at this stage (they read the shared whole-program facts
+    // and mutate only their own IR), so each worker owns a private slice
+    // {times, loop reports, incident log} that merges back in routine
+    // declaration order — the report is byte-identical for any thread
+    // count. The work list and the alias-map entries are prepared
+    // serially first: the map's operator[] inserts.
+    std::vector<ir::Routine*> work;
     for (auto* r : prog.routines()) {
         if (r->is_foreign()) continue;
-        trace::Span routine_span("routine", "compile");
-        routine_span.arg("routine", r->name);
-        analysis::RangeInfo ranges;
-        guard::guarded(log, to_string(PassId::Other), r->name, -1, [&] {
-            PassTimer t(report.times, PassId::Other);
-            ranges = analysis::analyze_ranges(*r, consts.of(r->name));
-        });
-        dependence::RoutineContext rc;
-        rc.routine = r;
-        rc.consts = &consts.of(r->name);
-        rc.ranges = &ranges;
-        rc.aliases = &aliases[r->name];
-        rc.summaries = &summaries;
-        rc.callgraph = &cg;
-        analyze_loops(r->body, *r, options, rc, report, report.times, budget, log);
+        work.push_back(r);
+        (void)aliases[r->name];
     }
+
+    sched::AnalysisCache cache;
+    sched::AnalysisCache* cache_ptr = options.analysis_cache ? &cache : nullptr;
+
+    struct RoutineSlice {
+        PassTimes times;
+        std::vector<LoopReport> loops;
+        guard::IncidentLog log;
+    };
+    std::vector<RoutineSlice> slices(work.size());
+
+    runtime::ParallelOptions po;
+    po.threads = options.threads;
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(work.size()),
+        [&](std::int64_t i) {
+            ir::Routine* r = work[static_cast<std::size_t>(i)];
+            RoutineSlice& slice = slices[static_cast<std::size_t>(i)];
+            trace::Span routine_span("routine", "compile");
+            routine_span.arg("routine", r->name);
+            analysis::RangeInfo ranges;
+            guard::guarded(slice.log, to_string(PassId::Other), r->name, -1, [&] {
+                PassTimer t(slice.times, PassId::Other);
+                ranges = analysis::analyze_ranges(*r, consts.of(r->name));
+            });
+            dependence::RoutineContext rc;
+            rc.routine = r;
+            rc.consts = &consts.of(r->name);
+            rc.ranges = &ranges;
+            rc.aliases = &aliases.find(r->name)->second;
+            rc.summaries = &summaries;
+            rc.callgraph = &cg;
+            analyze_loops(r->body, *r, options, rc, cache_ptr, slice.loops, slice.times,
+                          budget, slice.log);
+        },
+        po);
+
+    for (auto& slice : slices) {
+        report.times += slice.times;
+        report.loops.insert(report.loops.end(), std::make_move_iterator(slice.loops.begin()),
+                            std::make_move_iterator(slice.loops.end()));
+        log.merge(std::move(slice.log));
+    }
+    report.cache = cache.stats();
     report.incidents = log.incidents();
     return report;
+}
+
+std::vector<CompileReport> compile_many(std::vector<ir::Program>& programs,
+                                        const std::vector<CompilerOptions>& options) {
+    if (options.size() != programs.size()) {
+        throw std::invalid_argument("compile_many: options count != program count");
+    }
+    trace::Span span("compile_many", "compile");
+    span.arg("programs", static_cast<std::int64_t>(programs.size()));
+    std::vector<CompileReport> reports(programs.size());
+    // Outer level spreads programs across workers; each compile's own
+    // routine fan-out then runs inline on its worker (nested parallel_for
+    // detects the region). Serial equivalence per program is exact: every
+    // program is compiled by one thread with its own OpCounter.
+    runtime::ParallelOptions po;
+    po.threads = options.empty() ? 1 : options.front().threads;
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(programs.size()),
+        [&](std::int64_t i) {
+            const auto n = static_cast<std::size_t>(i);
+            reports[n] = compile(programs[n], options[n]);
+        },
+        po);
+    return reports;
+}
+
+std::vector<CompileReport> compile_many(std::vector<ir::Program>& programs,
+                                        const CompilerOptions& options) {
+    return compile_many(programs, std::vector<CompilerOptions>(programs.size(), options));
 }
 
 }  // namespace ap::core

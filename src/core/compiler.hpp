@@ -8,6 +8,7 @@
 #include "core/passes.hpp"
 #include "guard/guard.hpp"
 #include "ir/program.hpp"
+#include "sched/cache.hpp"
 #include "symbolic/range.hpp"
 
 namespace ap::core {
@@ -27,6 +28,16 @@ struct CompilerOptions {
     /// Recursion allowance for the symbolic Prover's range chasing;
     /// exhaustion is counted (symbolic.prover_depth_trips), not fatal.
     int prover_max_depth = symbolic::Prover::kDefaultMaxDepth;
+    /// Worker threads for the per-routine analysis fan-out (1 = fully
+    /// serial, 0 = thread-pool size). Whole-program passes stay ordered
+    /// barriers; reports and incidents are byte-identical across thread
+    /// counts (docs/PERFORMANCE.md).
+    unsigned threads = 1;
+    /// Memoize prover and dependence-test queries for the duration of
+    /// this compile (sched::AnalysisCache). Hits re-charge the fresh
+    /// computation's op cost, so verdicts, budgets, and hindrances are
+    /// identical with the cache on or off — only wall time changes.
+    bool analysis_cache = true;
     analysis::InlineOptions inline_options{};
 };
 
@@ -56,6 +67,9 @@ struct CompileReport {
     /// Guarded-pass failures (budget trips, contained exceptions) in
     /// pipeline order — the `compiler.incidents` report section.
     std::vector<guard::Incident> incidents;
+    /// Analysis-cache totals for this compile (zero when the cache is
+    /// disabled) — the `data.sched` cache section of bench reports.
+    sched::CacheStats cache;
 
     [[nodiscard]] double total_seconds() const { return times.total_seconds(); }
     [[nodiscard]] double seconds_per_statement() const {
@@ -76,5 +90,16 @@ struct CompileReport {
 ///   recognition, privatization, and data-dependence testing.
 /// The program is mutated (inlining, induction rewrites, annotations).
 CompileReport compile(ir::Program& prog, const CompilerOptions& options = {});
+
+/// Batch front end: compiles independent programs, fanning out over the
+/// shared runtime::ThreadPool (options.threads workers; nested per-routine
+/// fan-outs run inline on the workers). reports[i] corresponds to
+/// programs[i] and is identical to what compile(programs[i], options[i])
+/// would produce serially. The per-options overload throws
+/// std::invalid_argument on a size mismatch.
+std::vector<CompileReport> compile_many(std::vector<ir::Program>& programs,
+                                        const std::vector<CompilerOptions>& options);
+std::vector<CompileReport> compile_many(std::vector<ir::Program>& programs,
+                                        const CompilerOptions& options = {});
 
 }  // namespace ap::core

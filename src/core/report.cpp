@@ -100,11 +100,19 @@ BenchArgs parse_bench_args(int argc, char** argv) {
                 return args;
             }
             args.deadline_ms = std::atof(v);
+        } else if (std::strcmp(a, "--threads") == 0) {
+            const char* v = value();
+            if (!v || std::atoi(v) < 0) {
+                args.ok = false;
+                args.error = "--threads requires a non-negative count (0 = pool size)";
+                return args;
+            }
+            args.threads = static_cast<unsigned>(std::atoi(v));
         } else {
             args.ok = false;
             args.error = std::string("unknown argument: ") + a +
                          " (supported: --json <path>, --repeats <n>, --chaos <seeds>, "
-                         "--budget-ops <n>, --deadline-ms <n>)";
+                         "--budget-ops <n>, --deadline-ms <n>, --threads <n>)";
             return args;
         }
     }
@@ -166,6 +174,24 @@ trace::json::Value compile_report_json(const CompileReport& report) {
     out.set("target_histogram", hindrance_histogram_json(report.target_histogram()));
     out.set("inlined_calls", report.inlined_calls);
     out.set("induction_substitutions", report.induction_substitutions);
+    return out;
+}
+
+trace::json::Value sched_json(unsigned threads, double wall_seconds,
+                              double wall_seconds_serial, const sched::CacheStats& cache) {
+    trace::json::Value out = trace::json::Value::object();
+    out.set("threads", static_cast<std::int64_t>(threads));
+    out.set("wall_seconds", wall_seconds);
+    out.set("wall_seconds_serial", wall_seconds_serial);
+    out.set("speedup", wall_seconds > 0 && wall_seconds_serial > 0
+                           ? wall_seconds_serial / wall_seconds
+                           : 1.0);
+    trace::json::Value c = trace::json::Value::object();
+    c.set("hits", cache.hits);
+    c.set("misses", cache.misses);
+    c.set("queries", cache.queries());
+    c.set("hit_rate", cache.hit_rate());
+    out.set("cache", std::move(c));
     return out;
 }
 

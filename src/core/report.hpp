@@ -50,12 +50,16 @@ struct BenchArgs {
     /// defaults (no pressure).
     std::uint64_t budget_ops = 0;
     double deadline_ms = 0;
+    /// Compile-pipeline worker threads (CompilerOptions::threads):
+    /// 1 = serial baseline, 0 = thread-pool size.
+    unsigned threads = 1;
     bool ok = true;         ///< false on malformed argv (bench should exit 2)
     std::string error;
 };
 
 /// Parses `--json <path>`, `--repeats <n>`, `--chaos <seeds>`,
-/// `--budget-ops <n>` and `--deadline-ms <n>`; unknown arguments fail.
+/// `--budget-ops <n>`, `--deadline-ms <n>` and `--threads <n>`; unknown
+/// arguments fail.
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
 
 /// Applies the budget-pressure knobs of `args` to compiler options.
@@ -76,6 +80,16 @@ void apply_budget_args(const BenchArgs& args, CompilerOptions& options);
 /// Full per-program compile outcome: statements, pass breakdown, loop
 /// totals, and the Figure-5 histogram over target loops.
 [[nodiscard]] trace::json::Value compile_report_json(const CompileReport& report);
+
+/// The `data.sched` section: pipeline threading and analysis-cache
+/// effectiveness for one bench run. `wall_seconds_serial` is the
+/// measured `--threads 1` reference (0 when the run *is* the serial
+/// reference, making speedup 1). tools/report_lint validates the shape
+/// and the `sched.cache.hits + sched.cache.misses == sched.queries`
+/// counter invariant.
+[[nodiscard]] trace::json::Value sched_json(unsigned threads, double wall_seconds,
+                                            double wall_seconds_serial,
+                                            const sched::CacheStats& cache);
 
 /// Wraps `data` in the shared envelope (schema, bench name, ok flag,
 /// counters snapshot) and writes it pretty-printed. False on I/O error.

@@ -5,6 +5,7 @@
 
 #include "analysis/access.hpp"
 #include "ir/visit.hpp"
+#include "sched/cache.hpp"
 #include "symbolic/linear.hpp"
 #include "symbolic/range.hpp"
 #include "trace/counters.hpp"
@@ -136,6 +137,14 @@ public:
         env_ = rc.ranges->env;
         analysis::push_loop_range(env_, loop, *rc.consts);
         candidate_range_ = env_[loop.var];
+        if (lc_.cache != nullptr) {
+            // Serialized once per loop: the environment (routine ranges +
+            // this loop's index range) is fixed for the tester's lifetime
+            // and is the context every cached query depends on.
+            env_key_ = symbolic::serialize_env(env_);
+            key_prefix_ = "rangetest|" + rc.routine->name + "|I=" + loop_.var + "|d" +
+                          std::to_string(lc_.prover_max_depth) + '|' + env_key_ + '|';
+        }
     }
 
     LoopDependenceResult run() {
@@ -530,12 +539,78 @@ private:
         return range_test(*a_min, *a_max, *b_min, *b_max, a.ref->name, issue);
     }
 
-    /// The Range Test on candidate index I over two access ranges
-    /// [a_min(I), a_max(I)] and [b_min(I'), b_max(I')], I != I'.
+    /// Which proof counter a range_test run bumped — recorded in the
+    /// cache entry so a hit replays the same observability signal.
+    enum ProofCounter : int { kNoProof = 0, kStride, kGcd, kReach, kMonotonic, kDisjoint, kGaveUp };
+
+    static void bump_proved(int id) {
+        DdCounters& c = DdCounters::instance();
+        switch (id) {
+            case kStride: c.proved_stride.add(); break;
+            case kGcd: c.proved_gcd.add(); break;
+            case kReach: c.proved_reach.add(); break;
+            case kMonotonic: c.proved_monotonic.add(); break;
+            case kDisjoint: c.proved_disjoint.add(); break;
+            case kGaveUp: c.gave_up.add(); break;
+            default: break;
+        }
+    }
+
+    /// The Range Test, memoized. A run is a pure function of the four
+    /// forms, the environment, the candidate index, the prover depth, the
+    /// label, and the routine's symbol table (which classify_unknown
+    /// consults) — all of which the key serializes, so a hit can never
+    /// cross verdicts. Hits replay the fresh run's ops, depth trips, and
+    /// proof counter; see sched::AnalysisCache for the contract.
     DimOutcome range_test(const LinearForm& a_min, const LinearForm& a_max,
                           const LinearForm& b_min, const LinearForm& b_max,
                           const std::string& label, Issue& issue) {
         Prover prover(env_, lc_.prover_max_depth);
+        int proved = kNoProof;
+        if (lc_.cache == nullptr) {
+            return range_test_fresh(prover, a_min, a_max, b_min, b_max, label, issue, proved);
+        }
+        prover.attach_cache(lc_.cache, &env_key_);
+        std::string key = key_prefix_;
+        key += a_min.to_string();
+        key += '|';
+        key += a_max.to_string();
+        key += '|';
+        key += b_min.to_string();
+        key += '|';
+        key += b_max.to_string();
+        key += '|';
+        key += label;
+        if (std::optional<sched::Entry> hit = lc_.cache->lookup(key)) {
+            symbolic::OpCounter::bump(hit->ops_cost);
+            if (hit->aux != 0) {
+                static trace::Counter& depth_trips =
+                    trace::counters::get("symbolic.prover_depth_trips");
+                depth_trips.add(static_cast<std::int64_t>(hit->aux));
+            }
+            bump_proved(static_cast<int>(hit->b));
+            issue = {static_cast<ir::Hindrance>(hit->c), hit->detail};
+            return static_cast<DimOutcome>(hit->a);
+        }
+        const std::uint64_t ops_before = symbolic::OpCounter::count();
+        const DimOutcome out =
+            range_test_fresh(prover, a_min, a_max, b_min, b_max, label, issue, proved);
+        sched::Entry e;
+        e.ops_cost = symbolic::OpCounter::count() - ops_before;
+        e.aux = prover.depth_trips();
+        e.a = static_cast<std::int64_t>(out);
+        e.b = proved;
+        e.c = static_cast<std::int64_t>(issue.kind);
+        e.detail = issue.detail;
+        lc_.cache->insert(key, std::move(e));
+        return out;
+    }
+
+    /// The Range Test on candidate index I over two access ranges
+    /// [a_min(I), a_max(I)] and [b_min(I'), b_max(I')], I != I'.
+    DimOutcome range_test_fresh(Prover& prover, const LinearForm& a_min, const LinearForm& a_max,
+                                const LinearForm& b_min, const LinearForm& b_max,
+                                const std::string& label, Issue& issue, int& proved) {
         const std::string& I = loop_.var;
         const std::int64_t ca_lo = a_min.coeff_of(I);
         const std::int64_t ca_hi = a_max.coeff_of(I);
@@ -560,14 +635,14 @@ private:
                 const Proof upper = prover.prove_lt(d_hi, LinearForm(stride));
                 const Proof lower = prover.prove_lt(LinearForm(-stride), d_lo);
                 if (upper == Proof::Proven && lower == Proof::Proven) {
-                    DdCounters::instance().proved_stride.add();
+                    bump_proved(proved = kStride);
                     return DimOutcome::ProvenDistinct;
                 }
                 // GCD test: an exact constant difference must be divisible
                 // by the stride for any collision to exist.
                 if (d_hi.equals(d_lo) && d_hi.is_constant() &&
                     d_hi.constant() % stride != 0) {
-                    DdCounters::instance().proved_gcd.add();
+                    bump_proved(proved = kGcd);
                     return DimOutcome::ProvenDistinct;
                 }
                 // The dependence distance may exceed the iteration span:
@@ -577,12 +652,12 @@ private:
                         (*candidate_range_.hi - *candidate_range_.lo).scaled(stride);
                     if (prover.prove_lt(reach, d_lo) == Proof::Proven ||
                         prover.prove_lt(d_hi, reach.negate()) == Proof::Proven) {
-                        DdCounters::instance().proved_reach.add();
+                        bump_proved(proved = kReach);
                         return DimOutcome::ProvenDistinct;
                     }
                 }
                 if (upper == Proof::Unknown || lower == Proof::Unknown) {
-                    DdCounters::instance().gave_up.add();
+                    bump_proved(proved = kGaveUp);
                     issue = {classify_unknown(prover),
                              "cannot compare stride and span of " + label};
                     return DimOutcome::Fail;
@@ -604,7 +679,7 @@ private:
             if (cb_lo >= 0 && ca_lo >= 0 &&
                 prover.prove_pos(b_min_next - a_max) == Proof::Proven &&
                 prover.prove_pos(a_min_next - b_max) == Proof::Proven) {
-                DdCounters::instance().proved_monotonic.add();
+                bump_proved(proved = kMonotonic);
                 return DimOutcome::ProvenDistinct;
             }
             const LinearForm b_max_next = b_max.substituted(I, next);
@@ -612,7 +687,7 @@ private:
             if (cb_hi <= 0 && ca_hi <= 0 &&
                 prover.prove_pos(a_min - b_max_next) == Proof::Proven &&
                 prover.prove_pos(b_min - a_max_next) == Proof::Proven) {
-                DdCounters::instance().proved_monotonic.add();
+                bump_proved(proved = kMonotonic);
                 return DimOutcome::ProvenDistinct;
             }
         }
@@ -627,21 +702,21 @@ private:
             const Proof ab = prover.prove_lt(*A_max, *B_min);
             const Proof ba = prover.prove_lt(*B_max, *A_min);
             if (ab == Proof::Proven || ba == Proof::Proven) {
-                DdCounters::instance().proved_disjoint.add();
+                bump_proved(proved = kDisjoint);
                 return DimOutcome::ProvenDistinct;
             }
             if ((ca_lo | ca_hi | cb_lo | cb_hi) == 0) {
                 // Both sides I-independent and not disjoint: an element is
                 // touched in every iteration.
                 if (ab == Proof::Unknown || ba == Proof::Unknown) {
-                    DdCounters::instance().gave_up.add();
+                    bump_proved(proved = kGaveUp);
                     issue = {classify_unknown(prover), "cannot separate accesses to " + label};
                     return DimOutcome::Fail;
                 }
                 return DimOutcome::NoInfo;
             }
         }
-        DdCounters::instance().gave_up.add();
+        bump_proved(proved = kGaveUp);
         issue = {classify_unknown(prover),
                  "cannot prove independence of accesses to " + label};
         return DimOutcome::Fail;
@@ -671,6 +746,8 @@ private:
     const LoopContext& lc_;
     symbolic::RangeEnv env_;
     SymRange candidate_range_;
+    std::string env_key_;     ///< serialize_env(env_), when caching
+    std::string key_prefix_;  ///< rangetest key up to the four forms
     std::vector<Issue> issues_;
     int pairs_tested_ = 0;
     std::uint64_t start_ops_ = 0;

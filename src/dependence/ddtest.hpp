@@ -54,6 +54,11 @@ struct LoopContext {
     /// trip mid-analysis degrades this loop to Complexity exactly like an
     /// op-budget trip.
     guard::Budget* budget = nullptr;
+    /// Per-compile analysis memoization (core::compile owns it); null
+    /// disables caching. Hits replay the fresh computation's ops, depth
+    /// trips, and counters, so verdicts and budget behaviour are
+    /// identical either way (see sched::AnalysisCache).
+    sched::AnalysisCache* cache = nullptr;
 };
 
 /// Tests whether `loop` can be run in parallel: no loop-carried

@@ -94,6 +94,16 @@ void IncidentLog::record(Incident incident) {
     incidents_.push_back(std::move(incident));
 }
 
+void IncidentLog::merge(IncidentLog&& other) {
+    incidents_.insert(incidents_.end(), std::make_move_iterator(other.incidents_.begin()),
+                      std::make_move_iterator(other.incidents_.end()));
+    degraded_ += other.degraded_;
+    fatal_ += other.fatal_;
+    other.incidents_.clear();
+    other.degraded_ = 0;
+    other.fatal_ = 0;
+}
+
 namespace detail {
 
 void record_failure(IncidentLog& log, std::string_view pass, std::string_view routine,

@@ -148,6 +148,12 @@ class IncidentLog {
 public:
     void record(Incident incident);
 
+    /// Splices another log's incidents onto the end of this one (merging
+    /// per-worker slices back in a fixed order). Tallies transfer without
+    /// re-bumping the guard.* trace counters — the slice's record() calls
+    /// already did; `other` is left empty.
+    void merge(IncidentLog&& other);
+
     [[nodiscard]] const std::vector<Incident>& incidents() const noexcept { return incidents_; }
     [[nodiscard]] int degraded() const noexcept { return degraded_; }
     [[nodiscard]] int fatal() const noexcept { return fatal_; }

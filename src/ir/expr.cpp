@@ -19,6 +19,12 @@ bool ArrayRef::equals(const Expr& o) const {
     return true;
 }
 
+std::uint64_t ArrayRef::hash() const noexcept {
+    std::uint64_t h = detail::hash_str(detail::hash_seed(kind()), name);
+    for (const auto& s : subscripts) h = detail::hash_mix(h, s->hash());
+    return detail::hash_mix(h, subscripts.size());
+}
+
 ExprPtr Call::clone() const {
     std::vector<ExprPtr> a;
     a.reserve(args.size());
@@ -34,6 +40,12 @@ bool Call::equals(const Expr& o) const {
         if (!c.args[i]->equals(*args[i])) return false;
     }
     return true;
+}
+
+std::uint64_t Call::hash() const noexcept {
+    std::uint64_t h = detail::hash_str(detail::hash_seed(kind()), name);
+    for (const auto& a : args) h = detail::hash_mix(h, a->hash());
+    return detail::hash_mix(h, args.size());
 }
 
 std::string_view to_string(UnaryOp op) noexcept {

@@ -61,11 +61,33 @@ public:
     /// Structural equality (names compared case-sensitively; the frontend
     /// upper-cases all identifiers so this is effectively Fortran-style).
     [[nodiscard]] virtual bool equals(const Expr& other) const = 0;
+    /// Structural hash consistent with equals(): equal trees hash equal.
+    /// One recursive walk — callers comparing many trees pairwise should
+    /// hash each tree once and use the digest to short-circuit the
+    /// quadratic equals() sweep (the GAMESS/SANDER privatization hot
+    /// spot); analysis caches use it as a cheap key ingredient.
+    [[nodiscard]] virtual std::uint64_t hash() const noexcept = 0;
 
 private:
     ExprKind kind_;
     SourceLoc loc_;
 };
+
+namespace detail {
+/// FNV-1a-style mixing for structural hashes. Seeding with the node kind
+/// keeps e.g. IntConst(0) and LogicalConst(false) apart.
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) noexcept {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+[[nodiscard]] inline std::uint64_t hash_seed(ExprKind k) noexcept {
+    return hash_mix(0xcbf29ce484222325ULL, static_cast<std::uint64_t>(k));
+}
+[[nodiscard]] inline std::uint64_t hash_str(std::uint64_t h, const std::string& s) noexcept {
+    for (const char c : s) h = hash_mix(h, static_cast<unsigned char>(c));
+    return hash_mix(h, s.size());
+}
+}  // namespace detail
 
 class IntConst final : public Expr {
 public:
@@ -74,6 +96,9 @@ public:
     [[nodiscard]] ExprPtr clone() const override { return std::make_unique<IntConst>(value, loc()); }
     [[nodiscard]] bool equals(const Expr& o) const override {
         return o.kind() == ExprKind::IntConst && static_cast<const IntConst&>(o).value == value;
+    }
+    [[nodiscard]] std::uint64_t hash() const noexcept override {
+        return detail::hash_mix(detail::hash_seed(kind()), static_cast<std::uint64_t>(value));
     }
 };
 
@@ -85,6 +110,15 @@ public:
     [[nodiscard]] bool equals(const Expr& o) const override {
         return o.kind() == ExprKind::RealConst && static_cast<const RealConst&>(o).value == value;
     }
+    [[nodiscard]] std::uint64_t hash() const noexcept override {
+        // bit_cast keeps hash() consistent with equals()'s exact == on
+        // doubles (distinct bit patterns that compare equal, i.e. ±0, are
+        // not produced by the frontend).
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof value);
+        __builtin_memcpy(&bits, &value, sizeof bits);
+        return detail::hash_mix(detail::hash_seed(kind()), bits);
+    }
 };
 
 class LogicalConst final : public Expr {
@@ -94,6 +128,9 @@ public:
     [[nodiscard]] ExprPtr clone() const override { return std::make_unique<LogicalConst>(value, loc()); }
     [[nodiscard]] bool equals(const Expr& o) const override {
         return o.kind() == ExprKind::LogicalConst && static_cast<const LogicalConst&>(o).value == value;
+    }
+    [[nodiscard]] std::uint64_t hash() const noexcept override {
+        return detail::hash_mix(detail::hash_seed(kind()), value ? 1 : 0);
     }
 };
 
@@ -105,6 +142,9 @@ public:
     [[nodiscard]] ExprPtr clone() const override { return std::make_unique<StrConst>(value, loc()); }
     [[nodiscard]] bool equals(const Expr& o) const override {
         return o.kind() == ExprKind::StrConst && static_cast<const StrConst&>(o).value == value;
+    }
+    [[nodiscard]] std::uint64_t hash() const noexcept override {
+        return detail::hash_str(detail::hash_seed(kind()), value);
     }
 };
 
@@ -118,6 +158,9 @@ public:
     [[nodiscard]] bool equals(const Expr& o) const override {
         return o.kind() == ExprKind::VarRef && static_cast<const VarRef&>(o).name == name;
     }
+    [[nodiscard]] std::uint64_t hash() const noexcept override {
+        return detail::hash_str(detail::hash_seed(kind()), name);
+    }
 };
 
 /// A subscripted array reference A(i, j+1, ...).
@@ -129,6 +172,7 @@ public:
     std::vector<ExprPtr> subscripts;
     [[nodiscard]] ExprPtr clone() const override;
     [[nodiscard]] bool equals(const Expr& o) const override;
+    [[nodiscard]] std::uint64_t hash() const noexcept override;
 };
 
 class Unary final : public Expr {
@@ -144,6 +188,11 @@ public:
         if (o.kind() != ExprKind::Unary) return false;
         const auto& u = static_cast<const Unary&>(o);
         return u.op == op && u.operand->equals(*operand);
+    }
+    [[nodiscard]] std::uint64_t hash() const noexcept override {
+        std::uint64_t h = detail::hash_seed(kind());
+        h = detail::hash_mix(h, static_cast<std::uint64_t>(op));
+        return detail::hash_mix(h, operand->hash());
     }
 };
 
@@ -162,6 +211,12 @@ public:
         const auto& b = static_cast<const Binary&>(o);
         return b.op == op && b.lhs->equals(*lhs) && b.rhs->equals(*rhs);
     }
+    [[nodiscard]] std::uint64_t hash() const noexcept override {
+        std::uint64_t h = detail::hash_seed(kind());
+        h = detail::hash_mix(h, static_cast<std::uint64_t>(op));
+        h = detail::hash_mix(h, lhs->hash());
+        return detail::hash_mix(h, rhs->hash());
+    }
 };
 
 /// Function call by name. Intrinsics (MAX, MIN, MOD, ABS, SQRT, ...) are
@@ -174,6 +229,7 @@ public:
     std::vector<ExprPtr> args;
     [[nodiscard]] ExprPtr clone() const override;
     [[nodiscard]] bool equals(const Expr& o) const override;
+    [[nodiscard]] std::uint64_t hash() const noexcept override;
 };
 
 // ---------------------------------------------------------------------------

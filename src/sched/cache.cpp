@@ -1,0 +1,64 @@
+#include "sched/cache.hpp"
+
+#include <functional>
+
+#include "trace/counters.hpp"
+
+namespace ap::sched {
+
+namespace {
+
+/// Process-wide accounting, split out so the registry mutex is paid once.
+struct SchedCounters {
+    trace::Counter& hits = trace::counters::get("sched.cache.hits");
+    trace::Counter& misses = trace::counters::get("sched.cache.misses");
+    trace::Counter& queries = trace::counters::get("sched.queries");
+    trace::Counter& insert_dropped = trace::counters::get("sched.cache.insert_dropped");
+
+    static SchedCounters& instance() {
+        static SchedCounters c;
+        return c;
+    }
+};
+
+}  // namespace
+
+AnalysisCache::Shard& AnalysisCache::shard_for(const std::string& key) noexcept {
+    const std::size_t h = std::hash<std::string>{}(key);
+    return shards_[h % kShards];
+}
+
+std::optional<Entry> AnalysisCache::lookup(const std::string& key) {
+    SchedCounters& c = SchedCounters::instance();
+    c.queries.add();
+    Shard& s = shard_for(key);
+    std::optional<Entry> out;
+    {
+        std::lock_guard lock(s.mutex);
+        auto it = s.map.find(key);
+        if (it != s.map.end()) out = it->second;
+    }
+    {
+        std::lock_guard lock(stats_mutex_);
+        (out ? stats_.hits : stats_.misses) += 1;
+    }
+    (out ? c.hits : c.misses).add();
+    return out;
+}
+
+void AnalysisCache::insert(const std::string& key, Entry entry) {
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mutex);
+    if (s.map.size() >= kMaxEntriesPerShard) {
+        SchedCounters::instance().insert_dropped.add();
+        return;
+    }
+    s.map.emplace(key, std::move(entry));
+}
+
+CacheStats AnalysisCache::stats() const noexcept {
+    std::lock_guard lock(stats_mutex_);
+    return stats_;
+}
+
+}  // namespace ap::sched

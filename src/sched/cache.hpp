@@ -1,0 +1,108 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ap::sched {
+
+/// ap::sched — the analysis memoization layer of the parallel compile
+/// pipeline (docs/PERFORMANCE.md).
+///
+/// The paper's central cost metric is compile time per statement; the
+/// dominant consumer is the symbolic engine re-answering the same range
+/// and dependence queries over and over (industrial codes repeat access
+/// patterns across hundreds of loops). AnalysisCache memoizes those
+/// queries for the duration of ONE compile.
+///
+/// Determinism contract: every entry stores the number of symbolic-engine
+/// operations the fresh computation consumed (`ops_cost`). A cache hit
+/// re-charges exactly that many ops to the calling thread's OpCounter, so
+/// op accounting, per-loop op-budget trips, and therefore every verdict,
+/// hindrance, and incident are byte-identical whether a query hit or
+/// missed — and hence identical across thread counts and with the cache
+/// disabled. Only wall-clock time (and the hit/miss counters themselves)
+/// change.
+///
+/// Thread safety: the key space is sharded over independent mutexes, so
+/// concurrent routine workers rarely contend. Keys are full serialized
+/// query strings (not just hashes) — a hash collision can therefore never
+/// return a wrong verdict.
+
+/// One memoized verdict. The payload is deliberately generic (two small
+/// integers, a string, a name list) so this layer stays below
+/// ap::symbolic and ap::dependence in the dependency order; callers
+/// encode/decode their own enums. Keys are full serialized query strings
+/// prefixed with a family tag ("prover|", "rangetest|") so the two
+/// query vocabularies can never collide.
+struct Entry {
+    std::uint64_t ops_cost = 0;  ///< symbolic ops the fresh computation used
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int64_t c = 0;
+    bool has_a = false;  ///< for families with optional integer payloads
+    bool has_b = false;
+    std::uint64_t aux = 0;  ///< secondary replay count (e.g. depth trips)
+    std::string detail;
+    std::vector<std::string> names;  ///< e.g. prover blocker symbols
+};
+
+/// Aggregate hit/miss totals of one cache instance (mirrored into the
+/// process-wide `sched.cache.hits` / `sched.cache.misses` /
+/// `sched.queries` trace counters).
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    [[nodiscard]] std::uint64_t queries() const noexcept { return hits + misses; }
+    [[nodiscard]] double hit_rate() const noexcept {
+        const std::uint64_t q = queries();
+        return q ? static_cast<double>(hits) / static_cast<double>(q) : 0.0;
+    }
+    CacheStats& operator+=(const CacheStats& o) noexcept {
+        hits += o.hits;
+        misses += o.misses;
+        return *this;
+    }
+};
+
+/// Scoped to one compile (core::compile creates one and threads it down
+/// through the dependence test into the Prover), shared by every worker
+/// of that compile.
+class AnalysisCache {
+public:
+    AnalysisCache() = default;
+    AnalysisCache(const AnalysisCache&) = delete;
+    AnalysisCache& operator=(const AnalysisCache&) = delete;
+
+    /// Looks `key` up; counts a hit or a miss. The caller computes and
+    /// insert()s on a miss.
+    [[nodiscard]] std::optional<Entry> lookup(const std::string& key);
+
+    /// Stores a freshly computed verdict. Inserts are dropped once a
+    /// shard is full (kMaxEntriesPerShard) — correctness never depends on
+    /// an insert landing.
+    void insert(const std::string& key, Entry entry);
+
+    [[nodiscard]] CacheStats stats() const noexcept;
+
+private:
+    static constexpr std::size_t kShards = 16;
+    static constexpr std::size_t kMaxEntriesPerShard = 1 << 15;
+
+    struct Shard {
+        std::mutex mutex;
+        std::unordered_map<std::string, Entry> map;
+    };
+
+    [[nodiscard]] Shard& shard_for(const std::string& key) noexcept;
+
+    std::array<Shard, kShards> shards_;
+    mutable std::mutex stats_mutex_;
+    CacheStats stats_;
+};
+
+}  // namespace ap::sched

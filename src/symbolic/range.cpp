@@ -27,9 +27,12 @@ Prover::Interval Prover::bound_symbol(const std::string& name, int depth) const 
         // Depth-limit exhaustion degrades the query to "unknown"; the trip
         // used to be silent, which made budget effects invisible in
         // reports. Counted here, surfaced as symbolic.prover_depth_trips.
+        // The per-prover tally lets query() capture an exact delta for
+        // cache replay (the global counter is shared across threads).
         static trace::Counter& depth_trips =
             trace::counters::get("symbolic.prover_depth_trips");
         depth_trips.add();
+        ++depth_trips_;
         return out;
     }
     if (it->second.lo) {
@@ -96,17 +99,62 @@ Prover::Interval Prover::bound_form(const LinearForm& f, int depth) const {
     return out;
 }
 
+Prover::Interval Prover::query(const LinearForm& f) const {
+    if (cache_ == nullptr) return bound_form(f, depth_limit_);
+    std::string key = "prover|";
+    key += *env_key_;
+    key += "|d";
+    key += std::to_string(depth_limit_);
+    key += '|';
+    key += f.to_string();
+    if (std::optional<sched::Entry> hit = cache_->lookup(key)) {
+        // Replay the fresh computation's side effects exactly: ops charged
+        // to this thread's OpCounter, depth trips, and blocker symbols.
+        OpCounter::bump(hit->ops_cost);
+        if (hit->aux != 0) {
+            static trace::Counter& depth_trips =
+                trace::counters::get("symbolic.prover_depth_trips");
+            depth_trips.add(static_cast<std::int64_t>(hit->aux));
+            depth_trips_ += hit->aux;
+        }
+        for (auto& n : hit->names) blockers_.insert(std::move(n));
+        Interval out;
+        if (hit->has_a) out.lo = hit->a;
+        if (hit->has_b) out.hi = hit->b;
+        return out;
+    }
+    // Miss: compute fresh while capturing the blockers delta (swap trick —
+    // the final set is the same union either way) plus exact op and
+    // depth-trip costs, so a later hit replays all three.
+    std::set<std::string> saved;
+    saved.swap(blockers_);
+    const std::uint64_t ops_before = OpCounter::count();
+    const std::uint64_t trips_before = depth_trips_;
+    const Interval out = bound_form(f, depth_limit_);
+    sched::Entry e;
+    e.ops_cost = OpCounter::count() - ops_before;
+    e.aux = depth_trips_ - trips_before;
+    e.has_a = out.lo.has_value();
+    e.a = out.lo.value_or(0);
+    e.has_b = out.hi.has_value();
+    e.b = out.hi.value_or(0);
+    e.names.assign(blockers_.begin(), blockers_.end());
+    blockers_.insert(saved.begin(), saved.end());
+    cache_->insert(key, std::move(e));
+    return out;
+}
+
 std::optional<std::int64_t> Prover::lower_bound(const LinearForm& f) const {
-    return bound_form(f, depth_limit_).lo;
+    return query(f).lo;
 }
 
 std::optional<std::int64_t> Prover::upper_bound(const LinearForm& f) const {
-    return bound_form(f, depth_limit_).hi;
+    return query(f).hi;
 }
 
 Proof Prover::prove_nonneg(const LinearForm& f) const {
     if (f.is_constant()) return f.constant() >= 0 ? Proof::Proven : Proof::Disproven;
-    const Interval i = bound_form(f, depth_limit_);
+    const Interval i = query(f);
     if (i.lo && *i.lo >= 0) return Proof::Proven;
     if (i.hi && *i.hi < 0) return Proof::Disproven;
     return Proof::Unknown;
@@ -114,7 +162,7 @@ Proof Prover::prove_nonneg(const LinearForm& f) const {
 
 Proof Prover::prove_pos(const LinearForm& f) const {
     if (f.is_constant()) return f.constant() > 0 ? Proof::Proven : Proof::Disproven;
-    const Interval i = bound_form(f, depth_limit_);
+    const Interval i = query(f);
     if (i.lo && *i.lo > 0) return Proof::Proven;
     if (i.hi && *i.hi <= 0) return Proof::Disproven;
     return Proof::Unknown;
@@ -139,10 +187,23 @@ Proof Prover::prove_eq(const LinearForm& a, const LinearForm& b) const {
     const LinearForm d = a - b;
     if (d.is_zero()) return Proof::Proven;
     if (d.is_constant()) return Proof::Disproven;
-    const Interval i = bound_form(d, depth_limit_);
+    const Interval i = query(d);
     if (i.lo && i.hi && *i.lo == 0 && *i.hi == 0) return Proof::Proven;
     if ((i.lo && *i.lo > 0) || (i.hi && *i.hi < 0)) return Proof::Disproven;
     return Proof::Unknown;
+}
+
+std::string serialize_env(const RangeEnv& env) {
+    std::string out;
+    for (const auto& [name, range] : env) {
+        out += name;
+        out += ":[";
+        out += range.lo ? range.lo->to_string() : "*";
+        out += ',';
+        out += range.hi ? range.hi->to_string() : "*";
+        out += "];";
+    }
+    return out;
 }
 
 }  // namespace ap::symbolic

@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "sched/cache.hpp"
 #include "symbolic/linear.hpp"
 
 namespace ap::symbolic {
@@ -68,11 +69,31 @@ public:
     [[nodiscard]] const std::set<std::string>& blockers() const noexcept { return blockers_; }
     void clear_blockers() { blockers_.clear(); }
 
+    /// Attaches a memoization cache (see sched::AnalysisCache). `env_key`
+    /// must be a canonical serialization of `env` (serialize_env) and must
+    /// outlive the prover; queries are keyed on (env_key, depth, form). A
+    /// hit re-charges the ops and depth trips the fresh computation
+    /// consumed and replays its blocker set, so op accounting, budget
+    /// trips, and hindrance classification are identical with the cache
+    /// on or off.
+    void attach_cache(sched::AnalysisCache* cache, const std::string* env_key) noexcept {
+        cache_ = cache;
+        env_key_ = env_key;
+    }
+
+    /// Depth-limit trips attributable to this prover (replayed trips
+    /// included) — lets an enclosing memoization layer capture an exact
+    /// per-thread delta, which the shared trace counter cannot give.
+    [[nodiscard]] std::uint64_t depth_trips() const noexcept { return depth_trips_; }
+
 private:
     struct Interval {
         std::optional<std::int64_t> lo;
         std::optional<std::int64_t> hi;
     };
+    /// Cache-aware top-level entry point; every public query funnels
+    /// through here.
+    [[nodiscard]] Interval query(const LinearForm& f) const;
     [[nodiscard]] Interval bound_form(const LinearForm& f, int depth) const;
     [[nodiscard]] Interval bound_symbol(const std::string& name, int depth) const;
     [[nodiscard]] Interval bound_term(const Term& t, int depth) const;
@@ -80,7 +101,15 @@ private:
     const RangeEnv* env_;
     int depth_limit_;
     mutable std::set<std::string> blockers_;
+    mutable std::uint64_t depth_trips_ = 0;  ///< this prover's trips, for exact replay
+    sched::AnalysisCache* cache_ = nullptr;
+    const std::string* env_key_ = nullptr;
 };
+
+/// Canonical string form of an environment, for cache keys: each entry as
+/// `name:[lo,hi];` in map order, with `*` for a missing side. Two
+/// environments serialize equal iff they compare equal.
+[[nodiscard]] std::string serialize_env(const RangeEnv& env);
 
 /// Symbolically eliminates the given variables from `f` by substituting
 /// each with the range endpoint that extremizes the form (hi for positive

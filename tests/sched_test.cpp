@@ -1,0 +1,222 @@
+// ap::sched tests: the parallel compile pipeline's determinism contract
+// (docs/PERFORMANCE.md). Compile outcomes — verdicts, hindrances, op
+// counts, incidents — must be byte-identical across worker thread
+// counts, with the analysis cache on or off, and through compile_many
+// versus one-at-a-time compile calls. Plus unit coverage for the
+// AnalysisCache itself and the Expr structural hash it leans on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "corpus/corpus.hpp"
+#include "ir/expr.hpp"
+#include "sched/cache.hpp"
+
+namespace ap::sched {
+namespace {
+
+/// Serializes every deterministic field of a compile outcome. Excludes
+/// wall-clock seconds and cache hit/miss counts — those are the only
+/// fields allowed to vary across thread counts and cache settings.
+std::string fingerprint(const core::CompileReport& report) {
+    std::string fp = report.program + '|' + std::to_string(report.statements) + '|' +
+                     std::to_string(report.inlined_calls) + '|' +
+                     std::to_string(report.induction_substitutions);
+    for (int p = 0; p < core::kPassCount; ++p) {
+        fp += '|' + std::to_string(report.times.ops(static_cast<core::PassId>(p)));
+    }
+    for (const auto& loop : report.loops) {
+        fp += '\n' + loop.routine + ':' + std::to_string(loop.loop_id) + ' ' +
+              (loop.is_target ? 'T' : '-') + std::string(1, loop.parallel ? 'P' : '-') + ' ' +
+              std::string(ir::to_string(loop.verdict)) + ' ' + loop.reason + ' ' +
+              std::to_string(loop.pairs_tested) + ' ' + std::to_string(loop.symbolic_ops);
+        for (const auto& v : loop.privates) fp += " pv:" + v;
+        for (const auto& v : loop.reductions) fp += " rd:" + v;
+    }
+    for (const auto& inc : report.incidents) {
+        fp += "\nincident " + inc.pass + ' ' + inc.routine + ' ' +
+              std::to_string(inc.loop_id) + ' ' + std::string(guard::to_string(inc.cause)) +
+              ' ' + inc.detail + (inc.fatal ? " fatal" : "");
+    }
+    return fp;
+}
+
+core::CompileReport compile_corpus(const corpus::CorpusProgram& c, unsigned threads,
+                                   bool cache, std::uint64_t loop_op_budget = 0) {
+    ir::Program prog = corpus::load(c);
+    core::CompilerOptions opts;
+    opts.loop_op_budget = loop_op_budget ? loop_op_budget : c.loop_op_budget;
+    opts.threads = threads;
+    opts.analysis_cache = cache;
+    return core::compile(prog, opts);
+}
+
+// --- determinism across thread counts ---------------------------------------
+
+TEST(SchedDeterminism, IdenticalAcrossThreadCounts) {
+    for (const auto* c : corpus::all()) {
+        const std::string serial = fingerprint(compile_corpus(*c, 1, true));
+        for (unsigned threads : {2u, 8u}) {
+            const std::string parallel = fingerprint(compile_corpus(*c, threads, true));
+            EXPECT_EQ(serial, parallel)
+                << c->name << ": compile outcome changed at threads=" << threads;
+        }
+    }
+}
+
+TEST(SchedDeterminism, IdenticalWithCacheDisabled) {
+    for (const auto* c : corpus::all()) {
+        const core::CompileReport cached = compile_corpus(*c, 1, true);
+        const core::CompileReport fresh = compile_corpus(*c, 1, false);
+        EXPECT_EQ(fingerprint(cached), fingerprint(fresh))
+            << c->name << ": the analysis cache changed a compile outcome";
+        // The cache must actually engage on real corpora...
+        EXPECT_GT(cached.cache.queries(), 0u) << c->name;
+        // ...and stay silent when disabled.
+        EXPECT_EQ(fresh.cache.queries(), 0u) << c->name;
+    }
+}
+
+TEST(SchedDeterminism, ThreadsAndCacheComposeWithBudgetPressure) {
+    // A starved op budget trips per-loop guards; the ops-recharging
+    // contract says the SAME loops trip regardless of threads or cache,
+    // because every query charges its fresh cost either way.
+    for (const auto* c : corpus::all()) {
+        const core::CompileReport serial = compile_corpus(*c, 1, true, 2'000);
+        const std::string want = fingerprint(serial);
+        EXPECT_EQ(want, fingerprint(compile_corpus(*c, 8, true, 2'000)))
+            << c->name << ": budget trips moved under threading";
+        EXPECT_EQ(want, fingerprint(compile_corpus(*c, 2, false, 2'000)))
+            << c->name << ": budget trips moved without the cache";
+        for (const auto& inc : serial.incidents) {
+            EXPECT_FALSE(inc.fatal) << c->name << ": budget trip escaped containment";
+        }
+    }
+}
+
+// --- compile_many ------------------------------------------------------------
+
+TEST(CompileMany, MatchesSerialCompile) {
+    const auto& corpora = corpus::all();
+    std::vector<ir::Program> programs;
+    std::vector<core::CompilerOptions> opts;
+    std::vector<std::string> want;
+    for (const auto* c : corpora) {
+        programs.push_back(corpus::load(*c));
+        core::CompilerOptions o;
+        o.loop_op_budget = c->loop_op_budget;
+        o.threads = 2;
+        opts.push_back(o);
+        want.push_back(fingerprint(compile_corpus(*c, 1, true)));
+    }
+    const auto reports = core::compile_many(programs, opts);
+    ASSERT_EQ(reports.size(), corpora.size());
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        EXPECT_EQ(want[i], fingerprint(reports[i]))
+            << corpora[i]->name << ": compile_many diverged from compile";
+    }
+}
+
+TEST(CompileMany, UniformOptionsOverload) {
+    std::vector<ir::Program> programs;
+    programs.push_back(corpus::load(*corpus::all().front()));
+    core::CompilerOptions opts;
+    opts.loop_op_budget = corpus::all().front()->loop_op_budget;
+    const auto reports = core::compile_many(programs, opts);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(fingerprint(reports.front()),
+              fingerprint(compile_corpus(*corpus::all().front(), 1, true)));
+}
+
+TEST(CompileMany, RejectsMismatchedOptionCount) {
+    std::vector<ir::Program> programs;
+    programs.push_back(corpus::load(*corpus::all().front()));
+    const std::vector<core::CompilerOptions> opts(2);
+    EXPECT_THROW((void)core::compile_many(programs, opts), std::invalid_argument);
+}
+
+TEST(CompileMany, EmptyBatch) {
+    std::vector<ir::Program> programs;
+    EXPECT_TRUE(core::compile_many(programs).empty());
+}
+
+// --- AnalysisCache unit ------------------------------------------------------
+
+TEST(AnalysisCache, MissThenHitRoundtrip) {
+    AnalysisCache cache;
+    EXPECT_FALSE(cache.lookup("prover|k").has_value());
+    Entry e;
+    e.ops_cost = 42;
+    e.a = -7;
+    e.has_a = true;
+    e.aux = 3;
+    e.detail = "why";
+    e.names = {"N", "M"};
+    cache.insert("prover|k", e);
+    const auto hit = cache.lookup("prover|k");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->ops_cost, 42u);
+    EXPECT_EQ(hit->a, -7);
+    EXPECT_TRUE(hit->has_a);
+    EXPECT_FALSE(hit->has_b);
+    EXPECT_EQ(hit->aux, 3u);
+    EXPECT_EQ(hit->detail, "why");
+    EXPECT_EQ(hit->names, (std::vector<std::string>{"N", "M"}));
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.queries(), 2u);
+    EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(AnalysisCache, DistinctKeysDoNotCollide) {
+    // Keys are full serialized queries; nearby strings must stay apart.
+    AnalysisCache cache;
+    for (int i = 0; i < 200; ++i) {
+        Entry e;
+        e.a = i;
+        cache.insert("rangetest|r|I=i|d32|n:[1,*]|q" + std::to_string(i), e);
+    }
+    for (int i = 0; i < 200; ++i) {
+        const auto hit = cache.lookup("rangetest|r|I=i|d32|n:[1,*]|q" + std::to_string(i));
+        ASSERT_TRUE(hit.has_value()) << i;
+        EXPECT_EQ(hit->a, i);
+    }
+}
+
+// --- Expr structural hash ----------------------------------------------------
+
+TEST(ExprHash, ConsistentWithEquals) {
+    using namespace ir;
+    const auto make = [] {
+        return std::make_unique<Binary>(BinaryOp::Add,
+                                        std::make_unique<VarRef>("I"),
+                                        std::make_unique<IntConst>(1));
+    };
+    const auto a = make();
+    const auto b = make();
+    EXPECT_TRUE(a->equals(*b));
+    EXPECT_EQ(a->hash(), b->hash());
+
+    const Binary sub(BinaryOp::Sub, std::make_unique<VarRef>("I"),
+                     std::make_unique<IntConst>(1));
+    EXPECT_FALSE(a->equals(sub));
+    EXPECT_NE(a->hash(), sub.hash());
+
+    const IntConst one(1);
+    const RealConst one_r(1.0);
+    const LogicalConst t(true);
+    EXPECT_NE(one.hash(), one_r.hash());  // kind feeds the seed
+    EXPECT_NE(one.hash(), t.hash());
+    EXPECT_EQ(one.hash(), IntConst(1).hash());
+    EXPECT_NE(one.hash(), IntConst(2).hash());
+    EXPECT_NE(VarRef("I").hash(), VarRef("J").hash());
+}
+
+}  // namespace
+}  // namespace ap::sched

@@ -11,6 +11,11 @@
 //                           ap::guard layer has to contain every failure
 //                           as a degraded incident. guard.fatal != 0 or
 //                           an escaped exception is a FAILURE.
+//   2b. compile diff      — two fresh parses of the mutant batched
+//                           through compile_many at different thread
+//                           counts (and cache on/off); any divergence in
+//                           the deterministic compile fingerprint is a
+//                           FAILURE (skipped on deadline incidents).
 //   3. interpret          — serial then parallel (the oracle pair), with
 //                           a small step cap and wall-clock watchdog so
 //                           mutants that loop forever are cut off.
@@ -176,8 +181,43 @@ struct Stats {
     std::int64_t degraded = 0;       ///< compiles with >=1 guard incident
     std::int64_t runtime_rejects = 0;
     std::int64_t differential = 0;   ///< serial+parallel pairs compared
+    std::int64_t compile_diffs = 0;  ///< thread-count compile pairs compared
     std::int64_t failures = 0;
 };
+
+/// Every compile outcome that must be invariant across pipeline thread
+/// counts and analysis-cache settings (docs/PERFORMANCE.md): statement
+/// and transformation counts, per-pass symbolic op totals, every loop
+/// verdict, and guard incidents minus their wall-clock fields.
+std::string compile_fingerprint(const core::CompileReport& report) {
+    std::string fp = std::to_string(report.statements) + '|' +
+                     std::to_string(report.inlined_calls) + '|' +
+                     std::to_string(report.induction_substitutions);
+    for (int p = 0; p < core::kPassCount; ++p) {
+        fp += '|' + std::to_string(report.times.ops(static_cast<core::PassId>(p)));
+    }
+    for (const auto& loop : report.loops) {
+        fp += '\n' + loop.routine + ':' + std::to_string(loop.loop_id) + ' ' +
+              (loop.is_target ? 'T' : '-') + std::string(1, loop.parallel ? 'P' : '-') + ' ' +
+              std::string(ir::to_string(loop.verdict)) + ' ' + loop.reason + ' ' +
+              std::to_string(loop.pairs_tested) + ' ' + std::to_string(loop.symbolic_ops);
+        for (const auto& v : loop.privates) fp += " pv:" + v;
+        for (const auto& v : loop.reductions) fp += " rd:" + v;
+    }
+    for (const auto& inc : report.incidents) {
+        fp += "\nincident " + inc.pass + ' ' + inc.routine + ' ' +
+              std::to_string(inc.loop_id) + ' ' + std::string(guard::to_string(inc.cause)) +
+              ' ' + inc.detail + (inc.fatal ? " fatal" : "");
+    }
+    return fp;
+}
+
+bool any_deadline_incident(const core::CompileReport& report) {
+    for (const auto& inc : report.incidents) {
+        if (inc.cause == guard::TripCause::Deadline) return true;
+    }
+    return false;
+}
 
 void fail(Stats& stats, const char* stage, std::uint64_t seed, std::int64_t iter,
           const std::string& detail) {
@@ -230,6 +270,43 @@ void run_iteration(Rng& rng, std::uint64_t seed, std::int64_t iter, Stats& stats
                  "fatal incident in pass '" + inc.pass + "': " + inc.detail);
             return;
         }
+    }
+
+    // 2b. thread-count compile differential (docs/PERFORMANCE.md): the
+    // scheduler contract says worker count and the analysis cache must
+    // never change a compile outcome. Batch two fresh parses of the same
+    // mutant through compile_many — one serial with the cache, one on 2
+    // workers with the cache off — and compare fingerprints. Deadline
+    // incidents depend on wall clock, so those pairs are skipped.
+    try {
+        std::vector<ir::Program> programs;
+        programs.push_back(frontend::parse(src, base.name + "-mutant"));
+        programs.push_back(frontend::parse(src, base.name + "-mutant"));
+        std::vector<core::CompilerOptions> opts(2);
+        for (auto& o : opts) {
+            o.loop_op_budget = 200'000;
+            o.deadline_seconds = 2.0;
+            o.prover_max_depth = 24;
+        }
+        opts[0].threads = 1;
+        opts[1].threads = 2;
+        opts[1].analysis_cache = false;
+        const auto reports = core::compile_many(programs, opts);
+        if (!any_deadline_incident(reports[0]) && !any_deadline_incident(reports[1])) {
+            ++stats.compile_diffs;
+            const std::string a = compile_fingerprint(reports[0]);
+            const std::string b = compile_fingerprint(reports[1]);
+            if (a != b) {
+                fail(stats, "compile-differential", seed, iter,
+                     "threads=1/cache vs threads=2/no-cache compile outcomes diverged:\n--- A\n" +
+                         a + "\n--- B\n" + b);
+                return;
+            }
+        }
+    } catch (const std::exception& e) {
+        fail(stats, "compile-differential", seed, iter,
+             std::string("escaped exception: ") + e.what());
+        return;
     }
 
     // 3 + 4. serial/parallel differential on the annotated program.
@@ -307,11 +384,13 @@ int main(int argc, char** argv) {
 
     std::printf(
         "minif_fuzz: seed=%llu iterations=%lld parse_rejects=%lld compiled=%lld "
-        "degraded=%lld runtime_rejects=%lld differential=%lld failures=%lld\n",
+        "degraded=%lld runtime_rejects=%lld differential=%lld compile_diffs=%lld "
+        "failures=%lld\n",
         static_cast<unsigned long long>(seed), static_cast<long long>(stats.iterations),
         static_cast<long long>(stats.parse_rejects), static_cast<long long>(stats.compiled),
         static_cast<long long>(stats.degraded), static_cast<long long>(stats.runtime_rejects),
-        static_cast<long long>(stats.differential), static_cast<long long>(stats.failures));
+        static_cast<long long>(stats.differential), static_cast<long long>(stats.compile_diffs),
+        static_cast<long long>(stats.failures));
     if (stats.failures) {
         std::fprintf(stderr, "minif_fuzz: %lld failure(s)\n",
                      static_cast<long long>(stats.failures));

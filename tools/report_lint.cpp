@@ -4,10 +4,20 @@
 // nonzero with a diagnostic when the document is missing anything a
 // trajectory-tracking consumer relies on.
 //
-// Usage: report_lint <report.json> [expected-bench]
+// Usage: report_lint <report.json> [expected-bench] [--min-speedup X]
+//        report_lint --compare <a.json> <b.json>
+//
+// `--compare` checks the scheduler determinism contract
+// (docs/PERFORMANCE.md): two reports produced at different `--threads`
+// counts must agree on every deterministic field — per-code statement
+// counts, symbolic op totals, hindrance tallies, and guard incidents
+// (everything except wall-clock noise).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -143,16 +153,18 @@ void check_bench(const std::string& bench, const Value& data, const Value* count
     } else if (bench == "fig2") {
         require(data, "repeats", "number");
         check_codes(data, {"statements", "total_seconds", "us_per_statement", "symbolic_ops",
-                           "ops_per_statement"});
+                           "ops_per_statement", "hindrances"});
         if (const Value* codes = data.find("codes"); codes && codes->is_array()) {
             for (const Value& code : *codes->as_array()) {
                 if (const Value* passes = code.find("passes")) check_passes_complete(*passes);
                 else fail("codes[] entry missing \"passes\"");
             }
         }
+        require(data, "sched", "object");
     } else if (bench == "fig3") {
         require(data, "repeats", "number");
         check_codes(data, {"total_seconds", "share_percent", "passes"});
+        require(data, "sched", "object");
     } else if (bench == "fig4") {
         check_codes(data, {"targets", "outer_subs", "outer_loops", "enclosed_subs",
                            "enclosed_loops"});
@@ -276,28 +288,214 @@ void check_compiler_incidents(const Value& data) {
     }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-    if (argc < 2 || argc > 3) {
-        std::fprintf(stderr, "usage: report_lint <report.json> [expected-bench]\n");
-        return 2;
+// The `data.sched` section (fig2/fig3): pipeline threading + analysis
+// cache effectiveness. Internally consistent (hits + misses == queries,
+// hit_rate in [0,1]) and, when the counters snapshot carries sched.*
+// counters, consistent with the process-wide accounting invariant
+//   sched.cache.hits + sched.cache.misses == sched.queries
+// (docs/PERFORMANCE.md). `min_speedup` < 0 means no speedup floor.
+void check_sched(const Value& sched, const Value* counters, double min_speedup) {
+    const Value* threads = require(sched, "threads", "number");
+    if (threads && threads->as_int() < 0) fail("sched.threads is negative");
+    const Value* wall = require(sched, "wall_seconds", "number");
+    if (wall && wall->as_double() < 0) fail("sched.wall_seconds is negative");
+    const Value* serial = require(sched, "wall_seconds_serial", "number");
+    if (serial && serial->as_double() < 0) fail("sched.wall_seconds_serial is negative");
+    const Value* speedup = require(sched, "speedup", "number");
+    if (speedup && !(speedup->as_double() > 0)) fail("sched.speedup is not positive");
+    if (speedup && min_speedup >= 0 && speedup->as_double() < min_speedup) {
+        fail("sched.speedup " + std::to_string(speedup->as_double()) + " < required minimum " +
+             std::to_string(min_speedup));
     }
-    std::FILE* f = std::fopen(argv[1], "rb");
+    const Value* cache = require(sched, "cache", "object");
+    if (!cache) return;
+    const Value* hits = require(*cache, "hits", "number");
+    const Value* misses = require(*cache, "misses", "number");
+    const Value* queries = require(*cache, "queries", "number");
+    const Value* hit_rate = require(*cache, "hit_rate", "number");
+    if (hits && misses && queries &&
+        hits->as_int() + misses->as_int() != queries->as_int()) {
+        fail("sched.cache accounting imbalance: hits=" + std::to_string(hits->as_int()) +
+             " + misses=" + std::to_string(misses->as_int()) +
+             " != queries=" + std::to_string(queries->as_int()));
+    }
+    if (hits && hits->as_int() < 0) fail("sched.cache.hits is negative");
+    if (misses && misses->as_int() < 0) fail("sched.cache.misses is negative");
+    if (hit_rate &&
+        (hit_rate->as_double() < 0.0 || hit_rate->as_double() > 1.0)) {
+        fail("sched.cache.hit_rate is outside [0, 1]");
+    }
+    if (!counters || !counters->as_object()) return;
+    auto count = [&](const char* name) -> std::int64_t {
+        const Value* v = counters->find(name);
+        return v ? v->as_int() : 0;
+    };
+    bool any_sched = false;
+    for (const auto& [name, v] : *counters->as_object()) {
+        (void)v;
+        if (name.rfind("sched.", 0) == 0) any_sched = true;
+    }
+    if (any_sched &&
+        count("sched.cache.hits") + count("sched.cache.misses") != count("sched.queries")) {
+        fail("sched counter accounting imbalance: sched.cache.hits=" +
+             std::to_string(count("sched.cache.hits")) + " + sched.cache.misses=" +
+             std::to_string(count("sched.cache.misses")) + " != sched.queries=" +
+             std::to_string(count("sched.queries")));
+    }
+}
+
+// --- --compare: determinism fingerprints ------------------------------------
+
+// Serializes every field of a report that must be invariant across
+// `--threads` counts (and across cache on/off): per-code names,
+// statement counts, symbolic op totals, per-pass op counts, hindrance
+// tallies, and guard incidents minus their wall-clock timestamps.
+// Wall-clock fields (seconds, speedups, us_per_statement) are excluded
+// by construction — only the listed deterministic keys are visited.
+std::string deterministic_fingerprint(const Value& doc) {
+    std::ostringstream os;
+    const Value* data = doc.find("data");
+    if (const Value* bench = doc.find("bench"); bench && bench->is_string()) {
+        os << "bench=" << bench->as_string() << '\n';
+    }
+    if (!data || !data->is_object()) return os.str();
+    if (const Value* codes = data->find("codes"); codes && codes->is_array()) {
+        for (const Value& code : *codes->as_array()) {
+            if (!code.is_object()) continue;
+            os << "code";
+            if (const Value* v = code.find("name")) os << " name=" << v->dump();
+            if (const Value* v = code.find("statements")) os << " statements=" << v->dump();
+            if (const Value* v = code.find("symbolic_ops")) os << " symbolic_ops=" << v->dump();
+            if (const Value* passes = code.find("passes"); passes && passes->is_object()) {
+                os << " pass_ops=[";
+                for (const auto& [name, pass] : *passes->as_object()) {
+                    if (const Value* ops = pass.find("symbolic_ops")) {
+                        os << name << ':' << ops->dump() << ';';
+                    }
+                }
+                os << ']';
+            }
+            if (const Value* v = code.find("hindrances")) os << " hindrances=" << v->dump();
+            if (const Value* v = code.find("histogram")) os << " histogram=" << v->dump();
+            os << '\n';
+        }
+    }
+    if (const Value* compiler = data->find("compiler"); compiler && compiler->is_object()) {
+        if (const Value* v = compiler->find("degraded")) os << "degraded=" << v->dump() << '\n';
+        if (const Value* v = compiler->find("fatal")) os << "fatal=" << v->dump() << '\n';
+        if (const Value* incidents = compiler->find("incidents");
+            incidents && incidents->is_array()) {
+            for (const Value& inc : *incidents->as_array()) {
+                if (!inc.is_object()) continue;
+                os << "incident";
+                for (const char* key : {"pass", "routine", "loop", "cause", "detail", "fatal"}) {
+                    if (const Value* v = inc.find(key)) os << ' ' << key << '=' << v->dump();
+                }
+                os << '\n';
+            }
+        }
+    }
+    return os.str();
+}
+
+std::optional<Value> load(const char* path) {
+    std::FILE* f = std::fopen(path, "rb");
     if (!f) {
-        std::fprintf(stderr, "report_lint: cannot open %s\n", argv[1]);
-        return 2;
+        std::fprintf(stderr, "report_lint: cannot open %s\n", path);
+        return std::nullopt;
     }
     std::string text;
     char buf[1 << 16];
     for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) text.append(buf, n);
     std::fclose(f);
+    auto doc = ap::trace::json::parse(text);
+    if (!doc) std::fprintf(stderr, "report_lint: %s is not valid JSON\n", path);
+    return doc;
+}
 
-    const auto doc = ap::trace::json::parse(text);
-    if (!doc) {
-        std::fprintf(stderr, "report_lint: %s is not valid JSON\n", argv[1]);
+// Prints the first line where the two fingerprints diverge, so a
+// determinism regression names the code/incident instead of just
+// "different".
+void report_fingerprint_diff(const std::string& a, const std::string& b) {
+    std::istringstream sa(a);
+    std::istringstream sb(b);
+    std::string la;
+    std::string lb;
+    int line = 1;
+    for (;; ++line) {
+        const bool ga = static_cast<bool>(std::getline(sa, la));
+        const bool gb = static_cast<bool>(std::getline(sb, lb));
+        if (!ga && !gb) return;
+        if (la != lb || ga != gb) {
+            std::fprintf(stderr, "report_lint: first divergence at fingerprint line %d:\n", line);
+            std::fprintf(stderr, "  A: %s\n", ga ? la.c_str() : "<end of report>");
+            std::fprintf(stderr, "  B: %s\n", gb ? lb.c_str() : "<end of report>");
+            return;
+        }
+    }
+}
+
+int run_compare(const char* path_a, const char* path_b) {
+    const auto a = load(path_a);
+    const auto b = load(path_b);
+    if (!a || !b) return 2;
+    const std::string fa = deterministic_fingerprint(*a);
+    const std::string fb = deterministic_fingerprint(*b);
+    if (fa != fb) {
+        report_fingerprint_diff(fa, fb);
+        std::fprintf(stderr,
+                     "report_lint: %s and %s disagree on deterministic fields "
+                     "(thread-count/cache determinism violation)\n",
+                     path_a, path_b);
         return 1;
     }
+    if (fa.empty()) {
+        std::fprintf(stderr, "report_lint: nothing to compare (no data.codes in either report)\n");
+        return 1;
+    }
+    std::printf("report_lint: %s == %s (deterministic fields identical)\n", path_a, path_b);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    static const char* kUsage =
+        "usage: report_lint <report.json> [expected-bench] [--min-speedup X]\n"
+        "       report_lint --compare <a.json> <b.json>\n";
+    if (argc >= 2 && std::strcmp(argv[1], "--compare") == 0) {
+        if (argc != 4) {
+            std::fprintf(stderr, "%s", kUsage);
+            return 2;
+        }
+        return run_compare(argv[2], argv[3]);
+    }
+    const char* report_path = nullptr;
+    const char* expected_bench = nullptr;
+    double min_speedup = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--min-speedup") == 0) {
+            if (i + 1 >= argc || std::atof(argv[i + 1]) <= 0) {
+                std::fprintf(stderr, "report_lint: --min-speedup requires a positive number\n");
+                return 2;
+            }
+            min_speedup = std::atof(argv[++i]);
+        } else if (!report_path) {
+            report_path = argv[i];
+        } else if (!expected_bench) {
+            expected_bench = argv[i];
+        } else {
+            std::fprintf(stderr, "%s", kUsage);
+            return 2;
+        }
+    }
+    if (!report_path) {
+        std::fprintf(stderr, "%s", kUsage);
+        return 2;
+    }
+
+    const auto doc = load(report_path);
+    if (!doc) return 2;
 
     const Value* schema = require(*doc, "schema", "string");
     if (schema && schema->as_string() != "ap.bench.v1") {
@@ -313,18 +511,29 @@ int main(int argc, char** argv) {
         fail("\"counters\" is empty");
     }
 
-    if (bench && argc == 3 && bench->as_string() != argv[2]) {
-        fail("bench is \"" + bench->as_string() + "\", expected \"" + argv[2] + "\"");
+    if (bench && expected_bench && bench->as_string() != expected_bench) {
+        fail("bench is \"" + bench->as_string() + "\", expected \"" + expected_bench + "\"");
     }
     if (counters) check_fault_counters(*counters);
     if (counters) check_guard_counters(*counters);
     if (bench && data) check_bench(bench->as_string(), *data, counters);
-    if (data) check_compiler_incidents(*data);
+    if (data) {
+        check_compiler_incidents(*data);
+        // Validate data.sched wherever it appears (check_bench enforces
+        // its presence for fig2/fig3).
+        if (const Value* sched = data->find("sched")) {
+            if (sched->is_object()) check_sched(*sched, counters, min_speedup);
+            else fail("\"sched\" is not an object");
+        } else if (min_speedup >= 0) {
+            fail("--min-speedup given but report has no data.sched section");
+        }
+    }
 
     if (g_failures) {
-        std::fprintf(stderr, "report_lint: %s: %d problem(s)\n", argv[1], g_failures);
+        std::fprintf(stderr, "report_lint: %s: %d problem(s)\n", report_path, g_failures);
         return 1;
     }
-    std::printf("report_lint: %s: OK (%s)\n", argv[1], bench ? bench->as_string().c_str() : "?");
+    std::printf("report_lint: %s: OK (%s)\n", report_path,
+                bench ? bench->as_string().c_str() : "?");
     return 0;
 }
