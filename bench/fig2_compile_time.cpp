@@ -20,6 +20,7 @@
 #include "core/compiler.hpp"
 #include "core/report.hpp"
 #include "corpus/corpus.hpp"
+#include "trace/counters.hpp"
 
 namespace {
 
@@ -106,7 +107,12 @@ int main(int argc, char** argv) {
                 args.threads, args.threads == 1 ? "" : "s");
 
     std::vector<core::CompileReport> reports;
+    // Scope the counter delta to the measured batch: the JSON section
+    // reports what THIS batch spent, not process-global totals (the
+    // serial reference run below stays outside the window).
+    trace::CounterDelta batch_delta;
     const double wall_seconds = run_batch(repeats, args, args.threads, reports);
+    trace::json::Value batch_counters = batch_delta.delta();
     // The serial reference for the speedup figure; its reports are
     // discarded (determinism across thread counts is report_lint
     // --compare's business, on full report files).
@@ -208,6 +214,7 @@ int main(int argc, char** argv) {
         data.set("codes", std::move(codes));
         data.set("sched", core::sched_json(args.threads, wall_seconds, wall_seconds_serial,
                                            cache));
+        data.set("batch_counters", std::move(batch_counters));
         {
             std::vector<guard::Incident> all;
             for (const auto& row : rows) {

@@ -16,6 +16,7 @@
 #include "core/compiler.hpp"
 #include "core/report.hpp"
 #include "corpus/corpus.hpp"
+#include "trace/counters.hpp"
 
 namespace {
 
@@ -57,7 +58,11 @@ int main(int argc, char** argv) {
     std::printf("=== Figure 3: share of compile time per compiler pass ===\n\n");
 
     std::vector<core::CompileReport> reports;
+    // Counter delta scoped to the measured batch (the serial reference
+    // run is outside the window; see fig2).
+    trace::CounterDelta batch_delta;
     const double wall_seconds = run_batch(repeats, args.threads, reports);
+    trace::json::Value batch_counters = batch_delta.delta();
     double wall_seconds_serial = 0;
     if (args.threads != 1) {
         std::vector<core::CompileReport> serial_reports;
@@ -134,6 +139,7 @@ int main(int argc, char** argv) {
         data.set("codes", std::move(codes));
         data.set("sched", core::sched_json(args.threads, wall_seconds, wall_seconds_serial,
                                            cache));
+        data.set("batch_counters", std::move(batch_counters));
         if (!core::write_bench_report(args.json_path, "fig3", std::move(data), failures == 0)) {
             std::fprintf(stderr, "fig3: cannot write %s\n", args.json_path.c_str());
             return EXIT_FAILURE;

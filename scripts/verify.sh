@@ -18,6 +18,14 @@
 #       # asserted only on machines with >= 4 cores — below that the
 #       # thread pool cannot demonstrate scaling. This is the mode the
 #       # verify_sched_determinism CTest test runs.
+#   scripts/verify.sh --explain --build-dir build
+#       # decision-provenance smoke (docs/OBSERVABILITY.md): regenerate
+#       # fig5 --provenance reports at --threads 1, --threads 2, and
+#       # --threads 4 --no-cache from an existing build tree, lint each
+#       # (schema, span cross-refs, histogram roll-up), require
+#       # byte-identical provenance via report_lint --compare, and run
+#       # the explain CLI (--hist and the narrative) over the result.
+#       # This is the mode the verify_provenance CTest test runs.
 #   scripts/verify.sh --tsan
 #       # opt-in sanitizer pass: configure a separate build-tsan tree
 #       # with -DAP_SANITIZE=ON (ThreadSanitizer + UBSan) and run only
@@ -36,6 +44,7 @@ JSON_ONLY=0
 TSAN=0
 ASAN=0
 PERF=0
+EXPLAIN=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --build-dir) BUILD_DIR=$2; shift 2 ;;
@@ -43,9 +52,39 @@ while [ $# -gt 0 ]; do
         --tsan) TSAN=1; shift ;;
         --asan) ASAN=1; shift ;;
         --perf) PERF=1; shift ;;
+        --explain) EXPLAIN=1; shift ;;
         *) echo "verify.sh: unknown argument: $1" >&2; exit 2 ;;
     esac
 done
+
+if [ "$EXPLAIN" -eq 1 ]; then
+    serial=$(mktemp /tmp/ap-prov-t1.XXXXXX.json)
+    threaded=$(mktemp /tmp/ap-prov-t2.XXXXXX.json)
+    nocache=$(mktemp /tmp/ap-prov-t4nc.XXXXXX.json)
+    trap 'rm -f "$serial" "$threaded" "$nocache"' EXIT
+    echo "== prov: fig5 --provenance across threads x cache =="
+    "$BUILD_DIR"/bench/fig5_hindrances --provenance --threads 1 \
+        --json "$serial" >/dev/null
+    "$BUILD_DIR"/bench/fig5_hindrances --provenance --threads 2 \
+        --json "$threaded" >/dev/null
+    "$BUILD_DIR"/bench/fig5_hindrances --provenance --threads 4 --no-cache \
+        --json "$nocache" >/dev/null
+    echo "== prov: lint each report =="
+    "$BUILD_DIR"/tools/report_lint "$serial" fig5
+    "$BUILD_DIR"/tools/report_lint "$threaded" fig5
+    "$BUILD_DIR"/tools/report_lint "$nocache" fig5
+    echo "== prov: determinism across threads x cache =="
+    "$BUILD_DIR"/tools/report_lint --compare "$serial" "$threaded"
+    "$BUILD_DIR"/tools/report_lint --compare "$serial" "$nocache"
+    echo "== prov: explain --hist reproduces the Fig. 5 histogram =="
+    "$BUILD_DIR"/tools/explain "$serial" --hist
+    echo "== prov: explain narrative =="
+    # Every unparallelized target loop must render with its evidence;
+    # the CLI exits nonzero if any lacks a supporting record.
+    "$BUILD_DIR"/tools/explain "$serial" >/dev/null
+    echo "verify.sh: explain OK"
+    exit 0
+fi
 
 if [ "$PERF" -eq 1 ]; then
     cores=$(nproc)

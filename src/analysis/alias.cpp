@@ -4,16 +4,26 @@
 
 namespace ap::analysis {
 
-void AliasInfo::add(std::string a, std::string b) {
+void AliasInfo::add(std::string a, std::string b, std::string why) {
     if (a == b) return;
     if (b < a) std::swap(a, b);
-    pairs_.emplace(std::move(a), std::move(b));
+    std::pair key{std::move(a), std::move(b)};
+    if (pairs_.emplace(key).second && !why.empty()) {
+        reasons_.emplace(std::move(key), std::move(why));
+    }
 }
 
 bool AliasInfo::may_alias(const std::string& a, const std::string& b) const {
     if (a == b) return false;
     auto [x, y] = a < b ? std::pair{a, b} : std::pair{b, a};
     return pairs_.contains({x, y});
+}
+
+const std::string& AliasInfo::reason(const std::string& a, const std::string& b) const {
+    static const std::string empty;
+    auto [x, y] = a < b ? std::pair{a, b} : std::pair{b, a};
+    auto it = reasons_.find({x, y});
+    return it == reasons_.end() ? empty : it->second;
 }
 
 std::set<std::string> AliasInfo::partners_of(const std::string& name) const {
@@ -49,7 +59,9 @@ std::map<std::string, AliasInfo> analyze_aliases(const ir::Program& prog, const 
     std::map<std::string, AliasInfo> result;
     for (const auto* r : prog.routines()) {
         auto& info = result[r->name];
-        for (const auto& eq : r->equivalences) info.add(eq.a, eq.b);
+        for (const auto& eq : r->equivalences) {
+            info.add(eq.a, eq.b, "declared EQUIVALENCEd in " + r->name);
+        }
     }
 
     // Fixpoint over call sites: storage overlap in the caller induces
@@ -79,7 +91,9 @@ std::map<std::string, AliasInfo> analyze_aliases(const ir::Program& prog, const 
                         *base_i == *base_j || caller_info.may_alias(*base_i, *base_j);
                     if (overlap &&
                         !callee_info.may_alias(callee.dummies[i], callee.dummies[j])) {
-                        callee_info.add(callee.dummies[i], callee.dummies[j]);
+                        callee_info.add(callee.dummies[i], callee.dummies[j],
+                                        "dummies receive overlapping storage (" + *base_i +
+                                            " vs " + *base_j + ") at a call from " + caller.name);
                         changed = true;
                     }
                 }
@@ -90,7 +104,9 @@ std::map<std::string, AliasInfo> analyze_aliases(const ir::Program& prog, const 
                     const auto* caller_sym = caller.symbols.find(*base_i);
                     if (caller_sym && caller_sym->common_block == sym.common_block &&
                         !callee_info.may_alias(callee.dummies[i], sym.name)) {
-                        callee_info.add(callee.dummies[i], sym.name);
+                        callee_info.add(callee.dummies[i], sym.name,
+                                        "dummy receives COMMON /" + *sym.common_block +
+                                            "/ storage at a call from " + caller.name);
                         changed = true;
                     }
                 }

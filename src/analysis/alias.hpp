@@ -16,16 +16,21 @@ namespace ap::analysis {
 /// parameters that are aliased.
 class AliasInfo {
 public:
-    void add(std::string a, std::string b);
+    /// Records an unordered pair, optionally with why it may alias
+    /// (provenance detail). The first recorded reason for a pair wins.
+    void add(std::string a, std::string b, std::string why = "");
     [[nodiscard]] bool may_alias(const std::string& a, const std::string& b) const;
     [[nodiscard]] const std::set<std::pair<std::string, std::string>>& pairs() const noexcept {
         return pairs_;
     }
     /// Every partner of `name`.
     [[nodiscard]] std::set<std::string> partners_of(const std::string& name) const;
+    /// Why a pair may alias ("" when unknown or not recorded).
+    [[nodiscard]] const std::string& reason(const std::string& a, const std::string& b) const;
 
 private:
     std::set<std::pair<std::string, std::string>> pairs_;
+    std::map<std::pair<std::string, std::string>, std::string> reasons_;
 };
 
 /// Whole-program alias analysis. Sources of aliasing:

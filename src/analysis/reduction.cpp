@@ -131,12 +131,13 @@ std::optional<Update> match_update(const ir::Assign& a) {
 
 }  // namespace
 
-std::vector<Reduction> find_reductions(const ir::DoLoop& loop) {
+ReductionScan scan_reductions(const ir::DoLoop& loop) {
     struct Candidate {
         ir::ReductionOp op;
         bool is_array;
         int updates = 0;
         bool consistent = true;
+        std::string why;  ///< first disqualification (provenance detail)
     };
     std::map<std::string, Candidate> candidates;
 
@@ -154,13 +155,17 @@ std::vector<Reduction> find_reductions(const ir::DoLoop& loop) {
         auto update = match_update(a);
         auto [it, inserted] = candidates.try_emplace(
             name, Candidate{update ? update->op : ir::ReductionOp::Sum,
-                            update ? update->is_array : false, 0, update.has_value()});
+                            update ? update->is_array : false, 0, update.has_value(), {}});
         auto& cand = it->second;
         if (!update) {
-            cand.consistent = false;  // written outside an update pattern
+            if (cand.consistent || cand.why.empty()) {
+                cand.why = "also written outside a reduction-update pattern";
+            }
+            cand.consistent = false;
             return;
         }
         if (!inserted && (cand.op != update->op || cand.is_array != update->is_array)) {
+            if (cand.why.empty()) cand.why = "updated with mixed reduction operators";
             cand.consistent = false;
             return;
         }
@@ -170,9 +175,13 @@ std::vector<Reduction> find_reductions(const ir::DoLoop& loop) {
     // Verify every appearance of the candidate in the body is accounted
     // for by its update statements (2 occurrences per update: lhs + the
     // self-reference on the rhs).
-    std::vector<Reduction> out;
+    ReductionScan scan;
     for (auto& [name, cand] : candidates) {
-        if (!cand.consistent || cand.updates == 0) continue;
+        if (cand.updates == 0) continue;  // never matched an update: not a candidate
+        if (!cand.consistent) {
+            scan.rejected.push_back({name, cand.why});
+            continue;
+        }
         int total = 0;
         int in_updates = 0;
         ir::for_each_stmt(loop.body, [&](const ir::Stmt& s) {
@@ -194,12 +203,21 @@ std::vector<Reduction> find_reductions(const ir::DoLoop& loop) {
                 }
             }
         });
-        if (total != in_updates) continue;  // used elsewhere in the loop
-        out.push_back(Reduction{name, cand.op, cand.is_array});
+        if (total != in_updates) {  // used elsewhere in the loop
+            scan.rejected.push_back({name, "also referenced outside its update statements"});
+            continue;
+        }
+        scan.accepted.push_back(Reduction{name, cand.op, cand.is_array});
     }
     static trace::Counter& recognized = trace::counters::get("reduction.recognized");
-    recognized.add(static_cast<std::int64_t>(out.size()));
-    return out;
+    static trace::Counter& rejected = trace::counters::get("reduction.rejected");
+    recognized.add(static_cast<std::int64_t>(scan.accepted.size()));
+    rejected.add(static_cast<std::int64_t>(scan.rejected.size()));
+    return scan;
+}
+
+std::vector<Reduction> find_reductions(const ir::DoLoop& loop) {
+    return scan_reductions(loop).accepted;
 }
 
 }  // namespace ap::analysis

@@ -15,12 +15,29 @@ struct Reduction {
     bool is_array = false;
 };
 
+/// Outcome of one reduction-recognition scan: the accepted reductions
+/// plus every candidate that matched at least one update pattern but was
+/// disqualified, with the cause (the Fig.-5 evidence trail for "why is
+/// this accumulation not a reduction").
+struct ReductionScan {
+    std::vector<Reduction> accepted;
+    struct Rejection {
+        std::string var;
+        std::string why;
+    };
+    std::vector<Rejection> rejected;  ///< sorted by variable name
+};
+
 /// Reduction recognition over the body of `loop` (the paper's "reduction"
 /// pass). A variable qualifies when every one of its appearances in the
 /// body is inside update statements of a single compatible form:
 ///   S = S + e | S = S - e | S = S * e | S = MAX(S, e) | S = MIN(S, e)
 /// and `e` does not reference S. Appearances of S anywhere else (other
 /// reads, other writes, subscripts, call arguments) disqualify it.
+[[nodiscard]] ReductionScan scan_reductions(const ir::DoLoop& loop);
+
+/// scan_reductions(loop).accepted — kept for call sites that only need
+/// the recognized set.
 [[nodiscard]] std::vector<Reduction> find_reductions(const ir::DoLoop& loop);
 
 }  // namespace ap::analysis

@@ -74,6 +74,7 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         loop_span.arg("routine", routine.name);
         loop_span.arg("loop_id", loop.loop_id);
         loop_span.arg("line", loop.loc().line);
+        loop_span.arg("span_id", trace::span_id("loop", routine.name, loop.loop_id));
 
         dependence::LoopContext lc;
         lc.op_budget = options.loop_op_budget;
@@ -88,12 +89,13 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         };
 
         // Reduction recognition.
-        std::vector<analysis::Reduction> reds;
+        analysis::ReductionScan redscan;
         bool ok = guard::guarded(log, to_string(PassId::Reduction), routine.name, loop.loop_id,
                                  [&] {
                                      PassTimer t(times, PassId::Reduction);
-                                     reds = analysis::find_reductions(loop);
+                                     redscan = analysis::scan_reductions(loop);
                                  });
+        const std::vector<analysis::Reduction>& reds = redscan.accepted;
         for (const auto& r : reds) lc.reductions.insert(r.var);
 
         // Privatization.
@@ -138,6 +140,7 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
             inc.cause = dd.trip;
             inc.detail = dd.reason;
             inc.elapsed_seconds = loop_elapsed();
+            inc.span = trace::span_id(inc.pass, routine.name, loop.loop_id);
             log.record(std::move(inc));
         }
         loop_span.arg("pairs_tested", dd.pairs_tested);
@@ -163,6 +166,44 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         for (const auto& r : reds) lr.reductions.push_back(r.var);
         lr.pairs_tested = dd.pairs_tested;
         lr.symbolic_ops = dd.symbolic_ops;
+
+        // Verdict assembly: gather the evidence trail in pass order and
+        // stamp each slice with its emitting pass and deterministic span
+        // id. Every non-parallel loop must cite at least one record whose
+        // category matches the verdict; when no organic evidence exists
+        // (a guard contained the whole analysis), a Kind::Verdict record
+        // is synthesized so the citation invariant still holds.
+        auto stamp = [&](std::vector<prov::Record>& rs, PassId pass) {
+            prov::stamp(rs, to_string(pass),
+                        trace::span_id(to_string(pass), routine.name, loop.loop_id));
+        };
+        std::vector<prov::Record> trail;
+        for (const auto& rej : redscan.rejected) {
+            trail.push_back({prov::Kind::Reduction, ir::Hindrance::SymbolAnalysis, rej.var,
+                             "reduction candidate " + rej.var + " rejected: " + rej.why});
+        }
+        stamp(trail, PassId::Reduction);
+        std::vector<prov::Record> priv_trail;
+        for (const auto& f : priv.failures) {
+            priv_trail.push_back({prov::Kind::Privatization, ir::Hindrance::SymbolAnalysis,
+                                  f.name, f.name + " not privatizable: " + f.reason});
+        }
+        stamp(priv_trail, PassId::Privatization);
+        stamp(dd.evidence, PassId::DataDependence);
+        trail.insert(trail.end(), std::make_move_iterator(priv_trail.begin()),
+                     std::make_move_iterator(priv_trail.end()));
+        trail.insert(trail.end(), std::make_move_iterator(dd.evidence.begin()),
+                     std::make_move_iterator(dd.evidence.end()));
+        if (!lr.parallel && prov::support_count(trail, lr.verdict) == 0) {
+            std::vector<prov::Record> synth;
+            synth.push_back({prov::Kind::Verdict, lr.verdict, routine.name,
+                             lr.reason.empty() ? "no analysis evidence survived the guard"
+                                               : lr.reason});
+            stamp(synth, PassId::DataDependence);
+            trail.push_back(std::move(synth.front()));
+        }
+        lr.provenance = std::move(trail);
+        lr.support = prov::support_count(lr.provenance, lr.verdict);
         loops.push_back(std::move(lr));
 
         analyze_loops(loop.body, routine, options, rc, cache, loops, times, budget, log);

@@ -8,6 +8,7 @@
 #include "core/passes.hpp"
 #include "guard/guard.hpp"
 #include "ir/program.hpp"
+#include "prov/prov.hpp"
 #include "sched/cache.hpp"
 #include "symbolic/range.hpp"
 
@@ -54,6 +55,19 @@ struct LoopReport {
     std::vector<std::string> reductions;
     int pairs_tested = 0;
     std::uint64_t symbolic_ops = 0;  ///< engine operations the loop's DD test consumed
+    /// Decision-provenance trail: the evidence behind `verdict`, in pass
+    /// order (reduction rejections, privatization failures, dependence-
+    /// test observations), each stamped with the emitting pass and its
+    /// deterministic trace span id. Verdict assembly guarantees at least
+    /// one record whose category matches the verdict on every
+    /// non-parallel loop (synthesizing a Kind::Verdict record only when
+    /// no organic evidence exists). Byte-identical across thread counts
+    /// and cache modes, like the rest of the report.
+    std::vector<prov::Record> provenance;
+    /// Number of provenance records whose category matches `verdict`
+    /// (0 for parallel loops only when the verdict is Autoparallelized
+    /// with no recorded evidence — never 0 when !parallel).
+    int support = 0;
 };
 
 /// Outcome of compiling one program through the full pipeline.

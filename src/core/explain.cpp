@@ -1,0 +1,167 @@
+#include "core/explain.hpp"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace ap::core::explain {
+
+namespace {
+
+using trace::json::Value;
+
+/// Accepts a bench envelope or a bare provenance document.
+const Value* find_provenance(const Value& report) {
+    if (const Value* schema = report.find("schema");
+        schema && schema->as_string() == "ap.prov.v1") {
+        return &report;
+    }
+    if (const Value* data = report.find("data")) {
+        if (const Value* prov = data->find("provenance")) return prov;
+    }
+    return nullptr;
+}
+
+std::string str(const Value* v) { return v ? v->as_string() : std::string(); }
+std::int64_t num(const Value* v) { return v ? v->as_int() : 0; }
+
+std::string loop_key(const Value& loop) {
+    return str(loop.find("routine")) + ":" + std::to_string(num(loop.find("loop")));
+}
+
+}  // namespace
+
+Rendering narrative(const Value& report, const Options& opts) {
+    Rendering out;
+    const Value* prov = find_provenance(report);
+    if (!prov || !prov->find("loops") || !prov->find("loops")->as_array()) {
+        out.text = "no provenance section in this report "
+                   "(re-run the bench with --provenance)\n";
+        out.problems = 1;
+        return out;
+    }
+    int matched = 0;
+    for (const Value& loop : *prov->find("loops")->as_array()) {
+        const bool target = loop.find("target") && loop.find("target")->as_bool();
+        const bool parallel = loop.find("parallel") && loop.find("parallel")->as_bool();
+        const std::string code = str(loop.find("code"));
+        if (!opts.code.empty() && code != opts.code) continue;
+        if (!opts.loop.empty()) {
+            if (loop_key(loop) != opts.loop) continue;
+        } else if (!opts.all && (parallel || !target)) {
+            continue;  // the default question is "why not parallel"
+        }
+        ++matched;
+        const std::string verdict = str(loop.find("verdict"));
+        const std::string reason = str(loop.find("reason"));
+        out.text += code.empty() ? "" : code + " · ";
+        out.text += "routine " + str(loop.find("routine")) + " loop " +
+                    std::to_string(num(loop.find("loop"))) + " (line " +
+                    std::to_string(num(loop.find("line"))) + ") — " +
+                    (parallel ? "parallel" : "NOT parallel") + ": " + verdict;
+        if (!reason.empty()) out.text += "\n  because: " + reason;
+        out.text += '\n';
+        const Value* records = loop.find("records");
+        const auto* arr = records ? records->as_array() : nullptr;
+        if (!arr || arr->empty()) {
+            out.text += "  (no evidence records)\n";
+        }
+        if (arr) {
+            for (const Value& rec : *arr) {
+                const std::string category = str(rec.find("category"));
+                out.text += "  [" + str(rec.find("pass")) + "] " + str(rec.find("kind"));
+                if (const std::string subject = str(rec.find("subject")); !subject.empty()) {
+                    out.text += " " + subject;
+                }
+                out.text += ": " + str(rec.find("detail"));
+                if (category == verdict) out.text += "  <- supports verdict";
+                if (!opts.loop.empty()) {
+                    // Drill-down shows the span link back to the trace.
+                    out.text += " (span " + std::to_string(num(rec.find("span"))) + ")";
+                }
+                out.text += '\n';
+            }
+        }
+        const std::int64_t support = num(loop.find("support"));
+        out.text += "  supporting records: " + std::to_string(support) + " of " +
+                    std::to_string(arr ? arr->size() : 0) + " match the verdict\n\n";
+        if (!parallel && target && support == 0) {
+            out.text += "  PROBLEM: no record supports this verdict\n";
+            ++out.problems;
+        }
+    }
+    if (matched == 0) {
+        out.text += opts.loop.empty() ? "no loops matched (all target loops parallel?)\n"
+                                      : "no loop matched --loop " + opts.loop + "\n";
+        if (!opts.loop.empty()) ++out.problems;
+    }
+    return out;
+}
+
+Rendering histogram_rollup(const Value& report) {
+    Rendering out;
+    const Value* prov = find_provenance(report);
+    if (!prov || !prov->find("loops") || !prov->find("loops")->as_array()) {
+        out.text = "no provenance section in this report "
+                   "(re-run the bench with --provenance)\n";
+        out.problems = 1;
+        return out;
+    }
+    // Roll up target-loop verdicts per code from the raw records.
+    std::map<std::string, std::map<std::string, int>> rollup;
+    std::map<std::string, int> targets;
+    for (const Value& loop : *prov->find("loops")->as_array()) {
+        if (!loop.find("target") || !loop.find("target")->as_bool()) continue;
+        const std::string code = str(loop.find("code"));
+        ++rollup[code][str(loop.find("verdict"))];
+        ++targets[code];
+    }
+    // The report's own histogram (fig5 emits codes[].histogram; accept
+    // the ISSUE's codes[].hindrances spelling too).
+    const Value* data = report.find("data") ? report.find("data") : &report;
+    const Value* codes = data->find("codes");
+    if (!codes || !codes->as_array()) {
+        out.text = "no data.codes section to diff the roll-up against\n";
+        out.problems = 1;
+        return out;
+    }
+    Table table({"code", "category", "report", "from records", ""});
+    for (const Value& code : *codes->as_array()) {
+        const std::string name = str(code.find("name"));
+        const Value* hist = code.find("histogram");
+        if (!hist) hist = code.find("hindrances");
+        if (!hist || !hist->as_object()) continue;
+        std::set<std::string> categories;
+        for (const auto& [category, n] : *hist->as_object()) categories.insert(category);
+        for (const auto& [category, n] : rollup[name]) categories.insert(category);
+        for (const std::string& category : categories) {
+            const Value* reported = hist->find(category);
+            const int want = reported ? static_cast<int>(reported->as_int()) : 0;
+            auto it = rollup[name].find(category);
+            const int got = it == rollup[name].end() ? 0 : it->second;
+            const bool match = want == got;
+            if (!match) ++out.problems;
+            table.add_row({name, category, std::to_string(want), std::to_string(got),
+                           match ? "ok" : "MISMATCH"});
+        }
+        if (const Value* total = code.find("total_targets")) {
+            const int want = static_cast<int>(total->as_int());
+            const int got = targets[name];
+            if (want != got) {
+                ++out.problems;
+                table.add_row({name, "(total targets)", std::to_string(want),
+                               std::to_string(got), "MISMATCH"});
+            }
+        }
+    }
+    out.text = table.to_string();
+    out.text += out.problems == 0
+                    ? "roll-up from raw records reproduces the report histogram exactly\n"
+                    : "roll-up diverges from the report histogram in " +
+                          std::to_string(out.problems) + " cell(s)\n";
+    return out;
+}
+
+}  // namespace ap::core::explain

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "trace/json.hpp"
+
+namespace ap::core::explain {
+
+/// Rendering logic behind tools/explain, exposed as a library so tests
+/// can golden-check the output without spawning the CLI. Both entry
+/// points accept either a full ap.bench.v1 report (reading its
+/// `data.provenance` section) or a bare ap.prov.v1 document.
+
+struct Options {
+    std::string loop;  ///< "ROUTINE:ID" drill-down; empty = no filter
+    std::string code;  ///< restrict to one corpus code; empty = all
+    bool all = false;  ///< include parallel and non-target loops too
+};
+
+struct Rendering {
+    std::string text;
+    /// Defects found while rendering: provenance section missing, a
+    /// non-parallel target loop without a verdict-matching record, a
+    /// --loop filter that matched nothing, a histogram mismatch. The CLI
+    /// exits non-zero when this is > 0.
+    int problems = 0;
+};
+
+/// The per-loop "why not parallel" narrative: verdict, reason, and the
+/// evidence trail of each selected loop (default selection: target loops
+/// that did not parallelize).
+[[nodiscard]] Rendering narrative(const trace::json::Value& report, const Options& opts = {});
+
+/// Recomputes the Fig.-5 roll-up from raw provenance records (counting
+/// target loops by verdict per code) and diffs it against the report's
+/// own `codes[].histogram` / `codes[].hindrances` counts. Problems
+/// count one per diverging (code, category) cell.
+[[nodiscard]] Rendering histogram_rollup(const trace::json::Value& report);
+
+}  // namespace ap::core::explain

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace ap::core {
 
@@ -108,11 +109,16 @@ BenchArgs parse_bench_args(int argc, char** argv) {
                 return args;
             }
             args.threads = static_cast<unsigned>(std::atoi(v));
+        } else if (std::strcmp(a, "--provenance") == 0) {
+            args.provenance = true;
+        } else if (std::strcmp(a, "--no-cache") == 0) {
+            args.no_cache = true;
         } else {
             args.ok = false;
             args.error = std::string("unknown argument: ") + a +
                          " (supported: --json <path>, --repeats <n>, --chaos <seeds>, "
-                         "--budget-ops <n>, --deadline-ms <n>, --threads <n>)";
+                         "--budget-ops <n>, --deadline-ms <n>, --threads <n>, "
+                         "--provenance, --no-cache)";
             return args;
         }
     }
@@ -135,9 +141,56 @@ trace::json::Value incidents_json(const std::vector<guard::Incident>& incidents)
         o.set("detail", inc.detail);
         o.set("elapsed_seconds", inc.elapsed_seconds);
         o.set("fatal", inc.fatal);
+        o.set("span", inc.span);
         arr.push_back(std::move(o));
     }
     return arr;
+}
+
+trace::json::Value provenance_json(
+    const std::vector<std::pair<std::string, const CompileReport*>>& reports) {
+    trace::json::Value out = trace::json::Value::object();
+    out.set("schema", "ap.prov.v1");
+    trace::json::Value loops = trace::json::Value::array();
+    for (const auto& [code, report] : reports) {
+        for (const auto& lr : report->loops) {
+            trace::json::Value o = trace::json::Value::object();
+            o.set("code", code);
+            o.set("routine", lr.routine);
+            o.set("loop", lr.loop_id);
+            o.set("line", lr.loc.line);
+            o.set("target", lr.is_target);
+            o.set("parallel", lr.parallel);
+            o.set("verdict", std::string(ir::to_string(lr.verdict)));
+            o.set("reason", lr.reason);
+            // Span-id table of this loop's emitting passes; every record's
+            // `span` must resolve here (report_lint checks the
+            // cross-reference).
+            trace::json::Value spans = trace::json::Value::object();
+            for (const PassId pass :
+                 {PassId::Reduction, PassId::Privatization, PassId::DataDependence}) {
+                spans.set(std::string(to_string(pass)),
+                          trace::span_id(to_string(pass), lr.routine, lr.loop_id));
+            }
+            o.set("spans", std::move(spans));
+            o.set("support", lr.support);
+            trace::json::Value records = trace::json::Value::array();
+            for (const auto& r : lr.provenance) {
+                trace::json::Value rec = trace::json::Value::object();
+                rec.set("kind", std::string(prov::to_string(r.kind)));
+                rec.set("category", std::string(ir::to_string(r.category)));
+                rec.set("pass", r.pass);
+                rec.set("span", r.span);
+                rec.set("subject", r.subject);
+                rec.set("detail", r.detail);
+                records.push_back(std::move(rec));
+            }
+            o.set("records", std::move(records));
+            loops.push_back(std::move(o));
+        }
+    }
+    out.set("loops", std::move(loops));
+    return out;
 }
 
 trace::json::Value pass_times_json(const PassTimes& times) {

@@ -3,6 +3,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/compiler.hpp"
@@ -53,22 +54,38 @@ struct BenchArgs {
     /// Compile-pipeline worker threads (CompilerOptions::threads):
     /// 1 = serial baseline, 0 = thread-pool size.
     unsigned threads = 1;
+    /// fig5: attach the `data.provenance` section (ap.prov.v1) to the
+    /// report — the full per-loop evidence trail behind the histogram.
+    bool provenance = false;
+    /// Disable the per-compile analysis cache (determinism checks run
+    /// thread/cache matrices; reports must be byte-identical either way).
+    bool no_cache = false;
     bool ok = true;         ///< false on malformed argv (bench should exit 2)
     std::string error;
 };
 
 /// Parses `--json <path>`, `--repeats <n>`, `--chaos <seeds>`,
-/// `--budget-ops <n>`, `--deadline-ms <n>` and `--threads <n>`; unknown
-/// arguments fail.
+/// `--budget-ops <n>`, `--deadline-ms <n>`, `--threads <n>`, and the
+/// flags `--provenance` / `--no-cache`; unknown arguments fail.
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
 
 /// Applies the budget-pressure knobs of `args` to compiler options.
 void apply_budget_args(const BenchArgs& args, CompilerOptions& options);
 
 /// The `compiler.incidents` section: an array of structured incident
-/// records (pass, routine, loop, cause, detail, elapsed_seconds, fatal).
+/// records (pass, routine, loop, cause, detail, elapsed_seconds, fatal,
+/// span — the deterministic trace span id linking the incident to the
+/// provenance records its unit emitted).
 [[nodiscard]] trace::json::Value incidents_json(
     const std::vector<guard::Incident>& incidents);
+
+/// The `data.provenance` section (schema "ap.prov.v1"): one entry per
+/// loop across the given (code name, report) pairs, each carrying its
+/// verdict, the span-id table of its emitting passes, and the full
+/// record trail. Deterministic: identical across thread counts and
+/// cache modes, so report_lint folds it into the report fingerprint.
+[[nodiscard]] trace::json::Value provenance_json(
+    const std::vector<std::pair<std::string, const CompileReport*>>& reports);
 
 /// Per-pass {seconds, symbolic_ops} keyed by pass name, all 8 passes.
 [[nodiscard]] trace::json::Value pass_times_json(const PassTimes& times);

@@ -151,6 +151,10 @@ public:
         trace::Span span("ddtest.loop", "dependence");
         span.arg("loop_id", loop_.loop_id);
         span.arg("var", loop_.var);
+        // Content-addressed id; provenance records stamped by the
+        // compiler cite this span (same pass-name vocabulary).
+        span.arg("span_id",
+                 trace::span_id("data-dependence test", rc_.routine->name, loop_.loop_id));
 
         const std::uint64_t ops_start = symbolic::OpCounter::count();
         LoopDependenceResult result;
@@ -159,6 +163,7 @@ public:
         result.pairs_tested = pairs_tested_;
         if (result.symbolic_ops > lc_.op_budget) trip_budget(guard::TripCause::Ops);
         finalize(result);
+        result.evidence = std::move(evidence_);
 
         DdCounters& c = DdCounters::instance();
         c.loops_tested.add();
@@ -175,7 +180,7 @@ public:
     }
 
 private:
-    void finalize(LoopDependenceResult& result) const {
+    void finalize(LoopDependenceResult& result) {
         if (budget_exceeded_) {
             result.parallel = false;
             result.blocker = ir::Hindrance::Complexity;
@@ -183,6 +188,9 @@ private:
             result.reason = trip_cause_ == guard::TripCause::Deadline
                                 ? "symbolic analysis exceeded the compile deadline"
                                 : "symbolic analysis exceeded the compile-time budget";
+            evidence_.push_back({prov::Kind::Budget, ir::Hindrance::Complexity, loop_.var,
+                                 result.reason + " (" +
+                                     std::string(guard::to_string(trip_cause_)) + ")"});
             return;
         }
         if (issues_.empty()) {
@@ -199,7 +207,14 @@ private:
         result.reason = worst->detail;
     }
 
-    void note(ir::Hindrance h, std::string detail) { issues_.push_back({h, std::move(detail)}); }
+    /// Records a hindrance observation twice: as an Issue (worst one
+    /// becomes the verdict) and as a provenance Record with the subject
+    /// it concerns.
+    void note(ir::Hindrance h, std::string subject, std::string detail,
+              prov::Kind kind = prov::Kind::DepTest) {
+        issues_.push_back({h, detail});
+        evidence_.push_back({kind, h, std::move(subject), std::move(detail)});
+    }
 
     void trip_budget(guard::TripCause cause) {
         if (!budget_exceeded_) trip_cause_ = cause;
@@ -227,7 +242,7 @@ private:
         start_ops_ = symbolic::OpCounter::count();
         const analysis::AccessInfo info = analysis::collect_accesses(loop_.body);
         if (info.has_io) {
-            note(ir::Hindrance::AccessRepresentation, "I/O statement inside the loop");
+            note(ir::Hindrance::AccessRepresentation, loop_.var, "I/O statement inside the loop");
             return;
         }
         // Scalars written in the body that are neither private nor
@@ -237,7 +252,7 @@ private:
             if (a.is_write && !excluded(a.name)) bad_scalars.insert(a.name);
         }
         for (const auto& name : bad_scalars) {
-            note(ir::Hindrance::SymbolAnalysis,
+            note(ir::Hindrance::SymbolAnalysis, name,
                  "scalar " + name + " is assigned but not privatizable");
         }
 
@@ -263,32 +278,32 @@ private:
         const auto calls = find_enclosed_calls(loop_.body, *rc_.callgraph, *rc_.routine);
         for (const auto& ec : calls) {
             if (!ec.site->callee) {
-                note(ir::Hindrance::AccessRepresentation,
+                note(ir::Hindrance::AccessRepresentation, ec.site->callee_name,
                      "call to unknown routine " + ec.site->callee_name);
                 continue;
             }
             const auto it = rc_.summaries->find(ec.site->callee->name);
             if (it == rc_.summaries->end() || it->second.opaque) {
                 const bool foreign = ec.site->callee->is_foreign();
-                note(ir::Hindrance::AccessRepresentation,
+                note(ir::Hindrance::AccessRepresentation, ec.site->callee_name,
                      foreign ? "opaque foreign-language call to " + ec.site->callee_name
                              : "unanalyzable call to " + ec.site->callee_name);
                 continue;
             }
             if (it->second.has_io) {
-                note(ir::Hindrance::AccessRepresentation,
+                note(ir::Hindrance::AccessRepresentation, ec.site->callee_name,
                      "I/O inside called routine " + ec.site->callee_name);
                 continue;
             }
             auto regions = analysis::map_call_regions(*ec.site, it->second, *rc_.consts);
             auto scalar_writes = analysis::map_scalar_writes(*ec.site, it->second, *rc_.consts);
             if (scalar_writes.unknown) {
-                note(ir::Hindrance::AccessRepresentation,
+                note(ir::Hindrance::AccessRepresentation, ec.site->callee_name,
                      "unknown side effects of call to " + ec.site->callee_name);
             }
             for (const auto& name : scalar_writes.scalar_names) {
                 if (!excluded(name)) {
-                    note(ir::Hindrance::SymbolAnalysis,
+                    note(ir::Hindrance::SymbolAnalysis, name,
                          "scalar " + name + " assigned through call to " + ec.site->callee_name);
                 }
             }
@@ -366,8 +381,11 @@ private:
                 if (a >= b) continue;
                 if (!rc_.aliases->may_alias(a, b)) continue;
                 if (written.contains(a) || written.contains(b)) {
-                    note(ir::Hindrance::Aliasing,
-                         "arrays " + a + " and " + b + " may be aliased");
+                    const std::string& why = rc_.aliases->reason(a, b);
+                    note(ir::Hindrance::Aliasing, a + "," + b,
+                         "arrays " + a + " and " + b + " may be aliased" +
+                             (why.empty() ? "" : " (" + why + ")"),
+                         prov::Kind::Alias);
                 }
             }
         }
@@ -476,20 +494,60 @@ private:
                                                 : ir::Hindrance::AccessRepresentation;
     }
 
-    /// Classifies a failed (Unknown) proof: rangeless blockers present →
-    /// Rangeless, otherwise imprecision → SymbolAnalysis.
-    ir::Hindrance classify_unknown(const Prover& prover) const {
-        // A blocker is "rangeless" in the paper's sense when its value
-        // comes from outside the compiler's view: a runtime READ or an
-        // unbounded dummy argument. A local the engine merely failed to
-        // bound is a symbolic-analysis gap instead.
-        for (const auto& name : prover.blockers()) {
-            if (rc_.ranges->runtime_inputs.contains(name)) return ir::Hindrance::Rangeless;
-            const auto* sym = rc_.routine->symbols.find(name);
-            if (sym && sym->is_dummy && !env_.contains(name)) return ir::Hindrance::Rangeless;
-            if (sym && sym->common_block && !env_.contains(name)) return ir::Hindrance::Rangeless;
+    /// Why `name` counts as rangeless: its value comes from outside the
+    /// compiler's view (a runtime READ or an unbounded dummy / COMMON
+    /// variable). nullopt when it is merely a local the engine failed to
+    /// bound — a symbolic-analysis gap, not a rangeless one.
+    std::optional<std::string> rangeless_reason(const std::string& name) const {
+        if (rc_.ranges->runtime_inputs.contains(name)) {
+            return "value supplied by READ at run time";
+        }
+        const auto* sym = rc_.routine->symbols.find(name);
+        if (sym && sym->is_dummy && !env_.contains(name)) {
+            return "dummy argument with no known range";
+        }
+        if (sym && sym->common_block && !env_.contains(name)) {
+            return "COMMON /" + *sym->common_block + "/ variable with no known range";
+        }
+        return std::nullopt;
+    }
+
+    /// Classifies a failed (Unknown) proof from its blocker list:
+    /// rangeless blockers present → Rangeless, otherwise imprecision →
+    /// SymbolAnalysis.
+    ir::Hindrance classify_blockers(const std::vector<std::string>& blockers) const {
+        for (const auto& name : blockers) {
+            if (rangeless_reason(name)) return ir::Hindrance::Rangeless;
         }
         return ir::Hindrance::SymbolAnalysis;
+    }
+
+    ir::Hindrance classify_unknown(const Prover& prover) const {
+        return classify_blockers({prover.blockers().begin(), prover.blockers().end()});
+    }
+
+    /// Provenance for one gave-up Range Test query: a Prover record for
+    /// the unproven bound query (with its blocker symbols) plus a Range
+    /// record per rangeless blocker. `blockers` must be sorted — it is
+    /// either a Prover's std::set or a cache entry's verbatim replay of
+    /// one, so the trail is byte-identical across cache modes.
+    void note_unproven(const std::string& label, const std::vector<std::string>& blockers) {
+        std::string detail = "bound query on " + label + " unproven";
+        if (!blockers.empty()) {
+            detail += "; unknown: ";
+            for (std::size_t i = 0; i < blockers.size(); ++i) {
+                if (i != 0) detail += ", ";
+                detail += blockers[i];
+            }
+        }
+        evidence_.push_back(
+            {prov::Kind::Prover, classify_blockers(blockers), label, std::move(detail)});
+        for (const auto& name : blockers) {
+            if (auto why = rangeless_reason(name)) {
+                evidence_.push_back(
+                    {prov::Kind::Range, ir::Hindrance::Rangeless, name, std::move(*why)});
+            }
+        }
     }
 
     enum class DimOutcome { ProvenDistinct, NoInfo, Fail };
@@ -506,9 +564,9 @@ private:
             if (out == DimOutcome::Fail && !first_fail) first_fail = issue;
         }
         if (first_fail) {
-            note(first_fail->kind, first_fail->detail);
+            note(first_fail->kind, a.ref->name, first_fail->detail);
         } else {
-            note(ir::Hindrance::SymbolAnalysis,
+            note(ir::Hindrance::SymbolAnalysis, a.ref->name,
                  "possible cross-iteration dependence on " + a.ref->name);
         }
     }
@@ -560,15 +618,21 @@ private:
     /// forms, the environment, the candidate index, the prover depth, the
     /// label, and the routine's symbol table (which classify_unknown
     /// consults) — all of which the key serializes, so a hit can never
-    /// cross verdicts. Hits replay the fresh run's ops, depth trips, and
-    /// proof counter; see sched::AnalysisCache for the contract.
+    /// cross verdicts. Hits replay the fresh run's ops, depth trips,
+    /// proof counter, and gave-up provenance (blockers ride in the
+    /// entry's `names`); see sched::AnalysisCache for the contract.
     DimOutcome range_test(const LinearForm& a_min, const LinearForm& a_max,
                           const LinearForm& b_min, const LinearForm& b_max,
                           const std::string& label, Issue& issue) {
         Prover prover(env_, lc_.prover_max_depth);
         int proved = kNoProof;
         if (lc_.cache == nullptr) {
-            return range_test_fresh(prover, a_min, a_max, b_min, b_max, label, issue, proved);
+            const DimOutcome out =
+                range_test_fresh(prover, a_min, a_max, b_min, b_max, label, issue, proved);
+            if (proved == kGaveUp) {
+                note_unproven(label, {prover.blockers().begin(), prover.blockers().end()});
+            }
+            return out;
         }
         prover.attach_cache(lc_.cache, &env_key_);
         std::string key = key_prefix_;
@@ -590,6 +654,9 @@ private:
             }
             bump_proved(static_cast<int>(hit->b));
             issue = {static_cast<ir::Hindrance>(hit->c), hit->detail};
+            // Replay the fresh run's provenance verbatim: `names` holds
+            // the blocker set it recorded.
+            if (static_cast<int>(hit->b) == kGaveUp) note_unproven(label, hit->names);
             return static_cast<DimOutcome>(hit->a);
         }
         const std::uint64_t ops_before = symbolic::OpCounter::count();
@@ -602,6 +669,10 @@ private:
         e.b = proved;
         e.c = static_cast<std::int64_t>(issue.kind);
         e.detail = issue.detail;
+        if (proved == kGaveUp) {
+            e.names.assign(prover.blockers().begin(), prover.blockers().end());
+            note_unproven(label, e.names);
+        }
         lc_.cache->insert(key, std::move(e));
         return out;
     }
@@ -727,16 +798,16 @@ private:
         if (!a.lo || !a.hi || !b.lo || !b.hi) {
             const auto why = (!a.lo || !a.hi) ? a.why : b.why;
             note(region_hindrance(why == ConvertFailure::None ? ConvertFailure::NonAffine : why),
-                 "unknown extent of access to " + la + " vs " + lb);
+                 la, "unknown extent of access to " + la + " vs " + lb);
             return;
         }
         Issue issue{ir::Hindrance::SymbolAnalysis, ""};
         const DimOutcome out = range_test(*a.lo, *a.hi, *b.lo, *b.hi, la, issue);
         if (out == DimOutcome::ProvenDistinct) return;
         if (out == DimOutcome::Fail) {
-            note(issue.kind, issue.detail);
+            note(issue.kind, la, issue.detail);
         } else {
-            note(ir::Hindrance::SymbolAnalysis,
+            note(ir::Hindrance::SymbolAnalysis, la,
                  "possible cross-iteration dependence between " + la + " and " + lb);
         }
     }
@@ -749,6 +820,7 @@ private:
     std::string env_key_;     ///< serialize_env(env_), when caching
     std::string key_prefix_;  ///< rangetest key up to the four forms
     std::vector<Issue> issues_;
+    std::vector<prov::Record> evidence_;  ///< provenance trail, emission order
     int pairs_tested_ = 0;
     std::uint64_t start_ops_ = 0;
     bool budget_exceeded_ = false;

@@ -10,6 +10,7 @@
 #include "analysis/ranges.hpp"
 #include "analysis/regions.hpp"
 #include "guard/guard.hpp"
+#include "prov/prov.hpp"
 #include "symbolic/range.hpp"
 
 namespace ap::dependence {
@@ -26,6 +27,12 @@ struct LoopDependenceResult {
     /// What cut the analysis short when blocker == Complexity (Ops for
     /// the per-loop op budget, Deadline for the compile-wide wall clock).
     guard::TripCause trip = guard::TripCause::None;
+    /// Decision-provenance trail in emission order: one record per noted
+    /// hindrance, unproven prover query, rangeless blocker, alias pair,
+    /// and budget trip. Pass name and span id are stamped later by the
+    /// compiler's verdict assembly. Byte-identical across thread counts
+    /// and cache modes (cache hits replay recorded evidence).
+    std::vector<prov::Record> evidence;
 };
 
 /// Inputs shared across loops of one routine.

@@ -1,6 +1,7 @@
 #include "guard/guard.hpp"
 
 #include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace ap::guard {
 
@@ -115,6 +116,7 @@ void record_failure(IncidentLog& log, std::string_view pass, std::string_view ro
     inc.cause = cause;
     inc.detail = what ? what : "";
     inc.elapsed_seconds = elapsed;
+    inc.span = trace::span_id(pass, routine, loop_id);
     log.record(std::move(inc));
 }
 

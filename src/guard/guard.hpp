@@ -138,6 +138,9 @@ struct Incident {
     std::string detail;    ///< human-readable diagnosis (exception text, limit)
     double elapsed_seconds = 0;  ///< time spent in the unit before it tripped
     bool fatal = false;    ///< guard could not contain the failure
+    /// trace::span_id(pass, routine, loop_id): deterministic link from
+    /// this incident to the provenance records the tripped unit emitted.
+    std::uint64_t span = 0;
 };
 
 /// Collects incidents for one compile and keeps the guard.* accounting:

@@ -1,0 +1,63 @@
+#include "prov/prov.hpp"
+
+#include "trace/counters.hpp"
+
+namespace ap::prov {
+
+std::string_view to_string(Kind k) noexcept {
+    switch (k) {
+        case Kind::DepTest: return "dep-test";
+        case Kind::Prover: return "prover";
+        case Kind::Range: return "range";
+        case Kind::Alias: return "alias";
+        case Kind::Privatization: return "privatization";
+        case Kind::Reduction: return "reduction";
+        case Kind::Budget: return "budget";
+        case Kind::Verdict: return "verdict";
+    }
+    return "?";
+}
+
+void stamp(std::vector<Record>& records, std::string_view pass, std::uint64_t span) {
+    static trace::Counter& stamped = trace::counters::get("prov.records");
+    for (Record& r : records) {
+        r.pass.assign(pass);
+        r.span = span;
+    }
+    stamped.add(static_cast<std::int64_t>(records.size()));
+}
+
+int support_count(const std::vector<Record>& records, ir::Hindrance category) {
+    int n = 0;
+    for (const Record& r : records) {
+        n += r.category == category ? 1 : 0;
+    }
+    return n;
+}
+
+std::string serialize(const Record& r) {
+    std::string line;
+    line += to_string(r.kind);
+    line += '|';
+    line += ir::to_string(r.category);
+    line += '|';
+    line += r.pass;
+    line += '|';
+    line += std::to_string(r.span);
+    line += '|';
+    line += r.subject;
+    line += '|';
+    line += r.detail;
+    return line;
+}
+
+std::string fingerprint(const std::vector<Record>& records) {
+    std::string fp;
+    for (const Record& r : records) {
+        fp += serialize(r);
+        fp += '\n';
+    }
+    return fp;
+}
+
+}  // namespace ap::prov

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace ap::prov {
+
+/// ap::prov — event-sourced decision provenance.
+///
+/// The Fig.-5 histogram records only the final per-loop verdict; this
+/// layer keeps the chain of evidence behind it. Every analysis that
+/// contributes to a loop's hindrance classification appends a compact
+/// Record to the loop's evidence trail: a dependence-test outcome, an
+/// unproven prover bound query, a rangeless-variable observation, a
+/// may-alias pair, a privatization or reduction rejection, a guard
+/// budget trip. The compiler's verdict assembly stamps each record with
+/// the emitting pass name and a deterministic trace span id, attaches
+/// the trail to the LoopReport, and guarantees that every non-Parallel
+/// loop cites at least one record whose category matches its verdict.
+///
+/// Determinism contract: trails are built per loop on one thread and
+/// merged in declaration order, and every input they derive from (issue
+/// lists, prover blockers, cache replays) is already byte-identical
+/// across thread counts and cache modes — so serialized provenance is
+/// too, which fuzz stage 2c and `verify.sh --explain` enforce.
+
+/// What kind of evidence a record carries.
+enum class Kind : unsigned char {
+    DepTest,        ///< a dependence-test outcome on an access pair
+    Prover,         ///< an unproven symbolic bound query (with blockers)
+    Range,          ///< a rangeless variable behind a failed proof
+    Alias,          ///< a may-alias array pair observation
+    Privatization,  ///< a privatization rejection with its cause
+    Reduction,      ///< a reduction-candidate rejection with its cause
+    Budget,         ///< a guard budget trip that degraded the analysis
+    Verdict,        ///< synthesized verdict support (no organic evidence)
+};
+[[nodiscard]] std::string_view to_string(Kind k) noexcept;
+
+/// One piece of evidence in a loop's decision trail. Emitters fill
+/// kind/category/subject/detail; pass and span are stamped later by the
+/// compiler's verdict assembly (so cached analyses replay records
+/// without knowing which pass will cite them).
+struct Record {
+    Kind kind = Kind::DepTest;
+    ir::Hindrance category = ir::Hindrance::SymbolAnalysis;  ///< Fig.-5 category supported
+    std::string subject;      ///< variable / array / pair the evidence concerns
+    std::string detail;       ///< human-readable cause
+    std::string pass;         ///< emitting pass (core/passes vocabulary)
+    std::uint64_t span = 0;   ///< trace::span_id of the emitting pass
+};
+
+/// Stamps every record with the emitting pass name and deterministic
+/// span id, and counts them (counter "prov.records"). Called once per
+/// pass slice per loop during verdict assembly.
+void stamp(std::vector<Record>& records, std::string_view pass, std::uint64_t span);
+
+/// Number of records supporting `category` — the verdict-support count
+/// the compiler and report_lint both compute.
+[[nodiscard]] int support_count(const std::vector<Record>& records, ir::Hindrance category);
+
+/// One-line serialization, stable across releases of this schema
+/// ("kind|category|pass|span|subject|detail"). Fingerprints and the
+/// determinism differentials are built from these lines.
+[[nodiscard]] std::string serialize(const Record& r);
+
+/// Newline-joined serialization of a whole trail.
+[[nodiscard]] std::string fingerprint(const std::vector<Record>& records);
+
+}  // namespace ap::prov

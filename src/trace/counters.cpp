@@ -117,4 +117,33 @@ void reset_all() {
 
 }  // namespace counters
 
+CounterDelta::CounterDelta() {
+    counters::Registry& r = counters::registry();
+    std::lock_guard lock(r.mutex);
+    for (const auto& [name, entry] : r.entries) {
+        if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&entry)) {
+            base_[name] = (*c)->value();
+        }
+    }
+}
+
+json::Value CounterDelta::delta() const {
+    counters::Registry& r = counters::registry();
+    std::lock_guard lock(r.mutex);
+    json::Value out = json::Value::object();
+    for (const auto& [name, entry] : r.entries) {
+        const auto* c = std::get_if<std::unique_ptr<Counter>>(&entry);
+        if (c == nullptr) {
+            continue;  // distributions: min/max snapshots do not difference
+        }
+        auto it = base_.find(name);
+        const std::int64_t before = it == base_.end() ? 0 : it->second;
+        const std::int64_t now = (*c)->value();
+        if (now != before) {
+            out.set(name, now - before);
+        }
+    }
+    return out;
+}
+
 }  // namespace ap::trace

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -68,5 +69,21 @@ namespace counters {
 void reset_all();
 
 }  // namespace counters
+
+/// Scoped counter snapshot: captures every registered counter's value at
+/// construction; delta() reports how far each advanced since, as a JSON
+/// object. Batches (compile_many, a future compile-server request) use
+/// this to report per-request deltas instead of process-global totals.
+/// Counters that did not move are omitted; distributions are skipped
+/// because min/max snapshots do not difference meaningfully.
+class CounterDelta {
+public:
+    CounterDelta();
+
+    [[nodiscard]] json::Value delta() const;
+
+private:
+    std::map<std::string, std::int64_t> base_;
+};
 
 }  // namespace ap::trace

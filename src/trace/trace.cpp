@@ -128,6 +128,30 @@ json::Value arg_to_json(const ArgValue& v) {
 
 }  // namespace
 
+std::uint64_t span_id(std::string_view pass, std::string_view routine, int loop_id) noexcept {
+    // FNV-1a over "pass\0routine\0loop_id": content-addressed, so every
+    // compile of the same loop produces the same id regardless of thread
+    // schedule or cache state.
+    std::uint64_t h = 14695981039346656037ULL;
+    auto mix = [&h](std::string_view s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ULL;
+        }
+        h ^= 0;  // field separator: hash the NUL byte
+        h *= 1099511628211ULL;
+    };
+    mix(pass);
+    mix(routine);
+    char digits[16];
+    const int n = std::snprintf(digits, sizeof digits, "%d", loop_id);
+    mix(std::string_view(digits, static_cast<std::size_t>(n)));
+    // Mask to 53 bits: ids survive a JSON round trip exactly (positive
+    // int64, double-representable) in every consumer.
+    h &= (1ULL << 53) - 1;
+    return h == 0 ? 1 : h;
+}
+
 bool enabled() noexcept {
     init_from_env();
     return g_enabled.load(std::memory_order_relaxed);

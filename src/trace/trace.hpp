@@ -67,6 +67,15 @@ private:
     Event event_;  // filled only when active_
 };
 
+/// Deterministic span identity: a 64-bit content hash of
+/// (pass, routine, loop_id). Provenance records and guard incidents cite
+/// the emitting pass's span through this id, which must be byte-identical
+/// across thread counts and cache modes — so it is derived from what the
+/// span is about, never from runtime event order. Never returns 0; 0 is
+/// reserved for "no span".
+[[nodiscard]] std::uint64_t span_id(std::string_view pass, std::string_view routine,
+                                    int loop_id) noexcept;
+
 /// Number of events currently buffered across all threads.
 [[nodiscard]] std::size_t event_count();
 

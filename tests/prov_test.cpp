@@ -1,0 +1,292 @@
+// ap::prov tests (ISSUE 6, docs/OBSERVABILITY.md): the decision-
+// provenance trail attached to every LoopReport. Covers the support
+// invariant (every non-parallel target loop cites at least one record
+// matching its verdict) on the five corpora, byte-identical provenance
+// across thread counts and cache modes, per-category evidence emission
+// on targeted unit programs, and the explain rendering library.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/explain.hpp"
+#include "core/report.hpp"
+#include "corpus/corpus.hpp"
+#include "frontend/parser.hpp"
+#include "prov/prov.hpp"
+
+namespace ap::prov {
+namespace {
+
+core::CompileReport compile_corpus(const corpus::CorpusProgram& c, unsigned threads,
+                                   bool cache) {
+    ir::Program prog = corpus::load(c);
+    core::CompilerOptions opts;
+    opts.loop_op_budget = c.loop_op_budget;
+    opts.threads = threads;
+    opts.analysis_cache = cache;
+    return core::compile(prog, opts);
+}
+
+/// The whole report's provenance, one line per record keyed by loop —
+/// the same shape fuzz stage 2c compares.
+std::string report_fingerprint(const core::CompileReport& report) {
+    std::string fp;
+    for (const auto& loop : report.loops) {
+        fp += loop.routine + ':' + std::to_string(loop.loop_id) + " support=" +
+              std::to_string(loop.support) + '\n';
+        fp += fingerprint(loop.provenance);
+        fp += '\n';
+    }
+    return fp;
+}
+
+const core::LoopReport* find_record(const core::CompileReport& report, Kind kind,
+                                    const std::string& subject, const Record** out) {
+    for (const auto& loop : report.loops) {
+        for (const auto& rec : loop.provenance) {
+            if (rec.kind == kind && rec.subject == subject) {
+                *out = &rec;
+                return &loop;
+            }
+        }
+    }
+    *out = nullptr;
+    return nullptr;
+}
+
+// --- the support invariant on the five corpora ------------------------------
+
+TEST(ProvSupport, EveryUnparallelizedTargetCitesEvidence) {
+    for (const auto* c : corpus::all()) {
+        const core::CompileReport report = compile_corpus(*c, 1, true);
+        for (const auto& loop : report.loops) {
+            if (!loop.is_target || loop.parallel) continue;
+            EXPECT_GE(loop.support, 1)
+                << c->name << " " << loop.routine << ":" << loop.loop_id << " verdict "
+                << ir::to_string(loop.verdict) << " has no supporting record";
+            EXPECT_EQ(loop.support, support_count(loop.provenance, loop.verdict))
+                << c->name << " " << loop.routine << ":" << loop.loop_id;
+            EXPECT_FALSE(loop.provenance.empty())
+                << c->name << " " << loop.routine << ":" << loop.loop_id;
+        }
+    }
+}
+
+TEST(ProvSupport, RecordsAreStampedWithPassAndSpan) {
+    for (const auto* c : corpus::all()) {
+        const core::CompileReport report = compile_corpus(*c, 1, true);
+        for (const auto& loop : report.loops) {
+            for (const auto& rec : loop.provenance) {
+                EXPECT_FALSE(rec.pass.empty())
+                    << c->name << " " << loop.routine << ":" << loop.loop_id;
+                EXPECT_NE(rec.span, 0u)
+                    << c->name << " " << loop.routine << ":" << loop.loop_id;
+            }
+        }
+    }
+}
+
+// --- determinism across thread counts and cache modes -----------------------
+
+TEST(ProvDeterminism, IdenticalAcrossThreadsAndCache) {
+    for (const auto* c : corpus::all()) {
+        const std::string reference = report_fingerprint(compile_corpus(*c, 1, true));
+        struct Config {
+            unsigned threads;
+            bool cache;
+        };
+        for (const Config cfg : {Config{2, false}, Config{4, true}, Config{4, false}}) {
+            EXPECT_EQ(reference, report_fingerprint(compile_corpus(*c, cfg.threads, cfg.cache)))
+                << c->name << ": provenance changed at threads=" << cfg.threads
+                << " cache=" << cfg.cache;
+        }
+    }
+}
+
+// --- per-category evidence on targeted programs -----------------------------
+
+TEST(ProvEvidence, ReductionRejectionRecorded) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N, TOTAL)
+  REAL A(N), TOTAL
+  INTEGER N, I
+!$TARGET
+  DO I = 1, N
+    TOTAL = TOTAL + A(I)
+    A(I) = TOTAL
+  END DO
+  RETURN
+END
+)");
+    const auto report = core::compile(prog, {});
+    const Record* rec = nullptr;
+    const auto* loop = find_record(report, Kind::Reduction, "TOTAL", &rec);
+    ASSERT_NE(loop, nullptr) << "no reduction-rejection record for TOTAL";
+    EXPECT_NE(rec->detail.find("rejected"), std::string::npos) << rec->detail;
+    EXPECT_FALSE(loop->parallel);
+}
+
+TEST(ProvEvidence, PrivatizationFailureRecorded) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A, N)
+  REAL A(N), T
+  INTEGER N, I
+!$TARGET
+  DO I = 1, N
+    A(I) = T + A(I)
+    T = A(I) * 2.0
+  END DO
+  RETURN
+END
+)");
+    const auto report = core::compile(prog, {});
+    const Record* rec = nullptr;
+    const auto* loop = find_record(report, Kind::Privatization, "T", &rec);
+    ASSERT_NE(loop, nullptr) << "no privatization-failure record for T";
+    EXPECT_NE(rec->detail.find("not privatizable"), std::string::npos) << rec->detail;
+}
+
+TEST(ProvEvidence, AliasObservationRecordedWithCause) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL X(10), Y(10)
+  EQUIVALENCE (X(1), Y(1))
+  CALL S(X, Y, 10)
+END
+SUBROUTINE S(A, B, N)
+  REAL A(N), B(N)
+  INTEGER N, I
+!$TARGET
+  DO I = 1, N
+    A(I) = B(I) + 1.0
+  END DO
+  RETURN
+END
+)");
+    const auto report = core::compile(prog, {});
+    const Record* rec = nullptr;
+    const auto* loop = find_record(report, Kind::Alias, "A,B", &rec);
+    ASSERT_NE(loop, nullptr) << "no alias record for the equivalenced pair";
+    EXPECT_EQ(loop->routine, "S");
+    EXPECT_EQ(rec->category, ir::Hindrance::Aliasing);
+    EXPECT_NE(rec->detail.find("may be aliased"), std::string::npos) << rec->detail;
+    // The observation carries its cause from the alias analysis.
+    EXPECT_NE(rec->detail.find("storage"), std::string::npos) << rec->detail;
+}
+
+TEST(ProvEvidence, RangelessVariableBehindFailedProofRecorded) {
+    auto prog = frontend::parse(R"(
+SUBROUTINE S(A)
+  REAL A(200)
+  INTEGER N, I
+  READ *, N
+!$TARGET
+  DO I = 1, 100
+    A(I) = A(I + N) * 2.0
+  END DO
+  RETURN
+END
+)");
+    const auto report = core::compile(prog, {});
+    const Record* rec = nullptr;
+    const auto* loop = find_record(report, Kind::Range, "N", &rec);
+    ASSERT_NE(loop, nullptr) << "no rangeless record for N";
+    EXPECT_NE(rec->detail.find("READ"), std::string::npos) << rec->detail;
+    // The same loop must carry the unproven bound query that cited N as
+    // a blocker (the Prover record's subject is the query label).
+    bool cited = false;
+    for (const auto& r : loop->provenance) {
+        if (r.kind == Kind::Prover && r.detail.find("unproven") != std::string::npos) {
+            cited = true;
+        }
+    }
+    EXPECT_TRUE(cited) << "rangeless record has no matching unproven bound query";
+}
+
+// --- serialization ----------------------------------------------------------
+
+TEST(ProvSerialize, StableLineFormat) {
+    Record r;
+    r.kind = Kind::Alias;
+    r.category = ir::Hindrance::Aliasing;
+    r.subject = "A,B";
+    r.detail = "arrays A and B may be aliased";
+    r.pass = "data-dependence test";
+    r.span = 42;
+    EXPECT_EQ(serialize(r),
+              "alias|aliasing|data-dependence test|42|A,B|arrays A and B may be aliased");
+}
+
+// --- the explain rendering library ------------------------------------------
+
+/// A minimal fig5-shaped envelope around one corpus compile, with the
+/// histogram optionally perturbed to prove the roll-up diff catches it.
+trace::json::Value make_report_doc(const core::CompileReport& report, int perturb) {
+    namespace json = ap::trace::json;
+    auto histogram = report.target_histogram();
+    json::Value hist = json::Value::object();
+    for (const auto& [kind, n] : histogram) {
+        hist.set(std::string(ir::to_string(kind)), n + (perturb-- > 0 ? 1 : 0));
+    }
+    json::Value code = json::Value::object();
+    code.set("name", "seismic");
+    code.set("total_targets", report.target_loops());
+    code.set("histogram", std::move(hist));
+    json::Value codes = json::Value::array();
+    codes.push_back(std::move(code));
+    json::Value data = json::Value::object();
+    data.set("codes", std::move(codes));
+    data.set("provenance", core::provenance_json({{"seismic", &report}}));
+    json::Value doc = json::Value::object();
+    doc.set("schema", "ap.bench.v1");
+    doc.set("bench", "fig5");
+    doc.set("data", std::move(data));
+    return doc;
+}
+
+TEST(Explain, NarrativeRendersUnparallelizedTargets) {
+    const auto* seismic = corpus::all()[0];
+    const core::CompileReport report = compile_corpus(*seismic, 1, true);
+    const auto doc = make_report_doc(report, 0);
+    const auto out = core::explain::narrative(doc);
+    EXPECT_EQ(out.problems, 0) << out.text;
+    EXPECT_NE(out.text.find("NOT parallel"), std::string::npos);
+    EXPECT_NE(out.text.find("supports verdict"), std::string::npos);
+}
+
+TEST(Explain, LoopDrilldownShowsSpans) {
+    const auto* seismic = corpus::all()[0];
+    const core::CompileReport report = compile_corpus(*seismic, 1, true);
+    const core::LoopReport* serial_target = nullptr;
+    for (const auto& loop : report.loops) {
+        if (loop.is_target && !loop.parallel) serial_target = &loop;
+    }
+    ASSERT_NE(serial_target, nullptr) << "seismic should have a serial target loop";
+    core::explain::Options opts;
+    opts.loop = serial_target->routine + ":" + std::to_string(serial_target->loop_id);
+    const auto out = core::explain::narrative(make_report_doc(report, 0), opts);
+    EXPECT_EQ(out.problems, 0) << out.text;
+    EXPECT_NE(out.text.find("(span "), std::string::npos) << out.text;
+
+    core::explain::Options missing;
+    missing.loop = "NOSUCH:999";
+    EXPECT_GT(core::explain::narrative(make_report_doc(report, 0), missing).problems, 0);
+}
+
+TEST(Explain, HistogramRollupMatchesAndCatchesPerturbation) {
+    const auto* seismic = corpus::all()[0];
+    const core::CompileReport report = compile_corpus(*seismic, 1, true);
+    const auto ok = core::explain::histogram_rollup(make_report_doc(report, 0));
+    EXPECT_EQ(ok.problems, 0) << ok.text;
+    EXPECT_NE(ok.text.find("reproduces"), std::string::npos);
+
+    const auto bad = core::explain::histogram_rollup(make_report_doc(report, 1));
+    EXPECT_GT(bad.problems, 0);
+    EXPECT_NE(bad.text.find("MISMATCH"), std::string::npos) << bad.text;
+}
+
+}  // namespace
+}  // namespace ap::prov

@@ -1,0 +1,100 @@
+// Decision-provenance drill-down CLI (ISSUE 6, docs/OBSERVABILITY.md).
+//
+// Usage: explain <report.json> [--loop ROUTINE:ID] [--code NAME] [--hist] [--all]
+//
+// Reads a bench report carrying a `data.provenance` section (schema
+// "ap.prov.v1"; `fig5_hindrances --provenance --json <path>` emits one)
+// — or a bare provenance document — and renders:
+//
+//   default       the "why did this loop NOT parallelize" narrative for
+//                 every target loop that stayed serial: verdict, reason,
+//                 and the evidence records behind them.
+//   --loop R:L    one loop's full trail, with the trace span id of every
+//                 record so it can be joined against an AP_TRACE_PATH
+//                 event dump.
+//   --hist        recompute the Fig.-5 histogram from the raw records and
+//                 diff it against the report's own `codes[].histogram`.
+//
+// Exits nonzero when the rendering found problems: a missing provenance
+// section, a non-parallel target loop with no supporting record, a
+// --loop filter that matched nothing, or a histogram mismatch. All the
+// rendering logic lives in core::explain so tests can golden-check it.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/explain.hpp"
+#include "trace/json.hpp"
+
+namespace {
+
+std::optional<ap::trace::json::Value> load(const char* path) {
+    std::FILE* f = std::fopen(path, "rb");
+    if (!f) {
+        std::fprintf(stderr, "explain: cannot open %s\n", path);
+        return std::nullopt;
+    }
+    std::string text;
+    char buf[1 << 16];
+    for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) text.append(buf, n);
+    std::fclose(f);
+    auto doc = ap::trace::json::parse(text);
+    if (!doc) std::fprintf(stderr, "explain: %s is not valid JSON\n", path);
+    return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    static const char* kUsage =
+        "usage: explain <report.json> [--loop ROUTINE:ID] [--code NAME] [--hist] [--all]\n";
+    const char* report_path = nullptr;
+    ap::core::explain::Options opts;
+    bool hist = false;
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (std::strcmp(a, "--loop") == 0) {
+            const char* v = value();
+            if (!v) {
+                std::fprintf(stderr, "explain: --loop requires ROUTINE:ID\n%s", kUsage);
+                return 2;
+            }
+            opts.loop = v;
+        } else if (std::strcmp(a, "--code") == 0) {
+            const char* v = value();
+            if (!v) {
+                std::fprintf(stderr, "explain: --code requires a corpus name\n%s", kUsage);
+                return 2;
+            }
+            opts.code = v;
+        } else if (std::strcmp(a, "--hist") == 0) {
+            hist = true;
+        } else if (std::strcmp(a, "--all") == 0) {
+            opts.all = true;
+        } else if (!report_path) {
+            report_path = a;
+        } else {
+            std::fprintf(stderr, "explain: unknown argument %s\n%s", a, kUsage);
+            return 2;
+        }
+    }
+    if (!report_path) {
+        std::fprintf(stderr, "%s", kUsage);
+        return 2;
+    }
+    const auto doc = load(report_path);
+    if (!doc) return 2;
+
+    const ap::core::explain::Rendering out =
+        hist ? ap::core::explain::histogram_rollup(*doc)
+             : ap::core::explain::narrative(*doc, opts);
+    std::fputs(out.text.c_str(), stdout);
+    if (out.problems) {
+        std::fprintf(stderr, "explain: %s: %d problem(s)\n", report_path, out.problems);
+        return 1;
+    }
+    return 0;
+}

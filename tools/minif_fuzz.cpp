@@ -16,6 +16,9 @@
 //                           counts (and cache on/off); any divergence in
 //                           the deterministic compile fingerprint is a
 //                           FAILURE (skipped on deadline incidents).
+//   2c. provenance diff   — the same pair's decision-provenance trails
+//                           (ap::prov records, span ids included) must
+//                           also be byte-identical; same deadline skip.
 //   3. interpret          — serial then parallel (the oracle pair), with
 //                           a small step cap and wall-clock watchdog so
 //                           mutants that loop forever are cut off.
@@ -40,6 +43,7 @@
 #include "frontend/parser.hpp"
 #include "guard/guard.hpp"
 #include "interp/interp.hpp"
+#include "prov/prov.hpp"
 
 namespace {
 
@@ -182,6 +186,7 @@ struct Stats {
     std::int64_t runtime_rejects = 0;
     std::int64_t differential = 0;   ///< serial+parallel pairs compared
     std::int64_t compile_diffs = 0;  ///< thread-count compile pairs compared
+    std::int64_t prov_diffs = 0;     ///< provenance determinism pairs compared
     std::int64_t failures = 0;
 };
 
@@ -208,6 +213,20 @@ std::string compile_fingerprint(const core::CompileReport& report) {
         fp += "\nincident " + inc.pass + ' ' + inc.routine + ' ' +
               std::to_string(inc.loop_id) + ' ' + std::string(guard::to_string(inc.cause)) +
               ' ' + inc.detail + (inc.fatal ? " fatal" : "");
+    }
+    return fp;
+}
+
+/// The full decision-provenance trail, one line per record keyed by its
+/// loop. Must be byte-identical across thread counts and cache modes
+/// (docs/OBSERVABILITY.md): span ids are content hashes and cache hits
+/// replay the recorded prover blockers.
+std::string provenance_fingerprint(const core::CompileReport& report) {
+    std::string fp;
+    for (const auto& loop : report.loops) {
+        fp += loop.routine + ':' + std::to_string(loop.loop_id) + " support=" +
+              std::to_string(loop.support) + '\n';
+        for (const auto& rec : loop.provenance) fp += "  " + prov::serialize(rec) + '\n';
     }
     return fp;
 }
@@ -302,6 +321,18 @@ void run_iteration(Rng& rng, std::uint64_t seed, std::int64_t iter, Stats& stats
                          a + "\n--- B\n" + b);
                 return;
             }
+            // 2c. provenance determinism (ISSUE 6): the decision trail —
+            // including cache-replayed prover evidence and content-hashed
+            // span ids — must also be byte-identical across the pair.
+            ++stats.prov_diffs;
+            const std::string pa = provenance_fingerprint(reports[0]);
+            const std::string pb = provenance_fingerprint(reports[1]);
+            if (pa != pb) {
+                fail(stats, "provenance-differential", seed, iter,
+                     "threads=1/cache vs threads=2/no-cache provenance diverged:\n--- A\n" + pa +
+                         "\n--- B\n" + pb);
+                return;
+            }
         }
     } catch (const std::exception& e) {
         fail(stats, "compile-differential", seed, iter,
@@ -385,12 +416,12 @@ int main(int argc, char** argv) {
     std::printf(
         "minif_fuzz: seed=%llu iterations=%lld parse_rejects=%lld compiled=%lld "
         "degraded=%lld runtime_rejects=%lld differential=%lld compile_diffs=%lld "
-        "failures=%lld\n",
+        "prov_diffs=%lld failures=%lld\n",
         static_cast<unsigned long long>(seed), static_cast<long long>(stats.iterations),
         static_cast<long long>(stats.parse_rejects), static_cast<long long>(stats.compiled),
         static_cast<long long>(stats.degraded), static_cast<long long>(stats.runtime_rejects),
         static_cast<long long>(stats.differential), static_cast<long long>(stats.compile_diffs),
-        static_cast<long long>(stats.failures));
+        static_cast<long long>(stats.prov_diffs), static_cast<long long>(stats.failures));
     if (stats.failures) {
         std::fprintf(stderr, "minif_fuzz: %lld failure(s)\n",
                      static_cast<long long>(stats.failures));

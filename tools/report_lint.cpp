@@ -16,7 +16,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -271,6 +273,9 @@ void check_compiler_incidents(const Value& data) {
         require(inc, "detail", "string");
         require(inc, "elapsed_seconds", "number");
         require(inc, "fatal", "bool");
+        // The trace::span_id link into data.provenance (ISSUE 6).
+        const Value* span = require(inc, "span", "number");
+        if (span && span->as_int() <= 0) fail("compiler.incidents[] entry has non-positive span");
         const Value* cause = require(inc, "cause", "string");
         if (cause) {
             const std::string& c = cause->as_string();
@@ -285,6 +290,151 @@ void check_compiler_incidents(const Value& data) {
         incidents->size() != static_cast<std::size_t>(degraded->as_int() + fatal->as_int())) {
         fail("compiler.incidents count " + std::to_string(incidents->size()) +
              " != degraded+fatal " + std::to_string(degraded->as_int() + fatal->as_int()));
+    }
+}
+
+// The optional `data.provenance` section (schema "ap.prov.v1", ISSUE 6):
+// the decision trail behind every loop verdict. Checks, per loop:
+// required fields, category vocabulary, every record's span resolving to
+// a value in the loop's own spans table, `support` equal to the recount
+// of verdict-matching records, and at least one supporting record for
+// every non-parallel target. Per code, the distinct target loops counted
+// by verdict must reproduce codes[].histogram exactly, both directions
+// (docs/OBSERVABILITY.md).
+void check_provenance(const Value& data) {
+    const Value* prov = data.find("provenance");
+    if (!prov) return;
+    if (!prov->is_object()) {
+        fail("\"provenance\" is not an object");
+        return;
+    }
+    const Value* schema = require(*prov, "schema", "string");
+    if (schema && schema->as_string() != "ap.prov.v1") {
+        fail("provenance.schema is \"" + schema->as_string() + "\", expected \"ap.prov.v1\"");
+    }
+    const Value* loops = require(*prov, "loops", "array");
+    if (!loops) return;
+    static const std::set<std::string> kCategories = {
+        "autoparallelized", "aliasing",        "rangeless",
+        "indirection",      "symbol analysis", "access representation",
+        "complexity"};
+    static const std::set<std::string> kKinds = {"dep-test", "prover",    "range",
+                                                 "alias",    "privatization", "reduction",
+                                                 "budget",   "verdict"};
+    std::map<std::string, std::map<std::string, int>> rollup;  // code -> verdict -> targets
+    std::map<std::string, int> targets;                        // code -> target loops
+    for (const Value& loop : *loops->as_array()) {
+        if (!loop.is_object()) {
+            fail("provenance.loops[] entry is not an object");
+            continue;
+        }
+        require(loop, "code", "string");
+        require(loop, "routine", "string");
+        require(loop, "loop", "number");
+        require(loop, "line", "number");
+        const Value* target = require(loop, "target", "bool");
+        const Value* parallel = require(loop, "parallel", "bool");
+        const Value* verdict = require(loop, "verdict", "string");
+        require(loop, "reason", "string");
+        const Value* support = require(loop, "support", "number");
+        const Value* spans = require(loop, "spans", "object");
+        const Value* records = require(loop, "records", "array");
+        const std::string where =
+            (loop.find("routine") ? loop.find("routine")->as_string() : "?") + ":" +
+            (loop.find("loop") ? std::to_string(loop.find("loop")->as_int()) : "?");
+        if (verdict && kCategories.count(verdict->as_string()) == 0) {
+            fail("provenance loop " + where + " has unknown verdict \"" +
+                 verdict->as_string() + "\"");
+        }
+        std::set<std::int64_t> span_table;
+        if (spans && spans->as_object()) {
+            for (const auto& [pass, id] : *spans->as_object()) {
+                if (!id.is_number() || id.as_int() <= 0) {
+                    fail("provenance loop " + where + " span for pass \"" + pass +
+                         "\" is not a positive number");
+                } else {
+                    span_table.insert(id.as_int());
+                }
+            }
+        }
+        int matching = 0;
+        if (records && records->as_array()) {
+            for (const Value& rec : *records->as_array()) {
+                if (!rec.is_object()) {
+                    fail("provenance loop " + where + " record is not an object");
+                    continue;
+                }
+                const Value* kind = require(rec, "kind", "string");
+                const Value* category = require(rec, "category", "string");
+                require(rec, "pass", "string");
+                require(rec, "subject", "string");
+                require(rec, "detail", "string");
+                const Value* span = require(rec, "span", "number");
+                if (kind && kKinds.count(kind->as_string()) == 0) {
+                    fail("provenance loop " + where + " record has unknown kind \"" +
+                         kind->as_string() + "\"");
+                }
+                if (category && kCategories.count(category->as_string()) == 0) {
+                    fail("provenance loop " + where + " record has unknown category \"" +
+                         category->as_string() + "\"");
+                }
+                if (span && (span->as_int() <= 0 || span_table.count(span->as_int()) == 0)) {
+                    fail("provenance loop " + where + " record span " +
+                         std::to_string(span->as_int()) +
+                         " does not resolve in the loop's spans table");
+                }
+                if (category && verdict && category->as_string() == verdict->as_string()) {
+                    ++matching;
+                }
+            }
+        }
+        if (support && records && support->as_int() != matching) {
+            fail("provenance loop " + where + " support=" +
+                 std::to_string(support->as_int()) + " != verdict-matching record count " +
+                 std::to_string(matching));
+        }
+        const bool is_target = target && target->as_bool();
+        const bool is_parallel = parallel && parallel->as_bool();
+        if (is_target && !is_parallel && matching == 0) {
+            fail("provenance loop " + where +
+                 " did not parallelize but no record supports its verdict");
+        }
+        if (is_target && loop.find("code") && verdict) {
+            const std::string code = loop.find("code")->as_string();
+            ++rollup[code][verdict->as_string()];
+            ++targets[code];
+        }
+    }
+    // Cross-check: the per-code verdict roll-up must reproduce the
+    // report's own histogram (and total_targets), both directions.
+    const Value* codes = data.find("codes");
+    if (!codes || !codes->is_array()) return;
+    for (const Value& code : *codes->as_array()) {
+        if (!code.is_object() || !code.find("name")) continue;
+        const std::string name = code.find("name")->as_string();
+        const Value* hist = code.find("histogram");
+        if (!hist) hist = code.find("hindrances");
+        if (!hist || !hist->as_object()) continue;
+        std::set<std::string> categories;
+        for (const auto& [category, n] : *hist->as_object()) categories.insert(category);
+        for (const auto& [category, n] : rollup[name]) categories.insert(category);
+        for (const std::string& category : categories) {
+            const Value* reported = hist->find(category);
+            const std::int64_t want = reported ? reported->as_int() : 0;
+            const auto it = rollup[name].find(category);
+            const std::int64_t got = it == rollup[name].end() ? 0 : it->second;
+            if (want != got) {
+                fail("provenance roll-up mismatch for " + name + "/" + category +
+                     ": histogram says " + std::to_string(want) + ", records say " +
+                     std::to_string(got));
+            }
+        }
+        if (const Value* total = code.find("total_targets");
+            total && total->is_number() && total->as_int() != targets[name]) {
+            fail("provenance roll-up mismatch for " + name + ": total_targets=" +
+                 std::to_string(total->as_int()) + ", records count " +
+                 std::to_string(targets[name]) + " target loops");
+        }
     }
 }
 
@@ -392,6 +542,17 @@ std::string deterministic_fingerprint(const Value& doc) {
                     if (const Value* v = inc.find(key)) os << ' ' << key << '=' << v->dump();
                 }
                 os << '\n';
+            }
+        }
+    }
+    // The provenance trail is deterministic end to end (content-addressed
+    // span ids, cache-replayed prover blockers), so the whole section
+    // joins the fingerprint: one line per loop.
+    if (const Value* prov = data->find("provenance"); prov && prov->is_object()) {
+        if (const Value* loops = prov->find("loops"); loops && loops->is_array()) {
+            for (const Value& loop : *loops->as_array()) {
+                if (!loop.is_object()) continue;
+                os << "prov " << loop.dump() << '\n';
             }
         }
     }
@@ -519,6 +680,7 @@ int main(int argc, char** argv) {
     if (bench && data) check_bench(bench->as_string(), *data, counters);
     if (data) {
         check_compiler_incidents(*data);
+        check_provenance(*data);
         // Validate data.sched wherever it appears (check_bench enforces
         // its presence for fig2/fig3).
         if (const Value* sched = data->find("sched")) {
