@@ -1,0 +1,489 @@
+// server_load — N clients x M compiles against the ap::serve daemon
+// (ISSUE 7): the service-level acceptance drill behind `scripts/verify.sh
+// --serve` and the committed BENCH_server.json baseline.
+//
+// Phases (each is a full N x M load):
+//   cold   fresh cache directory. With --crash, the daemon runs under a
+//          seeded fault plan that tears a persistent-cache append
+//          mid-record and then kills the process partway through the
+//          load (kill -9 semantics); a monitor respawns it on the same
+//          cache directory and the clients ride through on retry +
+//          reconnect. Every one of the N*M compiles must still succeed.
+//   warm   graceful restart on the same cache directory: the persistent
+//          cache must serve a strictly higher hit rate than the cold
+//          phase, and every per-program verdict fingerprint must be
+//          byte-identical to the cold phase's (including everything
+//          compiled after the crash recovery).
+//
+// The report (`--json`, schema ap.serve.v1 inside the ap.bench.v1
+// envelope) carries per-phase latency percentiles, throughput,
+// admission/shed counts, cache hit rates, and the crash-recovery
+// counters; tools/report_lint `check_server` revalidates all of it.
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.hpp"
+#include "corpus/corpus.hpp"
+#include "serve/client.hpp"
+#include "trace/json.hpp"
+
+#ifndef AP_SERVE_DAEMON_PATH
+#define AP_SERVE_DAEMON_PATH "serve_daemon"
+#endif
+
+namespace {
+
+namespace json = ap::trace::json;
+using clock_t_ = std::chrono::steady_clock;
+
+struct Args {
+    std::string json_path;
+    std::string daemon = AP_SERVE_DAEMON_PATH;
+    std::string socket_path;
+    std::string cache_dir;
+    int clients = 4;
+    int per_client = 6;
+    unsigned workers = 2;
+    std::size_t queue_limit = 8;
+    bool crash = false;   ///< run the cold phase under the crash/torn fault plan
+    bool keep = false;    ///< leave socket + cache dir behind for inspection
+};
+
+struct DaemonHandle {
+    const Args* args = nullptr;
+    std::atomic<pid_t> pid{-1};
+    std::atomic<int> restarts{0};
+    std::atomic<bool> monitor_stop{false};
+    std::thread monitor;
+};
+
+pid_t spawn_daemon(const Args& args, const std::string& fault_spec) {
+    std::vector<std::string> argv_s = {
+        args.daemon,        "--socket",      args.socket_path, "--cache-dir", args.cache_dir,
+        "--workers",        std::to_string(args.workers),      "--queue-limit",
+        std::to_string(args.queue_limit),
+    };
+    if (!fault_spec.empty()) {
+        argv_s.push_back("--fault");
+        argv_s.push_back(fault_spec);
+    }
+    std::vector<char*> argv;
+    argv.reserve(argv_s.size() + 1);
+    for (std::string& s : argv_s) argv.push_back(s.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execv(argv[0], argv.data());
+        std::fprintf(stderr, "server_load: execv %s: %s\n", argv[0], std::strerror(errno));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/// Watches the daemon; an *unexpected* death (the injected crash) is
+/// answered with a respawn on the same cache directory — the recovery
+/// the whole drill is about.
+void start_monitor(DaemonHandle& d) {
+    d.monitor = std::thread([&d] {
+        while (!d.monitor_stop.load()) {
+            const pid_t pid = d.pid.load();
+            int status = 0;
+            const pid_t r = ::waitpid(pid, &status, WNOHANG);
+            if (r == pid && pid > 0) {
+                if (d.monitor_stop.load()) break;
+                // Respawn WITHOUT the fault plan: the replacement daemon
+                // opens the torn cache, heals it, and serves the rest.
+                d.pid.store(spawn_daemon(*d.args, ""));
+                d.restarts.fetch_add(1);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    });
+}
+
+void stop_daemon(DaemonHandle& d) {
+    d.monitor_stop.store(true);
+    if (d.monitor.joinable()) d.monitor.join();
+    const pid_t pid = d.pid.exchange(-1);
+    if (pid > 0) {
+        ::kill(pid, SIGTERM);
+        int status = 0;
+        for (int i = 0; i < 250; ++i) {
+            if (::waitpid(pid, &status, WNOHANG) == pid) return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);
+    }
+}
+
+struct PhaseResult {
+    std::string name;
+    double wall_seconds = 0;
+    std::vector<double> latencies_ms;
+    ap::serve::ClientStats client;  // summed over all client threads
+    std::uint64_t completed_ok = 0;
+    std::uint64_t request_failures = 0;
+    std::uint64_t fingerprint_mismatches = 0;
+    json::Value server_stats;  // "stats" op result from the phase-final daemon
+};
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) return 0;
+    std::sort(values.begin(), values.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min(idx, values.size() - 1)];
+}
+
+/// Runs one full N x M load. `fingerprints` accumulates per-program
+/// verdict fingerprints ACROSS phases: any divergence (within a phase,
+/// across a restart, across a crash recovery) is a determinism failure.
+PhaseResult run_phase(const Args& args, const std::string& name,
+                      std::map<std::string, std::string>& fingerprints) {
+    PhaseResult result;
+    result.name = name;
+    const std::vector<const ap::corpus::CorpusProgram*> corpora = ap::corpus::all();
+
+    std::mutex merge_mutex;
+    const auto t0 = clock_t_::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(args.clients));
+    for (int ci = 0; ci < args.clients; ++ci) {
+        threads.emplace_back([&, ci] {
+            ap::serve::ClientOptions copts;
+            copts.socket_path = args.socket_path;
+            copts.timeout_ms = 10'000;
+            copts.max_attempts = 12;
+            copts.jitter_seed = static_cast<std::uint64_t>(ci + 1);
+            ap::serve::Client client(copts);
+
+            std::vector<double> latencies;
+            std::uint64_t ok_count = 0, failures = 0, mismatches = 0;
+            std::map<std::string, std::string> seen;
+            for (int j = 0; j < args.per_client; ++j) {
+                const ap::corpus::CorpusProgram& corpus =
+                    *corpora[static_cast<std::size_t>(ci + j) % corpora.size()];
+                const auto r0 = clock_t_::now();
+                std::string error;
+                // Generous explicit deadline: queue wait must never push a
+                // request into Complexity degradation, or fingerprints
+                // would (legitimately) differ between phases.
+                std::optional<json::Value> resp = client.compile(
+                    corpus.name, corpus.source, corpus.loop_op_budget, 120'000, &error);
+                latencies.push_back(
+                    std::chrono::duration<double, std::milli>(clock_t_::now() - r0).count());
+                const json::Value* status = resp ? resp->find("status") : nullptr;
+                if (!status || !status->is_string() || status->as_string() != "ok") {
+                    failures += 1;
+                    std::fprintf(stderr, "server_load[%s]: %s/%s failed: %s\n", name.c_str(),
+                                 corpus.name.c_str(), status ? "error" : "exhausted",
+                                 error.c_str());
+                    continue;
+                }
+                ok_count += 1;
+                const json::Value* fp = resp->find("fingerprint");
+                const std::string fps = fp && fp->is_string() ? fp->as_string() : "";
+                auto [it, inserted] = seen.emplace(corpus.name, fps);
+                if (!inserted && it->second != fps) mismatches += 1;
+            }
+            std::lock_guard lock(merge_mutex);
+            result.latencies_ms.insert(result.latencies_ms.end(), latencies.begin(),
+                                       latencies.end());
+            result.completed_ok += ok_count;
+            result.request_failures += failures;
+            result.fingerprint_mismatches += mismatches;
+            const ap::serve::ClientStats& cs = client.client_stats();
+            result.client.requests += cs.requests;
+            result.client.attempts += cs.attempts;
+            result.client.retries += cs.retries;
+            result.client.shed_seen += cs.shed_seen;
+            result.client.timeouts += cs.timeouts;
+            result.client.reconnects += cs.reconnects;
+            for (const auto& [program, fps] : seen) {
+                auto [it, inserted] = fingerprints.emplace(program, fps);
+                if (!inserted && it->second != fps) result.fingerprint_mismatches += 1;
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    result.wall_seconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+
+    ap::serve::ClientOptions copts;
+    copts.socket_path = args.socket_path;
+    copts.timeout_ms = 5'000;
+    ap::serve::Client probe(copts);
+    if (std::optional<json::Value> s = probe.stats()) result.server_stats = std::move(*s);
+    return result;
+}
+
+const json::Value* section(const json::Value& v, std::string_view a, std::string_view b) {
+    const json::Value* s = v.find(a);
+    return s ? s->find(b) : nullptr;
+}
+
+std::int64_t stat_int(const json::Value& v, std::string_view a, std::string_view b) {
+    const json::Value* f = section(v, a, b);
+    return f ? f->as_int() : 0;
+}
+
+json::Value phase_json(const PhaseResult& r) {
+    json::Value latency = json::Value::object();
+    latency.set("p50_ms", percentile(r.latencies_ms, 0.50));
+    latency.set("p99_ms", percentile(r.latencies_ms, 0.99));
+    latency.set("max_ms", percentile(r.latencies_ms, 1.0));
+
+    // Server-side numbers come from the phase-FINAL daemon generation
+    // (a crashed generation's tallies die with it); they are internally
+    // consistent, which is what the admission invariant needs.
+    json::Value server = json::Value::object();
+    server.set("submitted", stat_int(r.server_stats, "server", "submitted"));
+    server.set("completed", stat_int(r.server_stats, "server", "completed"));
+    server.set("shed", stat_int(r.server_stats, "server", "shed"));
+    server.set("failed", stat_int(r.server_stats, "server", "failed"));
+    server.set("proto_errors", stat_int(r.server_stats, "server", "proto_errors"));
+
+    json::Value cache = json::Value::object();
+    const std::int64_t hits = stat_int(r.server_stats, "cache", "hits");
+    const std::int64_t misses = stat_int(r.server_stats, "cache", "misses");
+    cache.set("entries", stat_int(r.server_stats, "cache", "entries"));
+    cache.set("hits", hits);
+    cache.set("misses", misses);
+    cache.set("appends", stat_int(r.server_stats, "cache", "appends"));
+    cache.set("recovered", stat_int(r.server_stats, "cache", "recovered"));
+    cache.set("discarded", stat_int(r.server_stats, "cache", "discarded"));
+    cache.set("hit_rate",
+              hits + misses ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                            : 0.0);
+
+    json::Value client = json::Value::object();
+    client.set("requests", r.client.requests);
+    client.set("attempts", r.client.attempts);
+    client.set("retries", r.client.retries);
+    client.set("shed_seen", r.client.shed_seen);
+    client.set("timeouts", r.client.timeouts);
+    client.set("reconnects", r.client.reconnects);
+
+    json::Value out = json::Value::object();
+    out.set("name", r.name);
+    out.set("wall_seconds", r.wall_seconds);
+    out.set("throughput_rps",
+            r.wall_seconds > 0 ? static_cast<double>(r.completed_ok) / r.wall_seconds : 0.0);
+    out.set("requests_ok", r.completed_ok);
+    out.set("request_failures", r.request_failures);
+    out.set("latency", std::move(latency));
+    out.set("server", std::move(server));
+    out.set("cache", std::move(cache));
+    out.set("client", std::move(client));
+    return out;
+}
+
+Args parse_args(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "server_load: %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json") args.json_path = value();
+        else if (arg == "--daemon") args.daemon = value();
+        else if (arg == "--socket") args.socket_path = value();
+        else if (arg == "--cache-dir") args.cache_dir = value();
+        else if (arg == "--clients") args.clients = std::atoi(value());
+        else if (arg == "--per-client") args.per_client = std::atoi(value());
+        else if (arg == "--workers") args.workers = static_cast<unsigned>(std::atoi(value()));
+        else if (arg == "--queue-limit") args.queue_limit = static_cast<std::size_t>(std::atol(value()));
+        else if (arg == "--crash") args.crash = true;
+        else if (arg == "--keep") args.keep = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: server_load [--json PATH] [--clients N] [--per-client M]\n"
+                         "                   [--workers N] [--queue-limit N] [--crash]\n"
+                         "                   [--daemon PATH] [--socket PATH] [--cache-dir DIR]\n"
+                         "                   [--keep]\n");
+            std::exit(2);
+        }
+    }
+    const std::string unique = std::to_string(static_cast<long>(::getpid()));
+    if (args.socket_path.empty()) args.socket_path = "/tmp/ap-serve-" + unique + ".sock";
+    if (args.cache_dir.empty()) args.cache_dir = "/tmp/ap-serve-cache-" + unique;
+    return args;
+}
+
+void remove_cache_dir(const std::string& dir) {
+    for (std::size_t i = 0; i < 16; ++i) {
+        const std::string p =
+            dir + "/shard-" + (i < 10 ? "0" : "") + std::to_string(i) + ".seg";
+        ::unlink(p.c_str());
+    }
+    ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Args args = parse_args(argc, argv);
+    const int total_requests = args.clients * args.per_client;
+
+    // Seeded fault plan for the cold phase: tear shard 0's 25th append
+    // mid-record (wedging persistence, as a dying writer would), then
+    // kill the daemon outright at its Nth compile. Both fire well inside
+    // the load so clients must ride through the restart.
+    const std::string fault_spec =
+        args.crash ? "seed=7,torn=0@25,crash=0@" + std::to_string(std::max(2, total_requests / 2))
+                   : "";
+
+    std::printf("server_load: %d clients x %d compiles, workers=%u queue=%zu%s\n", args.clients,
+                args.per_client, args.workers, args.queue_limit,
+                args.crash ? ", crash+torn fault plan armed" : "");
+
+    DaemonHandle daemon;
+    daemon.args = &args;
+    daemon.pid.store(spawn_daemon(args, fault_spec));
+    start_monitor(daemon);
+
+    {
+        ap::serve::ClientOptions copts;
+        copts.socket_path = args.socket_path;
+        ap::serve::Client probe(copts);
+        if (!probe.wait_ready(10'000)) {
+            std::fprintf(stderr, "server_load: daemon never became ready\n");
+            stop_daemon(daemon);
+            return EXIT_FAILURE;
+        }
+    }
+
+    std::map<std::string, std::string> fingerprints;
+    const PhaseResult cold = run_phase(args, "cold", fingerprints);
+    const int cold_restarts = daemon.restarts.load();
+    stop_daemon(daemon);  // graceful: SIGTERM, drain, exit 0
+
+    // Warm restart: a new daemon generation on the SAME cache directory.
+    DaemonHandle warm_daemon;
+    warm_daemon.args = &args;
+    warm_daemon.pid.store(spawn_daemon(args, ""));
+    start_monitor(warm_daemon);
+    {
+        ap::serve::ClientOptions copts;
+        copts.socket_path = args.socket_path;
+        ap::serve::Client probe(copts);
+        if (!probe.wait_ready(10'000)) {
+            std::fprintf(stderr, "server_load: warm daemon never became ready\n");
+            stop_daemon(warm_daemon);
+            return EXIT_FAILURE;
+        }
+    }
+    const PhaseResult warm = run_phase(args, "warm", fingerprints);
+    stop_daemon(warm_daemon);
+
+    // --- verdicts ---------------------------------------------------------
+    const auto hit_rate = [](const PhaseResult& r) {
+        const std::int64_t h = stat_int(r.server_stats, "cache", "hits");
+        const std::int64_t m = stat_int(r.server_stats, "cache", "misses");
+        return h + m ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
+    };
+    const std::uint64_t mismatches =
+        cold.fingerprint_mismatches + warm.fingerprint_mismatches;
+    const std::int64_t recovered = stat_int(cold.server_stats, "cache", "recovered") +
+                                   stat_int(warm.server_stats, "cache", "recovered");
+
+    bool ok = true;
+    const auto check = [&ok](bool cond, const char* what) {
+        if (!cond) {
+            std::fprintf(stderr, "server_load: FAIL %s\n", what);
+            ok = false;
+        }
+    };
+    check(cold.completed_ok == static_cast<std::uint64_t>(total_requests),
+          "cold phase: every request must complete (via retry/reconnect if needed)");
+    check(warm.completed_ok == static_cast<std::uint64_t>(total_requests),
+          "warm phase: every request must complete");
+    check(mismatches == 0, "verdict fingerprints must be byte-identical across phases");
+    check(hit_rate(warm) > hit_rate(cold),
+          "warm-restart hit rate must exceed the cold hit rate");
+    if (args.crash) {
+        check(cold_restarts >= 1, "crash plan must actually kill the daemon");
+        check(recovered >= 1, "reopening the torn cache must recover (truncate) a shard");
+    }
+
+    std::printf("  cold: %5.2fs  p50 %6.1fms  p99 %6.1fms  hit-rate %4.2f  restarts %d\n",
+                cold.wall_seconds, percentile(cold.latencies_ms, 0.5),
+                percentile(cold.latencies_ms, 0.99), hit_rate(cold), cold_restarts);
+    std::printf("  warm: %5.2fs  p50 %6.1fms  p99 %6.1fms  hit-rate %4.2f\n", warm.wall_seconds,
+                percentile(warm.latencies_ms, 0.5), percentile(warm.latencies_ms, 0.99),
+                hit_rate(warm));
+    std::printf("  fingerprints: %zu programs, %s across restart%s\n", fingerprints.size(),
+                mismatches == 0 ? "byte-identical" : "DIVERGED",
+                args.crash ? " + crash recovery" : "");
+
+    if (!args.json_path.empty()) {
+        json::Value phases = json::Value::array();
+        phases.push_back(phase_json(cold));
+        phases.push_back(phase_json(warm));
+
+        json::Value crash = json::Value::object();
+        crash.set("enabled", args.crash);
+        crash.set("fault_plan", fault_spec);
+        crash.set("daemon_restarts", cold_restarts);
+        crash.set("recovered", recovered);
+        crash.set("discarded", stat_int(cold.server_stats, "cache", "discarded") +
+                                   stat_int(warm.server_stats, "cache", "discarded"));
+        // A corrupt entry served would flip a verdict, which the
+        // cross-phase fingerprint comparison would catch — so this IS the
+        // "zero corrupted entries served" counter.
+        crash.set("corrupt_served", mismatches);
+
+        json::Value determinism = json::Value::object();
+        determinism.set("programs", static_cast<std::int64_t>(fingerprints.size()));
+        determinism.set("fingerprints_match", mismatches == 0);
+
+        json::Value daemon_cfg = json::Value::object();
+        daemon_cfg.set("workers", static_cast<std::int64_t>(args.workers));
+        daemon_cfg.set("queue_limit", static_cast<std::int64_t>(args.queue_limit));
+
+        json::Value server = json::Value::object();
+        server.set("schema", "ap.serve.v1");
+        server.set("clients", args.clients);
+        server.set("per_client", args.per_client);
+        server.set("requests", total_requests);
+        server.set("daemon", std::move(daemon_cfg));
+        server.set("phases", std::move(phases));
+        server.set("crash", std::move(crash));
+        server.set("determinism", std::move(determinism));
+
+        json::Value data = json::Value::object();
+        data.set("server", std::move(server));
+        if (!ap::core::write_bench_report(args.json_path, "server", std::move(data), ok)) {
+            std::fprintf(stderr, "server_load: cannot write %s\n", args.json_path.c_str());
+            return EXIT_FAILURE;
+        }
+        std::printf("json report: %s\n", args.json_path.c_str());
+    }
+
+    if (!args.keep) {
+        ::unlink(args.socket_path.c_str());
+        remove_cache_dir(args.cache_dir);
+    }
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -26,6 +26,16 @@
 #       # byte-identical provenance via report_lint --compare, and run
 #       # the explain CLI (--hist and the narrative) over the result.
 #       # This is the mode the verify_provenance CTest test runs.
+#   scripts/verify.sh --serve --build-dir build
+#       # compile-service smoke (docs/ROBUSTNESS.md): run the server_load
+#       # generator from an existing build tree with the crash drill
+#       # enabled — the seeded fault plan tears one cache append and
+#       # SIGKILLs the daemon mid-load, the monitor respawns it, clients
+#       # retry/reconnect until every compile completes, and the warm
+#       # phase must beat the cold phase's cache hit rate — then lint the
+#       # ap.serve.v1 report (admission accounting, percentile order,
+#       # recovery counters). This is the mode the verify_server CTest
+#       # test runs.
 #   scripts/verify.sh --tsan
 #       # opt-in sanitizer pass: configure a separate build-tsan tree
 #       # with -DAP_SANITIZE=ON (ThreadSanitizer + UBSan) and run only
@@ -45,6 +55,7 @@ TSAN=0
 ASAN=0
 PERF=0
 EXPLAIN=0
+SERVE=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --build-dir) BUILD_DIR=$2; shift 2 ;;
@@ -53,9 +64,21 @@ while [ $# -gt 0 ]; do
         --asan) ASAN=1; shift ;;
         --perf) PERF=1; shift ;;
         --explain) EXPLAIN=1; shift ;;
+        --serve) SERVE=1; shift ;;
         *) echo "verify.sh: unknown argument: $1" >&2; exit 2 ;;
     esac
 done
+
+if [ "$SERVE" -eq 1 ]; then
+    report=$(mktemp /tmp/ap-serve.XXXXXX.json)
+    trap 'rm -f "$report"' EXIT
+    echo "== serve: crash-recovery load drill =="
+    "$BUILD_DIR"/bench/server_load --crash --json "$report"
+    echo "== serve: lint the ap.serve.v1 report =="
+    "$BUILD_DIR"/tools/report_lint "$report" server
+    echo "verify.sh: serve OK"
+    exit 0
+fi
 
 if [ "$EXPLAIN" -eq 1 ]; then
     serial=$(mktemp /tmp/ap-prov-t1.XXXXXX.json)

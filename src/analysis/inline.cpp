@@ -30,20 +30,21 @@ struct Inliner {
         }
     }
 
-    bool process_block(ir::Routine& caller, ir::Block& block, bool in_loop) {
+    bool process_block(ir::Routine& caller, ir::Block& block, bool in_loop, int depth = 0) {
+        if (depth > options.max_depth) return false;
         bool any = false;
         for (std::size_t i = 0; i < block.size(); ++i) {
             ir::Stmt& s = *block[i];
             switch (s.kind()) {
                 case ir::StmtKind::If: {
                     auto& ifs = static_cast<ir::IfStmt&>(s);
-                    any |= process_block(caller, ifs.then_block, in_loop);
-                    any |= process_block(caller, ifs.else_block, in_loop);
+                    any |= process_block(caller, ifs.then_block, in_loop, depth + 1);
+                    any |= process_block(caller, ifs.else_block, in_loop, depth + 1);
                     break;
                 }
                 case ir::StmtKind::Do: {
                     auto& d = static_cast<ir::DoLoop&>(s);
-                    any |= process_block(caller, d.body, /*in_loop=*/true);
+                    any |= process_block(caller, d.body, /*in_loop=*/true, depth + 1);
                     break;
                 }
                 case ir::StmtKind::Call: {
@@ -69,6 +70,10 @@ struct Inliner {
 
     bool try_inline(ir::Routine& caller, ir::Block& block, std::size_t index,
                     const ir::CallStmt& call) {
+        if (result.inlined >= options.max_inlined_calls) {
+            refuse(call.name + ": inline budget exhausted");
+            return false;
+        }
         const ir::Routine* callee = prog.find(call.name);
         if (!callee || callee == &caller) return false;
         if (callee->is_foreign()) {

@@ -14,6 +14,17 @@ struct InlineOptions {
     std::size_t max_callee_statements = 80;  ///< refuse bodies larger than this
     int max_rounds = 4;                      ///< repeated passes (call chains)
     bool only_inside_loops = true;           ///< only inline calls under a DO
+    /// Total expansion budget per run. The `callee != caller` check stops
+    /// direct recursion, but a mutually-recursive call cycle (A calls B,
+    /// B calls A, both inlined into some third routine) would otherwise
+    /// expand forever inside one round: every splice introduces the next
+    /// call of the cycle. The corpus peaks at 12 inlines per program, so
+    /// tripping this budget is itself evidence of such a cycle.
+    int max_inlined_calls = 100;
+    /// Nesting depth past which the walk neither inlines nor descends;
+    /// bounds the recursion (and thus stack) even while a cycle is
+    /// burning through the remaining call budget.
+    int max_depth = 64;
 };
 
 struct InlineResult {

@@ -304,6 +304,7 @@ CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
     }
 
     sched::AnalysisCache cache;
+    cache.set_backing(options.cache_backing);
     sched::AnalysisCache* cache_ptr = options.analysis_cache ? &cache : nullptr;
 
     struct RoutineSlice {

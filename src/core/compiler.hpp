@@ -39,6 +39,13 @@ struct CompilerOptions {
     /// computation's op cost, so verdicts, budgets, and hindrances are
     /// identical with the cache on or off — only wall time changes.
     bool analysis_cache = true;
+    /// Optional second cache tier behind the per-compile cache (the
+    /// compile daemon attaches its persistent on-disk cache here so
+    /// analysis survives across compiles and process restarts). Ignored
+    /// when analysis_cache is false. Backing hits replay the fresh
+    /// computation's recorded op cost exactly like in-memory hits, so
+    /// the byte-identical-verdict contract extends across restarts.
+    sched::CacheBacking* cache_backing = nullptr;
     analysis::InlineOptions inline_options{};
 };
 

@@ -18,6 +18,7 @@ std::string_view to_string(Kind k) noexcept {
         case Kind::Duplicate: return "duplicate";
         case Kind::Stall: return "stall";
         case Kind::Crash: return "crash";
+        case Kind::Torn: return "torn";
     }
     return "?";
 }
@@ -27,10 +28,10 @@ namespace counters {
 namespace {
 
 trace::Counter& bucket(std::string_view stage, Kind k) {
-    // Five kinds x three stages: cache the fifteen counters on first use.
-    // Slots are atomic because ranks race to fill them; get() returns a
-    // stable address, so a racing double-store is idempotent.
-    static std::array<std::array<std::atomic<trace::Counter*>, 5>, 3> cache{};
+    // Six kinds x three stages: cache the eighteen counters on first
+    // use. Slots are atomic because ranks race to fill them; get()
+    // returns a stable address, so a racing double-store is idempotent.
+    static std::array<std::array<std::atomic<trace::Counter*>, 6>, 3> cache{};
     auto& slot = cache[stage == "injected" ? 0 : stage == "recovered" ? 1 : 2]
                       [static_cast<std::size_t>(k)];
     trace::Counter* c = slot.load(std::memory_order_acquire);
@@ -145,9 +146,11 @@ Plan Plan::parse(std::string_view spec) {
             std::tie(plan.crash_rank, plan.crash_at) = parse_rank_at(clause, value);
         } else if (key == "stall") {
             std::tie(plan.stall_rank, plan.stall_at) = parse_rank_at(clause, value);
+        } else if (key == "torn") {
+            std::tie(plan.torn_rank, plan.torn_at) = parse_rank_at(clause, value);
         } else {
             bad_clause(clause, "unknown key (expected seed, drop, delay, dup, delay_us, "
-                               "stall_ms, crash, stall)");
+                               "stall_ms, crash, stall, torn)");
         }
     }
     return plan;
@@ -180,6 +183,9 @@ std::string Plan::spec() const {
     if (stall_rank >= 0) {
         s += ",stall=" + std::to_string(stall_rank) + "@" + std::to_string(stall_at) +
              ",stall_ms=" + frac(stall_ms);
+    }
+    if (torn_rank >= 0) {
+        s += ",torn=" + std::to_string(torn_rank) + "@" + std::to_string(torn_at);
     }
     return s;
 }
@@ -238,6 +244,17 @@ void Injector::on_op(int rank) {
         counters::injected(Kind::Crash);
         throw InjectedCrash(rank);
     }
+}
+
+bool Injector::on_append(int rank) noexcept {
+    if (plan_.torn_rank < 0) return false;
+    const std::int64_t nth = slot(appends_, rank).fetch_add(1, std::memory_order_relaxed) + 1;
+    if (rank == plan_.torn_rank && nth == plan_.torn_at &&
+        !torn_fired_.exchange(true, std::memory_order_relaxed)) {
+        counters::injected(Kind::Torn);
+        return true;
+    }
+    return false;
 }
 
 std::shared_ptr<Injector> injector_from_env() {

@@ -68,9 +68,9 @@ private:
 
 // --- fault kinds and accounting ---------------------------------------------
 
-enum class Kind { Drop, Delay, Duplicate, Stall, Crash };
-inline constexpr std::array<Kind, 5> kAllKinds = {Kind::Drop, Kind::Delay, Kind::Duplicate,
-                                                  Kind::Stall, Kind::Crash};
+enum class Kind { Drop, Delay, Duplicate, Stall, Crash, Torn };
+inline constexpr std::array<Kind, 6> kAllKinds = {Kind::Drop,  Kind::Delay, Kind::Duplicate,
+                                                  Kind::Stall, Kind::Crash, Kind::Torn};
 [[nodiscard]] std::string_view to_string(Kind k) noexcept;
 
 /// Fault bookkeeping over ap::trace counters. Every injected fault must
@@ -120,14 +120,22 @@ struct Plan {
     int stall_rank = -1;     ///< rank to stall (-1 = never)
     std::int64_t stall_at = 0;   ///< stall at this op index (1-based)
     double stall_ms = 250;   ///< how long the stalled rank sleeps
+    /// Torn append: the Nth append on stream/shard R is cut mid-record
+    /// (the writer behaves as if killed mid-write: a prefix of the
+    /// record reaches the medium and nothing after it does). Exercises
+    /// the persistent-cache recovery path (ap::serve) with the same
+    /// seeded determinism as the message faults.
+    int torn_rank = -1;          ///< append stream to tear (-1 = never)
+    std::int64_t torn_at = 0;    ///< tear at this append index (1-based)
 
     [[nodiscard]] bool any() const noexcept {
-        return drop > 0 || delay > 0 || duplicate > 0 || crash_rank >= 0 || stall_rank >= 0;
+        return drop > 0 || delay > 0 || duplicate > 0 || crash_rank >= 0 || stall_rank >= 0 ||
+               torn_rank >= 0;
     }
 
     /// Parses the AP_FAULT grammar:
     ///   seed=N  drop=P  delay=P  dup=P  delay_us=N  stall_ms=N
-    ///   crash=R@N  stall=R@N
+    ///   crash=R@N  stall=R@N  torn=R@N
     /// comma-separated, e.g. "seed=42,drop=0.01,crash=2@50".
     /// Throws std::invalid_argument naming the offending clause.
     [[nodiscard]] static Plan parse(std::string_view spec);
@@ -172,6 +180,13 @@ public:
     /// (each at most once per injector).
     void on_op(int rank);
 
+    /// Counts one append on stream `rank` against the torn-write
+    /// schedule. Returns true exactly once — when this append is the one
+    /// the plan tears — and bumps fault.injected.torn; the writer must
+    /// then persist only a prefix of the record and drop everything
+    /// after it (as a kill -9 mid-write would).
+    [[nodiscard]] bool on_append(int rank) noexcept;
+
 private:
     [[nodiscard]] double uniform(int rank, std::int64_t op, std::uint64_t salt) const noexcept;
     [[nodiscard]] std::atomic<std::int64_t>& slot(std::array<std::atomic<std::int64_t>, 64>& a,
@@ -182,8 +197,10 @@ private:
     Plan plan_;
     std::array<std::atomic<std::int64_t>, 64> send_ops_{};
     std::array<std::atomic<std::int64_t>, 64> ops_{};
+    std::array<std::atomic<std::int64_t>, 64> appends_{};
     std::atomic<bool> crash_fired_{false};
     std::atomic<bool> stall_fired_{false};
+    std::atomic<bool> torn_fired_{false};
 };
 
 /// Fresh injector for the AP_FAULT plan, or nullptr when unset. Each

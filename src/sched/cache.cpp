@@ -1,8 +1,7 @@
 #include "sched/cache.hpp"
 
-#include <functional>
-
 #include "trace/counters.hpp"
+#include "trace/digest.hpp"
 
 namespace ap::sched {
 
@@ -14,6 +13,7 @@ struct SchedCounters {
     trace::Counter& misses = trace::counters::get("sched.cache.misses");
     trace::Counter& queries = trace::counters::get("sched.queries");
     trace::Counter& insert_dropped = trace::counters::get("sched.cache.insert_dropped");
+    trace::Counter& backing_hits = trace::counters::get("sched.cache.backing_hits");
 
     static SchedCounters& instance() {
         static SchedCounters c;
@@ -23,31 +23,51 @@ struct SchedCounters {
 
 }  // namespace
 
-AnalysisCache::Shard& AnalysisCache::shard_for(const std::string& key) noexcept {
-    const std::size_t h = std::hash<std::string>{}(key);
-    return shards_[h % kShards];
+std::uint64_t AnalysisCache::key_digest(std::string_view key) noexcept {
+    return trace::digest(key);
+}
+
+AnalysisCache::Shard& AnalysisCache::shard_for(std::uint64_t digest) noexcept {
+    return shards_[digest % kShards];
 }
 
 std::optional<Entry> AnalysisCache::lookup(const std::string& key) {
     SchedCounters& c = SchedCounters::instance();
     c.queries.add();
-    Shard& s = shard_for(key);
+    const std::uint64_t digest = key_digest(key);
+    Shard& s = shard_for(digest);
     std::optional<Entry> out;
     {
         std::lock_guard lock(s.mutex);
         auto it = s.map.find(key);
         if (it != s.map.end()) out = it->second;
     }
+    bool from_backing = false;
+    if (!out && backing_ != nullptr) {
+        // In-memory miss: the persistent tier may have the answer from an
+        // earlier compile (or an earlier process). A backing hit installs
+        // the entry so later queries of this compile stay in memory.
+        out = backing_->load(key, digest);
+        if (out) {
+            from_backing = true;
+            std::lock_guard lock(s.mutex);
+            if (s.map.size() < kMaxEntriesPerShard) s.map.emplace(key, *out);
+        }
+    }
     {
         std::lock_guard lock(stats_mutex_);
         (out ? stats_.hits : stats_.misses) += 1;
+        if (from_backing) stats_.backing_hits += 1;
     }
     (out ? c.hits : c.misses).add();
+    if (from_backing) c.backing_hits.add();
     return out;
 }
 
 void AnalysisCache::insert(const std::string& key, Entry entry) {
-    Shard& s = shard_for(key);
+    const std::uint64_t digest = key_digest(key);
+    if (backing_ != nullptr) backing_->store(key, digest, entry);
+    Shard& s = shard_for(digest);
     std::lock_guard lock(s.mutex);
     if (s.map.size() >= kMaxEntriesPerShard) {
         SchedCounters::instance().insert_dropped.add();

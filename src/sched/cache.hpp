@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -53,10 +54,12 @@ struct Entry {
 
 /// Aggregate hit/miss totals of one cache instance (mirrored into the
 /// process-wide `sched.cache.hits` / `sched.cache.misses` /
-/// `sched.queries` trace counters).
+/// `sched.queries` trace counters). `backing_hits` counts the subset of
+/// hits satisfied by an attached CacheBacking tier (always <= hits).
 struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t backing_hits = 0;
     [[nodiscard]] std::uint64_t queries() const noexcept { return hits + misses; }
     [[nodiscard]] double hit_rate() const noexcept {
         const std::uint64_t q = queries();
@@ -65,8 +68,25 @@ struct CacheStats {
     CacheStats& operator+=(const CacheStats& o) noexcept {
         hits += o.hits;
         misses += o.misses;
+        backing_hits += o.backing_hits;
         return *this;
     }
+};
+
+/// A second cache tier behind the per-compile AnalysisCache — the
+/// extension point ap::serve's persistent on-disk cache plugs into.
+/// `load` is consulted on an in-memory miss; `store` is offered every
+/// fresh insert. Both receive the key's stable digest (key_digest) so
+/// the backing tier never re-hashes, and both may be called concurrently
+/// from compile workers — implementations synchronize internally.
+/// Correctness never depends on a store landing or a load succeeding;
+/// a backing tier that drops everything is merely a slow cache.
+class CacheBacking {
+public:
+    virtual ~CacheBacking() = default;
+    [[nodiscard]] virtual std::optional<Entry> load(const std::string& key,
+                                                    std::uint64_t digest) = 0;
+    virtual void store(const std::string& key, std::uint64_t digest, const Entry& entry) = 0;
 };
 
 /// Scoped to one compile (core::compile creates one and threads it down
@@ -78,13 +98,29 @@ public:
     AnalysisCache(const AnalysisCache&) = delete;
     AnalysisCache& operator=(const AnalysisCache&) = delete;
 
-    /// Looks `key` up; counts a hit or a miss. The caller computes and
-    /// insert()s on a miss.
+    /// The stable content digest of a full-string cache key — the one
+    /// public hash identity of the key vocabulary ("prover|...",
+    /// "rangetest|..."). Shard selection here, the persistent tier's
+    /// on-disk index, and record checksums all use it, so the tiers
+    /// share keys without ever re-hashing. Built on the same FNV-1a
+    /// primitive as trace::span_id (trace/digest.hpp); NOT a substitute
+    /// for full-key comparison.
+    [[nodiscard]] static std::uint64_t key_digest(std::string_view key) noexcept;
+
+    /// Attaches (or detaches, nullptr) a second cache tier consulted on
+    /// in-memory misses and offered every fresh insert. Set before the
+    /// compile fans out — not thread-safe against concurrent lookups.
+    void set_backing(CacheBacking* backing) noexcept { backing_ = backing; }
+
+    /// Looks `key` up; counts a hit or a miss. An in-memory miss falls
+    /// through to the backing tier (a backing hit installs the entry and
+    /// counts as a hit). The caller computes and insert()s on a miss.
     [[nodiscard]] std::optional<Entry> lookup(const std::string& key);
 
     /// Stores a freshly computed verdict. Inserts are dropped once a
     /// shard is full (kMaxEntriesPerShard) — correctness never depends on
-    /// an insert landing.
+    /// an insert landing. The entry is offered to the backing tier
+    /// either way (the persistent tier has its own capacity policy).
     void insert(const std::string& key, Entry entry);
 
     [[nodiscard]] CacheStats stats() const noexcept;
@@ -98,9 +134,10 @@ private:
         std::unordered_map<std::string, Entry> map;
     };
 
-    [[nodiscard]] Shard& shard_for(const std::string& key) noexcept;
+    [[nodiscard]] Shard& shard_for(std::uint64_t digest) noexcept;
 
     std::array<Shard, kShards> shards_;
+    CacheBacking* backing_ = nullptr;
     mutable std::mutex stats_mutex_;
     CacheStats stats_;
 };

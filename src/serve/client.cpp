@@ -1,0 +1,190 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "serve/proto.hpp"
+
+namespace ap::serve {
+
+namespace {
+
+/// splitmix64 — the same deterministic stream primitive ap::fault uses
+/// for its seeded decision draws.
+std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)), rng_(mix(options_.jitter_seed ? options_.jitter_seed : 1)) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    read_buffer_.clear();
+}
+
+double Client::jitter01() noexcept {
+    rng_ = mix(rng_);
+    return static_cast<double>(rng_ >> 11) * 0x1.0p-53;
+}
+
+void Client::backoff(int attempt) {
+    double ms = options_.backoff_initial_ms;
+    for (int i = 0; i < attempt && ms < options_.backoff_max_ms; ++i) ms *= 2;
+    ms = std::min(ms, options_.backoff_max_ms);
+    // Full jitter in [ms/2, ms]: desynchronizes a fleet of clients
+    // re-descending on a freshly restarted daemon.
+    ms = ms * (0.5 + 0.5 * jitter01());
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+bool Client::ensure_connected(std::string* error) {
+    if (fd_ >= 0) return true;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (error) *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error) *error = "socket path too long: " + options_.socket_path;
+        ::close(fd);
+        return false;
+    }
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (error) *error = "connect '" + options_.socket_path + "': " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    read_buffer_.clear();
+    if (ever_connected_) stats_.reconnects += 1;
+    ever_connected_ = true;
+    return true;
+}
+
+std::optional<trace::json::Value> Client::roundtrip(const trace::json::Value& request,
+                                                    std::string* error) {
+    if (!ensure_connected(error)) return std::nullopt;
+    stats_.attempts += 1;
+    if (!proto::write_frame(fd_, request.dump())) {
+        if (error) *error = std::string("send: ") + std::strerror(errno);
+        disconnect();
+        return std::nullopt;
+    }
+    std::string read_error;
+    std::optional<std::string> payload =
+        proto::read_frame(fd_, &read_buffer_, options_.timeout_ms, &read_error);
+    if (!payload) {
+        if (read_error.find("timeout") != std::string::npos) stats_.timeouts += 1;
+        if (error) *error = read_error;
+        // The stream may still carry a late response for THIS request;
+        // a fresh connection is the only way to re-pair ids safely.
+        disconnect();
+        return std::nullopt;
+    }
+    std::optional<trace::json::Value> resp = proto::parse_payload(*payload);
+    if (!resp || !resp->is_object()) {
+        if (error) *error = "malformed response payload";
+        disconnect();
+        return std::nullopt;
+    }
+    return resp;
+}
+
+std::optional<trace::json::Value> Client::compile(const std::string& program,
+                                                  const std::string& source,
+                                                  std::uint64_t budget_ops, double deadline_ms,
+                                                  std::string* error) {
+    stats_.requests += 1;
+    std::string last_error = "no attempts made";
+    for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+        if (attempt > 0) {
+            stats_.retries += 1;
+            backoff(attempt - 1);
+        }
+        trace::json::Value req = trace::json::Value::object();
+        req.set("op", "compile");
+        req.set("id", next_id_++);
+        req.set("program", program);
+        req.set("source", source);
+        if (budget_ops) req.set("budget_ops", budget_ops);
+        if (deadline_ms > 0) req.set("deadline_ms", deadline_ms);
+
+        std::optional<trace::json::Value> resp = roundtrip(req, &last_error);
+        if (!resp) continue;  // timeout / connection loss: back off, resend
+        const trace::json::Value* status = resp->find("status");
+        const std::string s = status && status->is_string() ? status->as_string() : "";
+        if (s == "retry") {
+            stats_.shed_seen += 1;
+            const trace::json::Value* ra = resp->find("retry_after_ms");
+            const double wait = ra ? ra->as_double() : options_.backoff_initial_ms;
+            // Honor the server's hint (plus jitter); the attempt loop
+            // still adds its own exponential term on the NEXT failure.
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(wait * (1.0 + 0.5 * jitter01())));
+            last_error = "request shed by server";
+            continue;
+        }
+        return resp;  // "ok" and "error" are both final
+    }
+    if (error) *error = "gave up after " + std::to_string(options_.max_attempts) +
+                        " attempts: " + last_error;
+    return std::nullopt;
+}
+
+std::optional<trace::json::Value> Client::stats(std::string* error) {
+    trace::json::Value req = trace::json::Value::object();
+    req.set("op", "stats");
+    req.set("id", next_id_++);
+    return roundtrip(req, error);
+}
+
+bool Client::ping(std::string* error) {
+    trace::json::Value req = trace::json::Value::object();
+    req.set("op", "ping");
+    req.set("id", next_id_++);
+    const std::optional<trace::json::Value> resp = roundtrip(req, error);
+    if (!resp) return false;
+    const trace::json::Value* pong = resp->find("pong");
+    return pong && pong->as_bool();
+}
+
+bool Client::shutdown_server(std::string* error) {
+    trace::json::Value req = trace::json::Value::object();
+    req.set("op", "shutdown");
+    req.set("id", next_id_++);
+    return roundtrip(req, error).has_value();
+}
+
+bool Client::wait_ready(double deadline_ms) {
+    using clock = std::chrono::steady_clock;
+    const auto deadline =
+        clock::now() + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double, std::milli>(deadline_ms));
+    while (clock::now() < deadline) {
+        if (ping(nullptr)) return true;
+        disconnect();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+}
+
+}  // namespace ap::serve

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "trace/json.hpp"
+
+namespace ap::serve {
+
+/// Client side of the compile service (docs/ROBUSTNESS.md §server
+/// failure modes, client column).
+///
+/// Every failure the daemon can exhibit maps to one client behavior:
+///   shed (status "retry")   -> honor retry_after_ms, then resend
+///   no response (timeout)   -> close the connection, back off, resend
+///   connection refused/reset (daemon died or restarting)
+///                           -> reconnect with backoff, resend
+///   status "error"          -> NOT retried (deterministic request-level
+///                              failure: same input, same answer)
+/// Backoff is exponential with deterministic jitter (a splitmix64 stream
+/// seeded per client), capped, and bounded by max_attempts — a dead
+/// daemon costs a client a finite, known amount of waiting.
+
+struct ClientOptions {
+    std::string socket_path;
+    double timeout_ms = 5'000;       ///< per-attempt response deadline
+    int max_attempts = 10;           ///< send attempts per request
+    double backoff_initial_ms = 5;
+    double backoff_max_ms = 250;
+    std::uint64_t jitter_seed = 1;   ///< deterministic backoff jitter stream
+};
+
+/// What one client observed (the bench report's client columns).
+struct ClientStats {
+    std::uint64_t requests = 0;    ///< compile() calls
+    std::uint64_t attempts = 0;    ///< frames actually sent
+    std::uint64_t retries = 0;     ///< attempts beyond the first
+    std::uint64_t shed_seen = 0;   ///< "retry" responses honored
+    std::uint64_t timeouts = 0;    ///< attempts abandoned at timeout_ms
+    std::uint64_t reconnects = 0;  ///< successful re-establishments after loss
+};
+
+/// One connection to the daemon plus the retry policy. Not thread-safe;
+/// give each client thread its own instance (they multiplex fine at the
+/// daemon's accept loop).
+class Client {
+public:
+    explicit Client(ClientOptions options);
+    ~Client();
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+    void disconnect();
+
+    /// Submits a compile request and rides out shed/timeout/daemon-death
+    /// until an "ok"/"error" response or max_attempts. Returns the
+    /// response object, nullopt with `error` filled on exhaustion.
+    [[nodiscard]] std::optional<trace::json::Value> compile(
+        const std::string& program, const std::string& source, std::uint64_t budget_ops = 0,
+        double deadline_ms = 0, std::string* error = nullptr);
+
+    /// Single-attempt ops (no retry loop; nullopt on any failure).
+    [[nodiscard]] std::optional<trace::json::Value> stats(std::string* error = nullptr);
+    [[nodiscard]] bool ping(std::string* error = nullptr);
+    [[nodiscard]] bool shutdown_server(std::string* error = nullptr);
+
+    /// Blocks until the daemon answers a ping or `deadline_ms` passes —
+    /// how spawners wait for a (re)started daemon to come up.
+    [[nodiscard]] bool wait_ready(double deadline_ms);
+
+    [[nodiscard]] const ClientStats& client_stats() const noexcept { return stats_; }
+
+private:
+    [[nodiscard]] bool ensure_connected(std::string* error);
+    [[nodiscard]] std::optional<trace::json::Value> roundtrip(const trace::json::Value& request,
+                                                             std::string* error);
+    void backoff(int attempt);
+    [[nodiscard]] double jitter01() noexcept;
+
+    ClientOptions options_;
+    int fd_ = -1;
+    std::string read_buffer_;
+    std::int64_t next_id_ = 1;
+    std::uint64_t rng_;
+    bool ever_connected_ = false;
+    ClientStats stats_;
+};
+
+}  // namespace ap::serve

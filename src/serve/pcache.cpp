@@ -1,0 +1,339 @@
+#include "serve/pcache.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "trace/counters.hpp"
+#include "trace/digest.hpp"
+
+namespace ap::serve {
+
+namespace {
+
+/// Segment layout: an 8-byte magic header, then records of
+///   u32 payload_len (LE) | u64 FNV-1a(payload) (LE) | payload
+/// Payload is the full key plus every sched::Entry field, so a record is
+/// self-contained: recovery needs no side index, and a checksum pass is
+/// all it takes to decide where the intact prefix of a segment ends.
+constexpr char kSegMagic[8] = {'A', 'P', 'S', 'E', 'G', '0', '1', '\n'};
+constexpr std::size_t kHeaderBytes = sizeof(kSegMagic);
+constexpr std::size_t kRecordOverhead = 4 + 8;
+
+struct ServeCacheCounters {
+    trace::Counter& hits = trace::counters::get("serve.cache.hits");
+    trace::Counter& misses = trace::counters::get("serve.cache.misses");
+    trace::Counter& appends = trace::counters::get("serve.cache.appends");
+    trace::Counter& recovered = trace::counters::get("serve.cache.recovered");
+    trace::Counter& discarded = trace::counters::get("serve.cache.discarded");
+
+    static ServeCacheCounters& instance() {
+        static ServeCacheCounters c;
+        return c;
+    }
+};
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_bytes(std::string& out, std::string_view s) {
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s.data(), s.size());
+}
+
+/// Bounds-checked little-endian reader over one payload.
+struct Reader {
+    const unsigned char* p;
+    std::size_t n;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    std::uint32_t u32() {
+        if (pos + 4 > n) { ok = false; return 0; }
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+    std::uint64_t u64() {
+        if (pos + 8 > n) { ok = false; return 0; }
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+    std::string bytes() {
+        const std::uint32_t len = u32();
+        if (!ok || pos + len > n) { ok = false; return {}; }
+        std::string s(reinterpret_cast<const char*>(p + pos), len);
+        pos += len;
+        return s;
+    }
+};
+
+std::string encode_record_payload(const std::string& key, std::uint64_t digest,
+                                  const sched::Entry& e) {
+    std::string out;
+    out.reserve(64 + key.size() + e.detail.size());
+    put_u64(out, digest);
+    put_bytes(out, key);
+    put_u64(out, e.ops_cost);
+    put_u64(out, static_cast<std::uint64_t>(e.a));
+    put_u64(out, static_cast<std::uint64_t>(e.b));
+    put_u64(out, static_cast<std::uint64_t>(e.c));
+    out.push_back(e.has_a ? 1 : 0);
+    out.push_back(e.has_b ? 1 : 0);
+    put_u64(out, e.aux);
+    put_bytes(out, e.detail);
+    put_u32(out, static_cast<std::uint32_t>(e.names.size()));
+    for (const std::string& name : e.names) put_bytes(out, name);
+    return out;
+}
+
+bool decode_record_payload(std::string_view payload, std::string* key, sched::Entry* e) {
+    Reader r{reinterpret_cast<const unsigned char*>(payload.data()), payload.size()};
+    const std::uint64_t digest = r.u64();
+    *key = r.bytes();
+    e->ops_cost = r.u64();
+    e->a = static_cast<std::int64_t>(r.u64());
+    e->b = static_cast<std::int64_t>(r.u64());
+    e->c = static_cast<std::int64_t>(r.u64());
+    if (r.pos + 2 > r.n) return false;
+    e->has_a = r.p[r.pos++] != 0;
+    e->has_b = r.p[r.pos++] != 0;
+    e->aux = r.u64();
+    e->detail = r.bytes();
+    const std::uint32_t names = r.u32();
+    if (!r.ok) return false;
+    e->names.clear();
+    for (std::uint32_t i = 0; i < names; ++i) {
+        e->names.push_back(r.bytes());
+        if (!r.ok) return false;
+    }
+    // Trailing bytes or a digest that disagrees with the key both mean
+    // the record was not written by this format — treat as corrupt.
+    return r.ok && r.pos == r.n && digest == sched::AnalysisCache::key_digest(*key);
+}
+
+std::string shard_path(const std::string& dir, std::size_t i) {
+    return dir + "/shard-" + (i < 10 ? "0" : "") + std::to_string(i) + ".seg";
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+}  // namespace
+
+PersistentCache::~PersistentCache() { close(); }
+
+bool PersistentCache::open(const std::string& dir, std::string* error) {
+    close();
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        if (error) *error = "serve: cannot create cache dir '" + dir + "': " + std::strerror(errno);
+        return false;
+    }
+    dir_ = dir;
+    for (std::size_t i = 0; i < kShards; ++i) {
+        if (!recover_shard(i, shard_path(dir, i), error)) {
+            close();
+            return false;
+        }
+    }
+    open_ = true;
+    wedged_ = false;
+    return true;
+}
+
+bool PersistentCache::recover_shard(std::size_t i, const std::string& path, std::string* error) {
+    Shard& s = shards_[i];
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        if (error) *error = "serve: cannot open segment '" + path + "': " + std::strerror(errno);
+        return false;
+    }
+    std::string content;
+    {
+        char buf[1 << 16];
+        ssize_t r;
+        while ((r = ::read(fd, buf, sizeof buf)) > 0) content.append(buf, static_cast<std::size_t>(r));
+        if (r < 0) {
+            if (error) *error = "serve: cannot read segment '" + path + "': " + std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
+    }
+    std::uint64_t loaded = 0;
+    std::uint64_t dropped = 0;
+    std::size_t good_end = 0;
+    if (content.empty()) {
+        if (!write_all(fd, kSegMagic, kHeaderBytes)) {
+            if (error) *error = "serve: cannot write segment header '" + path + "'";
+            ::close(fd);
+            return false;
+        }
+        good_end = kHeaderBytes;
+        content.assign(kSegMagic, kHeaderBytes);
+    } else if (content.size() < kHeaderBytes ||
+               std::memcmp(content.data(), kSegMagic, kHeaderBytes) != 0) {
+        // Foreign or torn-at-birth file: everything in it is suspect.
+        dropped += 1;
+        good_end = 0;
+    } else {
+        std::size_t pos = kHeaderBytes;
+        good_end = pos;
+        while (pos + kRecordOverhead <= content.size()) {
+            Reader hdr{reinterpret_cast<const unsigned char*>(content.data() + pos),
+                       kRecordOverhead};
+            const std::uint32_t len = hdr.u32();
+            const std::uint64_t sum = hdr.u64();
+            if (len > kMaxRecordBytes) { dropped += 1; break; }          // implausible length
+            if (pos + kRecordOverhead + len > content.size()) { dropped += 1; break; }  // torn tail
+            const std::string_view payload(content.data() + pos + kRecordOverhead, len);
+            if (trace::digest(payload) != sum) { dropped += 1; break; }  // checksum mismatch
+            std::string key;
+            sched::Entry entry;
+            if (!decode_record_payload(payload, &key, &entry)) { dropped += 1; break; }
+            if (s.index.emplace(std::move(key), std::move(entry)).second) loaded += 1;
+            pos += kRecordOverhead + len;
+            good_end = pos;
+        }
+        // Bytes after the last intact record that are too short to even
+        // hold a record header are a torn tail too.
+        if (good_end < content.size() && dropped == 0) dropped += 1;
+    }
+
+    const bool healed = good_end < content.size() || dropped > 0;
+    if (good_end < content.size()) {
+        if (::ftruncate(fd, static_cast<off_t>(good_end)) != 0) {
+            if (error) *error = "serve: cannot truncate torn segment '" + path + "'";
+            ::close(fd);
+            return false;
+        }
+    }
+    if (good_end == 0) {
+        // The header itself was bad; rewrite it so the segment is usable.
+        if (::lseek(fd, 0, SEEK_SET) < 0 || !write_all(fd, kSegMagic, kHeaderBytes)) {
+            if (error) *error = "serve: cannot rewrite segment header '" + path + "'";
+            ::close(fd);
+            return false;
+        }
+    }
+    if (::lseek(fd, 0, SEEK_END) < 0) {
+        if (error) *error = "serve: cannot seek segment '" + path + "'";
+        ::close(fd);
+        return false;
+    }
+    s.fd = fd;
+
+    ServeCacheCounters& c = ServeCacheCounters::instance();
+    std::lock_guard lock(stats_mutex_);
+    stats_.entries += loaded;
+    if (healed) {
+        stats_.recovered += 1;
+        c.recovered.add();
+        // Settle the fault ledger: a torn append that this open healed is
+        // a recovered fault (in cross-process runs the tear and the heal
+        // land in different processes' counters; neither process emits a
+        // report that pairs them, so the invariant is only asserted for
+        // in-process chaos tests — docs/ROBUSTNESS.md).
+        if (fault::counters::outstanding(fault::Kind::Torn) > 0)
+            fault::counters::recovered(fault::Kind::Torn);
+    }
+    stats_.discarded += dropped;
+    if (dropped) c.discarded.add(static_cast<std::int64_t>(dropped));
+    return true;
+}
+
+void PersistentCache::close() {
+    for (Shard& s : shards_) {
+        std::lock_guard lock(s.mutex);
+        if (s.fd >= 0) ::close(s.fd);
+        s.fd = -1;
+        s.index.clear();
+    }
+    open_ = false;
+    dir_.clear();
+    std::lock_guard lock(stats_mutex_);
+    stats_.entries = 0;
+}
+
+std::optional<sched::Entry> PersistentCache::load(const std::string& key, std::uint64_t digest) {
+    if (!open_) return std::nullopt;
+    std::optional<sched::Entry> out;
+    {
+        Shard& s = shard_for(digest);
+        std::lock_guard lock(s.mutex);
+        auto it = s.index.find(key);
+        if (it != s.index.end()) out = it->second;
+    }
+    ServeCacheCounters& c = ServeCacheCounters::instance();
+    (out ? c.hits : c.misses).add();
+    std::lock_guard lock(stats_mutex_);
+    (out ? stats_.hits : stats_.misses) += 1;
+    return out;
+}
+
+void PersistentCache::store(const std::string& key, std::uint64_t digest,
+                            const sched::Entry& entry) {
+    if (!open_ || wedged_) return;
+    const std::string payload = encode_record_payload(key, digest, entry);
+    if (kRecordOverhead + payload.size() > kMaxRecordBytes) return;  // served from memory only
+    std::string record;
+    record.reserve(kRecordOverhead + payload.size());
+    put_u32(record, static_cast<std::uint32_t>(payload.size()));
+    put_u64(record, trace::digest(payload));
+    record += payload;
+
+    const std::size_t shard_index = digest % kShards;
+    Shard& s = shard_for(digest);
+    std::lock_guard lock(s.mutex);
+    if (s.fd < 0) return;
+    if (!s.index.emplace(key, entry).second) return;  // already persisted
+
+    if (injector_ && injector_->on_append(static_cast<int>(shard_index))) {
+        // Torn write: a prefix of the record reaches disk, nothing after
+        // it does, and — as a dead process would — we never append again.
+        // The entry stays in the in-memory index (the dying daemon may
+        // still serve it); the NEXT open() must truncate it away.
+        const std::size_t torn_len = record.size() / 2;
+        (void)write_all(s.fd, record.data(), torn_len == 0 ? 1 : torn_len);
+        wedged_ = true;
+        std::lock_guard slock(stats_mutex_);
+        stats_.torn_injected += 1;
+        return;
+    }
+
+    if (write_all(s.fd, record.data(), record.size())) {
+        ServeCacheCounters::instance().appends.add();
+        std::lock_guard slock(stats_mutex_);
+        stats_.appends += 1;
+        stats_.entries += 1;
+    }
+}
+
+PersistentCacheStats PersistentCache::stats() const {
+    std::lock_guard lock(stats_mutex_);
+    return stats_;
+}
+
+}  // namespace ap::serve

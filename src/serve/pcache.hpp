@@ -1,0 +1,114 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "fault/fault.hpp"
+#include "sched/cache.hpp"
+
+namespace ap::serve {
+
+/// ap::serve — the compile service layer (docs/ROBUSTNESS.md §server).
+///
+/// PersistentCache is the cross-compile, cross-restart tier behind
+/// sched::AnalysisCache: an append-only, shard-locked on-disk segment
+/// store keyed by the same full-string query keys (and their stable
+/// AnalysisCache::key_digest), so the daemon re-answers symbolic queries
+/// it has seen in ANY earlier compile — or any earlier process — at
+/// replay cost. Entries re-charge their recorded fresh op cost on hit,
+/// which is what extends PR 4's byte-identical-verdict invariant across
+/// daemon restarts.
+///
+/// Crash safety: every record is length-prefixed and checksummed. A
+/// `kill -9` mid-append leaves at most one torn record per shard at the
+/// tail of its segment; open() scans each segment, verifies every
+/// checksum, and truncates the segment at the last intact record —
+/// counting `serve.cache.recovered` (shards healed) and
+/// `serve.cache.discarded` (torn records dropped). A corrupt record can
+/// therefore never be served: everything in the in-memory index passed
+/// its checksum at open, and everything appended later was written by
+/// this process.
+
+/// Aggregate accounting of one PersistentCache instance (mirrored into
+/// the `serve.cache.*` trace counters).
+struct PersistentCacheStats {
+    std::uint64_t entries = 0;    ///< records indexed and servable
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t appends = 0;    ///< records appended by this process
+    std::uint64_t recovered = 0;  ///< shards healed by truncating a torn tail
+    std::uint64_t discarded = 0;  ///< torn/corrupt records dropped at open
+    std::uint64_t torn_injected = 0;  ///< fault::Kind::Torn appends this process cut short
+    [[nodiscard]] double hit_rate() const noexcept {
+        const std::uint64_t q = hits + misses;
+        return q ? static_cast<double>(hits) / static_cast<double>(q) : 0.0;
+    }
+};
+
+/// The on-disk tier. Thread-safe; implements sched::CacheBacking so
+/// core::compile's per-compile cache falls through to it on misses.
+class PersistentCache final : public sched::CacheBacking {
+public:
+    static constexpr std::size_t kShards = 8;
+    /// Records above this size are served from memory but never
+    /// persisted (a single pathological entry must not dominate a
+    /// segment, and recovery scan cost stays bounded).
+    static constexpr std::size_t kMaxRecordBytes = 1 << 20;
+
+    PersistentCache() = default;
+    ~PersistentCache() override;
+    PersistentCache(const PersistentCache&) = delete;
+    PersistentCache& operator=(const PersistentCache&) = delete;
+
+    /// Opens (creating if needed) the segment directory and replays
+    /// every shard into the in-memory index, truncating torn tails.
+    /// False (with `error` filled) only on environmental failures —
+    /// a corrupt or torn segment is recovered, never an error.
+    [[nodiscard]] bool open(const std::string& dir, std::string* error = nullptr);
+
+    /// Closes the segment files; the object can be open()ed again (tests
+    /// reuse one instance to model a restart).
+    void close();
+
+    [[nodiscard]] bool is_open() const noexcept { return open_; }
+    [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+    /// Installs a deterministic fault plan; `torn=SHARD@N` cuts that
+    /// shard's Nth append mid-record and wedges persistence (the process
+    /// behaves as if it died mid-write), exercising open()'s recovery.
+    void set_injector(std::shared_ptr<fault::Injector> injector) {
+        injector_ = std::move(injector);
+    }
+
+    // sched::CacheBacking
+    [[nodiscard]] std::optional<sched::Entry> load(const std::string& key,
+                                                   std::uint64_t digest) override;
+    void store(const std::string& key, std::uint64_t digest, const sched::Entry& entry) override;
+
+    [[nodiscard]] PersistentCacheStats stats() const;
+
+private:
+    struct Shard {
+        std::mutex mutex;
+        std::unordered_map<std::string, sched::Entry> index;
+        int fd = -1;
+    };
+
+    Shard& shard_for(std::uint64_t digest) noexcept { return shards_[digest % kShards]; }
+    bool recover_shard(std::size_t i, const std::string& path, std::string* error);
+
+    std::array<Shard, kShards> shards_;
+    std::shared_ptr<fault::Injector> injector_;
+    std::string dir_;
+    bool open_ = false;
+    bool wedged_ = false;  ///< a torn append fired; no further persistence
+    mutable std::mutex stats_mutex_;
+    PersistentCacheStats stats_;
+};
+
+}  // namespace ap::serve

@@ -1,0 +1,146 @@
+#include "serve/proto.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace ap::serve::proto {
+
+namespace {
+
+std::uint32_t get_u32(const char* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+    return v;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+}  // namespace
+
+Decoded decode_frame(std::string_view buffer, std::size_t max_payload) {
+    Decoded d;
+    if (buffer.size() < 4) {
+        // Reject a bad magic as soon as the bytes that disprove it exist —
+        // a garbage-spewing client is cut off without waiting for 8 bytes.
+        const std::uint32_t want = kMagic;
+        for (std::size_t i = 0; i < buffer.size(); ++i) {
+            if (static_cast<unsigned char>(buffer[i]) !=
+                static_cast<unsigned char>((want >> (8 * i)) & 0xff)) {
+                d.status = Decoded::Status::Error;
+                d.error = "bad frame magic";
+                return d;
+            }
+        }
+        return d;  // NeedMore
+    }
+    if (get_u32(buffer.data()) != kMagic) {
+        d.status = Decoded::Status::Error;
+        d.error = "bad frame magic";
+        return d;
+    }
+    if (buffer.size() < kHeaderBytes) return d;  // NeedMore
+    const std::uint32_t len = get_u32(buffer.data() + 4);
+    if (len > max_payload) {
+        d.status = Decoded::Status::Error;
+        d.error = "frame payload length " + std::to_string(len) + " exceeds limit " +
+                  std::to_string(max_payload);
+        return d;
+    }
+    if (buffer.size() < kHeaderBytes + len) return d;  // NeedMore
+    d.status = Decoded::Status::Frame;
+    d.consumed = kHeaderBytes + len;
+    d.payload.assign(buffer.data() + kHeaderBytes, len);
+    return d;
+}
+
+std::string encode_frame(std::string_view payload) {
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size());
+    put_u32(out, kMagic);
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload.data(), payload.size());
+    return out;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+    const std::string frame = encode_frame(payload);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        // MSG_NOSIGNAL: a peer that died mid-write yields EPIPE, not a
+        // process-killing SIGPIPE.
+        const ssize_t w = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+std::optional<std::string> read_frame(int fd, std::string* buffer, double deadline_ms,
+                                      std::string* error, std::size_t max_payload) {
+    using clock = std::chrono::steady_clock;
+    const auto deadline = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                             std::chrono::duration<double, std::milli>(
+                                                 deadline_ms < 0 ? 0 : deadline_ms));
+    for (;;) {
+        Decoded d = decode_frame(*buffer, max_payload);
+        if (d.status == Decoded::Status::Error) {
+            if (error) *error = d.error;
+            return std::nullopt;
+        }
+        if (d.status == Decoded::Status::Frame) {
+            std::string payload = std::move(d.payload);
+            buffer->erase(0, d.consumed);
+            return payload;
+        }
+        int timeout = -1;
+        if (deadline_ms >= 0) {
+            const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - clock::now());
+            if (left.count() <= 0) {
+                if (error) *error = "timeout waiting for frame";
+                return std::nullopt;
+            }
+            timeout = static_cast<int>(left.count());
+        }
+        struct pollfd pfd{fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, timeout);
+        if (pr < 0) {
+            if (errno == EINTR) continue;
+            if (error) *error = std::string("poll: ") + std::strerror(errno);
+            return std::nullopt;
+        }
+        if (pr == 0) {
+            if (error) *error = "timeout waiting for frame";
+            return std::nullopt;
+        }
+        char chunk[1 << 14];
+        const ssize_t r = ::recv(fd, chunk, sizeof chunk, 0);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            if (error) *error = std::string("recv: ") + std::strerror(errno);
+            return std::nullopt;
+        }
+        if (r == 0) {
+            if (error) *error = "connection closed";
+            return std::nullopt;
+        }
+        buffer->append(chunk, static_cast<std::size_t>(r));
+    }
+}
+
+std::optional<trace::json::Value> parse_payload(std::string_view payload) {
+    return trace::json::parse(payload);
+}
+
+}  // namespace ap::serve::proto

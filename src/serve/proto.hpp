@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "trace/json.hpp"
+
+namespace ap::serve::proto {
+
+/// The ap::serve wire protocol: length-prefixed JSON frames over a local
+/// stream socket.
+///
+///   u32 magic "APSV" (LE) | u32 payload_len (LE) | payload (JSON, UTF-8)
+///
+/// The decoder is a pure function over a byte buffer — no fd, no
+/// allocation until a full header with a sane length has been seen — so
+/// it can be fuzzed directly (tools/minif_fuzz stage 2d) and the daemon
+/// can enforce "diagnose and drop, never crash or over-allocate" at one
+/// choke point. A frame whose magic is wrong or whose declared length
+/// exceeds `max_payload` is a protocol error: the server drops the
+/// connection (counting serve.proto_errors) rather than resynchronizing,
+/// because a desynchronized length-prefixed stream cannot be trusted.
+///
+/// Requests  (client -> daemon), discriminated by "op":
+///   {"op":"compile","id":N,"program":S,"source":S,
+///    "budget_ops":N?,"deadline_ms":F?}
+///   {"op":"stats","id":N} | {"op":"ping","id":N} | {"op":"shutdown","id":N}
+/// Responses (daemon -> client), discriminated by "status":
+///   {"status":"ok","id":N, ...op-specific payload}
+///   {"status":"retry","id":N,"retry_after_ms":F}   (admission shed)
+///   {"status":"error","id":N,"error":S}            (request-level failure)
+
+inline constexpr std::uint32_t kMagic = 0x56535041;  // "APSV" little-endian
+inline constexpr std::size_t kHeaderBytes = 8;
+/// Hard payload ceiling: larger sources than this are not a compile
+/// service's job, and the bound is what keeps a hostile length prefix
+/// from driving allocation.
+inline constexpr std::size_t kMaxPayload = 8u << 20;
+
+/// Outcome of one decode step over the readable prefix of a stream.
+struct Decoded {
+    enum class Status {
+        NeedMore,  ///< buffer holds a valid prefix of a frame; read more
+        Frame,     ///< one complete frame extracted; `consumed` bytes used
+        Error,     ///< protocol violation; drop the connection
+    };
+    Status status = Status::NeedMore;
+    std::size_t consumed = 0;   ///< bytes of `buffer` this frame used (Frame only)
+    std::string payload;        ///< frame payload (Frame only)
+    std::string error;          ///< diagnosis (Error only)
+};
+
+/// Decodes the first frame of `buffer`, if complete. Never throws; never
+/// allocates more than min(declared_len, max_payload) bytes.
+[[nodiscard]] Decoded decode_frame(std::string_view buffer,
+                                   std::size_t max_payload = kMaxPayload);
+
+/// Frames `payload` for the wire.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Blocking framed I/O over an fd (local socket). `read_frame` returns
+/// nullopt on EOF, error, protocol violation, or deadline expiry (the
+/// diagnosis lands in `error`); `deadline_ms` < 0 blocks forever.
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+[[nodiscard]] std::optional<std::string> read_frame(int fd, std::string* buffer,
+                                                    double deadline_ms, std::string* error,
+                                                    std::size_t max_payload = kMaxPayload);
+
+/// Convenience: frame + parse a JSON payload; nullopt when the payload
+/// is not valid JSON (a framed-but-garbage payload is a request-level
+/// error, not a connection-level one).
+[[nodiscard]] std::optional<trace::json::Value> parse_payload(std::string_view payload);
+
+}  // namespace ap::serve::proto

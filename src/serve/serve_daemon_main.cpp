@@ -1,0 +1,96 @@
+// serve_daemon — the ap::serve compile daemon binary.
+//
+//   serve_daemon --socket /tmp/ap.sock --cache-dir /tmp/ap-cache
+//                [--workers N] [--queue-limit N] [--retry-after-ms X]
+//                [--deadline-ms X] [--budget-ops N] [--fault SPEC]
+//
+// Runs until SIGTERM/SIGINT or a client "shutdown" request, then drains
+// the queue and exits 0. --fault takes the AP_FAULT grammar (the
+// environment variable works too); an injected crash terminates the
+// process with kill -9 semantics, which is the crash-recovery drill
+// scripts/verify.sh --serve runs.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+ap::serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+    if (g_server != nullptr) g_server->request_stop();
+}
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--cache-dir DIR] [--workers N]\n"
+                 "          [--queue-limit N] [--retry-after-ms X] [--deadline-ms X]\n"
+                 "          [--budget-ops N] [--fault SPEC]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ap::serve::ServerOptions options;
+    options.crash_exits = true;
+    std::string fault_spec;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "serve_daemon: %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") options.socket_path = value();
+        else if (arg == "--cache-dir") options.cache_dir = value();
+        else if (arg == "--workers") options.workers = static_cast<unsigned>(std::atoi(value()));
+        else if (arg == "--queue-limit") options.queue_limit = static_cast<std::size_t>(std::atol(value()));
+        else if (arg == "--retry-after-ms") options.retry_after_ms = std::atof(value());
+        else if (arg == "--deadline-ms") options.default_deadline_ms = std::atof(value());
+        else if (arg == "--budget-ops") options.default_budget_ops = static_cast<std::uint64_t>(std::atoll(value()));
+        else if (arg == "--fault") fault_spec = value();
+        else return usage(argv[0]);
+    }
+    if (options.socket_path.empty()) return usage(argv[0]);
+
+    if (!fault_spec.empty()) {
+        try {
+            options.injector = std::make_shared<ap::fault::Injector>(
+                ap::fault::Plan::parse(fault_spec));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "serve_daemon: bad --fault: %s\n", e.what());
+            return 2;
+        }
+    } else if (auto env = ap::fault::injector_from_env()) {
+        options.injector = env;
+    }
+
+    ap::serve::Server server(options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "serve_daemon: %s\n", error.c_str());
+        return 1;
+    }
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    // A client that vanished mid-response must cost EPIPE, not the process.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::fprintf(stderr, "serve_daemon: listening on %s (workers=%u queue=%zu cache=%s)\n",
+                 options.socket_path.c_str(), options.workers, options.queue_limit,
+                 options.cache_dir.empty() ? "<none>" : options.cache_dir.c_str());
+    server.wait();
+    server.stop();
+    return 0;
+}

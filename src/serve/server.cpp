@@ -1,0 +1,498 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/report.hpp"
+#include "frontend/parser.hpp"
+#include "trace/counters.hpp"
+#include "trace/digest.hpp"
+#include "trace/trace.hpp"
+
+namespace ap::serve {
+
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+struct ServeCounters {
+    trace::Counter& submitted = trace::counters::get("serve.submitted");
+    trace::Counter& completed = trace::counters::get("serve.completed");
+    trace::Counter& shed = trace::counters::get("serve.shed");
+    trace::Counter& failed = trace::counters::get("serve.failed");
+    trace::Counter& proto_errors = trace::counters::get("serve.proto_errors");
+
+    static ServeCounters& instance() {
+        static ServeCounters c;
+        return c;
+    }
+};
+
+trace::json::Value error_response(std::int64_t id, std::string message) {
+    trace::json::Value r = trace::json::Value::object();
+    r.set("status", "error");
+    r.set("id", id);
+    r.set("error", std::move(message));
+    return r;
+}
+
+}  // namespace
+
+std::uint64_t verdict_fingerprint(const core::CompileReport& report) {
+    std::uint64_t h = trace::kFnv1aOffset;
+    h = trace::fnv1a_field(h, report.program);
+    char digits[32];
+    for (const core::LoopReport& lr : report.loops) {
+        h = trace::fnv1a_field(h, lr.routine);
+        std::snprintf(digits, sizeof digits, "%d", lr.loop_id);
+        h = trace::fnv1a_field(h, digits);
+        h = trace::fnv1a_field(h, ir::to_string(lr.verdict));
+        h = trace::fnv1a_field(h, lr.parallel ? "P" : "S");
+        h = trace::fnv1a_field(h, lr.is_target ? "T" : "-");
+        h = trace::fnv1a_field(h, lr.reason);
+        for (const std::string& v : lr.privates) h = trace::fnv1a_field(h, v);
+        for (const std::string& v : lr.reductions) h = trace::fnv1a_field(h, v);
+        std::snprintf(digits, sizeof digits, "%d", lr.support);
+        h = trace::fnv1a_field(h, digits);
+        h = trace::fnv1a_field(h, prov::fingerprint(lr.provenance));
+    }
+    return h ? h : 1;
+}
+
+std::string verdict_fingerprint_hex(const core::CompileReport& report) {
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(verdict_fingerprint(report)));
+    return buf;
+}
+
+Server::Connection::~Connection() {
+    if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+    if (running_.load()) return true;
+    if (!options_.cache_dir.empty()) {
+        if (!pcache_.open(options_.cache_dir, error)) return false;
+        if (options_.injector) pcache_.set_injector(options_.injector);
+    }
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+        if (error) *error = std::string("serve: socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error) *error = "serve: socket path too long: " + options_.socket_path;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+        if (error)
+            *error = "serve: cannot bind '" + options_.socket_path + "': " + std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+
+    stop_.store(false);
+    stop_requested_.store(false);
+    running_.store(true);
+    const unsigned workers = options_.workers ? options_.workers : 1;
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) workers_.emplace_back([this] { worker_loop(); });
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return true;
+}
+
+void Server::stop() {
+    if (!running_.exchange(false)) return;
+    stop_.store(true);
+    stop_requested_.store(true);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+        // Wake blocked readers so connection threads notice stop_.
+        std::lock_guard lock(conns_mutex_);
+        for (const std::weak_ptr<Connection>& w : conns_)
+            if (auto c = w.lock()) ::shutdown(c->fd, SHUT_RDWR);
+    }
+    queue_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    {
+        std::lock_guard lock(conns_mutex_);
+        for (std::thread& t : conn_threads_) t.join();
+        conn_threads_.clear();
+        conns_.clear();
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    pcache_.close();
+}
+
+void Server::wait() {
+    while (!stop_requested()) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+void Server::accept_loop() {
+    while (!stop_.load()) {
+        struct pollfd pfd{listen_fd_, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 200);
+        if (pr < 0 && errno != EINTR) break;
+        if (pr <= 0) continue;
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) continue;
+        auto conn = std::make_shared<Connection>(fd);
+        std::lock_guard lock(conns_mutex_);
+        {
+            std::lock_guard slock(stats_mutex_);
+            stats_.connections += 1;
+        }
+        conns_.push_back(conn);
+        conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
+    }
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> conn) {
+    std::string buffer;
+    while (!stop_.load()) {
+        proto::Decoded d = proto::decode_frame(buffer, options_.max_frame_payload);
+        if (d.status == proto::Decoded::Status::Error) {
+            // Wire violation: diagnose and drop. A desynchronized
+            // length-prefixed stream cannot be re-trusted, and honoring a
+            // hostile length prefix is how a server over-allocates.
+            ServeCounters::instance().proto_errors.add();
+            std::lock_guard lock(stats_mutex_);
+            stats_.proto_errors += 1;
+            break;
+        }
+        if (d.status == proto::Decoded::Status::Frame) {
+            buffer.erase(0, d.consumed);
+            handle_frame(conn, d.payload);
+            continue;
+        }
+        struct pollfd pfd{conn->fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 200);
+        if (pr < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (pr == 0) continue;
+        char chunk[1 << 14];
+        const ssize_t r = ::recv(conn->fd, chunk, sizeof chunk, 0);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (r == 0) break;  // peer closed
+        buffer.append(chunk, static_cast<std::size_t>(r));
+    }
+    conn->closed.store(true);
+    ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void Server::handle_frame(const std::shared_ptr<Connection>& conn, const std::string& payload) {
+    std::optional<trace::json::Value> req = proto::parse_payload(payload);
+    if (!req || !req->is_object()) {
+        // Properly framed but not JSON: a request-level error — the
+        // framing is still trustworthy, so the connection survives.
+        send_response(conn, error_response(0, "request payload is not a JSON object"));
+        return;
+    }
+    const trace::json::Value* opv = req->find("op");
+    const std::string op = opv && opv->is_string() ? opv->as_string() : "";
+    const trace::json::Value* idv = req->find("id");
+    const std::int64_t id = idv ? idv->as_int() : 0;
+
+    if (op == "ping") {
+        trace::json::Value r = trace::json::Value::object();
+        r.set("status", "ok");
+        r.set("id", id);
+        r.set("pong", true);
+        send_response(conn, r);
+        return;
+    }
+    if (op == "stats") {
+        trace::json::Value r = stats_json();
+        r.set("status", "ok");
+        r.set("id", id);
+        send_response(conn, r);
+        return;
+    }
+    if (op == "shutdown") {
+        trace::json::Value r = trace::json::Value::object();
+        r.set("status", "ok");
+        r.set("id", id);
+        send_response(conn, r);
+        request_stop();
+        return;
+    }
+    if (op != "compile") {
+        send_response(conn, error_response(id, "unknown op '" + op + "'"));
+        return;
+    }
+
+    ServeCounters& c = ServeCounters::instance();
+    c.submitted.add();
+    const trace::json::Value* srcv = req->find("source");
+    if (!srcv || !srcv->is_string()) {
+        c.failed.add();
+        std::lock_guard lock(stats_mutex_);
+        stats_.submitted += 1;
+        stats_.failed += 1;
+        send_response(conn, error_response(id, "compile request missing 'source'"));
+        return;
+    }
+
+    Job job;
+    job.conn = conn;
+    job.id = id;
+    const trace::json::Value* progv = req->find("program");
+    job.program = progv && progv->is_string() ? progv->as_string() : "UNNAMED";
+    job.source = srcv->as_string();
+    const trace::json::Value* bv = req->find("budget_ops");
+    job.budget_ops = bv && bv->as_int() > 0 ? static_cast<std::uint64_t>(bv->as_int())
+                                            : options_.default_budget_ops;
+    const trace::json::Value* dv = req->find("deadline_ms");
+    job.deadline_ms = dv && dv->as_double() > 0 ? dv->as_double() : options_.default_deadline_ms;
+    job.enqueued = clock_t_::now();
+
+    {
+        std::lock_guard lock(queue_mutex_);
+        if (queue_.size() >= options_.queue_limit) {
+            // Admission control: shed with an explicit retry hint. The
+            // queue stays bounded and the client learns *when* to come
+            // back — never a silent drop, never an unbounded backlog.
+            c.shed.add();
+            {
+                std::lock_guard slock(stats_mutex_);
+                stats_.submitted += 1;
+                stats_.shed += 1;
+            }
+            trace::json::Value r = trace::json::Value::object();
+            r.set("status", "retry");
+            r.set("id", id);
+            r.set("retry_after_ms", options_.retry_after_ms);
+            send_response(conn, r);
+            return;
+        }
+        queue_.push_back(std::move(job));
+    }
+    {
+        std::lock_guard slock(stats_mutex_);
+        stats_.submitted += 1;
+    }
+    queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return stop_.load() || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_.load()) return;  // drained
+                continue;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        process(std::move(job));
+    }
+}
+
+void Server::process(Job job) {
+    trace::record_complete("serve.queue", "serve", job.enqueued, clock_t_::now(),
+                           {{"id", job.id}});
+    ServeCounters& c = ServeCounters::instance();
+
+    if (options_.injector) {
+        try {
+            options_.injector->on_op(0);
+        } catch (const fault::InjectedCrash&) {
+            if (options_.crash_exits) {
+                // kill -9 semantics: no destructors, no flushes — exactly
+                // the exit the persistent cache must recover from.
+                std::_Exit(9);
+            }
+            fault::counters::fatal(fault::Kind::Crash);
+            c.failed.add();
+            std::lock_guard lock(stats_mutex_);
+            stats_.failed += 1;
+            send_response(job.conn, error_response(job.id, "injected crash"));
+            return;
+        }
+        const fault::Injector::SendFaults f = options_.injector->on_send(0);
+        if (f.delay) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<std::int64_t>(options_.injector->plan().delay_us)));
+        }
+        if (f.drops > 0 || f.dropped_all) {
+            // Injected request drop: the daemon abandons the request
+            // without answering (the client's timeout/retry path is the
+            // recovery). Accounted as a failed request and a fatal drop —
+            // recovery, if any, happens in the client process.
+            fault::counters::injected(fault::Kind::Drop);
+            fault::counters::fatal(fault::Kind::Drop);
+            c.failed.add();
+            std::lock_guard lock(stats_mutex_);
+            stats_.failed += 1;
+            return;
+        }
+    }
+
+    trace::json::Value resp = compile_job(job);
+    const trace::json::Value* status = resp.find("status");
+    const bool ok = status && status->is_string() && status->as_string() == "ok";
+    (ok ? c.completed : c.failed).add();
+    {
+        std::lock_guard lock(stats_mutex_);
+        (ok ? stats_.completed : stats_.failed) += 1;
+    }
+    trace::Span respond("serve.respond", "serve");
+    respond.arg("id", job.id);
+    send_response(job.conn, resp);
+}
+
+trace::json::Value Server::compile_job(const Job& job) {
+    ir::Program prog;
+    {
+        trace::Span parse("serve.parse", "serve");
+        parse.arg("id", job.id);
+        try {
+            prog = frontend::Parser(job.source).parse_program(job.program);
+        } catch (const std::exception& e) {
+            return error_response(job.id, std::string("parse error: ") + e.what());
+        }
+    }
+
+    core::CompilerOptions copts;
+    copts.threads = 1;  // concurrency comes from the worker pool
+    copts.loop_op_budget = job.budget_ops;
+    if (!options_.cache_dir.empty()) copts.cache_backing = &pcache_;
+    // The deadline is measured from ADMISSION, not from analysis start:
+    // time spent queued is spent budget. A request whose deadline passed
+    // while it waited still compiles — with an (effectively) zero
+    // allowance, so every loop degrades to Hindrance::Complexity and the
+    // client gets a well-formed, honest response instead of an error.
+    const double waited_s =
+        std::chrono::duration<double>(clock_t_::now() - job.enqueued).count();
+    const double remaining_s = job.deadline_ms / 1000.0 - waited_s;
+    copts.deadline_seconds = remaining_s > 0 ? remaining_s : 1e-9;
+
+    core::CompileReport report;
+    try {
+        trace::Span analyze("serve.analyze", "serve");
+        analyze.arg("id", job.id);
+        report = core::compile(prog, copts);
+        analyze.arg("loops", report.loops_total());
+    } catch (const std::exception& e) {
+        return error_response(job.id, std::string("compile error: ") + e.what());
+    }
+    {
+        std::lock_guard lock(stats_mutex_);
+        compile_cache_totals_ += report.cache;
+    }
+
+    trace::json::Value r = trace::json::Value::object();
+    r.set("status", "ok");
+    r.set("id", job.id);
+    r.set("program", report.program);
+    r.set("statements", static_cast<std::int64_t>(report.statements));
+    r.set("loops_total", report.loops_total());
+    r.set("loops_parallel", report.loops_parallel());
+    r.set("target_loops", report.target_loops());
+    r.set("target_parallel", report.target_parallel());
+    r.set("histogram", core::hindrance_histogram_json(report.target_histogram()));
+    r.set("incidents", static_cast<std::int64_t>(report.incidents.size()));
+    trace::json::Value cache = trace::json::Value::object();
+    cache.set("hits", report.cache.hits);
+    cache.set("misses", report.cache.misses);
+    cache.set("backing_hits", report.cache.backing_hits);
+    r.set("cache", std::move(cache));
+    r.set("fingerprint", verdict_fingerprint_hex(report));
+    return r;
+}
+
+void Server::send_response(const std::shared_ptr<Connection>& conn,
+                           const trace::json::Value& resp) {
+    if (conn->closed.load()) return;
+    std::lock_guard lock(conn->write_mutex);
+    (void)proto::write_frame(conn->fd, resp.dump());
+}
+
+ServerStats Server::stats() const {
+    std::lock_guard lock(stats_mutex_);
+    return stats_;
+}
+
+trace::json::Value Server::stats_json() const {
+    ServerStats s;
+    sched::CacheStats compile_cache;
+    {
+        std::lock_guard lock(stats_mutex_);
+        s = stats_;
+        compile_cache = compile_cache_totals_;
+    }
+    std::size_t depth;
+    {
+        std::lock_guard lock(queue_mutex_);
+        depth = queue_.size();
+    }
+    const PersistentCacheStats pc = pcache_.stats();
+
+    trace::json::Value server = trace::json::Value::object();
+    server.set("submitted", s.submitted);
+    server.set("completed", s.completed);
+    server.set("shed", s.shed);
+    server.set("failed", s.failed);
+    server.set("proto_errors", s.proto_errors);
+    server.set("connections", s.connections);
+    server.set("queue_depth", static_cast<std::int64_t>(depth));
+    server.set("workers", static_cast<std::int64_t>(options_.workers));
+    server.set("queue_limit", static_cast<std::int64_t>(options_.queue_limit));
+
+    trace::json::Value cache = trace::json::Value::object();
+    cache.set("persistent", !options_.cache_dir.empty());
+    cache.set("entries", pc.entries);
+    cache.set("hits", pc.hits);
+    cache.set("misses", pc.misses);
+    cache.set("appends", pc.appends);
+    cache.set("recovered", pc.recovered);
+    cache.set("discarded", pc.discarded);
+    cache.set("torn_injected", pc.torn_injected);
+    cache.set("hit_rate", pc.hit_rate());
+    trace::json::Value compile = trace::json::Value::object();
+    compile.set("hits", compile_cache.hits);
+    compile.set("misses", compile_cache.misses);
+    compile.set("backing_hits", compile_cache.backing_hits);
+
+    trace::json::Value out = trace::json::Value::object();
+    out.set("server", std::move(server));
+    out.set("cache", std::move(cache));
+    out.set("compile_cache", std::move(compile));
+    return out;
+}
+
+}  // namespace ap::serve

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "fault/fault.hpp"
+#include "serve/pcache.hpp"
+#include "serve/proto.hpp"
+#include "trace/json.hpp"
+
+namespace ap::serve {
+
+/// The compile daemon (docs/ROBUSTNESS.md §server failure modes).
+///
+/// One accept thread, one reader thread per connection, and a bounded
+/// worker pool draining a bounded job queue. Admission control is
+/// explicit: a compile request that arrives while the queue is full is
+/// *shed* — answered immediately with {"status":"retry","retry_after_ms"}
+/// — never silently dropped and never allowed to grow the queue without
+/// bound. Every admitted request carries a guard::Budget (op allowance +
+/// wall-clock deadline measured from admission), so a request that
+/// exhausts its budget degrades to Hindrance::Complexity verdicts and
+/// still gets an ok response: overload bends verdict quality, not
+/// availability.
+///
+/// Request lifecycle spans (category "serve"): queue -> parse ->
+/// analyze -> respond, each tagged with the request id.
+
+/// Everything configurable about one Server instance.
+struct ServerOptions {
+    std::string socket_path;          ///< AF_UNIX path (unlinked + rebound on start)
+    std::string cache_dir;            ///< persistent cache dir; "" = no persistence
+    unsigned workers = 2;             ///< compile worker threads
+    std::size_t queue_limit = 16;     ///< admitted-but-unstarted request cap
+    std::uint64_t default_budget_ops = 2'000'000;  ///< per-loop op budget default
+    double default_deadline_ms = 10'000;  ///< per-request deadline default
+    double retry_after_ms = 25;       ///< backoff hint attached to shed responses
+    std::size_t max_frame_payload = proto::kMaxPayload;
+    /// Deterministic chaos: crash=0@N kills the daemon at its Nth request
+    /// (only when crash_exits), delay=P slows request processing,
+    /// drop=P abandons requests without a response (the client's timeout
+    /// path), torn=S@N tears the persistent cache's Nth append to shard S.
+    std::shared_ptr<fault::Injector> injector;
+    /// When true an injected crash terminates the process (kill -9
+    /// semantics — what the daemon binary wants); when false (in-process
+    /// test servers) it fails the one request instead.
+    bool crash_exits = false;
+};
+
+/// Monotonic request accounting; `submitted == completed + shed + failed`
+/// is the admission invariant (every request attempt that reaches the
+/// daemon is answered ok, shed, or failed — tools/report_lint
+/// check_server asserts it on benchmark reports).
+struct ServerStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t proto_errors = 0;   ///< connections dropped for wire violations
+    std::uint64_t connections = 0;
+};
+
+class Server {
+public:
+    explicit Server(ServerOptions options);
+    ~Server();
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Binds the socket, opens the persistent cache (recovering any torn
+    /// tail), and starts the accept + worker threads.
+    [[nodiscard]] bool start(std::string* error);
+
+    /// Graceful shutdown: stop accepting, drain the queue, join
+    /// everything, close the cache. Idempotent.
+    void stop();
+
+    /// Blocks until a shutdown request arrives (op "shutdown" or
+    /// request_stop()), polling so a signal handler that only sets a
+    /// flag via request_stop() works.
+    void wait();
+    /// Async-signal-usable shutdown trigger (sets an atomic flag).
+    void request_stop() noexcept { stop_requested_.store(true, std::memory_order_relaxed); }
+    [[nodiscard]] bool stop_requested() const noexcept {
+        return stop_requested_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
+    [[nodiscard]] ServerStats stats() const;
+    [[nodiscard]] PersistentCache& cache() noexcept { return pcache_; }
+    /// The "stats" op payload (also handy for tests).
+    [[nodiscard]] trace::json::Value stats_json() const;
+
+private:
+    struct Connection {
+        explicit Connection(int f) : fd(f) {}
+        ~Connection();
+        int fd;
+        std::mutex write_mutex;
+        std::atomic<bool> closed{false};
+    };
+
+    struct Job {
+        std::shared_ptr<Connection> conn;
+        std::int64_t id = 0;
+        std::string program;
+        std::string source;
+        std::uint64_t budget_ops = 0;
+        double deadline_ms = 0;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void accept_loop();
+    void connection_loop(std::shared_ptr<Connection> conn);
+    void handle_frame(const std::shared_ptr<Connection>& conn, const std::string& payload);
+    void worker_loop();
+    void process(Job job);
+    [[nodiscard]] trace::json::Value compile_job(const Job& job);
+    void send_response(const std::shared_ptr<Connection>& conn, const trace::json::Value& resp);
+
+    ServerOptions options_;
+    PersistentCache pcache_;
+    int listen_fd_ = -1;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> stop_requested_{false};
+
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Job> queue_;
+
+    std::thread accept_thread_;
+    std::vector<std::thread> workers_;
+    std::mutex conns_mutex_;
+    std::vector<std::thread> conn_threads_;
+    std::vector<std::weak_ptr<Connection>> conns_;
+
+    mutable std::mutex stats_mutex_;
+    ServerStats stats_;
+    sched::CacheStats compile_cache_totals_;
+};
+
+/// Deterministic digest of everything verdict-shaped in a compile report:
+/// per-loop routine, loop id, verdict, parallel flag, reason,
+/// privatized/reduction variable lists, support count, and the full
+/// provenance fingerprint — but none of the timing fields. Two compiles
+/// of the same source agree on this value iff their verdicts are
+/// byte-identical, which is how the service's clients check the
+/// warm-restart / crash-recovery invariant across daemon generations.
+[[nodiscard]] std::uint64_t verdict_fingerprint(const core::CompileReport& report);
+
+/// verdict_fingerprint as a fixed-width hex string (wire form).
+[[nodiscard]] std::string verdict_fingerprint_hex(const core::CompileReport& report);
+
+}  // namespace ap::serve

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ap::trace {
+
+/// The one FNV-1a implementation every content-addressed identity in the
+/// system derives from: trace::span_id, sched::AnalysisCache key digests
+/// (shard selection and the persistent tier's on-disk index), and the
+/// ap::serve record checksums. Keeping a single definition is what lets
+/// the persistent cache share the in-memory cache's keys without
+/// re-hashing, and what keeps span ids stable across every emitter.
+///
+/// The functions are deliberately tiny and constexpr-friendly; callers
+/// needing collision *safety* must still compare full keys — a digest
+/// here is an address, never a proof of identity.
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Mixes the bytes of `s` into `h`.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t h, std::string_view s) noexcept {
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnv1aPrime;
+    }
+    return h;
+}
+
+/// Mixes one delimited field: the bytes of `s` followed by a NUL
+/// separator, so adjacent fields can never run together ("ab","c" hashes
+/// differently from "a","bc").
+[[nodiscard]] constexpr std::uint64_t fnv1a_field(std::uint64_t h, std::string_view s) noexcept {
+    h = fnv1a(h, s);
+    h ^= 0;  // the separator byte itself
+    h *= kFnv1aPrime;
+    return h;
+}
+
+/// Whole-string digest, seeded with the standard offset basis.
+[[nodiscard]] constexpr std::uint64_t digest(std::string_view s) noexcept {
+    return fnv1a(kFnv1aOffset, s);
+}
+
+}  // namespace ap::trace

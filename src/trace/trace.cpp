@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "trace/digest.hpp"
+
 namespace ap::trace {
 
 namespace {
@@ -131,21 +133,15 @@ json::Value arg_to_json(const ArgValue& v) {
 std::uint64_t span_id(std::string_view pass, std::string_view routine, int loop_id) noexcept {
     // FNV-1a over "pass\0routine\0loop_id": content-addressed, so every
     // compile of the same loop produces the same id regardless of thread
-    // schedule or cache state.
-    std::uint64_t h = 14695981039346656037ULL;
-    auto mix = [&h](std::string_view s) {
-        for (const char c : s) {
-            h ^= static_cast<unsigned char>(c);
-            h *= 1099511628211ULL;
-        }
-        h ^= 0;  // field separator: hash the NUL byte
-        h *= 1099511628211ULL;
-    };
-    mix(pass);
-    mix(routine);
+    // schedule or cache state. Built on the shared trace/digest.hpp
+    // primitive — the same mixing sched::AnalysisCache::key_digest and
+    // the ap::serve persistent tier use, so identities never drift apart.
+    std::uint64_t h = kFnv1aOffset;
+    h = fnv1a_field(h, pass);
+    h = fnv1a_field(h, routine);
     char digits[16];
     const int n = std::snprintf(digits, sizeof digits, "%d", loop_id);
-    mix(std::string_view(digits, static_cast<std::size_t>(n)));
+    h = fnv1a_field(h, std::string_view(digits, static_cast<std::size_t>(n)));
     // Mask to 53 bits: ids survive a JSON round trip exactly (positive
     // int64, double-representable) in every consumer.
     h &= (1ULL << 53) - 1;
@@ -187,6 +183,33 @@ void Span::arg(std::string_view key, double v) {
 
 void Span::arg(std::string_view key, std::string_view v) {
     if (active_) event_.args.emplace_back(std::string(key), ArgValue(std::string(v)));
+}
+
+void record_complete(std::string_view name, std::string_view category,
+                     std::chrono::steady_clock::time_point begin,
+                     std::chrono::steady_clock::time_point end,
+                     std::initializer_list<std::pair<std::string_view, std::int64_t>> args) {
+    if (!enabled()) return;
+    // Translate onto the process trace epoch; a begin before the first
+    // span of the process clamps to 0 rather than wrapping.
+    const std::uint64_t now = now_ns();
+    const auto back = [&](std::chrono::steady_clock::time_point t) {
+        const auto behind = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t)
+                                .count();
+        const auto b = static_cast<std::uint64_t>(behind < 0 ? 0 : behind);
+        return b > now ? 0 : now - b;
+    };
+    Event e;
+    e.name.assign(name);
+    e.category.assign(category);
+    e.start_ns = back(begin);
+    const std::uint64_t end_ns = back(end);
+    e.dur_ns = end_ns > e.start_ns ? end_ns - e.start_ns : 0;
+    for (const auto& [k, v] : args) e.args.emplace_back(std::string(k), ArgValue(v));
+    ThreadBuffer& b = thread_buffer();
+    e.tid = b.tid;
+    b.push(std::move(e));
 }
 
 std::size_t event_count() {

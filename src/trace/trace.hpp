@@ -1,8 +1,11 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -66,6 +69,16 @@ private:
     bool active_;
     Event event_;  // filled only when active_
 };
+
+/// Records one already-completed span with explicit begin/end times —
+/// for phases that start on one thread and finish on another (e.g. the
+/// compile daemon's queue phase: enqueued by the connection thread,
+/// dequeued by a worker), where a RAII Span cannot cross. The event is
+/// attributed to the calling thread's track. No-op when tracing is off.
+void record_complete(std::string_view name, std::string_view category,
+                     std::chrono::steady_clock::time_point begin,
+                     std::chrono::steady_clock::time_point end,
+                     std::initializer_list<std::pair<std::string_view, std::int64_t>> args = {});
 
 /// Deterministic span identity: a 64-bit content hash of
 /// (pass, routine, loop_id). Provenance records and guard incidents cite

@@ -981,5 +981,85 @@ END
     EXPECT_EQ(ir::to_source(loop.body).find("CALL"), std::string::npos);
 }
 
+// Mutual recursion (PING calls PONG, PONG calls PING) expanded into a
+// third routine: the callee != caller check never fires, so without the
+// expansion budget every splice would introduce the next call of the
+// cycle and the walk would grow the IR until the stack overflowed
+// (found by minif_fuzz). The budget must stop it with a diagnosis.
+TEST(Inline, MutualRecursionStopsAtBudget) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL A(10)
+  INTEGER I
+  DO I = 1, 10
+    CALL PING(A, I)
+  END DO
+END
+SUBROUTINE PING(A, K)
+  REAL A(10)
+  INTEGER K
+  DO K = 1, 10
+    CALL PONG(A, K)
+  END DO
+  RETURN
+END
+SUBROUTINE PONG(A, K)
+  REAL A(10)
+  INTEGER K
+  DO K = 1, 10
+    CALL PING(A, K)
+  END DO
+  RETURN
+END
+)");
+    InlineOptions options;
+    options.max_inlined_calls = 8;
+    auto res = inline_calls(prog, options);
+    EXPECT_LE(res.inlined, options.max_inlined_calls);
+    bool budget_hit = false;
+    for (const auto& why : res.refusal_reasons) {
+        if (why.find("inline budget exhausted") != std::string::npos) budget_hit = true;
+    }
+    EXPECT_TRUE(budget_hit) << "cycle terminated for some other reason";
+}
+
+// A call cycle nested deeper than max_depth must stop expanding even
+// with call budget left: the depth guard bounds the walk's recursion.
+TEST(Inline, DepthGuardBoundsNesting) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL A(10)
+  INTEGER I
+  DO I = 1, 10
+    CALL PING(A, I)
+  END DO
+END
+SUBROUTINE PING(A, K)
+  REAL A(10)
+  INTEGER K
+  DO K = 1, 10
+    CALL PONG(A, K)
+  END DO
+  RETURN
+END
+SUBROUTINE PONG(A, K)
+  REAL A(10)
+  INTEGER K
+  DO K = 1, 10
+    CALL PING(A, K)
+  END DO
+  RETURN
+END
+)");
+    InlineOptions options;
+    options.max_depth = 6;
+    auto res = inline_calls(prog, options);
+    // Each splice nests one DO deeper, so the depth guard caps the
+    // expansion well below the (default, much larger) call budget: a few
+    // per routine the cycle is expanded into, across all rounds.
+    EXPECT_LE(res.inlined, 4 * options.max_depth);
+    EXPECT_LT(res.inlined, options.max_inlined_calls);
+}
+
 }  // namespace
 }  // namespace ap::analysis

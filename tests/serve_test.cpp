@@ -1,0 +1,546 @@
+// ap::serve tests (ISSUE 7): persistent-cache torn-write recovery, the
+// byte-identical-verdict invariant across restarts and crash recovery,
+// admission control / overload shedding, budget-exhaustion degradation,
+// and wire-protocol abuse. The shard-lock and queue paths run under
+// ThreadSanitizer (tsan CTest label).
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "corpus/corpus.hpp"
+#include "fault/fault.hpp"
+#include "frontend/parser.hpp"
+#include "sched/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/pcache.hpp"
+#include "serve/proto.hpp"
+#include "serve/server.hpp"
+#include "trace/digest.hpp"
+
+#ifndef AP_SERVE_DAEMON_PATH
+#define AP_SERVE_DAEMON_PATH ""
+#endif
+
+namespace {
+
+using namespace ap;
+
+/// Unique scratch paths per test (tests may run concurrently via ctest -j).
+std::string scratch(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    return "/tmp/ap-serve-test-" + std::to_string(static_cast<long>(::getpid())) + "-" + tag +
+           "-" + std::to_string(counter.fetch_add(1));
+}
+
+void remove_tree(const std::string& dir) {
+    for (std::size_t i = 0; i < 16; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof name, "/shard-%02zu.seg", i);
+        ::unlink((dir + name).c_str());
+    }
+    ::rmdir(dir.c_str());
+}
+
+sched::Entry entry_with(std::uint64_t ops, const std::string& detail) {
+    sched::Entry e;
+    e.ops_cost = ops;
+    e.a = 7;
+    e.has_a = true;
+    e.aux = 3;
+    e.detail = detail;
+    e.names = {"N", "M"};
+    return e;
+}
+
+// --- digest dedupe (satellite: sched + prov share one FNV-1a) ---------------
+
+TEST(ServeDigest, SchedKeyDigestIsTraceDigest) {
+    const std::string key = "prover|X>=1|d2|env";
+    EXPECT_EQ(sched::AnalysisCache::key_digest(key), trace::digest(key));
+    EXPECT_NE(sched::AnalysisCache::key_digest("a"), sched::AnalysisCache::key_digest("b"));
+}
+
+TEST(ServeDigest, SpanIdUnchangedByRefactor) {
+    // span_id was rebuilt on trace/digest.hpp primitives; the identity
+    // must be the same function of (pass, routine, loop_id) as before:
+    // FNV-1a over NUL-separated fields, masked to 53 bits, 0 -> 1.
+    std::uint64_t h = trace::kFnv1aOffset;
+    h = trace::fnv1a_field(h, "deptest");
+    h = trace::fnv1a_field(h, "MAIN");
+    h = trace::fnv1a_field(h, "12");
+    EXPECT_EQ(trace::span_id("deptest", "MAIN", 12), h & ((1ull << 53) - 1));
+}
+
+// --- persistent cache -------------------------------------------------------
+
+TEST(PersistentCache, RoundTripAcrossReopen) {
+    const std::string dir = scratch("roundtrip");
+    serve::PersistentCache cache;
+    ASSERT_TRUE(cache.open(dir));
+    const std::string key = "prover|A(I)<=N|d1|env7";
+    cache.store(key, sched::AnalysisCache::key_digest(key), entry_with(42, "unknown"));
+    cache.close();
+
+    ASSERT_TRUE(cache.open(dir));
+    auto loaded = cache.load(key, sched::AnalysisCache::key_digest(key));
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->ops_cost, 42u);
+    EXPECT_EQ(loaded->a, 7);
+    EXPECT_TRUE(loaded->has_a);
+    EXPECT_EQ(loaded->detail, "unknown");
+    EXPECT_EQ(loaded->names, (std::vector<std::string>{"N", "M"}));
+    EXPECT_EQ(cache.stats().recovered, 0u) << "clean reopen must not count recovery";
+    cache.close();
+    remove_tree(dir);
+}
+
+TEST(PersistentCache, TornTailIsTruncatedOnReopen) {
+    const std::string dir = scratch("torn");
+    std::vector<std::string> keys;
+    {
+        serve::PersistentCache cache;
+        ASSERT_TRUE(cache.open(dir));
+        for (int i = 0; i < 64; ++i) {
+            keys.push_back("rangetest|R" + std::to_string(i) + "|I=K|d2|env|");
+            cache.store(keys.back(), sched::AnalysisCache::key_digest(keys.back()),
+                        entry_with(static_cast<std::uint64_t>(i), "d"));
+        }
+        cache.close();
+    }
+    // Tear the tail of every nonempty shard by hand: chop the last 3
+    // bytes (mid-record from the reader's perspective if a record ends
+    // there — recovery must drop at most that record, never more).
+    int torn_shards = 0;
+    for (std::size_t i = 0; i < serve::PersistentCache::kShards; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof name, "/shard-%02zu.seg", i);
+        struct stat st{};
+        const std::string path = dir + name;
+        if (::stat(path.c_str(), &st) != 0 || st.st_size <= 16) continue;
+        ASSERT_EQ(::truncate(path.c_str(), st.st_size - 3), 0);
+        torn_shards += 1;
+        break;  // one torn shard is the realistic kill -9 shape
+    }
+    ASSERT_EQ(torn_shards, 1);
+
+    serve::PersistentCache cache;
+    ASSERT_TRUE(cache.open(dir));
+    const serve::PersistentCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.recovered, 1u);
+    EXPECT_GE(stats.discarded, 1u);
+    // Every record the recovery kept must be byte-faithful; exactly one
+    // record (the torn one) may be gone.
+    int present = 0;
+    for (int i = 0; i < 64; ++i) {
+        auto loaded = cache.load(keys[static_cast<std::size_t>(i)],
+                                 sched::AnalysisCache::key_digest(keys[static_cast<std::size_t>(i)]));
+        if (!loaded) continue;
+        present += 1;
+        EXPECT_EQ(loaded->ops_cost, static_cast<std::uint64_t>(i));
+    }
+    EXPECT_GE(present, 63);
+    EXPECT_LE(present, 64);  // the torn record may have been the chopped tail
+    cache.close();
+    remove_tree(dir);
+}
+
+TEST(PersistentCache, InjectedTornWriteRecoversOnReopen) {
+    const std::string dir = scratch("inject");
+    const std::int64_t injected_before = fault::counters::injected_count(fault::Kind::Torn);
+
+    serve::PersistentCache cache;
+    ASSERT_TRUE(cache.open(dir));
+    // Tear the 5th append to shard 0 — deterministic, seeded, replayable.
+    auto injector = std::make_shared<fault::Injector>(fault::Plan::parse("seed=3,torn=0@5"));
+    cache.set_injector(injector);
+    std::vector<std::string> keys;
+    for (int i = 0; keys.size() < 200 && i < 4096; ++i) {
+        std::string key = "prover|torn-drill-" + std::to_string(i) + "|d1|";
+        keys.push_back(std::move(key));
+        cache.store(keys.back(), sched::AnalysisCache::key_digest(keys.back()),
+                    entry_with(9, "x"));
+    }
+    EXPECT_EQ(fault::counters::injected_count(fault::Kind::Torn), injected_before + 1);
+    EXPECT_EQ(cache.stats().torn_injected, 1u);
+    cache.close();
+
+    ASSERT_TRUE(cache.open(dir));
+    const serve::PersistentCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.recovered, 1u) << "exactly the torn shard must be healed";
+    EXPECT_EQ(stats.discarded, 1u) << "exactly the torn record must be dropped";
+    // The fault ledger balances: the injected tear was recovered.
+    EXPECT_EQ(fault::counters::outstanding(fault::Kind::Torn), 0);
+    // Everything before the tear (and every other shard) survives intact.
+    std::uint64_t served = 0;
+    for (const std::string& key : keys) {
+        if (auto e = cache.load(key, sched::AnalysisCache::key_digest(key))) {
+            EXPECT_EQ(e->ops_cost, 9u);
+            served += 1;
+        }
+    }
+    EXPECT_EQ(served, stats.entries);
+    cache.close();
+    remove_tree(dir);
+}
+
+TEST(PersistentCache, GarbageSegmentIsQuarantinedNotFatal) {
+    const std::string dir = scratch("garbage");
+    ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+    const std::string path = dir + "/shard-00.seg";
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+    ASSERT_GE(fd, 0);
+    const char junk[] = "this is not a segment file at all";
+    ASSERT_EQ(::write(fd, junk, sizeof junk), static_cast<ssize_t>(sizeof junk));
+    ::close(fd);
+
+    serve::PersistentCache cache;
+    ASSERT_TRUE(cache.open(dir)) << "a corrupt segment must be healed, not fatal";
+    EXPECT_GE(cache.stats().recovered, 1u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    // The healed segment must be writable again.
+    cache.store("k", sched::AnalysisCache::key_digest("k"), entry_with(1, ""));
+    cache.close();
+    ASSERT_TRUE(cache.open(dir));
+    EXPECT_TRUE(cache.load("k", sched::AnalysisCache::key_digest("k")).has_value());
+    cache.close();
+    remove_tree(dir);
+}
+
+// --- compile integration: byte-identical verdicts across restarts -----------
+
+TEST(ServeCompile, WarmRestartVerdictsByteIdentical) {
+    const std::string dir = scratch("warm");
+    const corpus::CorpusProgram& prog = corpus::perfect();
+
+    core::CompilerOptions options;
+    options.loop_op_budget = prog.loop_op_budget;
+
+    ir::Program cold_ir = corpus::load(prog);
+    serve::PersistentCache cache;
+    ASSERT_TRUE(cache.open(dir));
+    options.cache_backing = &cache;
+    const core::CompileReport cold = core::compile(cold_ir, options);
+    EXPECT_EQ(cold.cache.backing_hits, 0u) << "cold cache cannot hit";
+    cache.close();
+
+    // "Restart": a fresh PersistentCache instance over the same files.
+    serve::PersistentCache warm_cache;
+    ASSERT_TRUE(warm_cache.open(dir));
+    options.cache_backing = &warm_cache;
+    ir::Program warm_ir = corpus::load(prog);
+    const core::CompileReport warm = core::compile(warm_ir, options);
+    EXPECT_GT(warm.cache.backing_hits, 0u) << "warm restart must hit the persistent tier";
+
+    // The whole point: verdicts (and their provenance) are byte-identical
+    // whether answers were computed fresh or replayed from disk.
+    EXPECT_EQ(serve::verdict_fingerprint(cold), serve::verdict_fingerprint(warm));
+    ASSERT_EQ(cold.loops.size(), warm.loops.size());
+    for (std::size_t i = 0; i < cold.loops.size(); ++i) {
+        EXPECT_EQ(cold.loops[i].verdict, warm.loops[i].verdict);
+        EXPECT_EQ(cold.loops[i].symbolic_ops, warm.loops[i].symbolic_ops)
+            << "backing hits must replay the recorded op cost exactly";
+    }
+    warm_cache.close();
+    remove_tree(dir);
+}
+
+// --- in-process server ------------------------------------------------------
+
+class ServerFixture : public ::testing::Test {
+protected:
+    serve::ServerOptions opts_;
+    std::unique_ptr<serve::Server> server_;
+    std::string cache_dir_;
+
+    void boot() {
+        opts_.socket_path = scratch("sock") + ".sock";
+        if (!cache_dir_.empty()) opts_.cache_dir = cache_dir_;
+        server_ = std::make_unique<serve::Server>(opts_);
+        std::string error;
+        ASSERT_TRUE(server_->start(&error)) << error;
+    }
+
+    void TearDown() override {
+        if (server_) server_->stop();
+        if (!cache_dir_.empty()) remove_tree(cache_dir_);
+    }
+
+    serve::Client make_client(double timeout_ms = 10'000) {
+        serve::ClientOptions copts;
+        copts.socket_path = opts_.socket_path;
+        copts.timeout_ms = timeout_ms;
+        return serve::Client(copts);
+    }
+};
+
+TEST_F(ServerFixture, CompileMatchesLocalVerdicts) {
+    boot();
+    serve::Client client = make_client();
+    const corpus::CorpusProgram& prog = corpus::linpack();
+    std::string error;
+    auto resp = client.compile(prog.name, prog.source, prog.loop_op_budget, 30'000, &error);
+    ASSERT_TRUE(resp.has_value()) << error;
+    ASSERT_EQ(resp->find("status")->as_string(), "ok");
+
+    ir::Program local_ir = corpus::load(prog);
+    core::CompilerOptions options;
+    options.loop_op_budget = prog.loop_op_budget;
+    const core::CompileReport local = core::compile(local_ir, options);
+    EXPECT_EQ(resp->find("fingerprint")->as_string(), serve::verdict_fingerprint_hex(local))
+        << "service verdicts must equal local compile verdicts";
+    EXPECT_EQ(resp->find("loops_total")->as_int(), local.loops_total());
+    EXPECT_EQ(resp->find("target_parallel")->as_int(), local.target_parallel());
+
+    EXPECT_TRUE(client.ping());
+    auto stats = client.stats(&error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_EQ(stats->find("server")->find("completed")->as_int(), 1);
+}
+
+TEST_F(ServerFixture, OverloadShedsWithRetryAfterAndClientRecovers) {
+    opts_.workers = 1;
+    opts_.queue_limit = 1;
+    opts_.retry_after_ms = 30;
+    // Every request processes slowly (probability-1 delay of 50ms), so
+    // concurrent clients deterministically overflow the one-slot queue.
+    opts_.injector = std::make_shared<fault::Injector>(
+        fault::Plan::parse("seed=11,delay=1.0,delay_us=50000"));
+    boot();
+
+    // Raw shed check first: fill worker + queue, then a third request
+    // must be answered "retry" with the configured hint.
+    const corpus::CorpusProgram& prog = corpus::linpack();
+    std::vector<std::thread> load;
+    std::atomic<int> ok_count{0};
+    for (int i = 0; i < 6; ++i) {
+        load.emplace_back([&] {
+            serve::ClientOptions copts;
+            copts.socket_path = opts_.socket_path;
+            copts.timeout_ms = 20'000;
+            copts.max_attempts = 40;
+            serve::Client c(copts);
+            auto resp = c.compile(prog.name, prog.source, prog.loop_op_budget, 60'000);
+            if (resp && resp->find("status")->as_string() == "ok") ok_count.fetch_add(1);
+        });
+    }
+    for (std::thread& t : load) t.join();
+    EXPECT_EQ(ok_count.load(), 6) << "every shed request must eventually complete via retry";
+
+    const serve::ServerStats stats = server_->stats();
+    EXPECT_GT(stats.shed, 0u) << "the one-slot queue must have shed under 6-way load";
+    EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.failed)
+        << "admission invariant";
+}
+
+TEST_F(ServerFixture, BudgetExhaustedDegradesToComplexityNotFailure) {
+    boot();
+    serve::Client client = make_client();
+    const corpus::CorpusProgram& prog = corpus::perfect();
+    // An absurdly small deadline: the request's budget is exhausted
+    // before analysis starts. The connection must survive and the
+    // response must be a well-formed "ok" whose loops degraded to the
+    // Complexity hindrance — not an error, not a dropped connection.
+    std::string error;
+    auto resp = client.compile(prog.name, prog.source, prog.loop_op_budget, 0.0001, &error);
+    ASSERT_TRUE(resp.has_value()) << error;
+    EXPECT_EQ(resp->find("status")->as_string(), "ok");
+    const ap::trace::json::Value* histogram = resp->find("histogram");
+    ASSERT_NE(histogram, nullptr);
+    const ap::trace::json::Value* complexity = histogram->find("complexity");
+    ASSERT_NE(complexity, nullptr);
+    EXPECT_GT(complexity->as_int(), 0) << "deadline-starved loops must degrade to complexity";
+    EXPECT_EQ(resp->find("target_parallel")->as_int(), 0);
+
+    // Same connection, sane deadline: full-quality verdicts again.
+    auto resp2 = client.compile(prog.name, prog.source, prog.loop_op_budget, 30'000, &error);
+    ASSERT_TRUE(resp2.has_value()) << error;
+    EXPECT_EQ(resp2->find("status")->as_string(), "ok");
+    EXPECT_GT(resp2->find("target_parallel")->as_int(), 0);
+}
+
+TEST_F(ServerFixture, WireGarbageDropsConnectionNotServer) {
+    boot();
+    // Hand-rolled socket speaking garbage: the server must drop the
+    // connection (EOF from our side) without crashing or blocking.
+    auto raw_connect = [&]() {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+        EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+        return fd;
+    };
+
+    {
+        const int fd = raw_connect();
+        const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+        ASSERT_GT(::send(fd, garbage, sizeof garbage - 1, MSG_NOSIGNAL), 0);
+        char buf[16];
+        EXPECT_EQ(::recv(fd, buf, sizeof buf, 0), 0) << "bad magic must be answered with EOF";
+        ::close(fd);
+    }
+    {
+        // Valid magic, hostile length prefix (~4 GiB): must be rejected
+        // before allocation, connection dropped.
+        const int fd = raw_connect();
+        unsigned char header[8] = {'A', 'P', 'S', 'V', 0xf0, 0xff, 0xff, 0xff};
+        ASSERT_EQ(::send(fd, header, sizeof header, MSG_NOSIGNAL),
+                  static_cast<ssize_t>(sizeof header));
+        char buf[16];
+        EXPECT_EQ(::recv(fd, buf, sizeof buf, 0), 0) << "oversized frame must be dropped";
+        ::close(fd);
+    }
+    {
+        // Well-framed non-JSON payload: request-level error, connection
+        // survives and the next frame is served normally.
+        const int fd = raw_connect();
+        ASSERT_TRUE(serve::proto::write_frame(fd, "not json at all"));
+        std::string buffer, error;
+        auto payload = serve::proto::read_frame(fd, &buffer, 5'000, &error);
+        ASSERT_TRUE(payload.has_value()) << error;
+        EXPECT_NE(payload->find("\"error\""), std::string::npos);
+        ::close(fd);
+    }
+
+    // The server is still healthy for real clients.
+    serve::Client client = make_client();
+    EXPECT_TRUE(client.ping());
+    EXPECT_GE(server_->stats().proto_errors, 2u);
+}
+
+// --- daemon child: SIGKILL crash recovery (the ISSUE acceptance test) -------
+
+TEST(ServeDaemon, SigkillRecoveryKeepsVerdictsByteIdentical) {
+    const std::string daemon_path = AP_SERVE_DAEMON_PATH;
+    ASSERT_FALSE(daemon_path.empty());
+    const std::string sock = scratch("daemon") + ".sock";
+    const std::string dir = scratch("daemon-cache");
+
+    const auto spawn = [&](const char* fault) {
+        std::vector<std::string> argv_s = {daemon_path, "--socket", sock, "--cache-dir", dir,
+                                           "--workers", "2"};
+        if (fault != nullptr && *fault) {
+            argv_s.push_back("--fault");
+            argv_s.push_back(fault);
+        }
+        std::vector<char*> argv;
+        for (std::string& s : argv_s) argv.push_back(s.data());
+        argv.push_back(nullptr);
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            ::execv(argv[0], argv.data());
+            ::_exit(127);
+        }
+        return pid;
+    };
+
+    serve::ClientOptions copts;
+    copts.socket_path = sock;
+    copts.timeout_ms = 15'000;
+
+    // Generation A runs with a torn-append plan: the cache's on-disk
+    // tail is guaranteed mid-record when we SIGKILL it.
+    const pid_t gen_a = spawn("seed=5,torn=0@5");
+    std::string fingerprint_a;
+    {
+        serve::Client client(copts);
+        ASSERT_TRUE(client.wait_ready(15'000));
+        const corpus::CorpusProgram& prog = corpus::linpack();
+        std::string error;
+        auto resp = client.compile(prog.name, prog.source, prog.loop_op_budget, 60'000, &error);
+        ASSERT_TRUE(resp.has_value()) << error;
+        ASSERT_EQ(resp->find("status")->as_string(), "ok");
+        fingerprint_a = resp->find("fingerprint")->as_string();
+        auto stats = client.stats();
+        ASSERT_TRUE(stats.has_value());
+        EXPECT_GE(stats->find("cache")->find("torn_injected")->as_int(), 1)
+            << "the torn plan must have fired during the first compile";
+    }
+    ASSERT_EQ(::kill(gen_a, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(gen_a, &status, 0), gen_a);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    // Generation B reopens the same cache directory: it must heal the
+    // torn tail (recovered == 1, the torn record discarded) and serve
+    // byte-identical verdicts from the surviving entries.
+    const pid_t gen_b = spawn(nullptr);
+    {
+        serve::Client client(copts);
+        ASSERT_TRUE(client.wait_ready(15'000));
+        auto stats = client.stats();
+        ASSERT_TRUE(stats.has_value());
+        EXPECT_EQ(stats->find("cache")->find("recovered")->as_int(), 1);
+        EXPECT_GE(stats->find("cache")->find("discarded")->as_int(), 1);
+        EXPECT_GT(stats->find("cache")->find("entries")->as_int(), 0)
+            << "entries appended before the tear must survive";
+
+        const corpus::CorpusProgram& prog = corpus::linpack();
+        std::string error;
+        auto resp = client.compile(prog.name, prog.source, prog.loop_op_budget, 60'000, &error);
+        ASSERT_TRUE(resp.has_value()) << error;
+        ASSERT_EQ(resp->find("status")->as_string(), "ok");
+        EXPECT_EQ(resp->find("fingerprint")->as_string(), fingerprint_a)
+            << "verdicts across SIGKILL + recovery must be byte-identical";
+        auto stats2 = client.stats();
+        ASSERT_TRUE(stats2.has_value());
+        EXPECT_GT(stats2->find("compile_cache")->find("backing_hits")->as_int(), 0)
+            << "the recovered cache must actually serve the warm compile";
+        EXPECT_TRUE(client.shutdown_server());
+    }
+    ASSERT_EQ(::waitpid(gen_b, &status, 0), gen_b);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    ::unlink(sock.c_str());
+    remove_tree(dir);
+}
+
+// --- wire decoder unit coverage (fuzz stage 2d runs the deep campaign) ------
+
+TEST(ServeProto, DecoderHandlesTruncationAndAbuse) {
+    using serve::proto::Decoded;
+    const std::string frame = serve::proto::encode_frame("{\"op\":\"ping\",\"id\":1}");
+
+    // Every truncation of a valid frame: NeedMore, never Error/crash.
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+        const Decoded d = serve::proto::decode_frame(std::string_view(frame).substr(0, cut));
+        EXPECT_EQ(d.status, Decoded::Status::NeedMore) << "cut=" << cut;
+    }
+    const Decoded whole = serve::proto::decode_frame(frame);
+    ASSERT_EQ(whole.status, Decoded::Status::Frame);
+    EXPECT_EQ(whole.consumed, frame.size());
+    EXPECT_EQ(whole.payload, "{\"op\":\"ping\",\"id\":1}");
+
+    // Bad magic is rejected from the very first wrong byte.
+    EXPECT_EQ(serve::proto::decode_frame("X").status, Decoded::Status::Error);
+    EXPECT_EQ(serve::proto::decode_frame("APSX????").status, Decoded::Status::Error);
+
+    // A hostile length prefix must error out, never allocate.
+    std::string hostile = "APSV";
+    hostile += '\xf0'; hostile += '\xff'; hostile += '\xff'; hostile += '\xff';
+    EXPECT_EQ(serve::proto::decode_frame(hostile).status, Decoded::Status::Error);
+
+    // Two frames back to back: first decode consumes exactly one.
+    const std::string two = frame + frame;
+    const Decoded first = serve::proto::decode_frame(two);
+    ASSERT_EQ(first.status, Decoded::Status::Frame);
+    EXPECT_EQ(first.consumed, frame.size());
+}
+
+}  // namespace

@@ -19,6 +19,14 @@
 //   2c. provenance diff   — the same pair's decision-provenance trails
 //                           (ap::prov records, span ids included) must
 //                           also be byte-identical; same deadline skip.
+//   2d. wire decoder      — serve::proto::decode_frame over hostile
+//                           byte streams: truncated frames, flipped
+//                           magic, oversized length prefixes, and raw
+//                           garbage. The decoder must diagnose and
+//                           reject — never throw, never claim a Frame
+//                           for bad magic, never allocate past the
+//                           payload cap. Runs before parse, so every
+//                           iteration exercises it.
 //   3. interpret          — serial then parallel (the oracle pair), with
 //                           a small step cap and wall-clock watchdog so
 //                           mutants that loop forever are cut off.
@@ -44,6 +52,7 @@
 #include "guard/guard.hpp"
 #include "interp/interp.hpp"
 #include "prov/prov.hpp"
+#include "serve/proto.hpp"
 
 namespace {
 
@@ -187,6 +196,7 @@ struct Stats {
     std::int64_t differential = 0;   ///< serial+parallel pairs compared
     std::int64_t compile_diffs = 0;  ///< thread-count compile pairs compared
     std::int64_t prov_diffs = 0;     ///< provenance determinism pairs compared
+    std::int64_t wire_decodes = 0;   ///< hostile wire-decoder inputs driven
     std::int64_t failures = 0;
 };
 
@@ -246,6 +256,105 @@ void fail(Stats& stats, const char* stage, std::uint64_t seed, std::int64_t iter
                  detail.c_str());
 }
 
+/// Stage 2d: the serve wire-protocol decoder under hostile input. Pure
+/// function, so no daemon needed; `donor` supplies realistic payload
+/// bytes. Every branch asserts the connection-safety contract rather
+/// than a specific diagnosis string.
+void fuzz_wire_decoder(Rng& rng, std::uint64_t seed, std::int64_t iter, Stats& stats,
+                       const std::string& donor) {
+    namespace proto = serve::proto;
+    ++stats.wire_decodes;
+
+    auto check = [&](const char* what, std::string_view buffer, std::size_t max_payload,
+                     auto&& verify) {
+        proto::Decoded d;
+        try {
+            d = proto::decode_frame(buffer, max_payload);
+        } catch (const std::exception& e) {
+            fail(stats, "wire-decode", seed, iter,
+                 std::string(what) + ": escaped exception: " + e.what());
+            return;
+        }
+        // Universal bounds, independent of scenario: a Frame never claims
+        // more bytes than exist and never materializes more than the cap.
+        if (d.status == proto::Decoded::Status::Frame &&
+            (d.consumed > buffer.size() || d.payload.size() > max_payload)) {
+            fail(stats, "wire-decode", seed, iter,
+                 std::string(what) + ": frame exceeds buffer or payload cap");
+            return;
+        }
+        verify(d);
+    };
+
+    // A well-formed frame: complete, truncated, or with trailing bytes.
+    const std::string payload =
+        donor.substr(rng.below(donor.size() + 1),
+                     rng.below(std::min<std::size_t>(donor.size() + 1, 512)));
+    const std::string framed = proto::encode_frame(payload);
+    const std::size_t cut = rng.below(framed.size() + 1);
+    check("truncated-frame", std::string_view(framed).substr(0, cut), proto::kMaxPayload,
+          [&](const proto::Decoded& d) {
+              const bool complete = cut == framed.size();
+              if (complete && (d.status != proto::Decoded::Status::Frame ||
+                               d.payload != payload || d.consumed != framed.size())) {
+                  fail(stats, "wire-decode", seed, iter, "complete frame not decoded intact");
+              } else if (!complete && d.status != proto::Decoded::Status::NeedMore) {
+                  fail(stats, "wire-decode", seed, iter,
+                       "truncated valid frame must yield NeedMore at " + std::to_string(cut) +
+                           '/' + std::to_string(framed.size()));
+              }
+          });
+
+    // Flipped magic byte: protocol error at the first wrong byte, even
+    // before a full header arrives.
+    std::string bad_magic = framed;
+    const std::size_t flip_at = rng.below(4);
+    bad_magic[flip_at] = static_cast<char>(bad_magic[flip_at] ^ (1u << (1 + rng.below(7))));
+    check("bad-magic", std::string_view(bad_magic).substr(0, flip_at + 1 + rng.below(8)),
+          proto::kMaxPayload, [&](const proto::Decoded& d) {
+              if (d.status != proto::Decoded::Status::Error) {
+                  fail(stats, "wire-decode", seed, iter,
+                       "flipped magic byte " + std::to_string(flip_at) + " not rejected");
+              }
+          });
+
+    // Hostile length prefix: valid magic, declared length over the cap
+    // (up to 0xFFFFFFFF). Must reject without allocating the payload.
+    {
+        const std::size_t cap = 1 + rng.below(4096);
+        const std::uint32_t declared =
+            static_cast<std::uint32_t>(cap + 1 + rng.below(0xFFFFF000u - cap));
+        std::string hostile;
+        for (std::uint32_t m = proto::kMagic, i = 0; i < 4; ++i, m >>= 8) {
+            hostile.push_back(static_cast<char>(m & 0xFF));
+        }
+        for (std::uint32_t v = declared, i = 0; i < 4; ++i, v >>= 8) {
+            hostile.push_back(static_cast<char>(v & 0xFF));
+        }
+        hostile.append(rng.below(64), 'x');  // partial body the decoder must ignore
+        check("oversized-length", hostile, cap, [&](const proto::Decoded& d) {
+            if (d.status != proto::Decoded::Status::Error || !d.payload.empty()) {
+                fail(stats, "wire-decode", seed, iter,
+                     "length " + std::to_string(declared) + " over cap " + std::to_string(cap) +
+                         " not rejected allocation-free");
+            }
+        });
+    }
+
+    // Raw garbage: only the universal bounds apply, plus first-byte magic.
+    std::string garbage;
+    garbage.reserve(64);
+    for (std::size_t i = rng.below(64); i-- > 0;) {
+        garbage.push_back(static_cast<char>(rng.next() & 0xFF));
+    }
+    check("garbage", garbage, proto::kMaxPayload, [&](const proto::Decoded& d) {
+        if (!garbage.empty() && garbage[0] != 'A' &&
+            d.status != proto::Decoded::Status::Error) {
+            fail(stats, "wire-decode", seed, iter, "wrong leading magic byte not rejected");
+        }
+    });
+}
+
 void run_iteration(Rng& rng, std::uint64_t seed, std::int64_t iter, Stats& stats) {
     const auto& corpora = corpus::all();
     const auto& base = *corpora[rng.below(corpora.size())];
@@ -256,6 +365,10 @@ void run_iteration(Rng& rng, std::uint64_t seed, std::int64_t iter, Stats& stats
     for (int s = 0; s < steps; ++s) src = mutate_once(rng, std::move(src), donor.source);
 
     ++stats.iterations;
+
+    // 2d runs first: it is independent of whether the mutant parses, and
+    // the mutant source doubles as a realistic frame payload.
+    fuzz_wire_decoder(rng, seed, iter, stats, src);
 
     // 1. parse — ParseError is the expected rejection path.
     ir::Program prog;
@@ -416,12 +529,13 @@ int main(int argc, char** argv) {
     std::printf(
         "minif_fuzz: seed=%llu iterations=%lld parse_rejects=%lld compiled=%lld "
         "degraded=%lld runtime_rejects=%lld differential=%lld compile_diffs=%lld "
-        "prov_diffs=%lld failures=%lld\n",
+        "prov_diffs=%lld wire_decodes=%lld failures=%lld\n",
         static_cast<unsigned long long>(seed), static_cast<long long>(stats.iterations),
         static_cast<long long>(stats.parse_rejects), static_cast<long long>(stats.compiled),
         static_cast<long long>(stats.degraded), static_cast<long long>(stats.runtime_rejects),
         static_cast<long long>(stats.differential), static_cast<long long>(stats.compile_diffs),
-        static_cast<long long>(stats.prov_diffs), static_cast<long long>(stats.failures));
+        static_cast<long long>(stats.prov_diffs), static_cast<long long>(stats.wire_decodes),
+        static_cast<long long>(stats.failures));
     if (stats.failures) {
         std::fprintf(stderr, "minif_fuzz: %lld failure(s)\n",
                      static_cast<long long>(stats.failures));

@@ -1,8 +1,11 @@
 // Schema validator for the machine-readable bench reports
-// (`fig* --json <path>`, schema "ap.bench.v1"). scripts/verify.sh and the
-// verify_fig2_json CTest test run it after regenerating a report; exits
-// nonzero with a diagnostic when the document is missing anything a
-// trajectory-tracking consumer relies on.
+// (`fig* --json <path>` and `server_load --json <path>`, schema
+// "ap.bench.v1"). scripts/verify.sh and the verify_fig2_json / verify_server
+// CTest tests run it after regenerating a report; exits nonzero with a
+// diagnostic when the document is missing anything a trajectory-tracking
+// consumer relies on. `report_lint <path> server` additionally enforces the
+// ap.serve.v1 invariants (admission accounting, latency percentile order,
+// warm > cold hit rate, crash-recovery counters).
 //
 // Usage: report_lint <report.json> [expected-bench] [--min-speedup X]
 //        report_lint --compare <a.json> <b.json>
@@ -123,6 +126,118 @@ void check_chaos(const Value& chaos, const Value* counters) {
     if (!any_injected) fail("chaos report has no nonzero \"fault.injected.*\" counter");
 }
 
+// ap::serve load reports (`server_load --json`, schema "ap.serve.v1"):
+// per-phase admission accounting, latency percentile ordering, cache hit
+// rates, warm-vs-cold improvement, and — when the crash drill ran — the
+// recovery counters (docs/OBSERVABILITY.md §ap.serve.v1).
+void check_server(const Value& server) {
+    const Value* schema = require(server, "schema", "string");
+    if (schema && schema->as_string() != "ap.serve.v1") {
+        fail("server.schema is \"" + schema->as_string() + "\", expected \"ap.serve.v1\"");
+    }
+    require(server, "clients", "number");
+    require(server, "per_client", "number");
+    const Value* requests = require(server, "requests", "number");
+    const Value* phases = require(server, "phases", "array");
+    if (!phases) return;
+    if (phases->size() == 0) {
+        fail("server.phases is empty");
+        return;
+    }
+    std::map<std::string, double> hit_rates;
+    for (const Value& phase : *phases->as_array()) {
+        if (!phase.is_object()) {
+            fail("server.phases[] entry is not an object");
+            continue;
+        }
+        const Value* name = require(phase, "name", "string");
+        const std::string pname = name ? name->as_string() : "?";
+        require(phase, "wall_seconds", "number");
+        require(phase, "throughput_rps", "number");
+
+        // Every one of the N*M requests must have completed, retries and
+        // daemon restarts notwithstanding — availability is the contract.
+        const Value* ok_count = require(phase, "requests_ok", "number");
+        if (ok_count && requests && ok_count->as_int() != requests->as_int()) {
+            fail("server phase \"" + pname + "\": requests_ok=" +
+                 std::to_string(ok_count->as_int()) + " != requests=" +
+                 std::to_string(requests->as_int()));
+        }
+        if (const Value* failures = phase.find("request_failures");
+            failures && failures->as_int() != 0) {
+            fail("server phase \"" + pname + "\" has request_failures=" +
+                 std::to_string(failures->as_int()));
+        }
+
+        if (const Value* latency = require(phase, "latency", "object")) {
+            const Value* p50 = require(*latency, "p50_ms", "number");
+            const Value* p99 = require(*latency, "p99_ms", "number");
+            if (p50 && p99 &&
+                (p50->as_double() < 0 || p99->as_double() < p50->as_double())) {
+                fail("server phase \"" + pname + "\": latency must satisfy 0 <= p50 <= p99");
+            }
+        }
+
+        // Admission invariant: every request the daemon saw was answered
+        // ok, shed (with retry-after), or failed — nothing vanished.
+        if (const Value* sv = require(phase, "server", "object")) {
+            const Value* submitted = require(*sv, "submitted", "number");
+            const Value* completed = require(*sv, "completed", "number");
+            const Value* shed = require(*sv, "shed", "number");
+            const Value* failed = require(*sv, "failed", "number");
+            if (submitted && completed && shed && failed &&
+                submitted->as_int() != completed->as_int() + shed->as_int() + failed->as_int()) {
+                fail("server phase \"" + pname + "\": submitted=" +
+                     std::to_string(submitted->as_int()) + " != completed+shed+failed");
+            }
+        }
+
+        if (const Value* cache = require(phase, "cache", "object")) {
+            const Value* rate = require(*cache, "hit_rate", "number");
+            if (rate) {
+                if (rate->as_double() < 0 || rate->as_double() > 1) {
+                    fail("server phase \"" + pname + "\": cache.hit_rate out of [0,1]");
+                }
+                hit_rates[pname] = rate->as_double();
+            }
+            require(*cache, "recovered", "number");
+            require(*cache, "discarded", "number");
+        }
+        require(phase, "client", "object");
+    }
+    if (hit_rates.count("cold") && hit_rates.count("warm") &&
+        hit_rates["warm"] <= hit_rates["cold"]) {
+        fail("warm-restart hit rate (" + std::to_string(hit_rates["warm"]) +
+             ") must exceed the cold hit rate (" + std::to_string(hit_rates["cold"]) + ")");
+    }
+
+    if (const Value* determinism = require(server, "determinism", "object")) {
+        const Value* match = require(*determinism, "fingerprints_match", "bool");
+        if (match && !match->as_bool()) {
+            fail("server.determinism.fingerprints_match is false: verdicts diverged "
+                 "across restart/recovery");
+        }
+    }
+    if (const Value* crash = require(server, "crash", "object")) {
+        require(*crash, "enabled", "bool");
+        const Value* corrupt = require(*crash, "corrupt_served", "number");
+        if (corrupt && corrupt->as_int() != 0) {
+            fail("server.crash.corrupt_served=" + std::to_string(corrupt->as_int()) +
+                 " (a recovered cache must never serve a corrupt entry)");
+        }
+        if (crash->find("enabled") && crash->find("enabled")->as_bool()) {
+            const Value* restarts = require(*crash, "daemon_restarts", "number");
+            if (restarts && restarts->as_int() < 1) {
+                fail("server.crash.enabled but daemon_restarts < 1 (the plan never fired)");
+            }
+            const Value* recovered = require(*crash, "recovered", "number");
+            if (recovered && recovered->as_int() < 1) {
+                fail("server.crash.enabled but cache recovered < 1 (no torn tail healed)");
+            }
+        }
+    }
+}
+
 void check_bench(const std::string& bench, const Value& data, const Value* counters) {
     if (bench == "fig1") {
         // Chaos sweeps (`--chaos N`) replace the decks payload.
@@ -172,6 +287,10 @@ void check_bench(const std::string& bench, const Value& data, const Value* count
                            "enclosed_loops"});
     } else if (bench == "fig5") {
         check_codes(data, {"total_targets", "histogram"});
+    } else if (bench == "server") {
+        if (const Value* server = require(data, "server", "object")) {
+            check_server(*server);
+        }
     } else {
         fail("unknown bench \"" + bench + "\"");
     }
@@ -198,7 +317,7 @@ void check_fault_counters(const Value& counters) {
             fail("counter \"" + name + "\" is negative");
         }
     }
-    for (const char* kind : {"drop", "delay", "duplicate", "stall", "crash"}) {
+    for (const char* kind : {"drop", "delay", "duplicate", "stall", "crash", "torn"}) {
         const std::int64_t injected = count(std::string("fault.injected.") + kind);
         const std::int64_t recovered = count(std::string("fault.recovered.") + kind);
         const std::int64_t fatal = count(std::string("fault.fatal.") + kind);
@@ -666,9 +785,13 @@ int main(int argc, char** argv) {
     require(*doc, "ok", "bool");
     const Value* counters = require(*doc, "counters", "object");
     const Value* data = require(*doc, "data", "object");
-    // fig4 only walks the call graph; every other bench drives the compiler
-    // or runtime and must have recorded at least one counter.
-    if (counters && bench && bench->as_string() != "fig4" && counters->size() == 0) {
+    // fig4 only walks the call graph, and the server load generator's
+    // compiles all happen in the daemon process (whose counters surface
+    // through data.server.phases[].server instead); every other bench
+    // drives the compiler or runtime in-process and must have recorded
+    // at least one counter.
+    if (counters && bench && bench->as_string() != "fig4" &&
+        bench->as_string() != "server" && counters->size() == 0) {
         fail("\"counters\" is empty");
     }
 
