@@ -1,11 +1,14 @@
 // Reproduces paper Figure 1: "Measured Performance Achieved by Automatic
 // Parallelization of SEISMIC" — elapsed seconds of the four-phase seismic
 // suite under serial, MPI, OpenMP-style (outer-loop) and Polaris-style
-// (inner-simple-loop-only) parallelization, on SMALL and MEDIUM datasets.
+// (inner-simple-loop-only) parallelization, on SMALL and MEDIUM datasets;
+// plus the ap::spec extension, a SpecPriv-style flavor that speculates on
+// the outer loops static analysis could not prove.
 //
 // Expected shape (EXPERIMENTS.md): MPI ~ OpenMP ~ serial/4; Polaris >=
-// serial on every component; the trend identical across dataset sizes.
-// Times are modeled on the simulated 4-processor machine (DESIGN.md §2).
+// serial on every component; SpecPriv strictly beats Polaris; the trend
+// identical across dataset sizes. Times are modeled on the simulated
+// 4-processor machine (DESIGN.md §2).
 
 #include <cmath>
 #include <cstdio>
@@ -34,17 +37,19 @@ int run_deck(const seismic::Deck& deck) {
                 deck.name.c_str(), deck.nshots, deck.ntraces, deck.nsamples, deck.nx, deck.ny,
                 deck.nz, deck.grid, deck.timesteps);
     const seismic::Flavor flavors[] = {seismic::Flavor::Serial, seismic::Flavor::Mpi,
-                                       seismic::Flavor::OuterParallel, seismic::Flavor::AutoInner};
+                                       seismic::Flavor::OuterParallel, seismic::Flavor::AutoInner,
+                                       seismic::Flavor::SpecPriv};
+    constexpr int kFlavors = 5;
     core::Table table({"version", "data gen.", "stack", "3D FFT", "finite diff.", "total",
                        "speedup"});
-    seismic::SuiteResult results[4];
-    double checksums[4][4];
-    for (int f = 0; f < 4; ++f) {
+    seismic::SuiteResult results[kFlavors];
+    double checksums[kFlavors][4];
+    for (int f = 0; f < kFlavors; ++f) {
         results[f] = seismic::run_suite(deck, flavors[f], kProcs);
         for (int p = 0; p < 4; ++p) checksums[f][p] = results[f].phases[p].checksum;
     }
     const double serial_total = results[0].total_seconds();
-    for (int f = 0; f < 4; ++f) {
+    for (int f = 0; f < kFlavors; ++f) {
         std::vector<std::string> row{to_string(flavors[f])};
         for (const auto& phase : results[f].phases) {
             row.push_back(core::Table::fixed(phase.seconds, 3) + "s");
@@ -58,7 +63,7 @@ int run_deck(const seismic::Deck& deck) {
     // Validation: all flavors computed the same physics.
     int failures = 0;
     for (int p = 0; p < 4; ++p) {
-        for (int f = 1; f < 4; ++f) {
+        for (int f = 1; f < kFlavors; ++f) {
             const double rel = std::fabs(checksums[f][p] - checksums[0][p]) /
                                std::max(1e-30, std::fabs(checksums[0][p]));
             if (rel > 1e-6) {
@@ -68,12 +73,14 @@ int run_deck(const seismic::Deck& deck) {
             }
         }
     }
-    // Shape assertions from the paper.
+    // Shape assertions from the paper (plus the ap::spec extension).
     const double mpi = results[1].total_seconds();
     const double omp = results[2].total_seconds();
     const double polaris = results[3].total_seconds();
-    std::printf("shape: MPI %.2fx, OpenMP %.2fx, Polaris %.2fx (vs serial)\n", serial_total / mpi,
-                serial_total / omp, serial_total / polaris);
+    const double specpriv = results[4].total_seconds();
+    std::printf("shape: MPI %.2fx, OpenMP %.2fx, Polaris %.2fx, SpecPriv %.2fx (vs serial)\n",
+                serial_total / mpi, serial_total / omp, serial_total / polaris,
+                serial_total / specpriv);
     if (!(mpi < serial_total && omp < serial_total)) {
         std::printf("SHAPE VIOLATION: manual parallelization must beat serial\n");
         ++failures;
@@ -82,13 +89,34 @@ int run_deck(const seismic::Deck& deck) {
         std::printf("SHAPE VIOLATION: Polaris-style must not beat serial\n");
         ++failures;
     }
+    if (!(specpriv < polaris)) {
+        std::printf("SHAPE VIOLATION: speculation must beat inner-only parallelization\n");
+        ++failures;
+    }
+    // The speculation ledger must balance: every chunk either committed
+    // or rolled back (and on this suite, nothing may roll back — the
+    // recovered loops are genuinely conflict-free at runtime).
+    std::int64_t spec_attempts = 0;
+    std::int64_t spec_commits = 0;
+    std::int64_t spec_rollbacks = 0;
+    for (const auto& phase : results[4].phases) {
+        spec_attempts += phase.spec_attempts;
+        spec_commits += phase.spec_commits;
+        spec_rollbacks += phase.spec_rollbacks;
+    }
+    if (spec_attempts != spec_commits + spec_rollbacks || spec_attempts == 0) {
+        std::printf("SPEC LEDGER VIOLATION: attempts=%lld commits=%lld rollbacks=%lld\n",
+                    static_cast<long long>(spec_attempts), static_cast<long long>(spec_commits),
+                    static_cast<long long>(spec_rollbacks));
+        ++failures;
+    }
     std::printf("\n");
 
     namespace json = ap::trace::json;
     json::Value deck_json = json::Value::object();
     deck_json.set("name", deck.name);
     json::Value flavor_list = json::Value::array();
-    for (int f = 0; f < 4; ++f) {
+    for (int f = 0; f < kFlavors; ++f) {
         json::Value fv = json::Value::object();
         fv.set("flavor", to_string(flavors[f]));
         json::Value phases = json::Value::array();
@@ -102,6 +130,13 @@ int run_deck(const seismic::Deck& deck) {
         fv.set("phases", std::move(phases));
         fv.set("total_seconds", results[f].total_seconds());
         fv.set("speedup", serial_total / results[f].total_seconds());
+        if (flavors[f] == seismic::Flavor::SpecPriv) {
+            json::Value ledger = json::Value::object();
+            ledger.set("attempts", spec_attempts);
+            ledger.set("commits", spec_commits);
+            ledger.set("rollbacks", spec_rollbacks);
+            fv.set("spec", std::move(ledger));
+        }
         flavor_list.push_back(std::move(fv));
     }
     deck_json.set("flavors", std::move(flavor_list));

@@ -89,6 +89,39 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.to_string().c_str());
 
+    // The ap::spec extension: of the loops each hindrance category costs
+    // the static analysis, how many are merely *unproven* (MaybeParallel)
+    // — blocked by a dependence the tests could not decide rather than a
+    // proven one — and therefore recoverable by speculative execution.
+    std::map<std::string, std::map<ir::Hindrance, int>> maybe;
+    std::map<std::string, int> maybe_totals;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        for (const auto& lr : reports[i].loops) {
+            if (lr.is_target && !lr.parallel && lr.maybe_parallel) {
+                ++maybe[codes[i]->name][lr.verdict];
+                ++maybe_totals[codes[i]->name];
+            }
+        }
+    }
+    core::Table spec_table(
+        {"category (lost -> speculable)", "Seismic", "GAMESS", "Sander", "Perf. Bench.",
+         "Linpack"});
+    for (const auto cat : kCategories) {
+        if (cat == ir::Hindrance::Autoparallelized) continue;
+        std::vector<std::string> cells{std::string(ir::to_string(cat))};
+        for (const auto* c : codes) {
+            auto& h = histograms[c->name];
+            auto& m = maybe[c->name];
+            const auto hit = h.find(cat);
+            const auto mit = m.find(cat);
+            cells.push_back(std::to_string(hit == h.end() ? 0 : hit->second) + " -> " +
+                            std::to_string(mit == m.end() ? 0 : mit->second));
+        }
+        spec_table.add_row(std::move(cells));
+    }
+    std::printf("speculation-eligible target loops (statically lost -> MaybeParallel):\n%s\n",
+                spec_table.to_string().c_str());
+
     int failures = 0;
     for (std::size_t i = 0; i < codes.size(); ++i) {
         const auto* c = codes[i];
@@ -121,6 +154,19 @@ int main(int argc, char** argv) {
             }
         }
     }
+    // ap::spec shape: at least one hindrance category in the industrial
+    // codes must hold loops speculation can go after.
+    {
+        int eligible = 0;
+        for (const auto* c : codes) {
+            if (industrial(*c)) eligible += maybe_totals[c->name];
+        }
+        if (eligible < 1) {
+            std::printf("SHAPE VIOLATION: no industrial target loop is MaybeParallel — "
+                        "speculation has nothing to recover\n");
+            ++failures;
+        }
+    }
     if (!args.json_path.empty()) {
         namespace json = ap::trace::json;
         json::Value code_list = json::Value::array();
@@ -129,6 +175,9 @@ int main(int argc, char** argv) {
             code.set("name", c->name);
             code.set("total_targets", totals[c->name]);
             code.set("histogram", core::hindrance_histogram_json(histograms[c->name]));
+            code.set("maybe_parallel_targets", maybe_totals[c->name]);
+            code.set("maybe_parallel_histogram",
+                     core::hindrance_histogram_json(maybe[c->name]));
             code_list.push_back(std::move(code));
         }
         json::Value data = json::Value::object();

@@ -67,6 +67,7 @@ struct Args {
 
 struct DaemonHandle {
     const Args* args = nullptr;
+    std::string respawn_fault;  ///< fault plan for respawned daemons
     std::atomic<pid_t> pid{-1};
     std::atomic<int> restarts{0};
     std::atomic<bool> monitor_stop{false};
@@ -108,9 +109,12 @@ void start_monitor(DaemonHandle& d) {
             const pid_t r = ::waitpid(pid, &status, WNOHANG);
             if (r == pid && pid > 0) {
                 if (d.monitor_stop.load()) break;
-                // Respawn WITHOUT the fault plan: the replacement daemon
-                // opens the torn cache, heals it, and serves the rest.
-                d.pid.store(spawn_daemon(*d.args, ""));
+                // Respawn WITH the torn clause (but not the crash): the
+                // plan's durable ledger guarantees the replacement daemon
+                // cannot re-fire the tear the dead process already
+                // injected — it opens the torn cache, heals it, and
+                // serves the rest.
+                d.pid.store(spawn_daemon(*d.args, d.respawn_fault));
                 d.restarts.fetch_add(1);
             }
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -337,6 +341,7 @@ void remove_cache_dir(const std::string& dir) {
             dir + "/shard-" + (i < 10 ? "0" : "") + std::to_string(i) + ".seg";
         ::unlink(p.c_str());
     }
+    ::unlink((dir + "/torn.ledger").c_str());
     ::rmdir(dir.c_str());
 }
 
@@ -349,10 +354,17 @@ int main(int argc, char** argv) {
     // Seeded fault plan for the cold phase: tear shard 0's 25th append
     // mid-record (wedging persistence, as a dying writer would), then
     // kill the daemon outright at its Nth compile. Both fire well inside
-    // the load so clients must ride through the restart.
+    // the load so clients must ride through the restart. The durable
+    // ledger pins the tear's one-shot guarantee across process
+    // boundaries: the respawned daemon carries the same torn clause but
+    // finds the ledger file and cannot double-fire it.
+    const std::string ledger_clause = ",ledger=" + args.cache_dir + "/torn.ledger";
     const std::string fault_spec =
-        args.crash ? "seed=7,torn=0@25,crash=0@" + std::to_string(std::max(2, total_requests / 2))
+        args.crash ? "seed=7,torn=0@25" + ledger_clause +
+                         ",crash=0@" + std::to_string(std::max(2, total_requests / 2))
                    : "";
+    const std::string respawn_fault =
+        args.crash ? "seed=7,torn=0@25" + ledger_clause : "";
 
     std::printf("server_load: %d clients x %d compiles, workers=%u queue=%zu%s\n", args.clients,
                 args.per_client, args.workers, args.queue_limit,
@@ -360,6 +372,7 @@ int main(int argc, char** argv) {
 
     DaemonHandle daemon;
     daemon.args = &args;
+    daemon.respawn_fault = respawn_fault;
     daemon.pid.store(spawn_daemon(args, fault_spec));
     start_monitor(daemon);
 

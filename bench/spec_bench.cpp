@@ -1,0 +1,411 @@
+// ap::spec end-to-end bench: speculative execution over the corpus plus
+// three purpose-built kernels, one per recoverable hindrance family.
+//
+// Each program runs three times under the interpreter: serial (the
+// baseline), observe (serial + the LAMP-style dependence profiler), and
+// speculative (parallel + spec::Runtime seeded with that profile). The
+// bench then asserts the layer's hard invariants:
+//
+//   * speculative output is BIT-identical to serial output (string
+//     compare of every PRINT line, plus an FNV-1a checksum in the report);
+//   * the chunk ledger balances: attempts == commits + rollbacks, per
+//     program and on the process-wide spec.* counters;
+//   * each designed hindrance family (aliasing, rangeless, indirection)
+//     recovers at least one statically-lost loop;
+//   * a forced misspeculation (fault Kind::Misspec) rolls its chunk back,
+//     re-executes serially, and still matches serial bit-for-bit, with
+//     fault.injected.misspec == fault.recovered.misspec.
+//
+// `--json BENCH_spec.json` drops the ap.spec.v1 report that
+// `tools/report_lint check_spec` cross-checks.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/report.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/foreigns.hpp"
+#include "fault/fault.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "spec/spec.hpp"
+
+namespace {
+
+using namespace ap;
+
+// The three bench-local kernels: statically blocked by exactly one
+// unprovable hindrance each, dynamically conflict-free — the loops the
+// paper's static analysis loses and speculation is built to win back.
+
+// Indirection: a permutation index array. X(IDX(I)) defeats the
+// subscript linearizer; at runtime IDX is a bijection, so the writes
+// never collide.
+constexpr const char* kIndirection = R"MINIF(
+PROGRAM SPINDR
+  PARAMETER (N = 96)
+  REAL X(N), S
+  INTEGER IDX(N), I
+  DO I = 1, N
+    IDX(I) = N + 1 - I
+    X(I) = 0.0
+  END DO
+  DO I = 1, N
+    X(IDX(I)) = 0.5 * I + 1.0
+  END DO
+  S = 0.0
+  DO I = 1, N
+    S = S + X(I)
+  END DO
+  PRINT *, S, X(1), X(N)
+END
+)MINIF";
+
+// Aliasing: both dummies of SCALE2 receive storage from the same array W,
+// so the alias analysis must assume they overlap; the call passes two
+// disjoint halves, so at runtime they never do.
+constexpr const char* kAliasing = R"MINIF(
+PROGRAM SPALIA
+  PARAMETER (N = 80)
+  REAL W(160), S
+  INTEGER I
+  DO I = 1, 160
+    W(I) = 0.25 * I
+  END DO
+  CALL SCALE2(W(1), W(81), N)
+  S = 0.0
+  DO I = 1, 160
+    S = S + W(I)
+  END DO
+  PRINT *, S, W(1), W(160)
+END
+
+SUBROUTINE SCALE2(X, Y, N)
+  INTEGER N, I
+  REAL X(N), Y(N)
+  DO I = 1, N
+    X(I) = 2.0 * Y(I) + 1.0
+  END DO
+  RETURN
+END
+)MINIF";
+
+// Rangeless: the offset K and trip count M are both supplied by READ at
+// run time, so the range test cannot separate the V(I+K) writes from the
+// V(I) reads (with K >= M it could; neither value is known). The sample
+// deck keeps the regions disjoint.
+constexpr const char* kRangeless = R"MINIF(
+PROGRAM SPRNGL
+  PARAMETER (N = 64)
+  REAL V(N), S
+  INTEGER K, M, I
+  READ *, K, M
+  DO I = 1, N
+    V(I) = 0.125 * I
+  END DO
+  DO I = 1, M
+    V(I + K) = V(I) + 3.0
+  END DO
+  S = 0.0
+  DO I = 1, N
+    S = S + V(I)
+  END DO
+  PRINT *, S, V(K)
+END
+)MINIF";
+
+struct Case {
+    std::string name;
+    const corpus::CorpusProgram* corpus = nullptr;  ///< null for local kernels
+    const char* source = nullptr;
+    std::vector<double> deck;
+    bool synthetic() const { return corpus == nullptr; }
+};
+
+struct CaseResult {
+    std::string name;
+    std::int64_t attempts = 0;
+    std::int64_t commits = 0;
+    std::int64_t rollbacks = 0;
+    std::int64_t fallbacks = 0;
+    std::string serial_checksum;
+    std::string spec_checksum;
+    bool bit_identical = false;
+};
+
+std::vector<interp::Value> to_deck(const std::vector<double>& deck) {
+    std::vector<interp::Value> out;
+    out.reserve(deck.size());
+    for (double v : deck) out.emplace_back(v);
+    return out;
+}
+
+/// FNV-1a over the output lines ('\n'-joined): any textual divergence —
+/// value, ordering, or line count — changes the checksum.
+std::string fnv1a(const std::vector<std::string>& lines) {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&](unsigned char c) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    };
+    for (const auto& line : lines) {
+        for (char c : line) mix(static_cast<unsigned char>(c));
+        mix('\n');
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+    return buf;
+}
+
+interp::ExecutionResult run_once(const ir::Program& prog, const Case& c,
+                                 const interp::ExecutionOptions& opts) {
+    interp::Machine machine(prog);
+    if (c.corpus != nullptr) corpus::register_foreigns(machine);
+    return machine.run(to_deck(c.deck), opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const core::BenchArgs args = core::parse_bench_args(argc, argv);
+    if (!args.ok) {
+        std::fprintf(stderr, "spec_bench: %s\n", args.error.c_str());
+        return 2;
+    }
+    std::printf("=== ap::spec: speculative vs serial execution ===\n\n");
+
+    std::vector<Case> cases;
+    for (const auto* c : corpus::all()) {
+        if (c->runnable) cases.push_back({c->name, c, nullptr, c->sample_deck});
+    }
+    cases.push_back({"spec-indirection", nullptr, kIndirection, {}});
+    cases.push_back({"spec-aliasing", nullptr, kAliasing, {}});
+    cases.push_back({"spec-rangeless", nullptr, kRangeless, {16.0, 16.0}});
+
+    int failures = 0;
+    std::vector<CaseResult> results;
+    std::map<std::string, std::int64_t> recovered_by_hindrance;
+
+    // Misspeculation drill target: the first speculated loop of a
+    // synthetic kernel (parsing is deterministic, so the drill can
+    // re-parse the kernel and hit the same loop id).
+    int drill_loop = -1;
+    const Case* drill_case = nullptr;
+
+    for (const auto& c : cases) {
+        ir::Program prog = c.corpus != nullptr ? corpus::load(*c.corpus)
+                                               : frontend::parse(c.source, c.name);
+        core::CompilerOptions copts;
+        if (c.corpus != nullptr) copts.loop_op_budget = c.corpus->loop_op_budget;
+        core::apply_budget_args(args, copts);
+        const core::CompileReport report = core::compile(prog, copts);
+
+        const auto serial = run_once(prog, c, {});
+
+        spec::Profile profile;
+        interp::ExecutionOptions observe_opts;
+        observe_opts.profile = &profile;
+        const auto observed = run_once(prog, c, observe_opts);
+        if (observed.output != serial.output) {
+            std::printf("VIOLATION: %s: observe-mode output diverged from serial\n",
+                        c.name.c_str());
+            ++failures;
+        }
+
+        spec::Runtime rt;
+        rt.profile = &profile;
+        interp::ExecutionOptions spec_opts;
+        spec_opts.parallel = true;
+        spec_opts.spec = &rt;
+        const auto spec_run = run_once(prog, c, spec_opts);
+
+        CaseResult r;
+        r.name = c.name;
+        for (const auto& [loop_id, stats] : rt.registry.all()) {
+            r.attempts += stats.attempts;
+            r.commits += stats.commits;
+            r.rollbacks += stats.rollbacks;
+            r.fallbacks += stats.fallen_back ? 1 : 0;
+            if (stats.commits > 0) {
+                for (const auto& lr : report.loops) {
+                    if (lr.loop_id == loop_id && lr.maybe_parallel) {
+                        ++recovered_by_hindrance[std::string(ir::to_string(lr.verdict))];
+                        if (c.synthetic() && drill_loop < 0) {
+                            drill_loop = loop_id;
+                            drill_case = &c;
+                        }
+                    }
+                }
+            }
+        }
+        r.serial_checksum = fnv1a(serial.output);
+        r.spec_checksum = fnv1a(spec_run.output);
+        r.bit_identical = spec_run.output == serial.output;
+        if (!r.bit_identical) {
+            std::printf("VIOLATION: %s: speculative output is not bit-identical\n",
+                        c.name.c_str());
+            ++failures;
+        }
+        if (r.attempts != r.commits + r.rollbacks) {
+            std::printf("VIOLATION: %s: ledger imbalance %lld != %lld + %lld\n",
+                        c.name.c_str(), static_cast<long long>(r.attempts),
+                        static_cast<long long>(r.commits), static_cast<long long>(r.rollbacks));
+            ++failures;
+        }
+        if (c.synthetic() && (r.attempts < 1 || r.rollbacks != 0)) {
+            std::printf("VIOLATION: %s: designed-clean kernel expected commits only "
+                        "(attempts=%lld rollbacks=%lld)\n",
+                        c.name.c_str(), static_cast<long long>(r.attempts),
+                        static_cast<long long>(r.rollbacks));
+            ++failures;
+        }
+        if (c.name == "spec-indirection" && drill_case != &c && drill_loop < 0) {
+            std::printf("VIOLATION: spec-indirection produced no speculated loop for the "
+                        "misspec drill\n");
+            ++failures;
+        }
+        results.push_back(std::move(r));
+    }
+
+    core::Table table({"program", "attempts", "commits", "rollbacks", "fallbacks",
+                       "bit-identical", "checksum"});
+    for (const auto& r : results) {
+        table.add_row({r.name, core::Table::count(r.attempts), core::Table::count(r.commits),
+                       core::Table::count(r.rollbacks), core::Table::count(r.fallbacks),
+                       r.bit_identical ? "yes" : "NO", r.serial_checksum});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    // Every designed hindrance family must recover at least one loop.
+    for (const char* family : {"aliasing", "rangeless", "indirection"}) {
+        auto it = recovered_by_hindrance.find(family);
+        if (it == recovered_by_hindrance.end() || it->second < 1) {
+            std::printf("SHAPE VIOLATION: hindrance family \"%s\" recovered no loop\n", family);
+            ++failures;
+        }
+    }
+
+    // --- forced misspeculation drill ------------------------------------
+    // Rerun the chosen kernel with a fault plan that fails exactly one
+    // chunk validation on its speculated loop: the chunk must roll back,
+    // re-execute serially, and leave the output bit-identical anyway.
+    CaseResult drill;
+    if (drill_loop >= 0 && drill_case != nullptr) {
+        ir::Program drill_prog = frontend::parse(drill_case->source, drill_case->name);
+        core::CompilerOptions copts;
+        core::apply_budget_args(args, copts);
+        (void)core::compile(drill_prog, copts);
+        const auto drill_serial = run_once(drill_prog, *drill_case, {});
+
+        spec::Profile drill_profile;
+        interp::ExecutionOptions observe_opts;
+        observe_opts.profile = &drill_profile;
+        (void)run_once(drill_prog, *drill_case, observe_opts);
+
+        fault::Plan plan;
+        plan.misspec_rank = drill_loop;
+        plan.misspec_at = 1;
+        fault::Injector injector(plan);
+
+        spec::Runtime rt;
+        rt.profile = &drill_profile;
+        rt.injector = &injector;
+        interp::ExecutionOptions spec_opts;
+        spec_opts.parallel = true;
+        spec_opts.spec = &rt;
+        const auto drilled = run_once(drill_prog, *drill_case, spec_opts);
+
+        drill.name = drill_case->name + " (misspec=" + std::to_string(drill_loop) + "@1)";
+        for (const auto& [loop_id, stats] : rt.registry.all()) {
+            drill.attempts += stats.attempts;
+            drill.commits += stats.commits;
+            drill.rollbacks += stats.rollbacks;
+        }
+        drill.serial_checksum = fnv1a(drill_serial.output);
+        drill.spec_checksum = fnv1a(drilled.output);
+        drill.bit_identical = drilled.output == drill_serial.output;
+        std::printf("misspec drill: %s: attempts=%lld commits=%lld rollbacks=%lld %s\n\n",
+                    drill.name.c_str(), static_cast<long long>(drill.attempts),
+                    static_cast<long long>(drill.commits),
+                    static_cast<long long>(drill.rollbacks),
+                    drill.bit_identical ? "bit-identical" : "OUTPUT DIVERGED");
+        if (drill.rollbacks < 1) {
+            std::printf("VIOLATION: misspec drill caused no rollback\n");
+            ++failures;
+        }
+        if (!drill.bit_identical) {
+            std::printf("VIOLATION: misspec drill output is not bit-identical\n");
+            ++failures;
+        }
+        const std::int64_t injected = fault::counters::injected_count(fault::Kind::Misspec);
+        const std::int64_t recovered = fault::counters::recovered_count(fault::Kind::Misspec);
+        if (injected < 1 || injected != recovered) {
+            std::printf("VIOLATION: misspec fault accounting: injected=%lld recovered=%lld\n",
+                        static_cast<long long>(injected), static_cast<long long>(recovered));
+            ++failures;
+        }
+    } else {
+        std::printf("VIOLATION: no speculated loop available for the misspec drill\n");
+        ++failures;
+    }
+
+    if (!args.json_path.empty()) {
+        namespace json = ap::trace::json;
+        json::Value data = json::Value::object();
+        data.set("schema", "ap.spec.v1");
+        {
+            json::Value spec = json::Value::object();
+            spec.set("attempts", spec::counters::attempts_count());
+            spec.set("commits", spec::counters::commits_count());
+            spec.set("rollbacks", spec::counters::rollbacks_count());
+            spec.set("fallbacks", spec::counters::fallbacks_count());
+            data.set("spec", std::move(spec));
+        }
+        {
+            json::Value programs = json::Value::array();
+            for (const auto& r : results) {
+                json::Value p = json::Value::object();
+                p.set("name", r.name);
+                p.set("attempts", r.attempts);
+                p.set("commits", r.commits);
+                p.set("rollbacks", r.rollbacks);
+                p.set("fallbacks", r.fallbacks);
+                p.set("serial_checksum", r.serial_checksum);
+                p.set("spec_checksum", r.spec_checksum);
+                p.set("bit_identical", r.bit_identical);
+                programs.push_back(std::move(p));
+            }
+            data.set("programs", std::move(programs));
+        }
+        {
+            json::Value d = json::Value::object();
+            d.set("name", drill.name);
+            d.set("attempts", drill.attempts);
+            d.set("commits", drill.commits);
+            d.set("rollbacks", drill.rollbacks);
+            d.set("serial_checksum", drill.serial_checksum);
+            d.set("spec_checksum", drill.spec_checksum);
+            d.set("bit_identical", drill.bit_identical);
+            data.set("misspec_drill", std::move(d));
+        }
+        {
+            json::Value rec = json::Value::object();
+            for (const auto& [family, n] : recovered_by_hindrance) rec.set(family, n);
+            data.set("recovered_by_hindrance", std::move(rec));
+        }
+        if (!core::write_bench_report(args.json_path, "spec", std::move(data), failures == 0)) {
+            std::fprintf(stderr, "spec_bench: cannot write %s\n", args.json_path.c_str());
+            return EXIT_FAILURE;
+        }
+        std::printf("json report: %s\n", args.json_path.c_str());
+    }
+
+    if (failures) return EXIT_FAILURE;
+    std::printf("spec_bench: OK\n");
+    return EXIT_SUCCESS;
+}

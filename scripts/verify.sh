@@ -36,6 +36,16 @@
 #       # ap.serve.v1 report (admission accounting, percentile order,
 #       # recovery counters). This is the mode the verify_server CTest
 #       # test runs.
+#   scripts/verify.sh --spec --build-dir build
+#       # speculative-execution smoke (docs/ROBUSTNESS.md): run the
+#       # spec_bench generator from an existing build tree — every
+#       # corpus program and MaybeParallel kernel speculates and must
+#       # match its serial run bit for bit, the forced-misspeculation
+#       # drill must roll back and recover, and each blocked hindrance
+#       # family must recover at least one loop — then lint the
+#       # ap.spec.v1 report (attempts == commits + rollbacks, checksum
+#       # identity) and render it through the explain CLI. This is the
+#       # mode the verify_spec CTest test runs.
 #   scripts/verify.sh --tsan
 #       # opt-in sanitizer pass: configure a separate build-tsan tree
 #       # with -DAP_SANITIZE=ON (ThreadSanitizer + UBSan) and run only
@@ -56,6 +66,7 @@ ASAN=0
 PERF=0
 EXPLAIN=0
 SERVE=0
+SPEC=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --build-dir) BUILD_DIR=$2; shift 2 ;;
@@ -65,9 +76,23 @@ while [ $# -gt 0 ]; do
         --perf) PERF=1; shift ;;
         --explain) EXPLAIN=1; shift ;;
         --serve) SERVE=1; shift ;;
+        --spec) SPEC=1; shift ;;
         *) echo "verify.sh: unknown argument: $1" >&2; exit 2 ;;
     esac
 done
+
+if [ "$SPEC" -eq 1 ]; then
+    report=$(mktemp /tmp/ap-spec.XXXXXX.json)
+    trap 'rm -f "$report"' EXIT
+    echo "== spec: speculative-vs-serial drill =="
+    "$BUILD_DIR"/bench/spec_bench --json "$report"
+    echo "== spec: lint the ap.spec.v1 report =="
+    "$BUILD_DIR"/tools/report_lint check_spec "$report"
+    echo "== spec: explain renders the speculation outcomes =="
+    "$BUILD_DIR"/tools/explain "$report"
+    echo "verify.sh: spec OK"
+    exit 0
+fi
 
 if [ "$SERVE" -eq 1 ]; then
     report=$(mktemp /tmp/ap-serve.XXXXXX.json)

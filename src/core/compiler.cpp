@@ -148,6 +148,7 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         loop_span.arg("parallel", static_cast<std::int64_t>(dd.parallel));
 
         loop.annot.parallel = dd.parallel;
+        loop.annot.maybe_parallel = dd.maybe_parallel;
         loop.annot.verdict = dd.blocker;
         loop.annot.reason = dd.reason;
         loop.annot.privates.assign(lc.privates.begin(), lc.privates.end());
@@ -160,6 +161,7 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         lr.loc = loop.loc();
         lr.is_target = loop.is_target;
         lr.parallel = dd.parallel;
+        lr.maybe_parallel = dd.maybe_parallel;
         lr.verdict = dd.blocker.value_or(ir::Hindrance::SymbolAnalysis);
         lr.reason = dd.reason;
         lr.privates = loop.annot.privates;
@@ -201,6 +203,19 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
                                                : lr.reason});
             stamp(synth, PassId::DataDependence);
             trail.push_back(std::move(synth.front()));
+        }
+        if (lr.maybe_parallel) {
+            // Name the hindrance that blocked the loop *and* the fact
+            // that nothing proved it real: this record is what the
+            // speculative runtime (and tools/explain) cite when a loop
+            // is recovered dynamically.
+            std::vector<prov::Record> spec_rec;
+            spec_rec.push_back({prov::Kind::Speculation, lr.verdict, loop.var,
+                                "blocked only by unproven " +
+                                    std::string(ir::to_string(lr.verdict)) +
+                                    " hindrance; eligible for speculative execution"});
+            stamp(spec_rec, PassId::DataDependence);
+            trail.push_back(std::move(spec_rec.front()));
         }
         lr.provenance = std::move(trail);
         lr.support = prov::support_count(lr.provenance, lr.verdict);

@@ -56,6 +56,9 @@ struct LoopReport {
     ir::SourceLoc loc;
     bool is_target = false;
     bool parallel = false;
+    /// Statically blocked, but only by unproven hindrances — the loop is
+    /// a speculation candidate (see ir::LoopAnnotation::maybe_parallel).
+    bool maybe_parallel = false;
     ir::Hindrance verdict = ir::Hindrance::SymbolAnalysis;
     std::string reason;
     std::vector<std::string> privates;

@@ -31,12 +31,81 @@ std::string loop_key(const Value& loop) {
     return str(loop.find("routine")) + ":" + std::to_string(num(loop.find("loop")));
 }
 
+/// Renders the speculation outcomes of an ap.spec.v1 report (the
+/// BENCH_spec.json payload): the chunk ledger per program, the forced
+/// misspeculation drill, and which hindrance families speculation won
+/// loops back from. True when the report carries that section.
+bool spec_outcomes(const Value& report, Rendering* out) {
+    const Value* data = report.find("data");
+    if (!data) return false;
+    const Value* schema = data->find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != "ap.spec.v1") return false;
+
+    const auto ledger_line = [&](const Value& v) {
+        const std::int64_t attempts = num(v.find("attempts"));
+        const std::int64_t commits = num(v.find("commits"));
+        const std::int64_t rollbacks = num(v.find("rollbacks"));
+        std::string s = std::to_string(attempts) + " chunk attempts = " +
+                        std::to_string(commits) + " committed + " + std::to_string(rollbacks) +
+                        " rolled back";
+        if (attempts != commits + rollbacks) {
+            s += "  PROBLEM: ledger does not balance";
+            ++out->problems;
+        }
+        return s;
+    };
+    if (const Value* spec = data->find("spec")) {
+        out->text += "speculation, process-wide: " + ledger_line(*spec) + "; " +
+                     std::to_string(num(spec->find("fallbacks"))) +
+                     " loop(s) permanently fell back to serial\n\n";
+    }
+    if (const Value* programs = data->find("programs"); programs && programs->as_array()) {
+        for (const Value& p : *programs->as_array()) {
+            out->text += str(p.find("name")) + " — ";
+            if (num(p.find("attempts")) == 0) {
+                out->text += "never speculated (no MaybeParallel loop, or the dependence "
+                             "profiler withheld its clearance)";
+            } else {
+                out->text += ledger_line(p);
+            }
+            const Value* identical = p.find("bit_identical");
+            if (identical && !identical->as_bool()) {
+                out->text += "  PROBLEM: output diverged from serial execution";
+                ++out->problems;
+            }
+            out->text += '\n';
+        }
+        out->text += '\n';
+    }
+    if (const Value* drill = data->find("misspec_drill"); drill && drill->as_object()) {
+        out->text += "forced misspeculation drill: " + str(drill->find("name")) + ": " +
+                     ledger_line(*drill) +
+                     (drill->find("bit_identical") && drill->find("bit_identical")->as_bool()
+                          ? "; recovered bit-identical\n"
+                          : "; PROBLEM: output diverged\n");
+        if (!(drill->find("bit_identical") && drill->find("bit_identical")->as_bool())) {
+            ++out->problems;
+        }
+    }
+    if (const Value* rec = data->find("recovered_by_hindrance"); rec && rec->as_object()) {
+        out->text += "statically-lost loops recovered, by hindrance:";
+        for (const auto& [family, n] : *rec->as_object()) {
+            out->text += " " + family + "=" + std::to_string(n.as_int());
+        }
+        out->text += '\n';
+    }
+    return true;
+}
+
 }  // namespace
 
 Rendering narrative(const Value& report, const Options& opts) {
     Rendering out;
     const Value* prov = find_provenance(report);
     if (!prov || !prov->find("loops") || !prov->find("loops")->as_array()) {
+        // An ap.spec.v1 report has no per-loop provenance; its story is
+        // the speculation outcomes.
+        if (spec_outcomes(report, &out)) return out;
         out.text = "no provenance section in this report "
                    "(re-run the bench with --provenance)\n";
         out.problems = 1;
@@ -54,15 +123,25 @@ Rendering narrative(const Value& report, const Options& opts) {
             continue;  // the default question is "why not parallel"
         }
         ++matched;
+        const bool maybe =
+            loop.find("maybe_parallel") && loop.find("maybe_parallel")->as_bool();
         const std::string verdict = str(loop.find("verdict"));
         const std::string reason = str(loop.find("reason"));
         out.text += code.empty() ? "" : code + " · ";
         out.text += "routine " + str(loop.find("routine")) + " loop " +
                     std::to_string(num(loop.find("loop"))) + " (line " +
                     std::to_string(num(loop.find("line"))) + ") — " +
-                    (parallel ? "parallel" : "NOT parallel") + ": " + verdict;
+                    (parallel       ? "parallel"
+                     : maybe        ? "NOT parallel (MaybeParallel)"
+                                    : "NOT parallel") +
+                    ": " + verdict;
         if (!reason.empty()) out.text += "\n  because: " + reason;
         out.text += '\n';
+        if (maybe && !parallel) {
+            out.text += "  speculation: hindrance is unproven, not a demonstrated "
+                        "dependence — ap::spec may run this loop speculatively "
+                        "once the dependence profiler clears it\n";
+        }
         const Value* records = loop.find("records");
         const auto* arr = records ? records->as_array() : nullptr;
         if (!arr || arr->empty()) {

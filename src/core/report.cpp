@@ -161,6 +161,7 @@ trace::json::Value provenance_json(
             o.set("line", lr.loc.line);
             o.set("target", lr.is_target);
             o.set("parallel", lr.parallel);
+            o.set("maybe_parallel", lr.maybe_parallel);
             o.set("verdict", std::string(ir::to_string(lr.verdict)));
             o.set("reason", lr.reason);
             // Span-id table of this loop's emitting passes; every record's

@@ -65,6 +65,12 @@ struct TestAccess {
 struct Issue {
     ir::Hindrance kind;
     std::string detail;
+    /// True when the hindrance is a *demonstrated* obstacle (a provable
+    /// cross-iteration collision, I/O ordering, an unknown callee whose
+    /// effects cannot even be speculated on) rather than an analysis
+    /// gave-up. Loops blocked only by unproven issues keep the
+    /// maybe_parallel verdict that makes them speculation candidates.
+    bool proven = false;
 };
 
 int severity(ir::Hindrance h) {
@@ -183,6 +189,9 @@ private:
     void finalize(LoopDependenceResult& result) {
         if (budget_exceeded_) {
             result.parallel = false;
+            // A budget trip proves nothing about the loop itself — the
+            // analysis was cut short, so speculation may still win.
+            result.maybe_parallel = true;
             result.blocker = ir::Hindrance::Complexity;
             result.trip = trip_cause_;
             result.reason = trip_cause_ == guard::TripCause::Deadline
@@ -199,20 +208,25 @@ private:
             return;
         }
         const Issue* worst = &issues_.front();
+        bool any_proven = false;
         for (const auto& i : issues_) {
             if (severity(i.kind) > severity(worst->kind)) worst = &i;
+            any_proven = any_proven || i.proven;
         }
         result.parallel = false;
+        result.maybe_parallel = !any_proven;
         result.blocker = worst->kind;
         result.reason = worst->detail;
     }
 
     /// Records a hindrance observation twice: as an Issue (worst one
     /// becomes the verdict) and as a provenance Record with the subject
-    /// it concerns.
+    /// it concerns. `proven` marks demonstrated obstacles (see Issue);
+    /// the default false means "analysis gave up", which leaves the loop
+    /// eligible for speculation.
     void note(ir::Hindrance h, std::string subject, std::string detail,
-              prov::Kind kind = prov::Kind::DepTest) {
-        issues_.push_back({h, detail});
+              prov::Kind kind = prov::Kind::DepTest, bool proven = false) {
+        issues_.push_back({h, detail, proven});
         evidence_.push_back({kind, h, std::move(subject), std::move(detail)});
     }
 
@@ -242,7 +256,8 @@ private:
         start_ops_ = symbolic::OpCounter::count();
         const analysis::AccessInfo info = analysis::collect_accesses(loop_.body);
         if (info.has_io) {
-            note(ir::Hindrance::AccessRepresentation, loop_.var, "I/O statement inside the loop");
+            note(ir::Hindrance::AccessRepresentation, loop_.var, "I/O statement inside the loop",
+                 prov::Kind::DepTest, /*proven=*/true);
             return;
         }
         // Scalars written in the body that are neither private nor
@@ -279,20 +294,26 @@ private:
         for (const auto& ec : calls) {
             if (!ec.site->callee) {
                 note(ir::Hindrance::AccessRepresentation, ec.site->callee_name,
-                     "call to unknown routine " + ec.site->callee_name);
+                     "call to unknown routine " + ec.site->callee_name, prov::Kind::DepTest,
+                     /*proven=*/true);
                 continue;
             }
             const auto it = rc_.summaries->find(ec.site->callee->name);
             if (it == rc_.summaries->end() || it->second.opaque) {
+                // A foreign body is a hard wall — its effects cannot even
+                // be observed under speculation, so the block is proven.
+                // An unanalyzable local routine is merely a summary gap.
                 const bool foreign = ec.site->callee->is_foreign();
                 note(ir::Hindrance::AccessRepresentation, ec.site->callee_name,
                      foreign ? "opaque foreign-language call to " + ec.site->callee_name
-                             : "unanalyzable call to " + ec.site->callee_name);
+                             : "unanalyzable call to " + ec.site->callee_name,
+                     prov::Kind::DepTest, /*proven=*/foreign);
                 continue;
             }
             if (it->second.has_io) {
                 note(ir::Hindrance::AccessRepresentation, ec.site->callee_name,
-                     "I/O inside called routine " + ec.site->callee_name);
+                     "I/O inside called routine " + ec.site->callee_name, prov::Kind::DepTest,
+                     /*proven=*/true);
                 continue;
             }
             auto regions = analysis::map_call_regions(*ec.site, it->second, *rc_.consts);
@@ -566,8 +587,11 @@ private:
         if (first_fail) {
             note(first_fail->kind, a.ref->name, first_fail->detail);
         } else {
+            // Every dimension returned NoInfo: the collision is provable,
+            // not merely unexcluded — speculation would certainly roll back.
             note(ir::Hindrance::SymbolAnalysis, a.ref->name,
-                 "possible cross-iteration dependence on " + a.ref->name);
+                 "possible cross-iteration dependence on " + a.ref->name, prov::Kind::DepTest,
+                 /*proven=*/true);
         }
     }
 
@@ -808,7 +832,8 @@ private:
             note(issue.kind, la, issue.detail);
         } else {
             note(ir::Hindrance::SymbolAnalysis, la,
-                 "possible cross-iteration dependence between " + la + " and " + lb);
+                 "possible cross-iteration dependence between " + la + " and " + lb,
+                 prov::Kind::DepTest, /*proven=*/true);
         }
     }
 

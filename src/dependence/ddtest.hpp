@@ -20,6 +20,13 @@ namespace ap::dependence {
 /// Figures 2-3).
 struct LoopDependenceResult {
     bool parallel = false;
+    /// Not provably parallel, but every blocking issue is an analysis
+    /// gave-up rather than a demonstrated obstacle (no provable
+    /// collision, no I/O, no opaque foreign callee). Such loops are
+    /// candidates for speculative execution (ap::spec): the runtime may
+    /// run them optimistically and fall back on an observed conflict.
+    /// Always false when `parallel` is true.
+    bool maybe_parallel = false;
     std::optional<ir::Hindrance> blocker;  ///< set when not parallel
     std::string reason;
     int pairs_tested = 0;          ///< array reference pairs examined

@@ -2,10 +2,14 @@
 
 #include <array>
 #include <atomic>
+#include <cerrno>
 #include <charconv>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "trace/counters.hpp"
 
@@ -19,6 +23,7 @@ std::string_view to_string(Kind k) noexcept {
         case Kind::Stall: return "stall";
         case Kind::Crash: return "crash";
         case Kind::Torn: return "torn";
+        case Kind::Misspec: return "misspec";
     }
     return "?";
 }
@@ -28,10 +33,10 @@ namespace counters {
 namespace {
 
 trace::Counter& bucket(std::string_view stage, Kind k) {
-    // Six kinds x three stages: cache the eighteen counters on first
-    // use. Slots are atomic because ranks race to fill them; get()
-    // returns a stable address, so a racing double-store is idempotent.
-    static std::array<std::array<std::atomic<trace::Counter*>, 6>, 3> cache{};
+    // Seven kinds x three stages: cache the counters on first use.
+    // Slots are atomic because ranks race to fill them; get() returns a
+    // stable address, so a racing double-store is idempotent.
+    static std::array<std::array<std::atomic<trace::Counter*>, 7>, 3> cache{};
     auto& slot = cache[stage == "injected" ? 0 : stage == "recovered" ? 1 : 2]
                       [static_cast<std::size_t>(k)];
     trace::Counter* c = slot.load(std::memory_order_acquire);
@@ -148,9 +153,14 @@ Plan Plan::parse(std::string_view spec) {
             std::tie(plan.stall_rank, plan.stall_at) = parse_rank_at(clause, value);
         } else if (key == "torn") {
             std::tie(plan.torn_rank, plan.torn_at) = parse_rank_at(clause, value);
+        } else if (key == "misspec") {
+            std::tie(plan.misspec_rank, plan.misspec_at) = parse_rank_at(clause, value);
+        } else if (key == "ledger") {
+            if (value.empty()) bad_clause(clause, "expected a file path");
+            plan.ledger = std::string(value);
         } else {
             bad_clause(clause, "unknown key (expected seed, drop, delay, dup, delay_us, "
-                               "stall_ms, crash, stall, torn)");
+                               "stall_ms, crash, stall, torn, misspec, ledger)");
         }
     }
     return plan;
@@ -187,12 +197,30 @@ std::string Plan::spec() const {
     if (torn_rank >= 0) {
         s += ",torn=" + std::to_string(torn_rank) + "@" + std::to_string(torn_at);
     }
+    if (!ledger.empty()) s += ",ledger=" + ledger;
+    if (misspec_rank >= 0) {
+        s += ",misspec=" + std::to_string(misspec_rank) + "@" + std::to_string(misspec_at);
+    }
     return s;
 }
 
 // --- injector ---------------------------------------------------------------
 
 namespace {
+
+/// Atomically claims a durable one-shot ledger: true when this call
+/// created the file (the claim is ours), false when it already existed
+/// (another process — or an earlier incarnation of this one — fired the
+/// fault first). Creation failures other than EEXIST conservatively
+/// return true: an unwritable ledger must not silently disable the drill.
+bool claim_ledger(const char* path) noexcept {
+    const int fd = ::open(path, O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+        ::close(fd);
+        return true;
+    }
+    return errno != EEXIST;
+}
 
 /// splitmix64 — tiny, well-mixed, and stable across platforms.
 std::uint64_t mix(std::uint64_t x) noexcept {
@@ -251,7 +279,27 @@ bool Injector::on_append(int rank) noexcept {
     const std::int64_t nth = slot(appends_, rank).fetch_add(1, std::memory_order_relaxed) + 1;
     if (rank == plan_.torn_rank && nth == plan_.torn_at &&
         !torn_fired_.exchange(true, std::memory_order_relaxed)) {
+        // The durable ledger makes the one-shot decision survive process
+        // boundaries: whichever process creates the ledger file first
+        // owns the tear. A respawned daemon (fresh injector, fresh
+        // per-process append counters, same plan) reaches this schedule
+        // point again but finds the file and must not re-tear.
+        if (!plan_.ledger.empty() &&
+            !claim_ledger(plan_.ledger.c_str())) {
+            return false;
+        }
         counters::injected(Kind::Torn);
+        return true;
+    }
+    return false;
+}
+
+bool Injector::on_validate(int stream) noexcept {
+    if (plan_.misspec_rank < 0) return false;
+    const std::int64_t nth = slot(validates_, stream).fetch_add(1, std::memory_order_relaxed) + 1;
+    if (stream == plan_.misspec_rank && nth == plan_.misspec_at &&
+        !misspec_fired_.exchange(true, std::memory_order_relaxed)) {
+        counters::injected(Kind::Misspec);
         return true;
     }
     return false;

@@ -68,9 +68,10 @@ private:
 
 // --- fault kinds and accounting ---------------------------------------------
 
-enum class Kind { Drop, Delay, Duplicate, Stall, Crash, Torn };
-inline constexpr std::array<Kind, 6> kAllKinds = {Kind::Drop,  Kind::Delay, Kind::Duplicate,
-                                                  Kind::Stall, Kind::Crash, Kind::Torn};
+enum class Kind { Drop, Delay, Duplicate, Stall, Crash, Torn, Misspec };
+inline constexpr std::array<Kind, 7> kAllKinds = {Kind::Drop,  Kind::Delay, Kind::Duplicate,
+                                                  Kind::Stall, Kind::Crash, Kind::Torn,
+                                                  Kind::Misspec};
 [[nodiscard]] std::string_view to_string(Kind k) noexcept;
 
 /// Fault bookkeeping over ap::trace counters. Every injected fault must
@@ -127,15 +128,26 @@ struct Plan {
     /// seeded determinism as the message faults.
     int torn_rank = -1;          ///< append stream to tear (-1 = never)
     std::int64_t torn_at = 0;    ///< tear at this append index (1-based)
+    /// Durable one-shot ledger for the torn schedule. When set, the tear
+    /// fires only if atomically creating this file succeeds (O_CREAT |
+    /// O_EXCL) — so a daemon respawned mid-drill (same plan, fresh
+    /// process) cannot double-fire the tear the dead process already
+    /// injected. Empty = process-local one-shot only.
+    std::string ledger;
+    /// Forced misspeculation: the Nth validation on speculation stream R
+    /// (a loop id) fails, forcing that chunk through the rollback path.
+    /// Rehearses ap::spec's recovery machinery deterministically.
+    int misspec_rank = -1;         ///< speculation stream to fail (-1 = never)
+    std::int64_t misspec_at = 0;   ///< fail at this validation index (1-based)
 
     [[nodiscard]] bool any() const noexcept {
         return drop > 0 || delay > 0 || duplicate > 0 || crash_rank >= 0 || stall_rank >= 0 ||
-               torn_rank >= 0;
+               torn_rank >= 0 || misspec_rank >= 0;
     }
 
     /// Parses the AP_FAULT grammar:
     ///   seed=N  drop=P  delay=P  dup=P  delay_us=N  stall_ms=N
-    ///   crash=R@N  stall=R@N  torn=R@N
+    ///   crash=R@N  stall=R@N  torn=R@N  misspec=R@N  ledger=PATH
     /// comma-separated, e.g. "seed=42,drop=0.01,crash=2@50".
     /// Throws std::invalid_argument naming the offending clause.
     [[nodiscard]] static Plan parse(std::string_view spec);
@@ -187,6 +199,14 @@ public:
     /// after it (as a kill -9 mid-write would).
     [[nodiscard]] bool on_append(int rank) noexcept;
 
+    /// Counts one chunk validation on speculation stream `stream`
+    /// (a loop id) against the misspec schedule. Returns true exactly
+    /// once — when this validation is the one the plan fails — and bumps
+    /// fault.injected.misspec; the speculative executor must then roll
+    /// the chunk back and re-execute it serially (counting
+    /// fault.recovered.misspec once the re-execution commits).
+    [[nodiscard]] bool on_validate(int stream) noexcept;
+
 private:
     [[nodiscard]] double uniform(int rank, std::int64_t op, std::uint64_t salt) const noexcept;
     [[nodiscard]] std::atomic<std::int64_t>& slot(std::array<std::atomic<std::int64_t>, 64>& a,
@@ -198,9 +218,11 @@ private:
     std::array<std::atomic<std::int64_t>, 64> send_ops_{};
     std::array<std::atomic<std::int64_t>, 64> ops_{};
     std::array<std::atomic<std::int64_t>, 64> appends_{};
+    std::array<std::atomic<std::int64_t>, 64> validates_{};
     std::atomic<bool> crash_fired_{false};
     std::atomic<bool> stall_fired_{false};
     std::atomic<bool> torn_fired_{false};
+    std::atomic<bool> misspec_fired_{false};
 };
 
 /// Fresh injector for the AP_FAULT plan, or nullptr when unset. Each

@@ -9,9 +9,13 @@
 #include <memory>
 #include <mutex>
 
+#include "fault/fault.hpp"
 #include "guard/guard.hpp"
 #include "runtime/parallel_for.hpp"
+#include "spec/log.hpp"
+#include "spec/spec.hpp"
 #include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace ap::interp {
 
@@ -152,6 +156,10 @@ struct Machine::Impl {
         std::map<std::string, ArrayBinding> arrays;
         std::deque<std::vector<Value>> owned;  ///< local array storage (stable addresses)
         Frame* overlay_parent = nullptr;       ///< parallel-iteration overlay chain
+        /// Active speculation / profiling access log. Inherited by callee
+        /// frames, so every shared-state access inside an observed loop or
+        /// a speculative chunk funnels through it.
+        spec::AccessLog<Value>* acc = nullptr;
     };
 
     explicit Impl(const ir::Program& p) : prog(&p) {}
@@ -337,14 +345,16 @@ struct Machine::Impl {
                 return static_cast<const ir::StrConst&>(e).value;
             case ir::ExprKind::VarRef: {
                 const auto& name = static_cast<const ir::VarRef&>(e).name;
-                if (Value* v = find_scalar(f, name)) return *v;
+                if (Value* v = find_scalar(f, name)) return f.acc ? f.acc->read(v) : *v;
                 throw RuntimeError("use of unset variable " + name);
             }
             case ir::ExprKind::ArrayRef: {
                 const auto& a = static_cast<const ir::ArrayRef&>(e);
                 ArrayBinding* b = find_array(f, a.name);
                 if (!b) throw RuntimeError("use of unbound array " + a.name);
-                return (*b->buffer)[static_cast<std::size_t>(b->element_offset(indices(f, a)))];
+                Value* slot =
+                    &(*b->buffer)[static_cast<std::size_t>(b->element_offset(indices(f, a)))];
+                return f.acc ? f.acc->read(slot) : *slot;
             }
             case ir::ExprKind::Unary: {
                 const auto& u = static_cast<const ir::Unary&>(e);
@@ -555,6 +565,7 @@ struct Machine::Impl {
             return;
         }
         frame.routine = &callee;
+        frame.acc = caller.acc;
         if (args.size() != callee.dummies.size()) {
             throw RuntimeError("call to " + callee.name + ": expected " +
                                std::to_string(callee.dummies.size()) + " arguments, got " +
@@ -625,6 +636,16 @@ struct Machine::Impl {
 
     void call_foreign(Frame& caller, const ir::Routine& callee,
                       const std::vector<ir::ExprPtr>& args) {
+        if (caller.acc) {
+            // A native routine touches storage directly, past the access
+            // log. Speculation must bail out (the serial re-execution
+            // handles it); the profiler marks the loop opaque so it never
+            // becomes a candidate.
+            if (caller.acc->speculative()) {
+                throw RuntimeError("foreign call inside a speculative chunk");
+            }
+            caller.acc->note_opaque();
+        }
         auto it = foreigns.find(callee.name);
         if (it == foreigns.end()) {
             throw RuntimeError("foreign routine " + callee.name + " is not registered");
@@ -684,7 +705,12 @@ struct Machine::Impl {
             const auto& name = static_cast<const ir::VarRef&>(lhs).name;
             Value* slot = find_scalar(f, name);
             if (!slot) throw RuntimeError("assignment to unknown variable " + name);
-            *slot = convert_to(scalar_type(f, name), v, name.c_str());
+            Value converted = convert_to(scalar_type(f, name), v, name.c_str());
+            if (f.acc) {
+                f.acc->write(slot, std::move(converted));
+            } else {
+                *slot = std::move(converted);
+            }
             return;
         }
         if (lhs.kind() == ir::ExprKind::ArrayRef) {
@@ -699,7 +725,13 @@ struct Machine::Impl {
                     break;
                 }
             }
-            (*b->buffer)[static_cast<std::size_t>(off)] = convert_to(t, v, a.name.c_str());
+            Value* slot = &(*b->buffer)[static_cast<std::size_t>(off)];
+            Value converted = convert_to(t, v, a.name.c_str());
+            if (f.acc) {
+                f.acc->write(slot, std::move(converted));
+            } else {
+                *slot = std::move(converted);
+            }
             return;
         }
         throw RuntimeError("invalid assignment target");
@@ -734,6 +766,12 @@ struct Machine::Impl {
                 break;
             }
             case ir::StmtKind::Read: {
+                // Consuming the deck is not rollbackable; a speculative
+                // chunk must not reach it. The rollback re-executes the
+                // chunk serially, where READ is ordinary again.
+                if (f.acc && f.acc->speculative()) {
+                    throw RuntimeError("READ inside a speculative chunk");
+                }
                 const auto& r = static_cast<const ir::ReadStmt&>(s);
                 for (const auto& t : r.targets) {
                     Value v;
@@ -753,6 +791,11 @@ struct Machine::Impl {
                 for (std::size_t i = 0; i < p.args.size(); ++i) {
                     if (i) line += ' ';
                     line += format_value(eval(f, *p.args[i]));
+                }
+                if (f.acc && f.acc->speculative()) {
+                    // Queued per chunk; appended at commit, in chunk order.
+                    f.acc->add_output(std::move(line));
+                    break;
                 }
                 std::lock_guard lock(output_mutex);
                 output.push_back(std::move(line));
@@ -782,18 +825,268 @@ struct Machine::Impl {
         const bool array_reduction =
             std::any_of(loop.annot.reductions.begin(), loop.annot.reductions.end(),
                         [&](const auto& red) { return find_array(f, red.first) != nullptr; });
-        const bool run_parallel = opts.parallel && loop.annot.parallel && trip > 1 &&
-                                  !array_reduction && !runtime::detail::in_parallel_region;
-        if (!run_parallel) {
-            Value* var = find_scalar(f, loop.var);
-            if (!var) throw RuntimeError("DO variable " + loop.var + " is undeclared");
-            for (std::int64_t k = 0; k < trip; ++k) {
-                *var = lo + k * st;
-                exec_block(f, loop.body);
-            }
+        // Inside an observed loop or a speculative chunk (f.acc set),
+        // nested loops run serially so every access stays on the log.
+        const bool unnested = !runtime::detail::in_parallel_region && f.acc == nullptr;
+        const bool run_parallel =
+            opts.parallel && loop.annot.parallel && trip > 1 && !array_reduction && unnested;
+        if (run_parallel) {
+            exec_do_parallel(f, loop, lo, st, trip);
             return;
         }
-        exec_do_parallel(f, loop, lo, st, trip);
+        if (opts.spec && opts.parallel && loop.annot.maybe_parallel && trip > 1 &&
+            !array_reduction && unnested && opts.spec->should_speculate(loop.loop_id)) {
+            exec_do_spec(f, loop, lo, st, trip);
+            return;
+        }
+        Value* var = find_scalar(f, loop.var);
+        if (!var) throw RuntimeError("DO variable " + loop.var + " is undeclared");
+        if (opts.profile && loop.annot.maybe_parallel && loop.loop_id >= 0 && trip > 0 &&
+            unnested) {
+            exec_do_observe(f, loop, var, lo, st, trip);
+            return;
+        }
+        for (std::int64_t k = 0; k < trip; ++k) {
+            if (f.acc) {
+                f.acc->write(var, Value(lo + k * st));
+            } else {
+                *var = lo + k * st;
+            }
+            exec_block(f, loop.body);
+        }
+    }
+
+    /// Every slot the loop's body could reach through pre-existing state:
+    /// COMMON storage, plus the frame chain's scalars, by-reference
+    /// targets, owned arrays, and bound array buffers. Anything allocated
+    /// later (overlays, callee frames, call temporaries) is chunk-local
+    /// by omission — see spec::TrackedSet.
+    void collect_tracked(Frame& f, spec::TrackedSet<Value>& tracked) {
+        for (auto& [block, storage] : commons) {
+            tracked.add_range(storage.data(), storage.data() + storage.size());
+        }
+        for (Frame* fr = &f; fr; fr = fr->overlay_parent) {
+            for (auto& [name, v] : fr->scalars) tracked.add(&v);
+            for (auto& [name, p] : fr->scalar_refs) tracked.add(p);
+            for (auto& vec : fr->owned) tracked.add_range(vec.data(), vec.data() + vec.size());
+            for (auto& [name, b] : fr->arrays) {
+                if (b.buffer && !b.buffer->empty()) {
+                    tracked.add_range(b.buffer->data(), b.buffer->data() + b.buffer->size());
+                }
+            }
+        }
+        tracked.seal();
+    }
+
+    /// LAMP-style dependence profiling: the loop runs serially with an
+    /// Observe-mode log; reads of slots last written by an earlier
+    /// iteration are counted as cross-iteration flow dependences.
+    void exec_do_observe(Frame& f, const ir::DoLoop& loop, Value* var, std::int64_t lo,
+                         std::int64_t st, std::int64_t trip) {
+        spec::TrackedSet<Value> tracked;
+        collect_tracked(f, tracked);
+        spec::AccessLog<Value> log(spec::AccessLog<Value>::Mode::Observe, &tracked);
+        // Reduction variables carry a benign read-modify-write the
+        // executor privatizes into ordered partials; exempt them.
+        for (const auto& [name, op] : loop.annot.reductions) {
+            if (Value* slot = find_scalar(f, name)) log.add_exempt(slot);
+        }
+        f.acc = &log;
+        struct Restore {
+            Frame& f;
+            ~Restore() { f.acc = nullptr; }
+        } restore{f};
+        for (std::int64_t k = 0; k < trip; ++k) {
+            log.set_iteration(k);
+            log.write(var, Value(lo + k * st));
+            exec_block(f, loop.body);
+        }
+        opts.profile->record_invocation(loop.loop_id);
+        if (log.flow_deps() > 0) opts.profile->record_flow_dep(loop.loop_id, log.flow_deps());
+        if (log.opaque()) opts.profile->mark_opaque(loop.loop_id);
+    }
+
+    /// Speculative execution of a MaybeParallel loop: all chunks run in
+    /// parallel against the pristine pre-loop state with buffered writes,
+    /// then a serial commit phase validates each chunk in iteration order
+    /// — forced misspeculation, observed conflicts, and chunk exceptions
+    /// all roll the chunk back to a serial re-execution, so the result is
+    /// bit-identical to serial execution no matter what happened.
+    void exec_do_spec(Frame& f, const ir::DoLoop& loop, std::int64_t lo, std::int64_t st,
+                      std::int64_t trip) {
+        spec::Runtime& sr = *opts.spec;
+        const std::int64_t nchunks =
+            std::min<std::int64_t>(trip, sr.options.effective_chunks());
+        const auto chunk_begin = [&](std::int64_t c) { return c * trip / nchunks; };
+
+        spec::TrackedSet<Value> tracked;
+        collect_tracked(f, tracked);
+
+        // Ordered per-iteration reduction partials, exactly as in
+        // exec_do_parallel: identity-seeded, folded in iteration order
+        // after the commit phase, so the fold is bit-identical to serial.
+        struct Partials {
+            std::string name;
+            ir::ReductionOp op;
+            Value identity;
+            std::vector<Value> values;
+        };
+        std::vector<Partials> reductions;
+        for (const auto& [name, op] : loop.annot.reductions) {
+            Value identity;
+            switch (op) {
+                case ir::ReductionOp::Sum: identity = 0.0; break;
+                case ir::ReductionOp::Product: identity = 1.0; break;
+                case ir::ReductionOp::Min: identity = std::numeric_limits<double>::infinity(); break;
+                case ir::ReductionOp::Max: identity = -std::numeric_limits<double>::infinity(); break;
+            }
+            reductions.push_back(
+                {name, op, identity,
+                 std::vector<Value>(static_cast<std::size_t>(trip), identity)});
+        }
+
+        // One chunk of iterations [k0, k1) against `log`: a fresh overlay
+        // per iteration, mirroring exec_do_parallel. Overlay state is
+        // untracked, hence chunk-private; everything else funnels through
+        // the log. Each iteration seeds reductions from the identity (not
+        // values[k]: a rollback re-runs the iteration, and the seed must
+        // not carry the discarded speculative partial).
+        const auto run_chunk = [&](spec::AccessLog<Value>& log, std::int64_t k0,
+                                   std::int64_t k1) {
+            for (std::int64_t k = k0; k < k1; ++k) {
+                Frame overlay;
+                overlay.routine = f.routine;
+                overlay.overlay_parent = &f;
+                overlay.acc = &log;
+                overlay.scalars[loop.var] = lo + k * st;
+                for (const auto& name : loop.annot.privates) {
+                    if (ArrayBinding* shared = find_array(f, name)) {
+                        std::int64_t size = 1;
+                        for (std::size_t d = 0; d < shared->extent.size(); ++d) {
+                            if (shared->extent[d] < 0) {
+                                throw RuntimeError("cannot privatize assumed-size array " +
+                                                   name);
+                            }
+                            size *= shared->extent[d];
+                        }
+                        overlay.owned.emplace_back(static_cast<std::size_t>(size),
+                                                   default_value(ir::ScalarType::Real));
+                        ArrayBinding priv = *shared;
+                        priv.buffer = &overlay.owned.back();
+                        priv.base = 0;
+                        overlay.arrays[name] = std::move(priv);
+                    } else {
+                        overlay.scalars[name] = default_value(scalar_type(f, name));
+                    }
+                }
+                for (auto& red : reductions) {
+                    overlay.scalars[red.name] = red.identity;
+                }
+                exec_block(overlay, loop.body);
+                for (auto& red : reductions) {
+                    red.values[static_cast<std::size_t>(k)] = *find_scalar(overlay, red.name);
+                }
+            }
+        };
+
+        // The wave: every chunk speculates against the same pristine
+        // state (shared slots are only read), so chunk scheduling cannot
+        // influence results, counters, or conflict sets.
+        struct ChunkResult {
+            std::unique_ptr<spec::AccessLog<Value>> log;
+            std::exception_ptr error;
+        };
+        std::vector<ChunkResult> chunks(static_cast<std::size_t>(nchunks));
+        runtime::parallel_for(
+            0, nchunks,
+            [&](std::int64_t c) {
+                auto& chunk = chunks[static_cast<std::size_t>(c)];
+                chunk.log = std::make_unique<spec::AccessLog<Value>>(
+                    spec::AccessLog<Value>::Mode::Buffer, &tracked);
+                try {
+                    run_chunk(*chunk.log, chunk_begin(c), chunk_begin(c + 1));
+                } catch (...) {
+                    chunk.error = std::current_exception();
+                }
+            },
+            {.threads = opts.threads});
+
+        // Serial commit phase, in chunk (= iteration) order.
+        std::set<const Value*> committed;
+        std::int64_t attempts = 0, commits = 0, rollbacks = 0;
+        std::exception_ptr propagate;
+        for (std::int64_t c = 0; c < nchunks && !propagate; ++c) {
+            auto& chunk = chunks[static_cast<std::size_t>(c)];
+            ++attempts;
+            spec::counters::attempts();
+            const bool misspec = sr.injector && sr.injector->on_validate(loop.loop_id);
+            const bool valid =
+                !misspec && !chunk.error && !chunk.log->conflicts_with(committed);
+            if (valid) {
+                chunk.log->commit_buffer();
+                if (!chunk.log->output().empty()) {
+                    std::lock_guard lock(output_mutex);
+                    for (auto& line : chunk.log->output()) output.push_back(std::move(line));
+                }
+                for (const Value* p : chunk.log->write_keys()) committed.insert(p);
+                ++commits;
+                spec::counters::commits();
+                continue;
+            }
+            // Rollback: discard the buffer, re-execute serially. Writes
+            // go through but their keys still feed later validations.
+            ++rollbacks;
+            spec::counters::rollbacks();
+            spec::AccessLog<Value> wt(spec::AccessLog<Value>::Mode::WriteThrough, &tracked);
+            try {
+                run_chunk(wt, chunk_begin(c), chunk_begin(c + 1));
+                if (misspec) fault::counters::recovered(fault::Kind::Misspec);
+            } catch (...) {
+                // Serial semantics: earlier chunks committed, this one
+                // failed at the exact iteration serial execution would
+                // have — later chunks are discarded unvalidated.
+                propagate = std::current_exception();
+            }
+            for (const Value* p : wt.write_keys()) committed.insert(p);
+        }
+
+        if (sr.registry.record_wave(loop.loop_id, attempts, commits, rollbacks,
+                                    sr.options.max_consecutive_rollbacks)) {
+            if (sr.incidents) {
+                guard::Incident inc;
+                inc.pass = "speculation";
+                inc.routine = f.routine->name;
+                inc.loop_id = loop.loop_id;
+                inc.cause = guard::TripCause::Steps;
+                inc.detail = "rollback storm: " +
+                             std::to_string(sr.options.max_consecutive_rollbacks) +
+                             " consecutive rollback waves; loop permanently falls back to "
+                             "serial execution";
+                inc.span = trace::span_id("speculation", f.routine->name, loop.loop_id);
+                sr.incidents->record(std::move(inc));
+            }
+        }
+        if (propagate) std::rethrow_exception(propagate);
+
+        // Fold reduction partials in iteration order into the shared
+        // variable (identical to exec_do_parallel and to serial).
+        for (auto& red : reductions) {
+            Value* slot = find_scalar(f, red.name);
+            if (!slot) throw RuntimeError("reduction variable " + red.name + " not found");
+            double acc = as_real(*slot, "reduction");
+            for (const auto& p : red.values) {
+                const double x = as_real(p, "reduction");
+                switch (red.op) {
+                    case ir::ReductionOp::Sum: acc += x; break;
+                    case ir::ReductionOp::Product: acc *= x; break;
+                    case ir::ReductionOp::Min: acc = std::min(acc, x); break;
+                    case ir::ReductionOp::Max: acc = std::max(acc, x); break;
+                }
+            }
+            *slot = convert_to(scalar_type(f, red.name), acc, red.name.c_str());
+        }
+        // Serial execution leaves the DO variable at its final value.
+        if (Value* var = find_scalar(f, loop.var)) *var = lo + (trip - 1) * st;
     }
 
     void exec_do_parallel(Frame& f, const ir::DoLoop& loop, std::int64_t lo, std::int64_t st,

@@ -11,6 +11,11 @@
 
 #include "ir/program.hpp"
 
+namespace ap::spec {
+class Profile;
+struct Runtime;
+}  // namespace ap::spec
+
 namespace ap::interp {
 
 /// Runtime value of a Mini-F scalar. Integers and logicals are exact;
@@ -45,6 +50,17 @@ struct ExecutionOptions {
     /// Wall-clock watchdog for the whole run, in seconds (0 = unlimited).
     /// A trip raises RuntimeError and bumps `interp.watchdog_trips`.
     double deadline_seconds = 0;
+    /// Dependence profiler (LAMP-style observe mode). When set, every
+    /// serial execution of a MaybeParallel loop records its observed
+    /// cross-iteration flow dependences into the profile; loops the
+    /// profiler never sees conflict on become speculation candidates.
+    spec::Profile* profile = nullptr;
+    /// Speculative executor. When set (and `parallel` is on),
+    /// MaybeParallel loops that pass spec::Runtime::should_speculate run
+    /// as parallel chunks with buffered writes, conflict validation,
+    /// rollback, and guaranteed serial fallback — bit-identical to
+    /// serial execution.
+    spec::Runtime* spec = nullptr;
 };
 
 struct ExecutionResult {

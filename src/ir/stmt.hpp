@@ -48,6 +48,10 @@ enum class Hindrance : unsigned char {
 /// Parallelization verdict attached to a DO loop by the compiler driver.
 struct LoopAnnotation {
     bool parallel = false;
+    /// Blocked only by unproven hindrances (analysis gave-ups, never a
+    /// demonstrated collision or I/O) — a candidate for speculative
+    /// execution by ap::spec. Always false when parallel is true.
+    bool maybe_parallel = false;
     std::vector<std::string> privates;  ///< privatized scalars/arrays
     std::vector<std::pair<std::string, ReductionOp>> reductions;
     std::optional<Hindrance> verdict;   ///< set once the classifier ran

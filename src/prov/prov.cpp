@@ -14,6 +14,7 @@ std::string_view to_string(Kind k) noexcept {
         case Kind::Reduction: return "reduction";
         case Kind::Budget: return "budget";
         case Kind::Verdict: return "verdict";
+        case Kind::Speculation: return "speculation";
     }
     return "?";
 }

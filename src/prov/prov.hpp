@@ -38,6 +38,7 @@ enum class Kind : unsigned char {
     Reduction,      ///< a reduction-candidate rejection with its cause
     Budget,         ///< a guard budget trip that degraded the analysis
     Verdict,        ///< synthesized verdict support (no organic evidence)
+    Speculation,    ///< a maybe-parallel loop eligible for ap::spec
 };
 [[nodiscard]] std::string_view to_string(Kind k) noexcept;
 

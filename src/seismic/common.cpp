@@ -12,6 +12,7 @@ std::string to_string(Flavor f) {
         case Flavor::Mpi: return "MPI";
         case Flavor::OuterParallel: return "OpenMP";
         case Flavor::AutoInner: return "Polaris";
+        case Flavor::SpecPriv: return "SpecPriv";
     }
     return "?";
 }

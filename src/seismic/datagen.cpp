@@ -4,6 +4,7 @@
 #include "runtime/sim.hpp"
 #include "seismic/detail.hpp"
 #include "seismic/seismic.hpp"
+#include "spec/native.hpp"
 
 namespace ap::seismic {
 
@@ -122,6 +123,40 @@ PhaseResult run_datagen(const Deck& deck, Flavor flavor, int nprocs, const Fault
                 }
             }
             break;
+        case Flavor::SpecPriv: {
+            // Static analysis loses the shot loop (the reflector model is
+            // an opaque call from the dependence test's point of view),
+            // but the profiler sees every shot write a disjoint slab — so
+            // the loop speculates: chunks of shots run against buffered
+            // scratch and every chunk commits clean.
+            // `slab` points at shot b's first sample.
+            const auto synth_shots = [&](double* slab, std::int64_t b, std::int64_t e) {
+                for (std::int64_t s = b; s < e; ++s) {
+                    for (int t = 0; t < deck.ntraces; ++t) {
+                        synth_trace(slab +
+                                        (static_cast<std::size_t>(s - b) * deck.ntraces + t) *
+                                            deck.nsamples,
+                                    static_cast<int>(s), t, deck.nsamples);
+                    }
+                }
+            };
+            const spec::NativeOutcome outcome = spec::speculate<double>(
+                sim, 0, deck.nshots, model.nprocs,
+                [&](spec::ChunkIO<double>& io, std::int64_t b, std::int64_t e) {
+                    const std::size_t lo = static_cast<std::size_t>(b) * per_shot;
+                    const std::size_t hi = static_cast<std::size_t>(e) * per_shot;
+                    // Scratch is zero-initialized, matching the freshly
+                    // zeroed wavefield the serial loop accumulates into.
+                    synth_shots(io.write_span(data.data(), lo, hi), b, e);
+                },
+                [&](std::int64_t b, std::int64_t e) {
+                    synth_shots(data.data() + static_cast<std::size_t>(b) * per_shot, b, e);
+                });
+            result.spec_attempts = outcome.attempts;
+            result.spec_commits = outcome.commits;
+            result.spec_rollbacks = outcome.rollbacks;
+            break;
+        }
         case Flavor::Mpi:
             break;  // handled above
     }

@@ -6,6 +6,7 @@
 #include "mpisim/mpisim.hpp"
 #include "runtime/sim.hpp"
 #include "seismic/seismic.hpp"
+#include "spec/native.hpp"
 
 namespace ap::seismic {
 
@@ -240,10 +241,44 @@ PhaseResult run_fft3d(const Deck& deck, Flavor flavor, int nprocs, const FaultTo
                     std::vector<Cplx> scratch;
                     transform_line(cube, axis, static_cast<int>(line), inverse, scratch);
                 });
+            } else if (flavor == Flavor::SpecPriv && axis == Axis::X) {
+                // Speculation recovers the unit-stride passes: X lines are
+                // contiguous, so a chunk's footprint IS its bounding
+                // interval and validation proves the chunks disjoint. The
+                // strided Y/Z passes stay serial below — their interleaved
+                // line footprints widen to overlapping bounding intervals,
+                // so the planner predicts certain (false) conflicts and
+                // declines rather than pay a guaranteed rollback wave.
+                const std::size_t nx = static_cast<std::size_t>(cube.nx);
+                const spec::NativeOutcome outcome = spec::speculate<Cplx>(
+                    sim, 0, plan.nlines, model.nprocs,
+                    [&](spec::ChunkIO<Cplx>& io, std::int64_t b, std::int64_t e) {
+                        const std::size_t lo = static_cast<std::size_t>(b) * nx;
+                        const std::size_t hi = static_cast<std::size_t>(e) * nx;
+                        io.read_span(cube.v.data(), lo, hi);
+                        Cplx* scratch = io.write_span(cube.v.data(), lo, hi);
+                        for (std::int64_t line = b; line < e; ++line) {
+                            Cplx* dst = scratch + static_cast<std::size_t>(line - b) * nx;
+                            const Cplx* src = cube.v.data() + static_cast<std::size_t>(line) * nx;
+                            std::copy(src, src + nx, dst);
+                            fft_line(dst, cube.nx, inverse);
+                        }
+                    },
+                    [&](std::int64_t b, std::int64_t e) {
+                        std::vector<Cplx> scratch;
+                        for (std::int64_t line = b; line < e; ++line) {
+                            transform_line(cube, Axis::X, static_cast<int>(line), inverse,
+                                           scratch);
+                        }
+                    });
+                result.spec_attempts += outcome.attempts;
+                result.spec_commits += outcome.commits;
+                result.spec_rollbacks += outcome.rollbacks;
             } else {
-                // Serial and AutoInner: the strided FFT lines defeat the
-                // automatic parallelizer (reshaped accesses through the
-                // workspace; §2.3), so the transforms stay serial.
+                // Serial, AutoInner, and the strided SpecPriv passes: the
+                // reshaped accesses through the workspace defeat the
+                // automatic parallelizer (§2.3), so the transforms stay
+                // serial.
                 sim.serial([&] {
                     std::vector<Cplx> scratch;
                     for (int line = 0; line < plan.nlines; ++line) {
@@ -257,7 +292,9 @@ PhaseResult run_fft3d(const Deck& deck, Flavor flavor, int nprocs, const FaultTo
     // automatic parallelizer — it forks per z-slab.
     const double norm = 1.0 / (static_cast<double>(deck.nx) * deck.ny * deck.nz);
     const std::int64_t slab = static_cast<std::int64_t>(deck.nx) * deck.ny;
-    if (flavor == Flavor::AutoInner) {
+    if (flavor == Flavor::AutoInner || flavor == Flavor::SpecPriv) {
+        // Statically provable, so SpecPriv runs it exactly as the
+        // automatic parallelizer does — no speculation needed.
         for (int z = 0; z < deck.nz; ++z) {
             sim.parallel(z * slab, (z + 1) * slab,
                          [&](std::int64_t i) { cube.v[static_cast<std::size_t>(i)] *= norm; },

@@ -9,12 +9,14 @@
 
 namespace ap::seismic {
 
-/// How a phase is parallelized — the four bars of the paper's Figure 1.
+/// How a phase is parallelized — the four bars of the paper's Figure 1
+/// plus the speculative flavor ap::spec adds on top of them.
 enum class Flavor {
     Serial,         ///< one thread, no runtime calls
     Mpi,            ///< domain decomposition over mpisim ranks ("MPI")
     OuterParallel,  ///< outermost parallel loops on threads ("OpenMP")
     AutoInner,      ///< only innermost simple loops parallel ("Polaris")
+    SpecPriv,       ///< AutoInner + speculation on the unproven outer loops
 };
 [[nodiscard]] std::string to_string(Flavor f);
 
@@ -44,6 +46,11 @@ struct PhaseResult {
     // Fault-tolerance bookkeeping (MPI flavor only; docs/ROBUSTNESS.md).
     int attempts = 1;       ///< communicator attempts the phase consumed
     bool degraded = false;  ///< fell back to serial re-execution
+    // Speculation ledger (SpecPriv flavor only; docs/OBSERVABILITY.md
+    // §ap.spec.v1): chunk attempts == commits + rollbacks.
+    std::int64_t spec_attempts = 0;
+    std::int64_t spec_commits = 0;
+    std::int64_t spec_rollbacks = 0;
 };
 
 /// The four computational phases of the suite (paper Figure 1's series).

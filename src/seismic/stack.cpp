@@ -3,6 +3,7 @@
 #include "mpisim/mpisim.hpp"
 #include "runtime/sim.hpp"
 #include "seismic/seismic.hpp"
+#include "spec/native.hpp"
 
 namespace ap::seismic {
 
@@ -124,6 +125,36 @@ PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs, const FaultTo
                 sim.parallel(0, deck.nsamples, [&](std::int64_t i) { o[i] *= inv; },
                              runtime::SimTimer::Bound::Memory);
             }
+            break;
+        }
+        case Flavor::SpecPriv: {
+            // The gather through nmo_index is exactly the indirection
+            // hindrance: the dependence test cannot bound the subscript,
+            // so the trace loop is only MaybeParallel. At runtime every
+            // trace reads the immutable wavefield and writes its own
+            // output row — the profiler never sees a flow dependence and
+            // the speculative chunks all commit clean.
+            const auto stack_traces = [&](double* rows, std::int64_t b, std::int64_t e) {
+                for (std::int64_t t = b; t < e; ++t) {
+                    stack_trace(data.data(),
+                                rows + static_cast<std::size_t>(t - b) * deck.nsamples,
+                                static_cast<int>(t), deck);
+                }
+            };
+            const spec::NativeOutcome outcome = spec::speculate<double>(
+                sim, 0, deck.ntraces, model.nprocs,
+                [&](spec::ChunkIO<double>& io, std::int64_t b, std::int64_t e) {
+                    io.read_span(data.data(), 0, data.size());
+                    const std::size_t lo = static_cast<std::size_t>(b) * deck.nsamples;
+                    const std::size_t hi = static_cast<std::size_t>(e) * deck.nsamples;
+                    stack_traces(io.write_span(out.data(), lo, hi), b, e);
+                },
+                [&](std::int64_t b, std::int64_t e) {
+                    stack_traces(out.data() + static_cast<std::size_t>(b) * deck.nsamples, b, e);
+                });
+            result.spec_attempts = outcome.attempts;
+            result.spec_commits = outcome.commits;
+            result.spec_rollbacks = outcome.rollbacks;
             break;
         }
         case Flavor::Mpi:

@@ -1,0 +1,207 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ap::spec {
+
+/// The shared-state footprint a speculative or observed loop runs
+/// against, templated over the interpreter's value type so `spec` stays
+/// independent of `interp`.
+///
+/// Slots are identified by address: interpreter state lives in std::map
+/// nodes and deque-backed vector storage, so a `V*` is stable for the
+/// lifetime of the enclosing frame. Before a wave starts, the executor
+/// enumerates every slot reachable from the *pre-existing* state (the
+/// frame chain enclosing the loop, COMMON storage, bound array buffers)
+/// into a TrackedSet. Anything not tracked was allocated inside the
+/// chunk (iteration overlays, callee locals, call temporaries) and is
+/// chunk-private by construction — accessed directly, never logged.
+///
+/// Registering the long-lived shared state rather than the transient
+/// local state is what makes the scheme safe: tracked addresses outlive
+/// the wave, so a freed chunk-local slot whose address gets reused can
+/// never be mistaken for shared state.
+template <typename V>
+class TrackedSet {
+public:
+    void add(const V* p) { slots_.insert(p); }
+    void add_range(const V* begin, const V* end) {
+        if (begin != end) ranges_.emplace_back(begin, end);
+    }
+
+    /// Sorts the ranges for binary-searched lookup. Call once, after the
+    /// last add_range and before the first contains.
+    void seal() {
+        std::sort(ranges_.begin(), ranges_.end());
+    }
+
+    [[nodiscard]] bool contains(const V* p) const {
+        // First range starting after p; the one before it is the only
+        // candidate that can cover p (ranges never overlap — they are
+        // distinct live allocations).
+        auto it = std::upper_bound(ranges_.begin(), ranges_.end(), p,
+                                   [](const V* q, const std::pair<const V*, const V*>& r) {
+                                       return q < r.first;
+                                   });
+        if (it != ranges_.begin()) {
+            const auto& [b, e] = *(it - 1);
+            if (p >= b && p < e) return true;
+        }
+        return slots_.count(p) != 0;
+    }
+
+private:
+    std::set<const V*> slots_;
+    std::vector<std::pair<const V*, const V*>> ranges_;
+};
+
+/// Per-chunk access log of the speculative executor.
+///
+/// Modes:
+///   Observe      — serial profiling run. Writes go through; every
+///                  shared slot remembers its last writing iteration,
+///                  and a read of a slot last written by an *earlier*
+///                  iteration counts as a cross-iteration flow
+///                  dependence (the LAMP signal).
+///   Buffer       — speculative chunk. Shared writes are privatized
+///                  into the write buffer, shared reads of unwritten
+///                  slots are logged for conflict detection, and PRINT
+///                  output is queued. The pristine pre-loop state is
+///                  never touched, so a rollback is simply discarding
+///                  the log.
+///   WriteThrough — serial re-execution of a rolled-back chunk during
+///                  the commit phase. Writes go through immediately but
+///                  their keys are still collected, so later chunks
+///                  validate against them.
+template <typename V>
+class AccessLog {
+public:
+    enum class Mode { Observe, Buffer, WriteThrough };
+
+    AccessLog(Mode mode, const TrackedSet<V>* tracked) : mode_(mode), tracked_(tracked) {}
+    [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+    /// True in the one mode whose side effects must not reach shared
+    /// state (the gate for READ / foreign-call bailouts and for queueing
+    /// PRINT lines instead of emitting them).
+    [[nodiscard]] bool speculative() const noexcept { return mode_ == Mode::Buffer; }
+
+    /// Exempts a tracked slot from logging (reduction variables: the
+    /// executor gives them ordered per-iteration partials, so their
+    /// read-modify-write is not a dependence to report or buffer).
+    void add_exempt(const V* p) { exempt_.insert(p); }
+
+    [[nodiscard]] bool shared(const V* p) const {
+        return tracked_->contains(p) && exempt_.count(p) == 0;
+    }
+
+    // --- reads / writes -----------------------------------------------------
+
+    /// Resolves a read of slot `p`: the buffered value when this chunk
+    /// already wrote it, the underlying value otherwise (logged as a
+    /// shared read in Buffer mode, checked against last writers in
+    /// Observe mode).
+    [[nodiscard]] const V& read(const V* p) {
+        if (!shared(p)) return *p;
+        switch (mode_) {
+            case Mode::Buffer: {
+                if (const auto it = buffer_.find(p); it != buffer_.end()) return it->second;
+                reads_.insert(p);
+                return *p;
+            }
+            case Mode::Observe: {
+                if (const auto it = last_writer_.find(p);
+                    it != last_writer_.end() && it->second < iteration_) {
+                    ++flow_deps_;
+                }
+                return *p;
+            }
+            case Mode::WriteThrough: return *p;
+        }
+        return *p;
+    }
+
+    /// Performs a write of `v` to slot `p` under the log's mode.
+    void write(V* p, V v) {
+        if (!shared(p)) {
+            *p = std::move(v);
+            return;
+        }
+        switch (mode_) {
+            case Mode::Buffer:
+                buffer_[p] = std::move(v);
+                return;
+            case Mode::Observe:
+                *p = std::move(v);
+                last_writer_[p] = iteration_;
+                return;
+            case Mode::WriteThrough:
+                *p = std::move(v);
+                writes_.insert(p);
+                return;
+        }
+    }
+
+    // --- Observe mode -------------------------------------------------------
+
+    void set_iteration(std::int64_t k) noexcept { iteration_ = k; }
+    [[nodiscard]] std::int64_t flow_deps() const noexcept { return flow_deps_; }
+    void note_opaque() noexcept { opaque_ = true; }
+    [[nodiscard]] bool opaque() const noexcept { return opaque_; }
+
+    // --- Buffer mode: queued output and validation inputs -------------------
+
+    void add_output(std::string line) { output_.push_back(std::move(line)); }
+    [[nodiscard]] std::vector<std::string>& output() noexcept { return output_; }
+
+    [[nodiscard]] const std::set<const V*>& reads() const noexcept { return reads_; }
+
+    /// Keys this log wrote: the buffer's keys in Buffer mode, the
+    /// write-through set otherwise.
+    [[nodiscard]] std::set<const V*> write_keys() const {
+        if (mode_ != Mode::Buffer) return writes_;
+        std::set<const V*> keys;
+        for (const auto& [p, v] : buffer_) keys.insert(p);
+        return keys;
+    }
+
+    /// True when this chunk read any slot in `committed_writes` — the
+    /// speculative value it computed from is stale.
+    [[nodiscard]] bool conflicts_with(const std::set<const V*>& committed_writes) const {
+        const auto* small = &reads_;
+        const auto* large = &committed_writes;
+        if (small->size() > large->size()) std::swap(small, large);
+        for (const V* p : *small) {
+            if (large->count(p) != 0) return true;
+        }
+        return false;
+    }
+
+    /// Applies the write buffer to the underlying state (chunk commit).
+    void commit_buffer() {
+        for (auto& [p, v] : buffer_) *const_cast<V*>(p) = std::move(v);
+    }
+
+private:
+    Mode mode_;
+    const TrackedSet<V>* tracked_;
+    std::set<const V*> exempt_;
+
+    std::map<const V*, V> buffer_;  ///< Buffer: privatized shared writes
+    std::set<const V*> reads_;      ///< Buffer: shared reads of unwritten slots
+    std::set<const V*> writes_;     ///< WriteThrough: shared write keys
+    std::vector<std::string> output_;
+
+    std::map<const V*, std::int64_t> last_writer_;  ///< Observe
+    std::int64_t iteration_ = 0;
+    std::int64_t flow_deps_ = 0;
+    bool opaque_ = false;
+};
+
+}  // namespace ap::spec

@@ -1,0 +1,167 @@
+#pragma once
+
+// Native-code speculation support: the SpecPriv-style executor the
+// seismic suite's fifth flavor runs on. Where the interpreter's
+// AccessLog tracks individual Value slots, native kernels move spans of
+// plain arrays, so the unit of bookkeeping here is the contiguous span:
+// chunks buffer their writes in span-grained scratch, declare their
+// reads as spans, and validation overlaps *coarse bounding intervals*
+// grouped by buffer pointer. Coarse means false conflicts are possible
+// (a strided footprint widens to its bounding interval) but missed
+// conflicts are not — a rollback is never wrong, only slow, so the
+// serial-fallback guarantee carries over unchanged.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "runtime/sim.hpp"
+#include "spec/spec.hpp"
+
+namespace ap::spec {
+
+/// Bounding interval [lo, hi) per buffer base pointer — the coarse
+/// footprint summary both sides of validation compare.
+template <typename T>
+using IntervalMap = std::map<const T*, std::pair<std::size_t, std::size_t>>;
+
+/// Per-chunk buffered I/O of one speculative wave over a native loop.
+///
+/// The chunk body routes every write to shared arrays through
+/// `write_span` (which hands back zero-initialized scratch; the real
+/// buffer is untouched until `commit`) and declares every shared read
+/// with `read_span`. Reads must precede writes per location within the
+/// chunk — the scratch is not a read-through cache.
+template <typename T>
+class ChunkIO {
+public:
+    /// Declares that the chunk reads [base+lo, base+hi).
+    void read_span(const T* base, std::size_t lo, std::size_t hi) {
+        if (lo < hi) widen(reads_, base, lo, hi);
+    }
+
+    /// Returns zero-initialized scratch standing in for [base+lo,
+    /// base+hi); the underlying buffer is only touched by `commit`.
+    [[nodiscard]] T* write_span(T* base, std::size_t lo, std::size_t hi) {
+        widen(writes_, base, lo, hi);
+        spans_.push_back(WriteSpan{base, lo, std::vector<T>(hi - lo)});
+        return spans_.back().scratch.data();
+    }
+
+    /// True when any of this chunk's read intervals overlaps a committed
+    /// write interval on the same buffer — the speculative inputs were
+    /// stale, the chunk must roll back.
+    [[nodiscard]] bool conflicts_with(const IntervalMap<T>& committed) const {
+        for (const auto& [base, r] : reads_) {
+            const auto it = committed.find(base);
+            if (it != committed.end() && r.first < it->second.second &&
+                it->second.first < r.second) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// Applies the buffered spans to the underlying arrays (chunk commit).
+    void commit() {
+        for (const WriteSpan& s : spans_) {
+            T* dst = s.base + s.lo;
+            for (std::size_t i = 0; i < s.scratch.size(); ++i) dst[i] = s.scratch[i];
+        }
+    }
+
+    /// Merges this chunk's write footprint into the committed map that
+    /// later chunks validate against (also used after a serial
+    /// re-execution: the rerun touches the same footprint).
+    void merge_writes_into(IntervalMap<T>& committed) const {
+        for (const auto& [base, w] : writes_) widen_map(committed, base, w.first, w.second);
+    }
+
+private:
+    struct WriteSpan {
+        T* base;
+        std::size_t lo;
+        std::vector<T> scratch;
+    };
+
+    static void widen_map(IntervalMap<T>& m, const T* base, std::size_t lo, std::size_t hi) {
+        const auto it = m.find(base);
+        if (it == m.end()) {
+            m.emplace(base, std::make_pair(lo, hi));
+        } else {
+            it->second.first = std::min(it->second.first, lo);
+            it->second.second = std::max(it->second.second, hi);
+        }
+    }
+    void widen(IntervalMap<T>& m, const T* base, std::size_t lo, std::size_t hi) {
+        widen_map(m, base, lo, hi);
+    }
+
+    std::vector<WriteSpan> spans_;
+    IntervalMap<T> reads_;
+    IntervalMap<T> writes_;
+};
+
+/// What one speculative wave did — mirrors the interpreter executor's
+/// ledger: attempts == commits + rollbacks always holds.
+struct NativeOutcome {
+    std::int64_t attempts = 0;
+    std::int64_t commits = 0;
+    std::int64_t rollbacks = 0;
+};
+
+/// Runs one speculative wave over [lo, hi) split into `nchunks` chunks
+/// against the SimTimer cost model: chunk bodies are charged as one
+/// parallel region (slowest chunk + a fork-join), validation, commits,
+/// and any serial re-execution are charged serially in chunk order.
+///
+/// `run_chunk(io, begin, end)` executes iterations [begin, end) with all
+/// shared-array traffic routed through `io`; `rerun_serial(begin, end)`
+/// re-executes the same iterations directly against the real arrays
+/// (the rollback path — by then every earlier chunk has committed, so
+/// direct execution is exactly the serial tail). The wave's ledger is
+/// also added to the process-wide spec.* counters.
+template <typename T, typename ChunkFn, typename SerialFn>
+NativeOutcome speculate(runtime::SimTimer& sim, std::int64_t lo, std::int64_t hi, int nchunks,
+                        ChunkFn&& run_chunk, SerialFn&& rerun_serial) {
+    NativeOutcome out;
+    const std::int64_t n = hi - lo;
+    if (n <= 0) return out;
+    if (nchunks > n) nchunks = static_cast<int>(n);
+    if (nchunks < 1) nchunks = 1;
+    const auto begin_of = [&](int c) { return lo + n * c / nchunks; };
+
+    std::vector<ChunkIO<T>> chunks(static_cast<std::size_t>(nchunks));
+    double slowest = 0;
+    for (int c = 0; c < nchunks; ++c) {
+        runtime::Timer t;
+        run_chunk(chunks[static_cast<std::size_t>(c)], begin_of(c), begin_of(c + 1));
+        slowest = std::max(slowest, t.seconds());
+    }
+    sim.charge(slowest + sim.model().fork_join_latency);
+
+    runtime::Timer serial_phase;
+    IntervalMap<T> committed;
+    for (int c = 0; c < nchunks; ++c) {
+        ChunkIO<T>& chunk = chunks[static_cast<std::size_t>(c)];
+        ++out.attempts;
+        if (!chunk.conflicts_with(committed)) {
+            chunk.commit();
+            ++out.commits;
+        } else {
+            rerun_serial(begin_of(c), begin_of(c + 1));
+            ++out.rollbacks;
+        }
+        chunk.merge_writes_into(committed);
+    }
+    sim.charge(serial_phase.seconds());
+
+    counters::attempts(out.attempts);
+    counters::commits(out.commits);
+    counters::rollbacks(out.rollbacks);
+    return out;
+}
+
+}  // namespace ap::spec

@@ -1,0 +1,121 @@
+#include "spec/spec.hpp"
+
+#include "trace/counters.hpp"
+
+namespace ap::spec {
+
+namespace counters {
+
+namespace {
+
+trace::Counter& counter(const char* name) { return trace::counters::get(name); }
+
+trace::Counter& attempts_counter() {
+    static trace::Counter& c = counter("spec.attempts");
+    return c;
+}
+trace::Counter& commits_counter() {
+    static trace::Counter& c = counter("spec.commits");
+    return c;
+}
+trace::Counter& rollbacks_counter() {
+    static trace::Counter& c = counter("spec.rollbacks");
+    return c;
+}
+trace::Counter& fallbacks_counter() {
+    static trace::Counter& c = counter("spec.fallbacks");
+    return c;
+}
+
+}  // namespace
+
+void attempts(std::int64_t n) { attempts_counter().add(n); }
+void commits(std::int64_t n) { commits_counter().add(n); }
+void rollbacks(std::int64_t n) { rollbacks_counter().add(n); }
+void fallbacks(std::int64_t n) { fallbacks_counter().add(n); }
+
+std::int64_t attempts_count() { return attempts_counter().value(); }
+std::int64_t commits_count() { return commits_counter().value(); }
+std::int64_t rollbacks_count() { return rollbacks_counter().value(); }
+std::int64_t fallbacks_count() { return fallbacks_counter().value(); }
+
+}  // namespace counters
+
+// --- Profile ----------------------------------------------------------------
+
+void Profile::record_invocation(int loop_id) {
+    std::lock_guard lock(mu_);
+    ++loops_[loop_id].invocations;
+}
+
+void Profile::record_flow_dep(int loop_id, std::int64_t n) {
+    std::lock_guard lock(mu_);
+    loops_[loop_id].flow_deps += n;
+}
+
+void Profile::mark_opaque(int loop_id) {
+    std::lock_guard lock(mu_);
+    loops_[loop_id].opaque = true;
+}
+
+LoopProfile Profile::of(int loop_id) const {
+    std::lock_guard lock(mu_);
+    const auto it = loops_.find(loop_id);
+    return it == loops_.end() ? LoopProfile{} : it->second;
+}
+
+bool Profile::candidate(int loop_id) const { return of(loop_id).candidate(); }
+
+std::map<int, LoopProfile> Profile::all() const {
+    std::lock_guard lock(mu_);
+    return loops_;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+bool Registry::fallen_back(int loop_id) const {
+    std::lock_guard lock(mu_);
+    const auto it = loops_.find(loop_id);
+    return it != loops_.end() && it->second.fallen_back;
+}
+
+bool Registry::record_wave(int loop_id, std::int64_t attempts, std::int64_t commits,
+                           std::int64_t rollbacks, int max_consecutive) {
+    bool tripped = false;
+    {
+        std::lock_guard lock(mu_);
+        LoopStats& s = loops_[loop_id];
+        ++s.waves;
+        s.attempts += attempts;
+        s.commits += commits;
+        s.rollbacks += rollbacks;
+        if (rollbacks > 0) {
+            ++s.consecutive_rollback_waves;
+            if (max_consecutive > 0 && !s.fallen_back &&
+                s.consecutive_rollback_waves >= max_consecutive) {
+                s.fallen_back = true;
+                tripped = true;
+            }
+        } else {
+            s.consecutive_rollback_waves = 0;
+        }
+    }
+    counters::attempts(attempts);
+    counters::commits(commits);
+    counters::rollbacks(rollbacks);
+    if (tripped) counters::fallbacks();
+    return tripped;
+}
+
+LoopStats Registry::stats(int loop_id) const {
+    std::lock_guard lock(mu_);
+    const auto it = loops_.find(loop_id);
+    return it == loops_.end() ? LoopStats{} : it->second;
+}
+
+std::map<int, LoopStats> Registry::all() const {
+    std::lock_guard lock(mu_);
+    return loops_;
+}
+
+}  // namespace ap::spec

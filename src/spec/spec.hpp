@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "guard/guard.hpp"
+
+namespace ap::spec {
+
+/// ap::spec — speculative parallel loop execution (docs/ROBUSTNESS.md
+/// §speculation, docs/OBSERVABILITY.md §ap.spec.v1).
+///
+/// Static analysis loses the paper's Fig.-5 loops to *unprovable* — not
+/// proven — cross-iteration dependences (aliasing, rangeless variables,
+/// indirection). Those loops now receive a `MaybeParallel` verdict, and
+/// this layer makes running them optimistically safe:
+///
+///   profile   — a LAMP-style dependence profiler (interp observe mode)
+///               records observed cross-iteration flow dependences per
+///               loop over corpus runs; loops that never conflict become
+///               speculation candidates.
+///   speculate — candidate loops execute as chunks of iterations in
+///               parallel, each against per-chunk privatized write
+///               buffers with read/write conflict logs. Chunks commit in
+///               iteration order; a chunk that read a location an
+///               earlier chunk wrote is rolled back (buffer discarded)
+///               and re-executed serially.
+///   degrade   — N consecutive rollback waves trip a guard budget and
+///               the loop permanently falls back to serial execution,
+///               recorded as a degradation incident, never an error.
+///
+/// Hard invariant: speculative and serial execution produce bit-identical
+/// results (tests + minif_fuzz stage 2e enforce it), and the accounting
+/// `spec.attempts == spec.commits + spec.rollbacks` always holds
+/// (tools/report_lint check_spec).
+
+// --- counters ---------------------------------------------------------------
+
+namespace counters {
+
+/// Global speculation accounting over ap::trace counters.
+///   spec.attempts  — speculative chunk executions
+///   spec.commits   — chunks whose buffers were validated and applied
+///   spec.rollbacks — chunks discarded (conflict, forced misspeculation,
+///                    unsafe operation, or exception); each is re-run
+///                    serially, which is not an attempt
+///   spec.fallbacks — loops permanently degraded to serial execution
+void attempts(std::int64_t n = 1);
+void commits(std::int64_t n = 1);
+void rollbacks(std::int64_t n = 1);
+void fallbacks(std::int64_t n = 1);
+
+[[nodiscard]] std::int64_t attempts_count();
+[[nodiscard]] std::int64_t commits_count();
+[[nodiscard]] std::int64_t rollbacks_count();
+[[nodiscard]] std::int64_t fallbacks_count();
+
+}  // namespace counters
+
+// --- profiler ---------------------------------------------------------------
+
+/// What the dependence profiler observed for one loop (by loop_id).
+struct LoopProfile {
+    std::int64_t invocations = 0;  ///< observed executions of the loop
+    std::int64_t flow_deps = 0;    ///< cross-iteration read-after-write events
+    bool opaque = false;           ///< a foreign call hid accesses from the profiler
+
+    /// Speculation candidate: observed at least once, never a conflict,
+    /// and nothing was hidden from the profiler.
+    [[nodiscard]] bool candidate() const noexcept {
+        return invocations > 0 && flow_deps == 0 && !opaque;
+    }
+};
+
+/// Accumulated dependence profile over one or more observe-mode runs
+/// (interp::ExecutionOptions::profile). Thread-safe; observe runs are
+/// serial but profiles may be shared across Machines.
+class Profile {
+public:
+    void record_invocation(int loop_id);
+    void record_flow_dep(int loop_id, std::int64_t n = 1);
+    void mark_opaque(int loop_id);
+
+    /// Zero-value profile when the loop was never observed.
+    [[nodiscard]] LoopProfile of(int loop_id) const;
+    [[nodiscard]] bool candidate(int loop_id) const;
+    [[nodiscard]] std::map<int, LoopProfile> all() const;
+
+private:
+    mutable std::mutex mu_;
+    std::map<int, LoopProfile> loops_;
+};
+
+// --- per-loop runtime state -------------------------------------------------
+
+/// Speculation accounting for one loop across its executions.
+struct LoopStats {
+    std::int64_t waves = 0;      ///< speculative executions of the whole loop
+    std::int64_t attempts = 0;   ///< speculative chunks executed
+    std::int64_t commits = 0;
+    std::int64_t rollbacks = 0;
+    int consecutive_rollback_waves = 0;  ///< storm detector state
+    bool fallen_back = false;            ///< permanently serial
+};
+
+/// Tracks per-loop speculation outcomes and the rollback-storm budget.
+/// Shared by the executor's worker threads; all methods are thread-safe.
+class Registry {
+public:
+    [[nodiscard]] bool fallen_back(int loop_id) const;
+
+    /// Records one speculative execution of the loop (one wave of
+    /// chunks). Bumps the global spec.* counters. A wave containing at
+    /// least one rollback advances the storm counter; `max_consecutive`
+    /// such waves in a row (when > 0) trip the permanent serial fallback
+    /// — the return value is true exactly when this call tripped it.
+    bool record_wave(int loop_id, std::int64_t attempts, std::int64_t commits,
+                     std::int64_t rollbacks, int max_consecutive);
+
+    [[nodiscard]] LoopStats stats(int loop_id) const;
+    [[nodiscard]] std::map<int, LoopStats> all() const;
+
+private:
+    mutable std::mutex mu_;
+    std::map<int, LoopStats> loops_;
+};
+
+// --- runtime configuration --------------------------------------------------
+
+/// Knobs of the speculative executor.
+struct Options {
+    /// Speculative chunks per wave (0 = the default of 8). Fixed and
+    /// hardware-independent so read/write sets, conflicts, and counters
+    /// are deterministic for a given program and input.
+    int chunks = 0;
+    /// Consecutive all-or-partially-rolled-back waves before a loop
+    /// permanently falls back to serial execution (0 = never).
+    int max_consecutive_rollbacks = 3;
+    /// Only speculate on loops the dependence profiler has cleared.
+    /// Drills and differential fuzzing disable this to force the
+    /// rollback machinery through every MaybeParallel loop.
+    bool require_profile = true;
+
+    [[nodiscard]] int effective_chunks() const noexcept { return chunks > 0 ? chunks : 8; }
+};
+
+/// Everything the interpreter needs to run loops speculatively. The
+/// caller owns it (and the pointees); one Runtime may serve many runs —
+/// the Registry accumulates across them, which is what lets the storm
+/// budget span repeated executions of the same loop.
+struct Runtime {
+    Options options;
+    /// Candidate gate (see Options::require_profile); may be null.
+    const Profile* profile = nullptr;
+    /// Forced-misspeculation injection (fault Kind::Misspec): consulted
+    /// once per chunk at validation time. May be null.
+    fault::Injector* injector = nullptr;
+    /// Receives one degraded Incident per permanent serial fallback.
+    /// May be null (the fallback still happens and is still counted).
+    guard::IncidentLog* incidents = nullptr;
+    Registry registry;
+
+    /// Candidate decision for one loop: not fallen back, and cleared by
+    /// the profile (or profiling waived).
+    [[nodiscard]] bool should_speculate(int loop_id) const {
+        if (registry.fallen_back(loop_id)) return false;
+        if (!options.require_profile) return true;
+        return profile != nullptr && profile->candidate(loop_id);
+    }
+};
+
+}  // namespace ap::spec

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <numeric>
@@ -122,6 +123,59 @@ TEST(FaultInjector, CrashFiresExactlyOnce) {
     // lets a retry that shares the injector get past the crash).
     EXPECT_NO_THROW(inj.on_op(0));
     EXPECT_NO_THROW(inj.on_op(0));
+}
+
+TEST(FaultPlan, MisspecAndLedgerRoundTrip) {
+    fault::Plan plan;
+    plan.misspec_rank = 4;
+    plan.misspec_at = 2;
+    plan.torn_rank = 1;
+    plan.torn_at = 3;
+    plan.ledger = "/tmp/ap-ledger-roundtrip";
+    EXPECT_TRUE(plan.any());
+    const auto back = fault::Plan::parse(plan.spec());
+    EXPECT_EQ(back.misspec_rank, plan.misspec_rank);
+    EXPECT_EQ(back.misspec_at, plan.misspec_at);
+    EXPECT_EQ(back.torn_rank, plan.torn_rank);
+    EXPECT_EQ(back.torn_at, plan.torn_at);
+    EXPECT_EQ(back.ledger, plan.ledger);
+    EXPECT_THROW((void)fault::Plan::parse("misspec=2"), std::invalid_argument);
+    EXPECT_THROW((void)fault::Plan::parse("misspec=-1@5"), std::invalid_argument);
+}
+
+TEST(FaultInjector, MisspecValidationFiresExactlyOnceOnItsStream) {
+    fault::Plan plan;
+    plan.misspec_rank = 7;
+    plan.misspec_at = 3;
+    fault::Injector inj(plan);
+    EXPECT_FALSE(inj.on_validate(5));  // other speculation streams untouched
+    EXPECT_FALSE(inj.on_validate(7));  // validation 1
+    EXPECT_FALSE(inj.on_validate(7));  // validation 2
+    EXPECT_TRUE(inj.on_validate(7));   // validation 3: the scheduled one
+    EXPECT_FALSE(inj.on_validate(7));  // one-shot: never refires
+    EXPECT_FALSE(inj.on_validate(7));
+    fault::counters::recover_outstanding();  // settle the drill's injected misspec
+}
+
+TEST(FaultInjector, DurableLedgerMakesTornOneShotAcrossInjectors) {
+    // Two injectors with the same plan model a daemon killed and
+    // respawned mid-drill: without the ledger each process-local one-shot
+    // would fire its own tear; the durable ledger lets exactly one win.
+    const std::string ledger =
+        ::testing::TempDir() + "/torn-ledger-" +
+        std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+    std::remove(ledger.c_str());
+    fault::Plan plan;
+    plan.torn_rank = 0;
+    plan.torn_at = 1;
+    plan.ledger = ledger;
+
+    fault::Injector first(plan);
+    fault::Injector respawned(plan);
+    EXPECT_TRUE(first.on_append(0));
+    EXPECT_FALSE(respawned.on_append(0)) << "ledger already claimed by the first process";
+    fault::counters::recover_outstanding();  // settle the drill's injected tear
+    std::remove(ledger.c_str());
 }
 
 // --- mpisim failure semantics ----------------------------------------------

@@ -276,6 +276,74 @@ TEST(Explain, LoopDrilldownShowsSpans) {
     EXPECT_GT(core::explain::narrative(make_report_doc(report, 0), missing).problems, 0);
 }
 
+TEST(Explain, MaybeParallelLoopIsMarkedAsSpeculationCandidate) {
+    auto prog = frontend::parse(R"(
+PROGRAM P
+  REAL X(16)
+  INTEGER IDX(16), I
+!$TARGET
+  DO I = 1, 16
+    X(IDX(I)) = 1.0 * I
+  END DO
+END
+)");
+    const auto report = core::compile(prog, {});
+    trace::json::Value data = trace::json::Value::object();
+    data.set("provenance", core::provenance_json({{"unit", &report}}));
+    trace::json::Value doc = trace::json::Value::object();
+    doc.set("schema", "ap.bench.v1");
+    doc.set("data", std::move(data));
+    const auto out = core::explain::narrative(doc);
+    EXPECT_NE(out.text.find("NOT parallel (MaybeParallel)"), std::string::npos) << out.text;
+    EXPECT_NE(out.text.find("speculatively"), std::string::npos) << out.text;
+}
+
+/// A minimal ap.spec.v1 envelope, the BENCH_spec.json shape.
+trace::json::Value make_spec_doc(std::int64_t commits, std::int64_t rollbacks) {
+    namespace json = ap::trace::json;
+    json::Value spec = json::Value::object();
+    spec.set("attempts", std::int64_t{8});
+    spec.set("commits", commits);
+    spec.set("rollbacks", rollbacks);
+    spec.set("fallbacks", std::int64_t{0});
+    json::Value p = json::Value::object();
+    p.set("name", "spec-indirection");
+    p.set("attempts", std::int64_t{8});
+    p.set("commits", commits);
+    p.set("rollbacks", rollbacks);
+    p.set("bit_identical", true);
+    json::Value programs = json::Value::array();
+    programs.push_back(std::move(p));
+    json::Value rec = json::Value::object();
+    rec.set("indirection", std::int64_t{1});
+    json::Value data = json::Value::object();
+    data.set("schema", "ap.spec.v1");
+    data.set("spec", std::move(spec));
+    data.set("programs", std::move(programs));
+    data.set("recovered_by_hindrance", std::move(rec));
+    json::Value doc = json::Value::object();
+    doc.set("schema", "ap.bench.v1");
+    doc.set("bench", "spec");
+    doc.set("data", std::move(data));
+    return doc;
+}
+
+TEST(Explain, SpecReportRendersSpeculationOutcomes) {
+    const auto out = core::explain::narrative(make_spec_doc(7, 1));
+    EXPECT_EQ(out.problems, 0) << out.text;
+    EXPECT_NE(out.text.find("8 chunk attempts = 7 committed + 1 rolled back"),
+              std::string::npos)
+        << out.text;
+    EXPECT_NE(out.text.find("spec-indirection"), std::string::npos) << out.text;
+    EXPECT_NE(out.text.find("indirection=1"), std::string::npos) << out.text;
+}
+
+TEST(Explain, SpecReportFlagsUnbalancedLedger) {
+    const auto out = core::explain::narrative(make_spec_doc(7, 2));
+    EXPECT_GT(out.problems, 0) << out.text;
+    EXPECT_NE(out.text.find("ledger does not balance"), std::string::npos) << out.text;
+}
+
 TEST(Explain, HistogramRollupMatchesAndCatchesPerturbation) {
     const auto* seismic = corpus::all()[0];
     const core::CompileReport report = compile_corpus(*seismic, 1, true);

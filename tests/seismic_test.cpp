@@ -45,8 +45,22 @@ TEST_P(SeismicPhases, FindiffChecksumMatchesSerial) {
 
 INSTANTIATE_TEST_SUITE_P(AllFlavors, SeismicPhases,
                          ::testing::Values(Flavor::Serial, Flavor::Mpi, Flavor::OuterParallel,
-                                           Flavor::AutoInner),
+                                           Flavor::AutoInner, Flavor::SpecPriv),
                          [](const auto& info) { return to_string(info.param); });
+
+TEST(Seismic, SpecPrivLedgerBalancesAndCommitsClean) {
+    // The speculative flavor's chunk ledger must balance, and on this
+    // suite nothing may roll back: every recovered loop is genuinely
+    // conflict-free at runtime.
+    const Deck deck = Deck::tiny();
+    for (const auto& phase :
+         {run_datagen(deck, Flavor::SpecPriv, 2), run_stack(deck, Flavor::SpecPriv, 2),
+          run_fft3d(deck, Flavor::SpecPriv, 2), run_findiff(deck, Flavor::SpecPriv, 2)}) {
+        EXPECT_EQ(phase.spec_attempts, phase.spec_commits + phase.spec_rollbacks);
+        EXPECT_GT(phase.spec_attempts, 0);
+        EXPECT_EQ(phase.spec_rollbacks, 0);
+    }
+}
 
 TEST(Seismic, FftRoundTripRecoversInput) {
     // After forward+inverse+normalize the checksum equals the input's

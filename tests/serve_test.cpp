@@ -223,6 +223,129 @@ TEST(PersistentCache, GarbageSegmentIsQuarantinedNotFatal) {
     remove_tree(dir);
 }
 
+// --- recovery edges: the exact shapes a kill -9 can leave behind ------------
+
+namespace segfmt {
+
+constexpr char kMagic[8] = {'A', 'P', 'S', 'E', 'G', '0', '1', '\n'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void write_segment(const std::string& dir, const std::string& bytes) {
+    ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+    const std::string path = dir + "/shard-00.seg";
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::write(fd, bytes.data(), bytes.size()), static_cast<ssize_t>(bytes.size()));
+    ::close(fd);
+}
+
+}  // namespace segfmt
+
+TEST(PersistentCache, EmptySegmentFileOpensCleanAndWritable) {
+    // A crash between creat() and the header write leaves a 0-byte
+    // segment: that is a fresh segment, not corruption — open must not
+    // count it as a recovery.
+    const std::string dir = scratch("empty-seg");
+    segfmt::write_segment(dir, "");
+
+    serve::PersistentCache cache;
+    ASSERT_TRUE(cache.open(dir));
+    EXPECT_EQ(cache.stats().recovered, 0u);
+    EXPECT_EQ(cache.stats().discarded, 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    cache.store("k", sched::AnalysisCache::key_digest("k"), entry_with(5, ""));
+    cache.close();
+    ASSERT_TRUE(cache.open(dir));
+    EXPECT_TRUE(cache.load("k", sched::AnalysisCache::key_digest("k")).has_value());
+    cache.close();
+    remove_tree(dir);
+}
+
+TEST(PersistentCache, ZeroLengthRecordIsDiscardedNotLooped) {
+    // A record header declaring len=0 with the (valid) checksum of the
+    // empty payload: decode must reject it and recovery must drop it —
+    // without spinning on a record that never advances the cursor.
+    const std::string dir = scratch("zero-rec");
+    std::string seg(segfmt::kMagic, sizeof segfmt::kMagic);
+    segfmt::put_u32(seg, 0);
+    segfmt::put_u64(seg, trace::digest(std::string_view{}));
+    segfmt::write_segment(dir, seg);
+
+    serve::PersistentCache cache;
+    ASSERT_TRUE(cache.open(dir));
+    EXPECT_EQ(cache.stats().recovered, 1u);
+    EXPECT_EQ(cache.stats().discarded, 1u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    // The healed segment accepts and serves appends again.
+    cache.store("k", sched::AnalysisCache::key_digest("k"), entry_with(5, ""));
+    cache.close();
+    ASSERT_TRUE(cache.open(dir));
+    EXPECT_TRUE(cache.load("k", sched::AnalysisCache::key_digest("k")).has_value());
+    cache.close();
+    remove_tree(dir);
+}
+
+TEST(PersistentCache, ChecksumValidButTruncatedFinalRecordIsDropped) {
+    // The trap shape: the final record's header is complete and its
+    // checksum field is the CORRECT digest of the full payload — but the
+    // file ends mid-payload. Recovery must notice the length overrun
+    // before trusting the checksum, drop exactly that record, and keep
+    // every intact record before it.
+    serve::PersistentCache writer;
+    const std::string tmp = scratch("trunc-writer");
+    ASSERT_TRUE(writer.open(tmp));
+    std::string survivor_key;
+    for (int i = 0; i < 64; ++i) {
+        // Find a key landing in shard 0, write it through the real
+        // encoder so the surviving record is format-faithful.
+        std::string key = "prover|edge-" + std::to_string(i) + "|d1|";
+        if (sched::AnalysisCache::key_digest(key) % serve::PersistentCache::kShards == 0) {
+            writer.store(key, sched::AnalysisCache::key_digest(key), entry_with(11, "ok"));
+            survivor_key = key;
+            break;
+        }
+    }
+    ASSERT_FALSE(survivor_key.empty());
+    writer.close();
+    std::string seg;
+    {
+        std::FILE* f = std::fopen((tmp + "/shard-00.seg").c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        std::size_t r;
+        while ((r = std::fread(buf, 1, sizeof buf, f)) > 0) seg.append(buf, r);
+        std::fclose(f);
+    }
+    remove_tree(tmp);
+    // Append the truncated-but-checksum-valid tail record by hand.
+    const std::string payload = "payload the crash cut in half";
+    segfmt::put_u32(seg, static_cast<std::uint32_t>(payload.size()));
+    segfmt::put_u64(seg, trace::digest(payload));
+    seg.append(payload.data(), payload.size() / 2);
+
+    const std::string dir2 = scratch("trunc-reader");
+    segfmt::write_segment(dir2, seg);
+    serve::PersistentCache cache;
+    ASSERT_TRUE(cache.open(dir2));
+    EXPECT_EQ(cache.stats().recovered, 1u);
+    EXPECT_EQ(cache.stats().discarded, 1u);
+    EXPECT_EQ(cache.stats().entries, 1u) << "the intact record must survive";
+    const auto loaded =
+        cache.load(survivor_key, sched::AnalysisCache::key_digest(survivor_key));
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->ops_cost, 11u);
+    EXPECT_EQ(loaded->detail, "ok");
+    cache.close();
+    remove_tree(dir2);
+}
+
 // --- compile integration: byte-identical verdicts across restarts -----------
 
 TEST(ServeCompile, WarmRestartVerdictsByteIdentical) {

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/foreigns.hpp"
+#include "fault/fault.hpp"
+#include "frontend/parser.hpp"
+#include "guard/guard.hpp"
+#include "interp/interp.hpp"
+#include "runtime/sim.hpp"
+#include "spec/native.hpp"
+#include "spec/spec.hpp"
+
+namespace ap::spec {
+namespace {
+
+// Statically blocked by an indirect subscript, dynamically a permutation:
+// the canonical speculation win.
+constexpr const char* kIndirection = R"MINIF(
+PROGRAM SPINDR
+  PARAMETER (N = 96)
+  REAL X(N), S
+  INTEGER IDX(N), I
+  DO I = 1, N
+    IDX(I) = N + 1 - I
+    X(I) = 0.0
+  END DO
+  DO I = 1, N
+    X(IDX(I)) = 0.5 * I + 1.0
+  END DO
+  S = 0.0
+  DO I = 1, N
+    S = S + X(I)
+  END DO
+  PRINT *, S, X(1), X(N)
+END
+)MINIF";
+
+// Rangeless offset K: with the sample deck K=1 the V(I+K) writes feed
+// the V(I) reads of the very next iteration — a REAL cross-iteration
+// flow dependence, so every speculative wave must roll back.
+constexpr const char* kConflicting = R"MINIF(
+PROGRAM SPCONF
+  PARAMETER (N = 48)
+  REAL V(N), S
+  INTEGER K, M, I
+  READ *, K, M
+  DO I = 1, N
+    V(I) = 1.0 * I
+  END DO
+  DO I = 1, M
+    V(I + K) = V(I) + 1.0
+  END DO
+  S = 0.0
+  DO I = 1, N
+    S = S + V(I)
+  END DO
+  PRINT *, S
+END
+)MINIF";
+
+std::vector<interp::Value> to_deck(const std::vector<double>& deck) {
+    std::vector<interp::Value> out;
+    out.reserve(deck.size());
+    for (double v : deck) out.emplace_back(v);
+    return out;
+}
+
+struct Compiled {
+    ir::Program prog;
+    core::CompileReport report;
+};
+
+Compiled compile_src(const char* source, const char* name) {
+    Compiled c{frontend::parse(source, name), {}};
+    c.report = core::compile(c.prog, {});
+    return c;
+}
+
+/// The first MaybeParallel loop of the program (the speculation target).
+int maybe_parallel_loop(const core::CompileReport& report) {
+    for (const auto& lr : report.loops) {
+        if (lr.maybe_parallel) return lr.loop_id;
+    }
+    return -1;
+}
+
+// --- profiler ---------------------------------------------------------------
+
+TEST(SpecProfile, CandidateNeedsCleanObservedRuns) {
+    Profile p;
+    EXPECT_FALSE(p.candidate(7));  // never observed
+
+    p.record_invocation(7);
+    EXPECT_TRUE(p.candidate(7));
+
+    p.record_flow_dep(7);
+    EXPECT_FALSE(p.candidate(7));  // a conflict disqualifies forever
+
+    p.record_invocation(9);
+    p.mark_opaque(9);
+    EXPECT_FALSE(p.candidate(9));  // hidden accesses disqualify too
+
+    const LoopProfile lp = p.of(7);
+    EXPECT_EQ(lp.invocations, 1);
+    EXPECT_EQ(lp.flow_deps, 1);
+    EXPECT_FALSE(lp.opaque);
+    EXPECT_EQ(p.of(12345).invocations, 0);  // unknown loop = zero profile
+}
+
+// --- registry / storm budget ------------------------------------------------
+
+TEST(SpecRegistry, StormBudgetTripsOnConsecutiveRollbackWaves) {
+    Registry r;
+    // Two dirty waves, then a clean one: the streak resets.
+    EXPECT_FALSE(r.record_wave(3, 8, 7, 1, 3));
+    EXPECT_FALSE(r.record_wave(3, 8, 6, 2, 3));
+    EXPECT_FALSE(r.record_wave(3, 8, 8, 0, 3));
+    EXPECT_EQ(r.stats(3).consecutive_rollback_waves, 0);
+
+    // Three dirty waves in a row: the third trips, exactly once.
+    EXPECT_FALSE(r.record_wave(3, 8, 7, 1, 3));
+    EXPECT_FALSE(r.record_wave(3, 8, 7, 1, 3));
+    EXPECT_TRUE(r.record_wave(3, 8, 7, 1, 3));
+    EXPECT_TRUE(r.fallen_back(3));
+
+    const LoopStats s = r.stats(3);
+    EXPECT_EQ(s.waves, 6);
+    EXPECT_EQ(s.attempts, s.commits + s.rollbacks);
+}
+
+TEST(SpecRegistry, ZeroBudgetNeverTrips) {
+    Registry r;
+    for (int i = 0; i < 10; ++i) EXPECT_FALSE(r.record_wave(1, 4, 0, 4, 0));
+    EXPECT_FALSE(r.fallen_back(1));
+}
+
+TEST(SpecOptions, EffectiveChunksDefaultsToEight) {
+    EXPECT_EQ(Options{}.effective_chunks(), 8);
+    Options o;
+    o.chunks = 3;
+    EXPECT_EQ(o.effective_chunks(), 3);
+}
+
+// --- MaybeParallel verdicts -------------------------------------------------
+
+TEST(SpecVerdict, IndirectSubscriptIsMaybeParallel) {
+    const Compiled c = compile_src(kIndirection, "SPINDR");
+    bool found = false;
+    for (const auto& lr : c.report.loops) {
+        if (lr.maybe_parallel) {
+            EXPECT_FALSE(lr.parallel);
+            EXPECT_EQ(lr.verdict, ir::Hindrance::Indirection);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found) << "X(IDX(I)) loop should be MaybeParallel";
+}
+
+TEST(SpecVerdict, ProvenCollisionIsNotMaybeParallel) {
+    // A(I) depends on A(I-1) with compile-time-provable distance 1: the
+    // hindrance is PROVEN, so speculation must not be offered.
+    constexpr const char* src = R"MINIF(
+PROGRAM PROVEN
+  PARAMETER (N = 32)
+  REAL A(N)
+  INTEGER I
+  A(1) = 1.0
+  DO I = 2, N
+    A(I) = A(I - 1) + 1.0
+  END DO
+  PRINT *, A(N)
+END
+)MINIF";
+    const Compiled c = compile_src(src, "PROVEN");
+    for (const auto& lr : c.report.loops) {
+        EXPECT_FALSE(lr.maybe_parallel) << lr.routine << " loop " << lr.loop_id;
+    }
+}
+
+TEST(SpecVerdict, LoopWithIoIsNotMaybeParallel) {
+    constexpr const char* src = R"MINIF(
+PROGRAM IOLOOP
+  PARAMETER (N = 8)
+  INTEGER I
+  DO I = 1, N
+    PRINT *, I
+  END DO
+END
+)MINIF";
+    const Compiled c = compile_src(src, "IOLOOP");
+    for (const auto& lr : c.report.loops) {
+        EXPECT_FALSE(lr.maybe_parallel) << "I/O loops must never speculate";
+    }
+}
+
+// --- end-to-end: speculation is bit-identical -------------------------------
+
+TEST(SpecExec, SpeculativeRunMatchesSerialBitForBit) {
+    Compiled c = compile_src(kIndirection, "SPINDR");
+    interp::Machine machine(c.prog);
+    const auto serial = machine.run({});
+
+    Profile profile;
+    interp::ExecutionOptions observe;
+    observe.profile = &profile;
+    ASSERT_EQ(machine.run({}, observe).output, serial.output);
+    ASSERT_TRUE(profile.candidate(maybe_parallel_loop(c.report)));
+
+    Runtime rt;
+    rt.profile = &profile;
+    interp::ExecutionOptions opts;
+    opts.parallel = true;
+    opts.spec = &rt;
+    const auto spec = machine.run({}, opts);
+    EXPECT_EQ(spec.output, serial.output);
+
+    const LoopStats s = rt.registry.stats(maybe_parallel_loop(c.report));
+    EXPECT_GT(s.attempts, 0);
+    EXPECT_EQ(s.attempts, s.commits + s.rollbacks);
+    EXPECT_EQ(s.rollbacks, 0) << "permutation writes never conflict";
+}
+
+TEST(SpecExec, CorpusProgramsMatchSerialUnderSpeculation) {
+    for (const auto* corpus : corpus::all()) {
+        if (!corpus->runnable) continue;
+        auto prog = corpus::load(*corpus);
+        core::CompilerOptions copts;
+        copts.loop_op_budget = corpus->loop_op_budget;
+        (void)core::compile(prog, copts);
+
+        interp::Machine machine(prog);
+        corpus::register_foreigns(machine);
+        const auto serial = machine.run(to_deck(corpus->sample_deck));
+
+        Profile profile;
+        interp::ExecutionOptions observe;
+        observe.profile = &profile;
+        (void)machine.run(to_deck(corpus->sample_deck), observe);
+
+        Runtime rt;
+        rt.profile = &profile;
+        interp::ExecutionOptions opts;
+        opts.parallel = true;
+        opts.spec = &rt;
+        const auto spec = machine.run(to_deck(corpus->sample_deck), opts);
+        EXPECT_EQ(spec.output, serial.output) << corpus->name;
+    }
+}
+
+// --- forced misspeculation --------------------------------------------------
+
+TEST(SpecExec, ForcedMisspecRollsBackAndStaysBitIdentical) {
+    Compiled c = compile_src(kIndirection, "SPINDR");
+    const int loop = maybe_parallel_loop(c.report);
+    ASSERT_GE(loop, 0);
+
+    interp::Machine machine(c.prog);
+    const auto serial = machine.run({});
+
+    Profile profile;
+    interp::ExecutionOptions observe;
+    observe.profile = &profile;
+    (void)machine.run({}, observe);
+
+    fault::Plan plan;
+    plan.misspec_rank = loop;
+    plan.misspec_at = 1;
+    fault::Injector injector(plan);
+
+    const std::int64_t injected0 = fault::counters::injected_count(fault::Kind::Misspec);
+    const std::int64_t recovered0 = fault::counters::recovered_count(fault::Kind::Misspec);
+
+    Runtime rt;
+    rt.profile = &profile;
+    rt.injector = &injector;
+    interp::ExecutionOptions opts;
+    opts.parallel = true;
+    opts.spec = &rt;
+    const auto spec = machine.run({}, opts);
+
+    EXPECT_EQ(spec.output, serial.output);
+    const LoopStats s = rt.registry.stats(loop);
+    EXPECT_GE(s.rollbacks, 1);
+    EXPECT_EQ(s.attempts, s.commits + s.rollbacks);
+    EXPECT_EQ(fault::counters::injected_count(fault::Kind::Misspec), injected0 + 1);
+    EXPECT_EQ(fault::counters::recovered_count(fault::Kind::Misspec), recovered0 + 1);
+}
+
+// --- rollback storm ---------------------------------------------------------
+
+TEST(SpecExec, RollbackStormFallsBackToSerialAsDegradation) {
+    Compiled c = compile_src(kConflicting, "SPCONF");
+    const int loop = maybe_parallel_loop(c.report);
+    ASSERT_GE(loop, 0);
+
+    interp::Machine machine(c.prog);
+    const std::vector<double> deck{1.0, 32.0};  // K=1: a real flow dependence
+    const auto serial = machine.run(to_deck(deck));
+
+    guard::IncidentLog incidents;
+    Runtime rt;
+    rt.options.require_profile = false;  // drill mode: force speculation
+    rt.options.max_consecutive_rollbacks = 2;
+    rt.incidents = &incidents;
+    interp::ExecutionOptions opts;
+    opts.parallel = true;
+    opts.spec = &rt;
+
+    const std::int64_t fallbacks0 = counters::fallbacks_count();
+    // Wave 1 and 2 both roll back (the dependence is real): the second
+    // trips the permanent serial fallback.
+    for (int run = 0; run < 2; ++run) {
+        const auto out = machine.run(to_deck(deck), opts);
+        EXPECT_EQ(out.output, serial.output) << "rollbacks must stay bit-identical";
+    }
+    EXPECT_TRUE(rt.registry.fallen_back(loop));
+    EXPECT_EQ(counters::fallbacks_count(), fallbacks0 + 1);
+    ASSERT_EQ(incidents.incidents().size(), 1u);
+    EXPECT_EQ(incidents.incidents()[0].pass, "speculation");
+    EXPECT_EQ(incidents.incidents()[0].loop_id, loop);
+    EXPECT_FALSE(incidents.incidents()[0].fatal) << "degradation, never an error";
+    EXPECT_EQ(incidents.fatal(), 0);
+
+    // Fallen back: the loop now runs serially — still correct, and the
+    // ledger no longer moves.
+    const LoopStats before = rt.registry.stats(loop);
+    const auto out = machine.run(to_deck(deck), opts);
+    EXPECT_EQ(out.output, serial.output);
+    const LoopStats after = rt.registry.stats(loop);
+    EXPECT_EQ(after.attempts, before.attempts);
+    EXPECT_EQ(after.waves, before.waves);
+}
+
+// --- native (SpecPriv) layer ------------------------------------------------
+
+TEST(SpecNative, DisjointChunksAllCommit) {
+    runtime::SimCostModel model;
+    runtime::SimTimer sim(model);
+    std::vector<double> v(64, 0.0);
+    const NativeOutcome out = speculate<double>(
+        sim, 0, 64, 4,
+        [&](ChunkIO<double>& io, std::int64_t b, std::int64_t e) {
+            double* scratch = io.write_span(v.data(), static_cast<std::size_t>(b),
+                                            static_cast<std::size_t>(e));
+            for (std::int64_t i = b; i < e; ++i) scratch[i - b] = 2.0 * static_cast<double>(i);
+        },
+        [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) v[static_cast<std::size_t>(i)] = 2.0 * static_cast<double>(i);
+        });
+    EXPECT_EQ(out.attempts, 4);
+    EXPECT_EQ(out.commits, 4);
+    EXPECT_EQ(out.rollbacks, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], 2.0 * static_cast<double>(i));
+}
+
+TEST(SpecNative, OverlappingChunksRollBackAndMatchSerial) {
+    // v[i] = v[i-1] + 1: a genuine loop-carried dependence. Chunk 0 is
+    // correct against pristine state and commits; every later chunk read
+    // a location an earlier chunk wrote, rolls back, and re-executes
+    // serially — the final array must equal the pure serial recurrence.
+    runtime::SimCostModel model;
+    runtime::SimTimer sim(model);
+    std::vector<double> v(64, 0.0);
+    const NativeOutcome out = speculate<double>(
+        sim, 1, 64, 4,
+        [&](ChunkIO<double>& io, std::int64_t b, std::int64_t e) {
+            io.read_span(v.data(), static_cast<std::size_t>(b - 1),
+                         static_cast<std::size_t>(e - 1));
+            double* scratch = io.write_span(v.data(), static_cast<std::size_t>(b),
+                                            static_cast<std::size_t>(e));
+            scratch[0] = v[static_cast<std::size_t>(b - 1)] + 1.0;  // stale for chunks > 0
+            for (std::int64_t i = b + 1; i < e; ++i) scratch[i - b] = scratch[i - b - 1] + 1.0;
+        },
+        [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+                v[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(i - 1)] + 1.0;
+            }
+        });
+    EXPECT_EQ(out.attempts, 4);
+    EXPECT_EQ(out.commits, 1);
+    EXPECT_EQ(out.rollbacks, 3);
+    for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], static_cast<double>(i));
+}
+
+TEST(SpecNative, EmptyRangeIsANoOp) {
+    runtime::SimCostModel model;
+    runtime::SimTimer sim(model);
+    const NativeOutcome out = speculate<double>(
+        sim, 5, 5, 4, [&](ChunkIO<double>&, std::int64_t, std::int64_t) { FAIL(); },
+        [&](std::int64_t, std::int64_t) { FAIL(); });
+    EXPECT_EQ(out.attempts, 0);
+}
+
+}  // namespace
+}  // namespace ap::spec

@@ -15,6 +15,13 @@
 //   --hist        recompute the Fig.-5 histogram from the raw records and
 //                 diff it against the report's own `codes[].histogram`.
 //
+// Loops whose verdict is unproven (a hindrance assumed, not demonstrated)
+// render as "NOT parallel (MaybeParallel)" with a speculation-eligibility
+// note. An ap.spec.v1 report (spec_bench --json, BENCH_spec.json) has no
+// per-loop provenance; for those the default mode renders the speculation
+// outcomes instead: the process-wide and per-program chunk ledgers, the
+// forced-misspeculation drill, and the loops recovered per hindrance.
+//
 // Exits nonzero when the rendering found problems: a missing provenance
 // section, a non-parallel target loop with no supporting record, a
 // --loop filter that matched nothing, or a histogram mismatch. All the

@@ -27,6 +27,15 @@
 //                           for bad magic, never allocate past the
 //                           payload cap. Runs before parse, so every
 //                           iteration exercises it.
+//   2e. speculation diff  — after the oracle pair agrees, the serial run
+//                           repeats in observe mode to feed the ap::spec
+//                           dependence profiler, then the mutant executes
+//                           speculatively (chunked, buffered writes,
+//                           validate-and-commit). Output must match the
+//                           serial oracle bit for bit and every loop's
+//                           chunk ledger must balance
+//                           (attempts == commits + rollbacks); any
+//                           divergence is a FAILURE.
 //   3. interpret          — serial then parallel (the oracle pair), with
 //                           a small step cap and wall-clock watchdog so
 //                           mutants that loop forever are cut off.
@@ -53,6 +62,7 @@
 #include "interp/interp.hpp"
 #include "prov/prov.hpp"
 #include "serve/proto.hpp"
+#include "spec/spec.hpp"
 
 namespace {
 
@@ -194,6 +204,7 @@ struct Stats {
     std::int64_t degraded = 0;       ///< compiles with >=1 guard incident
     std::int64_t runtime_rejects = 0;
     std::int64_t differential = 0;   ///< serial+parallel pairs compared
+    std::int64_t spec_diffs = 0;     ///< speculative-vs-serial pairs compared
     std::int64_t compile_diffs = 0;  ///< thread-count compile pairs compared
     std::int64_t prov_diffs = 0;     ///< provenance determinism pairs compared
     std::int64_t wire_decodes = 0;   ///< hostile wire-decoder inputs driven
@@ -486,6 +497,64 @@ void run_iteration(Rng& rng, std::uint64_t seed, std::int64_t iter, Stats& stats
                              std::to_string(serial_out.output.size()) + " vs " +
                              std::to_string(parallel_out.output.size()) + " lines)";
         fail(stats, "differential", seed, iter, detail);
+        return;
+    }
+
+    // 2e. speculative-vs-serial differential (ISSUE 8). The serial
+    // oracle repeats in observe mode to feed the dependence profiler,
+    // then the mutant runs speculatively. The hard invariant: output
+    // bit-identical to serial, and every speculated loop's chunk ledger
+    // balances. Mutants are deterministic, so a RuntimeError here after
+    // a clean oracle pair would itself be a divergence — but the
+    // speculative executor charges steps differently (chunks plus the
+    // commit phase), so the step cap can legitimately trip where the
+    // serial run squeaked by; treat RuntimeError as a rejection.
+    try {
+        spec::Profile profile;
+        interp::Machine observer(prog);
+        corpus::register_foreigns(observer);
+        auto observe_opts = serial_opts;
+        observe_opts.profile = &profile;
+        const auto observe_out = observer.run(to_deck(base.sample_deck), observe_opts);
+        if (observe_out.output != serial_out.output) {
+            fail(stats, "spec-differential", seed, iter,
+                 "observe-mode output diverged from the plain serial run");
+            return;
+        }
+        spec::Runtime rt;
+        rt.profile = &profile;
+        interp::Machine spec_machine(prog);
+        corpus::register_foreigns(spec_machine);
+        auto spec_opts = serial_opts;
+        spec_opts.parallel = true;
+        spec_opts.threads = 4;
+        spec_opts.spec = &rt;
+        const auto spec_out = spec_machine.run(to_deck(base.sample_deck), spec_opts);
+        ++stats.spec_diffs;
+        if (spec_out.output != serial_out.output) {
+            fail(stats, "spec-differential", seed, iter,
+                 "speculative output diverged from serial (" +
+                     std::to_string(spec_out.output.size()) + " vs " +
+                     std::to_string(serial_out.output.size()) + " lines)");
+            return;
+        }
+        for (const auto& [loop_id, ls] : rt.registry.all()) {
+            if (ls.attempts != ls.commits + ls.rollbacks) {
+                fail(stats, "spec-differential", seed, iter,
+                     "loop " + std::to_string(loop_id) + " ledger unbalanced: attempts=" +
+                         std::to_string(ls.attempts) + " commits=" +
+                         std::to_string(ls.commits) + " rollbacks=" +
+                         std::to_string(ls.rollbacks));
+                return;
+            }
+        }
+    } catch (const interp::RuntimeError&) {
+        ++stats.runtime_rejects;
+        return;
+    } catch (const std::exception& e) {
+        fail(stats, "spec-differential", seed, iter,
+             std::string("escaped exception: ") + e.what());
+        return;
     }
 }
 
@@ -528,14 +597,14 @@ int main(int argc, char** argv) {
 
     std::printf(
         "minif_fuzz: seed=%llu iterations=%lld parse_rejects=%lld compiled=%lld "
-        "degraded=%lld runtime_rejects=%lld differential=%lld compile_diffs=%lld "
-        "prov_diffs=%lld wire_decodes=%lld failures=%lld\n",
+        "degraded=%lld runtime_rejects=%lld differential=%lld spec_diffs=%lld "
+        "compile_diffs=%lld prov_diffs=%lld wire_decodes=%lld failures=%lld\n",
         static_cast<unsigned long long>(seed), static_cast<long long>(stats.iterations),
         static_cast<long long>(stats.parse_rejects), static_cast<long long>(stats.compiled),
         static_cast<long long>(stats.degraded), static_cast<long long>(stats.runtime_rejects),
-        static_cast<long long>(stats.differential), static_cast<long long>(stats.compile_diffs),
-        static_cast<long long>(stats.prov_diffs), static_cast<long long>(stats.wire_decodes),
-        static_cast<long long>(stats.failures));
+        static_cast<long long>(stats.differential), static_cast<long long>(stats.spec_diffs),
+        static_cast<long long>(stats.compile_diffs), static_cast<long long>(stats.prov_diffs),
+        static_cast<long long>(stats.wire_decodes), static_cast<long long>(stats.failures));
     if (stats.failures) {
         std::fprintf(stderr, "minif_fuzz: %lld failure(s)\n",
                      static_cast<long long>(stats.failures));

@@ -238,6 +238,100 @@ void check_server(const Value& server) {
     }
 }
 
+// The speculative-execution report (BENCH_spec.json, docs/OBSERVABILITY.md
+// §ap.spec.v1). Enforced invariants:
+//   - every validated chunk either committed or rolled back:
+//       attempts == commits + rollbacks  (globally and per program)
+//   - speculation never changed results: every program's spec checksum is
+//     bit-identical to its serial checksum
+//   - the forced-misspeculation drill actually rolled back and recovered
+//   - at least one hindrance category recovered loops speculatively
+void check_spec(const Value& data, const Value* counters) {
+    const Value* schema = require(data, "schema", "string");
+    if (schema && schema->as_string() != "ap.spec.v1") {
+        fail("data.schema is \"" + schema->as_string() + "\", expected \"ap.spec.v1\"");
+    }
+    auto check_ledger = [&](const Value& v, const std::string& where) {
+        const Value* attempts = require(v, "attempts", "number");
+        const Value* commits = require(v, "commits", "number");
+        const Value* rollbacks = require(v, "rollbacks", "number");
+        if (attempts && commits && rollbacks &&
+            attempts->as_int() != commits->as_int() + rollbacks->as_int()) {
+            fail(where + " accounting imbalance: attempts=" +
+                 std::to_string(attempts->as_int()) + " != commits=" +
+                 std::to_string(commits->as_int()) + " + rollbacks=" +
+                 std::to_string(rollbacks->as_int()));
+        }
+    };
+    if (const Value* spec = require(data, "spec", "object")) {
+        check_ledger(*spec, "data.spec");
+        const Value* fallbacks = require(*spec, "fallbacks", "number");
+        if (fallbacks && fallbacks->as_int() < 0) fail("spec.fallbacks is negative");
+    }
+    const Value* programs = require(data, "programs", "array");
+    if (programs) {
+        if (programs->size() == 0) fail("\"programs\" is empty");
+        for (const Value& p : *programs->as_array()) {
+            if (!p.is_object()) {
+                fail("programs[] entry is not an object");
+                continue;
+            }
+            const Value* name = require(p, "name", "string");
+            const std::string where =
+                "program " + (name ? name->as_string() : std::string("?"));
+            check_ledger(p, where);
+            const Value* serial = require(p, "serial_checksum", "string");
+            const Value* specsum = require(p, "spec_checksum", "string");
+            const Value* identical = require(p, "bit_identical", "bool");
+            if (identical && !identical->as_bool()) {
+                fail(where + " is not bit-identical to serial execution");
+            }
+            if (serial && specsum && serial->as_string() != specsum->as_string()) {
+                fail(where + " checksum mismatch: serial=" + serial->as_string() +
+                     " spec=" + specsum->as_string());
+            }
+        }
+    }
+    if (const Value* drill = require(data, "misspec_drill", "object")) {
+        check_ledger(*drill, "misspec_drill");
+        const Value* rollbacks = drill->find("rollbacks");
+        if (rollbacks && rollbacks->as_int() < 1) {
+            fail("misspec_drill reports no rollbacks (injected misspeculation "
+                 "never fired or was not validated)");
+        }
+        const Value* identical = require(*drill, "bit_identical", "bool");
+        if (identical && !identical->as_bool()) {
+            fail("misspec_drill did not recover bit-identical results");
+        }
+    }
+    if (const Value* recovered = require(data, "recovered_by_hindrance", "object")) {
+        std::int64_t total = 0;
+        for (const auto& [category, n] : *recovered->as_object()) {
+            if (!n.is_number() || n.as_int() < 0) {
+                fail("recovered_by_hindrance." + category + " is not a non-negative number");
+            } else {
+                total += n.as_int();
+            }
+        }
+        if (total < 1) {
+            fail("no hindrance category recovered any loop speculatively");
+        }
+    }
+    // The process-wide counters must satisfy the same commit ledger.
+    if (counters && counters->as_object()) {
+        auto count = [&](const char* cname) -> std::int64_t {
+            const Value* v = counters->find(cname);
+            return v ? v->as_int() : 0;
+        };
+        if (count("spec.attempts") != count("spec.commits") + count("spec.rollbacks")) {
+            fail("spec counter accounting imbalance: spec.attempts=" +
+                 std::to_string(count("spec.attempts")) + " != spec.commits=" +
+                 std::to_string(count("spec.commits")) + " + spec.rollbacks=" +
+                 std::to_string(count("spec.rollbacks")));
+        }
+    }
+}
+
 void check_bench(const std::string& bench, const Value& data, const Value* counters) {
     if (bench == "fig1") {
         // Chaos sweeps (`--chaos N`) replace the decks payload.
@@ -258,7 +352,7 @@ void check_bench(const std::string& bench, const Value& data, const Value* count
             require(deck, "name", "string");
             const Value* flavors = require(deck, "flavors", "array");
             if (!flavors) continue;
-            if (flavors->size() != 4) fail("deck must report exactly 4 flavors");
+            if (flavors->size() != 5) fail("deck must report exactly 5 flavors");
             for (const Value& fv : *flavors->as_array()) {
                 require(fv, "flavor", "string");
                 require(fv, "total_seconds", "number");
@@ -291,6 +385,8 @@ void check_bench(const std::string& bench, const Value& data, const Value* count
         if (const Value* server = require(data, "server", "object")) {
             check_server(*server);
         }
+    } else if (bench == "spec") {
+        check_spec(data, counters);
     } else {
         fail("unknown bench \"" + bench + "\"");
     }
@@ -317,7 +413,8 @@ void check_fault_counters(const Value& counters) {
             fail("counter \"" + name + "\" is negative");
         }
     }
-    for (const char* kind : {"drop", "delay", "duplicate", "stall", "crash", "torn"}) {
+    for (const char* kind :
+         {"drop", "delay", "duplicate", "stall", "crash", "torn", "misspec"}) {
         const std::int64_t injected = count(std::string("fault.injected.") + kind);
         const std::int64_t recovered = count(std::string("fault.recovered.") + kind);
         const std::int64_t fatal = count(std::string("fault.fatal.") + kind);
@@ -439,7 +536,7 @@ void check_provenance(const Value& data) {
         "complexity"};
     static const std::set<std::string> kKinds = {"dep-test", "prover",    "range",
                                                  "alias",    "privatization", "reduction",
-                                                 "budget",   "verdict"};
+                                                 "budget",   "verdict",   "speculation"};
     std::map<std::string, std::map<std::string, int>> rollup;  // code -> verdict -> targets
     std::map<std::string, int> targets;                        // code -> target loops
     for (const Value& loop : *loops->as_array()) {
@@ -742,6 +839,7 @@ int run_compare(const char* path_a, const char* path_b) {
 int main(int argc, char** argv) {
     static const char* kUsage =
         "usage: report_lint <report.json> [expected-bench] [--min-speedup X]\n"
+        "       report_lint check_spec <report.json>\n"
         "       report_lint --compare <a.json> <b.json>\n";
     if (argc >= 2 && std::strcmp(argv[1], "--compare") == 0) {
         if (argc != 4) {
@@ -752,6 +850,13 @@ int main(int argc, char** argv) {
     }
     const char* report_path = nullptr;
     const char* expected_bench = nullptr;
+    // `check_spec <report>` is shorthand for `<report> spec`: lint the
+    // report and enforce the speculative-execution invariants.
+    if (argc == 3 && std::strcmp(argv[1], "check_spec") == 0) {
+        argv[1] = argv[2];
+        expected_bench = "spec";
+        argc = 2;
+    }
     double min_speedup = -1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--min-speedup") == 0) {
