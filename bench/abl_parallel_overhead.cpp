@@ -14,13 +14,42 @@ using namespace ap;
 
 void BM_ForkJoinOverhead(benchmark::State& state) {
     const auto threads = static_cast<unsigned>(state.range(0));
+    const bool dynamic = state.range(1) == 1;
     // Warm the pool.
-    runtime::parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads});
+    runtime::parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads, .dynamic = dynamic});
     for (auto _ : state) {
-        runtime::parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads});
+        runtime::parallel_for(0, threads, [](std::int64_t) {},
+                              {.threads = threads, .dynamic = dynamic});
     }
+    state.SetLabel(dynamic ? "dynamic (work-stealing)" : "static");
 }
-BENCHMARK(BM_ForkJoinOverhead)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ForkJoinOverhead)
+    ->Args({2, 0})->Args({4, 0})->Args({2, 1})->Args({4, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RaggedWorkload(benchmark::State& state) {
+    // MODULECOMP-shaped raggedness: iteration i costs ~(hash(i) % 64)
+    // spin units, so a static split leaves three workers idle behind the
+    // unlucky one. Dynamic claiming (SNIPPETS #3) rebalances; the row
+    // pair is the ablation for the scheduler change.
+    const bool dynamic = state.range(0) == 1;
+    const std::int64_t n = 256;
+    std::vector<double> sink(static_cast<std::size_t>(n), 0.0);
+    for (auto _ : state) {
+        runtime::parallel_for(
+            0, n,
+            [&](std::int64_t i) {
+                const std::int64_t cost = (i * 2654435761LL) % 64;
+                double acc = 1.0;
+                for (std::int64_t k = 0; k < cost * 200; ++k) acc *= 1.0000001;
+                sink[static_cast<std::size_t>(i)] = acc;
+            },
+            {.threads = 4, .grain = 4, .dynamic = dynamic});
+        benchmark::DoNotOptimize(sink.data());
+    }
+    state.SetLabel(dynamic ? "dynamic (work-stealing)" : "static");
+}
+BENCHMARK(BM_RaggedWorkload)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_InnerLoopGrainSweep(benchmark::State& state) {
     // One parallel_for invocation over `n` light iterations: below the

@@ -1,0 +1,289 @@
+// ap::simd kernel drill: the three vectorized seismic hot paths —
+// findiff stencil, fft3d butterfly line, nmo stacking — each run as
+//
+//   scalar serial | SIMD serial | scalar + SIMD under parallel_for at
+//   2 and 4 threads (dynamic work-stealing mode),
+//
+// with every variant's checksum computed by the SAME deterministic
+// runtime::parallel_reduce tree at that variant's thread count. The
+// layer's hard invariant is asserted per kernel: all variants produce
+// **bit-identical** checksums — scalar vs SIMD, 1 vs N threads, static
+// partition vs stolen chunks. simd_speedup = scalar-serial time over
+// SIMD-serial time (single-thread, so it is measurable on 1-core CI).
+//
+// `--json BENCH_simd.json` drops the ap.simd.v1 report that
+// `tools/report_lint check_simd` validates; `scripts/verify.sh --simd`
+// reruns it under AP_SIMD=off and requires report_lint --compare to
+// match (the escape hatch may cost speed, never bits).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "seismic/kernels.hpp"
+#include "simd/simd.hpp"
+#include "trace/json.hpp"
+
+namespace {
+
+using namespace ap;
+using seismic::kernels::Cplx;
+
+double now_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Launders a problem size through a volatile so the compiler treats it
+/// as runtime-unknown — the production kernels get runtime sizes, and a
+/// constant-folded scalar baseline (autovectorized because the trip
+/// count is known) would misstate the scalar/SIMD ratio users see.
+int opaque(int v) {
+    volatile int x = v;
+    return x;
+}
+
+/// Bits of the checksum double, as fixed-width hex — exact comparison,
+/// no printf rounding.
+std::string checksum_hex(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+struct Variant {
+    std::string name;
+    unsigned threads;
+    bool simd;
+    double seconds = 0;
+    double checksum = 0;
+};
+
+struct KernelResult {
+    std::string name;
+    std::vector<Variant> variants;
+    bool bit_identical = true;
+    double scalar_seconds = 0;
+    double simd_seconds = 0;
+    double speedup = 0;
+};
+
+const std::vector<Variant> kVariantGrid = {
+    {"scalar-serial", 1, false, 0, 0}, {"simd-serial", 1, true, 0, 0},
+    {"scalar-t2", 2, false, 0, 0},     {"simd-t2", 2, true, 0, 0},
+    {"simd-t4", 4, true, 0, 0},
+};
+
+/// Runs one kernel across the variant grid. `run(threads, simd)` executes
+/// the kernel and returns the deterministic checksum (the caller computes
+/// it via parallel_reduce at the same thread count).
+template <typename RunFn>
+KernelResult drill(const std::string& name, int repeats, RunFn&& run) {
+    KernelResult result;
+    result.name = name;
+    for (const Variant& v : kVariantGrid) {
+        Variant out = v;
+        // SIMD variants honor the AP_SIMD escape hatch: with the layer
+        // disabled they run the scalar path (same bits, no speedup).
+        const bool use_simd = v.simd && simd::enabled();
+        double best = 0;
+        for (int r = 0; r < repeats; ++r) {
+            const double t0 = now_seconds();
+            out.checksum = run(v.threads, use_simd);
+            const double dt = now_seconds() - t0;
+            if (r == 0 || dt < best) best = dt;
+        }
+        out.seconds = best;
+        result.variants.push_back(out);
+    }
+    const Variant& base = result.variants[0];
+    for (const Variant& v : result.variants) {
+        std::uint64_t a, b;
+        std::memcpy(&a, &base.checksum, sizeof(a));
+        std::memcpy(&b, &v.checksum, sizeof(b));
+        if (a != b) result.bit_identical = false;
+    }
+    result.scalar_seconds = result.variants[0].seconds;
+    result.simd_seconds = result.variants[1].seconds;
+    result.speedup = result.simd_seconds > 0 ? result.scalar_seconds / result.simd_seconds : 0;
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const core::BenchArgs args = core::parse_bench_args(argc, argv);
+    if (!args.ok) {
+        std::fprintf(stderr, "simd_bench: %s\n", args.error.c_str());
+        return 2;
+    }
+    const int repeats = args.repeats > 0 ? args.repeats : 3;
+    runtime::ThreadPool pool(4);
+
+    std::vector<KernelResult> kernels;
+
+    {
+        // findiff: 2D acoustic stencil, rows parallel, checksum over the
+        // final wavefield grouped by row blocks. Buffers are preallocated
+        // so the timed region is stencil work, not malloc.
+        const int n = opaque(256);
+        const int steps = opaque(24);
+        const std::size_t cells = static_cast<std::size_t>(n) * n;
+        std::vector<double> up(cells), u(cells), un(cells);
+        kernels.push_back(drill("findiff-stencil", repeats, [&](unsigned threads, bool use_simd) {
+            std::fill(up.begin(), up.end(), 0.0);
+            std::fill(u.begin(), u.end(), 0.0);
+            std::fill(un.begin(), un.end(), 0.0);
+            const std::size_t src = static_cast<std::size_t>(n / 2) * n + n / 2;
+            for (int step = 0; step < steps; ++step) {
+                u[src] += std::sin(0.12 * step);
+                runtime::parallel_for(
+                    1, n - 1,
+                    [&](std::int64_t r) {
+                        seismic::kernels::stencil_row_into(
+                            up.data(), u.data(), un.data() + static_cast<std::size_t>(r) * n,
+                            static_cast<int>(r), n, 0.2, use_simd);
+                    },
+                    {.threads = threads, .grain = 4, .dynamic = true}, &pool);
+                std::swap(up, u);
+                std::swap(u, un);
+            }
+            return runtime::parallel_reduce(
+                0, n,
+                0.0,
+                [&](std::int64_t r0, std::int64_t r1) {
+                    return seismic::kernels::sum_abs(u.data() + static_cast<std::size_t>(r0) * n,
+                                                     static_cast<std::size_t>(r1 - r0) * n,
+                                                     use_simd);
+                },
+                [](double a, double b) { return a + b; }, {.threads = threads}, &pool);
+        }));
+    }
+
+    {
+        // fft3d: a batch of independent butterfly lines, forward then
+        // inverse, checksum over the packed (re,im) doubles per line.
+        const int len = opaque(512);
+        const int nlines = opaque(128);
+        std::vector<Cplx> input(static_cast<std::size_t>(nlines) * len);
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            const double phase = 0.11 * static_cast<double>(i % 97);
+            input[i] = Cplx(std::sin(phase) + 0.25 * std::cos(2.9 * phase), 0.1 * std::cos(phase));
+        }
+        std::vector<Cplx> lines(input.size());
+        kernels.push_back(drill("fft-line", repeats, [&](unsigned threads, bool use_simd) {
+            std::copy(input.begin(), input.end(), lines.begin());
+            runtime::parallel_for(
+                0, nlines,
+                [&](std::int64_t l) {
+                    Cplx* a = lines.data() + static_cast<std::size_t>(l) * len;
+                    seismic::kernels::fft_line(a, len, false, use_simd);
+                    seismic::kernels::fft_line(a, len, true, use_simd);
+                },
+                {.threads = threads, .dynamic = true}, &pool);
+            const double* flat = reinterpret_cast<const double*>(lines.data());
+            return runtime::parallel_reduce(
+                0, nlines,
+                0.0,
+                [&](std::int64_t l0, std::int64_t l1) {
+                    return seismic::kernels::sum_abs(
+                        flat + static_cast<std::size_t>(l0) * len * 2,
+                        static_cast<std::size_t>(l1 - l0) * len * 2, use_simd);
+                },
+                [](double a, double b) { return a + b; }, {.threads = threads}, &pool);
+        }));
+    }
+
+    {
+        // stack: nmo gather-add over all shots, traces parallel, checksum
+        // grouped per trace — the same shape run_stack reduces in.
+        const int nshots = opaque(12), ntraces = opaque(48), nsamples = opaque(400);
+        std::vector<double> data(static_cast<std::size_t>(nshots) * ntraces * nsamples);
+        for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::sin(0.013 * static_cast<double>(i));
+        std::vector<double> out(static_cast<std::size_t>(ntraces) * nsamples);
+        kernels.push_back(drill("stack", repeats, [&](unsigned threads, bool use_simd) {
+            std::fill(out.begin(), out.end(), 0.0);
+            runtime::parallel_for(
+                0, ntraces,
+                [&](std::int64_t t) {
+                    seismic::kernels::stack_trace(
+                        data.data(), out.data() + static_cast<std::size_t>(t) * nsamples,
+                        static_cast<int>(t), nshots, ntraces, nsamples, use_simd);
+                },
+                {.threads = threads, .dynamic = true}, &pool);
+            return runtime::parallel_reduce(
+                0, ntraces,
+                0.0,
+                [&](std::int64_t t0, std::int64_t t1) {
+                    return seismic::kernels::sum_abs(
+                        out.data() + static_cast<std::size_t>(t0) * nsamples,
+                        static_cast<std::size_t>(t1 - t0) * nsamples, use_simd);
+                },
+                [](double a, double b) { return a + b; }, {.threads = threads}, &pool);
+        }));
+    }
+
+    bool ok = true;
+    double best_speedup = 0;
+    core::Table table({"kernel", "scalar s", "simd s", "simd speedup", "bit-identical", "checksum"});
+    for (const KernelResult& k : kernels) {
+        if (!k.bit_identical) ok = false;
+        best_speedup = std::max(best_speedup, k.speedup);
+        table.add_row({k.name, core::Table::sci(k.scalar_seconds), core::Table::sci(k.simd_seconds),
+                       core::Table::fixed(k.speedup, 2), k.bit_identical ? "yes" : "NO",
+                       checksum_hex(k.variants[0].checksum)});
+    }
+    std::printf("simd kernel drill (width=%d, enabled=%s, repeats=%d)\n%s",
+                simd::compiled_native() ? simd::kLanes : 1, simd::enabled() ? "yes" : "no",
+                repeats, table.to_string().c_str());
+    if (!ok) std::printf("FAIL: scalar/SIMD/threaded checksums are not bit-identical\n");
+
+    if (!args.json_path.empty()) {
+        using trace::json::Value;
+        Value data = Value::object();
+        data.set("schema", "ap.simd.v1");
+        data.set("width", static_cast<std::int64_t>(simd::compiled_native() ? simd::kLanes : 1));
+        data.set("enabled", simd::enabled());
+        Value karr = Value::array();
+        for (const KernelResult& k : kernels) {
+            Value kv = Value::object();
+            kv.set("name", k.name);
+            kv.set("checksum", checksum_hex(k.variants[0].checksum));
+            kv.set("bit_identical", k.bit_identical);
+            kv.set("scalar_seconds", k.scalar_seconds);
+            kv.set("simd_seconds", k.simd_seconds);
+            kv.set("speedup", k.speedup);
+            Value varr = Value::array();
+            for (const Variant& v : k.variants) {
+                Value vv = Value::object();
+                vv.set("name", v.name);
+                vv.set("threads", static_cast<std::int64_t>(v.threads));
+                vv.set("simd", v.simd);
+                vv.set("seconds", v.seconds);
+                vv.set("checksum", checksum_hex(v.checksum));
+                varr.push_back(std::move(vv));
+            }
+            kv.set("variants", std::move(varr));
+            karr.push_back(std::move(kv));
+        }
+        data.set("kernels", std::move(karr));
+        data.set("best_speedup", best_speedup);
+        if (!core::write_bench_report(args.json_path, "simd", std::move(data), ok)) {
+            std::fprintf(stderr, "simd_bench: cannot write %s\n", args.json_path.c_str());
+            return 2;
+        }
+    }
+    return ok ? 0 : 1;
+}

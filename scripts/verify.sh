@@ -46,6 +46,16 @@
 #       # ap.spec.v1 report (attempts == commits + rollbacks, checksum
 #       # identity) and render it through the explain CLI. This is the
 #       # mode the verify_spec CTest test runs.
+#   scripts/verify.sh --simd --build-dir build
+#       # SIMD-kernel smoke (docs/PERFORMANCE.md, "Kernel-level speed"):
+#       # run the simd_bench drill from an existing build tree — every
+#       # seismic kernel must produce bit-identical checksums across
+#       # scalar/SIMD x 1/2/4 threads — lint the ap.simd.v1 report, rerun
+#       # the drill with AP_SIMD=off (escape hatch → scalar paths), lint
+#       # that too, and require byte-identical deterministic fields via
+#       # report_lint --compare. The >=1.5x single-thread SIMD speedup
+#       # floor is asserted only on machines with >= 4 cores, mirroring
+#       # --perf. This is the mode the verify_simd CTest test runs.
 #   scripts/verify.sh --tsan
 #       # opt-in sanitizer pass: configure a separate build-tsan tree
 #       # with -DAP_SANITIZE=ON (ThreadSanitizer + UBSan) and run only
@@ -67,6 +77,7 @@ PERF=0
 EXPLAIN=0
 SERVE=0
 SPEC=0
+SIMD=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --build-dir) BUILD_DIR=$2; shift 2 ;;
@@ -77,9 +88,36 @@ while [ $# -gt 0 ]; do
         --explain) EXPLAIN=1; shift ;;
         --serve) SERVE=1; shift ;;
         --spec) SPEC=1; shift ;;
+        --simd) SIMD=1; shift ;;
         *) echo "verify.sh: unknown argument: $1" >&2; exit 2 ;;
     esac
 done
+
+if [ "$SIMD" -eq 1 ]; then
+    cores=$(nproc)
+    vectored=$(mktemp /tmp/ap-simd-on.XXXXXX.json)
+    hatch=$(mktemp /tmp/ap-simd-off.XXXXXX.json)
+    trap 'rm -f "$vectored" "$hatch"' EXIT
+    echo "== simd: scalar/SIMD x thread-count kernel drill =="
+    "$BUILD_DIR"/bench/simd_bench --repeats 5 --json "$vectored"
+    echo "== simd: lint the ap.simd.v1 report =="
+    if [ "$cores" -ge 4 ]; then
+        # On real parallel hardware at least one kernel must show the
+        # single-thread SIMD speedup floor; below that the box is too
+        # noisy to assert timing, so bit-identity alone gates.
+        "$BUILD_DIR"/tools/report_lint check_simd "$vectored" --min-speedup 1.5
+    else
+        echo "   ($cores core(s): skipping the speedup floor, bit-identity only)"
+        "$BUILD_DIR"/tools/report_lint check_simd "$vectored"
+    fi
+    echo "== simd: AP_SIMD=off escape hatch =="
+    AP_SIMD=off "$BUILD_DIR"/bench/simd_bench --repeats 2 --json "$hatch"
+    "$BUILD_DIR"/tools/report_lint check_simd "$hatch"
+    echo "== simd: checksums identical with the layer disabled =="
+    "$BUILD_DIR"/tools/report_lint --compare "$vectored" "$hatch"
+    echo "verify.sh: simd OK"
+    exit 0
+fi
 
 if [ "$SPEC" -eq 1 ]; then
     report=$(mktemp /tmp/ap-spec.XXXXXX.json)

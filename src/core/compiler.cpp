@@ -331,6 +331,11 @@ CompileReport compile(ir::Program& prog, const CompilerOptions& options) {
 
     runtime::ParallelOptions po;
     po.threads = options.threads;
+    // Routine analysis costs are ragged (loop counts and prover depth
+    // vary wildly per routine); dynamic claiming load-balances them. The
+    // index-ordered slice merge below keeps the report byte-identical
+    // regardless of which worker analyzed what (docs/PERFORMANCE.md).
+    po.dynamic = true;
     runtime::parallel_for(
         0, static_cast<std::int64_t>(work.size()),
         [&](std::int64_t i) {
@@ -380,6 +385,10 @@ std::vector<CompileReport> compile_many(std::vector<ir::Program>& programs,
     // program is compiled by one thread with its own OpCounter.
     runtime::ParallelOptions po;
     po.threads = options.empty() ? 1 : options.front().threads;
+    // MODULECOMP-style workload: program sizes differ by orders of
+    // magnitude, so a static split leaves workers idle behind the big
+    // ones. reports[] is indexed by i — schedule-independent.
+    po.dynamic = true;
     runtime::parallel_for(
         0, static_cast<std::int64_t>(programs.size()),
         [&](std::int64_t i) {

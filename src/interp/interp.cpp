@@ -1009,7 +1009,11 @@ struct Machine::Impl {
                     chunk.error = std::current_exception();
                 }
             },
-            {.threads = opts.threads});
+            // Chunk runtimes are ragged (different subscript patterns per
+            // chunk); work-stealing claims load-balance them. Commit
+            // order below is by chunk index, so the schedule cannot
+            // perturb the outcome.
+            {.threads = opts.threads, .dynamic = true});
 
         // Serial commit phase, in chunk (= iteration) order.
         std::set<const Value*> committed;
@@ -1153,7 +1157,11 @@ struct Machine::Impl {
                     if (!first_error) first_error = std::current_exception();
                 }
             },
-            {.threads = opts.threads});
+            // Interpreted iteration bodies are as ragged as it gets;
+            // dynamic claiming load-balances them. Reduction partials are
+            // indexed by k and folded in iteration order below, so the
+            // schedule cannot change any result bit.
+            {.threads = opts.threads, .dynamic = true});
         if (first_error) std::rethrow_exception(first_error);
         // Fold partials in iteration order into the shared variable.
         for (auto& red : reductions) {

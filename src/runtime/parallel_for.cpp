@@ -4,12 +4,12 @@
 
 namespace ap::runtime {
 
-double measure_fork_join_overhead(unsigned threads, int reps) {
+double measure_fork_join_overhead(unsigned threads, int reps, bool dynamic) {
     // Warm the pool first.
-    parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads});
+    parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads, .dynamic = dynamic});
     const auto start = std::chrono::steady_clock::now();
     for (int r = 0; r < reps; ++r) {
-        parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads});
+        parallel_for(0, threads, [](std::int64_t) {}, {.threads = threads, .dynamic = dynamic});
     }
     const auto elapsed = std::chrono::steady_clock::now() - start;
     return std::chrono::duration<double>(elapsed).count() / reps;

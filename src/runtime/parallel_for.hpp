@@ -1,10 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <vector>
 
 #include "runtime/thread_pool.hpp"
 #include "trace/counters.hpp"
@@ -16,16 +18,26 @@ namespace ap::runtime {
 /// fork-join cost — the serial baseline.
 struct ParallelOptions {
     unsigned threads = 0;  ///< 0 = pool size
-    /// Minimum iterations per chunk; loops smaller than `grain` run inline.
+    /// Minimum iterations per chunk; loops smaller than `grain` run
+    /// inline, and forked chunks are never smaller than `grain` (in both
+    /// static and dynamic modes).
     std::int64_t grain = 1;
+    /// Static mode pre-splits [lo, hi) into one contiguous block per
+    /// worker. Dynamic mode lets workers claim chunks from a shared
+    /// atomic counter (SNIPPETS #3-style work distribution), so ragged
+    /// iteration costs load-balance instead of serializing on the
+    /// unlucky worker. Iteration->thread assignment then depends on
+    /// timing — only use it when fn is order-independent or the caller
+    /// merges results by index afterwards.
+    bool dynamic = false;
 };
 
-/// Fork-join static-block parallel loop over [lo, hi) — the OpenMP
-/// `parallel do` stand-in. `fn(i)` must be safe to run concurrently for
-/// distinct i. The call blocks until every iteration completed. Each
-/// invocation pays one fork-join round trip on the shared pool, which is
-/// precisely the overhead that makes inner-loop-only parallelization lose
-/// (paper Figure 1, the "Polaris" bars).
+/// Fork-join parallel loop over [lo, hi) — the OpenMP `parallel do`
+/// stand-in. `fn(i)` must be safe to run concurrently for distinct i.
+/// The call blocks until every iteration completed. Each invocation pays
+/// one fork-join round trip on the shared pool, which is precisely the
+/// overhead that makes inner-loop-only parallelization lose (paper
+/// Figure 1, the "Polaris" bars).
 ///
 /// If any iteration throws, the first exception is rethrown in the
 /// caller after the join; a cancellation flag makes the remaining chunks
@@ -44,9 +56,10 @@ void parallel_for(std::int64_t lo, std::int64_t hi, Fn&& fn, ParallelOptions opt
     ThreadPool& p = pool ? *pool : ThreadPool::global();
     unsigned threads = options.threads ? options.threads : p.size();
     if (threads > static_cast<unsigned>(n)) threads = static_cast<unsigned>(n);
+    const std::int64_t grain = std::max<std::int64_t>(1, options.grain);
     trace::Span span("parallel_for", "runtime");
     span.arg("iterations", n);
-    if (threads <= 1 || n < options.grain || detail::in_parallel_region) {
+    if (threads <= 1 || n < grain || detail::in_parallel_region) {
         static trace::Counter& inline_runs = trace::counters::get("runtime.parallel_for.inline");
         inline_runs.add();
         span.arg("threads", 1);
@@ -56,47 +69,149 @@ void parallel_for(std::int64_t lo, std::int64_t hi, Fn&& fn, ParallelOptions opt
     static trace::Counter& forked_runs = trace::counters::get("runtime.parallel_for.forked");
     forked_runs.add();
     span.arg("threads", static_cast<std::int64_t>(threads));
-    std::atomic<unsigned> remaining{threads};
+    span.arg("mode", options.dynamic ? "dynamic" : "static");
+
+    // Chunk size honors `grain` in both modes (a loop of 10 with grain 8
+    // forks at most two chunks, never five). Static mode pre-splits into
+    // one chunk per worker; dynamic mode claims smaller chunks (about 8
+    // per worker) so stragglers shed load to idle workers.
+    std::int64_t chunk;
+    if (options.dynamic) {
+        chunk = std::max(grain, (n + static_cast<std::int64_t>(threads) * 8 - 1) /
+                                    (static_cast<std::int64_t>(threads) * 8));
+    } else {
+        chunk = std::max(grain, (n + threads - 1) / threads);
+    }
+    const std::int64_t nchunks = (n + chunk - 1) / chunk;
+    const unsigned workers =
+        std::min<unsigned>(threads, static_cast<unsigned>(std::min<std::int64_t>(
+                                        nchunks, static_cast<std::int64_t>(threads))));
+
+    std::atomic<unsigned> remaining{workers};
     std::atomic<bool> cancelled{false};
+    std::atomic<std::int64_t> next{lo};  // dynamic-mode claim counter
     std::mutex m;
     std::condition_variable cv;
     std::exception_ptr first_error;
-    const std::int64_t chunk = (n + threads - 1) / threads;
-    for (unsigned t = 0; t < threads; ++t) {
-        const std::int64_t begin = lo + static_cast<std::int64_t>(t) * chunk;
-        const std::int64_t end = begin + chunk < hi ? begin + chunk : hi;
-        p.submit([&, begin, end] {
-            detail::in_parallel_region = true;
-            try {
-                for (std::int64_t i = begin; i < end; ++i) {
-                    // A thrown iteration cancels the loop: chunks not yet
-                    // started (and iterations not yet run) drain fast so
-                    // the caller's rethrow is not stuck behind dead work.
-                    if (cancelled.load(std::memory_order_relaxed)) break;
-                    fn(i);
+
+    auto worker_done = [&] {
+        detail::in_parallel_region = false;
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard lock(m);
+            cv.notify_one();
+        }
+    };
+    auto record_error = [&] {
+        cancelled.store(true, std::memory_order_relaxed);
+        static trace::Counter& failed =
+            trace::counters::get("runtime.parallel_for.iteration_exceptions");
+        failed.add();
+        std::lock_guard lock(m);
+        if (!first_error) first_error = std::current_exception();
+    };
+
+    if (options.dynamic) {
+        static trace::Counter& steal_runs = trace::counters::get("runtime.steal.runs");
+        steal_runs.add();
+        for (unsigned t = 0; t < workers; ++t) {
+            p.submit([&, chunk, hi] {
+                detail::in_parallel_region = true;
+                static trace::Counter& steal_chunks = trace::counters::get("runtime.steal.chunks");
+                try {
+                    while (!cancelled.load(std::memory_order_relaxed)) {
+                        const std::int64_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+                        if (begin >= hi) break;
+                        steal_chunks.add();
+                        const std::int64_t end = std::min(begin + chunk, hi);
+                        for (std::int64_t i = begin; i < end; ++i) {
+                            if (cancelled.load(std::memory_order_relaxed)) break;
+                            fn(i);
+                        }
+                    }
+                } catch (...) {
+                    record_error();
                 }
-            } catch (...) {
-                cancelled.store(true, std::memory_order_relaxed);
-                static trace::Counter& failed =
-                    trace::counters::get("runtime.parallel_for.iteration_exceptions");
-                failed.add();
-                std::lock_guard lock(m);
-                if (!first_error) first_error = std::current_exception();
-            }
-            detail::in_parallel_region = false;
-            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                std::lock_guard lock(m);
-                cv.notify_one();
-            }
-        });
+                worker_done();
+            });
+        }
+    } else {
+        for (unsigned t = 0; t < workers; ++t) {
+            const std::int64_t begin = lo + static_cast<std::int64_t>(t) * chunk;
+            const std::int64_t end = std::min(begin + chunk, hi);
+            p.submit([&, begin, end] {
+                detail::in_parallel_region = true;
+                try {
+                    for (std::int64_t i = begin; i < end; ++i) {
+                        // A thrown iteration cancels the loop: chunks not yet
+                        // started (and iterations not yet run) drain fast so
+                        // the caller's rethrow is not stuck behind dead work.
+                        if (cancelled.load(std::memory_order_relaxed)) break;
+                        fn(i);
+                    }
+                } catch (...) {
+                    record_error();
+                }
+                worker_done();
+            });
+        }
     }
     std::unique_lock lock(m);
     cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
     if (first_error) std::rethrow_exception(first_error);
 }
 
+/// Deterministic parallel reduction over [lo, hi).
+///
+/// `block(blo, bhi)` computes the partial for one contiguous block;
+/// `combine(a, b)` folds two partials. The block partition depends only
+/// on (n, grain) — never on the thread count — and the partials are
+/// folded in a fixed pairwise binary tree, so serial, 2-thread, and
+/// 64-thread runs all round identically: **bit-identical results for
+/// floating-point sums** (docs/PERFORMANCE.md). Blocks are computed via
+/// dynamic-mode parallel_for, so ragged block costs still load-balance;
+/// the schedule moves, the tree does not.
+///
+/// Returns `identity` for an empty range.
+template <typename T, typename BlockFn, typename CombineFn>
+T parallel_reduce(std::int64_t lo, std::int64_t hi, T identity, BlockFn&& block,
+                  CombineFn&& combine, ParallelOptions options = {}, ThreadPool* pool = nullptr) {
+    const std::int64_t n = hi - lo;
+    if (n <= 0) return identity;
+    static trace::Counter& reduce_calls = trace::counters::get("runtime.parallel_reduce.calls");
+    reduce_calls.add();
+    const std::int64_t grain = std::max<std::int64_t>(1, options.grain);
+    // At most 64 partials: enough slack for any realistic pool to
+    // balance, few enough that the combine tree is noise. The count is a
+    // pure function of (n, grain) — the determinism hinge.
+    const std::int64_t bsize = std::max(grain, (n + 63) / 64);
+    const std::int64_t nblocks = (n + bsize - 1) / bsize;
+    std::vector<T> partials(static_cast<std::size_t>(nblocks), identity);
+    ParallelOptions popts = options;
+    popts.dynamic = true;
+    popts.grain = 1;  // block indices are the iteration space now
+    parallel_for(
+        0, nblocks,
+        [&](std::int64_t b) {
+            const std::int64_t blo = lo + b * bsize;
+            const std::int64_t bhi = std::min(blo + bsize, hi);
+            partials[static_cast<std::size_t>(b)] = block(blo, bhi);
+        },
+        popts, pool);
+    // Fixed pairwise tree: (p0 p1)(p2 p3)... level by level, odd
+    // survivor carried down unchanged.
+    std::size_t m = partials.size();
+    while (m > 1) {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i + 1 < m; i += 2) partials[out++] = combine(partials[i], partials[i + 1]);
+        if (m % 2) partials[out++] = partials[m - 1];
+        m = out;
+    }
+    return partials[0];
+}
+
 /// Measures the fork-join overhead of one empty parallel_for invocation
-/// in seconds (averaged over `reps`).
-double measure_fork_join_overhead(unsigned threads, int reps = 100);
+/// in seconds (averaged over `reps`). `dynamic` selects the
+/// work-stealing claim path so the two fork shapes can be compared.
+double measure_fork_join_overhead(unsigned threads, int reps = 100, bool dynamic = false);
 
 }  // namespace ap::runtime

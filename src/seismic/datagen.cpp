@@ -3,7 +3,9 @@
 #include "mpisim/mpisim.hpp"
 #include "runtime/sim.hpp"
 #include "seismic/detail.hpp"
+#include "seismic/kernels.hpp"
 #include "seismic/seismic.hpp"
+#include "simd/simd.hpp"
 #include "spec/native.hpp"
 
 namespace ap::seismic {
@@ -23,9 +25,8 @@ void synth_trace(double* trace, int s, int t, int nsamples) {
 }
 
 double checksum_range(const double* data, std::size_t n) {
-    double sum = 0;
-    for (std::size_t i = 0; i < n; ++i) sum += std::fabs(data[i]);
-    return sum;
+    // Canonical lane-ordered reduction — scalar and SIMD bit-identical.
+    return kernels::sum_abs(data, n, simd::enabled());
 }
 
 }  // namespace

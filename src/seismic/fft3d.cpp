@@ -5,7 +5,9 @@
 
 #include "mpisim/mpisim.hpp"
 #include "runtime/sim.hpp"
+#include "seismic/kernels.hpp"
 #include "seismic/seismic.hpp"
+#include "simd/simd.hpp"
 #include "spec/native.hpp"
 
 namespace ap::seismic {
@@ -14,28 +16,11 @@ namespace {
 
 using Cplx = std::complex<double>;
 
-/// In-place iterative radix-2 FFT on a contiguous buffer.
+/// In-place iterative radix-2 FFT on a contiguous buffer. The butterfly
+/// inner loops live in kernels.hpp with a vectorized path whose bits
+/// match the scalar twiddle recurrence exactly.
 void fft_line(Cplx* a, int n, bool inverse) {
-    for (int i = 1, j = 0; i < n; ++i) {
-        int bit = n >> 1;
-        for (; j & bit; bit >>= 1) j ^= bit;
-        j |= bit;
-        if (i < j) std::swap(a[i], a[j]);
-    }
-    for (int len = 2; len <= n; len <<= 1) {
-        const double angle = 2.0 * M_PI / len * (inverse ? 1.0 : -1.0);
-        const Cplx wlen(std::cos(angle), std::sin(angle));
-        for (int i = 0; i < n; i += len) {
-            Cplx w(1.0, 0.0);
-            for (int j = 0; j < len / 2; ++j) {
-                const Cplx u = a[i + j];
-                const Cplx v = a[i + j + len / 2] * w;
-                a[i + j] = u + v;
-                a[i + j + len / 2] = u - v;
-                w *= wlen;
-            }
-        }
-    }
+    kernels::fft_line(a, n, inverse, simd::enabled());
 }
 
 struct Cube {

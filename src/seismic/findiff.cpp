@@ -3,7 +3,9 @@
 
 #include "mpisim/mpisim.hpp"
 #include "runtime/sim.hpp"
+#include "seismic/kernels.hpp"
 #include "seismic/seismic.hpp"
+#include "simd/simd.hpp"
 #include "spec/native.hpp"
 
 namespace ap::seismic {
@@ -12,15 +14,9 @@ namespace {
 
 /// Second-order acoustic wave stencil for one interior row, written into
 /// `next` (which may be the grid row itself or speculative scratch).
+/// Vectorized path in kernels.hpp, bit-identical to scalar.
 void stencil_row_into(const double* up, const double* u, double* next, int r, int n, double c2) {
-    const double* um = u + static_cast<std::size_t>(r - 1) * n;
-    const double* u0 = u + static_cast<std::size_t>(r) * n;
-    const double* upr = u + static_cast<std::size_t>(r + 1) * n;
-    const double* prev = up + static_cast<std::size_t>(r) * n;
-    for (int c = 1; c < n - 1; ++c) {
-        const double lap = um[c] + upr[c] + u0[c - 1] + u0[c + 1] - 4.0 * u0[c];
-        next[c] = 2.0 * u0[c] - prev[c] + c2 * lap;
-    }
+    kernels::stencil_row_into(up, u, next, r, n, c2, simd::enabled());
 }
 
 void stencil_row(const double* up, const double* u, double* un, int r, int n, double c2) {
@@ -30,9 +26,9 @@ void stencil_row(const double* up, const double* u, double* un, int r, int n, do
 double source(int step) { return std::sin(0.12 * step) * std::exp(-0.0005 * step * step); }
 
 double checksum_grid(const double* u, std::size_t n) {
-    double sum = 0;
-    for (std::size_t i = 0; i < n; ++i) sum += std::fabs(u[i]);
-    return sum;
+    // Canonical lane-ordered reduction (simd::sum_abs) — the same bits
+    // for scalar, SIMD, and the MPI replay's per-rank groupings.
+    return kernels::sum_abs(u, n, simd::enabled());
 }
 
 }  // namespace

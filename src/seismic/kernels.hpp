@@ -1,0 +1,216 @@
+#pragma once
+
+// Shared seismic compute kernels, each with a vectorized and a scalar
+// path that produce **bit-identical** results (docs/PERFORMANCE.md,
+// "Kernel-level speed"). Every flavor of every phase — serial, outer-
+// parallel, auto-inner, speculative, MPI recovery replay — funnels
+// through these, so the spec/recovery bit-identity invariants survive
+// the SIMD rewrite by construction.
+//
+// The identity argument, kernel by kernel:
+//  - stencil / scale / butterfly: purely elementwise with the same
+//    operand grouping in both paths; no reassociation, no contraction
+//    (ap_simd exports -ffp-contract=off).
+//  - nmo gather: the index math is exact (IEEE sqrt is correctly
+//    rounded, int truncation is exact), so both paths gather the same
+//    elements and add them in the same order.
+//  - fft twiddles: the table is filled by the very `w *= wlen`
+//    recurrence the scalar loop uses, so table-driven butterflies see
+//    the same twiddle bits.
+//  - checksums: simd::sum_abs commits to one canonical lane order.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "simd/simd.hpp"
+
+namespace ap::seismic::kernels {
+
+using Cplx = std::complex<double>;
+using V4 = simd::vec<double, 4>;
+
+/// Canonical |.| reduction — see simd::sum_abs for the order contract.
+inline double sum_abs(const double* x, std::size_t n, bool use_simd) {
+    return simd::sum_abs(x, n, use_simd);
+}
+
+// ---------------------------------------------------------------------------
+// findiff: second-order acoustic wave stencil for one interior row.
+// ---------------------------------------------------------------------------
+
+inline void stencil_row_into(const double* up, const double* u, double* next, int r, int n,
+                             double c2, bool use_simd) {
+    const double* um = u + static_cast<std::size_t>(r - 1) * n;
+    const double* u0 = u + static_cast<std::size_t>(r) * n;
+    const double* upr = u + static_cast<std::size_t>(r + 1) * n;
+    const double* prev = up + static_cast<std::size_t>(r) * n;
+    int c = 1;
+    using V2 = simd::vec<double, 2>;
+    if (use_simd && V2::native) {
+        // Register-sized pairs (two per step): same grouping as the
+        // scalar line below — (((um + upr) + u0[-1]) + u0[+1]) - 4*u0,
+        // then (2*u0 - prev) + c2*lap — applied elementwise, so the
+        // stored bits match the scalar path exactly.
+        const V2 c2v = V2::splat(c2);
+        for (; c + 4 <= n - 1; c += 4) {
+            const V2 u0a = V2::load(u0 + c);
+            const V2 u0b = V2::load(u0 + c + 2);
+            const V2 lapa = (((V2::load(um + c) + V2::load(upr + c)) + V2::load(u0 + c - 1)) +
+                             V2::load(u0 + c + 1)) -
+                            u0a * 4.0;
+            const V2 lapb =
+                (((V2::load(um + c + 2) + V2::load(upr + c + 2)) + V2::load(u0 + c + 1)) +
+                 V2::load(u0 + c + 3)) -
+                u0b * 4.0;
+            ((u0a * 2.0 - V2::load(prev + c)) + c2v * lapa).store(next + c);
+            ((u0b * 2.0 - V2::load(prev + c + 2)) + c2v * lapb).store(next + c + 2);
+        }
+    }
+    for (; c < n - 1; ++c) {
+        const double lap = um[c] + upr[c] + u0[c - 1] + u0[c + 1] - 4.0 * u0[c];
+        next[c] = 2.0 * u0[c] - prev[c] + c2 * lap;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fft3d: in-place iterative radix-2 FFT on a contiguous line.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Two butterflies per iteration on packed (re,im) pairs. The complex
+/// product v*w is the textbook formula (ac-bd, ad+bc) — exactly what
+/// libstdc++ computes for finite operands — expressed as
+/// vr*(wr,wi) + vi*(wi,wr)*(-1,+1); a+(-b) and a-b are the same IEEE op.
+inline void butterfly_simd(Cplx* a, const Cplx* twiddle, int half) {
+    double* ap = reinterpret_cast<double*>(a);
+    const double* tw = reinterpret_cast<const double*>(twiddle);
+    const double* bp = reinterpret_cast<const double*>(a + half);
+    double* bw = reinterpret_cast<double*>(a + half);
+    V4 signs = V4::zero();
+    signs.set_lane(0, -1.0);
+    signs.set_lane(1, 1.0);
+    signs.set_lane(2, -1.0);
+    signs.set_lane(3, 1.0);
+    for (int j = 0; j < half; j += 2) {
+        const V4 u = V4::load(ap + 2 * j);
+        const V4 v = V4::load(bp + 2 * j);
+        const V4 w = V4::load(tw + 2 * j);
+        const V4 vr = simd::shuffle<0, 0, 2, 2>(v);
+        const V4 vi = simd::shuffle<1, 1, 3, 3>(v);
+        const V4 wsw = simd::shuffle<1, 0, 3, 2>(w);
+        const V4 t = vr * w + (vi * wsw) * signs;
+        (u + t).store(ap + 2 * j);
+        (u - t).store(bw + 2 * j);
+    }
+}
+
+inline void butterfly_scalar(Cplx* a, const Cplx* twiddle, int half) {
+    for (int j = 0; j < half; ++j) {
+        const Cplx u = a[j];
+        const Cplx v = a[j + half] * twiddle[j];
+        a[j] = u + v;
+        a[j + half] = u - v;
+    }
+}
+
+}  // namespace detail
+
+inline void fft_line(Cplx* a, int n, bool inverse, bool use_simd) {
+    for (int i = 1, j = 0; i < n; ++i) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j |= bit;
+        if (i < j) std::swap(a[i], a[j]);
+    }
+    thread_local std::vector<Cplx> twiddle;
+    for (int len = 2; len <= n; len <<= 1) {
+        const double angle = 2.0 * M_PI / len * (inverse ? 1.0 : -1.0);
+        const Cplx wlen(std::cos(angle), std::sin(angle));
+        const int half = len / 2;
+        twiddle.resize(static_cast<std::size_t>(half));
+        Cplx w(1.0, 0.0);
+        for (int j = 0; j < half; ++j) {
+            twiddle[static_cast<std::size_t>(j)] = w;
+            w *= wlen;
+        }
+        if (use_simd && V4::native && half >= 2) {
+            for (int i = 0; i < n; i += len) detail::butterfly_simd(a + i, twiddle.data(), half);
+        } else {
+            for (int i = 0; i < n; i += len) detail::butterfly_scalar(a + i, twiddle.data(), half);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// stack: normal-moveout gather-add.
+// ---------------------------------------------------------------------------
+
+/// Normal-moveout sample index for stacking shot `s` into trace position
+/// `t` at output sample `i`. All flavors share it bit-for-bit.
+inline int nmo_index(int s, int t, int i, int nsamples) {
+    const double offset = 1.0 + 0.35 * s + 0.01 * t;
+    const double shifted = std::sqrt(static_cast<double>(i) * i + offset * offset * 36.0);
+    const int j = static_cast<int>(shifted);
+    return j < nsamples ? j : nsamples - 1;
+}
+
+/// out[i] += trace[nmo_index(s, t, i)] over one shot. The vector path
+/// computes the moveout curve four samples at a time; the gather loads
+/// and index truncation are exact, so both paths add identical values.
+inline void stack_shot_add(const double* trace, double* out, int s, int t, int nsamples,
+                           bool use_simd) {
+    int i = 0;
+    using V2 = simd::vec<double, 2>;
+    if (use_simd && V2::native) {
+        // Register-sized pairs: the moveout curve (mul/add/sqrt, all
+        // correctly rounded, same bits as nmo_index) vectorizes; the
+        // gather and the += stay scalar — elementwise, so also bit-equal.
+        const double offset = 1.0 + 0.35 * s + 0.01 * t;
+        const V2 off2 = V2::splat(offset * offset * 36.0);
+        for (; i + 4 <= nsamples; i += 4) {
+            V2 ia = V2::zero(), ib = V2::zero();
+            ia.set_lane(0, static_cast<double>(i));
+            ia.set_lane(1, static_cast<double>(i + 1));
+            ib.set_lane(0, static_cast<double>(i + 2));
+            ib.set_lane(1, static_cast<double>(i + 3));
+            const V2 sa = simd::sqrt(ia * ia + off2);
+            const V2 sb = simd::sqrt(ib * ib + off2);
+            const int j[4] = {static_cast<int>(sa[0]), static_cast<int>(sa[1]),
+                              static_cast<int>(sb[0]), static_cast<int>(sb[1])};
+            for (int l = 0; l < 4; ++l) {
+                out[i + l] += trace[j[l] < nsamples ? j[l] : nsamples - 1];
+            }
+        }
+    }
+    for (; i < nsamples; ++i) out[i] += trace[nmo_index(s, t, i, nsamples)];
+}
+
+/// Stacks all shots into output trace t.
+inline void stack_trace(const double* data, double* out, int t, int nshots, int ntraces,
+                        int nsamples, bool use_simd) {
+    const std::size_t stride_shot =
+        static_cast<std::size_t>(ntraces) * static_cast<std::size_t>(nsamples);
+    for (int i = 0; i < nsamples; ++i) out[i] = 0.0;
+    for (int s = 0; s < nshots; ++s) {
+        const double* trace =
+            data + static_cast<std::size_t>(s) * stride_shot + static_cast<std::size_t>(t) * nsamples;
+        stack_shot_add(trace, out, s, t, nsamples, use_simd);
+    }
+    simd::scale(out, static_cast<std::size_t>(nsamples), 1.0 / nshots, use_simd);
+}
+
+/// Stacked-section checksum with the per-trace grouping the MPI flavor
+/// reduces in: one canonical sum_abs per trace row, folded in trace
+/// order. Every flavor and every nprocs produces these exact bits.
+inline double stack_checksum(const double* out, int ntraces, int nsamples, bool use_simd) {
+    double sum = 0;
+    for (int t = 0; t < ntraces; ++t) {
+        sum += sum_abs(out + static_cast<std::size_t>(t) * nsamples,
+                       static_cast<std::size_t>(nsamples), use_simd);
+    }
+    return sum;
+}
+
+}  // namespace ap::seismic::kernels

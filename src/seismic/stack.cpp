@@ -2,42 +2,20 @@
 
 #include "mpisim/mpisim.hpp"
 #include "runtime/sim.hpp"
+#include "seismic/kernels.hpp"
 #include "seismic/seismic.hpp"
+#include "simd/simd.hpp"
 #include "spec/native.hpp"
 
 namespace ap::seismic {
 
 namespace {
 
-/// Normal-moveout sample index for stacking shot `s` into trace position
-/// `t` at output sample `i`. All flavors share it bit-for-bit.
-inline int nmo_index(int s, int t, int i, int nsamples) {
-    const double offset = 1.0 + 0.35 * s + 0.01 * t;
-    const double shifted = std::sqrt(static_cast<double>(i) * i + offset * offset * 36.0);
-    const int j = static_cast<int>(shifted);
-    return j < nsamples ? j : nsamples - 1;
-}
+using kernels::nmo_index;
 
 /// Stacks all shots into output trace t (serial kernel).
-void stack_trace(const double* data, double* out, int t, const Deck& deck) {
-    const std::size_t stride_shot =
-        static_cast<std::size_t>(deck.ntraces) * static_cast<std::size_t>(deck.nsamples);
-    for (int i = 0; i < deck.nsamples; ++i) out[i] = 0.0;
-    for (int s = 0; s < deck.nshots; ++s) {
-        const double* trace = data + static_cast<std::size_t>(s) * stride_shot +
-                              static_cast<std::size_t>(t) * deck.nsamples;
-        for (int i = 0; i < deck.nsamples; ++i) {
-            out[i] += trace[nmo_index(s, t, i, deck.nsamples)];
-        }
-    }
-    const double inv = 1.0 / deck.nshots;
-    for (int i = 0; i < deck.nsamples; ++i) out[i] *= inv;
-}
-
-double checksum_range(const double* data, std::size_t n) {
-    double sum = 0;
-    for (std::size_t i = 0; i < n; ++i) sum += std::fabs(data[i]);
-    return sum;
+inline void stack_trace(const double* data, double* out, int t, const Deck& deck, bool use_simd) {
+    kernels::stack_trace(data, out, t, deck.nshots, deck.ntraces, deck.nsamples, use_simd);
 }
 
 }  // namespace
@@ -47,6 +25,7 @@ PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs, const FaultTo
     const std::vector<double> data = synthesize_traces(deck);
     const std::size_t out_size =
         static_cast<std::size_t>(deck.ntraces) * static_cast<std::size_t>(deck.nsamples);
+    const bool use_simd = simd::enabled();
     PhaseResult result;
     runtime::SimCostModel model;
     model.nprocs = nprocs;
@@ -55,18 +34,20 @@ PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs, const FaultTo
         // One chunk per output trace, checkpointed on the root; surviving
         // ranks pick up a crashed rank's traces on retry (recovery.hpp).
         // `data` is shared read-only across the rank threads. Per-trace
-        // sums are reduced in trace order for bit-stable checksums.
+        // sums are reduced in trace order for bit-stable checksums — the
+        // same grouping kernels::stack_checksum uses, so the MPI checksum
+        // is bit-identical to every shared-memory flavor.
         std::vector<double> trace_sums(static_cast<std::size_t>(deck.ntraces), 0.0);
         const RecoveryOutcome outcome = run_chunked(
             nprocs, deck.ntraces, ft,
             [&](int t) {
                 std::vector<double> out_trace(static_cast<std::size_t>(deck.nsamples), 0.0);
-                stack_trace(data.data(), out_trace.data(), t, deck);
+                stack_trace(data.data(), out_trace.data(), t, deck, use_simd);
                 return out_trace;
             },
             [&](int t, std::vector<double>&& out_trace) {
                 trace_sums[static_cast<std::size_t>(t)] =
-                    checksum_range(out_trace.data(), out_trace.size());
+                    kernels::sum_abs(out_trace.data(), out_trace.size(), use_simd);
             });
         double checksum = 0;
         for (int t = 0; t < deck.ntraces; ++t) checksum += trace_sums[static_cast<std::size_t>(t)];
@@ -91,20 +72,22 @@ PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs, const FaultTo
             sim.serial([&] {
                 for (int t = 0; t < deck.ntraces; ++t) {
                     stack_trace(data.data(),
-                                out.data() + static_cast<std::size_t>(t) * deck.nsamples, t, deck);
+                                out.data() + static_cast<std::size_t>(t) * deck.nsamples, t, deck,
+                                use_simd);
                 }
             });
             break;
         case Flavor::OuterParallel:
             sim.parallel(0, deck.ntraces, [&](std::int64_t t) {
                 stack_trace(data.data(), out.data() + static_cast<std::size_t>(t) * deck.nsamples,
-                            static_cast<int>(t), deck);
+                            static_cast<int>(t), deck, use_simd);
             });
             break;
         case Flavor::AutoInner: {
             // Only the innermost sample loops parallelize: fork-joins per
             // (trace) for the zero/scale loops and per (trace, shot) for
-            // the gather-add loop.
+            // the gather-add loop. Elementwise bodies, so the bits match
+            // the vectorized kernel exactly.
             const std::size_t stride_shot =
                 static_cast<std::size_t>(deck.ntraces) * static_cast<std::size_t>(deck.nsamples);
             for (int t = 0; t < deck.ntraces; ++t) {
@@ -138,7 +121,7 @@ PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs, const FaultTo
                 for (std::int64_t t = b; t < e; ++t) {
                     stack_trace(data.data(),
                                 rows + static_cast<std::size_t>(t - b) * deck.nsamples,
-                                static_cast<int>(t), deck);
+                                static_cast<int>(t), deck, use_simd);
                 }
             };
             const spec::NativeOutcome outcome = spec::speculate<double>(
@@ -161,7 +144,10 @@ PhaseResult run_stack(const Deck& deck, Flavor flavor, int nprocs, const FaultTo
             break;  // handled above
     }
     result.seconds = sim.seconds();
-    result.checksum = checksum_range(out.data(), out.size()) / static_cast<double>(out_size);
+    // Per-trace grouped reduction — bit-identical to the MPI flavor's
+    // trace-ordered merge at every thread count (docs/PERFORMANCE.md).
+    result.checksum = kernels::stack_checksum(out.data(), deck.ntraces, deck.nsamples, use_simd) /
+                      static_cast<double>(out_size);
     return result;
 }
 

@@ -1,0 +1,42 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "trace/counters.hpp"
+
+namespace ap::simd {
+
+namespace {
+
+bool env_allows_simd() {
+    const char* raw = std::getenv("AP_SIMD");
+    if (!raw) return true;
+    std::string_view s(raw);
+    return !(s == "off" || s == "OFF" || s == "0" || s == "false" || s == "FALSE");
+}
+
+std::atomic<bool>& flag() {
+    // First touch decides from compile capability + AP_SIMD, and records
+    // the decision in the counters so every report snapshot carries it.
+    static std::atomic<bool> f = [] {
+        const bool on = compiled_native() && env_allows_simd();
+        trace::counters::get("simd.width").add(on ? kLanes : 1);
+        trace::counters::get("simd.enabled").add(on ? 1 : 0);
+        return on;
+    }();
+    return f;
+}
+
+}  // namespace
+
+bool enabled() { return flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+    // The scalar fallback is always available; forcing "on" without
+    // native support would silently run scalar anyway, so clamp.
+    flag().store(on && compiled_native(), std::memory_order_relaxed);
+}
+
+}  // namespace ap::simd

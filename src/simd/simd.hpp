@@ -1,0 +1,362 @@
+#pragma once
+
+// ap::simd — a small portable SIMD layer over GCC/Clang vector
+// extensions with a guaranteed scalar fallback (docs/PERFORMANCE.md,
+// "Kernel-level speed").
+//
+// Design rules, in priority order:
+//
+//  1. **Bit-identical results.** Every operation is elementwise — the
+//     layer never reassociates a floating-point reduction behind the
+//     caller's back. The canonical reductions below (`sum`, `sum_abs`)
+//     commit to one fixed lane order and implement it twice, scalar and
+//     vector, so `AP_SIMD=off`, a compiler without vector extensions,
+//     and the vectorized hot path all produce the same bits.
+//  2. **No intrinsics headers.** `__attribute__((vector_size))` types
+//     compile to whatever the target ISA offers (SSE2 on baseline
+//     x86-64, NEON on aarch64) and degrade to plain scalar code on
+//     compilers without the extension — there is nothing to #ifdef per
+//     architecture and nothing extra to install.
+//  3. **Escape hatch.** `enabled()` reads AP_SIMD once per process
+//     (off/0/false disable); kernels take the flag explicitly so tests
+//     and benches can pin either path via `set_enabled()`.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(AP_SIMD_FORCE_SCALAR)
+#define AP_SIMD_NATIVE 1
+#else
+#define AP_SIMD_NATIVE 0
+#endif
+
+namespace ap::simd {
+
+namespace detail {
+
+template <typename T, int N>
+struct traits;  // primary: no native type — vec<T,N> falls back to lanes
+
+#if AP_SIMD_NATIVE
+template <>
+struct traits<float, 4> {
+    typedef float native __attribute__((vector_size(16)));
+    typedef std::int32_t imask __attribute__((vector_size(16)));
+    static constexpr bool is_native = true;
+};
+template <>
+struct traits<float, 8> {
+    typedef float native __attribute__((vector_size(32)));
+    typedef std::int32_t imask __attribute__((vector_size(32)));
+    static constexpr bool is_native = true;
+};
+template <>
+struct traits<double, 2> {
+    typedef double native __attribute__((vector_size(16)));
+    typedef std::int64_t imask __attribute__((vector_size(16)));
+    static constexpr bool is_native = true;
+};
+template <>
+struct traits<double, 4> {
+    typedef double native __attribute__((vector_size(32)));
+    typedef std::int64_t imask __attribute__((vector_size(32)));
+    static constexpr bool is_native = true;
+};
+#endif
+
+template <typename T, int N, typename = void>
+struct has_native : std::false_type {};
+template <typename T, int N>
+struct has_native<T, N, std::void_t<typename traits<T, N>::native>> : std::true_type {};
+
+}  // namespace detail
+
+/// Fixed-width value vector. Native when the compiler provides vector
+/// extensions for (T, N); otherwise a lane array whose operators apply
+/// per lane in index order — the same order the native ops use, so both
+/// builds are bit-identical.
+template <typename T, int N, bool Native = detail::has_native<T, N>::value>
+struct vec;
+
+template <typename T, int N>
+struct vec<T, N, true> {
+    using native_t = typename detail::traits<T, N>::native;
+    using imask_t = typename detail::traits<T, N>::imask;
+    static constexpr int width = N;
+    static constexpr bool native = true;
+    native_t v;
+
+    static vec load(const T* p) {
+        vec r;
+        std::memcpy(&r.v, p, sizeof(r.v));
+        return r;
+    }
+    void store(T* p) const { std::memcpy(p, &v, sizeof(v)); }
+    static vec splat(T x) {
+        vec r;
+        for (int i = 0; i < N; ++i) r.v[i] = x;
+        return r;
+    }
+    static vec zero() { return splat(T(0)); }
+    T operator[](int i) const { return v[i]; }
+    void set_lane(int i, T x) { v[i] = x; }
+
+    friend vec operator+(vec a, vec b) { return from(a.v + b.v); }
+    friend vec operator-(vec a, vec b) { return from(a.v - b.v); }
+    friend vec operator*(vec a, vec b) { return from(a.v * b.v); }
+    friend vec operator*(vec a, T s) { return from(a.v * s); }
+    vec& operator+=(vec b) {
+        v += b.v;
+        return *this;
+    }
+
+    static vec from(native_t nv) {
+        vec r;
+        r.v = nv;
+        return r;
+    }
+};
+
+template <typename T, int N>
+struct vec<T, N, false> {
+    static constexpr int width = N;
+    static constexpr bool native = false;
+    T v[N];
+
+    static vec load(const T* p) {
+        vec r;
+        for (int i = 0; i < N; ++i) r.v[i] = p[i];
+        return r;
+    }
+    void store(T* p) const {
+        for (int i = 0; i < N; ++i) p[i] = v[i];
+    }
+    static vec splat(T x) {
+        vec r;
+        for (int i = 0; i < N; ++i) r.v[i] = x;
+        return r;
+    }
+    static vec zero() { return splat(T(0)); }
+    T operator[](int i) const { return v[i]; }
+    void set_lane(int i, T x) { v[i] = x; }
+
+    friend vec operator+(vec a, vec b) {
+        vec r;
+        for (int i = 0; i < N; ++i) r.v[i] = a.v[i] + b.v[i];
+        return r;
+    }
+    friend vec operator-(vec a, vec b) {
+        vec r;
+        for (int i = 0; i < N; ++i) r.v[i] = a.v[i] - b.v[i];
+        return r;
+    }
+    friend vec operator*(vec a, vec b) {
+        vec r;
+        for (int i = 0; i < N; ++i) r.v[i] = a.v[i] * b.v[i];
+        return r;
+    }
+    friend vec operator*(vec a, T s) {
+        vec r;
+        for (int i = 0; i < N; ++i) r.v[i] = a.v[i] * s;
+        return r;
+    }
+    vec& operator+=(vec b) {
+        for (int i = 0; i < N; ++i) v[i] += b.v[i];
+        return *this;
+    }
+};
+
+/// |x| per lane via the sign-bit mask — exact fabs semantics (clears the
+/// sign of -0.0 too), unlike a compare-and-select.
+template <typename T, int N, bool Nat>
+inline vec<T, N, Nat> abs(vec<T, N, Nat> a) {
+    static_assert(std::is_floating_point_v<T>);
+    using uint_t = std::conditional_t<sizeof(T) == 8, std::uint64_t, std::uint32_t>;
+    constexpr uint_t kMask = sizeof(T) == 8 ? 0x7fffffffffffffffull : 0x7fffffffu;
+    T lanes[N];
+    a.store(lanes);
+    for (int i = 0; i < N; ++i) {
+        uint_t bits;
+        std::memcpy(&bits, &lanes[i], sizeof(T));
+        bits &= kMask;
+        std::memcpy(&lanes[i], &bits, sizeof(T));
+    }
+    return vec<T, N, Nat>::load(lanes);
+}
+
+/// Native overload: one vector AND against the splatted sign-clear mask.
+/// The whole-vector memcpy between the float vector and its same-sized
+/// integer mask type is a register reinterpret, not a real copy — unlike
+/// the lane loop above it never spills to the stack.
+template <typename T, int N>
+inline vec<T, N, true> abs(vec<T, N, true> a) {
+    static_assert(std::is_floating_point_v<T>);
+    using V = vec<T, N, true>;
+    using ivec_t = typename V::imask_t;
+    using int_t = std::conditional_t<sizeof(T) == 8, std::int64_t, std::int32_t>;
+    constexpr int_t kMask =
+        sizeof(T) == 8 ? static_cast<std::int64_t>(0x7fffffffffffffffll) : 0x7fffffff;
+    ivec_t bits;
+    std::memcpy(&bits, &a.v, sizeof(bits));
+    ivec_t mask;
+    for (int i = 0; i < N; ++i) mask[i] = kMask;
+    bits &= mask;
+    V r;
+    std::memcpy(&r.v, &bits, sizeof(bits));
+    return r;
+}
+
+/// Per-lane IEEE sqrt. Correctly rounded by the standard, so hardware
+/// sqrtpd and libm sqrt return identical bits.
+template <typename T, int N, bool Nat>
+inline vec<T, N, Nat> sqrt(vec<T, N, Nat> a) {
+    T lanes[N];
+    a.store(lanes);
+    for (int i = 0; i < N; ++i) lanes[i] = std::sqrt(lanes[i]);
+    return vec<T, N, Nat>::load(lanes);
+}
+
+/// Native overload: lane writes stay in the vector register; with
+/// -fno-math-errno the compiler folds the std::sqrt calls into packed
+/// hardware sqrt (same correctly-rounded bits either way).
+template <typename T, int N>
+inline vec<T, N, true> sqrt(vec<T, N, true> a) {
+    for (int i = 0; i < N; ++i) a.v[i] = std::sqrt(a.v[i]);
+    return a;
+}
+
+/// Lane permutation, compile-time indices (e.g. shuffle<1,0,3,2> swaps
+/// re/im pairs in a packed complex vector).
+template <int I0, int I1, typename T>
+inline vec<T, 2, true> shuffle(vec<T, 2, true> a) {
+#if defined(__clang__)
+    return vec<T, 2, true>::from(__builtin_shufflevector(a.v, a.v, I0, I1));
+#else
+    typename vec<T, 2, true>::imask_t m = {I0, I1};
+    return vec<T, 2, true>::from(__builtin_shuffle(a.v, m));
+#endif
+}
+template <int I0, int I1, int I2, int I3, typename T>
+inline vec<T, 4, true> shuffle(vec<T, 4, true> a) {
+#if defined(__clang__)
+    return vec<T, 4, true>::from(__builtin_shufflevector(a.v, a.v, I0, I1, I2, I3));
+#else
+    typename vec<T, 4, true>::imask_t m = {I0, I1, I2, I3};
+    return vec<T, 4, true>::from(__builtin_shuffle(a.v, m));
+#endif
+}
+template <int I0, int I1, typename T>
+inline vec<T, 2, false> shuffle(vec<T, 2, false> a) {
+    vec<T, 2, false> r;
+    r.v[0] = a.v[I0];
+    r.v[1] = a.v[I1];
+    return r;
+}
+template <int I0, int I1, int I2, int I3, typename T>
+inline vec<T, 4, false> shuffle(vec<T, 4, false> a) {
+    vec<T, 4, false> r;
+    r.v[0] = a.v[I0];
+    r.v[1] = a.v[I1];
+    r.v[2] = a.v[I2];
+    r.v[3] = a.v[I3];
+    return r;
+}
+
+/// The canonical lane-combine order for a 4-lane accumulator:
+/// (l0 + l2) + (l1 + l3). Every reduction in the system that feeds a
+/// checksum uses exactly this tree — see sum_abs below.
+template <typename V>
+inline auto lane_combine4(V acc) {
+    return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+/// Number of T lanes the vectorized double-precision kernels use.
+inline constexpr int kLanes = 4;
+
+/// Runtime toggle: true when the build has native vector extensions AND
+/// the AP_SIMD environment variable does not disable them. Read once at
+/// first call; `set_enabled` overrides (tests/benches).
+bool enabled();
+void set_enabled(bool on);
+/// Compile-time capability (vector extensions present for double x 4).
+inline constexpr bool compiled_native() { return detail::has_native<double, kLanes>::value; }
+
+// ---------------------------------------------------------------------------
+// Canonical deterministic reductions.
+//
+// Both implementations walk the array in blocks of kLanes keeping kLanes
+// independent accumulators (acc[l] over x[i+l]), combine the lanes with
+// lane_combine4, then fold the tail sequentially. The scalar path mirrors
+// the vector path op for op, so the result is bit-identical regardless of
+// `use_simd`, compiler capability, or AP_SIMD.
+// ---------------------------------------------------------------------------
+
+/// Sum of |x[i]| over [0, n) in the canonical lane order.
+///
+/// The vector path keeps the 4 virtual lanes in two register-sized
+/// vec<double,2> accumulators (a = lanes {0,1}, b = lanes {2,3}) — a
+/// single 4-wide accumulator is wider than an SSE register and GCC keeps
+/// it on the stack, serializing the loop on store-to-load forwarding.
+/// (a + b) computes (l0+l2, l1+l3), so s[0] + s[1] is exactly
+/// lane_combine4's (l0+l2)+(l1+l3): same bits as the scalar path.
+inline double sum_abs(const double* x, std::size_t n, bool use_simd) {
+    using V2 = vec<double, 2>;
+    std::size_t i = 0;
+    double partial;
+    if (use_simd && V2::native) {
+        V2 a = V2::zero(), b = V2::zero();
+        for (; i + kLanes <= n; i += kLanes) {
+            a += abs(V2::load(x + i));
+            b += abs(V2::load(x + i + 2));
+        }
+        const V2 s = a + b;
+        partial = s[0] + s[1];
+    } else {
+        double acc[kLanes] = {0.0, 0.0, 0.0, 0.0};
+        for (; i + kLanes <= n; i += kLanes)
+            for (int l = 0; l < kLanes; ++l) acc[l] += std::fabs(x[i + l]);
+        partial = lane_combine4(acc);
+    }
+    for (; i < n; ++i) partial += std::fabs(x[i]);
+    return partial;
+}
+
+/// Plain sum over [0, n) in the canonical lane order (same two-register
+/// accumulator scheme as sum_abs).
+inline double sum(const double* x, std::size_t n, bool use_simd) {
+    using V2 = vec<double, 2>;
+    std::size_t i = 0;
+    double partial;
+    if (use_simd && V2::native) {
+        V2 a = V2::zero(), b = V2::zero();
+        for (; i + kLanes <= n; i += kLanes) {
+            a += V2::load(x + i);
+            b += V2::load(x + i + 2);
+        }
+        const V2 s = a + b;
+        partial = s[0] + s[1];
+    } else {
+        double acc[kLanes] = {0.0, 0.0, 0.0, 0.0};
+        for (; i + kLanes <= n; i += kLanes)
+            for (int l = 0; l < kLanes; ++l) acc[l] += x[i + l];
+        partial = lane_combine4(acc);
+    }
+    for (; i < n; ++i) partial += x[i];
+    return partial;
+}
+
+/// Elementwise out[i] *= s — identical bits either path (scalar multiply
+/// per lane, no reassociation).
+inline void scale(double* x, std::size_t n, double s, bool use_simd) {
+    using V = vec<double, kLanes>;
+    std::size_t i = 0;
+    if (use_simd && V::native) {
+        for (; i + kLanes <= n; i += kLanes) (V::load(x + i) * s).store(x + i);
+    }
+    for (; i < n; ++i) x[i] *= s;
+}
+
+}  // namespace ap::simd

@@ -1,12 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "mpisim/mpisim.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/timer.hpp"
 #include "runtime/thread_pool.hpp"
+#include "trace/counters.hpp"
 
 namespace ap {
 namespace {
@@ -87,6 +94,143 @@ TEST(ForkJoinOverhead, IsMeasurableAndSmall) {
     const double o = runtime::measure_fork_join_overhead(4, 20);
     EXPECT_GT(o, 0.0);
     EXPECT_LT(o, 0.01);  // 10ms would mean something is very wrong
+}
+
+TEST(ForkJoinOverhead, DynamicModeIsAlsoMeasurable) {
+    const double o = runtime::measure_fork_join_overhead(4, 20, /*dynamic=*/true);
+    EXPECT_GT(o, 0.0);
+    EXPECT_LT(o, 0.01);
+}
+
+TEST(ParallelForDynamic, CoversRaggedWorkloadExactlyOnce) {
+    // MODULECOMP-shaped raggedness: per-iteration cost varies by a hash,
+    // so stolen chunks interleave arbitrarily — every index must still
+    // run exactly once.
+    runtime::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    runtime::parallel_for(
+        0, 1000,
+        [&](std::int64_t i) {
+            const std::int64_t cost = (i * 2654435761LL) % 32;
+            volatile double acc = 1.0;
+            for (std::int64_t k = 0; k < cost * 50; ++k) acc = acc * 1.0000001;
+            hits[static_cast<std::size_t>(i)]++;
+        },
+        {.threads = 4, .grain = 8, .dynamic = true}, &pool);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForDynamic, FirstExceptionPropagatesAndStopsClaiming) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        runtime::parallel_for(
+            0, 100000,
+            [&](std::int64_t i) {
+                ran.fetch_add(1);
+                if (i == 137) throw std::runtime_error("boom");
+            },
+            {.threads = 4, .grain = 16, .dynamic = true}),
+        std::runtime_error);
+    // Cancellation means the remaining chunks were abandoned, not drained.
+    EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ParallelForDynamic, NestedCallsRunInlineNotDeadlock) {
+    std::atomic<int> total{0};
+    std::atomic<bool> nested_left_thread{false};
+    runtime::parallel_for(
+        0, 8,
+        [&](std::int64_t) {
+            const auto outer_id = std::this_thread::get_id();
+            runtime::parallel_for(
+                0, 8,
+                [&](std::int64_t) {
+                    total.fetch_add(1);
+                    if (std::this_thread::get_id() != outer_id) nested_left_thread = true;
+                },
+                {.threads = 4, .dynamic = true});
+        },
+        {.threads = 4, .dynamic = true});
+    EXPECT_EQ(total.load(), 64);
+    EXPECT_FALSE(nested_left_thread.load());
+}
+
+TEST(ParallelFor, StaticChunksClampToGrain) {
+    // n=8 with grain=4 must form at most ceil(8/4)=2 chunks even with 4
+    // threads available: grain is a floor on chunk size, not a hint.
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    runtime::parallel_for(
+        0, 8,
+        [&](std::int64_t) {
+            std::lock_guard<std::mutex> lock(mu);
+            ids.insert(std::this_thread::get_id());
+        },
+        {.threads = 4, .grain = 4});
+    EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(ParallelForDynamic, GrainBoundsChunkClaims) {
+    // With n=100 and grain=10 the claim counter may advance at most
+    // ceil(100/10)=10 times: the stealing loop must respect the grain
+    // floor when sizing chunks.
+    auto& chunks = trace::counters::get("runtime.steal.chunks");
+    auto& runs = trace::counters::get("runtime.steal.runs");
+    const std::int64_t chunks_before = chunks.value();
+    const std::int64_t runs_before = runs.value();
+    std::vector<std::atomic<int>> hits(100);
+    runtime::parallel_for(
+        0, 100, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; },
+        {.threads = 4, .grain = 10, .dynamic = true});
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_EQ(runs.value() - runs_before, 1);
+    EXPECT_LE(chunks.value() - chunks_before, 10);
+    EXPECT_GE(chunks.value() - chunks_before, 1);
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+    // The partial-sum partition depends only on (n, grain) and the
+    // combine tree is a fixed pairwise fold, so every thread count —
+    // including the serial inline path — produces the same bits even
+    // though double addition is not associative.
+    std::vector<double> x(10007);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = std::sin(0.37 * static_cast<double>(i)) * 1e3 + 1e-7 * static_cast<double>(i % 13);
+    }
+    auto block = [&](std::int64_t lo, std::int64_t hi) {
+        double s = 0;
+        for (std::int64_t i = lo; i < hi; ++i) s += x[static_cast<std::size_t>(i)];
+        return s;
+    };
+    auto combine = [](double a, double b) { return a + b; };
+    const auto n = static_cast<std::int64_t>(x.size());
+    const double serial =
+        runtime::parallel_reduce(0, n, 0.0, block, combine, {.threads = 1});
+    for (unsigned threads : {2u, 4u, 8u}) {
+        const double threaded =
+            runtime::parallel_reduce(0, n, 0.0, block, combine, {.threads = threads});
+        EXPECT_EQ(serial, threaded) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+    const double r = runtime::parallel_reduce(
+        5, 5, -3.25, [](std::int64_t, std::int64_t) { return 1.0; },
+        [](double a, double b) { return a + b; }, {.threads = 4});
+    EXPECT_EQ(r, -3.25);
+}
+
+TEST(ParallelReduce, GrainControlsBlockPartition) {
+    // grain floors the block size: n=100, grain=50 → exactly 2 blocks.
+    std::atomic<int> blocks{0};
+    runtime::parallel_reduce(
+        0, 100, 0.0,
+        [&](std::int64_t lo, std::int64_t hi) {
+            blocks.fetch_add(1);
+            return static_cast<double>(hi - lo);
+        },
+        [](double a, double b) { return a + b; }, {.threads = 4, .grain = 50});
+    EXPECT_EQ(blocks.load(), 2);
 }
 
 TEST(MpiSim, SendRecvRoundTrip) {

@@ -1,13 +1,25 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <vector>
 
+#include "seismic/kernels.hpp"
 #include "seismic/seismic.hpp"
+#include "simd/simd.hpp"
 
 namespace ap::seismic {
 namespace {
 
 constexpr double kTol = 1e-9;
+
+std::uint64_t bits(double v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
 
 class SeismicPhases : public ::testing::TestWithParam<Flavor> {};
 
@@ -134,6 +146,91 @@ TEST(Seismic, MpiWithDifferentRankCountsAgrees) {
     const auto two = run_findiff(deck, Flavor::Mpi, 2);
     const auto four = run_findiff(deck, Flavor::Mpi, 4);
     EXPECT_NEAR(two.checksum, four.checksum, kTol * std::abs(two.checksum));
+}
+
+TEST(SeismicKernels, StencilRowBitIdenticalScalarVsSimd) {
+    const int n = 67;  // odd: the vector loop leaves a scalar tail
+    std::vector<double> up(static_cast<std::size_t>(n) * n), u(up.size());
+    for (std::size_t i = 0; i < up.size(); ++i) {
+        up[i] = std::sin(0.17 * static_cast<double>(i));
+        u[i] = std::cos(0.05 * static_cast<double>(i)) * 2.5;
+    }
+    std::vector<double> scalar(up.size(), 0.0), simd_out(up.size(), 0.0);
+    for (int r = 1; r < n - 1; ++r) {
+        kernels::stencil_row_into(up.data(), u.data(),
+                                  scalar.data() + static_cast<std::size_t>(r) * n, r, n, 0.2,
+                                  false);
+        kernels::stencil_row_into(up.data(), u.data(),
+                                  simd_out.data() + static_cast<std::size_t>(r) * n, r, n, 0.2,
+                                  true);
+    }
+    for (std::size_t i = 0; i < scalar.size(); ++i) EXPECT_EQ(bits(scalar[i]), bits(simd_out[i]));
+}
+
+TEST(SeismicKernels, FftLineBitIdenticalScalarVsSimd) {
+    const int len = 64;
+    std::vector<kernels::Cplx> scalar(len), simd_line(len);
+    for (int i = 0; i < len; ++i) {
+        scalar[i] = simd_line[i] =
+            kernels::Cplx(std::sin(0.21 * i) + 0.3 * std::cos(1.7 * i), 0.1 * std::cos(0.4 * i));
+    }
+    kernels::fft_line(scalar.data(), len, false, false);
+    kernels::fft_line(scalar.data(), len, true, false);
+    kernels::fft_line(simd_line.data(), len, false, true);
+    kernels::fft_line(simd_line.data(), len, true, true);
+    for (int i = 0; i < len; ++i) {
+        EXPECT_EQ(bits(scalar[i].real()), bits(simd_line[i].real())) << "i=" << i;
+        EXPECT_EQ(bits(scalar[i].imag()), bits(simd_line[i].imag())) << "i=" << i;
+    }
+}
+
+TEST(SeismicKernels, StackTraceBitIdenticalScalarVsSimd) {
+    const int nshots = 5, ntraces = 7, nsamples = 129;
+    std::vector<double> data(static_cast<std::size_t>(nshots) * ntraces * nsamples);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::sin(0.09 * static_cast<double>(i));
+    std::vector<double> scalar(static_cast<std::size_t>(nsamples)), simd_out(scalar.size());
+    for (int t = 0; t < ntraces; ++t) {
+        kernels::stack_trace(data.data(), scalar.data(), t, nshots, ntraces, nsamples, false);
+        kernels::stack_trace(data.data(), simd_out.data(), t, nshots, ntraces, nsamples, true);
+        for (std::size_t i = 0; i < scalar.size(); ++i) {
+            EXPECT_EQ(bits(scalar[i]), bits(simd_out[i])) << "t=" << t << " i=" << i;
+        }
+    }
+}
+
+TEST(Seismic, StackChecksumBitIdenticalAcrossFlavorsAndRanks) {
+    // The stacking reduction is grouped per trace and folded in trace
+    // order everywhere — serial, threaded, speculative, and the MPI
+    // trace-ordered merge at any rank count — so the checksum is the
+    // same BITS, not merely close (ISSUE 9 satellite).
+    const Deck deck = Deck::tiny();
+    const double serial = run_stack(deck, Flavor::Serial, 1).checksum;
+    EXPECT_EQ(bits(serial), bits(run_stack(deck, Flavor::OuterParallel, 1).checksum));
+    EXPECT_EQ(bits(serial), bits(run_stack(deck, Flavor::OuterParallel, 2).checksum));
+    EXPECT_EQ(bits(serial), bits(run_stack(deck, Flavor::OuterParallel, 4).checksum));
+    EXPECT_EQ(bits(serial), bits(run_stack(deck, Flavor::AutoInner, 2).checksum));
+    EXPECT_EQ(bits(serial), bits(run_stack(deck, Flavor::SpecPriv, 2).checksum));
+    EXPECT_EQ(bits(serial), bits(run_stack(deck, Flavor::Mpi, 2).checksum));
+    EXPECT_EQ(bits(serial), bits(run_stack(deck, Flavor::Mpi, 4).checksum));
+}
+
+TEST(Seismic, ChecksumsUnchangedWhenSimdDisabled) {
+    // AP_SIMD / set_enabled is an escape hatch, not a results knob: with
+    // the layer off, every phase reproduces the same bits.
+    const Deck deck = Deck::tiny();
+    const bool saved = simd::enabled();
+    simd::set_enabled(true);
+    const double stack_on = run_stack(deck, Flavor::Serial, 1).checksum;
+    const double findiff_on = run_findiff(deck, Flavor::Serial, 1).checksum;
+    const double fft_on = run_fft3d(deck, Flavor::Serial, 1).checksum;
+    simd::set_enabled(false);
+    const double stack_off = run_stack(deck, Flavor::Serial, 1).checksum;
+    const double findiff_off = run_findiff(deck, Flavor::Serial, 1).checksum;
+    const double fft_off = run_fft3d(deck, Flavor::Serial, 1).checksum;
+    simd::set_enabled(saved);
+    EXPECT_EQ(bits(stack_on), bits(stack_off));
+    EXPECT_EQ(bits(findiff_on), bits(findiff_off));
+    EXPECT_EQ(bits(fft_on), bits(fft_off));
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "simd/simd.hpp"
+
+namespace ap::simd {
+namespace {
+
+using V4 = vec<double, 4>;
+using V2 = vec<double, 2>;
+
+// Bitwise double comparison: the layer's contract is bit identity, not
+// closeness, so every check here is exact.
+std::uint64_t bits(double v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+TEST(SimdVec, LoadStoreRoundTrip) {
+    const double in[4] = {1.5, -2.25, 0.0, -0.0};
+    double out[4] = {9, 9, 9, 9};
+    V4::load(in).store(out);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(bits(in[i]), bits(out[i]));
+}
+
+TEST(SimdVec, SplatPreservesNegativeZero) {
+    const V4 v = V4::splat(-0.0);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(std::signbit(v[i]));
+}
+
+TEST(SimdVec, ElementwiseOpsMatchScalar) {
+    const double a[4] = {1.1, -2.2, 3.3, 1e-300};
+    const double b[4] = {0.7, 5.0, -1e18, 4.25};
+    const V4 va = V4::load(a), vb = V4::load(b);
+    const V4 sum = va + vb, diff = va - vb, prod = va * vb, scaled = va * 3.5;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(bits(sum[i]), bits(a[i] + b[i]));
+        EXPECT_EQ(bits(diff[i]), bits(a[i] - b[i]));
+        EXPECT_EQ(bits(prod[i]), bits(a[i] * b[i]));
+        EXPECT_EQ(bits(scaled[i]), bits(a[i] * 3.5));
+    }
+}
+
+TEST(SimdVec, AbsMatchesFabsIncludingNegativeZero) {
+    const double in[4] = {-1.5, 2.0, -0.0, 0.0};
+    const V4 r = abs(V4::load(in));
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(bits(r[i]), bits(std::fabs(in[i])));
+    EXPECT_FALSE(std::signbit(r[2]));
+}
+
+TEST(SimdVec, SqrtMatchesStdSqrtBitwise) {
+    const double in[4] = {2.0, 0.25, 1e-12, 7.75e10};
+    const V4 r = sqrt(V4::load(in));
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(bits(r[i]), bits(std::sqrt(in[i])));
+}
+
+TEST(SimdVec, ShuffleReordersLanes) {
+    const double in4[4] = {10, 11, 12, 13};
+    const V4 s4 = shuffle<1, 0, 3, 2>(V4::load(in4));
+    EXPECT_EQ(s4[0], 11);
+    EXPECT_EQ(s4[1], 10);
+    EXPECT_EQ(s4[2], 13);
+    EXPECT_EQ(s4[3], 12);
+    const double in2[2] = {20, 21};
+    const V2 s2 = shuffle<1, 0>(V2::load(in2));
+    EXPECT_EQ(s2[0], 21);
+    EXPECT_EQ(s2[1], 20);
+}
+
+TEST(SimdVec, LaneCombine4UsesTheCanonicalTree) {
+    V4 acc = V4::zero();
+    acc.set_lane(0, 1.0);
+    acc.set_lane(1, 1e-16);
+    acc.set_lane(2, -1.0);
+    acc.set_lane(3, 1e-16);
+    // (l0 + l2) + (l1 + l3), not ((l0 + l1) + l2) + l3 — the orders
+    // differ in the last bit for this input, which is the point.
+    EXPECT_EQ(bits(lane_combine4(acc)), bits((1.0 + -1.0) + (1e-16 + 1e-16)));
+}
+
+TEST(SimdReduction, SumAbsBitIdenticalScalarVsSimd) {
+    std::vector<double> x(1003);  // non-multiple of 4: exercises the tail
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = std::sin(0.13 * static_cast<double>(i)) * ((i % 7) ? 1.0 : -1.0) * 1e3;
+    }
+    EXPECT_EQ(bits(sum_abs(x.data(), x.size(), true)), bits(sum_abs(x.data(), x.size(), false)));
+}
+
+TEST(SimdReduction, SumBitIdenticalScalarVsSimd) {
+    std::vector<double> x(517);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = std::cos(0.31 * static_cast<double>(i)) * 1e-4 + static_cast<double>(i % 11);
+    }
+    EXPECT_EQ(bits(sum(x.data(), x.size(), true)), bits(sum(x.data(), x.size(), false)));
+}
+
+TEST(SimdReduction, ScaleBitIdenticalScalarVsSimd) {
+    std::vector<double> a(129), b(129);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = b[i] = std::sin(0.7 * static_cast<double>(i)) * 42.0;
+    }
+    scale(a.data(), a.size(), 1.0 / 3.0, true);
+    scale(b.data(), b.size(), 1.0 / 3.0, false);
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(bits(a[i]), bits(b[i]));
+}
+
+TEST(SimdConfig, SetEnabledClampsToCompiledCapability) {
+    const bool saved = enabled();
+    set_enabled(false);
+    EXPECT_FALSE(enabled());
+    set_enabled(true);
+    EXPECT_EQ(enabled(), compiled_native());
+    set_enabled(saved);
+}
+
+}  // namespace
+}  // namespace ap::simd

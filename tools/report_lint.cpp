@@ -332,7 +332,76 @@ void check_spec(const Value& data, const Value* counters) {
     }
 }
 
-void check_bench(const std::string& bench, const Value& data, const Value* counters) {
+// The SIMD kernel report (BENCH_simd.json, docs/PERFORMANCE.md
+// "Kernel-level speed"). Enforced invariants:
+//   - every kernel is bit-identical across its whole variant grid:
+//     scalar vs SIMD, serial vs every thread count, static vs stolen
+//     chunks — all five checksums carry the same 64 bits;
+//   - timing fields are present and positive (speedup is a ratio of two
+//     measured times, so 0 means the bench never ran the kernel);
+//   - with --min-speedup, the best single-thread SIMD speedup must
+//     clear the floor (verify.sh gates this on >= 4 core hosts).
+void check_simd(const Value& data, double min_speedup) {
+    const Value* schema = require(data, "schema", "string");
+    if (schema && schema->as_string() != "ap.simd.v1") {
+        fail("data.schema is \"" + schema->as_string() + "\", expected \"ap.simd.v1\"");
+    }
+    const Value* width = require(data, "width", "number");
+    if (width && width->as_int() < 1) fail("simd width < 1");
+    require(data, "enabled", "bool");
+    const Value* kernels = require(data, "kernels", "array");
+    if (kernels) {
+        if (kernels->size() == 0) fail("\"kernels\" is empty");
+        for (const Value& k : *kernels->as_array()) {
+            if (!k.is_object()) {
+                fail("kernels[] entry is not an object");
+                continue;
+            }
+            const Value* name = require(k, "name", "string");
+            const std::string where =
+                "kernel " + (name ? name->as_string() : std::string("?"));
+            const Value* checksum = require(k, "checksum", "string");
+            const Value* identical = require(k, "bit_identical", "bool");
+            if (identical && !identical->as_bool()) {
+                fail(where + " is not bit-identical across scalar/SIMD/thread variants");
+            }
+            for (const char* field : {"scalar_seconds", "simd_seconds", "speedup"}) {
+                const Value* v = require(k, field, "number");
+                if (v && !(v->as_double() > 0)) {
+                    fail(where + "." + field + " is not positive");
+                }
+            }
+            const Value* variants = require(k, "variants", "array");
+            if (!variants) continue;
+            if (variants->size() < 2) fail(where + " reports fewer than 2 variants");
+            for (const Value& v : *variants->as_array()) {
+                if (!v.is_object()) {
+                    fail(where + " variants[] entry is not an object");
+                    continue;
+                }
+                require(v, "name", "string");
+                require(v, "threads", "number");
+                require(v, "seconds", "number");
+                const Value* vc = require(v, "checksum", "string");
+                if (vc && checksum && vc->as_string() != checksum->as_string()) {
+                    const Value* vn = v.find("name");
+                    fail(where + " variant " +
+                         (vn && vn->is_string() ? vn->as_string() : std::string("?")) +
+                         " checksum " + vc->as_string() + " != kernel checksum " +
+                         checksum->as_string());
+                }
+            }
+        }
+    }
+    const Value* best = require(data, "best_speedup", "number");
+    if (best && min_speedup >= 0 && best->as_double() < min_speedup) {
+        fail("simd best_speedup " + std::to_string(best->as_double()) +
+             " < required minimum " + std::to_string(min_speedup));
+    }
+}
+
+void check_bench(const std::string& bench, const Value& data, const Value* counters,
+                 double min_speedup) {
     if (bench == "fig1") {
         // Chaos sweeps (`--chaos N`) replace the decks payload.
         if (const Value* chaos = data.find("chaos")) {
@@ -387,6 +456,8 @@ void check_bench(const std::string& bench, const Value& data, const Value* count
         }
     } else if (bench == "spec") {
         check_spec(data, counters);
+    } else if (bench == "simd") {
+        check_simd(data, min_speedup);
     } else {
         fail("unknown bench \"" + bench + "\"");
     }
@@ -772,6 +843,23 @@ std::string deterministic_fingerprint(const Value& doc) {
             }
         }
     }
+    // SIMD kernel checksums are bit-stable across AP_SIMD on/off and
+    // every thread count; verify.sh --simd compares the two reports.
+    // `enabled` and all timing fields are deliberately excluded.
+    if (const Value* schema = data->find("schema");
+        schema && schema->is_string() && schema->as_string() == "ap.simd.v1") {
+        if (const Value* v = data->find("width")) os << "simd width=" << v->dump() << '\n';
+        if (const Value* kernels = data->find("kernels"); kernels && kernels->is_array()) {
+            for (const Value& k : *kernels->as_array()) {
+                if (!k.is_object()) continue;
+                os << "simd";
+                for (const char* key : {"name", "checksum", "bit_identical"}) {
+                    if (const Value* v = k.find(key)) os << ' ' << key << '=' << v->dump();
+                }
+                os << '\n';
+            }
+        }
+    }
     return os.str();
 }
 
@@ -840,6 +928,7 @@ int main(int argc, char** argv) {
     static const char* kUsage =
         "usage: report_lint <report.json> [expected-bench] [--min-speedup X]\n"
         "       report_lint check_spec <report.json>\n"
+        "       report_lint check_simd <report.json> [--min-speedup X]\n"
         "       report_lint --compare <a.json> <b.json>\n";
     if (argc >= 2 && std::strcmp(argv[1], "--compare") == 0) {
         if (argc != 4) {
@@ -850,15 +939,19 @@ int main(int argc, char** argv) {
     }
     const char* report_path = nullptr;
     const char* expected_bench = nullptr;
-    // `check_spec <report>` is shorthand for `<report> spec`: lint the
-    // report and enforce the speculative-execution invariants.
-    if (argc == 3 && std::strcmp(argv[1], "check_spec") == 0) {
-        argv[1] = argv[2];
+    // `check_spec <report>` / `check_simd <report>` are shorthand for
+    // `<report> spec` / `<report> simd`: lint the report and enforce that
+    // subsystem's invariants (trailing flags still apply).
+    int argi = 1;
+    if (argc >= 3 && std::strcmp(argv[1], "check_spec") == 0) {
         expected_bench = "spec";
-        argc = 2;
+        argi = 2;
+    } else if (argc >= 3 && std::strcmp(argv[1], "check_simd") == 0) {
+        expected_bench = "simd";
+        argi = 2;
     }
     double min_speedup = -1;
-    for (int i = 1; i < argc; ++i) {
+    for (int i = argi; i < argc; ++i) {
         if (std::strcmp(argv[i], "--min-speedup") == 0) {
             if (i + 1 >= argc || std::atof(argv[i + 1]) <= 0) {
                 std::fprintf(stderr, "report_lint: --min-speedup requires a positive number\n");
@@ -905,16 +998,17 @@ int main(int argc, char** argv) {
     }
     if (counters) check_fault_counters(*counters);
     if (counters) check_guard_counters(*counters);
-    if (bench && data) check_bench(bench->as_string(), *data, counters);
+    if (bench && data) check_bench(bench->as_string(), *data, counters, min_speedup);
     if (data) {
         check_compiler_incidents(*data);
         check_provenance(*data);
         // Validate data.sched wherever it appears (check_bench enforces
-        // its presence for fig2/fig3).
+        // its presence for fig2/fig3). For the simd bench the floor
+        // applies to data.best_speedup inside check_simd instead.
         if (const Value* sched = data->find("sched")) {
             if (sched->is_object()) check_sched(*sched, counters, min_speedup);
             else fail("\"sched\" is not an object");
-        } else if (min_speedup >= 0) {
+        } else if (min_speedup >= 0 && !(bench && bench->as_string() == "simd")) {
             fail("--min-speedup given but report has no data.sched section");
         }
     }
