@@ -102,22 +102,23 @@ int main(int argc, char** argv) {
         return 2;
     }
     const int repeats = args.repeats ? args.repeats : kDefaultRepeats;
+    const unsigned threads = core::resolve_threads(args.threads);
     std::printf("=== Figure 2: compile time per code statement, by compiler pass ===\n");
     std::printf("(averaged over %d compilations per code set, %u thread%s)\n\n", repeats,
-                args.threads, args.threads == 1 ? "" : "s");
+                threads, threads == 1 ? "" : "s");
 
     std::vector<core::CompileReport> reports;
     // Scope the counter delta to the measured batch: the JSON section
     // reports what THIS batch spent, not process-global totals (the
     // serial reference run below stays outside the window).
     trace::CounterDelta batch_delta;
-    const double wall_seconds = run_batch(repeats, args, args.threads, reports);
+    const double wall_seconds = run_batch(repeats, args, threads, reports);
     trace::json::Value batch_counters = batch_delta.delta();
     // The serial reference for the speedup figure; its reports are
     // discarded (determinism across thread counts is report_lint
     // --compare's business, on full report files).
     double wall_seconds_serial = 0;
-    if (args.threads != 1) {
+    if (threads != 1) {
         std::vector<core::CompileReport> serial_reports;
         wall_seconds_serial = run_batch(repeats, args, 1, serial_reports);
     }
@@ -157,8 +158,8 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", totals.to_string().c_str());
 
-    std::printf("pipeline: %u thread%s, batch wall %.3fs", args.threads,
-                args.threads == 1 ? "" : "s", wall_seconds);
+    std::printf("pipeline: %u thread%s, batch wall %.3fs", threads,
+                threads == 1 ? "" : "s", wall_seconds);
     if (wall_seconds_serial > 0) {
         std::printf(" (serial %.3fs, speedup %.2fx)", wall_seconds_serial,
                     wall_seconds > 0 ? wall_seconds_serial / wall_seconds : 1.0);
@@ -212,7 +213,7 @@ int main(int argc, char** argv) {
         json::Value data = json::Value::object();
         data.set("repeats", repeats);
         data.set("codes", std::move(codes));
-        data.set("sched", core::sched_json(args.threads, wall_seconds, wall_seconds_serial,
+        data.set("sched", core::sched_json(threads, wall_seconds, wall_seconds_serial,
                                            cache));
         data.set("batch_counters", std::move(batch_counters));
         {

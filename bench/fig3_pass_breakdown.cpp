@@ -55,16 +55,17 @@ int main(int argc, char** argv) {
         return 2;
     }
     const int repeats = args.repeats ? args.repeats : kDefaultRepeats;
+    const unsigned threads = core::resolve_threads(args.threads);
     std::printf("=== Figure 3: share of compile time per compiler pass ===\n\n");
 
     std::vector<core::CompileReport> reports;
     // Counter delta scoped to the measured batch (the serial reference
     // run is outside the window; see fig2).
     trace::CounterDelta batch_delta;
-    const double wall_seconds = run_batch(repeats, args.threads, reports);
+    const double wall_seconds = run_batch(repeats, threads, reports);
     trace::json::Value batch_counters = batch_delta.delta();
     double wall_seconds_serial = 0;
-    if (args.threads != 1) {
+    if (threads != 1) {
         std::vector<core::CompileReport> serial_reports;
         wall_seconds_serial = run_batch(repeats, 1, serial_reports);
     }
@@ -95,8 +96,8 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.to_string().c_str());
 
-    std::printf("pipeline: %u thread%s, batch wall %.3fs", args.threads,
-                args.threads == 1 ? "" : "s", wall_seconds);
+    std::printf("pipeline: %u thread%s, batch wall %.3fs", threads,
+                threads == 1 ? "" : "s", wall_seconds);
     if (wall_seconds_serial > 0) {
         std::printf(" (serial %.3fs, speedup %.2fx)", wall_seconds_serial,
                     wall_seconds > 0 ? wall_seconds_serial / wall_seconds : 1.0);
@@ -137,7 +138,7 @@ int main(int argc, char** argv) {
         json::Value data = json::Value::object();
         data.set("repeats", repeats);
         data.set("codes", std::move(codes));
-        data.set("sched", core::sched_json(args.threads, wall_seconds, wall_seconds_serial,
+        data.set("sched", core::sched_json(threads, wall_seconds, wall_seconds_serial,
                                            cache));
         data.set("batch_counters", std::move(batch_counters));
         if (!core::write_bench_report(args.json_path, "fig3", std::move(data), failures == 0)) {

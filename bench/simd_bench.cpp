@@ -130,7 +130,14 @@ int main(int argc, char** argv) {
         return 2;
     }
     const int repeats = args.repeats > 0 ? args.repeats : 3;
-    runtime::ThreadPool pool(4);
+    // The variant grid pins *logical* thread counts (they name the
+    // variants and shape the deterministic chunking); `--threads` sizes
+    // the worker pool behind them, with 0 resolving to hardware
+    // concurrency exactly as in the fig benches. Checksums are
+    // pool-size-independent, so this only moves wall time.
+    const unsigned pool_threads =
+        args.threads_set ? core::resolve_threads(args.threads) : 4;
+    runtime::ThreadPool pool(pool_threads);
 
     std::vector<KernelResult> kernels;
 

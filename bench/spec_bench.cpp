@@ -179,6 +179,14 @@ int main(int argc, char** argv) {
     }
     std::printf("=== ap::spec: speculative vs serial execution ===\n\n");
 
+    // Interpreter worker threads. The drill's default is the interpreter
+    // default (4), but an explicit `--threads` overrides it — with 0
+    // resolving to hardware concurrency through the same helper the fig
+    // benches use, so `--threads 0` means one thing everywhere.
+    const unsigned exec_threads = args.threads_set
+                                      ? core::resolve_threads(args.threads)
+                                      : interp::ExecutionOptions{}.threads;
+
     std::vector<Case> cases;
     for (const auto* c : corpus::all()) {
         if (c->runnable) cases.push_back({c->name, c, nullptr, c->sample_deck});
@@ -221,6 +229,7 @@ int main(int argc, char** argv) {
         rt.profile = &profile;
         interp::ExecutionOptions spec_opts;
         spec_opts.parallel = true;
+        spec_opts.threads = exec_threads;
         spec_opts.spec = &rt;
         const auto spec_run = run_once(prog, c, spec_opts);
 
@@ -317,6 +326,7 @@ int main(int argc, char** argv) {
         rt.injector = &injector;
         interp::ExecutionOptions spec_opts;
         spec_opts.parallel = true;
+        spec_opts.threads = exec_threads;
         spec_opts.spec = &rt;
         const auto drilled = run_once(drill_prog, *drill_case, spec_opts);
 

@@ -56,6 +56,18 @@
 #       # report_lint --compare. The >=1.5x single-thread SIMD speedup
 #       # floor is asserted only on machines with >= 4 cores, mirroring
 #       # --perf. This is the mode the verify_simd CTest test runs.
+#   scripts/verify.sh --tune --build-dir build
+#       # ensemble-tuning smoke (docs/PERFORMANCE.md, "Ensemble tuning"):
+#       # run the tune_bench drill from an existing build tree — every
+#       # corpus program compiled under the whole strategy ensemble, the
+#       # model-scored tuned estimate must never lose to the default, and
+#       # the designed loop-distribution candidate must be rescued by
+#       # fission — lint the ap.tune.v1 report, rerun the drill at
+#       # --threads 1 --no-cache, lint that too, and require
+#       # byte-identical deterministic fields via report_lint --compare.
+#       # The >=1.0001x geomean floor is asserted only on machines with
+#       # >= 4 cores, mirroring --perf. This is the mode the verify_tune
+#       # CTest test runs.
 #   scripts/verify.sh --tsan
 #       # opt-in sanitizer pass: configure a separate build-tsan tree
 #       # with -DAP_SANITIZE=ON (ThreadSanitizer + UBSan) and run only
@@ -78,6 +90,7 @@ EXPLAIN=0
 SERVE=0
 SPEC=0
 SIMD=0
+TUNE=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --build-dir) BUILD_DIR=$2; shift 2 ;;
@@ -89,6 +102,7 @@ while [ $# -gt 0 ]; do
         --serve) SERVE=1; shift ;;
         --spec) SPEC=1; shift ;;
         --simd) SIMD=1; shift ;;
+        --tune) TUNE=1; shift ;;
         *) echo "verify.sh: unknown argument: $1" >&2; exit 2 ;;
     esac
 done
@@ -116,6 +130,35 @@ if [ "$SIMD" -eq 1 ]; then
     echo "== simd: checksums identical with the layer disabled =="
     "$BUILD_DIR"/tools/report_lint --compare "$vectored" "$hatch"
     echo "verify.sh: simd OK"
+    exit 0
+fi
+
+if [ "$TUNE" -eq 1 ]; then
+    cores=$(nproc)
+    ensemble=$(mktemp /tmp/ap-tune-t2.XXXXXX.json)
+    serial=$(mktemp /tmp/ap-tune-t1nc.XXXXXX.json)
+    trap 'rm -f "$ensemble" "$serial"' EXIT
+    echo "== tune: ensemble drill, fan-out on 2 threads with shared memo =="
+    "$BUILD_DIR"/bench/tune_bench --threads 2 --json "$ensemble"
+    echo "== tune: lint the ap.tune.v1 report =="
+    if [ "$cores" -ge 4 ]; then
+        # On real parallel hardware the geomean floor gates: the designed
+        # fission rescue alone guarantees a strictly-positive win. Below
+        # 4 cores the floor is skipped to mirror --perf, although the
+        # model-scored figures are deterministic either way.
+        "$BUILD_DIR"/tools/report_lint check_tune "$ensemble" --min-speedup 1.0001
+    else
+        echo "   ($cores core(s): skipping the geomean floor, determinism only)"
+        "$BUILD_DIR"/tools/report_lint check_tune "$ensemble"
+    fi
+    echo "== tune: serial fan-out, memo off =="
+    "$BUILD_DIR"/bench/tune_bench --threads 1 --no-cache --json "$serial" >/dev/null
+    "$BUILD_DIR"/tools/report_lint check_tune "$serial"
+    echo "== tune: winners/margins identical across threads x cache =="
+    "$BUILD_DIR"/tools/report_lint --compare "$ensemble" "$serial"
+    echo "== tune: explain renders why each strategy won =="
+    "$BUILD_DIR"/tools/explain "$ensemble"
+    echo "verify.sh: tune OK"
     exit 0
 fi
 

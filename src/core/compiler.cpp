@@ -51,16 +51,253 @@ std::map<ir::Hindrance, int> CompileReport::target_histogram() const {
 
 namespace {
 
+/// Runs the per-loop analysis sequence (reduction recognition,
+/// privatization, dependence test) on one loop, annotates it in place,
+/// and returns its report with the assembled provenance trail. Does NOT
+/// recurse into the body and does not append to any report list — the
+/// callers (plain traversal and the fission trial) own both decisions.
+/// Each pass runs as a guarded unit: a budget trip or contained
+/// exception degrades only this loop (to Hindrance::Complexity), never
+/// the compile.
+LoopReport analyze_one_loop(ir::DoLoop& loop, ir::Routine& routine,
+                            const CompilerOptions& options,
+                            const dependence::RoutineContext& rc, sched::AnalysisCache* cache,
+                            PassTimes& times, guard::Budget& budget, guard::IncidentLog& log) {
+    trace::Span loop_span("loop", "compile");
+    loop_span.arg("routine", routine.name);
+    loop_span.arg("loop_id", loop.loop_id);
+    loop_span.arg("line", loop.loc().line);
+    loop_span.arg("span_id", trace::span_id("loop", routine.name, loop.loop_id));
+
+    dependence::LoopContext lc;
+    lc.op_budget = options.loop_op_budget;
+    lc.prover_max_depth = options.prover_max_depth;
+    lc.budget = &budget;
+    lc.cache = cache;
+
+    const auto loop_t0 = std::chrono::steady_clock::now();
+    auto loop_elapsed = [&loop_t0] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - loop_t0)
+            .count();
+    };
+
+    // Reduction recognition.
+    analysis::ReductionScan redscan;
+    bool ok = guard::guarded(log, to_string(PassId::Reduction), routine.name, loop.loop_id,
+                             [&] {
+                                 PassTimer t(times, PassId::Reduction);
+                                 redscan = analysis::scan_reductions(loop);
+                             });
+    const std::vector<analysis::Reduction>& reds = redscan.accepted;
+    for (const auto& r : reds) lc.reductions.insert(r.var);
+
+    // Privatization.
+    analysis::PrivatizationResult priv;
+    ok = ok && guard::guarded(log, to_string(PassId::Privatization), routine.name,
+                              loop.loop_id, [&] {
+                                  PassTimer t(times, PassId::Privatization);
+                                  priv = analysis::privatize(loop, routine, rc.ranges->env,
+                                                             *rc.consts);
+                              });
+    for (const auto& name : priv.scalars) lc.privates.insert(name);
+    for (const auto& name : priv.arrays) lc.privates.insert(name);
+    // A reduction variable must not also be listed private.
+    for (const auto& r : reds) lc.privates.erase(r.var);
+
+    // Data-dependence test.
+    dependence::LoopDependenceResult dd;
+    ok = ok && guard::guarded(log, to_string(PassId::DataDependence), routine.name,
+                              loop.loop_id, [&] {
+                                  PassTimer t(times, PassId::DataDependence);
+                                  dd = dependence::test_loop(loop, rc, lc);
+                              });
+    if (!ok) {
+        // A guarded unit failed: this loop keeps a verdict (the
+        // paper's compile-time Complexity hindrance) and compilation
+        // continues with the next loop.
+        dd = {};
+        dd.blocker = ir::Hindrance::Complexity;
+        dd.trip = budget.tripped() ? budget.cause() : guard::TripCause::Exception;
+        dd.reason = dd.trip == guard::TripCause::Exception
+                        ? "analysis failed and was contained by the compile guard"
+                        : "analysis abandoned: compile budget exhausted";
+    } else if (dd.blocker == ir::Hindrance::Complexity &&
+               dd.trip != guard::TripCause::None) {
+        // The dependence test gave up within its own budget; surface
+        // that as a (degraded) incident so budget-pressure runs show
+        // up in `compiler.incidents`.
+        guard::Incident inc;
+        inc.pass = std::string(to_string(PassId::DataDependence));
+        inc.routine = routine.name;
+        inc.loop_id = loop.loop_id;
+        inc.cause = dd.trip;
+        inc.detail = dd.reason;
+        inc.elapsed_seconds = loop_elapsed();
+        inc.span = trace::span_id(inc.pass, routine.name, loop.loop_id);
+        log.record(std::move(inc));
+    }
+    loop_span.arg("pairs_tested", dd.pairs_tested);
+    loop_span.arg("symbolic_ops", dd.symbolic_ops);
+    loop_span.arg("parallel", static_cast<std::int64_t>(dd.parallel));
+
+    loop.annot.parallel = dd.parallel;
+    loop.annot.maybe_parallel = dd.maybe_parallel;
+    loop.annot.verdict = dd.blocker;
+    loop.annot.reason = dd.reason;
+    loop.annot.privates.assign(lc.privates.begin(), lc.privates.end());
+    loop.annot.reductions.clear();
+    for (const auto& r : reds) loop.annot.reductions.emplace_back(r.var, r.op);
+
+    LoopReport lr;
+    lr.loop_id = loop.loop_id;
+    lr.routine = routine.name;
+    lr.loc = loop.loc();
+    lr.is_target = loop.is_target;
+    lr.parallel = dd.parallel;
+    lr.maybe_parallel = dd.maybe_parallel;
+    lr.verdict = dd.blocker.value_or(ir::Hindrance::SymbolAnalysis);
+    lr.reason = dd.reason;
+    lr.privates = loop.annot.privates;
+    for (const auto& r : reds) lr.reductions.push_back(r.var);
+    lr.pairs_tested = dd.pairs_tested;
+    lr.symbolic_ops = dd.symbolic_ops;
+
+    // Verdict assembly: gather the evidence trail in pass order and
+    // stamp each slice with its emitting pass and deterministic span
+    // id. Every non-parallel loop must cite at least one record whose
+    // category matches the verdict; when no organic evidence exists
+    // (a guard contained the whole analysis), a Kind::Verdict record
+    // is synthesized so the citation invariant still holds.
+    auto stamp = [&](std::vector<prov::Record>& rs, PassId pass) {
+        prov::stamp(rs, to_string(pass),
+                    trace::span_id(to_string(pass), routine.name, loop.loop_id));
+    };
+    std::vector<prov::Record> trail;
+    for (const auto& rej : redscan.rejected) {
+        trail.push_back({prov::Kind::Reduction, ir::Hindrance::SymbolAnalysis, rej.var,
+                         "reduction candidate " + rej.var + " rejected: " + rej.why});
+    }
+    stamp(trail, PassId::Reduction);
+    std::vector<prov::Record> priv_trail;
+    for (const auto& f : priv.failures) {
+        priv_trail.push_back({prov::Kind::Privatization, ir::Hindrance::SymbolAnalysis,
+                              f.name, f.name + " not privatizable: " + f.reason});
+    }
+    stamp(priv_trail, PassId::Privatization);
+    stamp(dd.evidence, PassId::DataDependence);
+    trail.insert(trail.end(), std::make_move_iterator(priv_trail.begin()),
+                 std::make_move_iterator(priv_trail.end()));
+    trail.insert(trail.end(), std::make_move_iterator(dd.evidence.begin()),
+                 std::make_move_iterator(dd.evidence.end()));
+    if (!lr.parallel && prov::support_count(trail, lr.verdict) == 0) {
+        std::vector<prov::Record> synth;
+        synth.push_back({prov::Kind::Verdict, lr.verdict, routine.name,
+                         lr.reason.empty() ? "no analysis evidence survived the guard"
+                                           : lr.reason});
+        stamp(synth, PassId::DataDependence);
+        trail.push_back(std::move(synth.front()));
+    }
+    if (lr.maybe_parallel) {
+        // Name the hindrance that blocked the loop *and* the fact
+        // that nothing proved it real: this record is what the
+        // speculative runtime (and tools/explain) cite when a loop
+        // is recovered dynamically.
+        std::vector<prov::Record> spec_rec;
+        spec_rec.push_back({prov::Kind::Speculation, lr.verdict, loop.var,
+                            "blocked only by unproven " +
+                                std::string(ir::to_string(lr.verdict)) +
+                                " hindrance; eligible for speculative execution"});
+        stamp(spec_rec, PassId::DataDependence);
+        trail.push_back(std::move(spec_rec.front()));
+    }
+    lr.provenance = std::move(trail);
+    lr.support = prov::support_count(lr.provenance, lr.verdict);
+    return lr;
+}
+
+/// Attempts loop distribution on a statically blocked loop sitting at
+/// `block[idx]`. Tries the legal split points in ascending order; for
+/// each, the two halves are spliced into the block *in place* (so
+/// privatization's routine-level liveness sees the real post-fission
+/// code), analyzed like ordinary loops, and rolled back if neither half
+/// came out parallel. On success the halves' reports (each carrying a
+/// Kind::Fission provenance record) are appended and the block keeps the
+/// two halves; the caller must skip past both. Everything runs under the
+/// compile guard: a contained failure restores the original loop.
+bool try_fission(ir::Block& block, std::size_t idx, ir::Routine& routine,
+                 const CompilerOptions& options, const dependence::RoutineContext& rc,
+                 sched::AnalysisCache* cache, std::vector<LoopReport>& loops, PassTimes& times,
+                 guard::Budget& budget, guard::IncidentLog& log) {
+    static trace::Counter& fission_applied = trace::counters::get("core.fission.applied");
+    auto& loop = static_cast<ir::DoLoop&>(*block[idx]);
+    const int parent_id = loop.loop_id;
+
+    FissionPlan plan;
+    const bool planned =
+        guard::guarded(log, to_string(PassId::LoopFission), routine.name, parent_id, [&] {
+            PassTimer t(times, PassId::LoopFission);
+            plan = plan_fission(loop);
+        });
+    if (!planned || plan.splits.empty()) return false;
+
+    for (const std::size_t split : plan.splits) {
+        if (budget.expired()) return false;
+        FissionHalves halves;
+        const bool built =
+            guard::guarded(log, to_string(PassId::LoopFission), routine.name, parent_id, [&] {
+                PassTimer t(times, PassId::LoopFission);
+                halves = apply_fission(loop, split);
+            });
+        if (!built || !halves.first || !halves.second) return false;
+
+        // Splice the halves in so the trial analysis sees the final IR,
+        // keeping the original statement for rollback.
+        ir::StmtPtr original = std::move(block[idx]);
+        block[idx] = std::move(halves.first);
+        block.insert(block.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                     std::move(halves.second));
+        auto& h1 = static_cast<ir::DoLoop&>(*block[idx]);
+        auto& h2 = static_cast<ir::DoLoop&>(*block[idx + 1]);
+
+        LoopReport r1 = analyze_one_loop(h1, routine, options, rc, cache, times, budget, log);
+        LoopReport r2 = analyze_one_loop(h2, routine, options, rc, cache, times, budget, log);
+        if (r1.parallel || r2.parallel) {
+            auto note = [&](LoopReport& r, const ir::DoLoop& h, const char* which) {
+                std::vector<prov::Record> rec;
+                rec.push_back({prov::Kind::Fission, r.verdict, h.var,
+                               "loop " + std::to_string(parent_id) + " distributed at statement " +
+                                   std::to_string(split) + "; this is the " + which + " half"});
+                prov::stamp(rec, to_string(PassId::LoopFission),
+                            trace::span_id(to_string(PassId::LoopFission), routine.name,
+                                           h.loop_id));
+                r.provenance.push_back(std::move(rec.front()));
+                r.support = prov::support_count(r.provenance, r.verdict);
+                r.fissioned = true;
+            };
+            note(r1, h1, "first");
+            note(r2, h2, "second");
+            loops.push_back(std::move(r1));
+            loops.push_back(std::move(r2));
+            fission_applied.add();
+            return true;
+        }
+
+        block.erase(block.begin() + static_cast<std::ptrdiff_t>(idx) + 1);
+        block[idx] = std::move(original);
+    }
+    return false;
+}
+
 /// Analyzes every loop of one routine, outermost first, recursing into
-/// bodies so inner loops also get verdicts. Each per-loop pass runs as a
-/// guarded unit: a budget trip or contained exception degrades only this
-/// loop (to Hindrance::Complexity), never the compile.
+/// bodies so inner loops also get verdicts. Under
+/// CompilerOptions::do_fission a blocked loop may be replaced in place by
+/// its two fission halves (each reported separately).
 void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions& options,
                    const dependence::RoutineContext& rc, sched::AnalysisCache* cache,
                    std::vector<LoopReport>& loops, PassTimes& times, guard::Budget& budget,
                    guard::IncidentLog& log) {
-    for (auto& sp : block) {
-        ir::Stmt& s = *sp;
+    for (std::size_t idx = 0; idx < block.size(); ++idx) {
+        ir::Stmt& s = *block[idx];
         if (s.kind() == ir::StmtKind::If) {
             auto& i = static_cast<ir::IfStmt&>(s);
             analyze_loops(i.then_block, routine, options, rc, cache, loops, times, budget, log);
@@ -70,158 +307,21 @@ void analyze_loops(ir::Block& block, ir::Routine& routine, const CompilerOptions
         if (s.kind() != ir::StmtKind::Do) continue;
         auto& loop = static_cast<ir::DoLoop&>(s);
 
-        trace::Span loop_span("loop", "compile");
-        loop_span.arg("routine", routine.name);
-        loop_span.arg("loop_id", loop.loop_id);
-        loop_span.arg("line", loop.loc().line);
-        loop_span.arg("span_id", trace::span_id("loop", routine.name, loop.loop_id));
+        LoopReport lr = analyze_one_loop(loop, routine, options, rc, cache, times, budget, log);
 
-        dependence::LoopContext lc;
-        lc.op_budget = options.loop_op_budget;
-        lc.prover_max_depth = options.prover_max_depth;
-        lc.budget = &budget;
-        lc.cache = cache;
-
-        const auto loop_t0 = std::chrono::steady_clock::now();
-        auto loop_elapsed = [&loop_t0] {
-            return std::chrono::duration<double>(std::chrono::steady_clock::now() - loop_t0)
-                .count();
-        };
-
-        // Reduction recognition.
-        analysis::ReductionScan redscan;
-        bool ok = guard::guarded(log, to_string(PassId::Reduction), routine.name, loop.loop_id,
-                                 [&] {
-                                     PassTimer t(times, PassId::Reduction);
-                                     redscan = analysis::scan_reductions(loop);
-                                 });
-        const std::vector<analysis::Reduction>& reds = redscan.accepted;
-        for (const auto& r : reds) lc.reductions.insert(r.var);
-
-        // Privatization.
-        analysis::PrivatizationResult priv;
-        ok = ok && guard::guarded(log, to_string(PassId::Privatization), routine.name,
-                                  loop.loop_id, [&] {
-                                      PassTimer t(times, PassId::Privatization);
-                                      priv = analysis::privatize(loop, routine, rc.ranges->env,
-                                                                 *rc.consts);
-                                  });
-        for (const auto& name : priv.scalars) lc.privates.insert(name);
-        for (const auto& name : priv.arrays) lc.privates.insert(name);
-        // A reduction variable must not also be listed private.
-        for (const auto& r : reds) lc.privates.erase(r.var);
-
-        // Data-dependence test.
-        dependence::LoopDependenceResult dd;
-        ok = ok && guard::guarded(log, to_string(PassId::DataDependence), routine.name,
-                                  loop.loop_id, [&] {
-                                      PassTimer t(times, PassId::DataDependence);
-                                      dd = dependence::test_loop(loop, rc, lc);
-                                  });
-        if (!ok) {
-            // A guarded unit failed: this loop keeps a verdict (the
-            // paper's compile-time Complexity hindrance) and compilation
-            // continues with the next loop.
-            dd = {};
-            dd.blocker = ir::Hindrance::Complexity;
-            dd.trip = budget.tripped() ? budget.cause() : guard::TripCause::Exception;
-            dd.reason = dd.trip == guard::TripCause::Exception
-                            ? "analysis failed and was contained by the compile guard"
-                            : "analysis abandoned: compile budget exhausted";
-        } else if (dd.blocker == ir::Hindrance::Complexity &&
-                   dd.trip != guard::TripCause::None) {
-            // The dependence test gave up within its own budget; surface
-            // that as a (degraded) incident so budget-pressure runs show
-            // up in `compiler.incidents`.
-            guard::Incident inc;
-            inc.pass = std::string(to_string(PassId::DataDependence));
-            inc.routine = routine.name;
-            inc.loop_id = loop.loop_id;
-            inc.cause = dd.trip;
-            inc.detail = dd.reason;
-            inc.elapsed_seconds = loop_elapsed();
-            inc.span = trace::span_id(inc.pass, routine.name, loop.loop_id);
-            log.record(std::move(inc));
+        if (options.do_fission && !lr.parallel && !budget.expired() &&
+            try_fission(block, idx, routine, options, rc, cache, loops, times, budget, log)) {
+            // The loop is now two halves (both Assign-only bodies, so no
+            // nested loops to recurse into); skip past the second one.
+            ++idx;
+            continue;
         }
-        loop_span.arg("pairs_tested", dd.pairs_tested);
-        loop_span.arg("symbolic_ops", dd.symbolic_ops);
-        loop_span.arg("parallel", static_cast<std::int64_t>(dd.parallel));
 
-        loop.annot.parallel = dd.parallel;
-        loop.annot.maybe_parallel = dd.maybe_parallel;
-        loop.annot.verdict = dd.blocker;
-        loop.annot.reason = dd.reason;
-        loop.annot.privates.assign(lc.privates.begin(), lc.privates.end());
-        loop.annot.reductions.clear();
-        for (const auto& r : reds) loop.annot.reductions.emplace_back(r.var, r.op);
-
-        LoopReport lr;
-        lr.loop_id = loop.loop_id;
-        lr.routine = routine.name;
-        lr.loc = loop.loc();
-        lr.is_target = loop.is_target;
-        lr.parallel = dd.parallel;
-        lr.maybe_parallel = dd.maybe_parallel;
-        lr.verdict = dd.blocker.value_or(ir::Hindrance::SymbolAnalysis);
-        lr.reason = dd.reason;
-        lr.privates = loop.annot.privates;
-        for (const auto& r : reds) lr.reductions.push_back(r.var);
-        lr.pairs_tested = dd.pairs_tested;
-        lr.symbolic_ops = dd.symbolic_ops;
-
-        // Verdict assembly: gather the evidence trail in pass order and
-        // stamp each slice with its emitting pass and deterministic span
-        // id. Every non-parallel loop must cite at least one record whose
-        // category matches the verdict; when no organic evidence exists
-        // (a guard contained the whole analysis), a Kind::Verdict record
-        // is synthesized so the citation invariant still holds.
-        auto stamp = [&](std::vector<prov::Record>& rs, PassId pass) {
-            prov::stamp(rs, to_string(pass),
-                        trace::span_id(to_string(pass), routine.name, loop.loop_id));
-        };
-        std::vector<prov::Record> trail;
-        for (const auto& rej : redscan.rejected) {
-            trail.push_back({prov::Kind::Reduction, ir::Hindrance::SymbolAnalysis, rej.var,
-                             "reduction candidate " + rej.var + " rejected: " + rej.why});
-        }
-        stamp(trail, PassId::Reduction);
-        std::vector<prov::Record> priv_trail;
-        for (const auto& f : priv.failures) {
-            priv_trail.push_back({prov::Kind::Privatization, ir::Hindrance::SymbolAnalysis,
-                                  f.name, f.name + " not privatizable: " + f.reason});
-        }
-        stamp(priv_trail, PassId::Privatization);
-        stamp(dd.evidence, PassId::DataDependence);
-        trail.insert(trail.end(), std::make_move_iterator(priv_trail.begin()),
-                     std::make_move_iterator(priv_trail.end()));
-        trail.insert(trail.end(), std::make_move_iterator(dd.evidence.begin()),
-                     std::make_move_iterator(dd.evidence.end()));
-        if (!lr.parallel && prov::support_count(trail, lr.verdict) == 0) {
-            std::vector<prov::Record> synth;
-            synth.push_back({prov::Kind::Verdict, lr.verdict, routine.name,
-                             lr.reason.empty() ? "no analysis evidence survived the guard"
-                                               : lr.reason});
-            stamp(synth, PassId::DataDependence);
-            trail.push_back(std::move(synth.front()));
-        }
-        if (lr.maybe_parallel) {
-            // Name the hindrance that blocked the loop *and* the fact
-            // that nothing proved it real: this record is what the
-            // speculative runtime (and tools/explain) cite when a loop
-            // is recovered dynamically.
-            std::vector<prov::Record> spec_rec;
-            spec_rec.push_back({prov::Kind::Speculation, lr.verdict, loop.var,
-                                "blocked only by unproven " +
-                                    std::string(ir::to_string(lr.verdict)) +
-                                    " hindrance; eligible for speculative execution"});
-            stamp(spec_rec, PassId::DataDependence);
-            trail.push_back(std::move(spec_rec.front()));
-        }
-        lr.provenance = std::move(trail);
-        lr.support = prov::support_count(lr.provenance, lr.verdict);
         loops.push_back(std::move(lr));
-
-        analyze_loops(loop.body, routine, options, rc, cache, loops, times, budget, log);
+        // `loop` may dangle after a rolled-back splice reallocated the
+        // block; re-take the statement.
+        analyze_loops(static_cast<ir::DoLoop&>(*block[idx]).body, routine, options, rc, cache,
+                      loops, times, budget, log);
     }
 }
 

@@ -18,6 +18,13 @@ namespace ap::core {
 struct CompilerOptions {
     bool do_inline = true;
     bool do_induction = true;
+    /// Attempt loop distribution (fission) on statically blocked loops:
+    /// when a legal split point yields at least one parallel half, the
+    /// loop is replaced in the IR by its two halves, each with its own
+    /// verdict and a Kind::Fission provenance record. Off by default —
+    /// the ensemble tuner (ap::tune) switches it on per strategy; the
+    /// baseline pipeline and the corpus histograms are unchanged.
+    bool do_fission = false;
     /// Symbolic-operation budget per loop; exceeding it yields
     /// Hindrance::Complexity (the paper's "reasonable compile-time limit",
     /// made deterministic by counting engine operations).
@@ -65,6 +72,10 @@ struct LoopReport {
     std::vector<std::string> reductions;
     int pairs_tested = 0;
     std::uint64_t symbolic_ops = 0;  ///< engine operations the loop's DD test consumed
+    /// This report describes one half of a distributed (fissioned) loop;
+    /// the twin is the adjacent report. The parent's id survives as
+    /// `loop_id` on the first half and `loop_id - 100000` on the second.
+    bool fissioned = false;
     /// Decision-provenance trail: the evidence behind `verdict`, in pass
     /// order (reduction rejections, privatization failures, dependence-
     /// test observations), each stamped with the emitting pass and its

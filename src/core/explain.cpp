@@ -97,6 +97,68 @@ bool spec_outcomes(const Value& report, Rendering* out) {
     return true;
 }
 
+/// Renders the ensemble-tuning outcomes of an ap.tune.v1 report (the
+/// BENCH_tune.json payload): per tuned loop, which strategy won, why
+/// (the Kind::Tuning record text with the runner-up margin), and what
+/// the verdict moved from and to. True when the report carries that
+/// schema.
+bool tune_outcomes(const Value& report, Rendering* out) {
+    const Value* data = report.find("data");
+    if (!data) return false;
+    const Value* schema = data->find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != "ap.tune.v1") return false;
+
+    out->text += "ensemble strategies:";
+    if (const Value* strategies = data->find("strategies"); strategies && strategies->as_array()) {
+        for (const Value& s : *strategies->as_array()) out->text += " " + s.as_string();
+    }
+    out->text += "\n\n";
+    if (const Value* programs = data->find("programs"); programs && programs->as_array()) {
+        for (const Value& p : *programs->as_array()) {
+            out->text += str(p.find("name")) + " — " +
+                         std::to_string(num(p.find("rescued"))) + " loop(s) rescued (" +
+                         std::to_string(num(p.find("fission_rescued"))) + " by fission)\n";
+            const Value* loops = p.find("loops");
+            if (!loops || !loops->as_array()) continue;
+            for (const Value& l : *loops->as_array()) {
+                const std::string winner = str(l.find("winner"));
+                if (winner == "default") continue;  // nothing tuned: default held
+                out->text += "  " + str(l.find("routine")) + ":" +
+                             std::to_string(num(l.find("line"))) + " DO " +
+                             str(l.find("var")) + " — winner " + winner + ": " +
+                             str(l.find("default_verdict")) + " -> " +
+                             str(l.find("tuned_verdict"));
+                const Value* frescued = l.find("fission_rescued");
+                if (frescued && frescued->as_bool()) {
+                    out->text += " (rescued by loop fission)";
+                }
+                out->text += '\n';
+                if (const std::string why = str(l.find("tuning_record")); !why.empty()) {
+                    out->text += "    because: " + why + '\n';
+                }
+                if (winner != "default" && str(l.find("tuning_record")).empty()) {
+                    out->text += "    PROBLEM: non-default winner carries no tuning record\n";
+                    ++out->problems;
+                }
+            }
+        }
+        out->text += '\n';
+    }
+    if (const Value* geomean = data->find("geomean_speedup")) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.4f", geomean->as_double());
+        out->text += "geomean tuned-vs-default modeled speedup: " + std::string(buf) + "x, " +
+                     std::to_string(num(data->find("rescued_total"))) + " loop(s) rescued (" +
+                     std::to_string(num(data->find("fission_rescued_total"))) +
+                     " by fission)\n";
+        if (geomean->as_double() < 1.0) {
+            out->text += "PROBLEM: tuning lost to the default pipeline\n";
+            ++out->problems;
+        }
+    }
+    return true;
+}
+
 }  // namespace
 
 Rendering narrative(const Value& report, const Options& opts) {
@@ -104,8 +166,10 @@ Rendering narrative(const Value& report, const Options& opts) {
     const Value* prov = find_provenance(report);
     if (!prov || !prov->find("loops") || !prov->find("loops")->as_array()) {
         // An ap.spec.v1 report has no per-loop provenance; its story is
-        // the speculation outcomes.
+        // the speculation outcomes. Likewise ap.tune.v1: the story is
+        // which strategy won each loop and why.
         if (spec_outcomes(report, &out)) return out;
+        if (tune_outcomes(report, &out)) return out;
         out.text = "no provenance section in this report "
                    "(re-run the bench with --provenance)\n";
         out.problems = 1;

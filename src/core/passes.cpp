@@ -1,5 +1,8 @@
 #include "core/passes.hpp"
 
+#include <set>
+
+#include "analysis/access.hpp"
 #include "symbolic/linear.hpp"
 
 namespace ap::core {
@@ -14,6 +17,102 @@ PassTimer::~PassTimer() {
     times_.sec(pass_) += std::chrono::duration<double>(elapsed).count();
     times_.ops(pass_) += ops;
     span_.arg("symbolic_ops", ops);
+}
+
+namespace {
+
+/// Name-level access set of one top-level loop-body statement.
+struct StmtNames {
+    std::set<std::string> writes;
+    std::set<std::string> reads;
+};
+
+}  // namespace
+
+FissionPlan plan_fission(const ir::DoLoop& loop) {
+    FissionPlan plan;
+    const std::size_t n = loop.body.size();
+    if (n < 2) {
+        plan.refusal = "fewer than two top-level statements";
+        return plan;
+    }
+    // Only straight-line assignment bodies distribute: nested control flow
+    // or calls would need region-level dependence reasoning the name rule
+    // below cannot provide.
+    for (const auto& sp : loop.body) {
+        if (sp->kind() != ir::StmtKind::Assign) {
+            plan.refusal = "non-assignment statement at loop top level";
+            return plan;
+        }
+    }
+    std::vector<StmtNames> acc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ir::Block one;
+        one.push_back(loop.body[i]->clone());
+        const analysis::AccessInfo info = analysis::collect_accesses(one);
+        if (!info.function_calls.empty()) {
+            plan.refusal = "function call inside loop body";
+            return plan;
+        }
+        for (const auto& s : info.scalars) {
+            (s.is_write ? acc[i].writes : acc[i].reads).insert(s.name);
+        }
+        for (const auto& a : info.arrays) {
+            (a.is_write ? acc[i].writes : acc[i].reads).insert(a.ref->name);
+        }
+    }
+    // A split at k is legal when no name written in one half is touched
+    // (read or written) by the other. Shared read-only names — the loop
+    // index above all — are always safe.
+    for (std::size_t k = 1; k < n; ++k) {
+        StmtNames a;
+        StmtNames b;
+        for (std::size_t i = 0; i < k; ++i) {
+            a.writes.insert(acc[i].writes.begin(), acc[i].writes.end());
+            a.reads.insert(acc[i].reads.begin(), acc[i].reads.end());
+        }
+        for (std::size_t i = k; i < n; ++i) {
+            b.writes.insert(acc[i].writes.begin(), acc[i].writes.end());
+            b.reads.insert(acc[i].reads.begin(), acc[i].reads.end());
+        }
+        bool legal = true;
+        for (const auto& name : a.writes) {
+            if (b.writes.contains(name) || b.reads.contains(name)) {
+                legal = false;
+                break;
+            }
+        }
+        if (legal) {
+            for (const auto& name : b.writes) {
+                if (a.reads.contains(name)) {
+                    legal = false;
+                    break;
+                }
+            }
+        }
+        if (legal) plan.splits.push_back(k);
+    }
+    if (plan.splits.empty()) {
+        plan.refusal = "no split point with disjoint cross-half access sets";
+    }
+    return plan;
+}
+
+FissionHalves apply_fission(const ir::DoLoop& loop, std::size_t split) {
+    auto make_half = [&](std::size_t lo, std::size_t hi, int id) {
+        ir::Block body;
+        body.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) body.push_back(loop.body[i]->clone());
+        auto half = std::make_unique<ir::DoLoop>(loop.var, loop.lo->clone(), loop.hi->clone(),
+                                                 loop.step->clone(), std::move(body), loop.loc());
+        half->loop_id = id;
+        half->is_target = loop.is_target;
+        return half;
+    };
+    FissionHalves halves;
+    halves.first = make_half(0, split, loop.loop_id);
+    halves.second = make_half(split, loop.body.size(), fission_twin_id(loop.loop_id));
+    return halves;
 }
 
 }  // namespace ap::core

@@ -3,8 +3,12 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "ir/stmt.hpp"
 #include "trace/trace.hpp"
 
 namespace ap::core {
@@ -18,9 +22,10 @@ enum class PassId : unsigned char {
     GsaTranslation,
     InterproceduralConstProp,
     Reduction,
+    LoopFission,
     Other,
 };
-inline constexpr int kPassCount = 8;
+inline constexpr int kPassCount = 9;
 
 [[nodiscard]] constexpr std::string_view to_string(PassId p) noexcept {
     switch (p) {
@@ -31,6 +36,7 @@ inline constexpr int kPassCount = 8;
         case PassId::GsaTranslation: return "GSA translation";
         case PassId::InterproceduralConstProp: return "interprocedural constant propagation";
         case PassId::Reduction: return "reduction";
+        case PassId::LoopFission: return "loop fission";
         case PassId::Other: return "others";
     }
     return "?";
@@ -78,5 +84,46 @@ private:
     std::chrono::steady_clock::time_point start_;
     std::uint64_t ops_start_;
 };
+
+// Loop distribution (fission) ------------------------------------------------
+//
+// The ICC-style strategy lever behind PassId::LoopFission: a loop whose
+// body mixes a hindered statement group with a dependence-free one is
+// split at a statement boundary so the clean half gets its own verdict.
+// Legality is deliberately conservative — every top-level statement must
+// be an assignment, and the two halves' access sets must be disjoint
+// except for names both halves only read. That rule refuses exactly the
+// dangerous shapes: a loop-carried dependence spanning the split point
+// (the written name appears in both halves) and a reduction whose
+// accumulator crosses the split (the accumulator is written in both).
+
+/// Deterministic id for the second half of a fissioned loop. The first
+/// half keeps the parent's `loop_id`; the twin gets an id far above the
+/// document-order range `ir::number_loops` assigns, so the pair never
+/// collides with an existing loop.
+[[nodiscard]] constexpr int fission_twin_id(int parent_id) noexcept {
+    return parent_id + 100000;
+}
+
+/// Legality scan result: every statement boundary at which `loop` may be
+/// distributed, in ascending order (the boundary value is the number of
+/// statements in the first half).
+struct FissionPlan {
+    std::vector<std::size_t> splits;
+    std::string refusal;  ///< why `splits` is empty (deterministic diagnostic)
+};
+
+[[nodiscard]] FissionPlan plan_fission(const ir::DoLoop& loop);
+
+/// The two materialized halves of a fissioned loop: clones sharing the
+/// parent's header (var/lo/hi/step), location, and target marker.
+struct FissionHalves {
+    std::unique_ptr<ir::DoLoop> first;   ///< keeps the parent's loop_id
+    std::unique_ptr<ir::DoLoop> second;  ///< gets fission_twin_id(parent)
+};
+
+/// Materializes both halves of `loop` at `split` (a value from
+/// FissionPlan::splits). The input loop is not modified.
+[[nodiscard]] FissionHalves apply_fission(const ir::DoLoop& loop, std::size_t split);
 
 }  // namespace ap::core

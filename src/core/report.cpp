@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "trace/counters.hpp"
 #include "trace/trace.hpp"
@@ -109,6 +110,7 @@ BenchArgs parse_bench_args(int argc, char** argv) {
                 return args;
             }
             args.threads = static_cast<unsigned>(std::atoi(v));
+            args.threads_set = true;
         } else if (std::strcmp(a, "--provenance") == 0) {
             args.provenance = true;
         } else if (std::strcmp(a, "--no-cache") == 0) {
@@ -128,6 +130,12 @@ BenchArgs parse_bench_args(int argc, char** argv) {
 void apply_budget_args(const BenchArgs& args, CompilerOptions& options) {
     if (args.budget_ops) options.loop_op_budget = args.budget_ops;
     if (args.deadline_ms > 0) options.deadline_seconds = args.deadline_ms / 1000.0;
+}
+
+unsigned resolve_threads(unsigned threads) {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
 }
 
 trace::json::Value incidents_json(const std::vector<guard::Incident>& incidents) {

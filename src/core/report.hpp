@@ -54,6 +54,9 @@ struct BenchArgs {
     /// Compile-pipeline worker threads (CompilerOptions::threads):
     /// 1 = serial baseline, 0 = thread-pool size.
     unsigned threads = 1;
+    /// `--threads` appeared on the command line (benches whose default is
+    /// not 1 — the interpreter drills — honor an explicit request only).
+    bool threads_set = false;
     /// fig5: attach the `data.provenance` section (ap.prov.v1) to the
     /// report — the full per-loop evidence trail behind the histogram.
     bool provenance = false;
@@ -71,6 +74,13 @@ struct BenchArgs {
 
 /// Applies the budget-pressure knobs of `args` to compiler options.
 void apply_budget_args(const BenchArgs& args, CompilerOptions& options);
+
+/// The effective worker count behind a `--threads` value: 0 means "the
+/// hardware" (std::thread::hardware_concurrency, never less than 1).
+/// Every bench resolves through this one helper so fig2/fig3/spec/simd
+/// agree on what `--threads 0` does; printed thread counts and
+/// `data.sched.threads` always carry the resolved value.
+[[nodiscard]] unsigned resolve_threads(unsigned threads);
 
 /// The `compiler.incidents` section: an array of structured incident
 /// records (pass, routine, loop, cause, detail, elapsed_seconds, fatal,

@@ -244,6 +244,7 @@ SUBROUTINE FDMGB
 ! Finite-difference migration module.
   PARAMETER (MAXG = 128)
   COMMON /FDGRD/ U(128), UN(128)
+  COMMON /SEISCM/ RA(4096), SA(1024)
   COMMON /SEISPR/ NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
   INTEGER NSHOT, NMODS, NTRC, NSAMP, IOFF, LDW, IRA1, IRA2
   INTEGER I, K
@@ -252,9 +253,13 @@ SUBROUTINE FDMGB
   DO I = 2, MAXG - 1
     UN(I) = U(I) + 0.2 * (U(I - 1) + U(I + 1) - 2.0 * U(I))
   END DO
-! Halo exchange against the runtime pad offset IOFF ("rangeless").
+! Gather smoothing fused with the halo exchange against the runtime pad
+! offset IOFF ("rangeless"). The SA statement is dependence-free but the
+! one-pass pipeline judges the whole loop by its U half — the loop-
+! distribution candidate ap::tune rescues by fission.
 !$TARGET
   DO I = 1, NSAMP
+    SA(I) = 0.5 * (RA(I) + RA(I + 1))
     U(I + IOFF) = U(I)
   END DO
 ! Dispersion correction through a computed index: the engine cannot

@@ -15,6 +15,8 @@ std::string_view to_string(Kind k) noexcept {
         case Kind::Budget: return "budget";
         case Kind::Verdict: return "verdict";
         case Kind::Speculation: return "speculation";
+        case Kind::Fission: return "fission";
+        case Kind::Tuning: return "tuning";
     }
     return "?";
 }

@@ -39,6 +39,8 @@ enum class Kind : unsigned char {
     Budget,         ///< a guard budget trip that degraded the analysis
     Verdict,        ///< synthesized verdict support (no organic evidence)
     Speculation,    ///< a maybe-parallel loop eligible for ap::spec
+    Fission,        ///< a loop-distribution outcome (split applied or refused)
+    Tuning,         ///< an ensemble-tuning decision (winning strategy + margin)
 };
 [[nodiscard]] std::string_view to_string(Kind k) noexcept;
 

@@ -1,0 +1,484 @@
+#include "tune/tune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "ir/visit.hpp"
+#include "prov/prov.hpp"
+#include "runtime/parallel_for.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
+
+namespace ap::tune {
+
+namespace {
+
+/// Modeled seconds per interpreted expression node. The scoring model
+/// prices loops the way the interpreter executes them (runtime::sim is
+/// an interpreter timing model): every expression node costs one
+/// dispatch. A deterministic constant — never wall clock — so the whole
+/// ranking is byte-identical across threads and cache modes.
+constexpr double kSecondsPerOp = 100e-9;
+/// Trip-count estimate for loops whose bounds the folder cannot prove
+/// constant (READ-fed industrial bounds): production-scale, not the
+/// miniaturized sample decks.
+constexpr std::int64_t kNominalTrips = 1024;
+/// Modeled cost of a callee the estimator cannot see through.
+constexpr std::uint64_t kOpaqueCallOps = 25;
+
+std::uint64_t expr_ops(const ir::Expr& e) {
+    std::uint64_t n = 0;
+    ir::for_each_expr(e, [&](const ir::Expr&) { ++n; });
+    return n;
+}
+
+std::int64_t const_trips(const ir::DoLoop& loop) {
+    if (loop.lo->kind() != ir::ExprKind::IntConst || loop.hi->kind() != ir::ExprKind::IntConst ||
+        loop.step->kind() != ir::ExprKind::IntConst) {
+        return -1;
+    }
+    const auto lo = static_cast<const ir::IntConst&>(*loop.lo).value;
+    const auto hi = static_cast<const ir::IntConst&>(*loop.hi).value;
+    const auto step = static_cast<const ir::IntConst&>(*loop.step).value;
+    if (step == 0) return -1;
+    const std::int64_t n = step > 0 ? (hi - lo) / step + 1 : (lo - hi) / (-step) + 1;
+    return n > 0 ? n : 0;
+}
+
+std::int64_t trips(const ir::DoLoop& loop) {
+    const std::int64_t n = const_trips(loop);
+    return n >= 0 ? n : kNominalTrips;
+}
+
+std::uint64_t loop_header_ops(const ir::DoLoop& loop);
+
+/// Expression-node count of one execution of `block`, nested loops
+/// expanded serially (only the scored loop's own fork is modeled; inner
+/// parallelism is not exploited inside an already-parallel region).
+std::uint64_t block_ops(const ir::Block& block) {
+    std::uint64_t ops = 0;
+    for (const auto& sp : block) {
+        const ir::Stmt& s = *sp;
+        switch (s.kind()) {
+            case ir::StmtKind::Assign: {
+                const auto& a = static_cast<const ir::Assign&>(s);
+                ops += 1 + expr_ops(*a.lhs) + expr_ops(*a.rhs);
+                break;
+            }
+            case ir::StmtKind::If: {
+                const auto& i = static_cast<const ir::IfStmt&>(s);
+                ops += 1 + expr_ops(*i.cond) + block_ops(i.then_block) + block_ops(i.else_block);
+                break;
+            }
+            case ir::StmtKind::Do: {
+                const auto& d = static_cast<const ir::DoLoop&>(s);
+                ops += loop_header_ops(d) +
+                       static_cast<std::uint64_t>(trips(d)) * (1 + block_ops(d.body));
+                break;
+            }
+            case ir::StmtKind::Call: {
+                const auto& c = static_cast<const ir::CallStmt&>(s);
+                ops += kOpaqueCallOps;
+                for (const auto& arg : c.args) ops += expr_ops(*arg);
+                break;
+            }
+            case ir::StmtKind::Read: {
+                const auto& r = static_cast<const ir::ReadStmt&>(s);
+                ops += 1;
+                for (const auto& t : r.targets) ops += expr_ops(*t);
+                break;
+            }
+            case ir::StmtKind::Print: {
+                const auto& p = static_cast<const ir::PrintStmt&>(s);
+                ops += 1;
+                for (const auto& arg : p.args) ops += expr_ops(*arg);
+                break;
+            }
+            case ir::StmtKind::Return:
+            case ir::StmtKind::Stop: ops += 1; break;
+        }
+    }
+    return ops;
+}
+
+std::uint64_t loop_header_ops(const ir::DoLoop& loop) {
+    return 2 + expr_ops(*loop.lo) + expr_ops(*loop.hi) + expr_ops(*loop.step);
+}
+
+/// Modeled wall seconds of one loop under its compile verdict: a proven
+/// parallel loop pays one fork/join plus 1/nprocs of its body sweep; a
+/// blocked loop (maybe_parallel included — speculation is not priced
+/// here) runs serially. Fission overhead falls out naturally: each half
+/// pays its own header sweep and, when parallel, its own fork/join.
+double loop_seconds(const ir::DoLoop& loop, const runtime::SimCostModel& model) {
+    const auto t = static_cast<double>(trips(loop));
+    const double header = static_cast<double>(loop_header_ops(loop)) * kSecondsPerOp;
+    const double body =
+        t * static_cast<double>(1 + block_ops(loop.body)) * kSecondsPerOp;
+    if (loop.annot.parallel) {
+        return header + model.fork_join_latency + body / static_cast<double>(model.nprocs);
+    }
+    return header + body;
+}
+
+/// One loop found by the IR walk of a compiled variant.
+struct IrLoop {
+    const ir::DoLoop* loop = nullptr;
+    int line = 0;
+    std::string var;
+    double est = 0;  ///< modeled seconds under this variant's verdict
+};
+
+void walk_loops(const ir::Block& block, const runtime::SimCostModel& model,
+                std::map<int, IrLoop>& by_id) {
+    for (const auto& sp : block) {
+        const ir::Stmt& s = *sp;
+        if (s.kind() == ir::StmtKind::If) {
+            const auto& i = static_cast<const ir::IfStmt&>(s);
+            walk_loops(i.then_block, model, by_id);
+            walk_loops(i.else_block, model, by_id);
+            continue;
+        }
+        if (s.kind() != ir::StmtKind::Do) continue;
+        const auto& d = static_cast<const ir::DoLoop&>(s);
+        IrLoop info;
+        info.loop = &d;
+        info.line = d.loc().line;
+        info.var = d.var;
+        info.est = loop_seconds(d, model);
+        by_id.emplace(d.loop_id, std::move(info));
+        walk_loops(d.body, model, by_id);
+    }
+}
+
+/// Loop identity across ensemble variants. Loop ids are renumbered after
+/// inlining, so the stable key is (routine, source line, loop variable);
+/// the two halves of a fissioned loop share the parent's key and
+/// aggregate into it.
+struct LoopKey {
+    std::string routine;
+    int line = 0;
+    std::string var;
+    auto operator<=>(const LoopKey&) const = default;
+};
+
+/// Per-key aggregate of one variant's verdicts.
+struct KeyEst {
+    double est = 0;
+    bool any_parallel = false;
+    bool fissioned = false;
+    ir::Hindrance verdict = ir::Hindrance::SymbolAnalysis;
+    int doc_order = 0;                   ///< first report index (display order)
+    std::vector<std::size_t> indices;    ///< LoopReport indices in the variant report
+};
+
+struct VariantOutcome {
+    bool ok = false;
+    core::CompileReport report;
+    std::map<LoopKey, KeyEst> keys;  ///< target loops only
+};
+
+void collect_keys(const ir::Program& prog, const core::CompileReport& report,
+                  const runtime::SimCostModel& model, std::map<LoopKey, KeyEst>& keys) {
+    // Loop id -> IR info, per routine walk (ids are program-unique).
+    std::map<int, IrLoop> by_id;
+    for (const auto* r : prog.routines()) {
+        if (!r->is_foreign()) walk_loops(r->body, model, by_id);
+    }
+    for (std::size_t i = 0; i < report.loops.size(); ++i) {
+        const core::LoopReport& lr = report.loops[i];
+        if (!lr.is_target) continue;
+        const auto it = by_id.find(lr.loop_id);
+        if (it == by_id.end()) continue;  // id drift: leave to the default strategy
+        LoopKey key{lr.routine, it->second.line, it->second.var};
+        KeyEst& agg = keys[key];
+        if (agg.indices.empty()) {
+            agg.doc_order = static_cast<int>(i);
+            agg.verdict = lr.verdict;
+        }
+        agg.est += it->second.est;
+        agg.any_parallel = agg.any_parallel || lr.parallel;
+        agg.fissioned = agg.fissioned || lr.fissioned;
+        if (lr.parallel) agg.verdict = ir::Hindrance::Autoparallelized;
+        agg.indices.push_back(i);
+    }
+}
+
+std::string format_margin(double margin) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", margin);
+    return buf;
+}
+
+}  // namespace
+
+core::CompilerOptions Strategy::apply(const core::CompilerOptions& base) const {
+    core::CompilerOptions o = base;
+    o.do_inline = do_inline;
+    o.do_induction = do_induction;
+    o.do_fission = do_fission;
+    o.prover_max_depth = std::max(
+        1, static_cast<int>(std::lround(static_cast<double>(base.prover_max_depth) *
+                                        prover_depth_scale)));
+    o.loop_op_budget = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(base.loop_op_budget) *
+                                      op_budget_scale));
+    o.inline_options.max_rounds = std::max(
+        0, static_cast<int>(std::lround(static_cast<double>(base.inline_options.max_rounds) *
+                                        inline_rounds_scale)));
+    // The variant compile runs serially: the ensemble fan-out is the
+    // parallelism, and nested parallel_for regions inline anyway.
+    o.threads = 1;
+    return o;
+}
+
+std::vector<Strategy> default_strategies() {
+    std::vector<Strategy> s;
+    s.push_back({.name = "default"});
+    s.push_back({.name = "fission", .do_fission = true});
+    s.push_back({.name = "fission-deep-prover",
+                 .do_fission = true,
+                 .prover_depth_scale = 2.0,
+                 .op_budget_scale = 2.0});
+    s.push_back({.name = "no-inline", .do_inline = false, .do_fission = true});
+    s.push_back({.name = "no-induction", .do_induction = false, .do_fission = true});
+    s.push_back({.name = "aggressive",
+                 .do_fission = true,
+                 .prover_depth_scale = 2.0,
+                 .op_budget_scale = 4.0,
+                 .inline_rounds_scale = 2.0});
+    s.push_back({.name = "frugal",
+                 .prover_depth_scale = 0.5,
+                 .op_budget_scale = 0.25});
+    return s;
+}
+
+std::optional<sched::Entry> MemoBacking::load(const std::string& key, std::uint64_t digest) {
+    Shard& shard = shards_[digest % kShards];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) return std::nullopt;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void MemoBacking::store(const std::string& key, std::uint64_t digest, const sched::Entry& entry) {
+    Shard& shard = shards_[digest % kShards];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.size() >= kMaxEntriesPerShard) return;
+    if (shard.map.emplace(key, entry).second) {
+        stores_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+TuneResult tune(const std::function<ir::Program()>& fresh, const TuneOptions& options) {
+    trace::Span span("tune", "tune");
+    static trace::Counter& runs = trace::counters::get("tune.runs");
+    static trace::Counter& rescued_counter = trace::counters::get("tune.rescued");
+    runs.add();
+
+    const std::vector<Strategy> strategies = default_strategies();
+    TuneResult result;
+    for (const auto& s : strategies) result.strategies.push_back(s.name);
+
+    MemoBacking memo;
+    std::vector<VariantOutcome> variants(strategies.size());
+    std::vector<guard::IncidentLog> variant_logs(strategies.size());
+
+    runtime::ParallelOptions po;
+    po.threads = options.threads;
+    po.dynamic = true;
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(strategies.size()),
+        [&](std::int64_t i) {
+            const auto n = static_cast<std::size_t>(i);
+            VariantOutcome& out = variants[n];
+            const bool contained = guard::guarded(
+                variant_logs[n], "ensemble tuning", strategies[n].name, -1, [&] {
+                    ir::Program prog = fresh();
+                    core::CompilerOptions co = strategies[n].apply(options.base);
+                    if (options.share_analysis && co.analysis_cache && !co.cache_backing) {
+                        co.cache_backing = &memo;
+                    }
+                    out.report = core::compile(prog, co);
+                    collect_keys(prog, out.report, options.model, out.keys);
+                    out.ok = true;
+                });
+            if (!contained) out.ok = false;
+        },
+        po);
+
+    for (auto& log : variant_logs) {
+        for (const auto& inc : log.incidents()) result.incidents.push_back(inc);
+    }
+    for (const auto& v : variants) {
+        if (!v.ok) ++result.variants_failed;
+    }
+
+    // The default strategy anchors everything: if even it failed, return
+    // an empty result with the incidents (callers treat it as "nothing
+    // tuned"), never throw.
+    const VariantOutcome& dflt = variants[0];
+    if (!dflt.ok) return result;
+    result.program = dflt.report.program;
+
+    // Per-loop winner selection over the default variant's key set, in
+    // document order. A variant missing a key (inline drift) or failed
+    // outright is out of contention for it; ties break toward the lowest
+    // strategy index, so "no improvement" resolves to the default.
+    std::vector<std::pair<LoopKey, const KeyEst*>> ordered;
+    ordered.reserve(dflt.keys.size());
+    for (const auto& [key, est] : dflt.keys) ordered.emplace_back(key, &est);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.second->doc_order < b.second->doc_order; });
+
+    struct Pick {
+        LoopKey key;
+        int winner = 0;
+        const KeyEst* winner_est = nullptr;
+    };
+    std::vector<Pick> picks;
+    for (const auto& [key, dest] : ordered) {
+        LoopChoice choice;
+        choice.routine = key.routine;
+        choice.line = key.line;
+        choice.var = key.var;
+        choice.verdict_default = dest->verdict;
+        choice.parallel_default = dest->any_parallel;
+        choice.est_default_seconds = dest->est;
+
+        int winner = 0;
+        const KeyEst* winner_est = dest;
+        for (std::size_t s = 1; s < variants.size(); ++s) {
+            if (!variants[s].ok) continue;
+            const auto it = variants[s].keys.find(key);
+            if (it == variants[s].keys.end()) continue;
+            if (it->second.est < winner_est->est) {
+                winner = static_cast<int>(s);
+                winner_est = &it->second;
+            }
+        }
+        int runner_up = -1;
+        const KeyEst* runner_est = nullptr;
+        for (std::size_t s = 0; s < variants.size(); ++s) {
+            if (static_cast<int>(s) == winner || !variants[s].ok) continue;
+            const auto it = variants[s].keys.find(key);
+            if (it == variants[s].keys.end()) continue;
+            if (!runner_est || it->second.est < runner_est->est) {
+                runner_up = static_cast<int>(s);
+                runner_est = &it->second;
+            }
+        }
+        if (runner_up < 0) {
+            runner_up = winner;
+            runner_est = winner_est;
+        }
+
+        choice.winner = winner;
+        choice.runner_up = runner_up;
+        choice.est_tuned_seconds = winner_est->est;
+        choice.est_runner_up_seconds = runner_est->est;
+        choice.margin =
+            winner_est->est > 0 ? runner_est->est / winner_est->est : 1.0;
+        choice.verdict_tuned = winner_est->verdict;
+        choice.parallel_tuned = winner_est->any_parallel;
+        choice.fissioned = winner_est->fissioned;
+        choice.fission_rescued =
+            !choice.parallel_default && choice.parallel_tuned && winner_est->fissioned;
+        if (!choice.parallel_default && choice.parallel_tuned) {
+            ++result.rescued;
+            rescued_counter.add();
+            if (choice.fission_rescued) ++result.fission_rescued;
+        }
+        result.est_default_seconds += choice.est_default_seconds;
+        result.est_tuned_seconds += choice.est_tuned_seconds;
+        picks.push_back({key, winner, winner_est});
+        result.loops.push_back(std::move(choice));
+    }
+
+    // Emit: the default report with every tuned target loop's entries
+    // replaced by the winner's, each target entry stamped with a
+    // Kind::Tuning record naming the winning strategy and the runner-up
+    // margin. Non-target loops pass through untouched.
+    result.tuned = dflt.report;
+    std::vector<core::LoopReport> merged;
+    merged.reserve(dflt.report.loops.size());
+    std::map<LoopKey, bool> spliced;
+    auto pick_for = [&](const LoopKey& key) -> const Pick* {
+        for (const auto& p : picks) {
+            if (p.key == key) return &p;
+        }
+        return nullptr;
+    };
+    auto add_tuning_record = [&](core::LoopReport& lr, const Pick& pick,
+                                 const LoopChoice& choice) {
+        std::vector<prov::Record> rec;
+        rec.push_back({prov::Kind::Tuning, lr.verdict, strategies[pick.winner].name,
+                       "ensemble winner '" + strategies[pick.winner].name + "' over runner-up '" +
+                           strategies[static_cast<std::size_t>(choice.runner_up)].name +
+                           "' at margin x" + format_margin(choice.margin)});
+        prov::stamp(rec, "ensemble tuning",
+                    trace::span_id("ensemble tuning", lr.routine, lr.loop_id));
+        lr.provenance.push_back(std::move(rec.front()));
+        lr.support = prov::support_count(lr.provenance, lr.verdict);
+    };
+    for (std::size_t i = 0; i < dflt.report.loops.size(); ++i) {
+        const core::LoopReport& lr = dflt.report.loops[i];
+        if (!lr.is_target) {
+            merged.push_back(lr);
+            continue;
+        }
+        // Reconstruct this entry's key from the default key map.
+        const LoopKey* key = nullptr;
+        for (const auto& [k, est] : dflt.keys) {
+            if (std::find(est.indices.begin(), est.indices.end(), i) != est.indices.end()) {
+                key = &k;
+                break;
+            }
+        }
+        if (!key) {
+            merged.push_back(lr);
+            continue;
+        }
+        const Pick* pick = pick_for(*key);
+        if (!pick) {
+            merged.push_back(lr);
+            continue;
+        }
+        if (spliced[*key]) continue;  // later entry of an already-spliced key
+        spliced[*key] = true;
+        const LoopChoice* choice = nullptr;
+        for (const auto& c : result.loops) {
+            if (c.routine == key->routine && c.line == key->line && c.var == key->var) {
+                choice = &c;
+                break;
+            }
+        }
+        if (pick->winner == 0 || !choice) {
+            core::LoopReport copy = lr;
+            if (choice) add_tuning_record(copy, *pick, *choice);
+            merged.push_back(std::move(copy));
+            // Keep the key's other default entries (inlined copies) too.
+            for (std::size_t j : dflt.keys.at(*key).indices) {
+                if (j != i) merged.push_back(dflt.report.loops[j]);
+            }
+            continue;
+        }
+        for (std::size_t j : pick->winner_est->indices) {
+            core::LoopReport copy = variants[static_cast<std::size_t>(pick->winner)]
+                                        .report.loops[j];
+            add_tuning_record(copy, *pick, *choice);
+            merged.push_back(std::move(copy));
+        }
+    }
+    result.tuned.loops = std::move(merged);
+
+    span.arg("rescued", result.rescued);
+    span.arg("fission_rescued", result.fission_rescued);
+    return result;
+}
+
+}  // namespace ap::tune

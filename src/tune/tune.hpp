@@ -1,0 +1,163 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "guard/guard.hpp"
+#include "runtime/sim.hpp"
+#include "sched/cache.hpp"
+
+namespace ap::tune {
+
+/// ap::tune — ComPar-style ensemble auto-tuning over parallelization
+/// strategies (docs/PERFORMANCE.md, "Ensemble tuning").
+///
+/// One fixed pass pipeline leaves parallelism on the table (the Fig.-5
+/// histogram is the evidence); the tuner compiles each program under a
+/// fixed ensemble of strategy variants — inline depth, prover depth,
+/// per-loop op budget, induction substitution, and the loop-fission pass
+/// (core::plan_fission) — scores every target loop's verdict under each
+/// variant with the deterministic runtime::SimCostModel timing model,
+/// and emits a merged CompileReport carrying the winning per-loop
+/// directive set, each tuned loop stamped with a Kind::Tuning provenance
+/// record naming the winner and the runner-up margin.
+///
+/// Determinism contract: scoring is model-based (verdicts × static op
+/// counts × SimCostModel latencies), never wall clock, so winners,
+/// margins, and estimates are byte-identical across ensemble thread
+/// counts and with the shared memo cache on or off — the same contract
+/// the compile pipeline already honors (docs/PERFORMANCE.md).
+
+/// One point in the strategy space. `name` is the stable identity used
+/// in reports and provenance; the remaining fields are the knobs applied
+/// on top of the base CompilerOptions.
+struct Strategy {
+    std::string name;
+    bool do_inline = true;
+    bool do_induction = true;
+    bool do_fission = false;
+    /// Multiplier on the base prover recursion depth (1 = unchanged).
+    double prover_depth_scale = 1.0;
+    /// Multiplier on the base per-loop symbolic op budget.
+    double op_budget_scale = 1.0;
+    /// Multiplier on the base inliner round count (pass-ordering lever:
+    /// 0 rounds ≈ analysis before expansion).
+    double inline_rounds_scale = 1.0;
+
+    /// Base options with this strategy's knobs applied. The variant
+    /// compile itself always runs serially (threads = 1): the ensemble
+    /// fan-out is the parallelism.
+    [[nodiscard]] core::CompilerOptions apply(const core::CompilerOptions& base) const;
+};
+
+/// The fixed ensemble, default strategy first (index 0). Ties in the
+/// per-loop scoring break toward the lowest index, so "no improvement"
+/// always resolves to the default pipeline.
+[[nodiscard]] std::vector<Strategy> default_strategies();
+
+/// Thread-safe in-memory sched::CacheBacking shared by every ensemble
+/// variant: prover/Range-Test verdicts memoized by one variant are
+/// replayed by the others. Safe across strategies because cache keys
+/// embed the prover depth and the full serialized query (two variants
+/// that would answer differently can never share an entry), and hits
+/// re-charge the fresh op cost, so budget trips stay per-variant.
+class MemoBacking final : public sched::CacheBacking {
+public:
+    [[nodiscard]] std::optional<sched::Entry> load(const std::string& key,
+                                                   std::uint64_t digest) override;
+    void store(const std::string& key, std::uint64_t digest, const sched::Entry& entry) override;
+
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
+    [[nodiscard]] std::uint64_t stores() const noexcept { return stores_.load(); }
+
+private:
+    static constexpr std::size_t kShards = 16;
+    static constexpr std::size_t kMaxEntriesPerShard = 1 << 15;
+    struct Shard {
+        std::mutex mutex;
+        std::unordered_map<std::string, sched::Entry> map;
+    };
+    std::array<Shard, kShards> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> stores_{0};
+};
+
+/// The tuner's verdict for one target loop (identified across variants
+/// by routine + source line + loop variable — loop ids are not stable
+/// across inline variants).
+struct LoopChoice {
+    std::string routine;
+    int line = 0;
+    std::string var;
+    ir::Hindrance verdict_default = ir::Hindrance::SymbolAnalysis;
+    ir::Hindrance verdict_tuned = ir::Hindrance::SymbolAnalysis;
+    bool parallel_default = false;
+    bool parallel_tuned = false;
+    bool fissioned = false;        ///< the winning variant split this loop
+    bool fission_rescued = false;  ///< blocked by default, a fission half parallel
+    int winner = 0;                ///< strategy index (0 = default)
+    int runner_up = 0;             ///< second-best strategy index
+    double est_default_seconds = 0;
+    double est_tuned_seconds = 0;
+    double est_runner_up_seconds = 0;
+    /// Runner-up estimate over winner estimate (>= 1; 1 on a tie). The
+    /// figure the Kind::Tuning provenance record cites.
+    double margin = 1.0;
+};
+
+/// Outcome of tuning one program.
+struct TuneResult {
+    std::string program;
+    std::vector<std::string> strategies;  ///< ensemble names, index order
+    std::vector<LoopChoice> loops;        ///< target loops, document order
+    double est_default_seconds = 0;       ///< modeled wall, default pipeline
+    double est_tuned_seconds = 0;         ///< modeled wall, per-loop winners
+    /// est_default / est_tuned (>= 1 by construction: the default
+    /// strategy is in the ensemble and ties break toward it).
+    [[nodiscard]] double speedup() const {
+        return est_tuned_seconds > 0 ? est_default_seconds / est_tuned_seconds : 1.0;
+    }
+    int rescued = 0;          ///< blocked by default, parallel under the winner
+    int fission_rescued = 0;  ///< subset of rescued won by a fission split
+    int variants_failed = 0;  ///< ensemble members that degraded to no-result
+    /// Failures contained while running the ensemble (a variant that
+    /// threw degrades to the default strategy and records here).
+    std::vector<guard::Incident> incidents;
+    /// The emitted report: the default variant's report with each tuned
+    /// target loop's entry replaced by the winner's (plus a Kind::Tuning
+    /// provenance record on every target loop).
+    core::CompileReport tuned;
+};
+
+/// Ensemble driver options.
+struct TuneOptions {
+    /// Worker threads for the strategy fan-out (1 = serial, 0 = pool
+    /// size). Outcome-neutral.
+    unsigned threads = 1;
+    /// Share memoized analysis across variants through a MemoBacking.
+    /// Outcome-neutral (only wall clock changes).
+    bool share_analysis = true;
+    /// Base compiler options the strategies perturb.
+    core::CompilerOptions base{};
+    /// Cost model behind the scoring (deterministic constants).
+    runtime::SimCostModel model{};
+};
+
+/// Compiles fresh copies of one program under the whole ensemble (in
+/// parallel via the runtime thread pool), scores every target loop, and
+/// returns the merged result. `fresh` must return an identical
+/// newly-parsed program on every call (each variant mutates its own
+/// copy). Never throws on variant failure: a strategy whose compile
+/// fails is dropped from contention with an incident recorded.
+[[nodiscard]] TuneResult tune(const std::function<ir::Program()>& fresh,
+                              const TuneOptions& options = {});
+
+}  // namespace ap::tune

@@ -252,6 +252,7 @@ TEST_F(TraceTest, CompilingSeismicTracesEveryPassAndDependenceTests) {
         auto prog = corpus::load(corpus::seismic());
         core::CompilerOptions opts;
         opts.loop_op_budget = corpus::seismic().loop_op_budget;
+        opts.do_fission = true;  // opt-in pass; FDMGB's blocked loop exercises it
         (void)core::compile(prog, opts);
     }
     trace::set_enabled(false);

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/passes.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/foreigns.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interp.hpp"
+#include "prov/prov.hpp"
+#include "tune/tune.hpp"
+
+namespace ap::tune {
+namespace {
+
+// A genuinely distributable target loop: the SA half is dependence-free,
+// the U half carries the rangeless offset IOFF — the one-pass pipeline
+// judges the whole loop by its worst half; fission rescues the SA sweep.
+constexpr const char* kMixed = R"MINIF(
+PROGRAM TFISS
+  PARAMETER (N = 64)
+  REAL U(160), RA(65), SA(64)
+  INTEGER IOFF, I, J, K
+  READ *, IOFF
+  DO J = 1, 65
+    RA(J) = 0.5 * J
+  END DO
+  DO K = 1, 160
+    U(K) = 1.0 * K
+  END DO
+!$TARGET
+  DO I = 1, N
+    SA(I) = 0.5 * (RA(I) + RA(I + 1))
+    U(I + IOFF) = U(I)
+  END DO
+  PRINT *, SA(1), SA(64), U(1), U(100)
+END
+)MINIF";
+
+// A flow dependence spanning every split point: C reads the A the first
+// statement writes, so no distribution is legal.
+constexpr const char* kSpanning = R"MINIF(
+PROGRAM TSPAN
+  PARAMETER (N = 32)
+  REAL A(N), B(N), C(N)
+  INTEGER I, J
+  DO J = 1, N
+    B(J) = 1.0 * J
+  END DO
+!$TARGET
+  DO I = 1, N
+    A(I) = B(I) + 1.0
+    C(I) = A(I) * 2.0
+  END DO
+  PRINT *, A(1), C(N)
+END
+)MINIF";
+
+// A reduction accumulator crossing the halves: S is written by the first
+// statement and read by the second, so the loop must stay fused.
+constexpr const char* kReduction = R"MINIF(
+PROGRAM TRED
+  PARAMETER (N = 32)
+  REAL A(N), B(N), S
+  INTEGER I, J
+  DO J = 1, N
+    A(J) = 1.0 * J
+  END DO
+  S = 0.0
+!$TARGET
+  DO I = 1, N
+    S = S + A(I)
+    B(I) = S * 2.0
+  END DO
+  PRINT *, S, B(N)
+END
+)MINIF";
+
+ir::DoLoop* find_loop(ir::Block& block, const std::string& var) {
+    for (auto& sp : block) {
+        if (sp->kind() != ir::StmtKind::Do) continue;
+        auto& d = static_cast<ir::DoLoop&>(*sp);
+        if (d.var == var) return &d;
+        if (ir::DoLoop* inner = find_loop(d.body, var)) return inner;
+    }
+    return nullptr;
+}
+
+ir::DoLoop* find_loop(ir::Program& prog, const std::string& var) {
+    for (auto* r : prog.routines()) {
+        if (r->is_foreign()) continue;
+        if (ir::DoLoop* d = find_loop(r->body, var)) return d;
+    }
+    return nullptr;
+}
+
+std::vector<interp::Value> to_deck(const std::vector<double>& deck) {
+    std::vector<interp::Value> out;
+    out.reserve(deck.size());
+    for (double v : deck) out.emplace_back(v);
+    return out;
+}
+
+std::vector<std::string> run_program(ir::Program& prog, const std::vector<double>& deck,
+                                     bool parallel) {
+    interp::Machine machine(prog);
+    corpus::register_foreigns(machine);
+    interp::ExecutionOptions opts;
+    opts.parallel = parallel;
+    opts.threads = 4;
+    return machine.run(to_deck(deck), opts).output;
+}
+
+/// Everything the determinism contract covers, one line per loop.
+std::string serialize_choices(const TuneResult& r) {
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto& l : r.loops) {
+        os << l.routine << ':' << l.line << ':' << l.var << " winner=" << l.winner
+           << " runner_up=" << l.runner_up << " margin=" << l.margin
+           << " est=" << l.est_default_seconds << '/' << l.est_tuned_seconds
+           << " fission=" << l.fissioned << l.fission_rescued << '\n';
+    }
+    os << "total " << r.est_default_seconds << ' ' << r.est_tuned_seconds << ' ' << r.rescued
+       << ' ' << r.fission_rescued << '\n';
+    return os.str();
+}
+
+TEST(FissionPlan, RefusesDependenceSpanningSplit) {
+    ir::Program prog = frontend::parse(kSpanning, "TSPAN");
+    ir::DoLoop* loop = find_loop(prog, "I");
+    ASSERT_NE(loop, nullptr);
+    const core::FissionPlan plan = core::plan_fission(*loop);
+    EXPECT_TRUE(plan.splits.empty());
+    EXPECT_EQ(plan.refusal, "no split point with disjoint cross-half access sets");
+}
+
+TEST(FissionPlan, KeepsCrossingReductionFused) {
+    ir::Program prog = frontend::parse(kReduction, "TRED");
+    ir::DoLoop* loop = find_loop(prog, "I");
+    ASSERT_NE(loop, nullptr);
+    const core::FissionPlan plan = core::plan_fission(*loop);
+    EXPECT_TRUE(plan.splits.empty());
+
+    // End to end: the fission-enabled compile must leave it fused.
+    ir::Program fresh = frontend::parse(kReduction, "TRED");
+    core::CompilerOptions opts;
+    opts.do_fission = true;
+    const core::CompileReport report = core::compile(fresh, opts);
+    for (const auto& lr : report.loops) {
+        EXPECT_FALSE(lr.fissioned) << lr.routine << " loop " << lr.loop_id;
+    }
+}
+
+TEST(FissionPlan, SplitsDisjointHalves) {
+    ir::Program prog = frontend::parse(kMixed, "TFISS");
+    ir::DoLoop* loop = find_loop(prog, "I");
+    ASSERT_NE(loop, nullptr);
+    const core::FissionPlan plan = core::plan_fission(*loop);
+    ASSERT_EQ(plan.splits.size(), 1u);
+    EXPECT_EQ(plan.splits[0], 1u);
+    EXPECT_TRUE(plan.refusal.empty());
+
+    const core::FissionHalves halves = core::apply_fission(*loop, plan.splits[0]);
+    ASSERT_NE(halves.first, nullptr);
+    ASSERT_NE(halves.second, nullptr);
+    EXPECT_EQ(halves.first->loop_id, loop->loop_id);
+    EXPECT_EQ(halves.second->loop_id, core::fission_twin_id(loop->loop_id));
+    EXPECT_EQ(halves.first->body.size(), 1u);
+    EXPECT_EQ(halves.second->body.size(), 1u);
+    EXPECT_TRUE(halves.first->is_target);
+    EXPECT_TRUE(halves.second->is_target);
+}
+
+TEST(FissionCompile, RescuesMixedLoopAndPreservesSemantics) {
+    // Reference: the unfissioned program, serial.
+    ir::Program plain = frontend::parse(kMixed, "TFISS");
+    core::CompilerOptions popts;
+    const core::CompileReport before = core::compile(plain, popts);
+    int blocked_targets = 0;
+    for (const auto& lr : before.loops) {
+        if (lr.is_target && !lr.parallel) ++blocked_targets;
+    }
+    ASSERT_GE(blocked_targets, 1) << "the mixed loop must be blocked without fission";
+    const std::vector<std::string> serial = run_program(plain, {3.0}, false);
+
+    // The fission-enabled compile splits it; the SA half parallelizes.
+    ir::Program prog = frontend::parse(kMixed, "TFISS");
+    core::CompilerOptions opts;
+    opts.do_fission = true;
+    const core::CompileReport report = core::compile(prog, opts);
+    const core::LoopReport* first_half = nullptr;
+    const core::LoopReport* second_half = nullptr;
+    for (const auto& lr : report.loops) {
+        if (!lr.fissioned) continue;
+        if (lr.loop_id >= 100000) second_half = &lr;
+        else first_half = &lr;
+    }
+    ASSERT_NE(first_half, nullptr);
+    ASSERT_NE(second_half, nullptr);
+    EXPECT_EQ(second_half->loop_id, core::fission_twin_id(first_half->loop_id));
+    EXPECT_TRUE(first_half->parallel) << "the SA half is dependence-free";
+    EXPECT_FALSE(second_half->parallel) << "the U half stays rangeless";
+    bool has_fission_record = false;
+    for (const auto* half : {first_half, second_half}) {
+        for (const auto& rec : half->provenance) {
+            if (rec.kind == prov::Kind::Fission) has_fission_record = true;
+        }
+    }
+    EXPECT_TRUE(has_fission_record);
+
+    // The rewritten program computes exactly what the original does.
+    EXPECT_EQ(run_program(prog, {3.0}, false), serial);
+    EXPECT_EQ(run_program(prog, {3.0}, true), serial);
+}
+
+TEST(Tune, RescuesByFissionWithTuningRecord) {
+    TuneOptions opts;
+    opts.threads = 2;
+    const TuneResult r = tune([] { return frontend::parse(kMixed, "TFISS"); }, opts);
+    EXPECT_EQ(r.variants_failed, 0);
+    ASSERT_FALSE(r.loops.empty());
+    EXPECT_GE(r.rescued, 1);
+    EXPECT_GE(r.fission_rescued, 1);
+    EXPECT_GT(r.speedup(), 1.0);
+
+    const LoopChoice* rescued = nullptr;
+    for (const auto& l : r.loops) {
+        if (l.fission_rescued) rescued = &l;
+    }
+    ASSERT_NE(rescued, nullptr);
+    EXPECT_NE(r.strategies[static_cast<std::size_t>(rescued->winner)], "default");
+    EXPECT_GE(rescued->margin, 1.0);
+    EXPECT_FALSE(rescued->parallel_default);
+    EXPECT_TRUE(rescued->parallel_tuned);
+
+    // The emitted report carries the Kind::Tuning evidence on the tuned
+    // loop (and the winner's Kind::Fission records ride along).
+    bool has_tuning = false;
+    bool has_fission = false;
+    for (const auto& lr : r.tuned.loops) {
+        if (!lr.is_target) continue;
+        for (const auto& rec : lr.provenance) {
+            if (rec.kind == prov::Kind::Tuning) has_tuning = true;
+            if (rec.kind == prov::Kind::Fission) has_fission = true;
+        }
+    }
+    EXPECT_TRUE(has_tuning);
+    EXPECT_TRUE(has_fission);
+}
+
+TEST(Tune, SeismicCorpusRescuesDesignedCandidate) {
+    const corpus::CorpusProgram* seismic = corpus::all()[0];
+    TuneOptions opts;
+    opts.threads = 2;
+    opts.base.loop_op_budget = seismic->loop_op_budget;
+    const TuneResult r = tune([seismic] { return corpus::load(*seismic); }, opts);
+    EXPECT_EQ(r.variants_failed, 0);
+    EXPECT_GE(r.fission_rescued, 1) << "the FDMGB gather/halo loop is the designed candidate";
+    EXPECT_GT(r.speedup(), 1.0);
+}
+
+TEST(Tune, BudgetTripDegradesToDefaultWithoutCrash) {
+    TuneOptions opts;
+    opts.threads = 2;
+    opts.base.loop_op_budget = 1;  // trips in every variant, mid-ensemble
+    const TuneResult r = tune([] { return frontend::parse(kMixed, "TFISS"); }, opts);
+    ASSERT_FALSE(r.loops.empty());
+    for (const auto& l : r.loops) {
+        EXPECT_EQ(l.winner, 0) << "under a tripped budget every variant ties; the tie "
+                                  "must break to the default strategy";
+        EXPECT_DOUBLE_EQ(l.margin, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(r.speedup(), 1.0);
+    EXPECT_EQ(r.rescued, 0);
+    EXPECT_FALSE(r.tuned.incidents.empty()) << "the budget trip must surface as an incident";
+}
+
+TEST(Tune, DeterministicAcrossThreadsAndCache) {
+    const corpus::CorpusProgram* seismic = corpus::all()[0];
+    std::string reference;
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        for (const bool share : {true, false}) {
+            TuneOptions opts;
+            opts.threads = threads;
+            opts.share_analysis = share;
+            opts.base.loop_op_budget = seismic->loop_op_budget;
+            const TuneResult r = tune([seismic] { return corpus::load(*seismic); }, opts);
+            const std::string got = serialize_choices(r);
+            if (reference.empty()) reference = got;
+            EXPECT_EQ(got, reference)
+                << "threads=" << threads << " share_analysis=" << share;
+        }
+    }
+    EXPECT_FALSE(reference.empty());
+}
+
+}  // namespace
+}  // namespace ap::tune

@@ -36,6 +36,14 @@
 //                           chunk ledger must balance
 //                           (attempts == commits + rollbacks); any
 //                           divergence is a FAILURE.
+//   2f. fission diff      — a fresh parse recompiled with the loop-
+//                           fission pass enabled (core::plan_fission
+//                           splices split halves into loop bodies in
+//                           place), then executed serially AND in
+//                           parallel: both outputs must match the
+//                           unfissioned serial oracle bit for bit. A
+//                           divergence means an illegal split slipped
+//                           past the fission legality check.
 //   3. interpret          — serial then parallel (the oracle pair), with
 //                           a small step cap and wall-clock watchdog so
 //                           mutants that loop forever are cut off.
@@ -205,6 +213,7 @@ struct Stats {
     std::int64_t runtime_rejects = 0;
     std::int64_t differential = 0;   ///< serial+parallel pairs compared
     std::int64_t spec_diffs = 0;     ///< speculative-vs-serial pairs compared
+    std::int64_t fission_diffs = 0;  ///< fissioned-vs-unfissioned pairs compared
     std::int64_t compile_diffs = 0;  ///< thread-count compile pairs compared
     std::int64_t prov_diffs = 0;     ///< provenance determinism pairs compared
     std::int64_t wire_decodes = 0;   ///< hostile wire-decoder inputs driven
@@ -556,6 +565,55 @@ void run_iteration(Rng& rng, std::uint64_t seed, std::int64_t iter, Stats& stats
              std::string("escaped exception: ") + e.what());
         return;
     }
+
+    // 2f. fission differential (ISSUE 10): recompile a fresh parse with
+    // the loop-fission pass on — plan_fission splices split halves into
+    // the loop bodies it rewrites — then run the rewritten program
+    // serially and in parallel. Both outputs must match the unfissioned
+    // serial oracle bit for bit. The second header sweep charges extra
+    // interpreter steps, so the step cap can trip where the original
+    // squeaked by; RuntimeError is a rejection, not a failure.
+    try {
+        ir::Program fissioned = frontend::parse(src, base.name + "-mutant");
+        core::CompilerOptions fopts;
+        fopts.loop_op_budget = 200'000;
+        fopts.deadline_seconds = 2.0;
+        fopts.prover_max_depth = 24;
+        fopts.do_fission = true;
+        (void)core::compile(fissioned, fopts);
+        auto run_fissioned = [&](bool parallel) {
+            interp::Machine machine(fissioned);
+            corpus::register_foreigns(machine);
+            auto opts = serial_opts;
+            opts.parallel = parallel;
+            opts.threads = 4;
+            return machine.run(to_deck(base.sample_deck), opts);
+        };
+        const auto fser = run_fissioned(false);
+        const auto fpar = run_fissioned(true);
+        ++stats.fission_diffs;
+        if (fser.output != serial_out.output) {
+            fail(stats, "fission-differential", seed, iter,
+                 "fissioned serial output diverged from the unfissioned serial oracle (" +
+                     std::to_string(fser.output.size()) + " vs " +
+                     std::to_string(serial_out.output.size()) + " lines)");
+            return;
+        }
+        if (fpar.output != serial_out.output) {
+            fail(stats, "fission-differential", seed, iter,
+                 "fissioned parallel output diverged from the unfissioned serial oracle (" +
+                     std::to_string(fpar.output.size()) + " vs " +
+                     std::to_string(serial_out.output.size()) + " lines)");
+            return;
+        }
+    } catch (const interp::RuntimeError&) {
+        ++stats.runtime_rejects;
+        return;
+    } catch (const std::exception& e) {
+        fail(stats, "fission-differential", seed, iter,
+             std::string("escaped exception: ") + e.what());
+        return;
+    }
 }
 
 }  // namespace
@@ -598,13 +656,15 @@ int main(int argc, char** argv) {
     std::printf(
         "minif_fuzz: seed=%llu iterations=%lld parse_rejects=%lld compiled=%lld "
         "degraded=%lld runtime_rejects=%lld differential=%lld spec_diffs=%lld "
-        "compile_diffs=%lld prov_diffs=%lld wire_decodes=%lld failures=%lld\n",
+        "fission_diffs=%lld compile_diffs=%lld prov_diffs=%lld wire_decodes=%lld "
+        "failures=%lld\n",
         static_cast<unsigned long long>(seed), static_cast<long long>(stats.iterations),
         static_cast<long long>(stats.parse_rejects), static_cast<long long>(stats.compiled),
         static_cast<long long>(stats.degraded), static_cast<long long>(stats.runtime_rejects),
         static_cast<long long>(stats.differential), static_cast<long long>(stats.spec_diffs),
-        static_cast<long long>(stats.compile_diffs), static_cast<long long>(stats.prov_diffs),
-        static_cast<long long>(stats.wire_decodes), static_cast<long long>(stats.failures));
+        static_cast<long long>(stats.fission_diffs), static_cast<long long>(stats.compile_diffs),
+        static_cast<long long>(stats.prov_diffs), static_cast<long long>(stats.wire_decodes),
+        static_cast<long long>(stats.failures));
     if (stats.failures) {
         std::fprintf(stderr, "minif_fuzz: %lld failure(s)\n",
                      static_cast<long long>(stats.failures));

@@ -16,6 +16,7 @@
 // counts, symbolic op totals, hindrance tallies, and guard incidents
 // (everything except wall-clock noise).
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -400,6 +401,214 @@ void check_simd(const Value& data, double min_speedup) {
     }
 }
 
+// The ensemble auto-tuning report (BENCH_tune.json, docs/PERFORMANCE.md
+// "Ensemble tuning"). Everything here is model-based and deterministic,
+// so the checks are exact, not statistical:
+//   - the strategy ensemble is non-empty and led by "default" (ties
+//     break toward index 0, so "no improvement" must resolve there);
+//   - per program, speedup == est_default / est_tuned and never < 1
+//     (the default strategy is in the ensemble);
+//   - per loop, winner/runner-up name real strategies, margin >= 1, a
+//     non-default winner carries its Kind::Tuning record text, and a
+//     fission rescue implies a fissioned winner that went parallel;
+//   - rescued / fission-rescued roll-ups match the per-loop evidence,
+//     and geomean_speedup reproduces from the per-program speedups;
+//   - at least one corpus loop is rescued by fission (the designed
+//     loop-distribution candidate);
+//   - with --min-speedup, geomean_speedup must clear the floor
+//     (verify.sh gates this on >= 4 core hosts).
+void check_tune(const Value& data, double min_speedup) {
+    const Value* schema = require(data, "schema", "string");
+    if (schema && schema->as_string() != "ap.tune.v1") {
+        fail("data.schema is \"" + schema->as_string() + "\", expected \"ap.tune.v1\"");
+    }
+    static const std::set<std::string> kVerdicts = {
+        "autoparallelized", "aliasing",        "rangeless",
+        "indirection",      "symbol analysis", "access representation",
+        "complexity"};
+    std::set<std::string> names;
+    const Value* strategies = require(data, "strategies", "array");
+    if (strategies) {
+        if (strategies->size() == 0) fail("\"strategies\" is empty");
+        for (const Value& s : *strategies->as_array()) {
+            if (!s.is_string()) fail("strategies[] entry is not a string");
+            else names.insert(s.as_string());
+        }
+        if (strategies->size() > 0 && (*strategies->as_array())[0].is_string() &&
+            (*strategies->as_array())[0].as_string() != "default") {
+            fail("strategies[0] must be \"default\" (the tie-break anchor)");
+        }
+    }
+    double log_sum = 0;
+    std::int64_t programs_seen = 0;
+    std::int64_t rescued_sum = 0;
+    std::int64_t fission_sum = 0;
+    const Value* programs = require(data, "programs", "array");
+    if (programs) {
+        if (programs->size() == 0) fail("\"programs\" is empty");
+        for (const Value& p : *programs->as_array()) {
+            if (!p.is_object()) {
+                fail("programs[] entry is not an object");
+                continue;
+            }
+            const Value* name = require(p, "name", "string");
+            const std::string where =
+                "program " + (name ? name->as_string() : std::string("?"));
+            const Value* est_default = require(p, "est_default_seconds", "number");
+            const Value* est_tuned = require(p, "est_tuned_seconds", "number");
+            const Value* speedup = require(p, "speedup", "number");
+            const Value* rescued = require(p, "rescued", "number");
+            const Value* fission_rescued = require(p, "fission_rescued", "number");
+            const Value* variants_failed = require(p, "variants_failed", "number");
+            if (est_default && est_default->as_double() < 0) {
+                fail(where + ".est_default_seconds is negative");
+            }
+            if (est_tuned && est_tuned->as_double() < 0) {
+                fail(where + ".est_tuned_seconds is negative");
+            }
+            if (variants_failed && variants_failed->as_int() < 0) {
+                fail(where + ".variants_failed is negative");
+            }
+            if (speedup) {
+                if (speedup->as_double() < 1.0 - 1e-9) {
+                    fail(where + " tuned worse than default: speedup " +
+                         std::to_string(speedup->as_double()) +
+                         " < 1 (ties must break toward the default strategy)");
+                }
+                if (est_default && est_tuned && est_tuned->as_double() > 0) {
+                    const double want = est_default->as_double() / est_tuned->as_double();
+                    if (std::fabs(speedup->as_double() - want) > 1e-9 * want) {
+                        fail(where + ".speedup " + std::to_string(speedup->as_double()) +
+                             " != est_default / est_tuned = " + std::to_string(want));
+                    }
+                }
+                log_sum += std::log(speedup->as_double());
+                ++programs_seen;
+            }
+            std::int64_t loops_rescued = 0;
+            std::int64_t loops_fission_rescued = 0;
+            double loop_default_sum = 0;
+            double loop_tuned_sum = 0;
+            if (const Value* loops = require(p, "loops", "array")) {
+                for (const Value& l : *loops->as_array()) {
+                    if (!l.is_object()) {
+                        fail(where + " loops[] entry is not an object");
+                        continue;
+                    }
+                    const Value* routine = require(l, "routine", "string");
+                    const Value* line = require(l, "line", "number");
+                    require(l, "var", "string");
+                    const std::string lwhere =
+                        where + " loop " + (routine ? routine->as_string() : "?") + ":" +
+                        (line ? std::to_string(line->as_int()) : "?");
+                    for (const char* key : {"default_verdict", "tuned_verdict"}) {
+                        const Value* v = require(l, key, "string");
+                        if (v && kVerdicts.count(v->as_string()) == 0) {
+                            fail(lwhere + "." + key + " is unknown verdict \"" +
+                                 v->as_string() + "\"");
+                        }
+                    }
+                    const Value* pdef = require(l, "parallel_default", "bool");
+                    const Value* ptuned = require(l, "parallel_tuned", "bool");
+                    const Value* winner = require(l, "winner", "string");
+                    const Value* runner = require(l, "runner_up", "string");
+                    for (const auto& [v, key] :
+                         {std::pair{winner, "winner"}, std::pair{runner, "runner_up"}}) {
+                        if (v && !names.empty() && names.count(v->as_string()) == 0) {
+                            fail(lwhere + std::string(".") + key + " \"" + v->as_string() +
+                                 "\" is not in the strategy ensemble");
+                        }
+                    }
+                    const Value* margin = require(l, "margin", "number");
+                    if (margin && margin->as_double() < 1.0 - 1e-9) {
+                        fail(lwhere + ".margin " + std::to_string(margin->as_double()) +
+                             " < 1 (runner-up estimate must not beat the winner)");
+                    }
+                    const Value* ldef = require(l, "est_default_seconds", "number");
+                    const Value* ltuned = require(l, "est_tuned_seconds", "number");
+                    if (ldef) loop_default_sum += ldef->as_double();
+                    if (ltuned) loop_tuned_sum += ltuned->as_double();
+                    if (ldef && ltuned && ltuned->as_double() > ldef->as_double() * (1 + 1e-9)) {
+                        fail(lwhere + " tuned estimate exceeds the default estimate");
+                    }
+                    const Value* fissioned = require(l, "fissioned", "bool");
+                    const Value* frescued = require(l, "fission_rescued", "bool");
+                    const Value* record = require(l, "tuning_record", "string");
+                    if (winner && winner->as_string() != "default" && record &&
+                        record->as_string().empty()) {
+                        fail(lwhere + " has a non-default winner but no tuning record");
+                    }
+                    const bool is_rescued = pdef && ptuned && !pdef->as_bool() &&
+                                            ptuned->as_bool();
+                    if (is_rescued) ++loops_rescued;
+                    if (frescued && frescued->as_bool()) {
+                        ++loops_fission_rescued;
+                        if (!is_rescued) {
+                            fail(lwhere + " claims fission_rescued without going "
+                                          "blocked -> parallel");
+                        }
+                        if (fissioned && !fissioned->as_bool()) {
+                            fail(lwhere + " claims fission_rescued but the winner did "
+                                          "not fission it");
+                        }
+                    }
+                }
+            }
+            if (rescued && rescued->as_int() != loops_rescued) {
+                fail(where + ".rescued=" + std::to_string(rescued->as_int()) +
+                     " != blocked->parallel loop count " + std::to_string(loops_rescued));
+            }
+            if (fission_rescued && fission_rescued->as_int() != loops_fission_rescued) {
+                fail(where + ".fission_rescued=" + std::to_string(fission_rescued->as_int()) +
+                     " != fission-rescued loop count " +
+                     std::to_string(loops_fission_rescued));
+            }
+            if (est_default &&
+                std::fabs(est_default->as_double() - loop_default_sum) >
+                    1e-9 * (loop_default_sum + 1)) {
+                fail(where + ".est_default_seconds != sum of its loop estimates");
+            }
+            if (est_tuned &&
+                std::fabs(est_tuned->as_double() - loop_tuned_sum) >
+                    1e-9 * (loop_tuned_sum + 1)) {
+                fail(where + ".est_tuned_seconds != sum of its loop estimates");
+            }
+            if (rescued) rescued_sum += rescued->as_int();
+            if (fission_rescued) fission_sum += fission_rescued->as_int();
+        }
+    }
+    const Value* geomean = require(data, "geomean_speedup", "number");
+    if (geomean && programs_seen > 0) {
+        const double want = std::exp(log_sum / static_cast<double>(programs_seen));
+        if (std::fabs(geomean->as_double() - want) > 1e-9 * want) {
+            fail("geomean_speedup " + std::to_string(geomean->as_double()) +
+                 " does not reproduce from the per-program speedups (" +
+                 std::to_string(want) + ")");
+        }
+        if (geomean->as_double() < 1.0 - 1e-12) {
+            fail("geomean_speedup < 1: tuning must never lose to the default pipeline");
+        }
+    }
+    if (geomean && min_speedup >= 0 && geomean->as_double() < min_speedup) {
+        fail("tune geomean_speedup " + std::to_string(geomean->as_double()) +
+             " < required minimum " + std::to_string(min_speedup));
+    }
+    const Value* rescued_total = require(data, "rescued_total", "number");
+    if (rescued_total && rescued_total->as_int() != rescued_sum) {
+        fail("rescued_total=" + std::to_string(rescued_total->as_int()) +
+             " != per-program sum " + std::to_string(rescued_sum));
+    }
+    const Value* fission_total = require(data, "fission_rescued_total", "number");
+    if (fission_total && fission_total->as_int() != fission_sum) {
+        fail("fission_rescued_total=" + std::to_string(fission_total->as_int()) +
+             " != per-program sum " + std::to_string(fission_sum));
+    }
+    if (fission_total && fission_total->as_int() < 1) {
+        fail("no loop rescued by fission (the corpus carries a designed "
+             "loop-distribution candidate; the scoring model is deterministic)");
+    }
+}
+
 void check_bench(const std::string& bench, const Value& data, const Value* counters,
                  double min_speedup) {
     if (bench == "fig1") {
@@ -458,6 +667,8 @@ void check_bench(const std::string& bench, const Value& data, const Value* count
         check_spec(data, counters);
     } else if (bench == "simd") {
         check_simd(data, min_speedup);
+    } else if (bench == "tune") {
+        check_tune(data, min_speedup);
     } else {
         fail("unknown bench \"" + bench + "\"");
     }
@@ -607,7 +818,8 @@ void check_provenance(const Value& data) {
         "complexity"};
     static const std::set<std::string> kKinds = {"dep-test", "prover",    "range",
                                                  "alias",    "privatization", "reduction",
-                                                 "budget",   "verdict",   "speculation"};
+                                                 "budget",   "verdict",   "speculation",
+                                                 "fission",  "tuning"};
     std::map<std::string, std::map<std::string, int>> rollup;  // code -> verdict -> targets
     std::map<std::string, int> targets;                        // code -> target loops
     for (const Value& loop : *loops->as_array()) {
@@ -860,6 +1072,25 @@ std::string deterministic_fingerprint(const Value& doc) {
             }
         }
     }
+    // The tune report is model-scored end to end: strategies, per-loop
+    // winners/margins/estimates, and the roll-ups all join the
+    // fingerprint. The `ensemble` section (thread config, memo-cache
+    // stats, incident wall clocks) is deliberately excluded — the
+    // determinism-compare runs differ there by design.
+    if (const Value* schema = data->find("schema");
+        schema && schema->is_string() && schema->as_string() == "ap.tune.v1") {
+        if (const Value* v = data->find("strategies")) {
+            os << "tune strategies=" << v->dump() << '\n';
+        }
+        if (const Value* programs = data->find("programs"); programs && programs->is_array()) {
+            for (const Value& p : *programs->as_array()) {
+                os << "tune program " << p.dump() << '\n';
+            }
+        }
+        for (const char* key : {"geomean_speedup", "rescued_total", "fission_rescued_total"}) {
+            if (const Value* v = data->find(key)) os << "tune " << key << '=' << v->dump() << '\n';
+        }
+    }
     return os.str();
 }
 
@@ -929,6 +1160,7 @@ int main(int argc, char** argv) {
         "usage: report_lint <report.json> [expected-bench] [--min-speedup X]\n"
         "       report_lint check_spec <report.json>\n"
         "       report_lint check_simd <report.json> [--min-speedup X]\n"
+        "       report_lint check_tune <report.json> [--min-speedup X]\n"
         "       report_lint --compare <a.json> <b.json>\n";
     if (argc >= 2 && std::strcmp(argv[1], "--compare") == 0) {
         if (argc != 4) {
@@ -948,6 +1180,9 @@ int main(int argc, char** argv) {
         argi = 2;
     } else if (argc >= 3 && std::strcmp(argv[1], "check_simd") == 0) {
         expected_bench = "simd";
+        argi = 2;
+    } else if (argc >= 3 && std::strcmp(argv[1], "check_tune") == 0) {
+        expected_bench = "tune";
         argi = 2;
     }
     double min_speedup = -1;
@@ -1008,7 +1243,9 @@ int main(int argc, char** argv) {
         if (const Value* sched = data->find("sched")) {
             if (sched->is_object()) check_sched(*sched, counters, min_speedup);
             else fail("\"sched\" is not an object");
-        } else if (min_speedup >= 0 && !(bench && bench->as_string() == "simd")) {
+        } else if (min_speedup >= 0 &&
+                   !(bench && (bench->as_string() == "simd" ||
+                               bench->as_string() == "tune"))) {
             fail("--min-speedup given but report has no data.sched section");
         }
     }
